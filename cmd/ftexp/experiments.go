@@ -1,0 +1,348 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+	"repro/internal/proto"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// faultRates is the Figure 3 sweep: messages lost per million.
+var faultRates = []int{0, 125, 250, 500, 1000, 2000}
+
+type experiments struct {
+	quick bool
+	ops   int
+}
+
+// config returns the sweep configuration (the paper's system, or a 2x2
+// version with -quick).
+func (e *experiments) config() repro.Config {
+	cfg := repro.DefaultConfig()
+	if e.quick {
+		cfg.MeshWidth = 2
+		cfg.MeshHeight = 2
+		cfg.MemControllers = 2
+		cfg.L1Size = 8 * 1024
+		cfg.L2BankSize = 64 * 1024
+		cfg.OpsPerCore = 400
+	}
+	if e.ops > 0 {
+		cfg.OpsPerCore = e.ops
+	}
+	return cfg
+}
+
+func (e *experiments) table(n int) error {
+	switch n {
+	case 1:
+		fmt.Print(trace.Table1())
+	case 2:
+		fmt.Print(trace.Table2())
+	case 3:
+		fmt.Print(trace.Table3())
+	case 4:
+		e.table4()
+	default:
+		return fmt.Errorf("no table %d", n)
+	}
+	return nil
+}
+
+// table4 prints the simulated system configuration (paper Table 4).
+func (e *experiments) table4() {
+	cfg := e.config()
+	fmt.Println("Table 4. Characteristics of simulated architectures.")
+	fmt.Printf("\n%d-Way Tiled CMP System\n", cfg.MeshWidth*cfg.MeshHeight)
+	fmt.Println("\nCache parameters")
+	fmt.Printf("  Cache line size                  %d bytes\n", cfg.LineSize)
+	fmt.Printf("  L1 cache: size, associativity    %dKB, %d ways\n", cfg.L1Size/1024, cfg.L1Ways)
+	fmt.Printf("  L1 hit time                      %d cycles\n", cfg.L1HitLatency)
+	fmt.Printf("  Shared L2: size, associativity   %dKB per bank, %d ways\n", cfg.L2BankSize/1024, cfg.L2Ways)
+	fmt.Printf("  L2 hit time                      %d cycles\n", cfg.L2HitLatency)
+	fmt.Println("\nMemory parameters")
+	fmt.Printf("  Memory access time               %d cycles\n", cfg.MemLatency)
+	fmt.Printf("  Memory interleaving              %d controllers, line interleaved\n", cfg.MemControllers)
+	fmt.Println("\nNetwork parameters")
+	fmt.Printf("  Topology                         %dx%d mesh, XY routing\n", cfg.MeshWidth, cfg.MeshHeight)
+	fmt.Printf("  Non-data message size            %d bytes\n", cfg.ControlMsgSize)
+	fmt.Printf("  Data message size                %d bytes\n", cfg.DataMsgSize)
+	fmt.Printf("  Channel bandwidth                %d bytes/cycle\n", cfg.FlitBytes)
+	fmt.Printf("  Hop latency                      %d cycles\n", cfg.HopLatency)
+	fmt.Println("\nFault tolerance parameters")
+	fmt.Printf("  Lost request timeout             %d cycles\n", cfg.LostRequestTimeout)
+	fmt.Printf("  Lost unblock timeout             %d cycles\n", cfg.LostUnblockTimeout)
+	fmt.Printf("  Lost backup deletion ack timeout %d cycles\n", cfg.LostAckBDTimeout)
+	fmt.Printf("  Backup (OwnershipPing) timeout   %d cycles\n", cfg.BackupTimeout)
+	fmt.Printf("  Request serial number size       %d bits\n", cfg.SerialNumberBits)
+}
+
+func (e *experiments) figure(n int) error {
+	switch n {
+	case 1:
+		return e.figure1()
+	case 2:
+		return e.figure2()
+	case 3:
+		return e.figure3()
+	case 4:
+		return e.figure4()
+	case 5:
+		return e.figure5()
+	case 6:
+		return e.figure6()
+	default:
+		return fmt.Errorf("no figure %d", n)
+	}
+}
+
+// figure6 quantifies the paper's §5 comparison against the authors'
+// previous fault-tolerant protocol: FtDirCMP (directory, per-request
+// serial numbers, reissue recovery) vs FtTokenCMP (token coherence,
+// per-line token serial numbers, centralized token recreation).
+func (e *experiments) figure6() error {
+	fmt.Println("Figure 6 (extra analysis). The §5 comparison, quantified:")
+	fmt.Println("FtDirCMP vs FtTokenCMP per workload (fault-free and at 1000/M).")
+	fmt.Println()
+	fmt.Printf("%-12s %-11s %12s %12s %12s %10s %10s %10s\n",
+		"workload", "protocol", "cycles", "messages", "bytes", "recover*", "recreate", "serialTab")
+	fmt.Println("  (*recover = reissues for FtDirCMP, retries for FtTokenCMP)")
+	for _, name := range repro.Workloads() {
+		for _, rate := range []int{0, 1000} {
+			for _, p := range []repro.Protocol{repro.FtDirCMP, repro.FtTokenCMP} {
+				cfg := e.config()
+				cfg.Protocol = p
+				cfg.FaultRatePerMillion = rate
+				cfg.FaultSeed = uint64(rate) + 5
+				res, err := repro.Run(cfg, name)
+				if err != nil {
+					return fmt.Errorf("%s/%s@%d: %w", name, p, rate, err)
+				}
+				recover := res.RequestsReissued
+				if p == repro.FtTokenCMP {
+					recover = res.TokenRetries
+				}
+				label := p.String()
+				if rate > 0 {
+					label += "@1k"
+				}
+				fmt.Printf("%-12s %-11s %12d %12d %12d %10d %10d %10d\n",
+					name, label, res.Cycles, res.Messages, res.Bytes,
+					recover, res.TokenRecreations, res.TokenSerialPeak)
+			}
+		}
+	}
+	fmt.Println("\nThe §5 points to verify: the token protocol broadcasts every miss,")
+	fmt.Println("so it moves far more messages; its recovery needs a per-line serial")
+	fmt.Println("table (serialTab > 0 only after recreations) while FtDirCMP keeps")
+	fmt.Println("serial numbers in the MSHR only; and recreation is a centralized,")
+	fmt.Println("whole-line process where FtDirCMP just reissues one request.")
+	return nil
+}
+
+// figure5 is an analysis beyond the paper's figures: the miss-latency
+// distribution as a function of the fault rate. It makes the paper's
+// §4.2 claim mechanistically visible — faults do not slow every miss
+// down, they add a tail of misses bounded by the detection timeouts.
+func (e *experiments) figure5() error {
+	fmt.Println("Figure 5 (extra analysis). Miss latency distribution vs fault rate")
+	fmt.Println("(uniform workload; latencies in cycles; pXX are bucketed upper bounds).")
+	fmt.Println()
+	fmt.Printf("%8s %12s %10s %8s %8s %8s %10s %10s\n",
+		"rate/M", "misses", "mean", "p50", "p95", "p99", "max", "reissues")
+	results, err := repro.FaultSweep(e.config(), "uniform", faultRates)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%8d %12d %10.1f %8d %8d %8d %10d %10d\n",
+			r.FaultRatePerMillion, r.ReadMisses+r.WriteMisses, r.AvgMissLatency,
+			r.MissLatencyP50, r.MissLatencyP95, r.MissLatencyP99,
+			r.MissLatencyMax, r.RequestsReissued)
+	}
+	fmt.Println("\nReading the table: the median miss is unaffected by faults; the")
+	fmt.Println("p99/max tail grows to roughly the lost-request timeout plus the")
+	fmt.Println("retried round trip, exactly the paper's detection-latency argument.")
+	return nil
+}
+
+// figure1 stages the paper's Figure 1 transaction — a cache-to-cache write
+// miss with ownership change — under both protocols and prints the
+// resulting message sequences.
+func (e *experiments) figure1() error {
+	fmt.Println("Figure 1. How FtDirCMP performs cache-to-cache transfers (vs DirCMP).")
+	fmt.Println("Scenario: L1b (tile 1) holds the line modified; L1a (tile 0) requests")
+	fmt.Println("write access. FtDirCMP adds the AckO/AckBD ownership handshake.")
+	for _, p := range []system.Protocol{system.DirCMP, system.FtDirCMP} {
+		seq, err := stageOwnershipChange(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\n%s", p, seq)
+	}
+	return nil
+}
+
+// stageOwnershipChange runs the scripted two-cache transaction and returns
+// the traced message sequence for the line.
+func stageOwnershipChange(p system.Protocol) (string, error) {
+	cfg := system.DefaultConfig()
+	cfg.Protocol = p
+	cfg.MeshWidth = 2
+	cfg.MeshHeight = 2
+	cfg.Mems = 1
+	ring := trace.NewRing(64)
+	const addr = 0x40
+	cfg.Trace = ring
+	s, err := system.New(cfg)
+	if err != nil {
+		return "", err
+	}
+	ports := s.Ports()
+
+	// Phase 1 (not traced as part of the figure): L1b acquires the line in
+	// a modifiable state.
+	phase1 := make(chan struct{}, 1)
+	ports[1].Write(addr, 0xb0b, func(proto.AccessResult) { phase1 <- struct{}{} })
+	if err := s.Engine().Run(0); err != nil {
+		return "", err
+	}
+	select {
+	case <-phase1:
+	default:
+		return "", fmt.Errorf("setup write did not complete")
+	}
+
+	// Phase 2: the traced transaction — L1a requests write access.
+	ring.SetFilter(addr)
+	ring.Reset()
+	ports[0].Write(addr, 0xa0a, func(proto.AccessResult) {})
+	if err := s.Engine().Run(0); err != nil {
+		return "", err
+	}
+	return ring.Dump(), nil
+}
+
+// figure2 demonstrates the request-serial-number mechanism (§3.5): under
+// heavy loss, reissued requests race with late responses, and the stale
+// responses are discarded instead of corrupting coherence.
+func (e *experiments) figure2() error {
+	fmt.Println("Figure 2. Request serial numbers discard responses to superseded")
+	fmt.Println("request attempts, preventing the paper's incoherence scenario.")
+	cfg := e.config()
+	cfg.Protocol = repro.FtDirCMP
+	cfg.FaultRatePerMillion = 20000
+	cfg.FaultSeed = 3
+	res, err := repro.Run(cfg, "hotspot")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n  messages lost:               %d\n", res.Dropped)
+	fmt.Printf("  requests reissued:           %d\n", res.RequestsReissued)
+	fmt.Printf("  stale responses discarded:   %d\n", res.StaleSNDiscarded)
+	fmt.Printf("  false-positive timeouts:     %d\n", res.FalsePositives)
+	fmt.Println("  data-integrity + coherence checks: PASSED (enforced by Run)")
+	return nil
+}
+
+// figure3 reproduces the execution-time sweep: FtDirCMP at several fault
+// rates, normalized to fault-free DirCMP, per workload.
+func (e *experiments) figure3() error {
+	fmt.Println("Figure 3. FtDirCMP execution time under faults, normalized to DirCMP")
+	fmt.Println("(rows: workloads; columns: messages lost per million).")
+	fmt.Println()
+
+	header := fmt.Sprintf("%-12s", "workload")
+	for _, r := range faultRates {
+		header += fmt.Sprintf(" %9s", fmt.Sprintf("Ft-%d", r))
+	}
+	fmt.Println(header)
+
+	sums := make([]float64, len(faultRates))
+	count := 0
+	for _, name := range repro.Workloads() {
+		base, err := repro.Run(withProtocol(e.config(), repro.DirCMP), name)
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", name, err)
+		}
+		sweep, err := repro.FaultSweep(e.config(), name, faultRates)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		row := fmt.Sprintf("%-12s", name)
+		for i, res := range sweep {
+			ratio := res.TimeOverheadVs(base)
+			sums[i] += ratio
+			row += fmt.Sprintf(" %9.3f", ratio)
+		}
+		count++
+		fmt.Println(row)
+	}
+	row := fmt.Sprintf("%-12s", "average")
+	for i := range faultRates {
+		row += fmt.Sprintf(" %9.3f", sums[i]/float64(count))
+	}
+	fmt.Println(row)
+	return nil
+}
+
+// figure4 reproduces the fault-free network-overhead breakdown: FtDirCMP
+// traffic relative to DirCMP, in messages and bytes, by category.
+func (e *experiments) figure4() error {
+	fmt.Println("Figure 4. Network overhead of FtDirCMP compared to DirCMP without")
+	fmt.Println("faults (per workload; categories normalized to the DirCMP total).")
+	fmt.Println()
+
+	cats := []string{"request", "response", "coherence", "unblock", "writeback", "ownership", "ping"}
+	for _, unit := range []string{"messages", "bytes"} {
+		fmt.Printf("-- relative number of %s --\n", unit)
+		header := fmt.Sprintf("%-12s %9s", "workload", "total")
+		for _, c := range cats {
+			header += fmt.Sprintf(" %10s", c)
+		}
+		fmt.Println(header)
+		var sumTotal float64
+		var n int
+		for _, name := range repro.Workloads() {
+			dir, ft, err := repro.Compare(e.config(), name)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			var base float64
+			var ftCats map[string]uint64
+			var total float64
+			if unit == "messages" {
+				base = float64(dir.Messages)
+				ftCats = ft.MessagesByCategory
+				total = ft.MessageOverheadVs(dir)
+			} else {
+				base = float64(dir.Bytes)
+				ftCats = ft.BytesByCategory
+				total = ft.ByteOverheadVs(dir)
+			}
+			row := fmt.Sprintf("%-12s %9.3f", name, total)
+			for _, c := range cats {
+				row += fmt.Sprintf(" %10.3f", float64(ftCats[c])/base)
+			}
+			fmt.Println(row)
+			sumTotal += total
+			n++
+		}
+		fmt.Printf("%-12s %9.3f\n\n", "average", sumTotal/float64(n))
+	}
+	fmt.Println(strings.TrimSpace(`
+The paper's observation to verify: the message overhead comes almost
+entirely from the "ownership" category (AckO/AckBD), and the byte overhead
+is much smaller than the message overhead because those acknowledgments
+are small control messages.`))
+	return nil
+}
+
+func withProtocol(cfg repro.Config, p repro.Protocol) repro.Config {
+	cfg.Protocol = p
+	cfg.FaultRatePerMillion = 0
+	return cfg
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+// jsonReport is the machine-readable form of the experiment sweeps,
+// written by `ftexp -json=<file>`. Field names are stable: downstream
+// plotting scripts depend on them.
+type jsonReport struct {
+	Config  repro.Config      `json:"config"`
+	Figure3 []fig3Row         `json:"figure3"`
+	Figure4 []fig4Row         `json:"figure4"`
+	Rates   []int             `json:"faultRatesPerMillion"`
+	Notes   map[string]string `json:"notes"`
+}
+
+type fig3Row struct {
+	Workload       string    `json:"workload"`
+	BaselineCycles uint64    `json:"baselineCycles"`
+	Normalized     []float64 `json:"normalizedTime"`
+	Dropped        []uint64  `json:"dropped"`
+	Reissued       []uint64  `json:"reissued"`
+}
+
+type fig4Row struct {
+	Workload        string             `json:"workload"`
+	MessageOverhead float64            `json:"messageOverhead"`
+	ByteOverhead    float64            `json:"byteOverhead"`
+	MessagesByCat   map[string]float64 `json:"messagesByCategoryRelative"`
+	BytesByCat      map[string]float64 `json:"bytesByCategoryRelative"`
+}
+
+// buildJSONReport runs both sweeps and collects the results.
+func (e *experiments) buildJSONReport() (*jsonReport, error) {
+	cfg := e.config()
+	rep := &jsonReport{
+		Config: cfg,
+		Rates:  faultRates,
+		Notes: map[string]string{
+			"normalizedTime":  "FtDirCMP execution time divided by fault-free DirCMP on the same workload",
+			"messageOverhead": "FtDirCMP fault-free messages divided by DirCMP messages",
+			"byteOverhead":    "FtDirCMP fault-free bytes divided by DirCMP bytes",
+		},
+	}
+	for _, name := range repro.Workloads() {
+		base, err := repro.Run(withProtocol(cfg, repro.DirCMP), name)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", name, err)
+		}
+		sweep, err := repro.FaultSweep(cfg, name, faultRates)
+		if err != nil {
+			return nil, fmt.Errorf("%s sweep: %w", name, err)
+		}
+		row := fig3Row{Workload: name, BaselineCycles: base.Cycles}
+		for _, res := range sweep {
+			row.Normalized = append(row.Normalized, res.TimeOverheadVs(base))
+			row.Dropped = append(row.Dropped, res.Dropped)
+			row.Reissued = append(row.Reissued, res.RequestsReissued)
+		}
+		rep.Figure3 = append(rep.Figure3, row)
+
+		ft := sweep[0] // rate 0 = the fault-free FtDirCMP run
+		f4 := fig4Row{
+			Workload:        name,
+			MessageOverhead: ft.MessageOverheadVs(base),
+			ByteOverhead:    ft.ByteOverheadVs(base),
+			MessagesByCat:   make(map[string]float64),
+			BytesByCat:      make(map[string]float64),
+		}
+		for cat, n := range ft.MessagesByCategory {
+			f4.MessagesByCat[cat] = float64(n) / float64(base.Messages)
+		}
+		for cat, n := range ft.BytesByCategory {
+			f4.BytesByCat[cat] = float64(n) / float64(base.Bytes)
+		}
+		rep.Figure4 = append(rep.Figure4, f4)
+	}
+	return rep, nil
+}
+
+// writeJSON runs the sweeps and writes the report to path.
+func (e *experiments) writeJSON(path string) error {
+	rep, err := e.buildJSONReport()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

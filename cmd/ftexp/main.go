@@ -1,0 +1,74 @@
+// Command ftexp regenerates the paper's tables and figures:
+//
+//	ftexp -table=1        message types used by DirCMP
+//	ftexp -table=2        new message types for FtDirCMP
+//	ftexp -table=3        fault-detection timeout summary
+//	ftexp -table=4        simulated system configuration
+//	ftexp -fig=1          ownership-change transaction, DirCMP vs FtDirCMP
+//	ftexp -fig=2          request serial numbers discarding stale responses
+//	ftexp -fig=3          execution time vs fault rate (normalized to DirCMP)
+//	ftexp -fig=4          network overhead of FtDirCMP, by message category
+//	ftexp -fig=5          (extra) miss-latency distribution vs fault rate
+//	ftexp -fig=6          (extra) the §5 FtDirCMP-vs-FtTokenCMP comparison
+//	ftexp -json=out.json  machine-readable figure 3/4 sweeps
+//	ftexp -all            everything
+//
+// Use -quick for a scaled-down (2x2 tiles) sweep and -ops to change the
+// run length. The absolute numbers depend on the synthetic workloads (see
+// DESIGN.md §3/§4); the shapes reproduce the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table    = flag.Int("table", 0, "print paper table 1-4")
+		fig      = flag.Int("fig", 0, "reproduce paper figure 1-4")
+		all      = flag.Bool("all", false, "run everything")
+		quick    = flag.Bool("quick", false, "scaled-down sweep (2x2 tiles)")
+		ops      = flag.Int("ops", 0, "operations per core (0 = default)")
+		jsonPath = flag.String("json", "", "write the figure 3/4 sweeps as JSON to this file")
+	)
+	flag.Parse()
+
+	e := &experiments{quick: *quick, ops: *ops}
+
+	if *jsonPath != "" {
+		return e.writeJSON(*jsonPath)
+	}
+
+	if *all {
+		for i := 1; i <= 4; i++ {
+			if err := e.table(i); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		for i := 1; i <= 6; i++ {
+			if err := e.figure(i); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	if *table != 0 {
+		return e.table(*table)
+	}
+	if *fig != 0 {
+		return e.figure(*fig)
+	}
+	flag.Usage()
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command fttrace runs a simulation while recording the coherence message
+// flow, then prints it — optionally filtered to one cache line — for
+// debugging and for studying the protocols' behaviour.
+//
+// Examples:
+//
+//	fttrace -workload=migratory -addr=0x40 -last=60
+//	fttrace -protocol=dircmp -workload=producer -last=40
+//	fttrace -workload=uniform -faults=5000 -addr=0x1000
+//
+// Node numbering in the output: L1 caches are 1..T, L2 banks T+1..2T,
+// memory controllers 2T+1.. (T = tile count).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/msg"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protocol = flag.String("protocol", "ftdircmp", "protocol: dircmp, ftdircmp, tokencmp or fttokencmp")
+		wname    = flag.String("workload", "uniform", "workload name")
+		ops      = flag.Int("ops", 300, "operations per core")
+		tiles    = flag.Int("tiles", 2, "mesh width and height")
+		faults   = flag.Int("faults", 0, "messages lost per million")
+		seed     = flag.Uint64("seed", 1, "seed")
+		addr     = flag.Uint64("addr", 0, "record only this line address (0 = all)")
+		last     = flag.Int("last", 80, "how many trailing events to print")
+	)
+	flag.Parse()
+
+	cfg := system.DefaultConfig()
+	switch strings.ToLower(*protocol) {
+	case "dircmp":
+		cfg.Protocol = system.DirCMP
+	case "ftdircmp":
+		cfg.Protocol = system.FtDirCMP
+	case "tokencmp":
+		cfg.Protocol = system.TokenCMP
+	case "fttokencmp":
+		cfg.Protocol = system.FtTokenCMP
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	cfg.MeshWidth = *tiles
+	cfg.MeshHeight = *tiles
+	cfg.Mems = 2
+	cfg.OpsPerCore = *ops
+	cfg.Seed = *seed
+	if *faults > 0 {
+		cfg.Injector = fault.NewRate(*faults, *seed*101)
+	}
+
+	ring := trace.NewRing(*last)
+	if *addr != 0 {
+		ring.SetFilter(msg.Addr(*addr))
+	}
+	cfg.Trace = ring
+
+	s, err := system.New(cfg)
+	if err != nil {
+		return err
+	}
+	w, err := workload.ByName(*wname)
+	if err != nil {
+		return err
+	}
+	run, runErr := s.Run(w)
+	fmt.Print(ring.Dump())
+	fmt.Printf("\n%d cycles, %d messages total", run.Cycles, run.Net.TotalMessages())
+	if *addr != 0 {
+		fmt.Printf(" (trace filtered to addr %#x)", *addr)
+	}
+	fmt.Println()
+	if runErr != nil {
+		fmt.Println("run ended with:", runErr)
+		fmt.Print(s.DumpStuck())
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Migratory demonstrates the migratory-sharing optimization (paper §2) on
+// a read-modify-write workload: with the optimization, the directory
+// detects the read-then-write pattern and grants exclusive ownership on
+// the read, halving the coherence transactions per counter update. It also
+// shows that FtDirCMP preserves the optimization's benefit while adding
+// the ownership-transfer handshake.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "migratory:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Printf("%-10s %-9s %12s %12s %12s %12s\n",
+		"protocol", "migr-opt", "cycles", "missLat", "migrGrants", "messages")
+	for _, p := range []repro.Protocol{repro.DirCMP, repro.FtDirCMP} {
+		for _, opt := range []bool{false, true} {
+			cfg := repro.DefaultConfig()
+			cfg.Protocol = p
+			cfg.MigratoryOpt = opt
+			cfg.OpsPerCore = 2000
+			res, err := repro.Run(cfg, "migratory")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-9t %12d %12.1f %12d %12d\n",
+				p, opt, res.Cycles, res.AvgMissLatency, res.MigratoryGrants, res.Messages)
+		}
+	}
+	fmt.Println("\nWith the optimization the reader receives ownership immediately,")
+	fmt.Println("so the following write hits locally instead of re-visiting the")
+	fmt.Println("directory — fewer misses, fewer messages, lower execution time.")
+	return nil
+}

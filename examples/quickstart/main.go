@@ -1,0 +1,31 @@
+// Quickstart: simulate the paper's 16-tile CMP running FtDirCMP on a
+// mixed read/write workload with a lossy network, and print the measured
+// statistics. This is the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	// Start from the paper's Table 4 system.
+	cfg := repro.DefaultConfig()
+
+	// Lose 250 messages per million to transient faults.
+	cfg.FaultRatePerMillion = 250
+	cfg.FaultSeed = 42
+
+	res, err := repro.Run(cfg, "uniform")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(res.ReportText)
+	fmt.Printf("\nThe protocol recovered from %d lost messages with %d request reissues\n",
+		res.Dropped, res.RequestsReissued)
+	fmt.Println("while every coherence and data-integrity invariant held.")
+}

@@ -1,0 +1,53 @@
+// Tuning is the timeout-length ablation the paper discusses in §4.2:
+// shorter fault-detection timeouts recover from losses faster (lower
+// execution time under faults) but risk false positives — reissues for
+// responses that were merely slow — which waste traffic and, if far too
+// short, hurt even the fault-free case.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tuning:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	timeouts := []uint64{200, 500, 1000, 2000, 4000, 8000}
+
+	for _, rate := range []int{0, 2000} {
+		fmt.Printf("-- fault rate %d per million --\n", rate)
+		fmt.Printf("%9s %12s %10s %10s %10s %10s\n",
+			"timeout", "cycles", "reissues", "falsepos", "staleSN", "messages")
+		for _, to := range timeouts {
+			cfg := repro.DefaultConfig()
+			cfg.OpsPerCore = 1000
+			cfg.LostRequestTimeout = to
+			cfg.LostUnblockTimeout = to + to/2
+			cfg.LostAckBDTimeout = to + to/2
+			cfg.BackupTimeout = 2 * to
+			cfg.FaultRatePerMillion = rate
+			cfg.FaultSeed = 11
+			res, err := repro.Run(cfg, "uniform")
+			if err != nil {
+				return fmt.Errorf("timeout %d: %w", to, err)
+			}
+			fmt.Printf("%9d %12d %10d %10d %10d %10d\n",
+				to, res.Cycles, res.RequestsReissued, res.FalsePositives,
+				res.StaleSNDiscarded, res.Messages)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the table: under faults, shorter timeouts detect losses")
+	fmt.Println("sooner (lower cycles); but very short timeouts fire before slow")
+	fmt.Println("responses arrive, producing false positives and extra traffic even")
+	fmt.Println("when nothing was lost.")
+	return nil
+}

@@ -1,0 +1,37 @@
+package cache
+
+import "math/bits"
+
+// Bitset is a small sharer set keyed by a dense index (0..63). The L2
+// directory uses it to track which L1 caches hold a copy of a line; 64
+// positions comfortably cover the 16-tile configuration and anything we
+// simulate.
+type Bitset uint64
+
+// Add sets bit i.
+func (b *Bitset) Add(i int) { *b |= 1 << uint(i) }
+
+// Remove clears bit i.
+func (b *Bitset) Remove(i int) { *b &^= 1 << uint(i) }
+
+// Contains reports whether bit i is set.
+func (b Bitset) Contains(i int) bool { return b&(1<<uint(i)) != 0 }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Empty reports whether no bits are set.
+func (b Bitset) Empty() bool { return b == 0 }
+
+// Clear removes all bits.
+func (b *Bitset) Clear() { *b = 0 }
+
+// ForEach calls fn for every set bit in ascending order.
+func (b Bitset) ForEach(fn func(i int)) {
+	v := uint64(b)
+	for v != 0 {
+		i := bits.TrailingZeros64(v)
+		fn(i)
+		v &= v - 1
+	}
+}

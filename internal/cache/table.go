@@ -1,0 +1,67 @@
+package cache
+
+import "repro/internal/msg"
+
+// Table is a bounded address-indexed table with protocol-defined entries.
+// It backs MSHRs, writeback buffers and backup buffers. A capacity of 0
+// means unbounded.
+type Table[E any] struct {
+	entries  map[msg.Addr]*E
+	capacity int
+	peak     int
+}
+
+// NewTable returns a table holding at most capacity entries (0 = unbounded).
+func NewTable[E any](capacity int) *Table[E] {
+	return &Table[E]{
+		entries:  make(map[msg.Addr]*E, capacity),
+		capacity: capacity,
+	}
+}
+
+// Get returns the entry for addr, or nil.
+func (t *Table[E]) Get(addr msg.Addr) *E {
+	return t.entries[addr]
+}
+
+// Alloc creates an entry for addr. It returns nil when the table is full or
+// the address already has an entry (callers must check Get first when
+// merging is intended).
+func (t *Table[E]) Alloc(addr msg.Addr) *E {
+	if _, dup := t.entries[addr]; dup {
+		return nil
+	}
+	if t.capacity > 0 && len(t.entries) >= t.capacity {
+		return nil
+	}
+	e := new(E)
+	t.entries[addr] = e
+	if len(t.entries) > t.peak {
+		t.peak = len(t.entries)
+	}
+	return e
+}
+
+// Free removes the entry for addr.
+func (t *Table[E]) Free(addr msg.Addr) {
+	delete(t.entries, addr)
+}
+
+// Len returns the number of live entries.
+func (t *Table[E]) Len() int { return len(t.entries) }
+
+// Peak returns the maximum occupancy observed (hardware sizing statistic).
+func (t *Table[E]) Peak() int { return t.peak }
+
+// Full reports whether Alloc would fail for a new address.
+func (t *Table[E]) Full() bool {
+	return t.capacity > 0 && len(t.entries) >= t.capacity
+}
+
+// ForEach visits every entry. Iteration order is unspecified; callers that
+// need determinism must not derive simulation behaviour from the order.
+func (t *Table[E]) ForEach(fn func(addr msg.Addr, e *E)) {
+	for a, e := range t.entries {
+		fn(a, e)
+	}
+}

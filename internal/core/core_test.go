@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func TestStateHelpers(t *testing.T) {
+	if !ownerState(StateM) || !ownerState(StateE) || !ownerState(StateO) || ownerState(StateS) {
+		t.Fatal("ownerState wrong")
+	}
+	if !writableState(StateM) || !writableState(StateE) || writableState(StateO) || writableState(StateS) {
+		t.Fatal("writableState wrong")
+	}
+	if permOf(StateS) != proto.PermRead || permOf(StateO) != proto.PermRead {
+		t.Fatal("read permissions wrong")
+	}
+	if permOf(StateE) != proto.PermWrite || permOf(StateM) != proto.PermWrite {
+		t.Fatal("write permissions wrong")
+	}
+	if permOf(0) != proto.PermNone {
+		t.Fatal("invalid state has permissions")
+	}
+	for _, s := range []int{StateS, StateE, StateM, StateO, 99} {
+		if stateName(s) == "" {
+			t.Fatalf("stateName(%d) empty", s)
+		}
+	}
+}

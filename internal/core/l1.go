@@ -1,0 +1,851 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// l1Miss is an FtDirCMP L1 MSHR entry. Besides the baseline bookkeeping it
+// carries the request serial number and the lost-request timer.
+type l1Miss struct {
+	write    bool
+	value    uint64
+	issuedAt uint64
+
+	sn msg.SerialNumber
+	// snHistory lists every serial number this miss has used (initial plus
+	// reissues). Drawing each attempt from the node's wrapping counter
+	// keeps serial numbers unique per node across a full counter period,
+	// which the paper requires per address (§3.5); the history lets the
+	// UnblockPing handler decide whether a ping refers to this miss or to
+	// an earlier, already-satisfied transaction on the same line.
+	snHistory []msg.SerialNumber
+	reqType   msg.Type
+	timer     *sim.Timer
+	attempts  int
+
+	dataArrived   bool
+	exclusive     bool
+	dirty         bool
+	noPayload     bool
+	payload       msg.Payload
+	dataFrom      msg.NodeID
+	ackCountKnown bool
+	needAcks      int
+	acksSeen      int
+
+	done    func(proto.AccessResult)
+	waiters []func()
+}
+
+// usedSN reports whether this miss has used sn in any of its attempts.
+func (e *l1Miss) usedSN(sn msg.SerialNumber) bool {
+	for _, s := range e.snHistory {
+		if s == sn {
+			return true
+		}
+	}
+	return false
+}
+
+// l1WB is a writeback-buffer entry. Until the WbData is sent it holds the
+// owned data (Put outstanding, lost-request timer running); after sending
+// WbData it becomes a backup copy guarded by the backup timer until the
+// L2's AckO arrives.
+type l1WB struct {
+	payload msg.Payload
+	dirty   bool
+	sn      msg.SerialNumber
+
+	transferred bool // ownership answered a forwarded request instead
+	sentData    bool // WbData sent; this entry is now a backup
+	attempts    int
+
+	putTimer    *sim.Timer
+	backupTimer *sim.Timer
+	waiters     []func()
+}
+
+// backupEntry is a backup copy kept after sending owned data to another L1
+// (§3.1): retained until the new owner's AckO arrives, able to resend the
+// data if the receiver reissues its request.
+type backupEntry struct {
+	payload  msg.Payload
+	dirty    bool
+	dest     msg.NodeID
+	sn       msg.SerialNumber
+	ackCount int
+	timer    *sim.Timer
+}
+
+// blockedEntry marks a line in a blocked-ownership state (Mb/Eb/Ob): we
+// received owned data, sent the AckO, and may not transfer ownership until
+// the AckBD arrives. Forwarded requests received meanwhile are deferred.
+type blockedEntry struct {
+	ackOTo   msg.NodeID
+	sn       msg.SerialNumber
+	piggy    bool // the AckO rides the UnblockEx to the home L2
+	timer    *sim.Timer
+	deferred map[msg.NodeID]*msg.Message
+}
+
+// L1 is an FtDirCMP level-1 cache controller.
+type L1 struct {
+	id     msg.NodeID
+	topo   proto.Topology
+	params proto.Params
+	engine *sim.Engine
+	net    proto.Sender
+	run    *stats.Run
+
+	array   *cache.Array
+	mshr    *cache.Table[l1Miss]
+	wb      *cache.Table[l1WB]
+	backups *cache.Table[backupEntry]
+	blocked map[msg.Addr]*blockedEntry
+	serial  *msg.SerialSpace
+	onWrite proto.WriteObserver
+}
+
+var _ proto.L1Port = (*L1)(nil)
+var _ proto.Inspectable = (*L1)(nil)
+
+// NewL1 builds an FtDirCMP L1 controller. onWrite may be nil.
+func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.Engine,
+	net proto.Sender, run *stats.Run, onWrite proto.WriteObserver) (*L1, error) {
+	arr, err := cache.NewArray(params.L1Size, params.L1Ways, params.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &L1{
+		id:      id,
+		topo:    topo,
+		params:  params,
+		engine:  engine,
+		net:     net,
+		run:     run,
+		array:   arr,
+		mshr:    cache.NewTable[l1Miss](params.MSHRs),
+		wb:      cache.NewTable[l1WB](0),
+		backups: cache.NewTable[backupEntry](0),
+		blocked: make(map[msg.Addr]*blockedEntry),
+		serial:  msg.NewSerialSpace(params.SerialBits),
+		onWrite: onWrite,
+	}, nil
+}
+
+// NodeID implements proto.Inspectable.
+func (l *L1) NodeID() msg.NodeID { return l.id }
+
+// Quiesced implements proto.L1Port: no misses, writebacks, backups or
+// ownership handshakes in flight.
+func (l *L1) Quiesced() bool {
+	return l.mshr.Len() == 0 && l.wb.Len() == 0 && l.backups.Len() == 0 && len(l.blocked) == 0
+}
+
+// Read implements proto.L1Port.
+func (l *L1) Read(addr msg.Addr, done func(proto.AccessResult)) {
+	addr = l.topo.LineAddr(addr)
+	if line := l.array.Lookup(addr); line != nil && l.mshr.Get(addr) == nil {
+		l.array.Touch(line)
+		l.run.Proto.ReadHits++
+		res := proto.AccessResult{
+			Hit:     true,
+			Value:   line.Payload.Value,
+			Version: line.Payload.Version,
+			Latency: l.params.L1HitLatency,
+		}
+		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		return
+	}
+	if l.defer_(addr, func() { l.Read(addr, done) }) {
+		return
+	}
+	l.run.Proto.ReadMisses++
+	l.startMiss(addr, false, 0, done)
+}
+
+// Write implements proto.L1Port.
+func (l *L1) Write(addr msg.Addr, value uint64, done func(proto.AccessResult)) {
+	addr = l.topo.LineAddr(addr)
+	if line := l.array.Lookup(addr); line != nil && l.mshr.Get(addr) == nil && writableState(line.State) {
+		l.array.Touch(line)
+		if line.State == StateE {
+			line.State = StateM
+		}
+		line.Dirty = true
+		line.Payload.Value = value
+		line.Payload.Version++
+		if l.onWrite != nil {
+			l.onWrite(addr, line.Payload.Version, value)
+		}
+		l.run.Proto.WriteHits++
+		res := proto.AccessResult{
+			Hit:     true,
+			Value:   value,
+			Version: line.Payload.Version,
+			Latency: l.params.L1HitLatency,
+		}
+		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		return
+	}
+	if l.defer_(addr, func() { l.Write(addr, value, done) }) {
+		return
+	}
+	l.run.Proto.WriteMisses++
+	l.startMiss(addr, true, value, done)
+}
+
+func (l *L1) defer_(addr msg.Addr, retry func()) bool {
+	if e := l.mshr.Get(addr); e != nil {
+		e.waiters = append(e.waiters, retry)
+		return true
+	}
+	if w := l.wb.Get(addr); w != nil {
+		w.waiters = append(w.waiters, retry)
+		return true
+	}
+	return false
+}
+
+// startMiss allocates an MSHR, picks a serial number and issues the
+// request, arming the lost-request timeout.
+func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.AccessResult)) {
+	e := l.mshr.Alloc(addr)
+	if e == nil {
+		l.engine.Schedule(1, func() {
+			if write {
+				l.Write(addr, value, done)
+			} else {
+				l.Read(addr, done)
+			}
+		})
+		return
+	}
+	e.write = write
+	e.value = value
+	e.issuedAt = l.engine.Now()
+	e.done = done
+	e.sn = l.serial.Next()
+	e.snHistory = append(e.snHistory, e.sn)
+	e.reqType = msg.GetS
+	if write {
+		e.reqType = msg.GetX
+	}
+	e.timer = sim.NewTimer(l.engine)
+	l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn})
+	l.armLostRequest(addr, e)
+}
+
+// armLostRequest starts (or restarts) the lost-request timeout: when it
+// fires, the request is reissued with a new serial number (§3.2).
+func (l *L1) armLostRequest(addr msg.Addr, e *l1Miss) {
+	e.timer.Start(sim.Backoff(l.params.LostRequestTimeout, e.attempts), func() {
+		if l.mshr.Get(addr) != e {
+			return
+		}
+		l.run.Proto.LostRequestTimeouts++
+		l.run.Proto.RequestsReissued++
+		e.attempts++
+		e.sn = l.serial.Next()
+		if len(e.snHistory) < l.serial.Width() {
+			e.snHistory = append(e.snHistory, e.sn)
+		}
+		// Responses to the old attempt will be discarded by serial number;
+		// restart this attempt's bookkeeping from scratch.
+		e.dataArrived = false
+		e.exclusive = false
+		e.noPayload = false
+		e.ackCountKnown = false
+		e.needAcks = 0
+		e.acksSeen = 0
+		l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn})
+		l.armLostRequest(addr, e)
+	})
+}
+
+// Handle processes a delivered network message.
+func (l *L1) Handle(m *msg.Message) {
+	switch m.Type {
+	case msg.Data:
+		l.handleData(m, false)
+	case msg.DataEx:
+		l.handleData(m, true)
+	case msg.Ack:
+		l.handleAck(m)
+	case msg.Inv:
+		l.handleInv(m)
+	case msg.GetS, msg.GetX:
+		l.handleFwd(m)
+	case msg.WbAck:
+		l.handleWbAck(m)
+	case msg.AckO:
+		l.handleAckO(m)
+	case msg.AckBD:
+		l.handleAckBD(m)
+	case msg.UnblockPing:
+		l.handleUnblockPing(m)
+	case msg.WbPing:
+		l.handleWbPing(m)
+	case msg.OwnershipPing:
+		l.handleOwnershipPing(m)
+	case msg.NackO:
+		l.handleNackO(m)
+	default:
+		protocolPanic("L1 %d received unexpected %v", l.id, m)
+	}
+}
+
+func (l *L1) handleData(m *msg.Message, exclusive bool) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil || m.SN != e.sn {
+		l.stale(e != nil)
+		return
+	}
+	e.dataArrived = true
+	e.exclusive = exclusive
+	e.dirty = m.Dirty
+	e.noPayload = m.NoPayload
+	e.dataFrom = m.Src
+	if !m.NoPayload {
+		e.payload = m.Payload
+	}
+	if exclusive {
+		e.ackCountKnown = true
+		e.needAcks = m.AckCount
+	}
+	l.tryComplete(m.Addr, e)
+}
+
+func (l *L1) handleAck(m *msg.Message) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil || m.SN != e.sn {
+		l.stale(e != nil)
+		return
+	}
+	e.acksSeen++
+	l.tryComplete(m.Addr, e)
+}
+
+// handleInv drops a shared copy. Owned lines are never invalidated this way
+// (a stale Inv from a superseded attempt must not destroy the only copy);
+// the Ack is always sent and carries the Inv's serial number so the
+// requester can discard it if it belongs to an old attempt.
+func (l *L1) handleInv(m *msg.Message) {
+	if line := l.array.Lookup(m.Addr); line != nil && !ownerState(line.State) {
+		line.Valid = false
+	}
+	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, SN: m.SN})
+}
+
+// handleFwd serves a request forwarded by the directory. Ownership leaves
+// this cache on GetX and migratory GetS, creating a backup; plain GetS
+// degrades M/E to O and keeps ownership here.
+func (l *L1) handleFwd(m *msg.Message) {
+	addr := m.Addr
+	if b := l.blocked[addr]; b != nil {
+		// Blocked ownership: we may not transfer the line until the AckBD
+		// arrives; remember the newest forward per requester.
+		if b.deferred == nil {
+			b.deferred = make(map[msg.NodeID]*msg.Message, 1)
+		}
+		b.deferred[m.Requestor] = m
+		return
+	}
+
+	transfer := m.Type == msg.GetX || m.Migratory
+
+	if line := l.array.Lookup(addr); line != nil && ownerState(line.State) {
+		l.run.Proto.CacheToCacheTransfers++
+		if !transfer {
+			line.State = StateO
+			l.send(&msg.Message{
+				Type: msg.Data, Dst: m.Requestor, Addr: addr, SN: m.SN,
+				Payload: line.Payload, Dirty: line.Dirty,
+			})
+			return
+		}
+		l.sendOwned(addr, m, line.Payload, line.Dirty || line.State == StateM)
+		line.Valid = false
+		return
+	}
+
+	if w := l.wb.Get(addr); w != nil && !w.transferred && !w.sentData {
+		// Put outstanding: the data still lives in the writeback buffer.
+		l.run.Proto.CacheToCacheTransfers++
+		if !transfer {
+			// Serve the read but keep ownership (the eventual WbData will
+			// still carry the data to the L2).
+			l.send(&msg.Message{
+				Type: msg.Data, Dst: m.Requestor, Addr: addr, SN: m.SN,
+				Payload: w.payload, Dirty: w.dirty,
+			})
+			return
+		}
+		w.transferred = true
+		l.sendOwned(addr, m, w.payload, w.dirty)
+		return
+	}
+
+	if b := l.backups.Get(addr); b != nil {
+		// We are the backup for this transfer; a reissued forward means the
+		// previous data message was lost (§3.2) — resend with the new
+		// serial number.
+		if m.Requestor == b.dest {
+			b.sn = m.SN
+			b.ackCount = m.AckCount
+			l.send(&msg.Message{
+				Type: msg.DataEx, Dst: b.dest, Addr: addr, SN: b.sn,
+				Payload: b.payload, Dirty: true, AckCount: b.ackCount,
+			})
+			l.armBackup(addr, b)
+			return
+		}
+		l.stale(false)
+		return
+	}
+
+	// The transfer already completed (our backup was deleted after the
+	// receiver's AckO): this forward is a stale duplicate.
+	l.stale(false)
+}
+
+// sendOwned transmits owned data in response to a forwarded request and
+// installs the backup entry that guards the transfer.
+func (l *L1) sendOwned(addr msg.Addr, m *msg.Message, payload msg.Payload, dirty bool) {
+	b := l.backups.Get(addr)
+	if b == nil {
+		b = l.backups.Alloc(addr)
+		b.timer = sim.NewTimer(l.engine)
+	}
+	b.payload = payload
+	b.dirty = dirty
+	b.dest = m.Requestor
+	b.sn = m.SN
+	b.ackCount = m.AckCount
+	l.send(&msg.Message{
+		Type: msg.DataEx, Dst: b.dest, Addr: addr, SN: b.sn,
+		Payload: payload, Dirty: true, AckCount: b.ackCount,
+	})
+	l.armBackup(addr, b)
+}
+
+// armBackup starts the backup timeout: a node stuck holding a backup pings
+// the receiver to learn whether the ownership transfer completed.
+func (l *L1) armBackup(addr msg.Addr, b *backupEntry) {
+	b.timer.Start(l.params.BackupTimeout, func() {
+		if l.backups.Get(addr) != b {
+			return
+		}
+		l.run.Proto.BackupTimeouts++
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: l.serial.Next()})
+		l.armBackup(addr, b)
+	})
+}
+
+// handleWbAck performs the second writeback phase. Sending WbData starts an
+// ownership transfer to the L2, so the entry becomes a backup until the
+// L2's AckO arrives.
+func (l *L1) handleWbAck(m *msg.Message) {
+	w := l.wb.Get(m.Addr)
+	if w == nil || w.sentData {
+		l.stale(false)
+		return
+	}
+	w.putTimer.Stop()
+	if m.WantData && !w.transferred {
+		l.sendWbData(m.Addr, w, m.SN)
+		return
+	}
+	l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	l.freeWB(m.Addr, w)
+}
+
+// sendWbData transmits the writeback data and arms the backup timer: the
+// entry is now the backup for an ownership transfer to the L2.
+func (l *L1) sendWbData(addr msg.Addr, w *l1WB, sn msg.SerialNumber) {
+	w.sentData = true
+	w.sn = sn
+	l.send(&msg.Message{
+		Type: msg.WbData, Dst: l.topo.HomeL2(addr), Addr: addr, SN: sn,
+		Payload: w.payload, Dirty: w.dirty,
+	})
+	if w.backupTimer == nil {
+		w.backupTimer = sim.NewTimer(l.engine)
+	}
+	l.armWbBackup(addr, w)
+}
+
+// armWbBackup pings the L2 if the AckO for our WbData never arrives.
+func (l *L1) armWbBackup(addr msg.Addr, w *l1WB) {
+	w.backupTimer.Start(l.params.BackupTimeout, func() {
+		if l.wb.Get(addr) != w {
+			return
+		}
+		l.run.Proto.BackupTimeouts++
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeL2(addr), Addr: addr, SN: l.serial.Next()})
+		l.armWbBackup(addr, w)
+	})
+}
+
+// handleAckO deletes our backup (the transfer completed) and returns the
+// backup deletion acknowledgment. A node with no backup answers AckBD
+// anyway: the AckO was a duplicate from a false-positive timeout (§3.4).
+func (l *L1) handleAckO(m *msg.Message) {
+	if b := l.backups.Get(m.Addr); b != nil && m.Src == b.dest {
+		b.timer.Stop()
+		l.backups.Free(m.Addr)
+		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		return
+	}
+	if w := l.wb.Get(m.Addr); w != nil && w.sentData {
+		l.freeWB(m.Addr, w)
+		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		return
+	}
+	l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+}
+
+// handleAckBD leaves the blocked-ownership state and replays any deferred
+// forwarded requests.
+func (l *L1) handleAckBD(m *msg.Message) {
+	b := l.blocked[m.Addr]
+	if b == nil {
+		l.stale(false)
+		return
+	}
+	if m.SN != b.sn {
+		// An AckBD answering a superseded AckO: discard (§3.4).
+		l.run.Proto.StaleSNDiscarded++
+		l.run.Proto.FalsePositives++
+		return
+	}
+	b.timer.Stop()
+	delete(l.blocked, m.Addr)
+	for _, fwd := range b.deferred {
+		fwd := fwd
+		l.engine.Schedule(0, func() { l.Handle(fwd) })
+	}
+}
+
+// handleUnblockPing re-sends the unblock for an already-satisfied miss; if
+// the miss is still in progress the ping is ignored (§3.3). A live MSHR for
+// the same address does not by itself mean the ping's miss is unresolved: a
+// later access may have started a new transaction (e.g. an upgrade after a
+// completed GetS whose Unblock was lost). The ping's serial number tells
+// the transactions apart: it refers to the current miss only if it falls in
+// the range of serial numbers this miss has used (§3.5).
+func (l *L1) handleUnblockPing(m *msg.Message) {
+	addr := m.Addr
+	if e := l.mshr.Get(addr); e != nil && e.usedSN(m.SN) {
+		return
+	}
+	home := l.topo.HomeL2(addr)
+	if b := l.blocked[addr]; b != nil && b.piggy {
+		// The original UnblockEx carried the AckO; the resend must too.
+		l.run.Proto.AcksOSent++
+		l.run.Proto.PiggybackedAcksO++
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: b.sn, PiggybackAckO: true})
+		return
+	}
+	line := l.array.Lookup(addr)
+	switch {
+	case line != nil && ownerState(line.State):
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: m.SN})
+	case line != nil:
+		l.send(&msg.Message{Type: msg.Unblock, Dst: home, Addr: addr, SN: m.SN})
+	case l.wb.Get(addr) != nil:
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: m.SN})
+	default:
+		// The only way the line can be gone without a trace is a silent
+		// eviction of a shared copy.
+		l.send(&msg.Message{Type: msg.Unblock, Dst: home, Addr: addr, SN: m.SN})
+	}
+}
+
+// handleWbPing answers the L2's query about a writeback in progress: resend
+// the data if we still have it, WbCancel if the writeback already finished
+// or ownership moved elsewhere (§3.3).
+func (l *L1) handleWbPing(m *msg.Message) {
+	w := l.wb.Get(m.Addr)
+	switch {
+	case w == nil:
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	case w.transferred:
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.freeWB(m.Addr, w)
+	case w.sentData:
+		w.sn = m.SN
+		l.send(&msg.Message{
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Payload: w.payload, Dirty: w.dirty,
+		})
+	default:
+		// Our Put's WbAck was lost; the ping proves the L2 is waiting for
+		// the data, so send it now.
+		w.putTimer.Stop()
+		l.sendWbData(m.Addr, w, m.SN)
+	}
+}
+
+// handleOwnershipPing confirms (AckO) or denies (NackO) that we received
+// ownership of the line, letting a stuck backup node make progress.
+func (l *L1) handleOwnershipPing(m *msg.Message) {
+	if b := l.blocked[m.Addr]; b != nil && b.ackOTo == m.Src {
+		l.run.Proto.AcksOSent++
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: b.sn})
+		return
+	}
+	if line := l.array.Lookup(m.Addr); line != nil && ownerState(line.State) {
+		l.run.Proto.AcksOSent++
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		return
+	}
+	l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+}
+
+// handleNackO restarts the backup timer: the receiver does not have the
+// data yet; recovery is driven by its own lost-request reissue.
+func (l *L1) handleNackO(m *msg.Message) {
+	if b := l.backups.Get(m.Addr); b != nil {
+		l.armBackup(m.Addr, b)
+	}
+}
+
+// tryComplete finishes the miss once data and acks are in.
+func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
+	if !e.dataArrived {
+		return
+	}
+	if e.ackCountKnown && e.acksSeen < e.needAcks {
+		return
+	}
+	if e.write && !e.ackCountKnown {
+		return
+	}
+
+	var state int
+	switch {
+	case e.write:
+		state = StateM
+	case e.exclusive && e.dirty:
+		state = StateM
+	case e.exclusive:
+		state = StateE
+	default:
+		state = StateS
+	}
+
+	payload := e.payload
+	if e.noPayload {
+		line := l.array.Lookup(addr)
+		if line == nil {
+			protocolPanic("L1 %d dataless grant for %#x without a local copy", l.id, addr)
+		}
+		payload = line.Payload
+	}
+	if e.write {
+		payload.Value = e.value
+		payload.Version++
+	}
+
+	dirty := e.dirty || e.write
+	l.place(addr, state, payload, dirty, func(line *cache.Line) {
+		if e.write && l.onWrite != nil {
+			l.onWrite(addr, payload.Version, payload.Value)
+		}
+		e.timer.Stop()
+
+		// Ownership moved to us on any DataEx that carried the data (a
+		// dataless grant means we already owned the line): enter the
+		// blocked-ownership state and acknowledge (§3.1).
+		home := l.topo.HomeL2(addr)
+		transfer := e.exclusive && !e.noPayload
+		if transfer {
+			b := &blockedEntry{
+				ackOTo: e.dataFrom,
+				sn:     e.sn,
+				piggy:  e.dataFrom == home && !l.params.DisablePiggyback,
+				timer:  sim.NewTimer(l.engine),
+			}
+			l.blocked[addr] = b
+			l.run.Proto.AcksOSent++
+			if b.piggy {
+				l.run.Proto.PiggybackedAcksO++
+				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, PiggybackAckO: true})
+			} else {
+				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn})
+				l.send(&msg.Message{Type: msg.AckO, Dst: e.dataFrom, Addr: addr, SN: e.sn})
+			}
+			l.armLostAckBD(addr, b)
+		} else {
+			unblock := msg.Unblock
+			if e.exclusive || e.write {
+				unblock = msg.UnblockEx
+			}
+			l.send(&msg.Message{Type: unblock, Dst: home, Addr: addr, SN: e.sn})
+		}
+
+		latency := l.engine.Now() - e.issuedAt
+		l.run.Proto.MissLatency(latency)
+		res := proto.AccessResult{
+			Value:   payload.Value,
+			Version: payload.Version,
+			Latency: latency,
+		}
+		done := e.done
+		waiters := e.waiters
+		l.mshr.Free(addr)
+		if done != nil {
+			done(res)
+		}
+		l.wake(waiters)
+	})
+}
+
+// armLostAckBD starts the lost backup deletion acknowledgment timeout: on
+// firing, the AckO is reissued with a new serial number (§3.4).
+func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
+	b.timer.Start(l.params.LostAckBDTimeout, func() {
+		if l.blocked[addr] != b {
+			return
+		}
+		l.run.Proto.LostAckBDTimeouts++
+		b.sn = l.serial.Next()
+		b.piggy = false // resends are standalone AckO messages
+		l.run.Proto.AcksOSent++
+		l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn})
+		l.armLostAckBD(addr, b)
+	})
+}
+
+// place installs a line, evicting a victim if necessary. Lines in blocked
+// ownership cannot be evicted (that would transfer ownership), nor can
+// lines with in-flight transactions.
+func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, then func(*cache.Line)) {
+	if line := l.array.Lookup(addr); line != nil {
+		line.State = state
+		line.Payload = payload
+		line.Dirty = dirty
+		l.array.Touch(line)
+		then(line)
+		return
+	}
+	victim := l.array.Victim(addr, func(c *cache.Line) bool {
+		return l.mshr.Get(c.Addr) == nil && l.wb.Get(c.Addr) == nil && l.blocked[c.Addr] == nil
+	})
+	if victim == nil {
+		l.engine.Schedule(4, func() { l.place(addr, state, payload, dirty, then) })
+		return
+	}
+	if victim.Valid {
+		l.evict(victim)
+	}
+	victim.Reset(addr)
+	victim.State = state
+	victim.Payload = payload
+	victim.Dirty = dirty
+	l.array.Touch(victim)
+	then(victim)
+}
+
+// evict starts a three-phase writeback for owned lines (with the Put
+// guarded by the lost-request timeout); shared lines drop silently.
+func (l *L1) evict(line *cache.Line) {
+	if !ownerState(line.State) {
+		line.Valid = false
+		return
+	}
+	addr := line.Addr
+	w := l.wb.Alloc(addr)
+	if w == nil {
+		protocolPanic("L1 %d duplicate writeback for %#x", l.id, addr)
+	}
+	w.payload = line.Payload
+	w.dirty = line.Dirty || line.State == StateM
+	w.sn = l.serial.Next()
+	w.putTimer = sim.NewTimer(l.engine)
+	l.run.Proto.Writebacks++
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn})
+	l.armPutTimer(addr, w)
+	line.Valid = false
+}
+
+// armPutTimer reissues a Put whose WbAck never arrived.
+func (l *L1) armPutTimer(addr msg.Addr, w *l1WB) {
+	w.putTimer.Start(sim.Backoff(l.params.LostRequestTimeout, w.attempts), func() {
+		if l.wb.Get(addr) != w || w.sentData {
+			return
+		}
+		l.run.Proto.LostRequestTimeouts++
+		l.run.Proto.RequestsReissued++
+		w.attempts++
+		w.sn = l.serial.Next()
+		l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn})
+		l.armPutTimer(addr, w)
+	})
+}
+
+// freeWB releases a writeback entry and wakes deferred operations.
+func (l *L1) freeWB(addr msg.Addr, w *l1WB) {
+	if w.putTimer != nil {
+		w.putTimer.Stop()
+	}
+	if w.backupTimer != nil {
+		w.backupTimer.Stop()
+	}
+	waiters := w.waiters
+	l.wb.Free(addr)
+	l.wake(waiters)
+}
+
+// stale counts a discarded message; withMSHR marks it as a detected false
+// positive (the original response arrived after a reissue).
+func (l *L1) stale(withMSHR bool) {
+	l.run.Proto.StaleSNDiscarded++
+	if withMSHR {
+		l.run.Proto.FalsePositives++
+	}
+}
+
+func (l *L1) wake(waiters []func()) {
+	for _, w := range waiters {
+		l.engine.Schedule(0, w)
+	}
+}
+
+func (l *L1) send(m *msg.Message) {
+	m.Src = l.id
+	l.net.Send(m)
+}
+
+// InspectLines implements proto.Inspectable.
+func (l *L1) InspectLines(fn func(proto.LineView)) {
+	l.array.ForEach(func(c *cache.Line) {
+		fn(proto.LineView{
+			Addr:      c.Addr,
+			Perm:      permOf(c.State),
+			Owner:     ownerState(c.State),
+			Transient: l.mshr.Get(c.Addr) != nil || l.blocked[c.Addr] != nil,
+			Payload:   c.Payload,
+		})
+	})
+	l.backups.ForEach(func(addr msg.Addr, b *backupEntry) {
+		fn(proto.LineView{Addr: addr, Backup: true, Transient: true, Payload: b.payload})
+	})
+	l.wb.ForEach(func(addr msg.Addr, w *l1WB) {
+		if w.transferred {
+			return
+		}
+		fn(proto.LineView{
+			Addr:      addr,
+			Owner:     !w.sentData,
+			Backup:    w.sentData,
+			Transient: true,
+			Payload:   w.payload,
+		})
+	})
+}

@@ -1,0 +1,1159 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Transaction phases for the per-line FtDirCMP L2 MSHR.
+const (
+	phaseIdle = iota
+	// phaseWaitUnblock: a response or forward went to an L1; waiting for
+	// its Unblock/UnblockEx (lost-unblock timer armed).
+	phaseWaitUnblock
+	// phaseWaitWbData: WbAck sent; waiting for WbData/WbNoData/WbCancel
+	// (lost-unblock timer armed, pings with WbPing).
+	phaseWaitWbData
+	// phaseWaitAckBD: we received owned data (WbData or recall) and sent
+	// AckO; waiting for the backup holder's AckBD.
+	phaseWaitAckBD
+	// phaseWaitMemData: GetX issued to memory (lost-request timer armed).
+	phaseWaitMemData
+	// phaseWaitRecall: eviction collecting the owner's data and sharers'
+	// acks (recall timer armed).
+	phaseWaitRecall
+	// phaseWaitMemWbAck: Put issued to memory (lost-request timer armed).
+	phaseWaitMemWbAck
+	// phaseWaitMemAckO: WbData sent to memory; we hold the backup until
+	// memory's AckO arrives (backup timer armed).
+	phaseWaitMemAckO
+)
+
+// Response kinds recorded so a reissued request can be answered again.
+const (
+	respNone = iota
+	// respData: Data sent from the L2's own copy (no ownership moved).
+	respData
+	// respDataEx: DataEx sent from the L2's own copy (ownership moved;
+	// the line payload is retained as the in-chip backup).
+	respDataEx
+	// respNoPayload: dataless upgrade grant to the current owner.
+	respNoPayload
+	// respFwd: request forwarded to the owning L1.
+	respFwd
+	// respWbAck: WbAck sent for a Put.
+	respWbAck
+)
+
+// pendingReq is a deferred or in-service L1 request.
+type pendingReq struct {
+	typ  msg.Type
+	from msg.NodeID
+	sn   msg.SerialNumber
+}
+
+// extBlock marks an externally blocked line (§3.1.1): the UnblockEx+AckO
+// went to memory and until memory's AckBD arrives the line must not be
+// written back off-chip. Internal (L1↔L1↔L2) transfers stay allowed.
+type extBlock struct {
+	sn      msg.SerialNumber
+	timer   *sim.Timer
+	onClear []func()
+}
+
+// l2Trans is the per-line transaction record.
+type l2Trans struct {
+	phase int
+	evict bool
+	req   pendingReq
+	queue []pendingReq
+
+	// Resend record for reissued requests.
+	respKind      int
+	fwdDest       msg.NodeID
+	invTargets    []msg.NodeID
+	ackCount      int
+	respMigratory bool
+	respFwdType   msg.Type
+	wantData      bool
+
+	// Unblock bookkeeping for responses that carry ownership out of L2.
+	unblockReceived bool
+	backupCleared   bool
+	sentDataExTo    msg.NodeID
+	owedMem         bool
+
+	// AckO we sent for owned data we received (WbData or recall).
+	ackOTo msg.NodeID
+	ackOSN msg.SerialNumber
+
+	// Memory-facing request state.
+	memSN       msg.SerialNumber
+	memAttempts int
+
+	// Recall bookkeeping.
+	recallSN       msg.SerialNumber
+	recallAttempts int
+	pendingAcks    int
+	needData       bool
+	gotData        bool
+	recalled       msg.Payload
+	recallFrom     msg.NodeID
+	afterAckBD     func()
+
+	// Parked memory fetch.
+	fetched      msg.Payload
+	fetchedDirty bool
+
+	// Eviction writeback data between frame release and WbData to memory.
+	wbPayload msg.Payload
+	wbDirty   bool
+	wbValid   bool
+
+	onDone []func()
+
+	unblockTimer *sim.Timer
+	memTimer     *sim.Timer
+	ackBDTimer   *sim.Timer
+	backupTimer  *sim.Timer
+	recallTimer  *sim.Timer
+}
+
+// timersOff stops every armed timer on the transaction.
+func (t *l2Trans) timersOff() {
+	for _, tm := range []*sim.Timer{t.unblockTimer, t.memTimer, t.ackBDTimer, t.backupTimer, t.recallTimer} {
+		if tm != nil {
+			tm.Stop()
+		}
+	}
+}
+
+// migInfo is the migratory-sharing detector state (identical to DirCMP's).
+type migInfo struct {
+	lastReader  msg.NodeID
+	lastWasRead bool
+	migratory   bool
+}
+
+// L2 is an FtDirCMP shared-L2 bank plus its slice of the directory.
+type L2 struct {
+	id     msg.NodeID
+	topo   proto.Topology
+	params proto.Params
+	engine *sim.Engine
+	net    proto.Sender
+	run    *stats.Run
+
+	array  *cache.Array
+	trans  *cache.Table[l2Trans]
+	ext    map[msg.Addr]*extBlock
+	mig    map[msg.Addr]*migInfo
+	serial *msg.SerialSpace
+}
+
+var _ proto.Inspectable = (*L2)(nil)
+
+// NewL2 builds an FtDirCMP L2 bank controller.
+func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.Engine,
+	net proto.Sender, run *stats.Run) (*L2, error) {
+	arr, err := cache.NewArray(params.L2Size, params.L2Ways, params.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &L2{
+		id:     id,
+		topo:   topo,
+		params: params,
+		engine: engine,
+		net:    net,
+		run:    run,
+		array:  arr,
+		trans:  cache.NewTable[l2Trans](0),
+		ext:    make(map[msg.Addr]*extBlock),
+		mig:    make(map[msg.Addr]*migInfo),
+		serial: msg.NewSerialSpace(params.SerialBits),
+	}, nil
+}
+
+// NodeID implements proto.Inspectable.
+func (l *L2) NodeID() msg.NodeID { return l.id }
+
+// Quiesced reports whether no transaction or external block is live.
+func (l *L2) Quiesced() bool { return l.trans.Len() == 0 && len(l.ext) == 0 }
+
+// Handle processes a delivered network message.
+func (l *L2) Handle(m *msg.Message) {
+	switch m.Type {
+	case msg.GetS, msg.GetX, msg.Put:
+		l.handleRequest(m)
+	case msg.Unblock, msg.UnblockEx:
+		l.handleUnblock(m)
+	case msg.WbData:
+		l.handleWbData(m)
+	case msg.WbNoData, msg.WbCancel:
+		l.handleWbNoData(m)
+	case msg.Data, msg.DataEx:
+		l.handleData(m)
+	case msg.Ack:
+		l.handleRecallAck(m)
+	case msg.WbAck:
+		l.handleMemWbAck(m)
+	case msg.AckO:
+		l.handleAckO(m)
+	case msg.AckBD:
+		l.handleAckBD(m)
+	case msg.UnblockPing:
+		l.handleUnblockPing(m)
+	case msg.WbPing:
+		l.handleMemWbPing(m)
+	case msg.OwnershipPing:
+		l.handleOwnershipPing(m)
+	case msg.NackO:
+		l.handleNackO(m)
+	default:
+		protocolPanic("L2 %d received unexpected %v", l.id, m)
+	}
+}
+
+// handleRequest starts, queues, or recognizes as reissued an L1 request.
+// Reissue detection (§3.2): same requester and address with a different
+// serial number means the previous attempt's response may be lost, so the
+// current response is re-sent with the new serial number instead of
+// queueing the request behind itself.
+func (l *L2) handleRequest(m *msg.Message) {
+	req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+	t := l.trans.Get(m.Addr)
+	if t == nil {
+		t = l.trans.Alloc(m.Addr)
+		t.req = req
+		l.service(m.Addr, t)
+		return
+	}
+	if t.req.from == m.Src && t.req.typ == m.Type {
+		if t.req.sn == m.SN {
+			return // duplicate delivery of the same attempt
+		}
+		t.req.sn = m.SN
+		l.resendResponse(m.Addr, t)
+		return
+	}
+	// Reissue of a queued request updates its serial number in place.
+	for i := range t.queue {
+		if t.queue[i].from == m.Src && t.queue[i].typ == m.Type {
+			t.queue[i].sn = m.SN
+			return
+		}
+	}
+	t.queue = append(t.queue, req)
+}
+
+// service executes the current request against the directory state.
+func (l *L2) service(addr msg.Addr, t *l2Trans) {
+	line := l.array.Lookup(addr)
+	r := t.req
+	t.respKind = respNone
+	t.invTargets = nil
+	t.unblockReceived = false
+	t.backupCleared = false
+	t.sentDataExTo = 0
+
+	switch r.typ {
+	case msg.GetS:
+		l.migOnRead(addr, r.from)
+		if line == nil {
+			l.startFetch(addr, t)
+			return
+		}
+		l.array.Touch(line)
+		if line.State == L2StateS {
+			if line.Sharers.Empty() {
+				t.respKind = respDataEx
+				t.sentDataExTo = r.from
+				t.ackCount = 0
+				l.send(&msg.Message{
+					Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+					Payload: line.Payload, Dirty: line.Dirty,
+				})
+				line.State = L2StateM
+				line.Owner = r.from
+				l.armBackup(addr, t)
+			} else {
+				t.respKind = respData
+				l.send(&msg.Message{
+					Type: msg.Data, Dst: r.from, Addr: addr, SN: r.sn,
+					Payload: line.Payload,
+				})
+				line.Sharers.Add(l.topo.SharerIndex(r.from))
+			}
+			l.enterWaitUnblock(addr, t)
+			return
+		}
+		if line.Owner == r.from {
+			protocolPanic("L2 %d GetS from current owner %d for %#x", l.id, r.from, addr)
+		}
+		t.respKind = respFwd
+		t.respFwdType = msg.GetS
+		t.fwdDest = line.Owner
+		t.ackCount = 0
+		if l.params.MigratoryOpt && l.migratory(addr) && line.Sharers.Empty() {
+			l.run.Proto.MigratoryGrants++
+			// The grantee's read-modify-write store will hit locally and
+			// never reach the directory, so record the implied write here;
+			// otherwise the next reader would look like plain read sharing
+			// and demote the line after every migration.
+			l.migOnWrite(addr, r.from)
+			t.respMigratory = true
+			l.send(&msg.Message{
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Forwarded: true, Migratory: true, Requestor: r.from,
+			})
+			line.Owner = r.from
+		} else {
+			t.respMigratory = false
+			l.send(&msg.Message{
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Forwarded: true, Requestor: r.from,
+			})
+			line.Sharers.Add(l.topo.SharerIndex(r.from))
+		}
+		l.enterWaitUnblock(addr, t)
+
+	case msg.GetX:
+		l.migOnWrite(addr, r.from)
+		if line == nil {
+			l.startFetch(addr, t)
+			return
+		}
+		l.array.Touch(line)
+		t.invTargets = l.invTargets(line, r.from)
+		t.ackCount = len(t.invTargets)
+		l.sendInvs(addr, t)
+		if line.State == L2StateS {
+			t.respKind = respDataEx
+			t.sentDataExTo = r.from
+			l.send(&msg.Message{
+				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				Payload: line.Payload, Dirty: line.Dirty, AckCount: t.ackCount,
+			})
+			line.State = L2StateM
+			line.Owner = r.from
+			l.armBackup(addr, t)
+		} else if line.Owner == r.from {
+			t.respKind = respNoPayload
+			l.send(&msg.Message{
+				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				NoPayload: true, AckCount: t.ackCount,
+			})
+		} else {
+			t.respKind = respFwd
+			t.respFwdType = msg.GetX
+			t.fwdDest = line.Owner
+			l.send(&msg.Message{
+				Type: msg.GetX, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Forwarded: true, Requestor: r.from, AckCount: t.ackCount,
+			})
+			line.Owner = r.from
+		}
+		line.Sharers.Clear()
+		l.enterWaitUnblock(addr, t)
+
+	case msg.Put:
+		t.respKind = respWbAck
+		t.wantData = line != nil && line.State == L2StateM && line.Owner == r.from
+		l.send(&msg.Message{
+			Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn, WantData: t.wantData,
+		})
+		l.enterWaitWbData(addr, t)
+
+	default:
+		protocolPanic("L2 %d cannot service %v", l.id, r.typ)
+	}
+}
+
+// invTargets returns the sharers to invalidate for a write by requester.
+func (l *L2) invTargets(line *cache.Line, requester msg.NodeID) []msg.NodeID {
+	var targets []msg.NodeID
+	line.Sharers.ForEach(func(i int) {
+		dst := l.topo.L1FromSharerIndex(i)
+		if dst != requester {
+			targets = append(targets, dst)
+		}
+	})
+	return targets
+}
+
+// sendInvs (re)sends the invalidations with the current serial number.
+func (l *L2) sendInvs(addr msg.Addr, t *l2Trans) {
+	for _, dst := range t.invTargets {
+		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: addr, SN: t.req.sn, Requestor: t.req.from})
+	}
+}
+
+// resendResponse re-answers the in-service request after a reissue.
+func (l *L2) resendResponse(addr msg.Addr, t *l2Trans) {
+	if t.phase != phaseWaitUnblock && t.phase != phaseWaitWbData {
+		return // nothing sent yet (e.g. fetch in progress) or already past
+	}
+	line := l.array.Lookup(addr)
+	r := t.req
+	switch t.respKind {
+	case respData:
+		l.send(&msg.Message{
+			Type: msg.Data, Dst: r.from, Addr: addr, SN: r.sn, Payload: line.Payload,
+		})
+	case respDataEx:
+		l.sendInvs(addr, t)
+		l.send(&msg.Message{
+			Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+			Payload: line.Payload, Dirty: line.Dirty, AckCount: t.ackCount,
+		})
+	case respNoPayload:
+		l.sendInvs(addr, t)
+		l.send(&msg.Message{
+			Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+			NoPayload: true, AckCount: t.ackCount,
+		})
+	case respFwd:
+		l.sendInvs(addr, t)
+		l.send(&msg.Message{
+			Type: t.respFwdType, Dst: t.fwdDest, Addr: addr, SN: r.sn,
+			Forwarded: true, Migratory: t.respMigratory, Requestor: r.from,
+			AckCount: t.ackCount,
+		})
+	case respWbAck:
+		l.send(&msg.Message{
+			Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn, WantData: t.wantData,
+		})
+	}
+}
+
+// enterWaitUnblock arms the lost-unblock timeout (§3.3).
+func (l *L2) enterWaitUnblock(addr msg.Addr, t *l2Trans) {
+	t.phase = phaseWaitUnblock
+	if t.unblockTimer == nil {
+		t.unblockTimer = sim.NewTimer(l.engine)
+	}
+	l.armUnblockTimer(addr, t)
+}
+
+func (l *L2) armUnblockTimer(addr msg.Addr, t *l2Trans) {
+	t.unblockTimer.Start(l.params.LostUnblockTimeout, func() {
+		if l.trans.Get(addr) != t || t.phase != phaseWaitUnblock {
+			return
+		}
+		l.run.Proto.LostUnblockTimeouts++
+		l.send(&msg.Message{Type: msg.UnblockPing, Dst: t.req.from, Addr: addr, SN: t.req.sn})
+		l.armUnblockTimer(addr, t)
+	})
+}
+
+// enterWaitWbData arms the writeback flavour of the lost-unblock timeout.
+func (l *L2) enterWaitWbData(addr msg.Addr, t *l2Trans) {
+	t.phase = phaseWaitWbData
+	if t.unblockTimer == nil {
+		t.unblockTimer = sim.NewTimer(l.engine)
+	}
+	l.armWbPingTimer(addr, t)
+}
+
+func (l *L2) armWbPingTimer(addr msg.Addr, t *l2Trans) {
+	t.unblockTimer.Start(l.params.LostUnblockTimeout, func() {
+		if l.trans.Get(addr) != t || t.phase != phaseWaitWbData {
+			return
+		}
+		l.run.Proto.LostUnblockTimeouts++
+		l.send(&msg.Message{Type: msg.WbPing, Dst: t.req.from, Addr: addr, SN: t.req.sn})
+		l.armWbPingTimer(addr, t)
+	})
+}
+
+// armBackup guards the in-chip backup held after sending DataEx to an L1.
+func (l *L2) armBackup(addr msg.Addr, t *l2Trans) {
+	if t.backupTimer == nil {
+		t.backupTimer = sim.NewTimer(l.engine)
+	}
+	t.backupTimer.Start(l.params.BackupTimeout, func() {
+		if l.trans.Get(addr) != t || t.sentDataExTo == 0 || t.backupCleared {
+			return
+		}
+		l.run.Proto.BackupTimeouts++
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: t.sentDataExTo, Addr: addr, SN: l.serial.Next()})
+		l.armBackup(addr, t)
+	})
+}
+
+// handleUnblock processes Unblock/UnblockEx from the blocker, including a
+// piggybacked AckO (§3.1).
+func (l *L2) handleUnblock(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitUnblock || m.Src != t.req.from {
+		// Duplicate unblock after the transaction closed (resent via ping
+		// crossing the original) — but a piggybacked AckO must still be
+		// answered so the L1 can leave its blocked state.
+		if m.PiggybackAckO {
+			l.acceptAckOFromL1(m.Addr, m.Src, m.SN)
+		}
+		l.run.Proto.StaleSNDiscarded++
+		return
+	}
+	t.unblockReceived = true
+	if m.PiggybackAckO {
+		l.acceptAckOFromL1(m.Addr, m.Src, m.SN)
+	}
+	l.maybeCloseRequest(m.Addr, t)
+}
+
+// acceptAckOFromL1 clears the in-chip backup (if one matches) and always
+// answers with AckBD (§3.4: a node that no longer holds a backup replies
+// anyway, using the new serial number).
+func (l *L2) acceptAckOFromL1(addr msg.Addr, src msg.NodeID, sn msg.SerialNumber) {
+	if t := l.trans.Get(addr); t != nil && t.sentDataExTo == src && !t.backupCleared {
+		t.backupCleared = true
+		if t.backupTimer != nil {
+			t.backupTimer.Stop()
+		}
+	}
+	l.send(&msg.Message{Type: msg.AckBD, Dst: src, Addr: addr, SN: sn})
+}
+
+// maybeCloseRequest closes a request transaction once the unblock arrived
+// and, for responses that moved ownership out of the L2's copy, the backup
+// was released. If the data originally came from memory, the deferred
+// UnblockEx+AckO chain to memory starts here (§3.1.1).
+func (l *L2) maybeCloseRequest(addr msg.Addr, t *l2Trans) {
+	if !t.unblockReceived {
+		return
+	}
+	if t.respKind == respDataEx && !t.backupCleared {
+		return
+	}
+	if t.owedMem {
+		t.owedMem = false
+		l.sendMemUnblock(addr, t.memSN)
+	}
+	l.finish(addr, t)
+}
+
+// sendMemUnblock sends the UnblockEx with the piggybacked AckO to memory
+// and marks the line externally blocked until memory's AckBD.
+func (l *L2) sendMemUnblock(addr msg.Addr, sn msg.SerialNumber) {
+	mem := l.topo.HomeMem(addr)
+	l.run.Proto.AcksOSent++
+	if l.params.DisablePiggyback {
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: mem, Addr: addr, SN: sn})
+		l.send(&msg.Message{Type: msg.AckO, Dst: mem, Addr: addr, SN: sn})
+	} else {
+		l.run.Proto.PiggybackedAcksO++
+		l.send(&msg.Message{
+			Type: msg.UnblockEx, Dst: mem, Addr: addr, SN: sn, PiggybackAckO: true,
+		})
+	}
+	eb := &extBlock{sn: sn, timer: sim.NewTimer(l.engine)}
+	l.ext[addr] = eb
+	l.armExtAckBD(addr, eb)
+}
+
+// armExtAckBD resends the AckO to memory if its AckBD never arrives.
+func (l *L2) armExtAckBD(addr msg.Addr, eb *extBlock) {
+	eb.timer.Start(l.params.LostAckBDTimeout, func() {
+		if l.ext[addr] != eb {
+			return
+		}
+		l.run.Proto.LostAckBDTimeouts++
+		eb.sn = l.serial.Next()
+		l.run.Proto.AcksOSent++
+		l.send(&msg.Message{Type: msg.AckO, Dst: l.topo.HomeMem(addr), Addr: addr, SN: eb.sn})
+		l.armExtAckBD(addr, eb)
+	})
+}
+
+// handleWbData absorbs a writeback's data: ownership moved from the L1 to
+// this bank, so acknowledge it and hold the transaction open until the
+// L1's backup is deleted (AckBD).
+func (l *L2) handleWbData(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitWbData || m.Src != t.req.from {
+		l.run.Proto.StaleSNDiscarded++
+		return
+	}
+	t.unblockTimer.Stop()
+	line := l.array.Lookup(m.Addr)
+	if line == nil || line.State != L2StateM || line.Owner != t.req.from {
+		// The ownership moved while the Put was in flight and the L1 still
+		// sent data: impossible, because WantData is only set for the
+		// current owner and serial numbers guard the WbAck.
+		protocolPanic("L2 %d unexpected WbData: %v", l.id, m)
+	}
+	line.State = L2StateS
+	line.Owner = 0
+	line.Payload = m.Payload
+	line.Dirty = m.Dirty
+	l.sendAckO(m.Addr, t, m.Src, m.SN, nil)
+}
+
+// sendAckO acknowledges received ownership and waits for the AckBD;
+// afterAckBD (may be nil) runs before the transaction closes.
+func (l *L2) sendAckO(addr msg.Addr, t *l2Trans, to msg.NodeID, sn msg.SerialNumber, afterAckBD func()) {
+	t.ackOTo = to
+	t.ackOSN = sn
+	t.afterAckBD = afterAckBD
+	t.phase = phaseWaitAckBD
+	l.run.Proto.AcksOSent++
+	l.send(&msg.Message{Type: msg.AckO, Dst: to, Addr: addr, SN: sn})
+	if t.ackBDTimer == nil {
+		t.ackBDTimer = sim.NewTimer(l.engine)
+	}
+	l.armAckBDTimer(addr, t)
+}
+
+func (l *L2) armAckBDTimer(addr msg.Addr, t *l2Trans) {
+	t.ackBDTimer.Start(l.params.LostAckBDTimeout, func() {
+		if l.trans.Get(addr) != t || t.phase != phaseWaitAckBD {
+			return
+		}
+		l.run.Proto.LostAckBDTimeouts++
+		t.ackOSN = l.serial.Next()
+		l.run.Proto.AcksOSent++
+		l.send(&msg.Message{Type: msg.AckO, Dst: t.ackOTo, Addr: addr, SN: t.ackOSN})
+		l.armAckBDTimer(addr, t)
+	})
+}
+
+// handleWbNoData closes a writeback transaction without data (stale Put or
+// WbCancel answer to a WbPing).
+func (l *L2) handleWbNoData(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitWbData || m.Src != t.req.from {
+		l.run.Proto.StaleSNDiscarded++
+		return
+	}
+	t.unblockTimer.Stop()
+	l.finish(m.Addr, t)
+}
+
+// handleData receives a memory fetch completion or recalled owner data.
+func (l *L2) handleData(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil {
+		l.run.Proto.StaleSNDiscarded++
+		return
+	}
+	switch t.phase {
+	case phaseWaitMemData:
+		if m.SN != t.memSN {
+			l.run.Proto.StaleSNDiscarded++
+			l.run.Proto.FalsePositives++
+			return
+		}
+		t.memTimer.Stop()
+		l.run.Proto.L2Misses++
+		t.fetched = m.Payload
+		t.fetchedDirty = m.Dirty
+		// The UnblockEx+AckO to memory is deferred until the requesting
+		// L1's own AckO arrives (§3.1.1); remember the serial number.
+		t.owedMem = true
+		l.install(m.Addr, t)
+	case phaseWaitRecall:
+		if m.SN != t.recallSN {
+			l.run.Proto.StaleSNDiscarded++
+			return
+		}
+		t.gotData = true
+		t.recalled = m.Payload
+		t.recallFrom = m.Src
+		l.tryFinishRecall(m.Addr, t)
+	default:
+		l.run.Proto.StaleSNDiscarded++
+	}
+}
+
+// handleRecallAck counts sharer acknowledgments during an eviction.
+func (l *L2) handleRecallAck(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitRecall || m.SN != t.recallSN {
+		l.run.Proto.StaleSNDiscarded++
+		return
+	}
+	t.pendingAcks--
+	l.tryFinishRecall(m.Addr, t)
+}
+
+// tryFinishRecall proceeds once all L1 copies are collected: acknowledge
+// the recalled owner's backup (if data moved) and then write back.
+func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
+	if t.pendingAcks > 0 || (t.needData && !t.gotData) {
+		return
+	}
+	if t.recallTimer != nil {
+		t.recallTimer.Stop()
+	}
+	line := l.array.Lookup(addr)
+	if line == nil {
+		protocolPanic("L2 %d recall finished for missing line %#x", l.id, addr)
+	}
+	line.Sharers.Clear()
+	if t.needData {
+		line.State = L2StateS
+		line.Owner = 0
+		line.Payload = t.recalled
+		line.Dirty = true
+		// The old owner holds a backup for the transfer; release it and
+		// only then move the data off-chip (never two backups).
+		l.sendAckO(addr, t, t.recallFrom, t.recallSN, func() {
+			l.evictToMem(addr, t, l.array.Lookup(addr))
+		})
+		return
+	}
+	l.evictToMem(addr, t, line)
+}
+
+// evictToMem frees the frame and starts the three-phase writeback to
+// memory, deferring while the line is externally blocked.
+func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
+	if eb := l.ext[addr]; eb != nil {
+		eb.onClear = append(eb.onClear, func() { l.evictToMem(addr, t, l.array.Lookup(addr)) })
+		return
+	}
+	if line != nil && line.Valid {
+		t.wbPayload = line.Payload
+		t.wbDirty = line.Dirty
+		t.wbValid = true
+		line.Valid = false
+	}
+	t.phase = phaseWaitMemWbAck
+	t.memSN = l.serial.Next()
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeMem(addr), Addr: addr, SN: t.memSN})
+	l.armMemTimer(addr, t, msg.Put)
+}
+
+// armMemTimer reissues a memory-facing request (GetX fetch or Put) whose
+// response never arrived — the L2 plays the requester role toward memory,
+// so it runs its own lost-request timeout (§3.5).
+func (l *L2) armMemTimer(addr msg.Addr, t *l2Trans, typ msg.Type) {
+	if t.memTimer == nil {
+		t.memTimer = sim.NewTimer(l.engine)
+	}
+	t.memTimer.Start(sim.Backoff(l.params.LostRequestTimeout, t.memAttempts), func() {
+		if l.trans.Get(addr) != t {
+			return
+		}
+		if typ == msg.GetX && t.phase != phaseWaitMemData {
+			return
+		}
+		if typ == msg.Put && t.phase != phaseWaitMemWbAck {
+			return
+		}
+		l.run.Proto.LostRequestTimeouts++
+		l.run.Proto.RequestsReissued++
+		t.memAttempts++
+		t.memSN = l.serial.Next()
+		l.send(&msg.Message{Type: typ, Dst: l.topo.HomeMem(addr), Addr: addr, SN: t.memSN})
+		l.armMemTimer(addr, t, typ)
+	})
+}
+
+// handleMemWbAck sends the eviction's data to memory (or WbNoData when the
+// line was clean). Sending WbData makes this bank the backup until
+// memory's AckO.
+func (l *L2) handleMemWbAck(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitMemWbAck || m.SN != t.memSN {
+		l.run.Proto.StaleSNDiscarded++
+		return
+	}
+	t.memTimer.Stop()
+	if m.WantData && t.wbDirty {
+		t.phase = phaseWaitMemAckO
+		l.send(&msg.Message{
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Payload: t.wbPayload, Dirty: true,
+		})
+		l.armMemBackup(m.Addr, t)
+		return
+	}
+	l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	t.wbValid = false
+	l.finish(m.Addr, t)
+}
+
+// armMemBackup pings memory if the AckO for our WbData never arrives.
+func (l *L2) armMemBackup(addr msg.Addr, t *l2Trans) {
+	if t.backupTimer == nil {
+		t.backupTimer = sim.NewTimer(l.engine)
+	}
+	t.backupTimer.Start(l.params.BackupTimeout, func() {
+		if l.trans.Get(addr) != t || t.phase != phaseWaitMemAckO {
+			return
+		}
+		l.run.Proto.BackupTimeouts++
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeMem(addr), Addr: addr, SN: l.serial.Next()})
+		l.armMemBackup(addr, t)
+	})
+}
+
+// handleAckO routes an ownership acknowledgment: from memory it completes
+// an eviction writeback; from an L1 it is a standalone resend of a
+// piggybacked acknowledgment.
+func (l *L2) handleAckO(m *msg.Message) {
+	if l.topo.IsMem(m.Src) {
+		t := l.trans.Get(m.Addr)
+		if t != nil && t.phase == phaseWaitMemAckO {
+			t.backupTimer.Stop()
+			t.wbValid = false
+			l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+			l.finish(m.Addr, t)
+			return
+		}
+		// Duplicate AckO after our AckBD was lost: answer again.
+		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		return
+	}
+	l.acceptAckOFromL1(m.Addr, m.Src, m.SN)
+	if t := l.trans.Get(m.Addr); t != nil && t.phase == phaseWaitUnblock {
+		l.maybeCloseRequest(m.Addr, t)
+	}
+}
+
+// handleAckBD routes a backup-deletion acknowledgment: from memory it
+// clears the external block; from an L1 it releases a transaction waiting
+// in phaseWaitAckBD.
+func (l *L2) handleAckBD(m *msg.Message) {
+	if l.topo.IsMem(m.Src) {
+		eb := l.ext[m.Addr]
+		if eb == nil {
+			l.run.Proto.StaleSNDiscarded++
+			return
+		}
+		if m.SN != eb.sn {
+			l.run.Proto.StaleSNDiscarded++
+			l.run.Proto.FalsePositives++
+			return
+		}
+		eb.timer.Stop()
+		delete(l.ext, m.Addr)
+		for _, fn := range eb.onClear {
+			l.engine.Schedule(0, fn)
+		}
+		return
+	}
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitAckBD || m.Src != t.ackOTo {
+		l.run.Proto.StaleSNDiscarded++
+		return
+	}
+	if m.SN != t.ackOSN {
+		l.run.Proto.StaleSNDiscarded++
+		l.run.Proto.FalsePositives++
+		return
+	}
+	t.ackBDTimer.Stop()
+	after := t.afterAckBD
+	t.afterAckBD = nil
+	if after != nil {
+		after()
+		return
+	}
+	l.finish(m.Addr, t)
+}
+
+// handleUnblockPing answers memory's query about our pending unblock.
+func (l *L2) handleUnblockPing(m *msg.Message) {
+	if t := l.trans.Get(m.Addr); t != nil && t.owedMem {
+		return // still waiting for the L1's AckO; memory must keep waiting
+	}
+	if eb := l.ext[m.Addr]; eb != nil {
+		l.run.Proto.AcksOSent++
+		l.run.Proto.PiggybackedAcksO++
+		l.send(&msg.Message{
+			Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr, SN: eb.sn, PiggybackAckO: true,
+		})
+		return
+	}
+	// Stale ping (our unblock already arrived): answer idempotently.
+	l.send(&msg.Message{Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+}
+
+// handleMemWbPing answers memory's query about an eviction writeback.
+func (l *L2) handleMemWbPing(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || !t.wbValid {
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		return
+	}
+	switch t.phase {
+	case phaseWaitMemAckO:
+		t.memSN = m.SN
+		l.send(&msg.Message{
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Payload: t.wbPayload, Dirty: true,
+		})
+	case phaseWaitMemWbAck:
+		// Our Put's WbAck was lost; the ping proves memory wants the data.
+		t.memTimer.Stop()
+		t.memSN = m.SN
+		if t.wbDirty {
+			t.phase = phaseWaitMemAckO
+			l.send(&msg.Message{
+				Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+				Payload: t.wbPayload, Dirty: true,
+			})
+			l.armMemBackup(m.Addr, t)
+		} else {
+			l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+			t.wbValid = false
+			l.finish(m.Addr, t)
+		}
+	default:
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	}
+}
+
+// handleOwnershipPing confirms or denies that this bank received the
+// ownership the pinger holds a backup for.
+func (l *L2) handleOwnershipPing(m *msg.Message) {
+	addr := m.Addr
+	if l.topo.IsMem(m.Src) {
+		// Memory asks whether we received its DataEx.
+		if t := l.trans.Get(addr); t != nil && t.owedMem {
+			// We have the data; confirming early is safe (our line is the
+			// in-chip backup for the onward transfer).
+			l.run.Proto.AcksOSent++
+			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: m.SN})
+			return
+		}
+		if eb := l.ext[addr]; eb != nil {
+			l.run.Proto.AcksOSent++
+			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: eb.sn})
+			return
+		}
+		if l.array.Lookup(addr) != nil {
+			l.run.Proto.AcksOSent++
+			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: m.SN})
+			return
+		}
+		l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: addr, SN: m.SN})
+		return
+	}
+	// An L1 asks whether its WbData (or recalled data) reached us.
+	if t := l.trans.Get(addr); t != nil && t.phase == phaseWaitAckBD && t.ackOTo == m.Src {
+		l.run.Proto.AcksOSent++
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: t.ackOSN})
+		return
+	}
+	if line := l.array.Lookup(addr); line != nil && line.State == L2StateS {
+		l.run.Proto.AcksOSent++
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: m.SN})
+		return
+	}
+	l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: addr, SN: m.SN})
+}
+
+// handleNackO restarts the relevant backup timer; recovery is driven by
+// reissues elsewhere.
+func (l *L2) handleNackO(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil {
+		return
+	}
+	if t.phase == phaseWaitMemAckO {
+		l.armMemBackup(m.Addr, t)
+		return
+	}
+	if t.sentDataExTo != 0 && !t.backupCleared {
+		l.armBackup(m.Addr, t)
+	}
+}
+
+// startFetch requests the line from memory with ownership, guarded by the
+// L2's own lost-request timeout.
+func (l *L2) startFetch(addr msg.Addr, t *l2Trans) {
+	t.phase = phaseWaitMemData
+	t.memSN = l.serial.Next()
+	l.send(&msg.Message{Type: msg.GetX, Dst: l.topo.HomeMem(addr), Addr: addr, SN: t.memSN})
+	l.armMemTimer(addr, t, msg.GetX)
+}
+
+// install places fetched data into the array, evicting a victim if needed,
+// then re-services the waiting request.
+func (l *L2) install(addr msg.Addr, t *l2Trans) {
+	victim := l.array.Victim(addr, func(c *cache.Line) bool {
+		return l.trans.Get(c.Addr) == nil && l.ext[c.Addr] == nil
+	})
+	if victim == nil {
+		l.engine.Schedule(4, func() { l.install(addr, t) })
+		return
+	}
+	if victim.Valid {
+		l.startEvict(victim, func() { l.install(addr, t) })
+		return
+	}
+	victim.Reset(addr)
+	victim.State = L2StateS
+	victim.Payload = t.fetched
+	victim.Dirty = t.fetchedDirty
+	l.array.Touch(victim)
+	l.service(addr, t)
+}
+
+// startEvict begins evicting a valid, non-busy line.
+func (l *L2) startEvict(line *cache.Line, onDone func()) {
+	t := l.trans.Get(line.Addr)
+	if t != nil {
+		if t.evict {
+			t.onDone = append(t.onDone, onDone)
+			return
+		}
+		protocolPanic("L2 %d evicting busy line %#x", l.id, line.Addr)
+	}
+	t = l.trans.Alloc(line.Addr)
+	t.evict = true
+	t.onDone = append(t.onDone, onDone)
+
+	if line.State == L2StateM || !line.Sharers.Empty() {
+		l.run.Proto.L2Recalls++
+		t.needData = line.State == L2StateM
+		t.recallSN = l.serial.Next()
+		l.sendRecall(line.Addr, t, line)
+		return
+	}
+	l.evictToMem(line.Addr, t, line)
+}
+
+// sendRecall (re)issues the recall: invalidations to sharers, a forwarded
+// GetX to the owner if the data must come back.
+func (l *L2) sendRecall(addr msg.Addr, t *l2Trans, line *cache.Line) {
+	t.phase = phaseWaitRecall
+	t.gotData = false
+	t.pendingAcks = 0
+	t.invTargets = t.invTargets[:0]
+	line.Sharers.ForEach(func(i int) {
+		dst := l.topo.L1FromSharerIndex(i)
+		t.invTargets = append(t.invTargets, dst)
+		t.pendingAcks++
+		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: addr, SN: t.recallSN, Requestor: l.id})
+	})
+	if t.needData {
+		t.fwdDest = line.Owner
+		l.send(&msg.Message{
+			Type: msg.GetX, Dst: line.Owner, Addr: addr, SN: t.recallSN,
+			Forwarded: true, Requestor: l.id,
+		})
+	}
+	if t.recallTimer == nil {
+		t.recallTimer = sim.NewTimer(l.engine)
+	}
+	l.armRecallTimer(addr, t)
+}
+
+// armRecallTimer reissues the recall when responses are lost.
+func (l *L2) armRecallTimer(addr msg.Addr, t *l2Trans) {
+	t.recallTimer.Start(sim.Backoff(l.params.LostRequestTimeout, t.recallAttempts), func() {
+		if l.trans.Get(addr) != t || t.phase != phaseWaitRecall {
+			return
+		}
+		l.run.Proto.LostRequestTimeouts++
+		l.run.Proto.RequestsReissued++
+		t.recallAttempts++
+		t.recallSN = l.serial.Next()
+		line := l.array.Lookup(addr)
+		if line == nil {
+			protocolPanic("L2 %d recall reissue for missing line %#x", l.id, addr)
+		}
+		l.sendRecall(addr, t, line)
+	})
+}
+
+// finish closes the current transaction, runs continuations and services
+// the next queued request.
+func (l *L2) finish(addr msg.Addr, t *l2Trans) {
+	t.timersOff()
+	t.phase = phaseIdle
+	t.wbValid = false
+	t.owedMem = false
+	t.evict = false
+	t.memAttempts = 0
+	t.recallAttempts = 0
+	t.needData = false
+	t.gotData = false
+	t.pendingAcks = 0
+	t.respKind = respNone
+	t.sentDataExTo = 0
+	for _, fn := range t.onDone {
+		l.engine.Schedule(0, fn)
+	}
+	t.onDone = nil
+	if len(t.queue) == 0 {
+		l.trans.Free(addr)
+		return
+	}
+	t.req = t.queue[0]
+	t.queue = t.queue[1:]
+	l.service(addr, t)
+}
+
+// Migratory detector (identical to DirCMP's).
+
+func (l *L2) migEntry(addr msg.Addr) *migInfo {
+	mi := l.mig[addr]
+	if mi == nil {
+		mi = &migInfo{}
+		l.mig[addr] = mi
+	}
+	return mi
+}
+
+func (l *L2) migratory(addr msg.Addr) bool {
+	mi := l.mig[addr]
+	return mi != nil && mi.migratory
+}
+
+func (l *L2) migOnRead(addr msg.Addr, from msg.NodeID) {
+	mi := l.migEntry(addr)
+	if mi.lastWasRead && mi.lastReader != 0 && mi.lastReader != from {
+		mi.migratory = false
+	}
+	mi.lastReader = from
+	mi.lastWasRead = true
+}
+
+func (l *L2) migOnWrite(addr msg.Addr, from msg.NodeID) {
+	mi := l.migEntry(addr)
+	if mi.lastWasRead && mi.lastReader == from {
+		mi.migratory = true
+	}
+	mi.lastWasRead = false
+}
+
+func (l *L2) send(m *msg.Message) {
+	m.Src = l.id
+	l.net.Send(m)
+}
+
+// InspectLines implements proto.Inspectable.
+func (l *L2) InspectLines(fn func(proto.LineView)) {
+	l.array.ForEach(func(c *cache.Line) {
+		t := l.trans.Get(c.Addr)
+		backup := t != nil && t.sentDataExTo != 0 && !t.backupCleared
+		fn(proto.LineView{
+			Addr:      c.Addr,
+			Owner:     c.State == L2StateS && !backup,
+			Backup:    backup,
+			Transient: t != nil || l.ext[c.Addr] != nil,
+			Payload:   c.Payload,
+		})
+	})
+	l.trans.ForEach(func(addr msg.Addr, t *l2Trans) {
+		if t.wbValid {
+			fn(proto.LineView{
+				Addr:      addr,
+				Owner:     t.phase == phaseWaitMemWbAck,
+				Backup:    t.phase == phaseWaitMemAckO,
+				Transient: true,
+				Payload:   t.wbPayload,
+			})
+		}
+	})
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"repro/internal/memctrl"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Memory-controller transaction phases.
+const (
+	memIdle = iota
+	// memWaitUnblock: DataEx sent; the store is the backup until the L2's
+	// UnblockEx+AckO arrives.
+	memWaitUnblock
+	// memWaitWbData: WbAck sent; waiting for WbData/WbNoData/WbCancel.
+	memWaitWbData
+	// memWaitAckBD: AckO sent for received WbData; waiting for the L2 to
+	// delete its backup.
+	memWaitAckBD
+)
+
+// memTrans is a per-line memory transaction.
+type memTrans struct {
+	phase int
+	req   pendingReq
+	queue []pendingReq
+
+	ackOSN msg.SerialNumber
+
+	pingTimer  *sim.Timer
+	ackBDTimer *sim.Timer
+}
+
+func (t *memTrans) timersOff() {
+	if t.pingTimer != nil {
+		t.pingTimer.Stop()
+	}
+	if t.ackBDTimer != nil {
+		t.ackBDTimer.Stop()
+	}
+}
+
+// Mem is an FtDirCMP memory controller: the same directory role as the
+// DirCMP one, plus reissue detection, the lost-unblock timeout toward the
+// L2, and the ownership-acknowledgment handshake on both transfer
+// directions.
+type Mem struct {
+	id     msg.NodeID
+	topo   proto.Topology
+	params proto.Params
+	engine *sim.Engine
+	net    proto.Sender
+	run    *stats.Run
+
+	store  *memctrl.Store
+	owned  map[msg.Addr]bool
+	trans  map[msg.Addr]*memTrans
+	serial *msg.SerialSpace
+}
+
+var _ proto.Inspectable = (*Mem)(nil)
+
+// NewMem builds an FtDirCMP memory controller over the given store.
+func NewMem(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.Engine,
+	net proto.Sender, run *stats.Run, store *memctrl.Store) *Mem {
+	return &Mem{
+		id:     id,
+		topo:   topo,
+		params: params,
+		engine: engine,
+		net:    net,
+		run:    run,
+		store:  store,
+		owned:  make(map[msg.Addr]bool),
+		trans:  make(map[msg.Addr]*memTrans),
+		serial: msg.NewSerialSpace(params.SerialBits),
+	}
+}
+
+// NodeID implements proto.Inspectable.
+func (c *Mem) NodeID() msg.NodeID { return c.id }
+
+// Quiesced reports whether no transaction is in flight.
+func (c *Mem) Quiesced() bool { return len(c.trans) == 0 }
+
+// Handle processes a delivered network message.
+func (c *Mem) Handle(m *msg.Message) {
+	switch m.Type {
+	case msg.GetX, msg.Put:
+		c.handleRequest(m)
+	case msg.UnblockEx, msg.Unblock:
+		c.handleUnblock(m)
+	case msg.WbData:
+		c.handleWbData(m)
+	case msg.WbNoData, msg.WbCancel:
+		c.handleWbNoData(m)
+	case msg.AckO:
+		c.handleAckO(m)
+	case msg.AckBD:
+		c.handleAckBD(m)
+	case msg.OwnershipPing:
+		c.handleOwnershipPing(m)
+	case msg.NackO:
+		c.handleNackO(m)
+	default:
+		protocolPanic("mem %d received unexpected %v", c.id, m)
+	}
+}
+
+// handleRequest starts, queues or re-answers (reissue) an L2 request.
+func (c *Mem) handleRequest(m *msg.Message) {
+	req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+	t := c.trans[m.Addr]
+	if t == nil {
+		if m.Type == msg.GetX && c.owned[m.Addr] {
+			// A superseded fetch attempt arriving after the whole exchange
+			// completed: answer with a stale-serial response the L2 will
+			// discard, changing nothing.
+			c.run.Proto.StaleSNDiscarded++
+			c.send(&msg.Message{
+				Type: msg.DataEx, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+				Payload: c.store.Read(m.Addr),
+			})
+			return
+		}
+		t = &memTrans{req: req}
+		c.trans[m.Addr] = t
+		c.service(m.Addr, t)
+		return
+	}
+	if t.req.from == m.Src && t.req.typ == m.Type {
+		if t.req.sn == m.SN {
+			return
+		}
+		t.req.sn = m.SN
+		c.resendResponse(m.Addr, t)
+		return
+	}
+	for i := range t.queue {
+		if t.queue[i].from == m.Src && t.queue[i].typ == m.Type {
+			t.queue[i].sn = m.SN
+			return
+		}
+	}
+	t.queue = append(t.queue, req)
+}
+
+func (c *Mem) service(addr msg.Addr, t *memTrans) {
+	switch t.req.typ {
+	case msg.GetX:
+		c.owned[addr] = true
+		payload := c.store.Read(addr)
+		from, sn := t.req.from, t.req.sn
+		t.phase = memWaitUnblock
+		c.engine.Schedule(c.params.MemLatency, func() {
+			c.send(&msg.Message{Type: msg.DataEx, Dst: from, Addr: addr, SN: sn, Payload: payload})
+		})
+		c.armPing(addr, t, msg.UnblockPing)
+	case msg.Put:
+		t.phase = memWaitWbData
+		c.send(&msg.Message{
+			Type: msg.WbAck, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			WantData: c.owned[addr],
+		})
+		c.armPing(addr, t, msg.WbPing)
+	default:
+		protocolPanic("mem %d cannot service %v", c.id, t.req.typ)
+	}
+}
+
+// resendResponse re-answers the in-service request after a reissue.
+func (c *Mem) resendResponse(addr msg.Addr, t *memTrans) {
+	switch t.phase {
+	case memWaitUnblock:
+		c.send(&msg.Message{
+			Type: msg.DataEx, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			Payload: c.store.Read(addr),
+		})
+	case memWaitWbData:
+		c.send(&msg.Message{
+			Type: msg.WbAck, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			WantData: c.owned[addr],
+		})
+	}
+}
+
+// armPing runs memory's lost-unblock timeout (§3.3: "FtDirCMP uses an
+// unblock timeout and UnblockPing in the memory controller too").
+func (c *Mem) armPing(addr msg.Addr, t *memTrans, ping msg.Type) {
+	if t.pingTimer == nil {
+		t.pingTimer = sim.NewTimer(c.engine)
+	}
+	wantPhase := memWaitUnblock
+	if ping == msg.WbPing {
+		wantPhase = memWaitWbData
+	}
+	t.pingTimer.Start(c.params.LostUnblockTimeout, func() {
+		if c.trans[addr] != t || t.phase != wantPhase {
+			return
+		}
+		c.run.Proto.LostUnblockTimeouts++
+		c.send(&msg.Message{Type: ping, Dst: t.req.from, Addr: addr, SN: t.req.sn})
+		c.armPing(addr, t, ping)
+	})
+}
+
+// handleUnblock closes a fetch transaction; the piggybacked AckO deletes
+// memory's backup role and is answered with AckBD.
+func (c *Mem) handleUnblock(m *msg.Message) {
+	t := c.trans[m.Addr]
+	if t == nil || t.phase != memWaitUnblock || m.Src != t.req.from {
+		if m.PiggybackAckO {
+			c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		}
+		c.run.Proto.StaleSNDiscarded++
+		return
+	}
+	if m.PiggybackAckO {
+		c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	}
+	c.finish(m.Addr, t)
+}
+
+// handleWbData stores the written-back data; ownership moved to memory, so
+// acknowledge and wait for the L2's backup deletion.
+func (c *Mem) handleWbData(m *msg.Message) {
+	t := c.trans[m.Addr]
+	if t == nil || t.phase != memWaitWbData || m.Src != t.req.from {
+		c.run.Proto.StaleSNDiscarded++
+		return
+	}
+	t.pingTimer.Stop()
+	c.store.Write(m.Addr, m.Payload)
+	c.owned[m.Addr] = false
+	t.phase = memWaitAckBD
+	t.ackOSN = m.SN
+	c.run.Proto.AcksOSent++
+	c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	c.armAckBD(m.Addr, t)
+}
+
+func (c *Mem) armAckBD(addr msg.Addr, t *memTrans) {
+	if t.ackBDTimer == nil {
+		t.ackBDTimer = sim.NewTimer(c.engine)
+	}
+	t.ackBDTimer.Start(c.params.LostAckBDTimeout, func() {
+		if c.trans[addr] != t || t.phase != memWaitAckBD {
+			return
+		}
+		c.run.Proto.LostAckBDTimeouts++
+		t.ackOSN = c.serial.Next()
+		c.run.Proto.AcksOSent++
+		c.send(&msg.Message{Type: msg.AckO, Dst: t.req.from, Addr: addr, SN: t.ackOSN})
+		c.armAckBD(addr, t)
+	})
+}
+
+// handleWbNoData closes a writeback without data (clean line or WbCancel).
+func (c *Mem) handleWbNoData(m *msg.Message) {
+	t := c.trans[m.Addr]
+	if t == nil || t.phase != memWaitWbData || m.Src != t.req.from {
+		c.run.Proto.StaleSNDiscarded++
+		return
+	}
+	t.pingTimer.Stop()
+	// WbCancel reports the writeback finished from the L2's point of view.
+	// Toward memory that always means the line left the chip: either the
+	// data arrived in an earlier exchange (ownership already cleared) or
+	// the eviction was clean and its WbNoData was lost. A refetch cannot
+	// have been granted meanwhile — this very transaction blocks the line —
+	// so clearing ownership is safe in both cases.
+	c.owned[m.Addr] = false
+	c.finish(m.Addr, t)
+}
+
+// handleAckO answers a standalone ownership acknowledgment (the L2's
+// lost-AckBD resend): the backup role here is implicit (memory always has
+// the data), so just acknowledge the deletion.
+func (c *Mem) handleAckO(m *msg.Message) {
+	c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+}
+
+// handleAckBD closes the WbData handshake.
+func (c *Mem) handleAckBD(m *msg.Message) {
+	t := c.trans[m.Addr]
+	if t == nil || t.phase != memWaitAckBD || m.Src != t.req.from {
+		c.run.Proto.StaleSNDiscarded++
+		return
+	}
+	if m.SN != t.ackOSN {
+		c.run.Proto.StaleSNDiscarded++
+		c.run.Proto.FalsePositives++
+		return
+	}
+	t.ackBDTimer.Stop()
+	c.finish(m.Addr, t)
+}
+
+// handleOwnershipPing confirms whether memory received the WbData the
+// pinging L2 holds a backup for.
+func (c *Mem) handleOwnershipPing(m *msg.Message) {
+	t := c.trans[m.Addr]
+	if t != nil && t.phase == memWaitAckBD && t.req.from == m.Src {
+		c.run.Proto.AcksOSent++
+		c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: t.ackOSN})
+		return
+	}
+	if t != nil && t.phase == memWaitWbData {
+		// Still waiting for the data: the L2's copy is the only one.
+		c.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		return
+	}
+	if !c.owned[m.Addr] {
+		// The handshake completed earlier; confirm idempotently.
+		c.run.Proto.AcksOSent++
+		c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		return
+	}
+	c.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+}
+
+// handleNackO is ignorable at memory: it never holds an explicit backup
+// entry (the store always retains the data).
+func (c *Mem) handleNackO(m *msg.Message) {}
+
+func (c *Mem) finish(addr msg.Addr, t *memTrans) {
+	t.timersOff()
+	if len(t.queue) == 0 {
+		delete(c.trans, addr)
+		return
+	}
+	t.req = t.queue[0]
+	t.queue = t.queue[1:]
+	t.phase = memIdle
+	c.service(addr, t)
+}
+
+func (c *Mem) send(m *msg.Message) {
+	m.Src = c.id
+	c.net.Send(m)
+}
+
+// InspectLines implements proto.Inspectable. Memory owns every line the
+// chip has not claimed; while a DataEx it sent is unacknowledged, it
+// reports itself as the (off-chip) backup.
+func (c *Mem) InspectLines(fn func(proto.LineView)) {
+	seen := make(map[msg.Addr]bool, len(c.owned))
+	emit := func(addr msg.Addr) {
+		if seen[addr] || c.topo.HomeMem(addr) != c.id {
+			return
+		}
+		seen[addr] = true
+		t := c.trans[addr]
+		backup := t != nil && t.phase == memWaitUnblock
+		fn(proto.LineView{
+			Addr:      addr,
+			Owner:     !c.owned[addr] || (t != nil && t.phase == memWaitAckBD),
+			Backup:    backup,
+			Transient: t != nil,
+			Payload:   c.store.Read(addr),
+		})
+	}
+	for addr := range c.owned {
+		emit(addr)
+	}
+	c.store.ForEach(func(addr msg.Addr, _ msg.Payload) { emit(addr) })
+}
+
+// Owned reports whether the chip currently owns addr.
+func (c *Mem) Owned(addr msg.Addr) bool { return c.owned[addr] }

@@ -1,0 +1,95 @@
+// Package dircmp implements DirCMP, the baseline MOESI directory-based
+// cache coherence protocol the paper extends (§2). It assumes a reliable
+// interconnection network: losing any message deadlocks the protocol (and
+// may lose data), which is exactly the property the evaluation demonstrates
+// and FtDirCMP (package core) repairs.
+//
+// Protocol summary:
+//
+//   - The L2 is shared, physically distributed (one bank per tile,
+//     line-interleaved homes) and non-inclusive; each bank acts as the
+//     directory for the L1 caches.
+//   - Per-line busy states serialize transactions: the directory attends
+//     one request per line at a time and defers the rest in a queue until
+//     the Unblock/UnblockEx (or the writeback data) closes the transaction.
+//   - Writebacks are three-phase (Put → WbAck → WbData/WbNoData) to
+//     coordinate them with other requests.
+//   - A migratory-sharing optimization converts read-modify-write sharing
+//     into exclusive grants.
+//
+// The implementation is single-threaded by construction: all controllers
+// run inside the discrete-event engine.
+package dircmp
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+)
+
+// L1 stable line states (stored in cache.Line.State).
+const (
+	// StateS is shared, read-only.
+	StateS = iota + 1
+	// StateE is exclusive clean: read/write, silently upgradable to M.
+	StateE
+	// StateM is modified: the only valid copy, read/write.
+	StateM
+	// StateO is owned: read-only here, possibly shared elsewhere, this
+	// cache is responsible for supplying and writing back the data.
+	StateO
+)
+
+// L2 directory states.
+const (
+	// L2StateS: the L2 bank owns the data; Sharers lists L1s with copies.
+	L2StateS = iota + 1
+	// L2StateM: an L1 (Line.Owner) owns the line; the L2 data is stale.
+	// Sharers may be non-empty when the owner is in O.
+	L2StateM
+)
+
+// stateName renders an L1 state for diagnostics.
+func stateName(s int) string {
+	switch s {
+	case StateS:
+		return "S"
+	case StateE:
+		return "E"
+	case StateM:
+		return "M"
+	case StateO:
+		return "O"
+	default:
+		return fmt.Sprintf("state(%d)", s)
+	}
+}
+
+// ownerState reports whether an L1 state carries ownership.
+func ownerState(s int) bool {
+	return s == StateE || s == StateM || s == StateO
+}
+
+// writableState reports whether stores may hit in the state.
+func writableState(s int) bool {
+	return s == StateE || s == StateM
+}
+
+// permOf maps an L1 state to the checker's permission view.
+func permOf(s int) proto.Permission {
+	switch s {
+	case StateS, StateO:
+		return proto.PermRead
+	case StateE, StateM:
+		return proto.PermWrite
+	default:
+		return proto.PermNone
+	}
+}
+
+// protocolPanic reports an internal protocol invariant violation. DirCMP
+// runs only on a reliable network, so reaching an impossible state always
+// means a simulator bug; failing fast keeps tests honest.
+func protocolPanic(format string, args ...any) {
+	panic("dircmp: protocol invariant violated: " + fmt.Sprintf(format, args...))
+}

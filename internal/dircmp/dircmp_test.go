@@ -1,0 +1,193 @@
+package dircmp
+
+// White-box tests for the DirCMP baseline controllers with a fake network.
+
+import (
+	"testing"
+
+	"repro/internal/memctrl"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+type fakeNet struct {
+	sent []*msg.Message
+}
+
+func (f *fakeNet) Send(m *msg.Message) { f.sent = append(f.sent, m) }
+
+func (f *fakeNet) take() []*msg.Message {
+	out := f.sent
+	f.sent = nil
+	return out
+}
+
+func (f *fakeNet) lastOfType(t msg.Type) *msg.Message {
+	for i := len(f.sent) - 1; i >= 0; i-- {
+		if f.sent[i].Type == t {
+			return f.sent[i]
+		}
+	}
+	return nil
+}
+
+func testParams() proto.Params {
+	return proto.Params{
+		LineSize: 64, L1Size: 4 * 1024, L1Ways: 4,
+		L2Size: 16 * 1024, L2Ways: 4,
+		L1HitLatency: 1, L2HitLatency: 2, MemLatency: 10,
+		MigratoryOpt: true, SerialBits: 8,
+	}
+}
+
+func testTopo() proto.Topology {
+	return proto.Topology{Tiles: 4, Mems: 2, LineSize: 64}
+}
+
+func TestStateHelpers(t *testing.T) {
+	if !ownerState(StateM) || !ownerState(StateE) || !ownerState(StateO) || ownerState(StateS) {
+		t.Fatal("ownerState wrong")
+	}
+	if !writableState(StateM) || !writableState(StateE) || writableState(StateO) || writableState(StateS) {
+		t.Fatal("writableState wrong")
+	}
+	if permOf(StateS) != proto.PermRead || permOf(StateM) != proto.PermWrite || permOf(0) != proto.PermNone {
+		t.Fatal("permOf wrong")
+	}
+	for _, s := range []int{StateS, StateE, StateM, StateO} {
+		if stateName(s) == "" {
+			t.Fatal("missing state name")
+		}
+	}
+}
+
+func TestL1ReadMissIssuesGetS(t *testing.T) {
+	topo := testTopo()
+	engine := sim.NewEngine()
+	net := &fakeNet{}
+	run := stats.NewRun("DirCMP", "unit")
+	l1, err := NewL1(topo.L1(0), topo, testParams(), engine, net, run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	var got proto.AccessResult
+	l1.Read(0x40, func(r proto.AccessResult) { done = true; got = r })
+	req := net.lastOfType(msg.GetS)
+	if req == nil || req.Dst != topo.HomeL2(0x40) {
+		t.Fatalf("no GetS to the home bank: %v", net.sent)
+	}
+	net.take()
+	l1.Handle(&msg.Message{
+		Type: msg.Data, Src: req.Dst, Dst: l1.NodeID(), Addr: 0x40,
+		Payload: msg.Payload{Value: 11, Version: 2},
+	})
+	engine.RunUntil(1000, func() bool { return done })
+	if !done || got.Value != 11 || got.Version != 2 || got.Hit {
+		t.Fatalf("miss result %+v", got)
+	}
+	if un := net.lastOfType(msg.Unblock); un == nil {
+		t.Fatalf("no Unblock after the fill: %v", net.sent)
+	}
+}
+
+func TestL1WriteMissWaitsForAcks(t *testing.T) {
+	topo := testTopo()
+	engine := sim.NewEngine()
+	net := &fakeNet{}
+	run := stats.NewRun("DirCMP", "unit")
+	l1, err := NewL1(topo.L1(0), topo, testParams(), engine, net, run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	l1.Write(0x40, 9, func(proto.AccessResult) { done = true })
+	net.take()
+	home := topo.HomeL2(0x40)
+	l1.Handle(&msg.Message{
+		Type: msg.DataEx, Src: home, Dst: l1.NodeID(), Addr: 0x40, AckCount: 2,
+		Payload: msg.Payload{Value: 1, Version: 1},
+	})
+	engine.RunUntil(1000, func() bool { return done })
+	if done {
+		t.Fatal("write completed before the invalidation acks")
+	}
+	l1.Handle(&msg.Message{Type: msg.Ack, Src: topo.L1(1), Dst: l1.NodeID(), Addr: 0x40})
+	l1.Handle(&msg.Message{Type: msg.Ack, Src: topo.L1(2), Dst: l1.NodeID(), Addr: 0x40})
+	engine.RunUntil(1000, func() bool { return done })
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if un := net.lastOfType(msg.UnblockEx); un == nil {
+		t.Fatalf("no UnblockEx: %v", net.sent)
+	}
+}
+
+func TestL1AcksArrivingBeforeData(t *testing.T) {
+	topo := testTopo()
+	engine := sim.NewEngine()
+	net := &fakeNet{}
+	run := stats.NewRun("DirCMP", "unit")
+	l1, err := NewL1(topo.L1(0), topo, testParams(), engine, net, run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	l1.Write(0x40, 9, func(proto.AccessResult) { done = true })
+	// Both acks overtake the data (different virtual channels).
+	l1.Handle(&msg.Message{Type: msg.Ack, Src: topo.L1(1), Dst: l1.NodeID(), Addr: 0x40})
+	l1.Handle(&msg.Message{Type: msg.Ack, Src: topo.L1(2), Dst: l1.NodeID(), Addr: 0x40})
+	l1.Handle(&msg.Message{
+		Type: msg.DataEx, Src: topo.HomeL2(0x40), Dst: l1.NodeID(), Addr: 0x40, AckCount: 2,
+		Payload: msg.Payload{Value: 1, Version: 1},
+	})
+	engine.RunUntil(1000, func() bool { return done })
+	if !done {
+		t.Fatal("early acks were lost")
+	}
+}
+
+func TestMemPutWithoutOwnershipWantsNoData(t *testing.T) {
+	topo := testTopo()
+	engine := sim.NewEngine()
+	net := &fakeNet{}
+	run := stats.NewRun("DirCMP", "unit")
+	mem := NewMem(topo.Mem(0), topo, testParams(), engine, net, run, memctrl.NewStore())
+	mem.Handle(&msg.Message{Type: msg.Put, Src: topo.L2(0), Dst: mem.NodeID(), Addr: 0, SN: 1})
+	wa := net.lastOfType(msg.WbAck)
+	if wa == nil || wa.WantData {
+		t.Fatalf("stale Put answered wrongly: %v", net.sent)
+	}
+	mem.Handle(&msg.Message{Type: msg.WbNoData, Src: topo.L2(0), Dst: mem.NodeID(), Addr: 0, SN: 1})
+	if !mem.Quiesced() {
+		t.Fatal("transaction not closed")
+	}
+}
+
+func TestMemStoresWbData(t *testing.T) {
+	topo := testTopo()
+	engine := sim.NewEngine()
+	net := &fakeNet{}
+	run := stats.NewRun("DirCMP", "unit")
+	store := memctrl.NewStore()
+	mem := NewMem(topo.Mem(0), topo, testParams(), engine, net, run, store)
+	l2 := topo.L2(0)
+	mem.Handle(&msg.Message{Type: msg.GetX, Src: l2, Dst: mem.NodeID(), Addr: 0, SN: 1})
+	if err := engine.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	mem.Handle(&msg.Message{Type: msg.UnblockEx, Src: l2, Dst: mem.NodeID(), Addr: 0, SN: 1})
+	mem.Handle(&msg.Message{Type: msg.Put, Src: l2, Dst: mem.NodeID(), Addr: 0, SN: 2})
+	mem.Handle(&msg.Message{
+		Type: msg.WbData, Src: l2, Dst: mem.NodeID(), Addr: 0, SN: 2,
+		Payload: msg.Payload{Value: 77, Version: 4}, Dirty: true,
+	})
+	if got := store.Read(0); got.Value != 77 || got.Version != 4 {
+		t.Fatalf("store holds %+v", got)
+	}
+	if mem.Owned(0) {
+		t.Fatal("ownership not cleared")
+	}
+}

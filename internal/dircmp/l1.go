@@ -1,0 +1,473 @@
+package dircmp
+
+import (
+	"repro/internal/cache"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// l1Miss is an L1 MSHR entry: one outstanding transaction for one line.
+type l1Miss struct {
+	write    bool
+	value    uint64
+	issuedAt uint64
+
+	dataArrived   bool
+	exclusive     bool
+	dirty         bool
+	noPayload     bool
+	payload       msg.Payload
+	ackCountKnown bool
+	needAcks      int
+	acksSeen      int
+
+	done    func(proto.AccessResult)
+	waiters []func()
+}
+
+// l1WB is a writeback-buffer entry: an evicted owned line between Put and
+// WbData/WbNoData.
+type l1WB struct {
+	payload     msg.Payload
+	dirty       bool
+	transferred bool // ownership handed to another node while Put pending
+	waiters     []func()
+}
+
+// L1 is a DirCMP level-1 cache controller, one per tile.
+type L1 struct {
+	id     msg.NodeID
+	topo   proto.Topology
+	params proto.Params
+	engine *sim.Engine
+	net    proto.Sender
+	run    *stats.Run
+
+	array   *cache.Array
+	mshr    *cache.Table[l1Miss]
+	wb      *cache.Table[l1WB]
+	onWrite proto.WriteObserver
+}
+
+var _ proto.L1Port = (*L1)(nil)
+var _ proto.Inspectable = (*L1)(nil)
+
+// NewL1 builds an L1 controller. onWrite may be nil.
+func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.Engine,
+	net proto.Sender, run *stats.Run, onWrite proto.WriteObserver) (*L1, error) {
+	arr, err := cache.NewArray(params.L1Size, params.L1Ways, params.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &L1{
+		id:      id,
+		topo:    topo,
+		params:  params,
+		engine:  engine,
+		net:     net,
+		run:     run,
+		array:   arr,
+		mshr:    cache.NewTable[l1Miss](params.MSHRs),
+		wb:      cache.NewTable[l1WB](0),
+		onWrite: onWrite,
+	}, nil
+}
+
+// NodeID implements proto.Inspectable.
+func (l *L1) NodeID() msg.NodeID { return l.id }
+
+// Quiesced implements proto.L1Port.
+func (l *L1) Quiesced() bool { return l.mshr.Len() == 0 && l.wb.Len() == 0 }
+
+// Read implements proto.L1Port.
+func (l *L1) Read(addr msg.Addr, done func(proto.AccessResult)) {
+	addr = l.topo.LineAddr(addr)
+	if line := l.array.Lookup(addr); line != nil && l.mshr.Get(addr) == nil {
+		l.array.Touch(line)
+		l.run.Proto.ReadHits++
+		res := proto.AccessResult{
+			Hit:     true,
+			Value:   line.Payload.Value,
+			Version: line.Payload.Version,
+			Latency: l.params.L1HitLatency,
+		}
+		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		return
+	}
+	if l.defer_(addr, func() { l.Read(addr, done) }) {
+		return
+	}
+	l.run.Proto.ReadMisses++
+	l.startMiss(addr, false, 0, done)
+}
+
+// Write implements proto.L1Port.
+func (l *L1) Write(addr msg.Addr, value uint64, done func(proto.AccessResult)) {
+	addr = l.topo.LineAddr(addr)
+	if line := l.array.Lookup(addr); line != nil && l.mshr.Get(addr) == nil && writableState(line.State) {
+		l.array.Touch(line)
+		if line.State == StateE {
+			line.State = StateM
+		}
+		line.Dirty = true
+		line.Payload.Value = value
+		line.Payload.Version++
+		if l.onWrite != nil {
+			l.onWrite(addr, line.Payload.Version, value)
+		}
+		l.run.Proto.WriteHits++
+		res := proto.AccessResult{
+			Hit:     true,
+			Value:   value,
+			Version: line.Payload.Version,
+			Latency: l.params.L1HitLatency,
+		}
+		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		return
+	}
+	if l.defer_(addr, func() { l.Write(addr, value, done) }) {
+		return
+	}
+	l.run.Proto.WriteMisses++
+	l.startMiss(addr, true, value, done)
+}
+
+// defer_ queues the operation behind an in-flight transaction for the same
+// line (an active miss or a pending writeback) and reports whether it did.
+func (l *L1) defer_(addr msg.Addr, retry func()) bool {
+	if e := l.mshr.Get(addr); e != nil {
+		e.waiters = append(e.waiters, retry)
+		return true
+	}
+	if w := l.wb.Get(addr); w != nil {
+		w.waiters = append(w.waiters, retry)
+		return true
+	}
+	return false
+}
+
+// startMiss allocates an MSHR and issues the request to the home L2.
+func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.AccessResult)) {
+	e := l.mshr.Alloc(addr)
+	if e == nil {
+		// MSHR full: retry shortly. The in-order core never exceeds one
+		// outstanding access, so this only matters for stress tests.
+		l.engine.Schedule(1, func() {
+			if write {
+				l.Write(addr, value, done)
+			} else {
+				l.Read(addr, done)
+			}
+		})
+		return
+	}
+	e.write = write
+	e.value = value
+	e.issuedAt = l.engine.Now()
+	e.done = done
+
+	typ := msg.GetS
+	if write {
+		typ = msg.GetX
+	}
+	l.send(&msg.Message{Type: typ, Dst: l.topo.HomeL2(addr), Addr: addr})
+}
+
+// Handle processes a delivered network message.
+func (l *L1) Handle(m *msg.Message) {
+	switch m.Type {
+	case msg.Data:
+		l.handleData(m, false)
+	case msg.DataEx:
+		l.handleData(m, true)
+	case msg.Ack:
+		l.handleAck(m)
+	case msg.Inv:
+		l.handleInv(m)
+	case msg.GetS:
+		l.handleFwdGetS(m)
+	case msg.GetX:
+		l.handleFwdGetX(m)
+	case msg.WbAck:
+		l.handleWbAck(m)
+	default:
+		protocolPanic("L1 %d received unexpected %v", l.id, m)
+	}
+}
+
+func (l *L1) handleData(m *msg.Message, exclusive bool) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil {
+		protocolPanic("L1 %d data response with no MSHR: %v", l.id, m)
+	}
+	e.dataArrived = true
+	e.exclusive = exclusive
+	e.dirty = m.Dirty
+	e.noPayload = m.NoPayload
+	if !m.NoPayload {
+		e.payload = m.Payload
+	}
+	if exclusive {
+		e.ackCountKnown = true
+		e.needAcks = m.AckCount
+	}
+	l.tryComplete(m.Addr, e)
+}
+
+func (l *L1) handleAck(m *msg.Message) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil {
+		protocolPanic("L1 %d ack with no MSHR: %v", l.id, m)
+	}
+	e.acksSeen++
+	l.tryComplete(m.Addr, e)
+}
+
+// handleInv invalidates a shared copy and acknowledges to the requester.
+// Acking a line we no longer hold is safe (directory sharer lists can be
+// stale because S evictions are silent).
+func (l *L1) handleInv(m *msg.Message) {
+	if line := l.array.Lookup(m.Addr); line != nil {
+		if ownerState(line.State) {
+			protocolPanic("L1 %d Inv for owned line %#x in %s", l.id, m.Addr, stateName(line.State))
+		}
+		line.Valid = false
+	}
+	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, SN: m.SN})
+}
+
+// handleFwdGetS serves a read request forwarded by the directory: this
+// cache owns the line (or holds it in the writeback buffer).
+func (l *L1) handleFwdGetS(m *msg.Message) {
+	payload, dirty, ok := l.takeOwnedData(m.Addr, m.Migratory)
+	if !ok {
+		protocolPanic("L1 %d fwd GetS for line %#x it does not own", l.id, m.Addr)
+	}
+	l.run.Proto.CacheToCacheTransfers++
+	if m.Migratory {
+		// Migratory optimization: hand the requester exclusive ownership.
+		l.send(&msg.Message{
+			Type: msg.DataEx, Dst: m.Requestor, Addr: m.Addr, SN: m.SN,
+			Payload: payload, Dirty: true, AckCount: m.AckCount,
+		})
+		return
+	}
+	l.send(&msg.Message{
+		Type: msg.Data, Dst: m.Requestor, Addr: m.Addr, SN: m.SN,
+		Payload: payload, Dirty: dirty,
+	})
+}
+
+// handleFwdGetX serves a write request forwarded by the directory,
+// transferring ownership and invalidating the local copy.
+func (l *L1) handleFwdGetX(m *msg.Message) {
+	payload, _, ok := l.takeOwnedData(m.Addr, true)
+	if !ok {
+		protocolPanic("L1 %d fwd GetX for line %#x it does not own", l.id, m.Addr)
+	}
+	l.run.Proto.CacheToCacheTransfers++
+	l.send(&msg.Message{
+		Type: msg.DataEx, Dst: m.Requestor, Addr: m.Addr, SN: m.SN,
+		Payload: payload, Dirty: true, AckCount: m.AckCount,
+	})
+}
+
+// takeOwnedData fetches the line's data for a forwarded request, from the
+// array or the writeback buffer. When invalidate is true the local copy is
+// relinquished (ownership moves); otherwise M/E owners degrade to O.
+func (l *L1) takeOwnedData(addr msg.Addr, invalidate bool) (msg.Payload, bool, bool) {
+	if line := l.array.Lookup(addr); line != nil && ownerState(line.State) {
+		payload, dirty := line.Payload, line.Dirty || line.State == StateM
+		if invalidate {
+			line.Valid = false
+		} else {
+			line.State = StateO
+		}
+		return payload, dirty, true
+	}
+	if w := l.wb.Get(addr); w != nil && !w.transferred {
+		// Ownership leaves the writeback buffer only when the forward
+		// transfers it; a plain GetS is served from here while the
+		// eventual WbData still carries the data (and ownership) to the L2.
+		if invalidate {
+			w.transferred = true
+		}
+		return w.payload, w.dirty, true
+	}
+	return msg.Payload{}, false, false
+}
+
+// handleWbAck completes the second phase of a writeback: send the data (or
+// WbNoData when the directory does not need it or ownership already moved).
+func (l *L1) handleWbAck(m *msg.Message) {
+	w := l.wb.Get(m.Addr)
+	if w == nil {
+		protocolPanic("L1 %d WbAck with no writeback pending for %#x", l.id, m.Addr)
+	}
+	if m.WantData && !w.transferred {
+		l.send(&msg.Message{
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Payload: w.payload, Dirty: w.dirty,
+		})
+	} else {
+		l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	}
+	waiters := w.waiters
+	l.wb.Free(m.Addr)
+	l.wake(waiters)
+}
+
+// tryComplete finishes the miss once the data and every required
+// invalidation acknowledgment have arrived.
+func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
+	if !e.dataArrived {
+		return
+	}
+	if e.write && (!e.ackCountKnown || e.acksSeen < e.needAcks) {
+		return
+	}
+	if !e.write && e.ackCountKnown && e.acksSeen < e.needAcks {
+		return
+	}
+
+	// Determine the final state and payload.
+	var state int
+	switch {
+	case e.write:
+		state = StateM
+	case e.exclusive && e.dirty:
+		state = StateM // migratory grant of dirty data
+	case e.exclusive:
+		state = StateE
+	default:
+		state = StateS
+	}
+
+	payload := e.payload
+	if e.noPayload {
+		// Upgrade grant: we are the owner and already hold the only valid
+		// data (the directory only elides the payload in that case).
+		line := l.array.Lookup(addr)
+		if line == nil {
+			protocolPanic("L1 %d dataless grant for %#x without a local copy", l.id, addr)
+		}
+		payload = line.Payload
+	}
+
+	if e.write {
+		payload.Value = e.value
+		payload.Version++
+	}
+
+	dirty := e.dirty || e.write
+	l.place(addr, state, payload, dirty, func(line *cache.Line) {
+		if e.write {
+			if l.onWrite != nil {
+				l.onWrite(addr, payload.Version, payload.Value)
+			}
+		}
+		// Notify the directory that the miss completed.
+		unblock := msg.Unblock
+		if e.exclusive || e.write {
+			unblock = msg.UnblockEx
+		}
+		l.send(&msg.Message{Type: unblock, Dst: l.topo.HomeL2(addr), Addr: addr})
+
+		latency := l.engine.Now() - e.issuedAt
+		l.run.Proto.MissLatency(latency)
+		res := proto.AccessResult{
+			Value:   payload.Value,
+			Version: payload.Version,
+			Latency: latency,
+		}
+		done := e.done
+		waiters := e.waiters
+		l.mshr.Free(addr)
+		if done != nil {
+			done(res)
+		}
+		l.wake(waiters)
+	})
+}
+
+// place installs a line in the array, evicting a victim if necessary, then
+// runs then. If every way is pinned it retries until one frees up.
+func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, then func(*cache.Line)) {
+	if line := l.array.Lookup(addr); line != nil {
+		// Upgrade path: the frame already holds the line.
+		line.State = state
+		line.Payload = payload
+		line.Dirty = dirty
+		l.array.Touch(line)
+		then(line)
+		return
+	}
+	victim := l.array.Victim(addr, func(c *cache.Line) bool {
+		return l.mshr.Get(c.Addr) == nil && l.wb.Get(c.Addr) == nil
+	})
+	if victim == nil {
+		l.engine.Schedule(4, func() { l.place(addr, state, payload, dirty, then) })
+		return
+	}
+	if victim.Valid {
+		l.evict(victim)
+	}
+	victim.Reset(addr)
+	victim.State = state
+	victim.Payload = payload
+	victim.Dirty = dirty
+	l.array.Touch(victim)
+	then(victim)
+}
+
+// evict starts a three-phase writeback for owned lines; shared lines are
+// dropped silently (the directory tolerates stale sharers).
+func (l *L1) evict(line *cache.Line) {
+	if !ownerState(line.State) {
+		line.Valid = false
+		return
+	}
+	w := l.wb.Alloc(line.Addr)
+	if w == nil {
+		protocolPanic("L1 %d duplicate writeback for %#x", l.id, line.Addr)
+	}
+	w.payload = line.Payload
+	w.dirty = line.Dirty || line.State == StateM
+	l.run.Proto.Writebacks++
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(line.Addr), Addr: line.Addr})
+	line.Valid = false
+}
+
+func (l *L1) wake(waiters []func()) {
+	for _, w := range waiters {
+		l.engine.Schedule(0, w)
+	}
+}
+
+func (l *L1) send(m *msg.Message) {
+	m.Src = l.id
+	l.net.Send(m)
+}
+
+// InspectLines implements proto.Inspectable.
+func (l *L1) InspectLines(fn func(proto.LineView)) {
+	l.array.ForEach(func(c *cache.Line) {
+		fn(proto.LineView{
+			Addr:      c.Addr,
+			Perm:      permOf(c.State),
+			Owner:     ownerState(c.State),
+			Transient: l.mshr.Get(c.Addr) != nil,
+			Payload:   c.Payload,
+		})
+	})
+	l.wb.ForEach(func(addr msg.Addr, w *l1WB) {
+		fn(proto.LineView{
+			Addr:      addr,
+			Owner:     !w.transferred,
+			Transient: true,
+			Payload:   w.payload,
+		})
+	})
+}

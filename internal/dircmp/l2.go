@@ -1,0 +1,536 @@
+package dircmp
+
+import (
+	"repro/internal/cache"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Transaction phases for the per-line L2 MSHR. The directory attends one
+// transaction per line at a time; everything else queues.
+const (
+	phaseIdle = iota
+	// phaseWaitUnblock: a response or forward was sent; waiting for the
+	// requester's Unblock/UnblockEx.
+	phaseWaitUnblock
+	// phaseWaitWbData: WbAck sent; waiting for WbData/WbNoData.
+	phaseWaitWbData
+	// phaseWaitMemData: GetX sent to memory; waiting for the data.
+	phaseWaitMemData
+	// phaseWaitRecall: eviction in progress; waiting for the owner's data
+	// and/or sharers' acks.
+	phaseWaitRecall
+	// phaseWaitMemWbAck: Put sent to memory; waiting for its WbAck.
+	phaseWaitMemWbAck
+)
+
+// pendingReq is a deferred or in-service L1 request.
+type pendingReq struct {
+	typ  msg.Type
+	from msg.NodeID
+	sn   msg.SerialNumber
+}
+
+// l2Trans is the per-line transaction record.
+type l2Trans struct {
+	phase int
+	evict bool // this transaction evicts the line rather than serving a request
+	req   pendingReq
+	queue []pendingReq
+
+	// Recall bookkeeping (eviction of lines with L1 copies).
+	pendingAcks int
+	needData    bool
+	gotData     bool
+	recalled    msg.Payload
+	recallDirty bool
+
+	// Parked memory fetch results, installed once a frame frees up.
+	fetched      msg.Payload
+	fetchedDirty bool
+
+	// Eviction writeback data held between Put and WbData to memory.
+	wbPayload msg.Payload
+	wbDirty   bool
+	wbValid   bool
+
+	// Continuations run when an eviction transaction completes (used by
+	// fetches waiting for a frame).
+	onDone []func()
+}
+
+// migInfo is the per-line migratory-sharing detector state: a line becomes
+// migratory when a node writes the line it just read while others were
+// using it (read-modify-write), and stops being migratory when two
+// different nodes read it in a row.
+type migInfo struct {
+	lastReader  msg.NodeID
+	lastWasRead bool
+	migratory   bool
+}
+
+// L2 is a DirCMP shared-L2 bank plus its slice of the directory.
+type L2 struct {
+	id     msg.NodeID
+	topo   proto.Topology
+	params proto.Params
+	engine *sim.Engine
+	net    proto.Sender
+	run    *stats.Run
+
+	array *cache.Array
+	trans *cache.Table[l2Trans]
+	mig   map[msg.Addr]*migInfo
+}
+
+var _ proto.Inspectable = (*L2)(nil)
+
+// NewL2 builds an L2 bank controller.
+func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.Engine,
+	net proto.Sender, run *stats.Run) (*L2, error) {
+	arr, err := cache.NewArray(params.L2Size, params.L2Ways, params.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &L2{
+		id:     id,
+		topo:   topo,
+		params: params,
+		engine: engine,
+		net:    net,
+		run:    run,
+		array:  arr,
+		trans:  cache.NewTable[l2Trans](0),
+		mig:    make(map[msg.Addr]*migInfo),
+	}, nil
+}
+
+// NodeID implements proto.Inspectable.
+func (l *L2) NodeID() msg.NodeID { return l.id }
+
+// Quiesced reports whether no transaction is in flight at this bank.
+func (l *L2) Quiesced() bool { return l.trans.Len() == 0 }
+
+// Handle processes a delivered network message.
+func (l *L2) Handle(m *msg.Message) {
+	switch m.Type {
+	case msg.GetS, msg.GetX, msg.Put:
+		l.handleRequest(m)
+	case msg.Unblock, msg.UnblockEx:
+		l.handleUnblock(m)
+	case msg.WbData, msg.WbNoData:
+		l.handleWbData(m)
+	case msg.Data, msg.DataEx:
+		l.handleData(m)
+	case msg.Ack:
+		l.handleRecallAck(m)
+	case msg.WbAck:
+		l.handleMemWbAck(m)
+	default:
+		protocolPanic("L2 %d received unexpected %v", l.id, m)
+	}
+}
+
+// handleRequest starts or queues an L1 request.
+func (l *L2) handleRequest(m *msg.Message) {
+	req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+	if t := l.trans.Get(m.Addr); t != nil {
+		t.queue = append(t.queue, req)
+		return
+	}
+	t := l.trans.Alloc(m.Addr)
+	t.req = req
+	l.service(m.Addr, t)
+}
+
+// service executes the current request against the directory state. It may
+// be re-run after a memory fetch installs the line.
+func (l *L2) service(addr msg.Addr, t *l2Trans) {
+	line := l.array.Lookup(addr)
+	r := t.req
+	switch r.typ {
+	case msg.GetS:
+		l.migOnRead(addr, r.from)
+		if line == nil {
+			l.startFetch(addr, t)
+			return
+		}
+		l.array.Touch(line)
+		if line.State == L2StateS {
+			if line.Sharers.Empty() {
+				// Exclusive grant: E if clean, M if dirty.
+				l.send(&msg.Message{
+					Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+					Payload: line.Payload, Dirty: line.Dirty,
+				})
+				line.State = L2StateM
+				line.Owner = r.from
+			} else {
+				l.send(&msg.Message{
+					Type: msg.Data, Dst: r.from, Addr: addr, SN: r.sn,
+					Payload: line.Payload,
+				})
+				line.Sharers.Add(l.topo.SharerIndex(r.from))
+			}
+			t.phase = phaseWaitUnblock
+			return
+		}
+		// An L1 owns the line: forward the request.
+		if line.Owner == r.from {
+			protocolPanic("L2 %d GetS from current owner %d for %#x", l.id, r.from, addr)
+		}
+		if l.params.MigratoryOpt && l.migratory(addr) && line.Sharers.Empty() {
+			l.run.Proto.MigratoryGrants++
+			// The grantee's read-modify-write store will hit locally and
+			// never reach the directory, so record the implied write here;
+			// otherwise the next reader would look like plain read sharing
+			// and demote the line after every migration.
+			l.migOnWrite(addr, r.from)
+			l.send(&msg.Message{
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Forwarded: true, Migratory: true, Requestor: r.from,
+			})
+			line.Owner = r.from
+		} else {
+			l.send(&msg.Message{
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Forwarded: true, Requestor: r.from,
+			})
+			line.Sharers.Add(l.topo.SharerIndex(r.from))
+		}
+		t.phase = phaseWaitUnblock
+
+	case msg.GetX:
+		l.migOnWrite(addr, r.from)
+		if line == nil {
+			l.startFetch(addr, t)
+			return
+		}
+		l.array.Touch(line)
+		invs := l.sendInvalidations(line, r.from, r.sn)
+		if line.State == L2StateS {
+			l.send(&msg.Message{
+				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				Payload: line.Payload, Dirty: line.Dirty, AckCount: invs,
+			})
+			line.State = L2StateM
+			line.Owner = r.from
+		} else if line.Owner == r.from {
+			// Upgrade by the owner (O state): it already holds the only
+			// valid data, so the grant is dataless.
+			l.send(&msg.Message{
+				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				NoPayload: true, AckCount: invs,
+			})
+		} else {
+			l.send(&msg.Message{
+				Type: msg.GetX, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Forwarded: true, Requestor: r.from, AckCount: invs,
+			})
+			line.Owner = r.from
+		}
+		line.Sharers.Clear()
+		t.phase = phaseWaitUnblock
+
+	case msg.Put:
+		if line != nil && line.State == L2StateM && line.Owner == r.from {
+			l.send(&msg.Message{
+				Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn, WantData: true,
+			})
+		} else {
+			// Stale writeback: the ownership already moved (or the line
+			// was evicted from L2); let the L1 finish without data.
+			l.send(&msg.Message{Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn})
+		}
+		t.phase = phaseWaitWbData
+
+	default:
+		protocolPanic("L2 %d cannot service %v", l.id, r.typ)
+	}
+}
+
+// sendInvalidations sends Inv to every sharer except the requester and
+// returns how many were sent.
+func (l *L2) sendInvalidations(line *cache.Line, requester msg.NodeID, sn msg.SerialNumber) int {
+	count := 0
+	line.Sharers.ForEach(func(i int) {
+		dst := l.topo.L1FromSharerIndex(i)
+		if dst == requester {
+			return
+		}
+		count++
+		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: line.Addr, SN: sn, Requestor: requester})
+	})
+	return count
+}
+
+// handleUnblock closes the current transaction.
+func (l *L2) handleUnblock(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitUnblock {
+		protocolPanic("L2 %d unexpected %v", l.id, m)
+	}
+	if m.Src != t.req.from {
+		protocolPanic("L2 %d unblock from %d, expected %d", l.id, m.Src, t.req.from)
+	}
+	l.finish(m.Addr, t)
+}
+
+// handleWbData closes a writeback transaction, absorbing the data.
+func (l *L2) handleWbData(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitWbData {
+		protocolPanic("L2 %d unexpected %v", l.id, m)
+	}
+	if m.Type == msg.WbData {
+		line := l.array.Lookup(m.Addr)
+		if line == nil || line.State != L2StateM || line.Owner != t.req.from {
+			protocolPanic("L2 %d WbData for line it did not expect: %v", l.id, m)
+		}
+		line.State = L2StateS
+		line.Owner = 0
+		line.Payload = m.Payload
+		line.Dirty = m.Dirty
+	}
+	l.finish(m.Addr, t)
+}
+
+// handleData receives either a memory fetch completion or recalled data
+// from an owner during eviction.
+func (l *L2) handleData(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil {
+		protocolPanic("L2 %d data with no transaction: %v", l.id, m)
+	}
+	switch t.phase {
+	case phaseWaitMemData:
+		// Release memory immediately; frame installation may wait.
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr})
+		t.fetched = m.Payload
+		t.fetchedDirty = m.Dirty
+		l.install(m.Addr, t)
+	case phaseWaitRecall:
+		t.gotData = true
+		t.recalled = m.Payload
+		t.recallDirty = m.Dirty
+		l.tryFinishRecall(m.Addr, t)
+	default:
+		protocolPanic("L2 %d data in phase %d: %v", l.id, t.phase, m)
+	}
+}
+
+// handleRecallAck counts sharer acknowledgments during an eviction.
+func (l *L2) handleRecallAck(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitRecall {
+		protocolPanic("L2 %d unexpected recall ack: %v", l.id, m)
+	}
+	t.pendingAcks--
+	l.tryFinishRecall(m.Addr, t)
+}
+
+// tryFinishRecall proceeds to the memory writeback once all L1 copies are
+// collected.
+func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
+	if t.pendingAcks > 0 || (t.needData && !t.gotData) {
+		return
+	}
+	line := l.array.Lookup(addr)
+	if line == nil {
+		protocolPanic("L2 %d recall finished for missing line %#x", l.id, addr)
+	}
+	if t.needData {
+		line.State = L2StateS
+		line.Owner = 0
+		line.Payload = t.recalled
+		line.Dirty = true
+	}
+	line.Sharers.Clear()
+	l.evictToMem(addr, t, line)
+}
+
+// evictToMem frees the frame and returns the line to memory (three-phase,
+// so memory's ownership record stays exact).
+func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
+	t.wbPayload = line.Payload
+	t.wbDirty = line.Dirty
+	t.wbValid = true
+	line.Valid = false
+	t.phase = phaseWaitMemWbAck
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeMem(addr), Addr: addr})
+}
+
+// handleMemWbAck completes the memory writeback.
+func (l *L2) handleMemWbAck(m *msg.Message) {
+	t := l.trans.Get(m.Addr)
+	if t == nil || t.phase != phaseWaitMemWbAck {
+		protocolPanic("L2 %d unexpected WbAck: %v", l.id, m)
+	}
+	if m.WantData && t.wbDirty {
+		l.send(&msg.Message{
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Payload: t.wbPayload, Dirty: true,
+		})
+	} else {
+		l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	}
+	l.finish(m.Addr, t)
+}
+
+// startFetch requests the line from memory with ownership.
+func (l *L2) startFetch(addr msg.Addr, t *l2Trans) {
+	l.run.Proto.L2Misses++
+	t.phase = phaseWaitMemData
+	l.send(&msg.Message{Type: msg.GetX, Dst: l.topo.HomeMem(addr), Addr: addr})
+}
+
+// install places fetched data into the array, evicting a victim if needed,
+// then re-services the waiting request.
+func (l *L2) install(addr msg.Addr, t *l2Trans) {
+	victim := l.array.Victim(addr, func(c *cache.Line) bool {
+		return l.trans.Get(c.Addr) == nil
+	})
+	if victim == nil {
+		l.engine.Schedule(4, func() { l.install(addr, t) })
+		return
+	}
+	if victim.Valid {
+		l.startEvict(victim, func() { l.install(addr, t) })
+		return
+	}
+	victim.Reset(addr)
+	victim.State = L2StateS
+	victim.Payload = t.fetched
+	victim.Dirty = t.fetchedDirty
+	l.array.Touch(victim)
+	l.service(addr, t)
+}
+
+// startEvict begins evicting a valid, non-busy line, invalidating or
+// recalling L1 copies first. onDone runs when the frame is free.
+func (l *L2) startEvict(line *cache.Line, onDone func()) {
+	t := l.trans.Get(line.Addr)
+	if t != nil {
+		// Another fetch is already evicting this victim; piggyback.
+		if t.evict {
+			t.onDone = append(t.onDone, onDone)
+			return
+		}
+		protocolPanic("L2 %d evicting busy line %#x", l.id, line.Addr)
+	}
+	t = l.trans.Alloc(line.Addr)
+	t.evict = true
+	t.onDone = append(t.onDone, onDone)
+
+	if line.State == L2StateM {
+		l.run.Proto.L2Recalls++
+		t.needData = true
+		t.pendingAcks = 0
+		line.Sharers.ForEach(func(i int) {
+			t.pendingAcks++
+			l.send(&msg.Message{
+				Type: msg.Inv, Dst: l.topo.L1FromSharerIndex(i),
+				Addr: line.Addr, Requestor: l.id,
+			})
+		})
+		l.send(&msg.Message{
+			Type: msg.GetX, Dst: line.Owner, Addr: line.Addr,
+			Forwarded: true, Requestor: l.id,
+		})
+		t.phase = phaseWaitRecall
+		return
+	}
+	if !line.Sharers.Empty() {
+		l.run.Proto.L2Recalls++
+		t.pendingAcks = 0
+		line.Sharers.ForEach(func(i int) {
+			t.pendingAcks++
+			l.send(&msg.Message{
+				Type: msg.Inv, Dst: l.topo.L1FromSharerIndex(i),
+				Addr: line.Addr, Requestor: l.id,
+			})
+		})
+		t.phase = phaseWaitRecall
+		return
+	}
+	l.evictToMem(line.Addr, t, line)
+}
+
+// finish closes the current transaction, runs eviction continuations, and
+// services the next queued request if any.
+func (l *L2) finish(addr msg.Addr, t *l2Trans) {
+	t.phase = phaseIdle
+	t.wbValid = false
+	for _, fn := range t.onDone {
+		l.engine.Schedule(0, fn)
+	}
+	t.onDone = nil
+	t.evict = false
+	if len(t.queue) == 0 {
+		l.trans.Free(addr)
+		return
+	}
+	t.req = t.queue[0]
+	t.queue = t.queue[1:]
+	t.pendingAcks = 0
+	t.needData = false
+	t.gotData = false
+	l.service(addr, t)
+}
+
+// Migratory detector.
+
+func (l *L2) migEntry(addr msg.Addr) *migInfo {
+	mi := l.mig[addr]
+	if mi == nil {
+		mi = &migInfo{}
+		l.mig[addr] = mi
+	}
+	return mi
+}
+
+func (l *L2) migratory(addr msg.Addr) bool {
+	mi := l.mig[addr]
+	return mi != nil && mi.migratory
+}
+
+func (l *L2) migOnRead(addr msg.Addr, from msg.NodeID) {
+	mi := l.migEntry(addr)
+	if mi.lastWasRead && mi.lastReader != 0 && mi.lastReader != from {
+		mi.migratory = false
+	}
+	mi.lastReader = from
+	mi.lastWasRead = true
+}
+
+func (l *L2) migOnWrite(addr msg.Addr, from msg.NodeID) {
+	mi := l.migEntry(addr)
+	if mi.lastWasRead && mi.lastReader == from {
+		mi.migratory = true
+	}
+	mi.lastWasRead = false
+}
+
+func (l *L2) send(m *msg.Message) {
+	m.Src = l.id
+	l.net.Send(m)
+}
+
+// InspectLines implements proto.Inspectable.
+func (l *L2) InspectLines(fn func(proto.LineView)) {
+	l.array.ForEach(func(c *cache.Line) {
+		fn(proto.LineView{
+			Addr:      c.Addr,
+			Owner:     c.State == L2StateS,
+			Transient: l.trans.Get(c.Addr) != nil,
+			Payload:   c.Payload,
+		})
+	})
+	l.trans.ForEach(func(addr msg.Addr, t *l2Trans) {
+		if t.wbValid {
+			fn(proto.LineView{Addr: addr, Owner: true, Transient: true, Payload: t.wbPayload})
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package dircmp
+
+import (
+	"repro/internal/memctrl"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// memTrans is a per-line memory-controller transaction.
+type memTrans struct {
+	phase int // phaseWaitUnblock or phaseWaitWbData
+	req   pendingReq
+	queue []pendingReq
+}
+
+// Mem is a DirCMP memory controller. It serializes transactions per line
+// and tracks which lines the on-chip L2 currently owns, so that evicted
+// lines can be re-fetched and dirty data lands back in the store.
+type Mem struct {
+	id     msg.NodeID
+	topo   proto.Topology
+	params proto.Params
+	engine *sim.Engine
+	net    proto.Sender
+	run    *stats.Run
+
+	store *memctrl.Store
+	owned map[msg.Addr]bool
+	trans map[msg.Addr]*memTrans
+}
+
+var _ proto.Inspectable = (*Mem)(nil)
+
+// NewMem builds a memory controller over the given backing store.
+func NewMem(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.Engine,
+	net proto.Sender, run *stats.Run, store *memctrl.Store) *Mem {
+	return &Mem{
+		id:     id,
+		topo:   topo,
+		params: params,
+		engine: engine,
+		net:    net,
+		run:    run,
+		store:  store,
+		owned:  make(map[msg.Addr]bool),
+		trans:  make(map[msg.Addr]*memTrans),
+	}
+}
+
+// NodeID implements proto.Inspectable.
+func (c *Mem) NodeID() msg.NodeID { return c.id }
+
+// Quiesced reports whether no transaction is in flight.
+func (c *Mem) Quiesced() bool { return len(c.trans) == 0 }
+
+// Handle processes a delivered network message.
+func (c *Mem) Handle(m *msg.Message) {
+	switch m.Type {
+	case msg.GetX, msg.Put:
+		req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+		if t := c.trans[m.Addr]; t != nil {
+			t.queue = append(t.queue, req)
+			return
+		}
+		t := &memTrans{req: req}
+		c.trans[m.Addr] = t
+		c.service(m.Addr, t)
+	case msg.UnblockEx, msg.Unblock:
+		t := c.trans[m.Addr]
+		if t == nil || t.phase != phaseWaitUnblock {
+			protocolPanic("mem %d unexpected %v", c.id, m)
+		}
+		c.finish(m.Addr, t)
+	case msg.WbData, msg.WbNoData:
+		t := c.trans[m.Addr]
+		if t == nil || t.phase != phaseWaitWbData {
+			protocolPanic("mem %d unexpected %v", c.id, m)
+		}
+		if m.Type == msg.WbData {
+			c.store.Write(m.Addr, m.Payload)
+		}
+		c.owned[m.Addr] = false
+		c.finish(m.Addr, t)
+	default:
+		protocolPanic("mem %d received unexpected %v", c.id, m)
+	}
+}
+
+func (c *Mem) service(addr msg.Addr, t *memTrans) {
+	switch t.req.typ {
+	case msg.GetX:
+		if c.owned[addr] {
+			protocolPanic("mem %d GetX for line %#x already owned by chip", c.id, addr)
+		}
+		c.owned[addr] = true
+		payload := c.store.Read(addr)
+		from := t.req.from
+		sn := t.req.sn
+		t.phase = phaseWaitUnblock
+		c.engine.Schedule(c.params.MemLatency, func() {
+			c.send(&msg.Message{
+				Type: msg.DataEx, Dst: from, Addr: addr, SN: sn, Payload: payload,
+			})
+		})
+	case msg.Put:
+		t.phase = phaseWaitWbData
+		c.send(&msg.Message{
+			Type: msg.WbAck, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			WantData: c.owned[addr],
+		})
+	default:
+		protocolPanic("mem %d cannot service %v", c.id, t.req.typ)
+	}
+}
+
+func (c *Mem) finish(addr msg.Addr, t *memTrans) {
+	if len(t.queue) == 0 {
+		delete(c.trans, addr)
+		return
+	}
+	t.req = t.queue[0]
+	t.queue = t.queue[1:]
+	t.phase = phaseIdle
+	c.service(addr, t)
+}
+
+func (c *Mem) send(m *msg.Message) {
+	m.Src = c.id
+	c.net.Send(m)
+}
+
+// InspectLines implements proto.Inspectable. Memory reports a view for
+// every line it has ever interacted with (fetched by the chip or written
+// back), claiming ownership of the ones the chip does not currently hold.
+func (c *Mem) InspectLines(fn func(proto.LineView)) {
+	seen := make(map[msg.Addr]bool, len(c.owned))
+	emit := func(addr msg.Addr) {
+		if seen[addr] || c.topo.HomeMem(addr) != c.id {
+			return
+		}
+		seen[addr] = true
+		fn(proto.LineView{
+			Addr:      addr,
+			Owner:     !c.owned[addr],
+			Transient: c.trans[addr] != nil,
+			Payload:   c.store.Read(addr),
+		})
+	}
+	for addr := range c.owned {
+		emit(addr)
+	}
+	c.store.ForEach(func(addr msg.Addr, _ msg.Payload) { emit(addr) })
+}
+
+// Owned reports whether the chip currently owns addr (for tests/checker).
+func (c *Mem) Owned(addr msg.Addr) bool { return c.owned[addr] }

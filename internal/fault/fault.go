@@ -1,0 +1,248 @@
+// Package fault provides the transient-fault injectors used to evaluate the
+// protocols. The paper's failure model is that the interconnection network
+// either delivers a message correctly or not at all (lost outright, or
+// corrupted and discarded on arrival by the CRC check); every injector here
+// produces exactly that effect through the network's drop hook.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Injector decides which messages are lost. Implementations must be
+// deterministic given their construction parameters.
+type Injector interface {
+	// Drop reports whether this message is lost. Called exactly once per
+	// injected message, in injection order.
+	Drop(m *msg.Message) bool
+	// Description returns a human-readable summary for reports.
+	Description() string
+}
+
+// None never drops anything (the fault-free scenario).
+type None struct{}
+
+// Drop implements Injector.
+func (None) Drop(*msg.Message) bool { return false }
+
+// Description implements Injector.
+func (None) Description() string { return "no faults" }
+
+// Rate drops messages uniformly at a rate expressed in messages lost per
+// million messages, the metric used by the paper's Figure 3 (e.g. 2000
+// means 0.2% of messages are lost).
+type Rate struct {
+	perMillion int
+	rng        *sim.RNG
+	dropped    uint64
+}
+
+// NewRate builds a uniform injector. perMillion of 0 never drops.
+func NewRate(perMillion int, seed uint64) *Rate {
+	if perMillion < 0 {
+		perMillion = 0
+	}
+	return &Rate{perMillion: perMillion, rng: sim.NewRNG(seed)}
+}
+
+// Drop implements Injector.
+func (r *Rate) Drop(*msg.Message) bool {
+	if r.perMillion == 0 {
+		return false
+	}
+	if r.rng.Intn(1_000_000) < r.perMillion {
+		r.dropped++
+		return true
+	}
+	return false
+}
+
+// Dropped returns how many messages have been lost so far.
+func (r *Rate) Dropped() uint64 { return r.dropped }
+
+// Description implements Injector.
+func (r *Rate) Description() string {
+	return fmt.Sprintf("uniform loss, %d per million", r.perMillion)
+}
+
+// Burst drops runs of consecutive messages: each time the (rarer) burst
+// trigger fires, the next Length messages are all lost. The paper's model
+// explicitly includes bursts ("either an isolated message or a burst of
+// them").
+type Burst struct {
+	perMillion int // burst starts per million messages
+	length     int
+	remaining  int
+	rng        *sim.RNG
+	dropped    uint64
+}
+
+// NewBurst builds a burst injector: bursts begin at startsPerMillion and
+// each burst loses length consecutive messages.
+func NewBurst(startsPerMillion, length int, seed uint64) *Burst {
+	if length < 1 {
+		length = 1
+	}
+	return &Burst{perMillion: startsPerMillion, length: length, rng: sim.NewRNG(seed)}
+}
+
+// Drop implements Injector.
+func (b *Burst) Drop(*msg.Message) bool {
+	if b.remaining > 0 {
+		b.remaining--
+		b.dropped++
+		return true
+	}
+	if b.perMillion > 0 && b.rng.Intn(1_000_000) < b.perMillion {
+		b.remaining = b.length - 1
+		b.dropped++
+		return true
+	}
+	return false
+}
+
+// Dropped returns how many messages have been lost so far.
+func (b *Burst) Dropped() uint64 { return b.dropped }
+
+// Description implements Injector.
+func (b *Burst) Description() string {
+	return fmt.Sprintf("bursty loss, %d bursts per million, length %d", b.perMillion, b.length)
+}
+
+// Targeted drops the Nth occurrence (1-based) of a specific message type.
+// The correctness campaign uses it to prove every message type is
+// recoverable at every point in a transaction.
+type Targeted struct {
+	typ     msg.Type
+	nth     uint64
+	seen    uint64
+	dropped bool
+}
+
+// NewTargeted drops the nth message of type t (nth counts from 1).
+func NewTargeted(t msg.Type, nth uint64) *Targeted {
+	if nth < 1 {
+		nth = 1
+	}
+	return &Targeted{typ: t, nth: nth}
+}
+
+// Drop implements Injector.
+func (t *Targeted) Drop(m *msg.Message) bool {
+	if m.Type != t.typ {
+		return false
+	}
+	t.seen++
+	if t.seen == t.nth {
+		t.dropped = true
+		return true
+	}
+	return false
+}
+
+// Fired reports whether the targeted drop actually happened (the run may
+// not have produced enough messages of the type).
+func (t *Targeted) Fired() bool { return t.dropped }
+
+// Seen returns how many messages of the targeted type were observed.
+func (t *Targeted) Seen() uint64 { return t.seen }
+
+// Description implements Injector.
+func (t *Targeted) Description() string {
+	return fmt.Sprintf("drop %v #%d", t.typ, t.nth)
+}
+
+// Script drops an explicit list of message indices (0-based, counted over
+// all injected messages). Unit tests use it to build exact fault scenarios.
+type Script struct {
+	drops map[uint64]bool
+	index uint64
+}
+
+// NewScript builds a scripted injector from message indices.
+func NewScript(indices ...uint64) *Script {
+	drops := make(map[uint64]bool, len(indices))
+	for _, i := range indices {
+		drops[i] = true
+	}
+	return &Script{drops: drops}
+}
+
+// Drop implements Injector.
+func (s *Script) Drop(*msg.Message) bool {
+	i := s.index
+	s.index++
+	return s.drops[i]
+}
+
+// Description implements Injector.
+func (s *Script) Description() string {
+	return fmt.Sprintf("scripted loss of %d messages", len(s.drops))
+}
+
+// Corrupting wraps another injector: instead of deleting the message it
+// flips bits in the encoded form and verifies that the CRC check catches
+// the corruption, which is how a real receiver converts corruption into
+// loss. It exists to validate the CRC model; the observable effect is
+// identical to dropping.
+type Corrupting struct {
+	inner Injector
+	rng   *sim.RNG
+	// Undetected counts corruptions the CRC missed (expected to stay 0 for
+	// single-bit flips; CRC-16 detects all single- and double-bit errors).
+	Undetected uint64
+}
+
+// NewCorrupting wraps inner; seed drives which bit is flipped.
+func NewCorrupting(inner Injector, seed uint64) *Corrupting {
+	return &Corrupting{inner: inner, rng: sim.NewRNG(seed)}
+}
+
+// Drop implements Injector.
+func (c *Corrupting) Drop(m *msg.Message) bool {
+	if !c.inner.Drop(m) {
+		return false
+	}
+	buf := msg.Encode(m)
+	bit := c.rng.Intn(len(buf) * 8)
+	buf[bit/8] ^= 1 << (bit % 8)
+	if _, ok := msg.Decode(buf); ok {
+		c.Undetected++
+	}
+	return true
+}
+
+// Description implements Injector.
+func (c *Corrupting) Description() string {
+	return "corrupting(" + c.inner.Description() + ")"
+}
+
+// Chain combines injectors; a message is lost if any injector drops it.
+// Every injector sees every message, keeping each stream deterministic.
+type Chain []Injector
+
+// Drop implements Injector.
+func (c Chain) Drop(m *msg.Message) bool {
+	lost := false
+	for _, in := range c {
+		if in.Drop(m) {
+			lost = true
+		}
+	}
+	return lost
+}
+
+// Description implements Injector.
+func (c Chain) Description() string {
+	out := "chain["
+	for i, in := range c {
+		if i > 0 {
+			out += "; "
+		}
+		out += in.Description()
+	}
+	return out + "]"
+}

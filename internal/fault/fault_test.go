@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func sendN(inj Injector, n int, typ msg.Type) int {
+	dropped := 0
+	for i := 0; i < n; i++ {
+		if inj.Drop(&msg.Message{Type: typ, Addr: msg.Addr(i)}) {
+			dropped++
+		}
+	}
+	return dropped
+}
+
+func TestNoneNeverDrops(t *testing.T) {
+	if sendN(None{}, 10000, msg.GetS) != 0 {
+		t.Fatal("None dropped a message")
+	}
+}
+
+func TestRateStatistics(t *testing.T) {
+	const n = 1_000_000
+	inj := NewRate(2000, 7)
+	dropped := sendN(inj, n, msg.GetS)
+	if dropped < 1700 || dropped > 2300 {
+		t.Fatalf("rate 2000/M dropped %d of %d", dropped, n)
+	}
+	if inj.Dropped() != uint64(dropped) {
+		t.Fatalf("counter mismatch: %d vs %d", inj.Dropped(), dropped)
+	}
+}
+
+func TestRateZeroAndNegative(t *testing.T) {
+	if sendN(NewRate(0, 1), 100000, msg.GetS) != 0 {
+		t.Fatal("rate 0 dropped")
+	}
+	if sendN(NewRate(-5, 1), 100000, msg.GetS) != 0 {
+		t.Fatal("negative rate dropped")
+	}
+}
+
+func TestRateDeterminism(t *testing.T) {
+	a, b := NewRate(5000, 42), NewRate(5000, 42)
+	for i := 0; i < 100000; i++ {
+		m := &msg.Message{Type: msg.GetS, Addr: msg.Addr(i)}
+		if a.Drop(m) != b.Drop(m) {
+			t.Fatal("same-seed injectors diverged")
+		}
+	}
+}
+
+func TestBurstLengths(t *testing.T) {
+	inj := NewBurst(200, 8, 3)
+	const n = 500_000
+	run := 0
+	var runs []int
+	for i := 0; i < n; i++ {
+		if inj.Drop(&msg.Message{Type: msg.GetS}) {
+			run++
+		} else if run > 0 {
+			runs = append(runs, run)
+			run = 0
+		}
+	}
+	if len(runs) == 0 {
+		t.Fatal("no bursts occurred")
+	}
+	for _, r := range runs {
+		// Adjacent bursts can merge; lengths are multiples of ≥8 minus
+		// nothing shorter than 8.
+		if r < 8 {
+			t.Fatalf("burst of length %d < 8", r)
+		}
+	}
+	if inj.Dropped() == 0 {
+		t.Fatal("burst counter empty")
+	}
+}
+
+func TestTargetedNth(t *testing.T) {
+	inj := NewTargeted(msg.DataEx, 3)
+	drops := 0
+	for i := 0; i < 10; i++ {
+		if inj.Drop(&msg.Message{Type: msg.GetS}) {
+			t.Fatal("dropped wrong type")
+		}
+		if inj.Drop(&msg.Message{Type: msg.DataEx}) {
+			drops++
+			if i != 2 {
+				t.Fatalf("dropped occurrence %d, want 3rd", i+1)
+			}
+		}
+	}
+	if drops != 1 || !inj.Fired() || inj.Seen() != 10 {
+		t.Fatalf("drops=%d fired=%t seen=%d", drops, inj.Fired(), inj.Seen())
+	}
+}
+
+func TestScript(t *testing.T) {
+	inj := NewScript(0, 2, 5)
+	var got []int
+	for i := 0; i < 8; i++ {
+		if inj.Drop(&msg.Message{Type: msg.GetS}) {
+			got = append(got, i)
+		}
+	}
+	want := []int{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("dropped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dropped %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChainSeesEveryMessage(t *testing.T) {
+	a := NewTargeted(msg.GetS, 2)
+	b := NewTargeted(msg.GetS, 4)
+	chain := Chain{a, b}
+	var dropped []int
+	for i := 0; i < 6; i++ {
+		if chain.Drop(&msg.Message{Type: msg.GetS}) {
+			dropped = append(dropped, i)
+		}
+	}
+	// Both injectors count all 6 messages even though each drops one.
+	if a.Seen() != 6 || b.Seen() != 6 {
+		t.Fatalf("seen %d/%d, want 6/6", a.Seen(), b.Seen())
+	}
+	if len(dropped) != 2 || dropped[0] != 1 || dropped[1] != 3 {
+		t.Fatalf("dropped %v", dropped)
+	}
+}
+
+func TestCorruptingCRCAlwaysCatches(t *testing.T) {
+	inner := NewRate(500_000, 9) // half of all messages
+	inj := NewCorrupting(inner, 5)
+	dropped := 0
+	for i := 0; i < 20000; i++ {
+		m := &msg.Message{Type: msg.Data, Addr: msg.Addr(i), Payload: msg.Payload{Value: uint64(i)}}
+		if inj.Drop(m) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("nothing corrupted")
+	}
+	if inj.Undetected != 0 {
+		t.Fatalf("%d single-bit corruptions slipped past the CRC", inj.Undetected)
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	injs := []Injector{
+		None{},
+		NewRate(100, 1),
+		NewBurst(10, 4, 1),
+		NewTargeted(msg.AckO, 2),
+		NewScript(1),
+		NewCorrupting(None{}, 1),
+		Chain{None{}, NewRate(1, 1)},
+	}
+	for _, in := range injs {
+		if strings.TrimSpace(in.Description()) == "" {
+			t.Errorf("%T has empty description", in)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package memctrl provides the off-chip memory backing store shared by the
+// protocol-specific memory controllers. Lines not present return the zero
+// payload (value 0, version 0), modeling zero-initialized memory.
+package memctrl
+
+import "repro/internal/msg"
+
+// Store is a sparse line-granular memory image.
+type Store struct {
+	lines map[msg.Addr]msg.Payload
+}
+
+// NewStore returns an empty (zero-filled) memory.
+func NewStore() *Store {
+	return &Store{lines: make(map[msg.Addr]msg.Payload)}
+}
+
+// Read returns the payload stored at the line address.
+func (s *Store) Read(addr msg.Addr) msg.Payload {
+	return s.lines[addr]
+}
+
+// Write stores a payload at the line address.
+func (s *Store) Write(addr msg.Addr, p msg.Payload) {
+	s.lines[addr] = p
+}
+
+// ForEach visits every line ever written.
+func (s *Store) ForEach(fn func(addr msg.Addr, p msg.Payload)) {
+	for a, p := range s.lines {
+		fn(a, p)
+	}
+}
+
+// Len returns the number of lines written.
+func (s *Store) Len() int { return len(s.lines) }

@@ -1,0 +1,51 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func TestStoreZeroDefault(t *testing.T) {
+	s := NewStore()
+	if got := s.Read(0x40); got != (msg.Payload{}) {
+		t.Fatalf("unwritten line = %+v", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("reads must not materialize lines")
+	}
+}
+
+func TestStoreWriteRead(t *testing.T) {
+	s := NewStore()
+	p := msg.Payload{Value: 0xfeed, Version: 3}
+	s.Write(0x40, p)
+	if got := s.Read(0x40); got != p {
+		t.Fatalf("read %+v, want %+v", got, p)
+	}
+	p2 := msg.Payload{Value: 1, Version: 4}
+	s.Write(0x40, p2)
+	if got := s.Read(0x40); got != p2 {
+		t.Fatal("overwrite failed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStoreForEach(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Write(msg.Addr(i*64), msg.Payload{Value: uint64(i), Version: 1})
+	}
+	seen := make(map[msg.Addr]bool)
+	s.ForEach(func(a msg.Addr, p msg.Payload) {
+		if p.Value != uint64(a)/64 {
+			t.Errorf("line %#x has value %d", a, p.Value)
+		}
+		seen[a] = true
+	})
+	if len(seen) != 10 {
+		t.Fatalf("visited %d lines", len(seen))
+	}
+}

@@ -1,0 +1,69 @@
+package msg
+
+import "fmt"
+
+// Class selects the virtual-channel class a message travels in. Separating
+// requests, forwarded requests, responses and unblocks into different
+// virtual networks is the standard way directory protocols avoid
+// protocol-level deadlock; FtDirCMP needs two more classes than DirCMP
+// (paper §3.6), one for the ownership acknowledgments and one for the
+// fault-recovery pings.
+type Class int
+
+const (
+	// ClassRequest carries GetX/GetS/Put from the requester to the home.
+	ClassRequest Class = iota + 1
+	// ClassForward carries invalidations and requests forwarded by the home.
+	ClassForward
+	// ClassResponse carries Data/DataEx/WbAck/Ack responses.
+	ClassResponse
+	// ClassUnblock carries Unblock/UnblockEx/WbData/WbNoData completions.
+	ClassUnblock
+	// ClassOwnership carries AckO/AckBD (FtDirCMP only).
+	ClassOwnership
+	// ClassPing carries the recovery pings (FtDirCMP only).
+	ClassPing
+
+	numClasses = int(ClassPing)
+)
+
+// NumClasses returns the number of virtual-channel classes.
+func NumClasses() int { return numClasses }
+
+// BaseClasses returns how many classes DirCMP uses.
+func BaseClasses() int { return int(ClassUnblock) }
+
+// ClassOf returns the virtual-channel class for a message type. forwarded
+// distinguishes a request sent by the requester from the same request
+// forwarded by the home node to the current owner.
+func ClassOf(t Type, forwarded bool) Class {
+	switch t {
+	case GetX, GetS, Put:
+		if forwarded {
+			return ClassForward
+		}
+		return ClassRequest
+	case Inv:
+		return ClassForward
+	case Data, DataEx, WbAck, Ack:
+		return ClassResponse
+	case Unblock, UnblockEx, WbData, WbNoData:
+		return ClassUnblock
+	case AckO, AckBD:
+		return ClassOwnership
+	case UnblockPing, WbPing, WbCancel, OwnershipPing, NackO:
+		return ClassPing
+	case TrGetS, TrGetX, PersistentReq:
+		return ClassRequest
+	case TokenGrant, RecreateAck:
+		return ClassResponse
+	case TokenRelease:
+		return ClassUnblock
+	case PersistentAct, PersistentDeact:
+		return ClassForward
+	case RecreateReq, RecreateInv:
+		return ClassPing
+	default:
+		panic(fmt.Sprintf("msg: no class for type %v", t))
+	}
+}

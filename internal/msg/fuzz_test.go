@@ -1,0 +1,44 @@
+package msg
+
+import "testing"
+
+// FuzzDecode: arbitrary byte strings must never panic and never decode to
+// a message unless they are a well-formed encoding (CRC-protected).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(&Message{Type: GetS, Src: 1, Dst: 2, Addr: 0x40}))
+	f.Add(Encode(&Message{Type: DataEx, Src: 3, Dst: 4, Addr: 0xfff40, Dirty: true}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, ok := Decode(data)
+		if !ok {
+			return
+		}
+		// A successful decode must re-encode to the identical bytes
+		// (canonical encoding) as long as the type is in range.
+		if m.Type >= 1 && int(m.Type) <= NumTypes() {
+			re := Encode(&m)
+			if len(re) != len(data) {
+				t.Fatalf("re-encode length %d != %d", len(re), len(data))
+			}
+			for i := range re {
+				if re[i] != data[i] {
+					t.Fatalf("re-encode differs at byte %d", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCRC16: the checksum must be stable and input-length independent of
+// panics.
+func FuzzCRC16(f *testing.F) {
+	f.Add([]byte("123456789"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := CRC16(data)
+		b := CRC16(data)
+		if a != b {
+			t.Fatal("CRC16 not deterministic")
+		}
+	})
+}

@@ -1,0 +1,280 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeStringsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, typ := range AllTypes() {
+		s := typ.String()
+		if strings.HasPrefix(s, "Type(") {
+			t.Errorf("type %d has no name", int(typ))
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type renders %q", got)
+	}
+}
+
+func TestBaseAndFtTypesPartitionAll(t *testing.T) {
+	base, ft, all := BaseTypes(), FtTypes(), AllTypes()
+	token := TokenTypes()
+	if len(base)+len(ft)+len(token) != len(all) {
+		t.Fatalf("partition sizes: %d + %d + %d != %d", len(base), len(ft), len(token), len(all))
+	}
+	for _, typ := range token {
+		if !typ.IsToken() || typ.IsFtOnly() {
+			t.Errorf("%v misclassified", typ)
+		}
+	}
+	if len(base) != 12 {
+		t.Errorf("Table 1 has 12 message types, got %d", len(base))
+	}
+	if len(ft) != 7 {
+		t.Errorf("Table 2 has 7 message types, got %d", len(ft))
+	}
+	for _, typ := range base {
+		if typ.IsFtOnly() {
+			t.Errorf("%v misclassified as ft-only", typ)
+		}
+	}
+	for _, typ := range ft {
+		if !typ.IsFtOnly() {
+			t.Errorf("%v misclassified as base", typ)
+		}
+	}
+}
+
+func TestEveryTypeHasCategoryAndClass(t *testing.T) {
+	for _, typ := range AllTypes() {
+		cat := CategoryOf(typ) // panics if missing
+		if cat < CatRequest || cat > CatPing {
+			t.Errorf("%v category out of range: %v", typ, cat)
+		}
+		cls := ClassOf(typ, false)
+		if cls < ClassRequest || cls > ClassPing {
+			t.Errorf("%v class out of range: %v", typ, cls)
+		}
+	}
+}
+
+func TestFtOnlyCategories(t *testing.T) {
+	// The ownership and ping categories must contain only FtDirCMP types —
+	// they are the overhead the paper's Figure 4 attributes to fault
+	// tolerance.
+	for _, typ := range AllTypes() {
+		if typ.IsToken() {
+			continue // token-protocol types have their own grouping
+		}
+		cat := CategoryOf(typ)
+		if (cat == CatOwnership || cat == CatPing) != typ.IsFtOnly() {
+			t.Errorf("%v in category %v breaks the base/ft split", typ, cat)
+		}
+	}
+}
+
+func TestForwardedClass(t *testing.T) {
+	if ClassOf(GetX, false) != ClassRequest {
+		t.Error("plain GetX must use the request class")
+	}
+	if ClassOf(GetX, true) != ClassForward {
+		t.Error("forwarded GetX must use the forward class")
+	}
+	if ClassOf(Inv, false) != ClassForward {
+		t.Error("Inv must use the forward class")
+	}
+	if BaseClasses() != 4 || NumClasses() != 6 {
+		t.Errorf("DirCMP uses 4 classes and FtDirCMP 6 (paper §3.6); got %d/%d",
+			BaseClasses(), NumClasses())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	const ctrl, data = 8, 72
+	tests := []struct {
+		m    Message
+		want int
+	}{
+		{Message{Type: GetX}, ctrl},
+		{Message{Type: Ack}, ctrl},
+		{Message{Type: Data}, data},
+		{Message{Type: DataEx}, data},
+		{Message{Type: WbData}, data},
+		{Message{Type: WbNoData}, ctrl},
+		{Message{Type: DataEx, NoPayload: true}, ctrl},
+		{Message{Type: AckO}, ctrl},
+	}
+	for _, tt := range tests {
+		if got := tt.m.SizeBytes(ctrl, data); got != tt.want {
+			t.Errorf("%v size = %d, want %d", tt.m.Type, got, tt.want)
+		}
+	}
+}
+
+func TestCRCRoundTrip(t *testing.T) {
+	m := &Message{
+		Type: DataEx, Src: 3, Dst: 17, Addr: 0xabc40, SN: 200, Requestor: 5,
+		AckCount: 7, Payload: Payload{Value: 0xfeed, Version: 12},
+		PiggybackAckO: true, Owner: true, WantData: true, Forwarded: true,
+		Dirty: true, Migratory: true, NoPayload: true,
+	}
+	got, ok := Decode(Encode(m))
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got != *m {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, *m)
+	}
+}
+
+func TestCRCDetectsSingleBitFlips(t *testing.T) {
+	m := &Message{Type: GetS, Src: 1, Dst: 2, Addr: 0x40, SN: 9}
+	buf := Encode(m)
+	for bit := 0; bit < len(buf)*8; bit++ {
+		corrupted := make([]byte, len(buf))
+		copy(corrupted, buf)
+		corrupted[bit/8] ^= 1 << (bit % 8)
+		if _, ok := Decode(corrupted); ok {
+			t.Fatalf("single-bit flip at %d undetected", bit)
+		}
+	}
+}
+
+func TestCRCDetectsDoubleBitFlips(t *testing.T) {
+	m := &Message{Type: Data, Src: 4, Dst: 9, Addr: 0x1000, Payload: Payload{Value: 5, Version: 1}}
+	buf := Encode(m)
+	// CRC-16 detects all double-bit errors within its span; spot check.
+	for i := 0; i < len(buf)*8; i += 7 {
+		for j := i + 1; j < len(buf)*8; j += 13 {
+			corrupted := make([]byte, len(buf))
+			copy(corrupted, buf)
+			corrupted[i/8] ^= 1 << (i % 8)
+			corrupted[j/8] ^= 1 << (j % 8)
+			if _, ok := Decode(corrupted); ok {
+				t.Fatalf("double-bit flip at %d,%d undetected", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	if _, ok := Decode([]byte{1, 2, 3}); ok {
+		t.Fatal("short buffer accepted")
+	}
+	if _, ok := Decode(nil); ok {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+// TestCRCRoundTripProperty: encoding then decoding any message yields the
+// message back (quick property over randomized fields).
+func TestCRCRoundTripProperty(t *testing.T) {
+	prop := func(typ uint8, src, dst int16, addr uint64, sn uint16, acks int16, val, ver uint64, flags uint8) bool {
+		m := &Message{
+			Type:          Type(int(typ)%NumTypes() + 1),
+			Src:           NodeID(src),
+			Dst:           NodeID(dst),
+			Addr:          Addr(addr),
+			SN:            SerialNumber(sn),
+			AckCount:      int(acks),
+			Payload:       Payload{Value: val, Version: ver},
+			PiggybackAckO: flags&1 != 0,
+			Owner:         flags&2 != 0,
+			WantData:      flags&4 != 0,
+			Forwarded:     flags&8 != 0,
+			Dirty:         flags&16 != 0,
+			Migratory:     flags&32 != 0,
+			NoPayload:     flags&64 != 0,
+		}
+		got, ok := Decode(Encode(m))
+		return ok && got == *m
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1, the standard check value.
+	if got := CRC16([]byte("123456789")); got != 0x29b1 {
+		t.Fatalf("CRC16 check value = %#x, want 0x29b1", got)
+	}
+}
+
+func TestSerialSpaceNextWraps(t *testing.T) {
+	s := NewSerialSpace(4)
+	seen := make(map[SerialNumber]int)
+	for i := 0; i < 32; i++ {
+		seen[s.Next()]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("4-bit space produced %d distinct values, want 16", len(seen))
+	}
+	for v, n := range seen {
+		if n != 2 {
+			t.Fatalf("value %d seen %d times over two periods", v, n)
+		}
+	}
+}
+
+func TestSerialSpaceReissueSequential(t *testing.T) {
+	s := NewSerialSpace(8)
+	if got := s.Reissue(41); got != 42 {
+		t.Fatalf("Reissue(41) = %d", got)
+	}
+	if got := s.Reissue(255); got != 0 {
+		t.Fatalf("Reissue(255) = %d, want wrap to 0", got)
+	}
+}
+
+func TestSerialSpaceWithin(t *testing.T) {
+	s := NewSerialSpace(8)
+	tests := []struct {
+		initial, current, x SerialNumber
+		want                bool
+	}{
+		{10, 10, 10, true},
+		{10, 12, 11, true},
+		{10, 12, 13, false},
+		{10, 12, 9, false},
+		{250, 3, 255, true}, // wrapped range
+		{250, 3, 0, true},
+		{250, 3, 4, false},
+		{250, 3, 100, false},
+	}
+	for _, tt := range tests {
+		if got := s.Within(tt.initial, tt.current, tt.x); got != tt.want {
+			t.Errorf("Within(%d,%d,%d) = %t, want %t", tt.initial, tt.current, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestSerialSpaceBitsValidation(t *testing.T) {
+	for _, bits := range []int{0, 17, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d did not panic", bits)
+				}
+			}()
+			NewSerialSpace(bits)
+		}()
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{Type: GetX, Src: 1, Dst: 2, Addr: 0x40, SN: 3}
+	s := m.String()
+	for _, want := range []string{"GetX", "src=1", "dst=2", "0x40", "sn=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

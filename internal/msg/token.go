@@ -1,0 +1,54 @@
+package msg
+
+// Message types for the token-coherence protocols (TokenCMP and
+// FtTokenCMP), the authors' previous work that the paper's §5 compares
+// FtDirCMP against. They live outside the paper's Tables 1/2 ranges; see
+// internal/token for the protocol.
+//
+// Token-message field conventions: AckCount carries the number of tokens
+// moved, Owner marks the owner token, SN carries the per-line token serial
+// number (FtTokenCMP).
+const (
+	// TrGetS is a transient read request, broadcast to all nodes: the
+	// owner answers with one token and data.
+	TrGetS Type = Type(numTypes) + 1 + Type(iota)
+	// TrGetX is a transient write request, broadcast: every token holder
+	// sends all its tokens; the owner includes data.
+	TrGetX
+	// TokenGrant moves AckCount tokens (plus the owner token and data when
+	// Owner is set) to its destination.
+	TokenGrant
+	// TokenRelease returns tokens (and data, if the owner token moves) to
+	// the home node on eviction.
+	TokenRelease
+	// PersistentReq asks the home node to arbitrate a starving request.
+	PersistentReq
+	// PersistentAct (home → everyone) activates a persistent request:
+	// forward all present and future tokens of the line to the Requestor.
+	PersistentAct
+	// PersistentDeact (requester → home → everyone) ends it.
+	PersistentDeact
+	// RecreateReq asks the home node to run the token recreation process
+	// (FtTokenCMP): some tokens or data were lost.
+	RecreateReq
+	// RecreateInv (home → everyone) invalidates all tokens of the line
+	// under the old serial number; holders answer with RecreateAck.
+	RecreateInv
+	// RecreateAck returns a node's token count and (if it was the owner or
+	// a backup) the freshest data to the home node.
+	RecreateAck
+
+	numTokenTypes = 10
+)
+
+// TokenTypes returns the token-protocol message types.
+func TokenTypes() []Type {
+	out := make([]Type, 0, numTokenTypes)
+	for t := TrGetS; t <= RecreateAck; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// IsToken reports whether t belongs to the token protocols.
+func (t Type) IsToken() bool { return t >= TrGetS && t <= RecreateAck }

@@ -1,0 +1,186 @@
+package noc
+
+// Detailed network mode: a virtual cut-through router model with finite
+// per-link per-virtual-channel input buffers and credit-based
+// backpressure, replacing the simple infinite-queue link model. A message
+// advances from router to router only when the downstream input buffer has
+// room for all of its flits; messages that cannot advance wait in FIFO
+// order and exert backpressure upstream. With deterministic dimension-
+// ordered routing and per-class virtual channels the channel-dependency
+// graph is acyclic, so the model is deadlock-free; adaptive routing is
+// rejected in this mode (mixing XY and YX paths over shared finite buffers
+// can deadlock, which is why O1TURN-style schemes dedicate VCs per
+// sub-route).
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+)
+
+// flight is a message traversing the detailed network.
+type flight struct {
+	m       *msg.Message
+	vc      int
+	flits   int
+	dst     int // destination router
+	sentAt  uint64
+	dropped bool
+
+	router int    // current router
+	buf    *vcBuf // input buffer currently holding the message (nil at injection)
+	ready  uint64 // when the message is ready to leave the current router
+}
+
+// vcBuf is the flit buffer on the receiving side of one directed link for
+// one virtual-channel class.
+type vcBuf struct {
+	capacity int
+	used     int
+	waiters  []*flight
+}
+
+// free releases n flits and lets waiting upstream messages retry, in FIFO
+// order.
+func (n *Network) bufFree(b *vcBuf, flits int) {
+	b.used -= flits
+	if b.used < 0 {
+		panic("noc: buffer underflow")
+	}
+	for len(b.waiters) > 0 {
+		f := b.waiters[0]
+		if b.capacity-b.used < f.flits {
+			return
+		}
+		b.waiters = b.waiters[1:]
+		b.used += f.flits
+		n.departTo(f, b)
+	}
+}
+
+// detailedBufKey identifies the input buffer fed by router's output link
+// in direction dir, for one VC.
+type detailedBufKey struct {
+	router int
+	dir    direction
+	vc     int
+}
+
+// detailedSend injects a message into the router-pipeline model.
+func (n *Network) detailedSend(m *msg.Message, srcRouter, dstRouter int, serFlits int, dropped bool) {
+	f := &flight{
+		m:       m,
+		vc:      int(m.Class()) - 1,
+		flits:   serFlits,
+		dst:     dstRouter,
+		sentAt:  n.engine.Now(),
+		dropped: dropped,
+		router:  srcRouter,
+		ready:   n.engine.Now(),
+	}
+	n.tryAdvance(f)
+}
+
+// tryAdvance moves the flight one hop if the downstream buffer has credit,
+// otherwise parks it on the buffer's waiter list.
+func (n *Network) tryAdvance(f *flight) {
+	dir := n.route(f.router, f.dst, n.cfg.Routing == RoutingYX)
+	if dir == dirLocal {
+		n.eject(f)
+		return
+	}
+	b := n.detailedBuf(detailedBufKey{router: f.router, dir: dir, vc: f.vc})
+	if b.capacity-b.used < f.flits {
+		b.waiters = append(b.waiters, f)
+		return
+	}
+	b.used += f.flits
+	n.departTo(f, b)
+}
+
+// departTo sends the flight over the link into downstream buffer b: it
+// serializes on the output link, frees the current buffer when the tail
+// flit has left, and arrives downstream after the hop latency.
+func (n *Network) departTo(f *flight, b *vcBuf) {
+	dir := n.route(f.router, f.dst, n.cfg.Routing == RoutingYX)
+	lnk := &n.links[f.router][dir]
+	depart := f.ready
+	if lnk.freeAt[f.vc] > depart {
+		depart = lnk.freeAt[f.vc]
+	}
+	if depart < n.engine.Now() {
+		depart = n.engine.Now()
+	}
+	serLat := uint64(f.flits)
+	lnk.freeAt[f.vc] = depart + serLat
+
+	// The tail flit leaves the current buffer at depart+serLat.
+	if cur := f.buf; cur != nil {
+		flits := f.flits
+		n.engine.ScheduleAt(depart+serLat, func() {
+			n.bufFree(cur, flits)
+		})
+	}
+
+	next := n.neighbor(f.router, dir)
+	arrive := depart + n.cfg.HopLatency
+	n.engine.ScheduleAt(arrive, func() {
+		f.router = next
+		f.buf = b
+		f.ready = n.engine.Now()
+		n.tryAdvance(f)
+	})
+}
+
+// eject delivers (or drops) the flight at its destination router.
+func (n *Network) eject(f *flight) {
+	lnk := &n.links[f.router][dirLocal]
+	depart := f.ready
+	if lnk.freeAt[f.vc] > depart {
+		depart = lnk.freeAt[f.vc]
+	}
+	serLat := uint64(f.flits)
+	lnk.freeAt[f.vc] = depart + serLat
+	if cur := f.buf; cur != nil {
+		flits := f.flits
+		n.engine.ScheduleAt(depart+serLat, func() {
+			n.bufFree(cur, flits)
+		})
+	}
+	deliverAt := depart + serLat + n.cfg.LocalLatency
+	n.engine.ScheduleAt(deliverAt, func() {
+		if f.dropped {
+			n.rec.MessageDropped(f.m)
+			return
+		}
+		nd := n.nodes[f.m.Dst]
+		n.rec.MessageDelivered(f.m, n.engine.Now()-f.sentAt)
+		nd.handler(f.m)
+	})
+}
+
+// detailedBuf returns (allocating on first use) the buffer for key.
+func (n *Network) detailedBuf(key detailedBufKey) *vcBuf {
+	b := n.bufs[key]
+	if b == nil {
+		b = &vcBuf{capacity: n.cfg.BufferFlits}
+		n.bufs[key] = b
+	}
+	return b
+}
+
+// validateDetailed checks the detailed-mode configuration.
+func (c Config) validateDetailed() error {
+	if !c.DetailedRouters {
+		return nil
+	}
+	if c.Routing == RoutingAdaptive {
+		return fmt.Errorf("noc: adaptive routing is not deadlock-free with finite buffers; use XY or YX in detailed mode")
+	}
+	minFlits := (c.DataSize + c.FlitBytes - 1) / c.FlitBytes
+	if c.BufferFlits < minFlits {
+		return fmt.Errorf("noc: buffer of %d flits cannot hold a %d-byte message (%d flits)",
+			c.BufferFlits, c.DataSize, minFlits)
+	}
+	return nil
+}

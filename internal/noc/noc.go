@@ -1,0 +1,339 @@
+// Package noc models the on-chip interconnection network: a 2D mesh with
+// dimension-ordered (XY) routing, virtual channels, per-link flit
+// serialization and contention.
+//
+// Two properties matter to the coherence protocol and are guaranteed here:
+//
+//   - Point-to-point ordering: two messages sent from node A to node B in
+//     the same virtual-channel class are delivered in send order, because
+//     XY routing is deterministic (same path) and every link is a FIFO
+//     queue per virtual channel. The paper's Figure 2 argument relies on
+//     this property.
+//   - Unreliability under fault injection: a message may be dropped (lost
+//     in the network or discarded on arrival after a CRC failure); the
+//     network never duplicates, corrupts-silently or misdelivers.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Routing selects the routing algorithm.
+type Routing int
+
+const (
+	// RoutingXY is deterministic dimension-ordered routing (X first): the
+	// default. Together with per-VC FIFO links it yields point-to-point
+	// ordered delivery, the assumption of the paper's base architecture.
+	RoutingXY Routing = iota
+	// RoutingYX routes Y first; also deterministic and ordered.
+	RoutingYX
+	// RoutingAdaptive picks XY or YX per message (deterministically from
+	// the message sequence), so two messages between the same endpoints
+	// may take different paths and arrive out of order. This models the
+	// unordered-network extension the paper points to (§2): FtDirCMP's
+	// serial numbers make it tolerate reordering as well as loss.
+	RoutingAdaptive
+)
+
+func (r Routing) String() string {
+	switch r {
+	case RoutingXY:
+		return "xy"
+	case RoutingYX:
+		return "yx"
+	case RoutingAdaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("Routing(%d)", int(r))
+	}
+}
+
+// Config describes the mesh.
+type Config struct {
+	// Width and Height are the mesh dimensions (Width*Height routers).
+	Width, Height int
+	// HopLatency is the router pipeline plus link traversal delay per hop,
+	// in cycles.
+	HopLatency uint64
+	// LocalLatency is the injection/ejection (network interface) delay in
+	// cycles, paid once at each end.
+	LocalLatency uint64
+	// FlitBytes is the channel bandwidth in bytes per cycle; a message of
+	// size S occupies each link for ceil(S/FlitBytes) cycles.
+	FlitBytes int
+	// ControlSize and DataSize are the message sizes in bytes (Table 4:
+	// 8 and 72 by default).
+	ControlSize, DataSize int
+	// Routing selects the routing algorithm (default RoutingXY).
+	Routing Routing
+	// RoutingSeed drives the adaptive path choice.
+	RoutingSeed uint64
+	// DetailedRouters switches to the virtual cut-through router model
+	// with finite per-link per-VC input buffers and credit backpressure
+	// (see detailed.go). Requires deterministic routing.
+	DetailedRouters bool
+	// BufferFlits is the input buffer capacity per link per virtual
+	// channel in detailed mode; it must hold at least one data message.
+	BufferFlits int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width < 1 || c.Height < 1 {
+		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	if c.FlitBytes < 1 {
+		return fmt.Errorf("noc: flit bytes must be positive, got %d", c.FlitBytes)
+	}
+	if c.ControlSize < 1 || c.DataSize < c.ControlSize {
+		return fmt.Errorf("noc: invalid message sizes control=%d data=%d", c.ControlSize, c.DataSize)
+	}
+	return c.validateDetailed()
+}
+
+// Handler consumes a delivered message.
+type Handler func(*msg.Message)
+
+// DropFunc decides, at injection time, whether a message will be lost. The
+// fault injector provides it; nil means a perfectly reliable network.
+type DropFunc func(*msg.Message) bool
+
+// Recorder observes network activity for statistics. Implementations must
+// be cheap; every message passes through these hooks.
+type Recorder interface {
+	// MessageSent is called once per injected message with its wire size.
+	MessageSent(m *msg.Message, bytes int)
+	// MessageDropped is called when a message is lost to a fault.
+	MessageDropped(m *msg.Message)
+	// MessageDelivered is called on delivery with the end-to-end latency.
+	MessageDelivered(m *msg.Message, latency uint64)
+}
+
+// nopRecorder is used when the caller passes a nil Recorder.
+type nopRecorder struct{}
+
+func (nopRecorder) MessageSent(*msg.Message, int)         {}
+func (nopRecorder) MessageDropped(*msg.Message)           {}
+func (nopRecorder) MessageDelivered(*msg.Message, uint64) {}
+
+// direction indexes a router's output links.
+type direction int
+
+const (
+	dirEast direction = iota
+	dirWest
+	dirNorth
+	dirSouth
+	dirLocal
+	numDirections
+)
+
+// link tracks when each virtual-channel class of a directed link is next
+// free. Contention is modeled by delaying departure until the link frees.
+type link struct {
+	freeAt [6]uint64 // indexed by msg.Class - 1
+}
+
+type node struct {
+	router  int
+	handler Handler
+}
+
+// Network is the mesh interconnect. Create with New, register endpoints
+// with Attach, then Send messages.
+type Network struct {
+	engine *sim.Engine
+	cfg    Config
+	drop   DropFunc
+	rec    Recorder
+
+	// links[router][dir] is the output link of router in direction dir.
+	links [][numDirections]link
+	nodes map[msg.NodeID]node
+	rng   *sim.RNG
+	bufs  map[detailedBufKey]*vcBuf
+}
+
+// New builds the network. rec may be nil.
+func New(engine *sim.Engine, cfg Config, drop DropFunc, rec Recorder) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		rec = nopRecorder{}
+	}
+	return &Network{
+		engine: engine,
+		cfg:    cfg,
+		drop:   drop,
+		rec:    rec,
+		links:  make([][numDirections]link, cfg.Width*cfg.Height),
+		nodes:  make(map[msg.NodeID]node),
+		rng:    sim.NewRNG(cfg.RoutingSeed ^ 0x5eed),
+		bufs:   make(map[detailedBufKey]*vcBuf),
+	}, nil
+}
+
+// Attach registers a protocol agent at the given router (0..W*H-1).
+// Multiple agents may share a router (an L1 and an L2 bank on one tile).
+func (n *Network) Attach(id msg.NodeID, router int, h Handler) error {
+	if router < 0 || router >= len(n.links) {
+		return fmt.Errorf("noc: router %d out of range", router)
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("noc: node %d already attached", id)
+	}
+	if h == nil {
+		return fmt.Errorf("noc: nil handler for node %d", id)
+	}
+	n.nodes[id] = node{router: router, handler: h}
+	return nil
+}
+
+// RouterOf returns the router a node is attached to.
+func (n *Network) RouterOf(id msg.NodeID) (int, bool) {
+	nd, ok := n.nodes[id]
+	return nd.router, ok
+}
+
+// Hops returns the XY hop count between two nodes' routers.
+func (n *Network) Hops(a, b msg.NodeID) int {
+	ra, ok := n.nodes[a]
+	if !ok {
+		return 0
+	}
+	rb, ok := n.nodes[b]
+	if !ok {
+		return 0
+	}
+	ax, ay := ra.router%n.cfg.Width, ra.router/n.cfg.Width
+	bx, by := rb.router%n.cfg.Width, rb.router/n.cfg.Width
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Send injects a message. Src, Dst and Type must be set. Delivery (or the
+// drop) happens via scheduled events; Send itself never invokes handlers.
+func (n *Network) Send(m *msg.Message) {
+	src, ok := n.nodes[m.Src]
+	if !ok {
+		panic(fmt.Sprintf("noc: send from unattached node %d", m.Src))
+	}
+	dst, ok := n.nodes[m.Dst]
+	if !ok {
+		panic(fmt.Sprintf("noc: send to unattached node %d", m.Dst))
+	}
+
+	size := m.SizeBytes(n.cfg.ControlSize, n.cfg.DataSize)
+	n.rec.MessageSent(m, size)
+	dropped := n.drop != nil && n.drop(m)
+
+	serLat := uint64((size + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes)
+	if serLat == 0 {
+		serLat = 1
+	}
+	if n.cfg.DetailedRouters {
+		n.detailedSend(m, src.router, dst.router, int(serLat), dropped)
+		return
+	}
+
+	vc := int(m.Class()) - 1
+	start := n.engine.Now()
+
+	yFirst := n.cfg.Routing == RoutingYX
+	if n.cfg.Routing == RoutingAdaptive {
+		yFirst = n.rng.Bool(0.5)
+	}
+
+	// Injection through the local port of the source router.
+	n.traverse(m, src.router, dst.router, vc, serLat, start, start, dropped, yFirst)
+}
+
+// traverse advances the message one link at a time. arrive is when the head
+// flit reaches the current router; the message departs on the next link when
+// both the router pipeline delay has elapsed and the link is free.
+func (n *Network) traverse(m *msg.Message, router, dstRouter, vc int, serLat, arrive, sentAt uint64, dropped, yFirst bool) {
+	dir := n.route(router, dstRouter, yFirst)
+	lnk := &n.links[router][dir]
+	depart := arrive
+	if lnk.freeAt[vc] > depart {
+		depart = lnk.freeAt[vc]
+	}
+	lnk.freeAt[vc] = depart + serLat
+
+	if dir == dirLocal {
+		// Ejection at the destination router.
+		deliverAt := depart + serLat + n.cfg.LocalLatency
+		n.engine.ScheduleAt(deliverAt, func() {
+			if dropped {
+				n.rec.MessageDropped(m)
+				return
+			}
+			nd := n.nodes[m.Dst]
+			n.rec.MessageDelivered(m, n.engine.Now()-sentAt)
+			nd.handler(m)
+		})
+		return
+	}
+
+	next := n.neighbor(router, dir)
+	nextArrive := depart + n.cfg.HopLatency
+	n.engine.ScheduleAt(nextArrive, func() {
+		n.traverse(m, next, dstRouter, vc, serLat, n.engine.Now(), sentAt, dropped, yFirst)
+	})
+}
+
+// route returns the next output direction at router toward dstRouter,
+// resolving the X dimension first (XY) or the Y dimension first (YX).
+func (n *Network) route(router, dstRouter int, yFirst bool) direction {
+	w := n.cfg.Width
+	x, y := router%w, router/w
+	dx, dy := dstRouter%w, dstRouter/w
+	if yFirst {
+		switch {
+		case y < dy:
+			return dirSouth
+		case y > dy:
+			return dirNorth
+		}
+	}
+	switch {
+	case x < dx:
+		return dirEast
+	case x > dx:
+		return dirWest
+	case y < dy:
+		return dirSouth
+	case y > dy:
+		return dirNorth
+	default:
+		return dirLocal
+	}
+}
+
+// neighbor returns the router one hop away in direction dir.
+func (n *Network) neighbor(router int, dir direction) int {
+	w := n.cfg.Width
+	switch dir {
+	case dirEast:
+		return router + 1
+	case dirWest:
+		return router - 1
+	case dirSouth:
+		return router + w
+	case dirNorth:
+		return router - w
+	default:
+		return router
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Events are executed in order of (time, insertion sequence), so two runs
+// with the same inputs produce identical event interleavings. All protocol
+// controllers, the network model and the fault injector are driven by a
+// single Engine.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrLimitReached is returned by Run when the cycle limit is hit before the
+// event queue drains. Callers typically treat this as a deadlock or as an
+// over-long simulation, depending on context.
+var ErrLimitReached = errors.New("sim: cycle limit reached")
+
+// event is a scheduled callback.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		// heap.Push is only called by this package with event values;
+		// reaching this branch indicates a programming error.
+		panic(fmt.Sprintf("sim: pushed non-event %T", x))
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator clocked in cycles.
+// The zero value is not usable; create one with NewEngine.
+type Engine struct {
+	pq     eventHeap
+	now    uint64
+	seq    uint64
+	events uint64
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{pq: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// EventsExecuted returns the total number of events executed so far.
+func (e *Engine) EventsExecuted() uint64 { return e.events }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs fn delay cycles from now. A delay of zero runs fn later in
+// the current cycle (after all events already scheduled for this cycle).
+func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.seq++
+	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute cycle at. Scheduling in the past is a
+// programming error and panics.
+func (e *Engine) ScheduleAt(at uint64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d in the past (now %d)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&e.pq).(event)
+	if !ok {
+		panic("sim: heap contained non-event")
+	}
+	e.now = ev.at
+	e.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the clock would pass limit.
+// It returns nil when the queue drained, or ErrLimitReached if events
+// remained past the limit. A limit of 0 means no limit.
+func (e *Engine) Run(limit uint64) error {
+	for len(e.pq) > 0 {
+		if limit != 0 && e.pq[0].at > limit {
+			return fmt.Errorf("%w: %d events pending at cycle %d", ErrLimitReached, len(e.pq), limit)
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// RunUntil executes events while pred returns false, stopping when the
+// predicate becomes true, the queue drains, or the limit passes. It returns
+// true when pred was satisfied.
+func (e *Engine) RunUntil(limit uint64, pred func() bool) bool {
+	for !pred() {
+		if len(e.pq) == 0 {
+			return pred()
+		}
+		if limit != 0 && e.pq[0].at > limit {
+			return pred()
+		}
+		e.Step()
+	}
+	return true
+}

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []uint64
+	for _, d := range []uint64{5, 1, 9, 3, 3, 0, 7} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 7 {
+		t.Fatalf("executed %d events, want 7", len(got))
+	}
+}
+
+func TestEngineFIFOWithinSameCycle(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(4, func() { got = append(got, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []uint64
+	e.Schedule(2, func() {
+		times = append(times, e.Now())
+		e.Schedule(3, func() { times = append(times, e.Now()) })
+		e.Schedule(0, func() { times = append(times, e.Now()) })
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{2, 2, 5}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(100, func() { ran = true })
+	err := e.Run(50)
+	if !errors.Is(err, ErrLimitReached) {
+		t.Fatalf("err = %v, want ErrLimitReached", err)
+	}
+	if ran {
+		t.Fatal("event past the limit was executed")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != 100 {
+		t.Fatalf("ran=%t now=%d", ran, e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(uint64(i), func() { count++ })
+	}
+	ok := e.RunUntil(0, func() bool { return count >= 5 })
+	if !ok || count != 5 {
+		t.Fatalf("ok=%t count=%d", ok, count)
+	}
+	// The rest still runs afterwards.
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestEngineRunUntilNeverSatisfied(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	if ok := e.RunUntil(0, func() bool { return false }); ok {
+		t.Fatal("predicate cannot be satisfied")
+	}
+}
+
+func TestScheduleAtPanicsOnPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for past scheduling")
+		}
+	}()
+	e.ScheduleAt(5, func() {})
+}
+
+func TestEngineEventsExecuted(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(uint64(i), func() {})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.EventsExecuted() != 7 {
+		t.Fatalf("events = %d, want 7", e.EventsExecuted())
+	}
+}
+
+// TestEngineOrderProperty: for any random set of delays, execution order is
+// a stable sort by time.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		type rec struct {
+			at  uint64
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, d := i, uint64(d%1000)
+			e.Schedule(d, func() { got = append(got, rec{d, i}) })
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e)
+	fired := false
+	tm.Start(10, func() { fired = true })
+	if !tm.Armed() {
+		t.Fatal("timer not armed")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || e.Now() != 10 {
+		t.Fatalf("fired=%t now=%d", fired, e.Now())
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTimerStopCancels(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e)
+	tm.Start(10, func() { t.Fatal("stopped timer fired") })
+	e.Schedule(5, tm.Stop)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerRestartSupersedes(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e)
+	var fired []string
+	tm.Start(10, func() { fired = append(fired, "first") })
+	e.Schedule(5, func() {
+		tm.Start(10, func() { fired = append(fired, "second") })
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "second" {
+		t.Fatalf("fired = %v, want [second]", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("now = %d, want 15", e.Now())
+	}
+}
+
+func TestTimerRepeatedRestart(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e)
+	count := 0
+	var rearm func()
+	rearm = func() {
+		tm.Start(7, func() {
+			count++
+			if count < 5 {
+				rearm()
+			}
+		})
+	}
+	rearm()
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 || e.Now() != 35 {
+		t.Fatalf("count=%d now=%d", count, e.Now())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	parent := NewRNG(7)
+	a := parent.Fork(1)
+	parent = NewRNG(7)
+	b := parent.Fork(2)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("forked streams with different salts correlate")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Bool(0.25) hit fraction %v", frac)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	src := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(uint64(src.Intn(64)), func() {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

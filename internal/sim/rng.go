@@ -1,0 +1,48 @@
+package sim
+
+// RNG is a small deterministic pseudo-random number generator
+// (SplitMix64). It is used instead of math/rand so that simulations are a
+// pure function of their seed regardless of Go version, and so that
+// independent components (fault injector, each workload stream) can own
+// independent streams derived from one master seed.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent stream from this one, keyed by salt. Streams
+// forked with different salts from the same parent are decorrelated.
+func (r *RNG) Fork(salt uint64) *RNG {
+	return &RNG{state: r.Uint64() ^ (salt * 0x9e3779b97f4a7c15)}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

@@ -1,0 +1,54 @@
+package sim
+
+// Timer implements a restartable, cancelable timeout on top of Engine using
+// epoch counters: each Start invalidates previously scheduled firings, so no
+// explicit queue removal is needed. This is the mechanism used for the
+// protocol's fault-detection timeouts (lost request, lost unblock, lost
+// backup deletion acknowledgment).
+type Timer struct {
+	engine *Engine
+	epoch  uint64
+	armed  bool
+}
+
+// NewTimer returns a stopped timer bound to engine.
+func NewTimer(engine *Engine) *Timer {
+	return &Timer{engine: engine}
+}
+
+// Start arms the timer to call fire after delay cycles. Any previously armed
+// firing is cancelled. The callback runs only if the timer has not been
+// stopped or restarted in the meantime.
+func (t *Timer) Start(delay uint64, fire func()) {
+	t.epoch++
+	t.armed = true
+	epoch := t.epoch
+	t.engine.Schedule(delay, func() {
+		if t.epoch != epoch || !t.armed {
+			return
+		}
+		t.armed = false
+		fire()
+	})
+}
+
+// Stop cancels any armed firing.
+func (t *Timer) Stop() {
+	t.epoch++
+	t.armed = false
+}
+
+// Armed reports whether the timer is currently armed.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Backoff returns base doubled per retry attempt (attempt 0 = base),
+// capped at 64x. Reissue timers use it so that a fault-detection timeout
+// configured below the network's round-trip time degrades into slower
+// retries instead of a livelock where every attempt is superseded before
+// its response can arrive.
+func Backoff(base uint64, attempt int) uint64 {
+	if attempt > 6 {
+		attempt = 6
+	}
+	return base << uint(attempt)
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram accumulates cycle counts in power-of-two buckets: bucket i
+// holds samples in [2^(i-1), 2^i). It supports percentile queries with
+// bucket-granularity accuracy, enough for latency reporting.
+type Histogram struct {
+	buckets [40]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	i := bits.Len64(v)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Percentile returns an upper bound (the bucket's upper edge) for the
+// p-th percentile, p in (0,100].
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	threshold := uint64(p / 100 * float64(h.count))
+	if threshold == 0 {
+		threshold = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= threshold {
+			if i == 0 {
+				return 0
+			}
+			if i == len(h.buckets)-1 {
+				// Overflow bucket: its upper edge is the observed max.
+				return h.max
+			}
+			upper := uint64(1)<<uint(i) - 1
+			if upper > h.max {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String renders count/mean/percentiles on one line.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max)
+}
+
+// Bars renders an ASCII distribution, one row per non-empty bucket.
+func (h *Histogram) Bars() string {
+	if h.count == 0 {
+		return "no samples\n"
+	}
+	var peak uint64
+	for _, n := range h.buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	var b strings.Builder
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i-1)
+		}
+		hi := uint64(1)<<uint(i) - 1
+		width := int(n * 40 / peak)
+		fmt.Fprintf(&b, "%10d-%-10d %8d %s\n", lo, hi, n, strings.Repeat("#", width))
+	}
+	return b.String()
+}

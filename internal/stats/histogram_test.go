@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.String() != "no samples" {
+		t.Fatalf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 4, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 5 || h.Max() != 100 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if h.Mean() != 22 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		var max uint64
+		for _, v := range raw {
+			h.Add(uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		// Percentiles are monotone and bounded by max.
+		prev := uint64(0)
+		for _, p := range []float64{10, 50, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev || v > max {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	// 90 samples of ~8, 10 samples of ~1000.
+	for i := 0; i < 90; i++ {
+		h.Add(8)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1000)
+	}
+	if p50 := h.Percentile(50); p50 > 15 {
+		t.Fatalf("p50 = %d, want bucket around 8", p50)
+	}
+	if p99 := h.Percentile(99); p99 < 512 {
+		t.Fatalf("p99 = %d, want the 1000 bucket", p99)
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 64; i++ {
+		h.Add(i)
+	}
+	bars := h.Bars()
+	if !strings.Contains(bars, "#") || strings.Count(bars, "\n") < 3 {
+		t.Fatalf("Bars() output too thin:\n%s", bars)
+	}
+}
+
+func TestHistogramHugeValues(t *testing.T) {
+	var h Histogram
+	h.Add(1 << 62)
+	if h.Percentile(100) != 1<<62 {
+		t.Fatalf("overflow bucket percentile = %d", h.Percentile(100))
+	}
+}

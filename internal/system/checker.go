@@ -1,0 +1,184 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/proto"
+)
+
+// CheckCoherence verifies the protocol's structural invariants over the
+// quiescent system state:
+//
+//   - SWMR: if any cache holds write permission for a line, no other cache
+//     holds any permission for it.
+//   - Single owner: exactly one agent (an L1, an L2 bank, or memory)
+//     considers itself responsible for the line's data.
+//   - Backup discipline (FtDirCMP): at quiescence no backups remain; while
+//     running, at most one backup exists per line and owner+backup >= 1
+//     (use CheckLine for mid-run checks on non-transient lines).
+//   - Version agreement: every readable copy of a line carries the same
+//     version as the owner (no stale copies).
+//
+// It returns one error per violated line.
+func (s *System) CheckCoherence() []error {
+	views := make(map[msg.Addr][]agentView)
+	for _, a := range s.agents {
+		id := a.NodeID()
+		a.InspectLines(func(v proto.LineView) {
+			views[v.Addr] = append(views[v.Addr], agentView{node: id, v: v})
+		})
+	}
+
+	addrs := make([]msg.Addr, 0, len(views))
+	for a := range views {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	expectTokens := 0
+	if s.cfg.Protocol.tokenBased() {
+		expectTokens = s.topo.Tiles
+	}
+	var errs []error
+	for _, addr := range addrs {
+		if err := checkLine(s.topo, addr, views[addr], true); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := checkTokens(addr, views[addr], expectTokens); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// checkTokens enforces token conservation at quiescence: every line's
+// tokens sum to exactly T and exactly one agent holds the owner token.
+func checkTokens(addr msg.Addr, vs []agentView, expect int) error {
+	if expect == 0 {
+		return nil
+	}
+	total, owners := 0, 0
+	for _, av := range vs {
+		total += av.v.Tokens
+		if av.v.Owner {
+			owners++
+		}
+	}
+	if total != expect {
+		return fmt.Errorf("line %#x: %d tokens in the system, want %d: %v",
+			addr, total, expect, describe(vs))
+	}
+	if owners != 1 {
+		return fmt.Errorf("line %#x: %d owner tokens: %v", addr, owners, describe(vs))
+	}
+	return nil
+}
+
+// CheckLine validates one line's views mid-run; transient lines are
+// skipped (their state is in flight by definition).
+func (s *System) CheckLine(addr msg.Addr) error {
+	var vs []agentView
+	for _, a := range s.agents {
+		id := a.NodeID()
+		a.InspectLines(func(v proto.LineView) {
+			if v.Addr == addr {
+				vs = append(vs, agentView{node: id, v: v})
+			}
+		})
+	}
+	for _, av := range vs {
+		if av.v.Transient {
+			return nil
+		}
+	}
+	return checkLine(s.topo, addr, vs, false)
+}
+
+type agentView struct {
+	node msg.NodeID
+	v    proto.LineView
+}
+
+func checkLine(topo proto.Topology, addr msg.Addr, vs []agentView, quiescent bool) error {
+	writers, owners := 0, 0
+	chipBackups, memBackups := 0, 0
+	readers := 0
+	var ownerVersion uint64
+	var maxVersion uint64
+	for _, av := range vs {
+		switch av.v.Perm {
+		case proto.PermWrite:
+			writers++
+			readers++
+		case proto.PermRead:
+			readers++
+		}
+		if av.v.Owner {
+			owners++
+			if av.v.Payload.Version > ownerVersion {
+				ownerVersion = av.v.Payload.Version
+			}
+		}
+		if av.v.Backup {
+			if topo.IsMem(av.node) {
+				memBackups++
+			} else {
+				chipBackups++
+			}
+		}
+		if av.v.Payload.Version > maxVersion {
+			maxVersion = av.v.Payload.Version
+		}
+	}
+	backups := chipBackups + memBackups
+	if writers > 1 {
+		return fmt.Errorf("line %#x: %d caches hold write permission (SWMR violated): %v",
+			addr, writers, describe(vs))
+	}
+	if writers == 1 && readers > 1 {
+		return fmt.Errorf("line %#x: a writer coexists with other readers: %v", addr, describe(vs))
+	}
+	if owners > 1 {
+		return fmt.Errorf("line %#x: %d owners: %v", addr, owners, describe(vs))
+	}
+	if owners+backups == 0 {
+		return fmt.Errorf("line %#x: no owner and no backup: %v", addr, describe(vs))
+	}
+	// §3.1.1: at most one backup off-chip and at most one in the chip.
+	if chipBackups > 1 || memBackups > 1 {
+		return fmt.Errorf("line %#x: %d chip backups, %d memory backups: %v",
+			addr, chipBackups, memBackups, describe(vs))
+	}
+	if quiescent {
+		if backups != 0 {
+			return fmt.Errorf("line %#x: backup survives quiescence: %v", addr, describe(vs))
+		}
+		if owners == 1 && ownerVersion < maxVersion {
+			return fmt.Errorf("line %#x: owner at v%d but a copy is at v%d: %v",
+				addr, ownerVersion, maxVersion, describe(vs))
+		}
+		// Readable copies must match the owner's version.
+		for _, av := range vs {
+			if av.v.Perm != proto.PermNone && av.v.Payload.Version != ownerVersion {
+				return fmt.Errorf("line %#x: node %d holds stale v%d, owner has v%d",
+					addr, av.node, av.v.Payload.Version, ownerVersion)
+			}
+		}
+	}
+	return nil
+}
+
+func describe(vs []agentView) string {
+	out := ""
+	for i, av := range vs {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("node %d{perm=%d owner=%t backup=%t trans=%t v%d}",
+			av.node, av.v.Perm, av.v.Owner, av.v.Backup, av.v.Transient, av.v.Payload.Version)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package system
+
+import (
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Core models an in-order processor: it issues one memory operation at a
+// time, blocking on misses, with a fixed think time between operations
+// (the paper assumes in-order cores; §2).
+type Core struct {
+	id        int
+	topo      proto.Topology
+	port      proto.L1Port
+	engine    *sim.Engine
+	thinkTime uint64
+	stream    workload.Stream
+	integrity *Integrity
+
+	seq       uint64
+	completed uint64
+	done      bool
+}
+
+// NewCore builds a core bound to an L1 port and an operation stream.
+// integrity may be nil.
+func NewCore(id int, topo proto.Topology, port proto.L1Port, engine *sim.Engine,
+	thinkTime uint64, stream workload.Stream, integrity *Integrity) *Core {
+	return &Core{
+		id:        id,
+		topo:      topo,
+		port:      port,
+		engine:    engine,
+		thinkTime: thinkTime,
+		stream:    stream,
+		integrity: integrity,
+	}
+}
+
+// Start schedules the first operation.
+func (c *Core) Start() {
+	c.engine.Schedule(0, c.next)
+}
+
+// Done reports whether the stream is exhausted.
+func (c *Core) Done() bool { return c.done }
+
+// Completed returns how many operations have committed.
+func (c *Core) Completed() uint64 { return c.completed }
+
+func (c *Core) next() {
+	op, ok := c.stream.Next()
+	if !ok {
+		c.done = true
+		return
+	}
+	addr := msg.Addr(op.Line) * msg.Addr(c.topo.LineSize)
+	if op.Write {
+		c.seq++
+		value := uint64(c.id+1)<<40 | c.seq
+		c.port.Write(addr, value, func(res proto.AccessResult) {
+			if c.integrity != nil {
+				c.integrity.OnCoreWrite(c.id, addr, res.Version, res.Value)
+			}
+			c.completeOp()
+		})
+		return
+	}
+	c.port.Read(addr, func(res proto.AccessResult) {
+		if c.integrity != nil {
+			c.integrity.OnCoreRead(c.id, addr, res.Version, res.Value)
+		}
+		c.completeOp()
+	})
+}
+
+func (c *Core) completeOp() {
+	c.completed++
+	c.engine.Schedule(c.thinkTime, c.next)
+}

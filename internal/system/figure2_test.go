@@ -1,0 +1,118 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/workload"
+)
+
+// TestFigure2FalsePositiveReissue stages the paper's Figure 2 hazard: the
+// lost-request timeout fires before the invalidation acknowledgment
+// arrives (a false positive), the request is reissued, and the response to
+// the superseded attempt arrives later. Request serial numbers must
+// discard the stale messages; without them the late acknowledgment would
+// let the writer proceed while a sharer still holds the line (the paper's
+// incoherence). The data-value oracle and the coherence checker prove the
+// hazard never materializes.
+func TestFigure2FalsePositiveReissue(t *testing.T) {
+	cfg := smallConfig(FtDirCMP)
+	// A timeout shorter than the miss round trip guarantees false
+	// positives on contended misses.
+	cfg.Params.LostRequestTimeout = 30
+	cfg.Params.LostUnblockTimeout = 60
+	cfg.Params.LostAckBDTimeout = 60
+	cfg.Params.BackupTimeout = 120
+	cfg.OpsPerCore = 300
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(workload.Hotspot(8, 64)); err != nil {
+		t.Fatalf("run with aggressive timeouts failed: %v", err)
+	}
+	st := s.Stats().Proto
+	if st.RequestsReissued == 0 {
+		t.Fatal("no reissues happened — the scenario was not staged")
+	}
+	if st.StaleSNDiscarded == 0 {
+		t.Fatal("no stale responses were discarded — serial numbers untested")
+	}
+	if st.FalsePositives == 0 {
+		t.Fatal("no false positives detected despite premature timeouts")
+	}
+}
+
+// TestFigure2ScriptedRace stages the exact two-cache race on one line:
+// core 0 writes while core 1 shares, with a timeout so short that the
+// first DataEx+Ack pair is always superseded.
+func TestFigure2ScriptedRace(t *testing.T) {
+	cfg := smallConfig(FtDirCMP)
+	cfg.Params.LostRequestTimeout = 25
+	sc := newScript(t, cfg)
+	const addr = 0x1140
+	sc.read(1, addr) // core 1 becomes a sharer
+	sc.read(2, addr) // core 2 too (forces an invalidation fan-out)
+	res := sc.write(0, addr, 7)
+	if res.Version != 1 || res.Value != 7 {
+		t.Fatalf("write result %+v", res)
+	}
+	// The old sharers must be invalid: their next read misses and returns
+	// the new value, never the stale one.
+	if r := sc.read(1, addr); r.Value != 7 {
+		t.Fatalf("core 1 read stale data: %+v", r)
+	}
+	if r := sc.read(2, addr); r.Value != 7 {
+		t.Fatalf("core 2 read stale data: %+v", r)
+	}
+	sc.drain()
+	if sc.s.Stats().Proto.StaleSNDiscarded == 0 {
+		t.Skip("race did not trigger in this schedule (timing-dependent)")
+	}
+}
+
+// TestSerialNumberExhaustionSafety: even when a request is reissued more
+// than 2^n times (wrapping the serial space), the protocol stays correct —
+// the paper's probabilistic argument (§3.5) is about performance, not
+// safety, in this implementation because attempts draw fresh counter
+// values.
+func TestSerialNumberExhaustionSafety(t *testing.T) {
+	cfg := smallConfig(FtDirCMP)
+	cfg.Params.SerialBits = 2 // only 4 serial numbers
+	cfg.Params.LostRequestTimeout = 40
+	cfg.OpsPerCore = 200
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(workload.Hotspot(4, 32)); err != nil {
+		t.Fatalf("tiny serial space broke the protocol: %v", err)
+	}
+	if s.Stats().Proto.RequestsReissued == 0 {
+		t.Fatal("scenario did not exercise reissues")
+	}
+}
+
+// TestStaleAckNeverCompletesWrongMiss: with premature timeouts and
+// injected losses together, acknowledgments from superseded attempts float
+// around; the write-version chain must stay strictly sequential (enforced
+// by the oracle inside Run).
+func TestStaleAckNeverCompletesWrongMiss(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := smallConfig(FtDirCMP)
+		cfg.Params.LostRequestTimeout = 35
+		cfg.Params.LostUnblockTimeout = 70
+		cfg.Params.LostAckBDTimeout = 70
+		cfg.Params.BackupTimeout = 140
+		cfg.OpsPerCore = 150
+		cfg.Seed = seed
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(workload.Locks(4, 2)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	_ = msg.Ack // documents the message type under test
+}

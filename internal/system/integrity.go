@@ -1,0 +1,117 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+)
+
+// Integrity is the data-value oracle. It exploits two facts about a correct
+// coherence protocol:
+//
+//   - Writes to a line are totally ordered (ownership is exclusive), so the
+//     per-line version counter carried in the payload must increase by
+//     exactly one at every committed write, globally.
+//   - Reads respect that order: a core can never observe an older version
+//     of a line than one it previously read or wrote (per-core, per-line
+//     monotonicity), and the value it reads must be the value that version
+//     committed.
+//
+// A lost or stale data message that slipped through the protocol (for
+// example after a mishandled reissue — the paper's Figure 2 scenario)
+// manifests as a duplicated/skipped version or a value mismatch here.
+type Integrity struct {
+	lastVersion map[msg.Addr]uint64            // last committed version per line
+	valueAt     map[msg.Addr]map[uint64]uint64 // version -> committed value
+	coreSeen    []map[msg.Addr]uint64          // per-core last observed version
+	errs        []string
+}
+
+// NewIntegrity builds an oracle for the given core count.
+func NewIntegrity(cores int) *Integrity {
+	seen := make([]map[msg.Addr]uint64, cores)
+	for i := range seen {
+		seen[i] = make(map[msg.Addr]uint64)
+	}
+	return &Integrity{
+		lastVersion: make(map[msg.Addr]uint64),
+		valueAt:     make(map[msg.Addr]map[uint64]uint64),
+		coreSeen:    seen,
+	}
+}
+
+// OnWriteCommit is the proto.WriteObserver hook, called by L1 controllers
+// at the serialization point of every store.
+func (g *Integrity) OnWriteCommit(addr msg.Addr, version, value uint64) {
+	if want := g.lastVersion[addr] + 1; version != want {
+		g.fail("write to %#x committed version %d, want %d (lost or duplicated ownership)",
+			addr, version, want)
+	}
+	if version > g.lastVersion[addr] {
+		g.lastVersion[addr] = version
+	}
+	m := g.valueAt[addr]
+	if m == nil {
+		m = make(map[uint64]uint64)
+		g.valueAt[addr] = m
+	}
+	m[version] = value
+}
+
+// OnCoreWrite records the version a core observed its own store commit at.
+func (g *Integrity) OnCoreWrite(coreID int, addr msg.Addr, version, value uint64) {
+	g.observe(coreID, addr, version)
+	if m := g.valueAt[addr]; m != nil {
+		if v, ok := m[version]; ok && v != value {
+			g.fail("core %d write to %#x v%d returned value %#x, committed %#x",
+				coreID, addr, version, value, v)
+		}
+	}
+}
+
+// OnCoreRead checks a load's result against the committed history.
+func (g *Integrity) OnCoreRead(coreID int, addr msg.Addr, version, value uint64) {
+	g.observe(coreID, addr, version)
+	if version == 0 {
+		if value != 0 {
+			g.fail("core %d read %#x v0 with nonzero value %#x", coreID, addr, value)
+		}
+		return
+	}
+	m := g.valueAt[addr]
+	if m == nil {
+		g.fail("core %d read %#x v%d but no write ever committed", coreID, addr, version)
+		return
+	}
+	want, ok := m[version]
+	if !ok {
+		g.fail("core %d read %#x v%d which was never committed", coreID, addr, version)
+		return
+	}
+	if want != value {
+		g.fail("core %d read %#x v%d value %#x, want %#x", coreID, addr, version, value, want)
+	}
+}
+
+func (g *Integrity) observe(coreID int, addr msg.Addr, version uint64) {
+	seen := g.coreSeen[coreID]
+	if prev := seen[addr]; version < prev {
+		g.fail("core %d observed %#x go backwards: v%d after v%d (stale data accepted)",
+			coreID, addr, version, prev)
+	}
+	if version > seen[addr] {
+		seen[addr] = version
+	}
+}
+
+// LastVersion returns the newest committed version of a line.
+func (g *Integrity) LastVersion(addr msg.Addr) uint64 { return g.lastVersion[addr] }
+
+// Errors returns all recorded violations.
+func (g *Integrity) Errors() []string { return g.errs }
+
+func (g *Integrity) fail(format string, args ...any) {
+	if len(g.errs) < 100 {
+		g.errs = append(g.errs, fmt.Sprintf(format, args...))
+	}
+}

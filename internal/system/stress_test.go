@@ -1,0 +1,70 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// TestFtDirCMPFaultStress runs every workload under heavy uniform loss
+// with several seeds; the protocol must always complete correctly.
+func TestFtDirCMPFaultStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, w := range workload.Suite() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			for _, rate := range []int{2000, 10000} {
+				for seed := uint64(1); seed <= 3; seed++ {
+					cfg := smallConfig(FtDirCMP)
+					cfg.OpsPerCore = 200
+					cfg.Seed = seed
+					cfg.Injector = fault.NewRate(rate, seed*977)
+					s, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := s.Run(w); err != nil {
+						t.Fatalf("rate=%d seed=%d: %v\n%s", rate, seed, err, s.DumpStuck())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFtDirCMPBurstFaults checks recovery from bursts of consecutive
+// losses (the paper's failure model includes bursts).
+func TestFtDirCMPBurstFaults(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := smallConfig(FtDirCMP)
+		cfg.OpsPerCore = 200
+		cfg.Injector = fault.NewBurst(500, 8, seed)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(workload.Uniform(128, 0.5)); err != nil {
+			t.Fatalf("seed=%d: %v\n%s", seed, err, s.DumpStuck())
+		}
+	}
+}
+
+// TestFtDirCMPFullScale runs the paper's 16-tile configuration.
+func TestFtDirCMPFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	cfg := DefaultConfig()
+	cfg.OpsPerCore = 500
+	cfg.Injector = fault.NewRate(2000, 7)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(workload.Uniform(512, 0.5)); err != nil {
+		t.Fatalf("%v\n%s", err, s.DumpStuck())
+	}
+}

@@ -1,0 +1,469 @@
+// Package system assembles a complete tiled-CMP simulation: cores, L1s, L2
+// banks and memory controllers attached to the mesh, running either the
+// DirCMP baseline or the FtDirCMP fault-tolerant protocol, with fault
+// injection, a data-integrity oracle and a coherence invariant checker.
+package system
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dircmp"
+	"repro/internal/fault"
+	"repro/internal/memctrl"
+	"repro/internal/msg"
+	"repro/internal/noc"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/token"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// multiRecorder fans network events out to several recorders.
+type multiRecorder []noc.Recorder
+
+func (m multiRecorder) MessageSent(msgp *msg.Message, bytes int) {
+	for _, r := range m {
+		r.MessageSent(msgp, bytes)
+	}
+}
+
+func (m multiRecorder) MessageDropped(msgp *msg.Message) {
+	for _, r := range m {
+		r.MessageDropped(msgp)
+	}
+}
+
+func (m multiRecorder) MessageDelivered(msgp *msg.Message, latency uint64) {
+	for _, r := range m {
+		r.MessageDelivered(msgp, latency)
+	}
+}
+
+// Protocol selects the coherence protocol.
+type Protocol int
+
+const (
+	// DirCMP is the non-fault-tolerant baseline (§2 of the paper).
+	DirCMP Protocol = iota + 1
+	// FtDirCMP is the paper's fault-tolerant protocol (§3).
+	FtDirCMP
+	// TokenCMP is the token-coherence baseline of the authors' previous
+	// work, implemented for the paper's §5 comparison.
+	TokenCMP
+	// FtTokenCMP is its fault-tolerant extension (token serial numbers and
+	// the token recreation process).
+	FtTokenCMP
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case DirCMP:
+		return "DirCMP"
+	case FtDirCMP:
+		return "FtDirCMP"
+	case TokenCMP:
+		return "TokenCMP"
+	case FtTokenCMP:
+		return "FtTokenCMP"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// tokenBased reports whether p is one of the token-coherence protocols.
+func (p Protocol) tokenBased() bool { return p == TokenCMP || p == FtTokenCMP }
+
+// Errors reported by Run.
+var (
+	// ErrDeadlock: the simulation ran out of events before every core
+	// finished — a lost message stalled the protocol (the fate of DirCMP
+	// under any fault).
+	ErrDeadlock = errors.New("system: deadlock — event queue drained with cores still blocked")
+	// ErrCycleLimit: the cycle limit elapsed before completion.
+	ErrCycleLimit = errors.New("system: cycle limit exceeded")
+)
+
+// Config describes a simulation.
+type Config struct {
+	Protocol Protocol
+	// MeshWidth*MeshHeight tiles, one core+L1+L2 bank each.
+	MeshWidth, MeshHeight int
+	// Mems memory controllers, line-interleaved.
+	Mems int
+
+	Params proto.Params
+	Net    noc.Config
+
+	// Injector may be nil (reliable network).
+	Injector fault.Injector
+
+	// Workload shape.
+	OpsPerCore int
+	ThinkTime  uint64
+	Seed       uint64
+
+	// Limit bounds the simulation length (cycles); 0 means the default.
+	Limit uint64
+
+	// CheckIntegrity enables the data-value oracle (default on via
+	// DefaultConfig; costs some memory).
+	CheckIntegrity bool
+
+	// Trace, when non-nil, records network messages for debugging.
+	Trace *trace.Ring
+}
+
+// Tiles returns the tile count.
+func (c Config) Tiles() int { return c.MeshWidth * c.MeshHeight }
+
+// DefaultConfig returns the paper's Table 4 configuration: a 16-way tiled
+// CMP (4x4 mesh), 64-byte lines, 32KB/4-way L1s, 512KB/8-way L2 banks,
+// 4 memory controllers, 8/72-byte messages, and the fault-tolerance
+// parameters described in §3.6/§4.1.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:   FtDirCMP,
+		MeshWidth:  4,
+		MeshHeight: 4,
+		Mems:       4,
+		Params: proto.Params{
+			LineSize:           64,
+			L1Size:             32 * 1024,
+			L1Ways:             4,
+			L2Size:             512 * 1024,
+			L2Ways:             8,
+			L1HitLatency:       3,
+			L2HitLatency:       15,
+			MemLatency:         160,
+			MSHRs:              0,
+			MigratoryOpt:       true,
+			SerialBits:         8,
+			LostRequestTimeout: 2000,
+			LostUnblockTimeout: 3000,
+			LostAckBDTimeout:   3000,
+			BackupTimeout:      4000,
+		},
+		Net: noc.Config{
+			HopLatency:   4,
+			LocalLatency: 1,
+			FlitBytes:    16,
+			ControlSize:  8,
+			DataSize:     72,
+		},
+		OpsPerCore:     2000,
+		ThinkTime:      4,
+		Seed:           1,
+		Limit:          200_000_000,
+		CheckIntegrity: true,
+	}
+}
+
+// quiesceEntry pairs an agent with its quiescence predicate, for the
+// post-drain sanity check and the deadlock dump.
+type quiesceEntry struct {
+	name string
+	fn   func() bool
+}
+
+// System is a fully assembled simulation.
+type System struct {
+	cfg    Config
+	topo   proto.Topology
+	engine *sim.Engine
+	net    *noc.Network
+	run    *stats.Run
+
+	ports     []proto.L1Port
+	cores     []*Core
+	agents    []proto.Inspectable
+	integrity *Integrity
+	quiesce   []quiesceEntry
+}
+
+// New builds a system from the configuration.
+func New(cfg Config) (*System, error) {
+	if cfg.Tiles() < 1 || cfg.Mems < 1 {
+		return nil, fmt.Errorf("system: invalid topology %dx%d tiles, %d mems",
+			cfg.MeshWidth, cfg.MeshHeight, cfg.Mems)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Net.Width = cfg.MeshWidth
+	cfg.Net.Height = cfg.MeshHeight
+	if cfg.Limit == 0 {
+		cfg.Limit = 200_000_000
+	}
+
+	topo := proto.Topology{Tiles: cfg.Tiles(), Mems: cfg.Mems, LineSize: cfg.Params.LineSize}
+	engine := sim.NewEngine()
+	run := stats.NewRun(cfg.Protocol.String(), "")
+
+	var drop noc.DropFunc
+	if cfg.Injector != nil {
+		drop = cfg.Injector.Drop
+	}
+	var recorder noc.Recorder = run.Net
+	if cfg.Trace != nil {
+		recorder = multiRecorder{run.Net, cfg.Trace}
+	}
+	net, err := noc.New(engine, cfg.Net, drop, recorder)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:    cfg,
+		topo:   topo,
+		engine: engine,
+		net:    net,
+		run:    run,
+	}
+	if cfg.CheckIntegrity {
+		s.integrity = NewIntegrity(cfg.Tiles())
+	}
+
+	var onWrite proto.WriteObserver
+	if s.integrity != nil {
+		onWrite = s.integrity.OnWriteCommit
+	}
+
+	store := memctrl.NewStore()
+
+	switch cfg.Protocol {
+	case DirCMP:
+		for i := 0; i < cfg.Tiles(); i++ {
+			l1, err := dircmp.NewL1(topo.L1(i), topo, cfg.Params, engine, net, run, onWrite)
+			if err != nil {
+				return nil, err
+			}
+			l2, err := dircmp.NewL2(topo.L2(i), topo, cfg.Params, engine, net, run)
+			if err != nil {
+				return nil, err
+			}
+			if err := attach(net, l1.NodeID(), i, l1.Handle); err != nil {
+				return nil, err
+			}
+			if err := attach(net, l2.NodeID(), i, l2.Handle); err != nil {
+				return nil, err
+			}
+			s.ports = append(s.ports, l1)
+			s.agents = append(s.agents, l1, l2)
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L2 bank %d", l2.NodeID()), l2.Quiesced})
+		}
+		for i := 0; i < cfg.Mems; i++ {
+			mc := dircmp.NewMem(topo.Mem(i), topo, cfg.Params, engine, net, run, store)
+			if err := attach(net, mc.NodeID(), memRouter(cfg, i), mc.Handle); err != nil {
+				return nil, err
+			}
+			s.agents = append(s.agents, mc)
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("memory %d", mc.NodeID()), mc.Quiesced})
+		}
+	case FtDirCMP:
+		for i := 0; i < cfg.Tiles(); i++ {
+			l1, err := core.NewL1(topo.L1(i), topo, cfg.Params, engine, net, run, onWrite)
+			if err != nil {
+				return nil, err
+			}
+			l2, err := core.NewL2(topo.L2(i), topo, cfg.Params, engine, net, run)
+			if err != nil {
+				return nil, err
+			}
+			if err := attach(net, l1.NodeID(), i, l1.Handle); err != nil {
+				return nil, err
+			}
+			if err := attach(net, l2.NodeID(), i, l2.Handle); err != nil {
+				return nil, err
+			}
+			s.ports = append(s.ports, l1)
+			s.agents = append(s.agents, l1, l2)
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L2 bank %d", l2.NodeID()), l2.Quiesced})
+		}
+		for i := 0; i < cfg.Mems; i++ {
+			mc := core.NewMem(topo.Mem(i), topo, cfg.Params, engine, net, run, store)
+			if err := attach(net, mc.NodeID(), memRouter(cfg, i), mc.Handle); err != nil {
+				return nil, err
+			}
+			s.agents = append(s.agents, mc)
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("memory %d", mc.NodeID()), mc.Quiesced})
+		}
+	case TokenCMP, FtTokenCMP:
+		ft := cfg.Protocol == FtTokenCMP
+		for i := 0; i < cfg.Tiles(); i++ {
+			l1, err := token.NewL1(topo.L1(i), topo, cfg.Params, engine, net, run, onWrite, ft)
+			if err != nil {
+				return nil, err
+			}
+			home := token.NewHome(topo.L2(i), topo, cfg.Params, engine, net, run, ft)
+			if err := attach(net, l1.NodeID(), i, l1.Handle); err != nil {
+				return nil, err
+			}
+			if err := attach(net, home.NodeID(), i, home.Handle); err != nil {
+				return nil, err
+			}
+			s.ports = append(s.ports, l1)
+			s.agents = append(s.agents, l1, home)
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("home %d", home.NodeID()), home.Quiesced})
+		}
+		// Token protocols have no separate memory controllers: the home
+		// nodes are the memory-side token holders (see internal/token).
+	default:
+		return nil, fmt.Errorf("system: unknown protocol %v", cfg.Protocol)
+	}
+	return s, nil
+}
+
+func attach(net *noc.Network, id msg.NodeID, router int, h noc.Handler) error {
+	if err := net.Attach(id, router, h); err != nil {
+		return fmt.Errorf("system: attach node %d: %w", id, err)
+	}
+	return nil
+}
+
+// memRouter spreads the memory controllers across the mesh corners/edges.
+func memRouter(cfg Config, i int) int {
+	w, h := cfg.MeshWidth, cfg.MeshHeight
+	corners := []int{0, w - 1, (h - 1) * w, h*w - 1}
+	return corners[i%len(corners)]
+}
+
+// Engine exposes the simulation clock (for tests and tools).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// Stats exposes the run statistics.
+func (s *System) Stats() *stats.Run { return s.run }
+
+// Ports exposes the CPU-side L1 interfaces (for scripted tests).
+func (s *System) Ports() []proto.L1Port { return s.ports }
+
+// Integrity exposes the data oracle (nil when disabled).
+func (s *System) Integrity() *Integrity { return s.integrity }
+
+// Run executes the workload to completion on every core. It returns the
+// collected statistics and a nil error on success; ErrDeadlock when a core
+// can never finish (the DirCMP-under-faults outcome); ErrCycleLimit when the
+// limit elapsed. Coherence and data-integrity violations are returned as
+// errors as well.
+func (s *System) Run(w workload.Workload) (*stats.Run, error) {
+	s.run.Workload = w.Name()
+	master := sim.NewRNG(s.cfg.Seed)
+	tiles := s.cfg.Tiles()
+	for i := 0; i < tiles; i++ {
+		c := NewCore(i, s.topo, s.ports[i], s.engine, s.cfg.ThinkTime,
+			w.Stream(i, tiles, s.cfg.OpsPerCore, master.Fork(uint64(i)+1)), s.integrity)
+		s.cores = append(s.cores, c)
+		c.Start()
+	}
+
+	allDone := func() bool {
+		for _, c := range s.cores {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	}
+
+	finished := s.engine.RunUntil(s.cfg.Limit, allDone)
+	s.run.Cycles = s.engine.Now()
+	for _, c := range s.cores {
+		s.run.Ops += c.Completed()
+	}
+	if !finished {
+		if s.engine.Pending() == 0 {
+			return s.run, fmt.Errorf("%w (%d/%d cores finished at cycle %d)",
+				ErrDeadlock, s.doneCores(), tiles, s.engine.Now())
+		}
+		return s.run, fmt.Errorf("%w (%d cycles, %d/%d cores finished)",
+			ErrCycleLimit, s.cfg.Limit, s.doneCores(), tiles)
+	}
+
+	// Drain in-flight work (writebacks, ownership handshakes, stale timer
+	// events) so the final coherence check sees a quiescent system.
+	if err := s.engine.Run(s.cfg.Limit); err != nil {
+		return s.run, fmt.Errorf("system: drain: %w", err)
+	}
+
+	// Token protocols recover lost tokens lazily: a loss that starves
+	// nobody stays lost until the next request for the line triggers the
+	// recreation process. Before enforcing token conservation, prove that
+	// recovery behaviorally — every touched line must still be writable.
+	if s.cfg.Protocol.tokenBased() {
+		if err := s.tokenScrub(); err != nil {
+			return s.run, err
+		}
+	}
+
+	// Every agent must be idle after the drain; a live transaction here
+	// means a recovery loop is spinning without progress.
+	for _, q := range s.quiesce {
+		if !q.fn() {
+			return s.run, fmt.Errorf("system: %s not quiescent after drain", q.name)
+		}
+	}
+
+	if errs := s.CheckCoherence(); len(errs) > 0 {
+		return s.run, fmt.Errorf("system: coherence check failed: %v (and %d more)",
+			errs[0], len(errs)-1)
+	}
+	if s.integrity != nil {
+		if errs := s.integrity.Errors(); len(errs) > 0 {
+			return s.run, fmt.Errorf("system: data integrity violated: %v (and %d more)",
+				errs[0], len(errs)-1)
+		}
+	}
+	return s.run, nil
+}
+
+func (s *System) doneCores() int {
+	n := 0
+	for _, c := range s.cores {
+		if c.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// tokenScrub writes every line any agent still holds state for, through
+// core 0. Each write needs all of the line's tokens, so it exercises the
+// starvation-recovery machinery for any tokens a fault destroyed and
+// leaves the system with full token conservation for the final check.
+func (s *System) tokenScrub() error {
+	seen := make(map[msg.Addr]bool)
+	var addrs []msg.Addr
+	for _, a := range s.agents {
+		a.InspectLines(func(v proto.LineView) {
+			if !seen[v.Addr] {
+				seen[v.Addr] = true
+				addrs = append(addrs, v.Addr)
+			}
+		})
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	port := s.ports[0]
+	for _, addr := range addrs {
+		done := false
+		var res proto.AccessResult
+		value := 0x5c0b ^ uint64(addr)
+		port.Write(addr, value, func(r proto.AccessResult) { done = true; res = r })
+		if !s.engine.RunUntil(s.cfg.Limit, func() bool { return done }) {
+			return fmt.Errorf("system: recovery scrub: line %#x is no longer writable", addr)
+		}
+		if s.integrity != nil {
+			s.integrity.OnCoreWrite(0, addr, res.Version, res.Value)
+		}
+	}
+	if err := s.engine.Run(s.cfg.Limit); err != nil {
+		return fmt.Errorf("system: scrub drain: %w", err)
+	}
+	return nil
+}

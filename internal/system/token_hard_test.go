@@ -1,0 +1,29 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func TestTokenVeryHighRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, w := range workload.Suite() {
+		for seed := uint64(1); seed <= 5; seed++ {
+			cfg := smallConfig(FtTokenCMP)
+			cfg.OpsPerCore = 120
+			cfg.Seed = seed
+			cfg.Injector = fault.NewRate(50000, seed*13)
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(w); err != nil {
+				t.Fatalf("%s rate=50000 seed=%d: %v\n%s", w.Name(), seed, err, s.DumpStuck())
+			}
+		}
+	}
+}

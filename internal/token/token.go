@@ -1,0 +1,70 @@
+// Package token implements TokenCMP and FtTokenCMP, the token-coherence
+// protocols of the authors' previous work, which the paper's §5 compares
+// FtDirCMP against. Implementing them makes that comparison quantitative:
+// broadcast traffic vs directory indirection, token recreation vs request
+// reissue, and per-line token serial numbers vs per-request serial numbers.
+//
+// Token coherence (Martin et al.) replaces the directory with counting:
+// every line has a fixed number of tokens T (one per L1 cache) of which
+// exactly one is the owner token. Holding ≥1 token with valid data permits
+// reading; holding all T permits writing; the owner-token holder is
+// responsible for the data. Requests are broadcast ("transient requests"):
+// the owner answers a TrGetS with one token plus data, and every holder
+// answers a TrGetX with all of its tokens (the owner adding data). Races
+// can scatter tokens so that nobody completes; requesters retry with
+// backoff and, after a threshold, escalate to a persistent request
+// arbitrated by the line's home node, which orders starving requesters and
+// makes everyone forward the line's tokens to the current one.
+//
+// The home node (one per tile, line-interleaved like the L2 banks of the
+// directory protocols) acts as the memory-side token holder: it starts
+// with all T tokens and the (zero) data of its lines and absorbs evicted
+// tokens. It stands in for the L2/memory hierarchy of the directory
+// protocols — adequate for the §5 comparison, which is about the
+// coherence fabric (see DESIGN.md §8).
+//
+// FtTokenCMP adds, mirroring the authors' description:
+//
+//   - per-line token serial numbers: token-carrying messages are stamped;
+//     a node discards tokens whose serial does not match the one it has
+//     recorded for the line (a table that, unlike FtDirCMP's per-request
+//     numbers, must persist per line — the hardware-cost point of §5);
+//   - the token recreation process: when a requester starves past the
+//     lost-token timeout it asks the home node to recreate the line — the
+//     home bumps the serial, broadcasts RecreateInv, collects every node's
+//     acknowledgment (with the freshest data), and reconstitutes all T
+//     tokens under the new serial;
+//   - backups for owned data: a node sending the owner token keeps a
+//     backup until the recipient's AckO (answering with AckBD), exactly
+//     like FtDirCMP's mechanism (§5: "essentially the same mechanism").
+//
+// Cache-frame field mapping (reusing cache.Line): State holds the token
+// count, Owner is 1 when the owner token is held, Sharers bit 0 marks
+// valid data, Dirty marks modified data.
+package token
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// dataValidBit is the cache.Line.Sharers bit marking valid data.
+const dataValidBit = 0
+
+func hasData(l *cache.Line) bool { return l.Sharers.Contains(dataValidBit) }
+func setData(l *cache.Line, v bool) {
+	if v {
+		l.Sharers.Add(dataValidBit)
+	} else {
+		l.Sharers.Remove(dataValidBit)
+	}
+}
+
+func hasOwner(l *cache.Line) bool { return l.Owner != 0 }
+
+// protocolPanic reports a broken internal invariant (never reachable
+// through message loss in the fault-tolerant mode).
+func protocolPanic(format string, args ...any) {
+	panic("token: protocol invariant violated: " + fmt.Sprintf(format, args...))
+}

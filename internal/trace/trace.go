@@ -1,0 +1,143 @@
+// Package trace records recent network messages in a bounded ring buffer
+// for debugging protocol runs, and prints the paper's descriptive tables.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/msg"
+)
+
+// Event is one observed message.
+type Event struct {
+	Seq     uint64
+	Kind    string // "send", "drop", "deliver"
+	Type    msg.Type
+	Src     msg.NodeID
+	Dst     msg.NodeID
+	Addr    msg.Addr
+	SN      msg.SerialNumber
+	Req     msg.NodeID
+	Piggy   bool
+	Fwd     bool
+	Migr    bool
+	NoPl    bool
+	AckCnt  int
+	Version uint64
+}
+
+func (e Event) String() string {
+	flags := ""
+	if e.Piggy {
+		flags += "+AckO"
+	}
+	if e.Fwd {
+		flags += " fwd"
+	}
+	if e.Migr {
+		flags += " migr"
+	}
+	if e.NoPl {
+		flags += " nopayload"
+	}
+	return fmt.Sprintf("%7d %-8s %-13s %2d->%2d addr=%#x sn=%d req=%d acks=%d v=%d%s",
+		e.Seq, e.Kind, e.Type, e.Src, e.Dst, e.Addr, e.SN, e.Req, e.AckCnt, e.Version, flags)
+}
+
+// Ring is a bounded message recorder implementing the network Recorder
+// interface. A zero filter records everything; SetFilter narrows capture to
+// one line address.
+type Ring struct {
+	events []Event
+	next   int
+	full   bool
+	seq    uint64
+
+	filterAddr msg.Addr
+	filtered   bool
+}
+
+// NewRing returns a recorder holding the last n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{events: make([]Event, n)}
+}
+
+// SetFilter restricts recording to a single line address.
+func (r *Ring) SetFilter(addr msg.Addr) {
+	r.filterAddr = addr
+	r.filtered = true
+}
+
+// Reset discards everything recorded so far (the sequence counter
+// restarts), keeping any filter.
+func (r *Ring) Reset() {
+	for i := range r.events {
+		r.events[i] = Event{}
+	}
+	r.next = 0
+	r.full = false
+	r.seq = 0
+}
+
+func (r *Ring) record(kind string, m *msg.Message) {
+	if r.filtered && m.Addr != r.filterAddr {
+		return
+	}
+	r.seq++
+	r.events[r.next] = Event{
+		Seq:     r.seq,
+		Kind:    kind,
+		Type:    m.Type,
+		Src:     m.Src,
+		Dst:     m.Dst,
+		Addr:    m.Addr,
+		SN:      m.SN,
+		Req:     m.Requestor,
+		Piggy:   m.PiggybackAckO,
+		Fwd:     m.Forwarded,
+		Migr:    m.Migratory,
+		NoPl:    m.NoPayload,
+		AckCnt:  m.AckCount,
+		Version: m.Payload.Version,
+	}
+	r.next = (r.next + 1) % len(r.events)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// MessageSent implements the network Recorder interface.
+func (r *Ring) MessageSent(m *msg.Message, bytes int) { r.record("send", m) }
+
+// MessageDropped implements the network Recorder interface.
+func (r *Ring) MessageDropped(m *msg.Message) { r.record("DROP", m) }
+
+// MessageDelivered implements the network Recorder interface.
+func (r *Ring) MessageDelivered(m *msg.Message, latency uint64) { r.record("deliver", m) }
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	var out []Event
+	if r.full {
+		out = append(out, r.events[r.next:]...)
+	}
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump renders the recorded events.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		if e.Seq == 0 {
+			continue
+		}
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func event(addr msg.Addr, typ msg.Type) *msg.Message {
+	return &msg.Message{Type: typ, Src: 1, Dst: 2, Addr: addr}
+}
+
+func TestRingRecordsInOrder(t *testing.T) {
+	r := NewRing(10)
+	r.MessageSent(event(0x40, msg.GetS), 8)
+	r.MessageDelivered(event(0x40, msg.GetS), 12)
+	r.MessageDropped(event(0x80, msg.Data))
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != "send" || evs[1].Kind != "deliver" || evs[2].Kind != "DROP" {
+		t.Fatalf("kinds = %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.MessageSent(event(msg.Addr(i), msg.GetS), 8)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Addr != msg.Addr(6+i) {
+			t.Fatalf("oldest-first order broken: %v", evs)
+		}
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(10)
+	r.SetFilter(0x40)
+	r.MessageSent(event(0x40, msg.GetS), 8)
+	r.MessageSent(event(0x80, msg.GetX), 8)
+	if evs := r.Events(); len(evs) != 1 || evs[0].Addr != 0x40 {
+		t.Fatalf("filter failed: %v", evs)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(10)
+	r.MessageSent(event(0x40, msg.GetS), 8)
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	r.MessageSent(event(0x80, msg.GetX), 8)
+	if evs := r.Events(); len(evs) != 1 || evs[0].Seq != 1 {
+		t.Fatalf("sequence did not restart: %v", evs)
+	}
+}
+
+func TestDumpRendersFlags(t *testing.T) {
+	r := NewRing(4)
+	m := event(0x40, msg.UnblockEx)
+	m.PiggybackAckO = true
+	r.MessageSent(m, 8)
+	out := r.Dump()
+	if !strings.Contains(out, "UnblockEx") || !strings.Contains(out, "+AckO") {
+		t.Fatalf("dump missing fields: %q", out)
+	}
+}
+
+func TestTablesCoverAllTypes(t *testing.T) {
+	t1, t2 := Table1(), Table2()
+	for _, typ := range msg.BaseTypes() {
+		if !strings.Contains(t1, typ.String()) {
+			t.Errorf("Table 1 missing %v", typ)
+		}
+	}
+	for _, typ := range msg.FtTypes() {
+		if !strings.Contains(t2, typ.String()) {
+			t.Errorf("Table 2 missing %v", typ)
+		}
+		if Describe(typ) == "" {
+			t.Errorf("no description for %v", typ)
+		}
+	}
+}
+
+func TestTable3MentionsAllTimeouts(t *testing.T) {
+	t3 := Table3()
+	for _, want := range []string{"Lost request", "Lost unblock", "backup deletion", "OwnershipPing"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: arbitrary text must never panic; accepted traces must be
+// structurally sound (non-negative cores, streams that terminate).
+func FuzzParseTrace(f *testing.F) {
+	f.Add("0 r 5\n0 w 5\n")
+	f.Add("# comment\n\n3 w 0x10\n")
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := ParseTrace("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if w.Cores() < 1 {
+			t.Fatalf("accepted trace with %d cores", w.Cores())
+		}
+		total := 0
+		for core := 0; core < w.Cores(); core++ {
+			s := w.Stream(core, w.Cores(), 0, nil)
+			for {
+				_, ok := s.Next()
+				if !ok {
+					break
+				}
+				total++
+				if total > 1<<22 {
+					t.Fatal("stream does not terminate")
+				}
+			}
+		}
+		if total != w.Ops() {
+			t.Fatalf("streams yield %d ops, Ops() says %d", total, w.Ops())
+		}
+	})
+}

@@ -1,0 +1,407 @@
+// Package repro is a from-scratch reproduction of "A fault-tolerant
+// directory-based cache coherence protocol for CMP architectures"
+// (Fernández-Pascual, García, Acacio, Duato — DSN 2008).
+//
+// It provides a deterministic discrete-event simulator of a tiled
+// chip-multiprocessor — cores, private L1 caches, a distributed shared L2
+// with an on-chip directory, memory controllers and a 2D-mesh
+// interconnection network — running either of two cache coherence
+// protocols:
+//
+//   - DirCMP, the baseline MOESI directory protocol (paper §2), which
+//     assumes a reliable network and deadlocks if any message is lost; and
+//   - FtDirCMP, the paper's contribution (§3), which tolerates message
+//     loss through reliable ownership transference (backup copies and the
+//     AckO/AckBD handshake), fault-detection timeouts, request reissue and
+//     request serial numbers.
+//
+// The package exposes a simple front door: build a Config (start from
+// DefaultConfig, the paper's Table 4 system), pick a workload, and Run.
+// Fault injection, the experiment sweeps behind the paper's figures, and a
+// correctness campaign are available through RunWithInjector, Compare,
+// FaultSweep and CheckRecovery.
+//
+//	cfg := repro.DefaultConfig()
+//	cfg.FaultRatePerMillion = 250
+//	res, err := repro.Run(cfg, "uniform")
+//	if err != nil { ... }
+//	fmt.Println(res.ReportText)
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/msg"
+	"repro/internal/noc"
+	"repro/internal/proto"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Protocol selects the coherence protocol to simulate.
+type Protocol int
+
+const (
+	// DirCMP is the non-fault-tolerant MOESI baseline.
+	DirCMP Protocol = iota + 1
+	// FtDirCMP is the fault-tolerant protocol, the paper's contribution.
+	FtDirCMP
+	// TokenCMP is the token-coherence baseline of the authors' previous
+	// work, which the paper's §5 compares against (see internal/token).
+	TokenCMP
+	// FtTokenCMP is its fault-tolerant extension: per-line token serial
+	// numbers and the centralized token recreation process.
+	FtTokenCMP
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case DirCMP:
+		return "DirCMP"
+	case FtDirCMP:
+		return "FtDirCMP"
+	case TokenCMP:
+		return "TokenCMP"
+	case FtTokenCMP:
+		return "FtTokenCMP"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config describes a complete simulated system. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	Protocol Protocol
+
+	// Topology: MeshWidth×MeshHeight tiles (core + L1 + L2 bank each) and
+	// MemControllers memory controllers at the mesh corners.
+	MeshWidth      int
+	MeshHeight     int
+	MemControllers int
+
+	// Cache hierarchy (sizes in bytes).
+	LineSize     int
+	L1Size       int
+	L1Ways       int
+	L2BankSize   int
+	L2Ways       int
+	L1HitLatency uint64
+	L2HitLatency uint64
+	MemLatency   uint64
+
+	// Network: per-hop latency, network-interface latency, channel
+	// bandwidth in bytes/cycle, and the two message sizes.
+	HopLatency     uint64
+	LocalLatency   uint64
+	FlitBytes      int
+	ControlMsgSize int
+	DataMsgSize    int
+
+	// MigratoryOpt enables the migratory-sharing optimization.
+	MigratoryOpt bool
+
+	// Fault tolerance parameters (FtDirCMP only; paper §3.6 and Table 4).
+	SerialNumberBits   int
+	LostRequestTimeout uint64
+	LostUnblockTimeout uint64
+	LostAckBDTimeout   uint64
+	BackupTimeout      uint64
+
+	// Workload shape: operations per core and think time between them.
+	OpsPerCore int
+	ThinkTime  uint64
+	Seed       uint64
+
+	// CycleLimit aborts runaway simulations (0 = default).
+	CycleLimit uint64
+
+	// Fault injection: uniform losses per million messages, or bursts of
+	// FaultBurstLen consecutive losses starting at the same rate.
+	// RunWithInjector offers full control.
+	FaultRatePerMillion int
+	FaultBurstLen       int
+	FaultSeed           uint64
+
+	// CheckIntegrity runs the data-value oracle and the coherence
+	// invariant checker on every run.
+	CheckIntegrity bool
+
+	// UnorderedNetwork switches the mesh to adaptive (per-message XY/YX)
+	// routing, which breaks point-to-point ordering — the unordered-network
+	// extension the paper points to in §2. FtDirCMP's serial numbers make
+	// it tolerate reordering as well as loss.
+	UnorderedNetwork bool
+
+	// CorruptInsteadOfDrop realizes losses by flipping a bit in the
+	// encoded message and letting the receiver's CRC check discard it —
+	// the paper's exact failure model — instead of deleting the message
+	// outright. Observable behaviour is identical.
+	CorruptInsteadOfDrop bool
+
+	// DisableAckOPiggyback sends every ownership acknowledgment as a
+	// standalone message (ablation of the §3.1 piggybacking optimization).
+	DisableAckOPiggyback bool
+
+	// DetailedNetwork switches the mesh to the virtual cut-through router
+	// model: finite per-link per-virtual-channel input buffers with credit
+	// backpressure, instead of the default infinite-queue link model.
+	// Incompatible with UnorderedNetwork (adaptive routing over shared
+	// finite buffers is not deadlock-free).
+	DetailedNetwork bool
+
+	// RouterBufferFlits is the input buffer capacity per link per virtual
+	// channel in detailed mode (0 = default of 16 flits).
+	RouterBufferFlits int
+}
+
+// DefaultConfig returns the paper's Table 4 configuration: a 16-tile CMP on
+// a 4x4 mesh, 64-byte lines, 32KB/4-way L1s, 512KB/8-way L2 banks, four
+// memory controllers, 8/72-byte messages and the fault-tolerance timeouts
+// used in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:           FtDirCMP,
+		MeshWidth:          4,
+		MeshHeight:         4,
+		MemControllers:     4,
+		LineSize:           64,
+		L1Size:             32 * 1024,
+		L1Ways:             4,
+		L2BankSize:         512 * 1024,
+		L2Ways:             8,
+		L1HitLatency:       3,
+		L2HitLatency:       15,
+		MemLatency:         160,
+		HopLatency:         4,
+		LocalLatency:       1,
+		FlitBytes:          16,
+		ControlMsgSize:     8,
+		DataMsgSize:        72,
+		MigratoryOpt:       true,
+		SerialNumberBits:   8,
+		LostRequestTimeout: 2000,
+		LostUnblockTimeout: 3000,
+		LostAckBDTimeout:   3000,
+		BackupTimeout:      4000,
+		OpsPerCore:         2000,
+		ThinkTime:          4,
+		Seed:               1,
+		CycleLimit:         200_000_000,
+		CheckIntegrity:     true,
+	}
+}
+
+// toInternal converts the public configuration.
+func (c Config) toInternal() system.Config {
+	var p system.Protocol
+	switch c.Protocol {
+	case DirCMP:
+		p = system.DirCMP
+	case TokenCMP:
+		p = system.TokenCMP
+	case FtTokenCMP:
+		p = system.FtTokenCMP
+	default:
+		p = system.FtDirCMP
+	}
+	return system.Config{
+		Protocol:   p,
+		MeshWidth:  c.MeshWidth,
+		MeshHeight: c.MeshHeight,
+		Mems:       c.MemControllers,
+		Params: proto.Params{
+			LineSize:           c.LineSize,
+			L1Size:             c.L1Size,
+			L1Ways:             c.L1Ways,
+			L2Size:             c.L2BankSize,
+			L2Ways:             c.L2Ways,
+			L1HitLatency:       c.L1HitLatency,
+			L2HitLatency:       c.L2HitLatency,
+			MemLatency:         c.MemLatency,
+			MigratoryOpt:       c.MigratoryOpt,
+			SerialBits:         c.SerialNumberBits,
+			LostRequestTimeout: c.LostRequestTimeout,
+			LostUnblockTimeout: c.LostUnblockTimeout,
+			LostAckBDTimeout:   c.LostAckBDTimeout,
+			BackupTimeout:      c.BackupTimeout,
+			DisablePiggyback:   c.DisableAckOPiggyback,
+		},
+		Net: noc.Config{
+			HopLatency:      c.HopLatency,
+			LocalLatency:    c.LocalLatency,
+			FlitBytes:       c.FlitBytes,
+			ControlSize:     c.ControlMsgSize,
+			DataSize:        c.DataMsgSize,
+			Routing:         routingOf(c.UnorderedNetwork),
+			RoutingSeed:     c.Seed,
+			DetailedRouters: c.DetailedNetwork,
+			BufferFlits:     bufferFlitsOf(c),
+		},
+		OpsPerCore:     c.OpsPerCore,
+		ThinkTime:      c.ThinkTime,
+		Seed:           c.Seed,
+		Limit:          c.CycleLimit,
+		CheckIntegrity: c.CheckIntegrity,
+	}
+}
+
+// injector builds the fault injector described by the configuration.
+func (c Config) injector() fault.Injector {
+	if c.FaultRatePerMillion <= 0 {
+		return nil
+	}
+	var inj fault.Injector
+	if c.FaultBurstLen > 1 {
+		inj = fault.NewBurst(c.FaultRatePerMillion, c.FaultBurstLen, c.FaultSeed)
+	} else {
+		inj = fault.NewRate(c.FaultRatePerMillion, c.FaultSeed)
+	}
+	if c.CorruptInsteadOfDrop {
+		inj = fault.NewCorrupting(inj, c.FaultSeed^0xc0de)
+	}
+	return inj
+}
+
+func routingOf(unordered bool) noc.Routing {
+	if unordered {
+		return noc.RoutingAdaptive
+	}
+	return noc.RoutingXY
+}
+
+func bufferFlitsOf(c Config) int {
+	if !c.DetailedNetwork {
+		return 0
+	}
+	if c.RouterBufferFlits > 0 {
+		return c.RouterBufferFlits
+	}
+	return 16
+}
+
+// Workloads returns the names of the built-in workloads (the stand-in for
+// the paper's benchmark suite; see DESIGN.md §4).
+func Workloads() []string {
+	suite := workload.Suite()
+	out := make([]string, len(suite))
+	for i, w := range suite {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// MessageTypes returns all coherence message type names (Tables 1 and 2).
+func MessageTypes() []string {
+	types := msg.AllTypes()
+	out := make([]string, len(types))
+	for i, t := range types {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// Run simulates the named workload to completion and returns the measured
+// results. It fails on deadlock (DirCMP under faults), cycle-limit
+// exhaustion, or any coherence/data-integrity violation.
+func Run(cfg Config, workloadName string) (*Result, error) {
+	return RunWithInjector(cfg, workloadName, cfg.injector())
+}
+
+// RunWithInjector is Run with an explicit fault injector (overriding the
+// configuration's rate fields). inj may be nil for a reliable network.
+func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Result, error) {
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	sysCfg := cfg.toInternal()
+	sysCfg.Injector = inj
+	s, err := system.New(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	run, err := s.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(run), nil
+}
+
+// Compare runs the same workload under both protocols on a reliable
+// network, the fault-free comparison of the paper's evaluation.
+func Compare(cfg Config, workloadName string) (dir, ft *Result, err error) {
+	c := cfg
+	c.Protocol = DirCMP
+	c.FaultRatePerMillion = 0
+	dir, err = Run(c, workloadName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("DirCMP: %w", err)
+	}
+	c.Protocol = FtDirCMP
+	ft, err = Run(c, workloadName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("FtDirCMP: %w", err)
+	}
+	return dir, ft, nil
+}
+
+// FaultSweep runs FtDirCMP on the workload at each loss rate (messages per
+// million), reproducing the sweep behind the paper's Figure 3.
+func FaultSweep(cfg Config, workloadName string, rates []int) ([]*Result, error) {
+	out := make([]*Result, 0, len(rates))
+	for _, rate := range rates {
+		c := cfg
+		c.Protocol = FtDirCMP
+		c.FaultRatePerMillion = rate
+		if c.FaultSeed == 0 {
+			c.FaultSeed = uint64(rate)*7919 + 17
+		}
+		res, err := Run(c, workloadName)
+		if err != nil {
+			return nil, fmt.Errorf("rate %d: %w", rate, err)
+		}
+		res.FaultRatePerMillion = rate
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RecoveryOutcome reports one targeted-drop correctness run.
+type RecoveryOutcome struct {
+	Type      string // message type dropped
+	Nth       uint64 // which occurrence was dropped
+	Fired     bool   // whether the drop actually happened in the run
+	Recovered bool   // whether the run completed correctly
+	Err       error  // failure detail when Recovered is false
+}
+
+// CheckRecovery drops the nth message of the given type in an FtDirCMP run
+// and reports whether the protocol recovered (the paper's §4 fault
+// injection methodology).
+func CheckRecovery(cfg Config, workloadName, msgType string, nth uint64) (RecoveryOutcome, error) {
+	var typ msg.Type
+	found := false
+	for _, t := range msg.AllTypes() {
+		if t.String() == msgType {
+			typ = t
+			found = true
+			break
+		}
+	}
+	if !found {
+		return RecoveryOutcome{}, fmt.Errorf("repro: unknown message type %q", msgType)
+	}
+	c := cfg
+	c.Protocol = FtDirCMP
+	inj := fault.NewTargeted(typ, nth)
+	_, err := RunWithInjector(c, workloadName, inj)
+	return RecoveryOutcome{
+		Type:      msgType,
+		Nth:       nth,
+		Fired:     inj.Fired(),
+		Recovered: err == nil,
+		Err:       err,
+	}, nil
+}

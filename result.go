@@ -1,0 +1,137 @@
+package repro
+
+import (
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+// Result holds everything measured in one simulation — the quantities the
+// paper's evaluation reports, plus the fault-tolerance event counters.
+type Result struct {
+	Protocol string
+	Workload string
+
+	// FaultRatePerMillion is the injected loss rate (set by FaultSweep).
+	FaultRatePerMillion int
+
+	// Execution.
+	Cycles uint64
+	Ops    uint64
+
+	// L1 behaviour.
+	ReadHits, WriteHits     uint64
+	ReadMisses, WriteMisses uint64
+	AvgMissLatency          float64
+	MissLatencyP50          uint64
+	MissLatencyP95          uint64
+	MissLatencyP99          uint64
+	MissLatencyMax          uint64
+	CacheToCacheTransfers   uint64
+	MigratoryGrants         uint64
+	Writebacks              uint64
+	L2Misses                uint64
+
+	// Network traffic (the Figure 4 quantities).
+	Messages           uint64
+	Bytes              uint64
+	Dropped            uint64
+	AvgNetLatency      float64
+	MessagesByCategory map[string]uint64
+	BytesByCategory    map[string]uint64
+
+	// Fault tolerance events (zero for DirCMP).
+	AcksOSent           uint64
+	PiggybackedAcksO    uint64
+	LostRequestTimeouts uint64
+	LostUnblockTimeouts uint64
+	LostAckBDTimeouts   uint64
+	BackupTimeouts      uint64
+	RequestsReissued    uint64
+	StaleSNDiscarded    uint64
+	FalsePositives      uint64
+
+	// Token-protocol events (TokenCMP/FtTokenCMP only).
+	TokenRetries       uint64
+	PersistentRequests uint64
+	TokenRecreations   uint64
+	TokenSerialPeak    uint64
+
+	// ReportText is a rendered human-readable summary.
+	ReportText string
+}
+
+func newResult(run *stats.Run) *Result {
+	r := &Result{
+		Protocol:              run.Protocol,
+		Workload:              run.Workload,
+		Cycles:                run.Cycles,
+		Ops:                   run.Ops,
+		ReadHits:              run.Proto.ReadHits,
+		WriteHits:             run.Proto.WriteHits,
+		ReadMisses:            run.Proto.ReadMisses,
+		WriteMisses:           run.Proto.WriteMisses,
+		AvgMissLatency:        run.Proto.AvgMissLatency(),
+		MissLatencyP50:        run.Proto.MissLatencyHist.Percentile(50),
+		MissLatencyP95:        run.Proto.MissLatencyHist.Percentile(95),
+		MissLatencyP99:        run.Proto.MissLatencyHist.Percentile(99),
+		MissLatencyMax:        run.Proto.MissLatencyHist.Max(),
+		CacheToCacheTransfers: run.Proto.CacheToCacheTransfers,
+		MigratoryGrants:       run.Proto.MigratoryGrants,
+		Writebacks:            run.Proto.Writebacks,
+		L2Misses:              run.Proto.L2Misses,
+		Messages:              run.Net.TotalMessages(),
+		Bytes:                 run.Net.TotalBytes(),
+		Dropped:               run.Net.TotalDropped(),
+		AvgNetLatency:         run.Net.AvgLatency(),
+		MessagesByCategory:    make(map[string]uint64, msg.NumCategories()),
+		BytesByCategory:       make(map[string]uint64, msg.NumCategories()),
+		AcksOSent:             run.Proto.AcksOSent,
+		PiggybackedAcksO:      run.Proto.PiggybackedAcksO,
+		LostRequestTimeouts:   run.Proto.LostRequestTimeouts,
+		LostUnblockTimeouts:   run.Proto.LostUnblockTimeouts,
+		LostAckBDTimeouts:     run.Proto.LostAckBDTimeouts,
+		BackupTimeouts:        run.Proto.BackupTimeouts,
+		RequestsReissued:      run.Proto.RequestsReissued,
+		StaleSNDiscarded:      run.Proto.StaleSNDiscarded,
+		FalsePositives:        run.Proto.FalsePositives,
+		TokenRetries:          run.Proto.TokenRetries,
+		PersistentRequests:    run.Proto.PersistentRequests,
+		TokenRecreations:      run.Proto.TokenRecreations,
+		TokenSerialPeak:       run.Proto.TokenSerialPeak,
+		ReportText:            run.Report(),
+	}
+	for cat, n := range run.Net.MessagesByCategory() {
+		r.MessagesByCategory[cat.String()] = n
+	}
+	for cat, n := range run.Net.BytesByCategory() {
+		r.BytesByCategory[cat.String()] = n
+	}
+	return r
+}
+
+// MessageOverheadVs returns this run's message count relative to a
+// baseline run (1.30 = 30% more messages): the Figure 4 left metric.
+func (r *Result) MessageOverheadVs(base *Result) float64 {
+	if base.Messages == 0 {
+		return 0
+	}
+	return float64(r.Messages) / float64(base.Messages)
+}
+
+// ByteOverheadVs returns this run's byte count relative to a baseline run:
+// the Figure 4 right metric.
+func (r *Result) ByteOverheadVs(base *Result) float64 {
+	if base.Bytes == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / float64(base.Bytes)
+}
+
+// TimeOverheadVs returns this run's execution time normalized to a
+// baseline run: the Figure 3 vertical axis.
+func (r *Result) TimeOverheadVs(base *Result) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(base.Cycles)
+}

@@ -1,0 +1,29 @@
+# Developer/CI entry points. `make check` is the CI gate: vet, build, and
+# the full test suite under the race detector — the parallel campaign
+# runner (internal/runner) must stay race-clean.
+
+GO ?= go
+
+.PHONY: check vet build test race bench sweep-bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# sweep-bench times the parallel campaign runner against the serial loop;
+# on an N-core machine the allcores variant approaches N× faster.
+sweep-bench:
+	$(GO) test -run '^$$' -bench BenchmarkFaultSweepParallelism -benchtime 3x .

@@ -241,3 +241,27 @@ func BenchmarkSection5TokenComparison(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaultSweepParallelism measures the parallel campaign runner:
+// the same 8-point fault sweep at -j 1 (the historical serial loop) and at
+// all cores. On a multi-core machine the speedup approaches the core count
+// because each rate point is an independent simulation; the results are
+// byte-identical either way (TestFaultSweepParallelMatchesSerial).
+func BenchmarkFaultSweepParallelism(b *testing.B) {
+	rates := []int{0, 125, 250, 500, 1000, 2000, 5000, 10000}
+	for _, j := range []int{1, 0} {
+		name := "serial"
+		if j == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Parallelism = j
+				if _, err := FaultSweep(cfg, "uniform", rates); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,11 @@
 //  3. Baseline sanity: DirCMP must deadlock (or never finish) when a
 //     message is lost — demonstrating why the protocol is needed.
 //
+// The runs are independent, deterministic simulations, so the campaign
+// fans out across CPU cores; -j bounds the number of concurrent runs
+// (-j 1 forces the historical serial order). Output is byte-identical at
+// every -j value.
+//
 // Exit status is non-zero if any check fails.
 package main
 
@@ -22,6 +27,7 @@ import (
 	"repro"
 	"repro/internal/fault"
 	"repro/internal/msg"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -36,6 +42,7 @@ func run() error {
 		quick = flag.Bool("quick", true, "scaled-down system (2x2 tiles)")
 		ops   = flag.Int("ops", 300, "operations per core")
 		seeds = flag.Int("seeds", 3, "random campaign seeds per rate")
+		jobs  = flag.Int("j", 0, "concurrent runs (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -48,17 +55,33 @@ func run() error {
 		cfg.L2BankSize = 32 * 1024
 	}
 	cfg.OpsPerCore = *ops
+	cfg.Parallelism = *jobs
 
 	failures := 0
 
 	fmt.Println("== Phase 1: targeted single-message drops ==")
-	for _, typ := range repro.MessageTypes() {
+	types := repro.MessageTypes()
+	nths := []uint64{1, 2, 5, 20, 100}
+	type p1key struct {
+		typ string
+		nth uint64
+	}
+	var p1jobs []p1key
+	for _, typ := range types {
+		for _, nth := range nths {
+			p1jobs = append(p1jobs, p1key{typ, nth})
+		}
+	}
+	p1outs, err := runner.Map(*jobs, len(p1jobs), func(i int) (repro.RecoveryOutcome, error) {
+		return repro.CheckRecovery(cfg, "uniform", p1jobs[i].typ, p1jobs[i].nth)
+	})
+	if err != nil {
+		return err
+	}
+	for ti, typ := range types {
 		fired := 0
-		for _, nth := range []uint64{1, 2, 5, 20, 100} {
-			out, err := repro.CheckRecovery(cfg, "uniform", typ, nth)
-			if err != nil {
-				return err
-			}
+		for ni := range nths {
+			out := p1outs[ti*len(nths)+ni]
 			if out.Fired {
 				fired++
 			}
@@ -68,7 +91,7 @@ func run() error {
 				failures++
 			}
 			if !out.Recovered || !out.Fired {
-				fmt.Printf("  drop %-13s #%-4d fired=%-5t %s\n", typ, nth, out.Fired, status)
+				fmt.Printf("  drop %-13s #%-4d fired=%-5t %s\n", typ, out.Nth, out.Fired, status)
 			}
 		}
 		fmt.Printf("  %-13s recovered from %d injected losses\n", typ, fired)
@@ -78,41 +101,88 @@ func run() error {
 	// Ping-class messages only exist while the protocol is recovering, so
 	// inject a background loss rate and then drop the recovery messages
 	// themselves.
-	for _, typ := range msg.FtTypes() {
-		fired := 0
+	ftTypes := msg.FtTypes()
+	type p1bKey struct {
+		typ  msg.Type
+		nth  uint64
+		seed int
+	}
+	type dropOutcome struct {
+		fired bool
+		err   error
+	}
+	var p1bJobs []p1bKey
+	for _, typ := range ftTypes {
 		for _, nth := range []uint64{1, 2, 5} {
 			for seed := 1; seed <= *seeds; seed++ {
-				c := cfg
-				c.Protocol = repro.FtDirCMP
-				c.Seed = uint64(seed)
-				targeted := fault.NewTargeted(typ, nth)
-				inj := fault.Chain{fault.NewRate(5000, uint64(seed)*101), targeted}
-				_, err := repro.RunWithInjector(c, "uniform", inj)
-				if targeted.Fired() {
-					fired++
-				}
-				if err != nil {
-					fmt.Printf("  drop %-13s #%-3d seed=%d FAILED: %v\n", typ, nth, seed, err)
-					failures++
-				}
+				p1bJobs = append(p1bJobs, p1bKey{typ, nth, seed})
+			}
+		}
+	}
+	p1bOuts, err := runner.Map(*jobs, len(p1bJobs), func(i int) (dropOutcome, error) {
+		j := p1bJobs[i]
+		c := cfg
+		c.Protocol = repro.FtDirCMP
+		c.Seed = uint64(j.seed)
+		targeted := fault.NewTargeted(j.typ, j.nth)
+		inj := fault.Chain{fault.NewRate(5000, uint64(j.seed)*101), targeted}
+		_, err := repro.RunWithInjector(c, "uniform", inj)
+		return dropOutcome{fired: targeted.Fired(), err: err}, nil
+	})
+	if err != nil {
+		return err
+	}
+	perType := len(p1bJobs) / len(ftTypes)
+	for ti, typ := range ftTypes {
+		fired := 0
+		for k := 0; k < perType; k++ {
+			i := ti*perType + k
+			out, j := p1bOuts[i], p1bJobs[i]
+			if out.fired {
+				fired++
+			}
+			if out.err != nil {
+				fmt.Printf("  drop %-13s #%-3d seed=%d FAILED: %v\n", j.typ, j.nth, j.seed, out.err)
+				failures++
 			}
 		}
 		fmt.Printf("  %-13s recovered from %d injected losses\n", typ, fired)
 	}
 
 	fmt.Println("\n== Phase 1c: FtTokenCMP targeted drops (the §5 comparison protocol) ==")
-	for _, typ := range msg.TokenTypes() {
+	tokenTypes := msg.TokenTypes()
+	tokenNths := []uint64{1, 3, 10}
+	type p1cKey struct {
+		typ msg.Type
+		nth uint64
+	}
+	var p1cJobs []p1cKey
+	for _, typ := range tokenTypes {
+		for _, nth := range tokenNths {
+			p1cJobs = append(p1cJobs, p1cKey{typ, nth})
+		}
+	}
+	p1cOuts, err := runner.Map(*jobs, len(p1cJobs), func(i int) (dropOutcome, error) {
+		j := p1cJobs[i]
+		c := cfg
+		c.Protocol = repro.FtTokenCMP
+		targeted := fault.NewTargeted(j.typ, j.nth)
+		_, err := repro.RunWithInjector(c, "uniform", targeted)
+		return dropOutcome{fired: targeted.Fired(), err: err}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for ti, typ := range tokenTypes {
 		fired := 0
-		for _, nth := range []uint64{1, 3, 10} {
-			c := cfg
-			c.Protocol = repro.FtTokenCMP
-			targeted := fault.NewTargeted(typ, nth)
-			_, err := repro.RunWithInjector(c, "uniform", targeted)
-			if targeted.Fired() {
+		for ni := range tokenNths {
+			i := ti*len(tokenNths) + ni
+			out, j := p1cOuts[i], p1cJobs[i]
+			if out.fired {
 				fired++
 			}
-			if err != nil {
-				fmt.Printf("  drop %-15s #%-3d FAILED: %v\n", typ, nth, err)
+			if out.err != nil {
+				fmt.Printf("  drop %-15s #%-3d FAILED: %v\n", j.typ, j.nth, out.err)
 				failures++
 			}
 		}
@@ -120,38 +190,65 @@ func run() error {
 	}
 
 	fmt.Println("\n== Phase 2: random loss campaigns ==")
-	for _, rate := range []int{500, 2000, 10000, 50000} {
+	rates := []int{500, 2000, 10000, 50000}
+	type p2key struct {
+		rate int
+		seed int
+	}
+	type runOutcome struct {
+		res *repro.Result
+		err error
+	}
+	var p2jobs []p2key
+	for _, rate := range rates {
 		for seed := 1; seed <= *seeds; seed++ {
-			c := cfg
-			c.Protocol = repro.FtDirCMP
-			c.Seed = uint64(seed)
-			res, err := repro.RunWithInjector(c, "uniform", fault.NewRate(rate, uint64(seed)*31))
-			if err != nil {
-				fmt.Printf("  rate=%-6d seed=%d FAILED: %v\n", rate, seed, err)
-				failures++
-				continue
-			}
-			fmt.Printf("  rate=%-6d seed=%d ok: %d dropped, %d reissues, %d pings\n",
-				rate, seed, res.Dropped, res.RequestsReissued, res.LostUnblockTimeouts)
+			p2jobs = append(p2jobs, p2key{rate, seed})
 		}
 	}
-	for seed := 1; seed <= *seeds; seed++ {
+	p2outs, err := runner.Map(*jobs, len(p2jobs), func(i int) (runOutcome, error) {
+		j := p2jobs[i]
 		c := cfg
 		c.Protocol = repro.FtDirCMP
-		res, err := repro.RunWithInjector(c, "uniform", fault.NewBurst(500, 8, uint64(seed)))
-		if err != nil {
-			fmt.Printf("  burst seed=%d FAILED: %v\n", seed, err)
+		c.Seed = uint64(j.seed)
+		res, err := repro.RunWithInjector(c, "uniform", fault.NewRate(j.rate, uint64(j.seed)*31))
+		return runOutcome{res, err}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, j := range p2jobs {
+		out := p2outs[i]
+		if out.err != nil {
+			fmt.Printf("  rate=%-6d seed=%d FAILED: %v\n", j.rate, j.seed, out.err)
 			failures++
 			continue
 		}
-		fmt.Printf("  burst(len 8) seed=%d ok: %d dropped\n", seed, res.Dropped)
+		fmt.Printf("  rate=%-6d seed=%d ok: %d dropped, %d reissues, %d pings\n",
+			j.rate, j.seed, out.res.Dropped, out.res.RequestsReissued, out.res.LostUnblockTimeouts)
+	}
+	burstOuts, err := runner.Map(*jobs, *seeds, func(i int) (runOutcome, error) {
+		c := cfg
+		c.Protocol = repro.FtDirCMP
+		res, err := repro.RunWithInjector(c, "uniform", fault.NewBurst(500, 8, uint64(i+1)))
+		return runOutcome{res, err}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, out := range burstOuts {
+		if out.err != nil {
+			fmt.Printf("  burst seed=%d FAILED: %v\n", i+1, out.err)
+			failures++
+			continue
+		}
+		fmt.Printf("  burst(len 8) seed=%d ok: %d dropped\n", i+1, out.res.Dropped)
 	}
 
 	fmt.Println("\n== Phase 3: DirCMP baseline must not survive message loss ==")
 	c := cfg
 	c.Protocol = repro.DirCMP
 	c.CycleLimit = 5_000_000
-	_, err := repro.RunWithInjector(c, "uniform", fault.NewTargeted(msg.GetX, 5))
+	_, err = repro.RunWithInjector(c, "uniform", fault.NewTargeted(msg.GetX, 5))
 	if err == nil {
 		fmt.Println("  UNEXPECTED: DirCMP survived a lost GetX")
 		failures++

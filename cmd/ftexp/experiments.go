@@ -6,6 +6,7 @@ import (
 
 	"repro"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
@@ -16,6 +17,7 @@ var faultRates = []int{0, 125, 250, 500, 1000, 2000}
 type experiments struct {
 	quick bool
 	ops   int
+	jobs  int // concurrent simulations (0 = all cores)
 }
 
 // config returns the sweep configuration (the paper's system, or a 2x2
@@ -33,7 +35,64 @@ func (e *experiments) config() repro.Config {
 	if e.ops > 0 {
 		cfg.OpsPerCore = e.ops
 	}
+	cfg.Parallelism = e.jobs
 	return cfg
+}
+
+// workloadSweep is one workload's figure-3 data: the fault-free DirCMP
+// baseline and the FtDirCMP run at each fault rate.
+type workloadSweep struct {
+	workload string
+	base     *repro.Result
+	sweep    []*repro.Result
+}
+
+// sweepAll runs the DirCMP baseline and the Figure 3 fault sweep for every
+// workload as one flat parallel batch (one job per simulation, so a slow
+// workload does not serialize the others). Results are deterministic and
+// ordered, independent of -j.
+func (e *experiments) sweepAll() ([]workloadSweep, error) {
+	names := repro.Workloads()
+	type point struct {
+		workload string
+		rate     int // -1 selects the DirCMP baseline
+	}
+	pts := make([]point, 0, len(names)*(1+len(faultRates)))
+	for _, name := range names {
+		pts = append(pts, point{name, -1})
+		for _, rate := range faultRates {
+			pts = append(pts, point{name, rate})
+		}
+	}
+	results, err := runner.Map(e.jobs, len(pts), func(i int) (*repro.Result, error) {
+		pt := pts[i]
+		if pt.rate < 0 {
+			res, err := repro.Run(withProtocol(e.config(), repro.DirCMP), pt.workload)
+			if err != nil {
+				return nil, fmt.Errorf("%s baseline: %w", pt.workload, err)
+			}
+			return res, nil
+		}
+		res, err := repro.Run(repro.SweepConfig(e.config(), pt.rate), pt.workload)
+		if err != nil {
+			return nil, fmt.Errorf("%s: rate %d: %w", pt.workload, pt.rate, err)
+		}
+		res.FaultRatePerMillion = pt.rate
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]workloadSweep, len(names))
+	stride := 1 + len(faultRates)
+	for i, name := range names {
+		out[i] = workloadSweep{
+			workload: name,
+			base:     results[i*stride],
+			sweep:    results[i*stride+1 : (i+1)*stride],
+		}
+	}
+	return out, nil
 }
 
 func (e *experiments) table(n int) error {
@@ -110,30 +169,47 @@ func (e *experiments) figure6() error {
 	fmt.Printf("%-12s %-11s %12s %12s %12s %10s %10s %10s\n",
 		"workload", "protocol", "cycles", "messages", "bytes", "recover*", "recreate", "serialTab")
 	fmt.Println("  (*recover = reissues for FtDirCMP, retries for FtTokenCMP)")
+	type cell struct {
+		workload string
+		rate     int
+		protocol repro.Protocol
+	}
+	var cells []cell
 	for _, name := range repro.Workloads() {
 		for _, rate := range []int{0, 1000} {
 			for _, p := range []repro.Protocol{repro.FtDirCMP, repro.FtTokenCMP} {
-				cfg := e.config()
-				cfg.Protocol = p
-				cfg.FaultRatePerMillion = rate
-				cfg.FaultSeed = uint64(rate) + 5
-				res, err := repro.Run(cfg, name)
-				if err != nil {
-					return fmt.Errorf("%s/%s@%d: %w", name, p, rate, err)
-				}
-				recover := res.RequestsReissued
-				if p == repro.FtTokenCMP {
-					recover = res.TokenRetries
-				}
-				label := p.String()
-				if rate > 0 {
-					label += "@1k"
-				}
-				fmt.Printf("%-12s %-11s %12d %12d %12d %10d %10d %10d\n",
-					name, label, res.Cycles, res.Messages, res.Bytes,
-					recover, res.TokenRecreations, res.TokenSerialPeak)
+				cells = append(cells, cell{name, rate, p})
 			}
 		}
+	}
+	results, err := runner.Map(e.jobs, len(cells), func(i int) (*repro.Result, error) {
+		c := cells[i]
+		cfg := e.config()
+		cfg.Protocol = c.protocol
+		cfg.FaultRatePerMillion = c.rate
+		cfg.FaultSeed = uint64(c.rate) + 5
+		res, err := repro.Run(cfg, c.workload)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s@%d: %w", c.workload, c.protocol, c.rate, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range cells {
+		res := results[i]
+		recover := res.RequestsReissued
+		if c.protocol == repro.FtTokenCMP {
+			recover = res.TokenRetries
+		}
+		label := c.protocol.String()
+		if c.rate > 0 {
+			label += "@1k"
+		}
+		fmt.Printf("%-12s %-11s %12d %12d %12d %10d %10d %10d\n",
+			c.workload, label, res.Cycles, res.Messages, res.Bytes,
+			recover, res.TokenRecreations, res.TokenSerialPeak)
 	}
 	fmt.Println("\nThe §5 points to verify: the token protocol broadcasts every miss,")
 	fmt.Println("so it moves far more messages; its recovery needs a per-line serial")
@@ -261,20 +337,16 @@ func (e *experiments) figure3() error {
 	}
 	fmt.Println(header)
 
+	sweeps, err := e.sweepAll()
+	if err != nil {
+		return err
+	}
 	sums := make([]float64, len(faultRates))
 	count := 0
-	for _, name := range repro.Workloads() {
-		base, err := repro.Run(withProtocol(e.config(), repro.DirCMP), name)
-		if err != nil {
-			return fmt.Errorf("%s baseline: %w", name, err)
-		}
-		sweep, err := repro.FaultSweep(e.config(), name, faultRates)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		row := fmt.Sprintf("%-12s", name)
-		for i, res := range sweep {
-			ratio := res.TimeOverheadVs(base)
+	for _, ws := range sweeps {
+		row := fmt.Sprintf("%-12s", ws.workload)
+		for i, res := range ws.sweep {
+			ratio := res.TimeOverheadVs(ws.base)
 			sums[i] += ratio
 			row += fmt.Sprintf(" %9.3f", ratio)
 		}
@@ -297,6 +369,24 @@ func (e *experiments) figure4() error {
 	fmt.Println()
 
 	cats := []string{"request", "response", "coherence", "unblock", "writeback", "ownership", "ping"}
+	names := repro.Workloads()
+	type comparison struct{ dir, ft *repro.Result }
+	// One job per workload; each job's Compare runs serially inside so the
+	// batch is the only fan-out level. The serial loop used to repeat every
+	// comparison for the bytes section; the runs are deterministic, so one
+	// batch feeds both sections.
+	pairs, err := runner.Map(e.jobs, len(names), func(i int) (comparison, error) {
+		cfg := e.config()
+		cfg.Parallelism = 1
+		dir, ft, err := repro.Compare(cfg, names[i])
+		if err != nil {
+			return comparison{}, fmt.Errorf("%s: %w", names[i], err)
+		}
+		return comparison{dir, ft}, nil
+	})
+	if err != nil {
+		return err
+	}
 	for _, unit := range []string{"messages", "bytes"} {
 		fmt.Printf("-- relative number of %s --\n", unit)
 		header := fmt.Sprintf("%-12s %9s", "workload", "total")
@@ -306,11 +396,8 @@ func (e *experiments) figure4() error {
 		fmt.Println(header)
 		var sumTotal float64
 		var n int
-		for _, name := range repro.Workloads() {
-			dir, ft, err := repro.Compare(e.config(), name)
-			if err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
+		for wi, name := range names {
+			dir, ft := pairs[wi].dir, pairs[wi].ft
 			var base float64
 			var ftCats map[string]uint64
 			var total float64

@@ -47,26 +47,23 @@ func (e *experiments) buildJSONReport() (*jsonReport, error) {
 			"byteOverhead":    "FtDirCMP fault-free bytes divided by DirCMP bytes",
 		},
 	}
-	for _, name := range repro.Workloads() {
-		base, err := repro.Run(withProtocol(cfg, repro.DirCMP), name)
-		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", name, err)
-		}
-		sweep, err := repro.FaultSweep(cfg, name, faultRates)
-		if err != nil {
-			return nil, fmt.Errorf("%s sweep: %w", name, err)
-		}
-		row := fig3Row{Workload: name, BaselineCycles: base.Cycles}
-		for _, res := range sweep {
+	sweeps, err := e.sweepAll()
+	if err != nil {
+		return nil, err
+	}
+	for _, ws := range sweeps {
+		base := ws.base
+		row := fig3Row{Workload: ws.workload, BaselineCycles: base.Cycles}
+		for _, res := range ws.sweep {
 			row.Normalized = append(row.Normalized, res.TimeOverheadVs(base))
 			row.Dropped = append(row.Dropped, res.Dropped)
 			row.Reissued = append(row.Reissued, res.RequestsReissued)
 		}
 		rep.Figure3 = append(rep.Figure3, row)
 
-		ft := sweep[0] // rate 0 = the fault-free FtDirCMP run
+		ft := ws.sweep[0] // rate 0 = the fault-free FtDirCMP run
 		f4 := fig4Row{
-			Workload:        name,
+			Workload:        ws.workload,
 			MessageOverhead: ft.MessageOverheadVs(base),
 			ByteOverhead:    ft.ByteOverheadVs(base),
 			MessagesByCat:   make(map[string]float64),

@@ -16,6 +16,11 @@
 // Use -quick for a scaled-down (2x2 tiles) sweep and -ops to change the
 // run length. The absolute numbers depend on the synthetic workloads (see
 // DESIGN.md §3/§4); the shapes reproduce the paper.
+//
+// Sweeps fan out across CPU cores; -j bounds the number of concurrent
+// simulations (-j 1 forces the historical serial order). Every run is a
+// pure function of its configuration and seeds, so the output is
+// byte-identical at every -j value.
 package main
 
 import (
@@ -38,11 +43,12 @@ func run() error {
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "scaled-down sweep (2x2 tiles)")
 		ops      = flag.Int("ops", 0, "operations per core (0 = default)")
+		jobs     = flag.Int("j", 0, "concurrent simulations (0 = all cores, 1 = serial)")
 		jsonPath = flag.String("json", "", "write the figure 3/4 sweeps as JSON to this file")
 	)
 	flag.Parse()
 
-	e := &experiments{quick: *quick, ops: *ops}
+	e := &experiments{quick: *quick, ops: *ops, jobs: *jobs}
 
 	if *jsonPath != "" {
 		return e.writeJSON(*jsonPath)

@@ -184,19 +184,27 @@ func (s *Script) Description() string {
 }
 
 // Corrupting wraps another injector: instead of deleting the message it
-// flips bits in the encoded form and verifies that the CRC check catches
-// the corruption, which is how a real receiver converts corruption into
-// loss. It exists to validate the CRC model; the observable effect is
-// identical to dropping.
+// flips bits in the encoded form and runs the receiver's CRC check, which
+// is how a real receiver converts corruption into loss. A corruption the
+// CRC detects is discarded (the message is lost); a corruption the CRC
+// misses is *accepted*, so the message is delivered, not lost. With the
+// default single-bit flip the CRC-16 catches every corruption and the
+// observable effect is identical to dropping.
 type Corrupting struct {
 	inner Injector
 	rng   *sim.RNG
-	// Undetected counts corruptions the CRC missed (expected to stay 0 for
-	// single-bit flips; CRC-16 detects all single- and double-bit errors).
+	// FlipBits is how many (not necessarily distinct) bit positions are
+	// flipped per corrupted message; values below 1 flip a single bit.
+	// CRC-16 detects all single- and double-bit errors, so undetected
+	// corruption requires at least three flips.
+	FlipBits int
+	// Undetected counts corruptions the CRC missed. Those messages were
+	// delivered (Drop returned false), modeling silent data corruption
+	// rather than loss.
 	Undetected uint64
 }
 
-// NewCorrupting wraps inner; seed drives which bit is flipped.
+// NewCorrupting wraps inner; seed drives which bits are flipped.
 func NewCorrupting(inner Injector, seed uint64) *Corrupting {
 	return &Corrupting{inner: inner, rng: sim.NewRNG(seed)}
 }
@@ -207,10 +215,24 @@ func (c *Corrupting) Drop(m *msg.Message) bool {
 		return false
 	}
 	buf := msg.Encode(m)
-	bit := c.rng.Intn(len(buf) * 8)
-	buf[bit/8] ^= 1 << (bit % 8)
+	if len(buf) == 0 {
+		// Nothing to corrupt: treat as an outright loss rather than
+		// feeding a zero-length range to the RNG.
+		return true
+	}
+	flips := c.FlipBits
+	if flips < 1 {
+		flips = 1
+	}
+	for i := 0; i < flips; i++ {
+		bit := c.rng.Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
 	if _, ok := msg.Decode(buf); ok {
+		// The CRC missed the corruption, so the receiver accepts the
+		// message: it is delivered, not lost.
 		c.Undetected++
+		return false
 	}
 	return true
 }

@@ -139,6 +139,45 @@ func TestChainSeesEveryMessage(t *testing.T) {
 	}
 }
 
+// TestChainDeterminismAfterDrop pins the Chain contract that every injector
+// sees every message: a Rate injector's decision stream must be identical
+// whether it runs alone or chained after a Targeted injector that drops an
+// earlier message. (Short-circuiting the chain on the first drop would
+// desynchronize the downstream RNG streams.)
+func TestChainDeterminismAfterDrop(t *testing.T) {
+	const n = 2000
+	solo := NewRate(100_000, 11)
+	var soloDrops []int
+	for i := 0; i < n; i++ {
+		if solo.Drop(&msg.Message{Type: msg.GetS}) {
+			soloDrops = append(soloDrops, i)
+		}
+	}
+
+	chained := NewRate(100_000, 11)
+	chain := Chain{NewTargeted(msg.GetS, 1), chained}
+	var chainedDrops []int
+	for i := 0; i < n; i++ {
+		before := chained.Dropped()
+		chain.Drop(&msg.Message{Type: msg.GetS})
+		if chained.Dropped() > before {
+			chainedDrops = append(chainedDrops, i)
+		}
+	}
+
+	if len(soloDrops) == 0 {
+		t.Fatal("rate injector never fired")
+	}
+	if len(chainedDrops) != len(soloDrops) {
+		t.Fatalf("chained rate dropped %d messages, solo dropped %d", len(chainedDrops), len(soloDrops))
+	}
+	for i := range soloDrops {
+		if chainedDrops[i] != soloDrops[i] {
+			t.Fatalf("drop index %d: chained %d vs solo %d", i, chainedDrops[i], soloDrops[i])
+		}
+	}
+}
+
 func TestCorruptingCRCAlwaysCatches(t *testing.T) {
 	inner := NewRate(500_000, 9) // half of all messages
 	inj := NewCorrupting(inner, 5)
@@ -154,6 +193,39 @@ func TestCorruptingCRCAlwaysCatches(t *testing.T) {
 	}
 	if inj.Undetected != 0 {
 		t.Fatalf("%d single-bit corruptions slipped past the CRC", inj.Undetected)
+	}
+}
+
+// TestCorruptingUndetectedDelivers pins the accepted-corruption semantics:
+// when flipped bits slip past the CRC, the receiver accepts the message,
+// so Drop must report it as delivered (false), and every corrupted message
+// is either lost or counted undetected — never both.
+func TestCorruptingUndetectedDelivers(t *testing.T) {
+	inner := NewRate(1_000_000, 9) // corrupt every message
+	inj := NewCorrupting(inner, 5)
+	// The CRC-16 polynomial has (x+1) as a factor, so every odd-weight
+	// error is detected; only even flip counts can escape. Four random
+	// flips leave a ~2^-16 escape probability per message, so a large
+	// batch reliably exercises the undetected path.
+	inj.FlipBits = 4
+	const n = 400_000
+	var dropped uint64
+	for i := 0; i < n; i++ {
+		m := &msg.Message{Type: msg.Data, Addr: msg.Addr(i), Payload: msg.Payload{Value: uint64(i)}}
+		undetectedBefore := inj.Undetected
+		lost := inj.Drop(m)
+		if lost {
+			dropped++
+		}
+		if inj.Undetected > undetectedBefore && lost {
+			t.Fatalf("message %d counted undetected but still reported lost", i)
+		}
+	}
+	if inj.Undetected == 0 {
+		t.Fatal("no corruption slipped past the CRC in 400k 5-bit flips; undetected path untested")
+	}
+	if dropped+inj.Undetected != n {
+		t.Fatalf("dropped (%d) + undetected (%d) != corrupted (%d)", dropped, inj.Undetected, n)
 	}
 }
 

@@ -256,6 +256,42 @@ func TestSerialSpaceWithin(t *testing.T) {
 	}
 }
 
+// TestSerialSpaceWithinFullWrap pins the extreme reissue case: after
+// 2^n - 1 reissues a request has used every serial number in the space
+// (span == mask), so Within must accept every value — and one further
+// reissue wraps the window back to a single serial.
+func TestSerialSpaceWithinFullWrap(t *testing.T) {
+	for _, bits := range []int{1, 3, 8} {
+		s := NewSerialSpace(bits)
+		mask := SerialNumber(1<<bits - 1)
+		initial := SerialNumber(5) & mask
+		current := initial
+		for i := 0; i < int(mask); i++ {
+			current = s.Reissue(current)
+		}
+		if span := (current - initial) & mask; span != mask {
+			t.Fatalf("bits=%d: span after %d reissues = %d, want %d", bits, mask, span, mask)
+		}
+		for x := SerialNumber(0); x <= mask; x++ {
+			if !s.Within(initial, current, x) {
+				t.Errorf("bits=%d: Within(%d,%d,%d) = false at full wrap-around", bits, initial, current, x)
+			}
+		}
+		// One more reissue exhausts the space: the window wraps to span 0
+		// and only the initial serial (reused) is in range again.
+		next := s.Reissue(current)
+		if next != initial {
+			t.Fatalf("bits=%d: reissue %d after full wrap = %d, want %d", bits, mask, next, initial)
+		}
+		for x := SerialNumber(0); x <= mask; x++ {
+			want := x == initial
+			if got := s.Within(initial, next, x); got != want {
+				t.Errorf("bits=%d: Within(%d,%d,%d) = %t, want %t", bits, initial, next, x, got, want)
+			}
+		}
+	}
+}
+
 func TestSerialSpaceBitsValidation(t *testing.T) {
 	for _, bits := range []int{0, 17, -1} {
 		func() {

@@ -1,0 +1,163 @@
+// Package runner executes batches of independent simulation jobs across a
+// fixed pool of workers.
+//
+// Every simulation in this module is a pure function of its configuration
+// and seeds, so campaign-style work — fault sweeps, the targeted-drop
+// correctness campaign, figure regeneration — is embarrassingly parallel.
+// The runner fans such batches out over GOMAXPROCS workers while preserving
+// the observable semantics of the serial loops it replaces:
+//
+//   - Results are returned in submission order, regardless of completion
+//     order.
+//   - On failure, the error returned is the one the serial loop would have
+//     hit first (the lowest-index failing job), and jobs that have not
+//     started when a failure is observed are skipped, mirroring the serial
+//     loop's early return. Jobs already in flight run to completion.
+//   - A panicking job is captured as a *PanicError instead of taking down
+//     the whole campaign.
+//   - Parallelism 1 runs the jobs inline on the calling goroutine, in
+//     order, stopping at the first error — exactly the serial loop.
+//
+// Jobs must not share mutable state; in particular each job must own its
+// RNG streams. Seed derives decorrelated per-job seeds from a campaign
+// base seed when a batch needs them.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Parallelism normalizes a -j style knob: values <= 0 select all cores
+// (GOMAXPROCS).
+func Parallelism(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// PanicError is the error recorded for a job that panicked.
+type PanicError struct {
+	Index int    // job index within the batch
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Map runs job(0), …, job(n-1) on min(Parallelism(parallelism), n) workers
+// and returns the n results in index order. If any job fails, Map returns
+// a nil slice and the error of the lowest-index failing job.
+func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
+	return MapProgress(parallelism, n, job, nil)
+}
+
+// MapProgress is Map with an optional progress callback, invoked serially
+// after each job completes with the number of completed jobs and the batch
+// size. Completion order is not submission order, so progress only conveys
+// counts, not which jobs finished.
+func MapProgress[T any](parallelism, n int, job func(i int) (T, error), progress func(done, total int)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	p := Parallelism(parallelism)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		return mapSerial(n, job, progress)
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	var (
+		mu     sync.Mutex
+		next   int
+		done   int
+		failed bool
+	)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if failed || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				v, err := runJob(i, job)
+
+				mu.Lock()
+				out[i], errs[i] = v, err
+				if err != nil {
+					failed = true
+				}
+				done++
+				if progress != nil {
+					progress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The lowest-index error is the one the serial loop would have hit:
+	// a failure is only ever observed on a dispatched job, and dispatch is
+	// in index order, so every job below the minimum failing index ran.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mapSerial is the parallelism-1 path: inline, in order, first error wins
+// and no later job starts.
+func mapSerial[T any](n int, job func(i int) (T, error), progress func(done, total int)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := runJob(i, job)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+		if progress != nil {
+			progress(i+1, n)
+		}
+	}
+	return out, nil
+}
+
+// runJob invokes job(i), converting a panic into a *PanicError.
+func runJob[T any](i int, job func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return job(i)
+}
+
+// Seed derives the i-th job's seed from a campaign base seed using
+// SplitMix64 finalization. Deriving per-job seeds from the job index (never
+// from shared RNG state or completion order) is what keeps batch results
+// independent of the parallelism level.
+func Seed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -45,14 +46,20 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Percentile returns an upper bound (the bucket's upper edge) for the
-// p-th percentile, p in (0,100].
+// p-th percentile, p in (0,100], using the nearest-rank definition: the
+// smallest sample such that at least ceil(p/100*count) samples are <= it.
+// Truncating the rank instead would, e.g., map p50 over 3 samples to the
+// 1st sample rather than the 2nd.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}
-	threshold := uint64(p / 100 * float64(h.count))
+	threshold := uint64(math.Ceil(p / 100 * float64(h.count)))
 	if threshold == 0 {
 		threshold = 1
+	}
+	if threshold > h.count {
+		threshold = h.count
 	}
 	var seen uint64
 	for i, n := range h.buckets {
@@ -105,7 +112,12 @@ func (h *Histogram) Bars() string {
 			lo = 1 << uint(i-1)
 		}
 		hi := uint64(1)<<uint(i) - 1
+		// Every non-empty bucket gets at least one mark; integer scaling
+		// would otherwise render nothing for n*40 < peak.
 		width := int(n * 40 / peak)
+		if width == 0 {
+			width = 1
+		}
 		fmt.Fprintf(&b, "%10d-%-10d %8d %s\n", lo, hi, n, strings.Repeat("#", width))
 	}
 	return b.String()

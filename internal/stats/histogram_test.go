@@ -86,6 +86,76 @@ func TestHistogramBars(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileCeilingRank(t *testing.T) {
+	// Values land in power-of-two buckets, so the expected percentiles are
+	// the bucket upper edges (capped at the observed max). The ranks pin
+	// the nearest-rank (ceiling) definition: truncation would, e.g., send
+	// p50 over 3 samples to the 1st sample and p51 over 2 samples to the
+	// 1st.
+	tests := []struct {
+		name    string
+		samples []uint64
+		p       float64
+		want    uint64
+	}{
+		// Three samples 1, 10, 100: p50 is the 2nd (ceil(1.5)=2), in 10's
+		// bucket [8,15]; truncation picked the 1st.
+		{"p50 of 3 takes rank 2", []uint64{1, 10, 100}, 50, 15},
+		{"p95 of 3 takes rank 3", []uint64{1, 10, 100}, 95, 100},
+		{"p99 of 3 takes rank 3", []uint64{1, 10, 100}, 99, 100},
+		{"p100 of 3 takes rank 3", []uint64{1, 10, 100}, 100, 100},
+		// Two samples 1, 1000: p50 stays at rank 1, anything above crosses
+		// to rank 2; truncation kept p51..p99 at rank 1.
+		{"p50 of 2 takes rank 1", []uint64{1, 1000}, 50, 1},
+		{"p51 of 2 takes rank 2", []uint64{1, 1000}, 51, 1000},
+		{"p99 of 2 takes rank 2", []uint64{1, 1000}, 99, 1000},
+		// 100 samples 1..100: exact-boundary ranks are unchanged by the
+		// ceiling; cumulative counts put rank 50 in [32,63] and rank 99 in
+		// the top bucket, capped at the max sample.
+		{"p50 of 1..100", seq(1, 100), 50, 63},
+		{"p99 of 1..100", seq(1, 100), 99, 100},
+		{"p1 of 1..100 takes rank 1", seq(1, 100), 1, 1},
+		// A single sample answers every percentile.
+		{"p1 of singleton", []uint64{7}, 1, 7},
+		{"p100 of singleton", []uint64{7}, 100, 7},
+	}
+	for _, tt := range tests {
+		var h Histogram
+		for _, v := range tt.samples {
+			h.Add(v)
+		}
+		if got := h.Percentile(tt.p); got != tt.want {
+			t.Errorf("%s: Percentile(%v) = %d, want %d", tt.name, tt.p, got, tt.want)
+		}
+	}
+}
+
+func seq(lo, hi uint64) []uint64 {
+	out := make([]uint64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestHistogramBarsGolden(t *testing.T) {
+	// One zero sample (bucket 0, labelled 0-0), a dominant bucket, and a
+	// bucket whose scaled width would truncate to zero marks: every
+	// non-empty bucket must render at least one '#'.
+	var h Histogram
+	h.Add(0)
+	for i := 0; i < 100; i++ {
+		h.Add(3)
+	}
+	h.Add(5)
+	want := "         0-0                 1 #\n" +
+		"         2-3               100 ########################################\n" +
+		"         4-7                 1 #\n"
+	if got := h.Bars(); got != want {
+		t.Errorf("Bars() =\n%q\nwant\n%q", got, want)
+	}
+}
+
 func TestHistogramHugeValues(t *testing.T) {
 	var h Histogram
 	h.Add(1 << 62)

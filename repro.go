@@ -35,6 +35,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/noc"
 	"repro/internal/proto"
+	"repro/internal/runner"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -127,6 +128,15 @@ type Config struct {
 	// CheckIntegrity runs the data-value oracle and the coherence
 	// invariant checker on every run.
 	CheckIntegrity bool
+
+	// Parallelism bounds how many independent simulations batch APIs
+	// (FaultSweep, Compare) run concurrently: 0 (the default) uses all
+	// cores, 1 reproduces the historical serial loops exactly. Each run
+	// is a pure function of its configuration and seeds, so results and
+	// their order are identical at every parallelism level. It is an
+	// execution knob, not part of the simulated system, so it is omitted
+	// from serialized configurations.
+	Parallelism int `json:"-"`
 
 	// UnorderedNetwork switches the mesh to adaptive (per-message XY/YX)
 	// routing, which breaks point-to-point ordering — the unordered-network
@@ -330,42 +340,53 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 }
 
 // Compare runs the same workload under both protocols on a reliable
-// network, the fault-free comparison of the paper's evaluation.
+// network, the fault-free comparison of the paper's evaluation. The two
+// runs execute concurrently under cfg.Parallelism.
 func Compare(cfg Config, workloadName string) (dir, ft *Result, err error) {
+	protocols := []Protocol{DirCMP, FtDirCMP}
+	results, err := runner.Map(cfg.Parallelism, len(protocols), func(i int) (*Result, error) {
+		c := cfg
+		c.Protocol = protocols[i]
+		c.FaultRatePerMillion = 0
+		res, err := Run(c, workloadName)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", protocols[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[0], results[1], nil
+}
+
+// SweepConfig returns the configuration FaultSweep simulates for one loss
+// rate: FtDirCMP at rate messages lost per million, with a deterministic
+// per-rate fault seed when the configuration does not pin one.
+func SweepConfig(cfg Config, rate int) Config {
 	c := cfg
-	c.Protocol = DirCMP
-	c.FaultRatePerMillion = 0
-	dir, err = Run(c, workloadName)
-	if err != nil {
-		return nil, nil, fmt.Errorf("DirCMP: %w", err)
-	}
 	c.Protocol = FtDirCMP
-	ft, err = Run(c, workloadName)
-	if err != nil {
-		return nil, nil, fmt.Errorf("FtDirCMP: %w", err)
+	c.FaultRatePerMillion = rate
+	if c.FaultSeed == 0 {
+		c.FaultSeed = uint64(rate)*7919 + 17
 	}
-	return dir, ft, nil
+	return c
 }
 
 // FaultSweep runs FtDirCMP on the workload at each loss rate (messages per
-// million), reproducing the sweep behind the paper's Figure 3.
+// million), reproducing the sweep behind the paper's Figure 3. The rate
+// points execute concurrently under cfg.Parallelism; results come back in
+// rate order and are identical at every parallelism level.
 func FaultSweep(cfg Config, workloadName string, rates []int) ([]*Result, error) {
-	out := make([]*Result, 0, len(rates))
-	for _, rate := range rates {
-		c := cfg
-		c.Protocol = FtDirCMP
-		c.FaultRatePerMillion = rate
-		if c.FaultSeed == 0 {
-			c.FaultSeed = uint64(rate)*7919 + 17
-		}
-		res, err := Run(c, workloadName)
+	return runner.Map(cfg.Parallelism, len(rates), func(i int) (*Result, error) {
+		rate := rates[i]
+		res, err := Run(SweepConfig(cfg, rate), workloadName)
 		if err != nil {
 			return nil, fmt.Errorf("rate %d: %w", rate, err)
 		}
 		res.FaultRatePerMillion = rate
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 // RecoveryOutcome reports one targeted-drop correctness run.

@@ -22,10 +22,13 @@ type Result struct {
 	ReadHits, WriteHits     uint64
 	ReadMisses, WriteMisses uint64
 	AvgMissLatency          float64
-	MissLatencyP50          uint64
-	MissLatencyP95          uint64
-	MissLatencyP99          uint64
-	MissLatencyMax          uint64
+	// MissLatencyP50/P95/P99 are nearest-rank percentiles (ceiling rank)
+	// reported at the histogram's power-of-two bucket granularity, as
+	// upper bounds.
+	MissLatencyP50 uint64
+	MissLatencyP95 uint64
+	MissLatencyP99 uint64
+	MissLatencyMax uint64
 	CacheToCacheTransfers   uint64
 	MigratoryGrants         uint64
 	Writebacks              uint64

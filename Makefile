@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sweep-bench
+.PHONY: check vet build test race bench sweep-bench docs-check
 
-check: vet build race
+check: vet build race docs-check
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# docs-check keeps the documentation honest: markdown links must resolve,
+# PROTOCOL.md's message tables must match internal/trace.Describe, and
+# docs/OBSERVABILITY.md must cover every event kind the recorder emits.
+docs-check:
+	$(GO) test -run 'TestDocs' .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -25,6 +25,23 @@ type fig3Row struct {
 	Normalized     []float64 `json:"normalizedTime"`
 	Dropped        []uint64  `json:"dropped"`
 	Reissued       []uint64  `json:"reissued"`
+	// Recovery holds the recovery-latency distribution per fault rate,
+	// aligned with Rates. The fault-free point (rate 0) has Count zero
+	// and all latency fields zero.
+	Recovery []recoveryStats `json:"recovery"`
+}
+
+// recoveryStats summarizes the injected-fault-to-recovery latency
+// distribution of one run (cycles); see docs/OBSERVABILITY.md.
+type recoveryStats struct {
+	Injected     uint64  `json:"faultsInjected"`
+	Count        uint64  `json:"faultsRecovered"`
+	Unattributed uint64  `json:"faultsUnattributed"`
+	MeanCycles   float64 `json:"meanCycles"`
+	P50          uint64  `json:"p50Cycles"`
+	P95          uint64  `json:"p95Cycles"`
+	P99          uint64  `json:"p99Cycles"`
+	Max          uint64  `json:"maxCycles"`
 }
 
 type fig4Row struct {
@@ -45,6 +62,7 @@ func (e *experiments) buildJSONReport() (*jsonReport, error) {
 			"normalizedTime":  "FtDirCMP execution time divided by fault-free DirCMP on the same workload",
 			"messageOverhead": "FtDirCMP fault-free messages divided by DirCMP messages",
 			"byteOverhead":    "FtDirCMP fault-free bytes divided by DirCMP bytes",
+			"recovery":        "per-rate injected-fault recovery latency in cycles (injection to the faulted line's next completed transaction)",
 		},
 	}
 	sweeps, err := e.sweepAll()
@@ -58,6 +76,16 @@ func (e *experiments) buildJSONReport() (*jsonReport, error) {
 			row.Normalized = append(row.Normalized, res.TimeOverheadVs(base))
 			row.Dropped = append(row.Dropped, res.Dropped)
 			row.Reissued = append(row.Reissued, res.RequestsReissued)
+			row.Recovery = append(row.Recovery, recoveryStats{
+				Injected:     res.FaultsInjected,
+				Count:        res.FaultsRecovered,
+				Unattributed: res.FaultsUnattributed,
+				MeanCycles:   res.RecoveryLatencyMean,
+				P50:          res.RecoveryLatencyP50,
+				P95:          res.RecoveryLatencyP95,
+				P99:          res.RecoveryLatencyP99,
+				Max:          res.RecoveryLatencyMax,
+			})
 		}
 		rep.Figure3 = append(rep.Figure3, row)
 

@@ -2,11 +2,20 @@
 // flow, then prints it — optionally filtered to one cache line — for
 // debugging and for studying the protocols' behaviour.
 //
+// Besides the default text dump of the message flow, -format exports the
+// run's structured protocol event log (see docs/OBSERVABILITY.md):
+// -format=jsonl writes one JSON object per event to stdout, and
+// -format=chrome writes a Chrome trace-event JSON document loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing. Both exports are
+// deterministic: re-running with the same flags is byte-identical.
+//
 // Examples:
 //
 //	fttrace -workload=migratory -addr=0x40 -last=60
 //	fttrace -protocol=dircmp -workload=producer -last=40
 //	fttrace -workload=uniform -faults=5000 -addr=0x1000
+//	fttrace -workload=uniform -faults=5000 -format=jsonl > events.jsonl
+//	fttrace -workload=uniform -faults=5000 -format=chrome > trace.json
 //
 // Node numbering in the output: L1 caches are 1..T, L2 banks T+1..2T,
 // memory controllers 2T+1.. (T = tile count).
@@ -20,6 +29,8 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/proto"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -42,8 +53,15 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "seed")
 		addr     = flag.Uint64("addr", 0, "record only this line address (0 = all)")
 		last     = flag.Int("last", 80, "how many trailing events to print")
+		format   = flag.String("format", "text", "output: text (message flow), jsonl or chrome (structured event log)")
+		events   = flag.Int("events", 65536, "how many structured events to retain for jsonl/chrome export")
 	)
 	flag.Parse()
+	switch *format {
+	case "text", "jsonl", "chrome":
+	default:
+		return fmt.Errorf("unknown format %q (want text, jsonl or chrome)", *format)
+	}
 
 	cfg := system.DefaultConfig()
 	switch strings.ToLower(*protocol) {
@@ -72,6 +90,11 @@ func run() error {
 		ring.SetFilter(msg.Addr(*addr))
 	}
 	cfg.Trace = ring
+	var rec *obs.Recorder
+	if *format != "text" {
+		rec = obs.NewRecorder(*events)
+		cfg.Obs = rec
+	}
 
 	s, err := system.New(cfg)
 	if err != nil {
@@ -82,6 +105,37 @@ func run() error {
 		return err
 	}
 	run, runErr := s.Run(w)
+
+	if *format != "text" {
+		evs := rec.Events()
+		if *addr != 0 {
+			filtered := evs[:0]
+			for _, e := range evs {
+				if e.Addr == msg.Addr(*addr) {
+					filtered = append(filtered, e)
+				}
+			}
+			evs = filtered
+		}
+		var werr error
+		switch *format {
+		case "jsonl":
+			werr = obs.WriteJSONL(os.Stdout, evs)
+		case "chrome":
+			topo := proto.Topology{Tiles: cfg.MeshWidth * cfg.MeshHeight, Mems: cfg.Mems, LineSize: cfg.Params.LineSize}
+			werr = obs.WriteChromeTrace(os.Stdout, evs, nodeNamer(topo))
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "%d cycles, %d messages, %d events exported\n",
+			run.Cycles, run.Net.TotalMessages(), len(evs))
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "run ended with:", runErr)
+		}
+		return nil
+	}
+
 	fmt.Print(ring.Dump())
 	fmt.Printf("\n%d cycles, %d messages total", run.Cycles, run.Net.TotalMessages())
 	if *addr != 0 {
@@ -93,4 +147,19 @@ func run() error {
 		fmt.Print(s.DumpStuck())
 	}
 	return nil
+}
+
+// nodeNamer labels node tracks for the Chrome trace export.
+func nodeNamer(topo proto.Topology) func(msg.NodeID) string {
+	return func(id msg.NodeID) string {
+		switch {
+		case topo.IsL1(id):
+			return fmt.Sprintf("L1.%d", topo.TileOf(id))
+		case topo.IsL2(id):
+			return fmt.Sprintf("L2.%d", topo.TileOf(id))
+		case topo.IsMem(id):
+			return fmt.Sprintf("Mem.%d", int(id)-2*topo.Tiles-1)
+		}
+		return fmt.Sprintf("node.%d", int(id))
+	}
 }

@@ -1,0 +1,140 @@
+package repro
+
+// Documentation checks, run by `make docs-check` (and the normal test
+// suite): markdown links must resolve, PROTOCOL.md's message tables must
+// match the code's single source of truth, and docs/OBSERVABILITY.md must
+// name every event the recorder can emit.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// markdownFiles returns every tracked *.md in the repo root and docs/.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsMarkdownLinks checks that every relative link in the markdown
+// documentation points at a file that exists.
+func TestDocsMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%s does not exist)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestDocsProtocolTablesMatchDescribe diffs PROTOCOL.md §0's message-type
+// tables against internal/trace.Describe, the single source of truth for
+// the paper's Tables 1-2. Every message type must appear as exactly
+//
+//	| `Type` | Description |
+//
+// and no table row may carry a stale description.
+func TestDocsProtocolTablesMatchDescribe(t *testing.T) {
+	data, err := os.ReadFile("PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+
+	types := append(msg.BaseTypes(), msg.FtTypes()...)
+	for _, typ := range types {
+		want := fmt.Sprintf("| `%s` | %s |", typ, trace.Describe(typ))
+		if !strings.Contains(doc, want) {
+			t.Errorf("PROTOCOL.md is missing or has drifted from the canonical row:\n%s", want)
+		}
+	}
+
+	// No stale rows: any table row naming a known message type must be
+	// the canonical one.
+	known := make(map[string]msg.Type, len(types))
+	for _, typ := range types {
+		known[typ.String()] = typ
+	}
+	// Two-column rows only: protocol transition tables elsewhere in the
+	// document also start with a backticked type but have more columns.
+	rowRe := regexp.MustCompile("(?m)^\\| `([A-Za-z]+)` \\| ([^|]+) \\|$")
+	for _, m := range rowRe.FindAllStringSubmatch(doc, -1) {
+		typ, ok := known[m[1]]
+		if !ok {
+			continue
+		}
+		if m[2] != trace.Describe(typ) {
+			t.Errorf("PROTOCOL.md row for %s says %q, code says %q (fix the doc or trace.Describe)",
+				m[1], m[2], trace.Describe(typ))
+		}
+	}
+}
+
+// TestDocsObservabilityCoversAllKinds requires docs/OBSERVABILITY.md to
+// name every event kind and timeout kind the recorder can emit, and every
+// kind a real faulty run actually emits.
+func TestDocsObservabilityCoversAllKinds(t *testing.T) {
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, k := range obs.AllKinds() {
+		if !strings.Contains(doc, "`"+k.String()+"`") {
+			t.Errorf("docs/OBSERVABILITY.md does not document event kind `%s`", k)
+		}
+	}
+	for _, k := range obs.AllTimeoutKinds() {
+		if !strings.Contains(doc, "`"+k.String()+"`") {
+			t.Errorf("docs/OBSERVABILITY.md does not document timeout kind `%s`", k)
+		}
+	}
+
+	res, err := Run(goldenConfig(), "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind := range res.EventsByKind {
+		if !strings.Contains(doc, "`"+kind+"`") {
+			t.Errorf("run emitted event kind %q that docs/OBSERVABILITY.md does not document", kind)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenConfig is the fixed-seed faulty run the export golden files pin:
+// small enough to be fast, faulty enough to exercise every recovery event
+// kind.
+func goldenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MeshWidth = 2
+	cfg.MeshHeight = 2
+	cfg.MemControllers = 2
+	cfg.OpsPerCore = 40
+	cfg.Seed = 7
+	cfg.FaultRatePerMillion = 6000
+	cfg.FaultSeed = 707
+	cfg.RecordEvents = true
+	return cfg
+}
+
+// TestGoldenEventExports pins the JSONL and Chrome trace wire formats
+// byte-for-byte: a fixed-seed run must serialize identically across runs
+// and machines. Regenerate with `go test -run TestGoldenEventExports
+// -update-golden .` after an intentional schema change (and update
+// docs/OBSERVABILITY.md to match).
+func TestGoldenEventExports(t *testing.T) {
+	res, err := Run(goldenConfig(), "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events()) == 0 {
+		t.Fatal("golden run recorded no events")
+	}
+
+	var jsonl, chrome bytes.Buffer
+	if err := res.WriteEventsJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Chrome export must be a well-formed JSON document (Perfetto
+	// rejects anything else).
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no trace events")
+	}
+
+	checkGolden(t, "events.jsonl", jsonl.Bytes())
+	checkGolden(t, "events.chrome.json", chrome.Bytes())
+}
+
+// TestEventExportsDeterministic re-runs the golden configuration and
+// requires byte-identical exports — the property that makes the event log
+// usable as a regression oracle.
+func TestEventExportsDeterministic(t *testing.T) {
+	first, err := Run(goldenConfig(), "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(goldenConfig(), "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := first.WriteEventsJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.WriteEventsJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("re-run at the same seed produced different JSONL")
+	}
+	a.Reset()
+	b.Reset()
+	if err := first.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("re-run at the same seed produced different Chrome trace")
+	}
+}
+
+// TestRecoveryMetricsOnResult checks the Result-level accounting: faulty
+// runs report a recovery-latency distribution whose count equals the
+// recovered faults; fault-free runs report all zeros.
+func TestRecoveryMetricsOnResult(t *testing.T) {
+	cfg := goldenConfig()
+	res, err := Run(cfg, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected == 0 {
+		t.Fatal("golden config injected no faults")
+	}
+	if res.FaultsInjected != res.FaultsRecovered+res.FaultsUnattributed {
+		t.Fatalf("injected %d != recovered %d + unattributed %d",
+			res.FaultsInjected, res.FaultsRecovered, res.FaultsUnattributed)
+	}
+	if res.FaultsRecovered > 0 && res.RecoveryLatencyMax == 0 && res.RecoveryLatencyMean == 0 {
+		t.Fatal("faults recovered but the latency distribution is empty")
+	}
+	if res.EventsByKind["fault.inject"] != res.FaultsInjected {
+		t.Fatalf("EventsByKind[fault.inject]=%d != FaultsInjected=%d",
+			res.EventsByKind["fault.inject"], res.FaultsInjected)
+	}
+	if res.EventsByKind["recover"] != res.FaultsRecovered {
+		t.Fatalf("EventsByKind[recover]=%d != FaultsRecovered=%d",
+			res.EventsByKind["recover"], res.FaultsRecovered)
+	}
+
+	cfg.FaultRatePerMillion = 0
+	clean, err := Run(cfg, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FaultsInjected != 0 || clean.FaultsRecovered != 0 ||
+		clean.RecoveryLatencyMean != 0 || clean.RecoveryLatencyMax != 0 {
+		t.Fatalf("fault-free run reported recovery activity: %+v", clean.EventsByKind)
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s differs from golden file (%d vs %d bytes); regenerate with -update-golden if the schema change is intentional",
+			name, len(got), len(want))
+	}
+}

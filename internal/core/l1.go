@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -108,6 +109,7 @@ type L1 struct {
 	blocked map[msg.Addr]*blockedEntry
 	serial  *msg.SerialSpace
 	onWrite proto.WriteObserver
+	obs     *obs.Recorder
 }
 
 var _ proto.L1Port = (*L1)(nil)
@@ -139,6 +141,9 @@ func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 
 // NodeID implements proto.Inspectable.
 func (l *L1) NodeID() msg.NodeID { return l.id }
+
+// SetObserver attaches the structured event recorder (see internal/obs).
+func (l *L1) SetObserver(o *obs.Recorder) { l.obs = o }
 
 // Quiesced implements proto.L1Port: no misses, writebacks, backups or
 // ownership handshakes in flight.
@@ -249,8 +254,11 @@ func (l *L1) armLostRequest(addr msg.Addr, e *l1Miss) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
 		e.attempts++
+		oldSN := e.sn
 		e.sn = l.serial.Next()
+		l.obs.Reissue("l1", l.id, addr, e.reqType, oldSN, e.sn)
 		if len(e.snHistory) < l.serial.Width() {
 			e.snHistory = append(e.snHistory, e.sn)
 		}
@@ -337,6 +345,7 @@ func (l *L1) handleAck(m *msg.Message) {
 func (l *L1) handleInv(m *msg.Message) {
 	if line := l.array.Lookup(m.Addr); line != nil && !ownerState(line.State) {
 		line.Valid = false
+		l.obs.StateChange("l1", l.id, m.Addr, stateName(line.State), "I")
 	}
 	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, SN: m.SN})
 }
@@ -361,6 +370,9 @@ func (l *L1) handleFwd(m *msg.Message) {
 	if line := l.array.Lookup(addr); line != nil && ownerState(line.State) {
 		l.run.Proto.CacheToCacheTransfers++
 		if !transfer {
+			if line.State != StateO {
+				l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(StateO))
+			}
 			line.State = StateO
 			l.send(&msg.Message{
 				Type: msg.Data, Dst: m.Requestor, Addr: addr, SN: m.SN,
@@ -368,6 +380,7 @@ func (l *L1) handleFwd(m *msg.Message) {
 			})
 			return
 		}
+		l.obs.StateChange("l1", l.id, addr, stateName(line.State), "I")
 		l.sendOwned(addr, m, line.Payload, line.Dirty || line.State == StateM)
 		line.Valid = false
 		return
@@ -420,6 +433,7 @@ func (l *L1) sendOwned(addr msg.Addr, m *msg.Message, payload msg.Payload, dirty
 	if b == nil {
 		b = l.backups.Alloc(addr)
 		b.timer = sim.NewTimer(l.engine)
+		l.obs.BackupCreated("l1", l.id, addr, m.Requestor)
 	}
 	b.payload = payload
 	b.dirty = dirty
@@ -441,6 +455,7 @@ func (l *L1) armBackup(addr msg.Addr, b *backupEntry) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutBackup)
 		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: l.serial.Next()})
 		l.armBackup(addr, b)
 	})
@@ -469,6 +484,7 @@ func (l *L1) handleWbAck(m *msg.Message) {
 func (l *L1) sendWbData(addr msg.Addr, w *l1WB, sn msg.SerialNumber) {
 	w.sentData = true
 	w.sn = sn
+	l.obs.BackupCreated("l1", l.id, addr, l.topo.HomeL2(addr))
 	l.send(&msg.Message{
 		Type: msg.WbData, Dst: l.topo.HomeL2(addr), Addr: addr, SN: sn,
 		Payload: w.payload, Dirty: w.dirty,
@@ -486,6 +502,7 @@ func (l *L1) armWbBackup(addr msg.Addr, w *l1WB) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutBackup)
 		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeL2(addr), Addr: addr, SN: l.serial.Next()})
 		l.armWbBackup(addr, w)
 	})
@@ -498,10 +515,12 @@ func (l *L1) handleAckO(m *msg.Message) {
 	if b := l.backups.Get(m.Addr); b != nil && m.Src == b.dest {
 		b.timer.Stop()
 		l.backups.Free(m.Addr)
+		l.obs.BackupDeleted("l1", l.id, m.Addr)
 		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
 		return
 	}
 	if w := l.wb.Get(m.Addr); w != nil && w.sentData {
+		l.obs.BackupDeleted("l1", l.id, m.Addr)
 		l.freeWB(m.Addr, w)
 		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
 		return
@@ -525,6 +544,7 @@ func (l *L1) handleAckBD(m *msg.Message) {
 	}
 	b.timer.Stop()
 	delete(l.blocked, m.Addr)
+	l.obs.TransactionEnd("l1", l.id, m.Addr)
 	for _, fwd := range b.deferred {
 		fwd := fwd
 		l.engine.Schedule(0, func() { l.Handle(fwd) })
@@ -699,6 +719,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 		done := e.done
 		waiters := e.waiters
 		l.mshr.Free(addr)
+		l.obs.TransactionEnd("l1", l.id, addr)
 		if done != nil {
 			done(res)
 		}
@@ -714,7 +735,10 @@ func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostAckBD)
+		oldSN := b.sn
 		b.sn = l.serial.Next()
+		l.obs.Reissue("l1", l.id, addr, msg.AckO, oldSN, b.sn)
 		b.piggy = false // resends are standalone AckO messages
 		l.run.Proto.AcksOSent++
 		l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn})
@@ -727,6 +751,9 @@ func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
 // lines with in-flight transactions.
 func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, then func(*cache.Line)) {
 	if line := l.array.Lookup(addr); line != nil {
+		if line.State != state {
+			l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(state))
+		}
 		line.State = state
 		line.Payload = payload
 		line.Dirty = dirty
@@ -749,6 +776,7 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, th
 	victim.Payload = payload
 	victim.Dirty = dirty
 	l.array.Touch(victim)
+	l.obs.StateChange("l1", l.id, addr, "I", stateName(state))
 	then(victim)
 }
 
@@ -757,9 +785,11 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, th
 func (l *L1) evict(line *cache.Line) {
 	if !ownerState(line.State) {
 		line.Valid = false
+		l.obs.StateChange("l1", l.id, line.Addr, stateName(line.State), "I")
 		return
 	}
 	addr := line.Addr
+	l.obs.StateChange("l1", l.id, addr, stateName(line.State), "WB")
 	w := l.wb.Alloc(addr)
 	if w == nil {
 		protocolPanic("L1 %d duplicate writeback for %#x", l.id, addr)
@@ -782,8 +812,11 @@ func (l *L1) armPutTimer(addr msg.Addr, w *l1WB) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
 		w.attempts++
+		oldSN := w.sn
 		w.sn = l.serial.Next()
+		l.obs.Reissue("l1", l.id, addr, msg.Put, oldSN, w.sn)
 		l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn})
 		l.armPutTimer(addr, w)
 	})
@@ -799,6 +832,7 @@ func (l *L1) freeWB(addr msg.Addr, w *l1WB) {
 	}
 	waiters := w.waiters
 	l.wb.Free(addr)
+	l.obs.TransactionEnd("l1", l.id, addr)
 	l.wake(waiters)
 }
 

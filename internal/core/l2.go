@@ -3,10 +3,23 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// l2StateName names the directory states for the event log.
+func l2StateName(s int) string {
+	switch s {
+	case L2StateS:
+		return "S"
+	case L2StateM:
+		return "M"
+	default:
+		return "I"
+	}
+}
 
 // Transaction phases for the per-line FtDirCMP L2 MSHR.
 const (
@@ -152,6 +165,7 @@ type L2 struct {
 	ext    map[msg.Addr]*extBlock
 	mig    map[msg.Addr]*migInfo
 	serial *msg.SerialSpace
+	obs    *obs.Recorder
 }
 
 var _ proto.Inspectable = (*L2)(nil)
@@ -180,6 +194,9 @@ func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 
 // NodeID implements proto.Inspectable.
 func (l *L2) NodeID() msg.NodeID { return l.id }
+
+// SetObserver attaches the structured event recorder (see internal/obs).
+func (l *L2) SetObserver(o *obs.Recorder) { l.obs = o }
 
 // Quiesced reports whether no transaction or external block is live.
 func (l *L2) Quiesced() bool { return l.trans.Len() == 0 && len(l.ext) == 0 }
@@ -277,6 +294,8 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 					Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
 					Payload: line.Payload, Dirty: line.Dirty,
 				})
+				l.obs.StateChange("l2", l.id, addr, "S", "M")
+				l.obs.BackupCreated("l2", l.id, addr, r.from)
 				line.State = L2StateM
 				line.Owner = r.from
 				l.armBackup(addr, t)
@@ -338,6 +357,8 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
 				Payload: line.Payload, Dirty: line.Dirty, AckCount: t.ackCount,
 			})
+			l.obs.StateChange("l2", l.id, addr, "S", "M")
+			l.obs.BackupCreated("l2", l.id, addr, r.from)
 			line.State = L2StateM
 			line.Owner = r.from
 			l.armBackup(addr, t)
@@ -445,6 +466,7 @@ func (l *L2) armUnblockTimer(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.LostUnblockTimeouts++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostUnblock)
 		l.send(&msg.Message{Type: msg.UnblockPing, Dst: t.req.from, Addr: addr, SN: t.req.sn})
 		l.armUnblockTimer(addr, t)
 	})
@@ -465,6 +487,7 @@ func (l *L2) armWbPingTimer(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.LostUnblockTimeouts++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostUnblock)
 		l.send(&msg.Message{Type: msg.WbPing, Dst: t.req.from, Addr: addr, SN: t.req.sn})
 		l.armWbPingTimer(addr, t)
 	})
@@ -480,6 +503,7 @@ func (l *L2) armBackup(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutBackup)
 		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: t.sentDataExTo, Addr: addr, SN: l.serial.Next()})
 		l.armBackup(addr, t)
 	})
@@ -515,6 +539,7 @@ func (l *L2) acceptAckOFromL1(addr msg.Addr, src msg.NodeID, sn msg.SerialNumber
 		if t.backupTimer != nil {
 			t.backupTimer.Stop()
 		}
+		l.obs.BackupDeleted("l2", l.id, addr)
 	}
 	l.send(&msg.Message{Type: msg.AckBD, Dst: src, Addr: addr, SN: sn})
 }
@@ -563,7 +588,10 @@ func (l *L2) armExtAckBD(addr msg.Addr, eb *extBlock) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostAckBD)
+		oldSN := eb.sn
 		eb.sn = l.serial.Next()
+		l.obs.Reissue("l2", l.id, addr, msg.AckO, oldSN, eb.sn)
 		l.run.Proto.AcksOSent++
 		l.send(&msg.Message{Type: msg.AckO, Dst: l.topo.HomeMem(addr), Addr: addr, SN: eb.sn})
 		l.armExtAckBD(addr, eb)
@@ -587,6 +615,7 @@ func (l *L2) handleWbData(m *msg.Message) {
 		// current owner and serial numbers guard the WbAck.
 		protocolPanic("L2 %d unexpected WbData: %v", l.id, m)
 	}
+	l.obs.StateChange("l2", l.id, m.Addr, "M", "S")
 	line.State = L2StateS
 	line.Owner = 0
 	line.Payload = m.Payload
@@ -615,7 +644,10 @@ func (l *L2) armAckBDTimer(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostAckBD)
+		oldSN := t.ackOSN
 		t.ackOSN = l.serial.Next()
+		l.obs.Reissue("l2", l.id, addr, msg.AckO, oldSN, t.ackOSN)
 		l.run.Proto.AcksOSent++
 		l.send(&msg.Message{Type: msg.AckO, Dst: t.ackOTo, Addr: addr, SN: t.ackOSN})
 		l.armAckBDTimer(addr, t)
@@ -696,6 +728,7 @@ func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
 	}
 	line.Sharers.Clear()
 	if t.needData {
+		l.obs.StateChange("l2", l.id, addr, "M", "S")
 		line.State = L2StateS
 		line.Owner = 0
 		line.Payload = t.recalled
@@ -722,6 +755,7 @@ func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
 		t.wbDirty = line.Dirty
 		t.wbValid = true
 		line.Valid = false
+		l.obs.StateChange("l2", l.id, addr, l2StateName(line.State), "I")
 	}
 	t.phase = phaseWaitMemWbAck
 	t.memSN = l.serial.Next()
@@ -748,8 +782,11 @@ func (l *L2) armMemTimer(addr msg.Addr, t *l2Trans, typ msg.Type) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostRequest)
 		t.memAttempts++
+		oldSN := t.memSN
 		t.memSN = l.serial.Next()
+		l.obs.Reissue("l2", l.id, addr, typ, oldSN, t.memSN)
 		l.send(&msg.Message{Type: typ, Dst: l.topo.HomeMem(addr), Addr: addr, SN: t.memSN})
 		l.armMemTimer(addr, t, typ)
 	})
@@ -767,6 +804,7 @@ func (l *L2) handleMemWbAck(m *msg.Message) {
 	t.memTimer.Stop()
 	if m.WantData && t.wbDirty {
 		t.phase = phaseWaitMemAckO
+		l.obs.BackupCreated("l2", l.id, m.Addr, m.Src)
 		l.send(&msg.Message{
 			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
 			Payload: t.wbPayload, Dirty: true,
@@ -789,6 +827,7 @@ func (l *L2) armMemBackup(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutBackup)
 		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeMem(addr), Addr: addr, SN: l.serial.Next()})
 		l.armMemBackup(addr, t)
 	})
@@ -803,6 +842,7 @@ func (l *L2) handleAckO(m *msg.Message) {
 		if t != nil && t.phase == phaseWaitMemAckO {
 			t.backupTimer.Stop()
 			t.wbValid = false
+			l.obs.BackupDeleted("l2", l.id, m.Addr)
 			l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
 			l.finish(m.Addr, t)
 			return
@@ -834,6 +874,7 @@ func (l *L2) handleAckBD(m *msg.Message) {
 		}
 		eb.timer.Stop()
 		delete(l.ext, m.Addr)
+		l.obs.TransactionEnd("l2", l.id, m.Addr)
 		for _, fn := range eb.onClear {
 			l.engine.Schedule(0, fn)
 		}
@@ -995,6 +1036,7 @@ func (l *L2) install(addr msg.Addr, t *l2Trans) {
 	victim.Payload = t.fetched
 	victim.Dirty = t.fetchedDirty
 	l.array.Touch(victim)
+	l.obs.StateChange("l2", l.id, addr, "I", "S")
 	l.service(addr, t)
 }
 
@@ -1056,8 +1098,11 @@ func (l *L2) armRecallTimer(addr msg.Addr, t *l2Trans) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
+		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostRequest)
 		t.recallAttempts++
+		oldSN := t.recallSN
 		t.recallSN = l.serial.Next()
+		l.obs.Reissue("l2", l.id, addr, msg.GetX, oldSN, t.recallSN)
 		line := l.array.Lookup(addr)
 		if line == nil {
 			protocolPanic("L2 %d recall reissue for missing line %#x", l.id, addr)
@@ -1070,6 +1115,7 @@ func (l *L2) armRecallTimer(addr msg.Addr, t *l2Trans) {
 // the next queued request.
 func (l *L2) finish(addr msg.Addr, t *l2Trans) {
 	t.timersOff()
+	l.obs.TransactionEnd("l2", l.id, addr)
 	t.phase = phaseIdle
 	t.wbValid = false
 	t.owedMem = false

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/memctrl"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -58,6 +59,7 @@ type Mem struct {
 	owned  map[msg.Addr]bool
 	trans  map[msg.Addr]*memTrans
 	serial *msg.SerialSpace
+	obs    *obs.Recorder
 }
 
 var _ proto.Inspectable = (*Mem)(nil)
@@ -81,6 +83,9 @@ func NewMem(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim
 
 // NodeID implements proto.Inspectable.
 func (c *Mem) NodeID() msg.NodeID { return c.id }
+
+// SetObserver attaches the structured event recorder (see internal/obs).
+func (c *Mem) SetObserver(o *obs.Recorder) { c.obs = o }
 
 // Quiesced reports whether no transaction is in flight.
 func (c *Mem) Quiesced() bool { return len(c.trans) == 0 }
@@ -150,6 +155,9 @@ func (c *Mem) handleRequest(m *msg.Message) {
 func (c *Mem) service(addr msg.Addr, t *memTrans) {
 	switch t.req.typ {
 	case msg.GetX:
+		if !c.owned[addr] {
+			c.obs.StateChange("mem", c.id, addr, "mem", "chip")
+		}
 		c.owned[addr] = true
 		payload := c.store.Read(addr)
 		from, sn := t.req.from, t.req.sn
@@ -201,6 +209,7 @@ func (c *Mem) armPing(addr msg.Addr, t *memTrans, ping msg.Type) {
 			return
 		}
 		c.run.Proto.LostUnblockTimeouts++
+		c.obs.TimeoutFired("mem", c.id, addr, obs.TimeoutLostUnblock)
 		c.send(&msg.Message{Type: ping, Dst: t.req.from, Addr: addr, SN: t.req.sn})
 		c.armPing(addr, t, ping)
 	})
@@ -233,6 +242,9 @@ func (c *Mem) handleWbData(m *msg.Message) {
 	}
 	t.pingTimer.Stop()
 	c.store.Write(m.Addr, m.Payload)
+	if c.owned[m.Addr] {
+		c.obs.StateChange("mem", c.id, m.Addr, "chip", "mem")
+	}
 	c.owned[m.Addr] = false
 	t.phase = memWaitAckBD
 	t.ackOSN = m.SN
@@ -250,7 +262,10 @@ func (c *Mem) armAckBD(addr msg.Addr, t *memTrans) {
 			return
 		}
 		c.run.Proto.LostAckBDTimeouts++
+		c.obs.TimeoutFired("mem", c.id, addr, obs.TimeoutLostAckBD)
+		oldSN := t.ackOSN
 		t.ackOSN = c.serial.Next()
+		c.obs.Reissue("mem", c.id, addr, msg.AckO, oldSN, t.ackOSN)
 		c.run.Proto.AcksOSent++
 		c.send(&msg.Message{Type: msg.AckO, Dst: t.req.from, Addr: addr, SN: t.ackOSN})
 		c.armAckBD(addr, t)
@@ -271,6 +286,9 @@ func (c *Mem) handleWbNoData(m *msg.Message) {
 	// the eviction was clean and its WbNoData was lost. A refetch cannot
 	// have been granted meanwhile — this very transaction blocks the line —
 	// so clearing ownership is safe in both cases.
+	if c.owned[m.Addr] {
+		c.obs.StateChange("mem", c.id, m.Addr, "chip", "mem")
+	}
 	c.owned[m.Addr] = false
 	c.finish(m.Addr, t)
 }
@@ -327,6 +345,7 @@ func (c *Mem) handleNackO(m *msg.Message) {}
 
 func (c *Mem) finish(addr msg.Addr, t *memTrans) {
 	t.timersOff()
+	c.obs.TransactionEnd("mem", c.id, addr)
 	if len(t.queue) == 0 {
 		delete(c.trans, addr)
 		return

@@ -3,6 +3,7 @@ package dircmp
 import (
 	"repro/internal/cache"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -49,6 +50,7 @@ type L1 struct {
 	mshr    *cache.Table[l1Miss]
 	wb      *cache.Table[l1WB]
 	onWrite proto.WriteObserver
+	obs     *obs.Recorder
 }
 
 var _ proto.L1Port = (*L1)(nil)
@@ -77,6 +79,9 @@ func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 
 // NodeID implements proto.Inspectable.
 func (l *L1) NodeID() msg.NodeID { return l.id }
+
+// SetObserver attaches the structured event recorder (see internal/obs).
+func (l *L1) SetObserver(o *obs.Recorder) { l.obs = o }
 
 // Quiesced implements proto.L1Port.
 func (l *L1) Quiesced() bool { return l.mshr.Len() == 0 && l.wb.Len() == 0 }
@@ -234,6 +239,7 @@ func (l *L1) handleInv(m *msg.Message) {
 			protocolPanic("L1 %d Inv for owned line %#x in %s", l.id, m.Addr, stateName(line.State))
 		}
 		line.Valid = false
+		l.obs.StateChange("l1", l.id, m.Addr, stateName(line.State), "I")
 	}
 	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, SN: m.SN})
 }
@@ -282,7 +288,11 @@ func (l *L1) takeOwnedData(addr msg.Addr, invalidate bool) (msg.Payload, bool, b
 		payload, dirty := line.Payload, line.Dirty || line.State == StateM
 		if invalidate {
 			line.Valid = false
+			l.obs.StateChange("l1", l.id, addr, stateName(line.State), "I")
 		} else {
+			if line.State != StateO {
+				l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(StateO))
+			}
 			line.State = StateO
 		}
 		return payload, dirty, true
@@ -316,6 +326,7 @@ func (l *L1) handleWbAck(m *msg.Message) {
 	}
 	waiters := w.waiters
 	l.wb.Free(m.Addr)
+	l.obs.TransactionEnd("l1", l.id, m.Addr)
 	l.wake(waiters)
 }
 
@@ -385,6 +396,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 		done := e.done
 		waiters := e.waiters
 		l.mshr.Free(addr)
+		l.obs.TransactionEnd("l1", l.id, addr)
 		if done != nil {
 			done(res)
 		}
@@ -397,6 +409,9 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, then func(*cache.Line)) {
 	if line := l.array.Lookup(addr); line != nil {
 		// Upgrade path: the frame already holds the line.
+		if line.State != state {
+			l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(state))
+		}
 		line.State = state
 		line.Payload = payload
 		line.Dirty = dirty
@@ -419,6 +434,7 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, th
 	victim.Payload = payload
 	victim.Dirty = dirty
 	l.array.Touch(victim)
+	l.obs.StateChange("l1", l.id, addr, "I", stateName(state))
 	then(victim)
 }
 
@@ -427,8 +443,10 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, th
 func (l *L1) evict(line *cache.Line) {
 	if !ownerState(line.State) {
 		line.Valid = false
+		l.obs.StateChange("l1", l.id, line.Addr, stateName(line.State), "I")
 		return
 	}
+	l.obs.StateChange("l1", l.id, line.Addr, stateName(line.State), "WB")
 	w := l.wb.Alloc(line.Addr)
 	if w == nil {
 		protocolPanic("L1 %d duplicate writeback for %#x", l.id, line.Addr)

@@ -3,6 +3,7 @@ package dircmp
 import (
 	"repro/internal/cache"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -71,6 +72,18 @@ type migInfo struct {
 	migratory   bool
 }
 
+// l2StateName names the directory states for the event log.
+func l2StateName(s int) string {
+	switch s {
+	case L2StateS:
+		return "S"
+	case L2StateM:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
 // L2 is a DirCMP shared-L2 bank plus its slice of the directory.
 type L2 struct {
 	id     msg.NodeID
@@ -83,6 +96,7 @@ type L2 struct {
 	array *cache.Array
 	trans *cache.Table[l2Trans]
 	mig   map[msg.Addr]*migInfo
+	obs   *obs.Recorder
 }
 
 var _ proto.Inspectable = (*L2)(nil)
@@ -109,6 +123,9 @@ func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 
 // NodeID implements proto.Inspectable.
 func (l *L2) NodeID() msg.NodeID { return l.id }
+
+// SetObserver attaches the structured event recorder (see internal/obs).
+func (l *L2) SetObserver(o *obs.Recorder) { l.obs = o }
 
 // Quiesced reports whether no transaction is in flight at this bank.
 func (l *L2) Quiesced() bool { return l.trans.Len() == 0 }
@@ -165,6 +182,7 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 					Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
 					Payload: line.Payload, Dirty: line.Dirty,
 				})
+				l.obs.StateChange("l2", l.id, addr, "S", "M")
 				line.State = L2StateM
 				line.Owner = r.from
 			} else {
@@ -215,6 +233,7 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
 				Payload: line.Payload, Dirty: line.Dirty, AckCount: invs,
 			})
+			l.obs.StateChange("l2", l.id, addr, "S", "M")
 			line.State = L2StateM
 			line.Owner = r.from
 		} else if line.Owner == r.from {
@@ -289,6 +308,7 @@ func (l *L2) handleWbData(m *msg.Message) {
 		if line == nil || line.State != L2StateM || line.Owner != t.req.from {
 			protocolPanic("L2 %d WbData for line it did not expect: %v", l.id, m)
 		}
+		l.obs.StateChange("l2", l.id, m.Addr, "M", "S")
 		line.State = L2StateS
 		line.Owner = 0
 		line.Payload = m.Payload
@@ -342,6 +362,7 @@ func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
 		protocolPanic("L2 %d recall finished for missing line %#x", l.id, addr)
 	}
 	if t.needData {
+		l.obs.StateChange("l2", l.id, addr, "M", "S")
 		line.State = L2StateS
 		line.Owner = 0
 		line.Payload = t.recalled
@@ -358,6 +379,7 @@ func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
 	t.wbDirty = line.Dirty
 	t.wbValid = true
 	line.Valid = false
+	l.obs.StateChange("l2", l.id, addr, l2StateName(line.State), "I")
 	t.phase = phaseWaitMemWbAck
 	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeMem(addr), Addr: addr})
 }
@@ -405,6 +427,7 @@ func (l *L2) install(addr msg.Addr, t *l2Trans) {
 	victim.Payload = t.fetched
 	victim.Dirty = t.fetchedDirty
 	l.array.Touch(victim)
+	l.obs.StateChange("l2", l.id, addr, "I", "S")
 	l.service(addr, t)
 }
 
@@ -461,6 +484,7 @@ func (l *L2) startEvict(line *cache.Line, onDone func()) {
 // finish closes the current transaction, runs eviction continuations, and
 // services the next queued request if any.
 func (l *L2) finish(addr msg.Addr, t *l2Trans) {
+	l.obs.TransactionEnd("l2", l.id, addr)
 	t.phase = phaseIdle
 	t.wbValid = false
 	for _, fn := range t.onDone {

@@ -3,6 +3,7 @@ package dircmp
 import (
 	"repro/internal/memctrl"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -29,6 +30,7 @@ type Mem struct {
 	store *memctrl.Store
 	owned map[msg.Addr]bool
 	trans map[msg.Addr]*memTrans
+	obs   *obs.Recorder
 }
 
 var _ proto.Inspectable = (*Mem)(nil)
@@ -51,6 +53,9 @@ func NewMem(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim
 
 // NodeID implements proto.Inspectable.
 func (c *Mem) NodeID() msg.NodeID { return c.id }
+
+// SetObserver attaches the structured event recorder (see internal/obs).
+func (c *Mem) SetObserver(o *obs.Recorder) { c.obs = o }
 
 // Quiesced reports whether no transaction is in flight.
 func (c *Mem) Quiesced() bool { return len(c.trans) == 0 }
@@ -81,6 +86,9 @@ func (c *Mem) Handle(m *msg.Message) {
 		if m.Type == msg.WbData {
 			c.store.Write(m.Addr, m.Payload)
 		}
+		if c.owned[m.Addr] {
+			c.obs.StateChange("mem", c.id, m.Addr, "chip", "mem")
+		}
 		c.owned[m.Addr] = false
 		c.finish(m.Addr, t)
 	default:
@@ -94,6 +102,7 @@ func (c *Mem) service(addr msg.Addr, t *memTrans) {
 		if c.owned[addr] {
 			protocolPanic("mem %d GetX for line %#x already owned by chip", c.id, addr)
 		}
+		c.obs.StateChange("mem", c.id, addr, "mem", "chip")
 		c.owned[addr] = true
 		payload := c.store.Read(addr)
 		from := t.req.from
@@ -116,6 +125,7 @@ func (c *Mem) service(addr msg.Addr, t *memTrans) {
 }
 
 func (c *Mem) finish(addr msg.Addr, t *memTrans) {
+	c.obs.TransactionEnd("mem", c.id, addr)
 	if len(t.queue) == 0 {
 		delete(c.trans, addr)
 		return

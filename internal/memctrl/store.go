@@ -1,6 +1,14 @@
 // Package memctrl provides the off-chip memory backing store shared by the
-// protocol-specific memory controllers. Lines not present return the zero
-// payload (value 0, version 0), modeling zero-initialized memory.
+// protocol-specific memory controllers (core.Mem, dircmp.Mem and the token
+// protocols' home nodes).
+//
+// The store is a sparse line-granular memory image holding msg.Payload
+// values — a (value, version) pair rather than raw bytes, which is what
+// lets the system's data-integrity oracle check that every load observes
+// the latest coherently-ordered store (see internal/system). Lines never
+// written return the zero payload (value 0, version 0), modeling
+// zero-initialized memory without materializing it. Timing is not modeled
+// here: access latencies are charged by the controllers that own a Store.
 package memctrl
 
 import "repro/internal/msg"

@@ -102,8 +102,11 @@ type Handler func(*msg.Message)
 // fault injector provides it; nil means a perfectly reliable network.
 type DropFunc func(*msg.Message) bool
 
-// Recorder observes network activity for statistics. Implementations must
-// be cheap; every message passes through these hooks.
+// Recorder observes network activity. Implementations must be cheap;
+// every message passes through these hooks. The system fans the hooks out
+// to the statistics collector, the debug message trace (package trace)
+// and the structured event recorder (package obs), each of which
+// implements this interface.
 type Recorder interface {
 	// MessageSent is called once per injected message with its wire size.
 	MessageSent(m *msg.Message, bytes int)

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/msg"
+)
+
+// The exporters hand-build their JSON so the output is deterministic:
+// fields appear in schema order, nothing depends on map iteration, and a
+// re-run at the same seed is byte-identical (golden-tested at the repo
+// root).
+
+// WriteJSONL writes one JSON object per event, newline-terminated, in
+// event order. Fields that are zero/meaningless for the event's kind are
+// omitted; see docs/OBSERVABILITY.md for the field reference.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		writeEventJSON(bw, e)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeEventJSON(bw *bufio.Writer, e Event) {
+	fmt.Fprintf(bw, `{"seq":%d,"cycle":%d,"kind":%q`, e.Seq, e.Cycle, e.Kind.String())
+	if e.Unit != "" {
+		fmt.Fprintf(bw, `,"unit":%q`, e.Unit)
+	}
+	fmt.Fprintf(bw, `,"node":%d`, e.Node)
+	switch e.Kind {
+	case KindPing, KindCancel, KindFaultInject, KindBackupCreate:
+		fmt.Fprintf(bw, `,"dst":%d`, e.Dst)
+	}
+	fmt.Fprintf(bw, `,"addr":"%#x"`, uint64(e.Addr))
+	if e.Kind == KindTimeout {
+		fmt.Fprintf(bw, `,"timeout":%q`, e.Timeout.String())
+	}
+	if e.Type != 0 {
+		fmt.Fprintf(bw, `,"type":%q`, e.Type.String())
+	}
+	if e.Kind == KindState {
+		fmt.Fprintf(bw, `,"old":%q,"new":%q`, e.Old, e.New)
+	}
+	if e.Kind == KindReissue {
+		fmt.Fprintf(bw, `,"oldSN":%d,"newSN":%d`, e.OldSN, e.NewSN)
+	}
+	if e.Kind == KindRecreate {
+		fmt.Fprintf(bw, `,"newSN":%d`, e.NewSN)
+	}
+	if e.Kind == KindRecover {
+		fmt.Fprintf(bw, `,"latency":%d`, e.Latency)
+	}
+	bw.WriteByte('}')
+}
+
+// WriteChromeTrace writes the events as a Chrome trace-event JSON document
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Cycles are mapped to microseconds (1 cycle = 1 µs on the timeline). Each
+// event becomes an instant event on the emitting node's track; recover
+// events additionally become duration slices spanning injection→recovery.
+// names, when non-nil, labels node tracks (thread_name metadata).
+func WriteChromeTrace(w io.Writer, events []Event, names func(msg.NodeID) string) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	if names != nil {
+		// Name each node track once, in first-appearance order.
+		named := make(map[msg.NodeID]bool)
+		for _, e := range events {
+			if !named[e.Node] {
+				named[e.Node] = true
+				comma()
+				fmt.Fprintf(bw,
+					`{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":%q}}`,
+					e.Node, names(e.Node))
+			}
+		}
+	}
+
+	for _, e := range events {
+		comma()
+		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{`,
+			e.Name(), e.Kind.String(), e.Cycle, e.Node)
+		fmt.Fprintf(bw, `"seq":%d,"addr":"%#x"`, e.Seq, uint64(e.Addr))
+		if e.Unit != "" {
+			fmt.Fprintf(bw, `,"unit":%q`, e.Unit)
+		}
+		switch e.Kind {
+		case KindPing, KindCancel, KindFaultInject, KindBackupCreate:
+			fmt.Fprintf(bw, `,"dst":%d`, e.Dst)
+		case KindReissue:
+			fmt.Fprintf(bw, `,"oldSN":%d,"newSN":%d`, e.OldSN, e.NewSN)
+		case KindRecover:
+			fmt.Fprintf(bw, `,"latency":%d`, e.Latency)
+		}
+		bw.WriteString("}}")
+
+		if e.Kind == KindRecover {
+			comma()
+			fmt.Fprintf(bw,
+				`{"name":"recovery","cat":"recover","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"seq":%d,"addr":"%#x"}}`,
+				e.Cycle-e.Latency, e.Latency, e.Node, e.Seq, uint64(e.Addr))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

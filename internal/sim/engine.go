@@ -1,9 +1,18 @@
-// Package sim provides a deterministic discrete-event simulation engine.
+// Package sim provides a deterministic discrete-event simulation engine:
+// the clock every other package runs on.
 //
 // Events are executed in order of (time, insertion sequence), so two runs
-// with the same inputs produce identical event interleavings. All protocol
-// controllers, the network model and the fault injector are driven by a
-// single Engine.
+// with the same inputs produce identical event interleavings — the
+// property the whole module's reproducibility (golden traces, byte-stable
+// experiment output, parallel sweeps) rests on. All protocol controllers,
+// the network model and the fault injector are driven by a single Engine;
+// Engine.Now also timestamps the structured event log (package obs).
+//
+// Besides the raw event queue the package provides the two utilities the
+// protocols build their behaviour from: Timer, a restartable one-shot
+// alarm used for every fault-detection timeout, and RNG, a small seeded
+// generator (splitmix64) giving each consumer its own independent,
+// reproducible stream.
 package sim
 
 import (

@@ -15,6 +15,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/msg"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -116,6 +117,11 @@ type Config struct {
 
 	// Trace, when non-nil, records network messages for debugging.
 	Trace *trace.Ring
+
+	// Obs, when non-nil, receives structured protocol events (state
+	// transitions, timeout firings, reissues, backup lifecycle, fault
+	// injections) and derives the recovery metrics; see internal/obs.
+	Obs *obs.Recorder
 }
 
 // Tiles returns the tile count.
@@ -209,8 +215,18 @@ func New(cfg Config) (*System, error) {
 		drop = cfg.Injector.Drop
 	}
 	var recorder noc.Recorder = run.Net
-	if cfg.Trace != nil {
-		recorder = multiRecorder{run.Net, cfg.Trace}
+	if cfg.Trace != nil || cfg.Obs != nil {
+		mr := multiRecorder{run.Net}
+		if cfg.Trace != nil {
+			mr = append(mr, cfg.Trace)
+		}
+		if cfg.Obs != nil {
+			mr = append(mr, cfg.Obs)
+		}
+		recorder = mr
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.SetClock(engine.Now)
 	}
 	net, err := noc.New(engine, cfg.Net, drop, recorder)
 	if err != nil {
@@ -318,8 +334,18 @@ func New(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("system: unknown protocol %v", cfg.Protocol)
 	}
+	if cfg.Obs != nil {
+		for _, a := range s.agents {
+			if o, ok := a.(interface{ SetObserver(*obs.Recorder) }); ok {
+				o.SetObserver(cfg.Obs)
+			}
+		}
+	}
 	return s, nil
 }
+
+// Obs returns the event recorder the system was built with (nil if none).
+func (s *System) Obs() *obs.Recorder { return s.cfg.Obs }
 
 func attach(net *noc.Network, id msg.NodeID, router int, h noc.Handler) error {
 	if err := net.Attach(id, router, h); err != nil {

@@ -3,6 +3,7 @@ package token
 import (
 	"repro/internal/cache"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -44,6 +45,7 @@ type Home struct {
 	net    proto.Sender
 	run    *stats.Run
 	ft     bool
+	obs    *obs.Recorder
 
 	totalTokens int
 	lines       map[msg.Addr]*homeLine
@@ -69,6 +71,9 @@ func NewHome(id msg.NodeID, topo proto.Topology, params proto.Params, engine *si
 
 // NodeID implements proto.Inspectable.
 func (h *Home) NodeID() msg.NodeID { return h.id }
+
+// SetObserver attaches a structured-event recorder. Nil is fine.
+func (h *Home) SetObserver(o *obs.Recorder) { h.obs = o }
 
 // Quiesced reports whether no persistent request or recreation is live.
 func (h *Home) Quiesced() bool {
@@ -283,6 +288,7 @@ func (h *Home) armActiveTimer(addr msg.Addr, ln *homeLine) {
 			return
 		}
 		h.run.Proto.LostUnblockTimeouts++
+		h.obs.TimeoutFired("home", h.id, addr, obs.TimeoutLostUnblock)
 		h.send(&msg.Message{Type: msg.UnblockPing, Dst: ln.active, Addr: addr})
 		// Re-broadcast the authoritative activation: lost PersistentAct or
 		// PersistentDeact messages can leave nodes with stale entries that
@@ -331,6 +337,7 @@ func (h *Home) handleRecreateReq(m *msg.Message) {
 	if ln.serial == 0 {
 		ln.serial = 1 // zero means "never recreated"; skip it
 	}
+	h.obs.Recreate(h.id, m.Addr, ln.serial)
 	// The home's own copy is always a valid (if possibly old) version of
 	// the line, so it participates in the freshest-version election like
 	// any collected acknowledgment; versions are monotonic, so taking the
@@ -366,6 +373,7 @@ func (h *Home) armRecreateTimer(addr msg.Addr, ln *homeLine) {
 			return
 		}
 		h.run.Proto.LostUnblockTimeouts++
+		h.obs.TimeoutFired("home", h.id, addr, obs.TimeoutLostUnblock)
 		h.broadcastRecreate(addr, ln)
 		h.armRecreateTimer(addr, ln)
 	})

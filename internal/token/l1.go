@@ -3,6 +3,7 @@ package token
 import (
 	"repro/internal/cache"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -57,6 +58,7 @@ type L1 struct {
 	recStash map[msg.Addr]*recStash
 
 	onWrite proto.WriteObserver
+	obs     *obs.Recorder
 }
 
 // blockedEntry: we received the owner token and owe/await the backup
@@ -110,6 +112,9 @@ func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 
 // NodeID implements proto.Inspectable.
 func (l *L1) NodeID() msg.NodeID { return l.id }
+
+// SetObserver attaches the structured event recorder (see internal/obs).
+func (l *L1) SetObserver(o *obs.Recorder) { l.obs = o }
 
 // Quiesced implements proto.L1Port.
 func (l *L1) Quiesced() bool {
@@ -274,6 +279,7 @@ func (l *L1) armRetry(addr msg.Addr, e *tokenMiss) {
 		}
 		e.retries++
 		l.run.Proto.TokenRetries++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
 		if e.retries >= l.params.TokenPersistentThreshold() {
 			if !e.persistentSent {
 				l.run.Proto.PersistentRequests++
@@ -298,6 +304,7 @@ func (l *L1) armLostToken(addr msg.Addr, e *tokenMiss) {
 			return
 		}
 		l.run.Proto.LostRequestTimeouts++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
 		l.send(&msg.Message{Type: msg.RecreateReq, Dst: l.topo.HomeL2(addr), Addr: addr})
 		l.armLostToken(addr, e)
 	})
@@ -510,6 +517,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *tokenMiss, line *cache.Line) {
 	done := e.done
 	waiters := e.waiters
 	l.mshr.Free(addr)
+	l.obs.TransactionEnd("l1", l.id, addr)
 	if done != nil {
 		done(res)
 	}
@@ -601,6 +609,7 @@ func (l *L1) makeBackup(addr msg.Addr, payload msg.Payload, dirty bool, dest msg
 	if b == nil {
 		b = l.backups.Alloc(addr)
 		b.timer = sim.NewTimer(l.engine)
+		l.obs.BackupCreated("l1", l.id, addr, dest)
 	}
 	b.payload = payload
 	b.dirty = dirty
@@ -615,6 +624,7 @@ func (l *L1) armBackup(addr msg.Addr, b *backupEntry) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutBackup)
 		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: b.sn})
 		l.armBackup(addr, b)
 	})
@@ -626,6 +636,8 @@ func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
+		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostAckBD)
+		l.obs.Reissue("l1", l.id, addr, msg.AckO, b.sn, b.sn)
 		l.run.Proto.AcksOSent++
 		l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn})
 		l.armLostAckBD(addr, b)
@@ -636,6 +648,7 @@ func (l *L1) handleAckO(m *msg.Message) {
 	if b := l.backups.Get(m.Addr); b != nil && m.Src == b.dest {
 		b.timer.Stop()
 		l.backups.Free(m.Addr)
+		l.obs.BackupDeleted("l1", l.id, m.Addr)
 	}
 	l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
 }
@@ -648,6 +661,7 @@ func (l *L1) handleAckBD(m *msg.Message) {
 	}
 	b.timer.Stop()
 	delete(l.blocked, m.Addr)
+	l.obs.TransactionEnd("l1", l.id, m.Addr)
 }
 
 func (l *L1) handleOwnershipPing(m *msg.Message) {

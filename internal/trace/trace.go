@@ -1,5 +1,19 @@
 // Package trace records recent network messages in a bounded ring buffer
-// for debugging protocol runs, and prints the paper's descriptive tables.
+// for debugging protocol runs, and renders the paper's descriptive tables.
+//
+// The Ring implements the network recorder hook set (noc.Recorder): every
+// message sent or dropped becomes one line of a human-readable log,
+// optionally filtered to a single cache-line address, and Dump prints the
+// retained tail. This is the low-level, per-message complement to the
+// structured protocol event log of package obs (docs/OBSERVABILITY.md):
+// trace shows what was on the wire, obs shows what the protocol did about
+// it. Command fttrace exposes both.
+//
+// The package is also the single source of truth for the paper's message
+// vocabulary: Describe returns the one-line description of each message
+// type, and Table1/Table2/Table3/Table4 render the paper's tables from it.
+// PROTOCOL.md §0 reproduces Tables 1–2 verbatim, pinned by a test that
+// diffs the document against Describe.
 package trace
 
 import (

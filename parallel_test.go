@@ -12,6 +12,7 @@ import (
 func TestFaultSweepParallelMatchesSerial(t *testing.T) {
 	cfg := testConfig()
 	cfg.OpsPerCore = 120
+	cfg.RecordEvents = true // the event log must be identical too
 	rates := []int{0, 500, 2000}
 
 	serial := cfg

@@ -34,6 +34,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/msg"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/runner"
 	"repro/internal/system"
@@ -164,6 +165,18 @@ type Config struct {
 	// RouterBufferFlits is the input buffer capacity per link per virtual
 	// channel in detailed mode (0 = default of 16 flits).
 	RouterBufferFlits int
+
+	// RecordEvents retains the structured protocol event log in the
+	// Result, enabling Result.Events, Result.WriteEventsJSONL and
+	// Result.WriteChromeTrace. The derived observability metrics
+	// (EventsByKind, fault/recovery counters, recovery-latency
+	// percentiles) are collected on every run regardless of this flag.
+	// See docs/OBSERVABILITY.md for the event schema.
+	RecordEvents bool
+
+	// EventBufferSize bounds the retained event log when RecordEvents is
+	// set: the log keeps the most recent events (0 = default of 65536).
+	EventBufferSize int
 }
 
 // DefaultConfig returns the paper's Table 4 configuration: a 16-tile CMP on
@@ -274,6 +287,28 @@ func (c Config) injector() fault.Injector {
 	return inj
 }
 
+// recorder builds the observability recorder every run carries: a full
+// event ring when RecordEvents is set, a metrics-only recorder otherwise.
+func (c Config) recorder() *obs.Recorder {
+	capacity := 0
+	if c.RecordEvents {
+		capacity = c.EventBufferSize
+		if capacity <= 0 {
+			capacity = 65536
+		}
+	}
+	return obs.NewRecorder(capacity)
+}
+
+// topology mirrors the internal node numbering, used to label event nodes.
+func (c Config) topology() proto.Topology {
+	return proto.Topology{
+		Tiles:    c.MeshWidth * c.MeshHeight,
+		Mems:     c.MemControllers,
+		LineSize: c.LineSize,
+	}
+}
+
 func routingOf(unordered bool) noc.Routing {
 	if unordered {
 		return noc.RoutingAdaptive
@@ -328,6 +363,8 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 	}
 	sysCfg := cfg.toInternal()
 	sysCfg.Injector = inj
+	rec := cfg.recorder()
+	sysCfg.Obs = rec
 	s, err := system.New(sysCfg)
 	if err != nil {
 		return nil, err
@@ -336,7 +373,7 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	return newResult(run), nil
+	return newResult(run, rec, cfg.topology()), nil
 }
 
 // Compare runs the same workload under both protocols on a reliable

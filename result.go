@@ -1,7 +1,12 @@
 package repro
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/proto"
 	"repro/internal/stats"
 )
 
@@ -59,11 +64,73 @@ type Result struct {
 	TokenRecreations   uint64
 	TokenSerialPeak    uint64
 
+	// Observability, derived from the structured protocol event log (see
+	// docs/OBSERVABILITY.md). FaultsInjected counts injected message
+	// losses that took effect; FaultsRecovered counts those whose cache
+	// line completed a transaction afterwards (the protocol recovered);
+	// FaultsUnattributed is the difference — losses whose line never
+	// completed again before the run ended (typically drops of messages
+	// that were already superseded).
+	FaultsInjected     uint64
+	FaultsRecovered    uint64
+	FaultsUnattributed uint64
+
+	// Recovery latency: cycles from an injected fault taking effect to
+	// the faulted line's next completed transaction. Percentiles are
+	// nearest-rank at power-of-two bucket granularity, like the miss
+	// latency percentiles above. All zero when no fault recovered.
+	RecoveryLatencyMean float64
+	RecoveryLatencyP50  uint64
+	RecoveryLatencyP95  uint64
+	RecoveryLatencyP99  uint64
+	RecoveryLatencyMax  uint64
+
+	// EventsByKind counts the structured events emitted per kind name
+	// ("timeout", "reissue", "backup.create", ...), zero kinds omitted.
+	// Collected even when RecordEvents is off.
+	EventsByKind map[string]uint64
+
 	// ReportText is a rendered human-readable summary.
 	ReportText string
+
+	events []obs.Event
+	topo   proto.Topology
 }
 
-func newResult(run *stats.Run) *Result {
+// Events returns the retained structured protocol events, oldest first.
+// Empty unless the run's Config set RecordEvents.
+func (r *Result) Events() []obs.Event { return r.events }
+
+// WriteEventsJSONL writes the retained event log as JSON Lines, one event
+// per line in emission order. The output is deterministic: a re-run at the
+// same configuration and seeds is byte-identical.
+func (r *Result) WriteEventsJSONL(w io.Writer) error {
+	return obs.WriteJSONL(w, r.events)
+}
+
+// WriteChromeTrace writes the retained event log in the Chrome trace-event
+// JSON format, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing: one track per node, instant events per protocol event,
+// and duration slices spanning each injected fault's recovery window.
+func (r *Result) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, r.events, r.nodeName)
+}
+
+// nodeName labels a node for trace export using the run's topology.
+func (r *Result) nodeName(id msg.NodeID) string {
+	t := r.topo
+	switch {
+	case t.IsL1(id):
+		return fmt.Sprintf("L1.%d", t.TileOf(id))
+	case t.IsL2(id):
+		return fmt.Sprintf("L2.%d", t.TileOf(id))
+	case t.IsMem(id):
+		return fmt.Sprintf("Mem.%d", int(id)-2*t.Tiles-1)
+	}
+	return fmt.Sprintf("node.%d", int(id))
+}
+
+func newResult(run *stats.Run, rec *obs.Recorder, topo proto.Topology) *Result {
 	r := &Result{
 		Protocol:              run.Protocol,
 		Workload:              run.Workload,
@@ -108,6 +175,19 @@ func newResult(run *stats.Run) *Result {
 	}
 	for cat, n := range run.Net.BytesByCategory() {
 		r.BytesByCategory[cat.String()] = n
+	}
+	r.topo = topo
+	if m := rec.Metrics(); m != nil {
+		r.FaultsInjected = m.FaultsInjected
+		r.FaultsRecovered = m.FaultsRecovered
+		r.FaultsUnattributed = m.Unattributed()
+		r.RecoveryLatencyMean = m.RecoveryLatency.Mean()
+		r.RecoveryLatencyP50 = m.RecoveryLatency.Percentile(50)
+		r.RecoveryLatencyP95 = m.RecoveryLatency.Percentile(95)
+		r.RecoveryLatencyP99 = m.RecoveryLatency.Percentile(99)
+		r.RecoveryLatencyMax = m.RecoveryLatency.Max()
+		r.EventsByKind = m.KindCounts()
+		r.events = rec.Events()
 	}
 	return r
 }

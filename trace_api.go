@@ -27,6 +27,8 @@ func RunTrace(cfg Config, name string, r io.Reader) (*Result, error) {
 	}
 	sysCfg := cfg.toInternal()
 	sysCfg.Injector = cfg.injector()
+	rec := cfg.recorder()
+	sysCfg.Obs = rec
 	s, err := system.New(sysCfg)
 	if err != nil {
 		return nil, err
@@ -35,7 +37,7 @@ func RunTrace(cfg Config, name string, r io.Reader) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newResult(run), nil
+	return newResult(run, rec, cfg.topology()), nil
 }
 
 // WriteTrace exports a built-in workload as a replayable trace, using the

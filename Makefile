@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sweep-bench docs-check
+.PHONY: check vet build test race bench sweep-bench docs-check coverage-quick
 
-check: vet build race docs-check
+check: vet build race docs-check coverage-quick
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,12 @@ race:
 # docs/OBSERVABILITY.md must cover every event kind the recorder emits.
 docs-check:
 	$(GO) test -run 'TestDocs' .
+
+# coverage-quick proves recovery from every single-message loss of the
+# quick workload (every injectable slot, enumerated and dropped one run at
+# a time) and shows DirCMP failing the same campaign. See docs/COVERAGE.md.
+coverage-quick:
+	$(GO) run ./cmd/ftcheck -exhaustive -quick -ops 20
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -39,10 +39,16 @@ func main() {
 
 func run() error {
 	var (
-		quick = flag.Bool("quick", true, "scaled-down system (2x2 tiles)")
-		ops   = flag.Int("ops", 300, "operations per core")
-		seeds = flag.Int("seeds", 3, "random campaign seeds per rate")
-		jobs  = flag.Int("j", 0, "concurrent runs (0 = all cores, 1 = serial)")
+		quick      = flag.Bool("quick", true, "scaled-down system (2x2 tiles)")
+		ops        = flag.Int("ops", 300, "operations per core")
+		seeds      = flag.Int("seeds", 3, "random campaign seeds per rate")
+		jobs       = flag.Int("j", 0, "concurrent runs (0 = all cores, 1 = serial)")
+		exhaustive = flag.Bool("exhaustive", false,
+			"enumerate every single-loss fault slot and verify recovery from each")
+		doubles = flag.Int("doubles", 24,
+			"sampled double-fault runs in exhaustive mode (0 = none)")
+		jsonOut = flag.String("json", "",
+			"write the exhaustive coverage report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +62,22 @@ func run() error {
 	}
 	cfg.OpsPerCore = *ops
 	cfg.Parallelism = *jobs
+
+	if *exhaustive {
+		// The exhaustive campaign runs once per injectable message, so the
+		// default workload length is shorter (the fault space grows
+		// linearly with it); an explicit -ops wins.
+		opsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "ops" {
+				opsSet = true
+			}
+		})
+		if !opsSet {
+			cfg.OpsPerCore = 40
+		}
+		return runExhaustive(cfg, *doubles, *jsonOut)
+	}
 
 	failures := 0
 
@@ -79,12 +101,10 @@ func run() error {
 		return err
 	}
 	for ti, typ := range types {
-		fired := 0
+		var dropped uint64
 		for ni := range nths {
 			out := p1outs[ti*len(nths)+ni]
-			if out.Fired {
-				fired++
-			}
+			dropped += out.Dropped
 			status := "ok"
 			if !out.Recovered {
 				status = fmt.Sprintf("FAILED: %v", out.Err)
@@ -94,7 +114,7 @@ func run() error {
 				fmt.Printf("  drop %-13s #%-4d fired=%-5t %s\n", typ, out.Nth, out.Fired, status)
 			}
 		}
-		fmt.Printf("  %-13s recovered from %d injected losses\n", typ, fired)
+		fmt.Printf("  %-13s recovered from %d injected losses\n", typ, dropped)
 	}
 
 	fmt.Println("\n== Phase 1b: targeted drops during recovery (background loss) ==")
@@ -108,8 +128,9 @@ func run() error {
 		seed int
 	}
 	type dropOutcome struct {
-		fired bool
-		err   error
+		fired   bool
+		dropped uint64
+		err     error
 	}
 	var p1bJobs []p1bKey
 	for _, typ := range ftTypes {
@@ -124,10 +145,10 @@ func run() error {
 		c := cfg
 		c.Protocol = repro.FtDirCMP
 		c.Seed = uint64(j.seed)
-		targeted := fault.NewTargeted(j.typ, j.nth)
-		inj := fault.Chain{fault.NewRate(5000, uint64(j.seed)*101), targeted}
+		targeted := fault.NewNthOfType(j.typ, j.nth)
+		inj := fault.NewChain(fault.NewRate(5000, uint64(j.seed)*101), targeted)
 		_, err := repro.RunWithInjector(c, "uniform", inj)
-		return dropOutcome{fired: targeted.Fired(), err: err}, nil
+		return dropOutcome{fired: targeted.Fired(), dropped: inj.Dropped(), err: err}, nil
 	})
 	if err != nil {
 		return err
@@ -135,18 +156,21 @@ func run() error {
 	perType := len(p1bJobs) / len(ftTypes)
 	for ti, typ := range ftTypes {
 		fired := 0
+		var dropped uint64
 		for k := 0; k < perType; k++ {
 			i := ti*perType + k
 			out, j := p1bOuts[i], p1bJobs[i]
 			if out.fired {
 				fired++
 			}
+			dropped += out.dropped
 			if out.err != nil {
 				fmt.Printf("  drop %-13s #%-3d seed=%d FAILED: %v\n", j.typ, j.nth, j.seed, out.err)
 				failures++
 			}
 		}
-		fmt.Printf("  %-13s recovered from %d injected losses\n", typ, fired)
+		fmt.Printf("  %-13s recovered from %d targeted losses (%d total messages dropped)\n",
+			typ, fired, dropped)
 	}
 
 	fmt.Println("\n== Phase 1c: FtTokenCMP targeted drops (the §5 comparison protocol) ==")
@@ -166,27 +190,25 @@ func run() error {
 		j := p1cJobs[i]
 		c := cfg
 		c.Protocol = repro.FtTokenCMP
-		targeted := fault.NewTargeted(j.typ, j.nth)
+		targeted := fault.NewNthOfType(j.typ, j.nth)
 		_, err := repro.RunWithInjector(c, "uniform", targeted)
-		return dropOutcome{fired: targeted.Fired(), err: err}, nil
+		return dropOutcome{fired: targeted.Fired(), dropped: targeted.Dropped(), err: err}, nil
 	})
 	if err != nil {
 		return err
 	}
 	for ti, typ := range tokenTypes {
-		fired := 0
+		var dropped uint64
 		for ni := range tokenNths {
 			i := ti*len(tokenNths) + ni
 			out, j := p1cOuts[i], p1cJobs[i]
-			if out.fired {
-				fired++
-			}
+			dropped += out.dropped
 			if out.err != nil {
 				fmt.Printf("  drop %-15s #%-3d FAILED: %v\n", j.typ, j.nth, out.err)
 				failures++
 			}
 		}
-		fmt.Printf("  %-15s recovered from %d injected losses\n", typ, fired)
+		fmt.Printf("  %-15s recovered from %d injected losses\n", typ, dropped)
 	}
 
 	fmt.Println("\n== Phase 2: random loss campaigns ==")
@@ -226,11 +248,17 @@ func run() error {
 		fmt.Printf("  rate=%-6d seed=%d ok: %d dropped, %d reissues, %d pings\n",
 			j.rate, j.seed, out.res.Dropped, out.res.RequestsReissued, out.res.LostUnblockTimeouts)
 	}
-	burstOuts, err := runner.Map(*jobs, *seeds, func(i int) (runOutcome, error) {
+	type burstOutcome struct {
+		res     *repro.Result
+		dropped uint64
+		err     error
+	}
+	burstOuts, err := runner.Map(*jobs, *seeds, func(i int) (burstOutcome, error) {
 		c := cfg
 		c.Protocol = repro.FtDirCMP
-		res, err := repro.RunWithInjector(c, "uniform", fault.NewBurst(500, 8, uint64(i+1)))
-		return runOutcome{res, err}, nil
+		inj := fault.NewBurst(500, 8, uint64(i+1))
+		res, err := repro.RunWithInjector(c, "uniform", inj)
+		return burstOutcome{res, inj.Dropped(), err}, nil
 	})
 	if err != nil {
 		return err
@@ -241,14 +269,15 @@ func run() error {
 			failures++
 			continue
 		}
-		fmt.Printf("  burst(len 8) seed=%d ok: %d dropped\n", i+1, out.res.Dropped)
+		fmt.Printf("  burst(len 8) seed=%d ok: %d dropped (injector reports %d)\n",
+			i+1, out.res.Dropped, out.dropped)
 	}
 
 	fmt.Println("\n== Phase 3: DirCMP baseline must not survive message loss ==")
 	c := cfg
 	c.Protocol = repro.DirCMP
 	c.CycleLimit = 5_000_000
-	_, err = repro.RunWithInjector(c, "uniform", fault.NewTargeted(msg.GetX, 5))
+	_, err = repro.RunWithInjector(c, "uniform", fault.NewNthOfType(msg.GetX, 5))
 	if err == nil {
 		fmt.Println("  UNEXPECTED: DirCMP survived a lost GetX")
 		failures++
@@ -260,5 +289,96 @@ func run() error {
 		return fmt.Errorf("%d checks failed", failures)
 	}
 	fmt.Println("\nAll checks passed.")
+	return nil
+}
+
+// runExhaustive is the -exhaustive mode: enumerate every single-loss fault
+// slot of the workload and prove FtDirCMP recovers from each one, then show
+// DirCMP failing the same campaign. Output is deterministic and identical
+// at every -j level.
+func runExhaustive(cfg repro.Config, doubles int, jsonPath string) error {
+	fmt.Println("== Exhaustive fault coverage: FtDirCMP ==")
+	fmt.Printf("system %dx%d, %d mems, %d ops/core, workload uniform\n",
+		cfg.MeshWidth, cfg.MeshHeight, cfg.MemControllers, cfg.OpsPerCore)
+
+	rep, err := repro.Coverage(cfg, "uniform", repro.CoverageOptions{
+		DoubleFaultSamples: doubles,
+		Seed:               1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: %d cycles, %d injectable messages, memory image %#x\n\n",
+		rep.BaselineCycles, rep.TotalSlots, rep.BaselineMemHash)
+	fmt.Print(rep.Table())
+
+	failures := 0
+	if rep.FullCoverage() {
+		fmt.Printf("\nfull coverage: recovered from every one of the %d possible single-message losses\n",
+			rep.TotalSlots)
+	} else {
+		failures++
+		fmt.Printf("\nCOVERAGE INCOMPLETE: %d of %d slots recovered (%d failures)\n",
+			rep.Recovered, rep.SlotsTested, rep.TotalFailures)
+		for _, f := range rep.Failures {
+			fmt.Printf("  %s #%d: %s\n", f.Type, f.Nth, f.Err)
+		}
+	}
+
+	if len(rep.DoubleFaults) > 0 {
+		secondFired := 0
+		for _, df := range rep.DoubleFaults {
+			if df.SecondFired {
+				secondFired++
+			}
+		}
+		fmt.Printf("double faults: %d/%d sampled runs recovered (%d second drops fired)\n",
+			rep.DoubleFaultRecovered, len(rep.DoubleFaults), secondFired)
+		if rep.DoubleFaultRecovered != len(rep.DoubleFaults) {
+			failures++
+			for _, df := range rep.DoubleFaults {
+				if !df.Recovered {
+					fmt.Printf("  %s #%d (%s): %s\n", df.Type, df.Nth, df.Mode, df.Err)
+				}
+			}
+		}
+	}
+
+	fmt.Println("\n== Same campaign on the DirCMP baseline (must not recover) ==")
+	c := cfg
+	c.Protocol = repro.DirCMP
+	c.CycleLimit = 5_000_000
+	drep, err := repro.Coverage(c, "uniform", repro.CoverageOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DirCMP recovered %d of %d slots (expected 0)\n", drep.Recovered, drep.SlotsTested)
+	if drep.Recovered != 0 {
+		failures++
+		fmt.Println("  UNEXPECTED: the unprotected baseline survived message loss")
+	} else if len(drep.Failures) > 0 {
+		fmt.Printf("  e.g. %s #%d: %s\n",
+			drep.Failures[0].Type, drep.Failures[0].Nth, drep.Failures[0].Err)
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ncoverage report written to %s\n", jsonPath)
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("%d coverage checks failed", failures)
+	}
+	fmt.Println("\nAll coverage checks passed.")
 	return nil
 }

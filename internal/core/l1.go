@@ -859,16 +859,41 @@ func (l *L1) send(m *msg.Message) {
 // InspectLines implements proto.Inspectable.
 func (l *L1) InspectLines(fn func(proto.LineView)) {
 	l.array.ForEach(func(c *cache.Line) {
+		state := stateName(c.State)
+		var sn msg.SerialNumber
+		if e := l.mshr.Get(c.Addr); e != nil {
+			state += "+miss"
+			sn = e.sn
+		} else if b := l.blocked[c.Addr]; b != nil {
+			state += "+blocked"
+			sn = b.sn
+		}
 		fn(proto.LineView{
 			Addr:      c.Addr,
 			Perm:      permOf(c.State),
 			Owner:     ownerState(c.State),
 			Transient: l.mshr.Get(c.Addr) != nil || l.blocked[c.Addr] != nil,
 			Payload:   c.Payload,
+			State:     state,
+			SN:        sn,
 		})
 	})
+	// Misses and blocked requests on lines not (yet) resident in the array
+	// are still in-flight transactions; report them so deadlock dumps and
+	// coverage tooling see every pending request.
+	l.mshr.ForEach(func(addr msg.Addr, e *l1Miss) {
+		if l.array.Lookup(addr) == nil {
+			fn(proto.LineView{Addr: addr, Transient: true, State: "I+miss", SN: e.sn})
+		}
+	})
+	for addr, b := range l.blocked {
+		if l.array.Lookup(addr) == nil && l.mshr.Get(addr) == nil {
+			fn(proto.LineView{Addr: addr, Transient: true, State: "I+blocked", SN: b.sn})
+		}
+	}
 	l.backups.ForEach(func(addr msg.Addr, b *backupEntry) {
-		fn(proto.LineView{Addr: addr, Backup: true, Transient: true, Payload: b.payload})
+		fn(proto.LineView{Addr: addr, Backup: true, Transient: true, Payload: b.payload,
+			State: "backup", SN: b.sn})
 	})
 	l.wb.ForEach(func(addr msg.Addr, w *l1WB) {
 		if w.transferred {
@@ -880,6 +905,8 @@ func (l *L1) InspectLines(fn func(proto.LineView)) {
 			Backup:    w.sentData,
 			Transient: true,
 			Payload:   w.payload,
+			State:     "WB",
+			SN:        w.sn,
 		})
 	})
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/msg"
 	"repro/internal/obs"
@@ -1178,17 +1180,65 @@ func (l *L2) send(m *msg.Message) {
 	l.net.Send(m)
 }
 
+// phaseName names an L2 transaction phase for diagnostics.
+func phaseName(p int) string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseWaitUnblock:
+		return "wait-unblock"
+	case phaseWaitWbData:
+		return "wait-wbdata"
+	case phaseWaitAckBD:
+		return "wait-ackbd"
+	case phaseWaitMemData:
+		return "wait-memdata"
+	case phaseWaitRecall:
+		return "wait-recall"
+	case phaseWaitMemWbAck:
+		return "wait-memwback"
+	case phaseWaitMemAckO:
+		return "wait-memacko"
+	default:
+		return fmt.Sprintf("phase(%d)", p)
+	}
+}
+
+// viewSN picks the serial number that best identifies the transaction for
+// diagnostics: the serviced request's, else the memory-facing one, else
+// the recall's.
+func (t *l2Trans) viewSN() msg.SerialNumber {
+	if t.req.sn != 0 {
+		return t.req.sn
+	}
+	if t.memSN != 0 {
+		return t.memSN
+	}
+	return t.recallSN
+}
+
 // InspectLines implements proto.Inspectable.
 func (l *L2) InspectLines(fn func(proto.LineView)) {
 	l.array.ForEach(func(c *cache.Line) {
 		t := l.trans.Get(c.Addr)
 		backup := t != nil && t.sentDataExTo != 0 && !t.backupCleared
+		state := l2StateName(c.State)
+		var sn msg.SerialNumber
+		if t != nil {
+			state += "+" + phaseName(t.phase)
+			sn = t.viewSN()
+		} else if e := l.ext[c.Addr]; e != nil {
+			state += "+extblock"
+			sn = e.sn
+		}
 		fn(proto.LineView{
 			Addr:      c.Addr,
 			Owner:     c.State == L2StateS && !backup,
 			Backup:    backup,
 			Transient: t != nil || l.ext[c.Addr] != nil,
 			Payload:   c.Payload,
+			State:     state,
+			SN:        sn,
 		})
 	})
 	l.trans.ForEach(func(addr msg.Addr, t *l2Trans) {
@@ -1199,6 +1249,8 @@ func (l *L2) InspectLines(fn func(proto.LineView)) {
 				Backup:    t.phase == phaseWaitMemAckO,
 				Transient: true,
 				Payload:   t.wbPayload,
+				State:     "WB+" + phaseName(t.phase),
+				SN:        t.viewSN(),
 			})
 		}
 	})

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/memctrl"
 	"repro/internal/msg"
 	"repro/internal/obs"
@@ -21,6 +23,22 @@ const (
 	// delete its backup.
 	memWaitAckBD
 )
+
+// memPhaseName names a memory transaction phase for diagnostics.
+func memPhaseName(p int) string {
+	switch p {
+	case memIdle:
+		return "idle"
+	case memWaitUnblock:
+		return "wait-unblock"
+	case memWaitWbData:
+		return "wait-wbdata"
+	case memWaitAckBD:
+		return "wait-ackbd"
+	default:
+		return fmt.Sprintf("phase(%d)", p)
+	}
+}
 
 // memTrans is a per-line memory transaction.
 type memTrans struct {
@@ -373,12 +391,26 @@ func (c *Mem) InspectLines(fn func(proto.LineView)) {
 		seen[addr] = true
 		t := c.trans[addr]
 		backup := t != nil && t.phase == memWaitUnblock
+		state := "chip"
+		if !c.owned[addr] {
+			state = "mem"
+		}
+		var sn msg.SerialNumber
+		if t != nil {
+			state += "+" + memPhaseName(t.phase)
+			sn = t.req.sn
+			if sn == 0 {
+				sn = t.ackOSN
+			}
+		}
 		fn(proto.LineView{
 			Addr:      addr,
 			Owner:     !c.owned[addr] || (t != nil && t.phase == memWaitAckBD),
 			Backup:    backup,
 			Transient: t != nil,
 			Payload:   c.store.Read(addr),
+			State:     state,
+			SN:        sn,
 		})
 	}
 	for addr := range c.owned {

@@ -472,13 +472,25 @@ func (l *L1) send(m *msg.Message) {
 // InspectLines implements proto.Inspectable.
 func (l *L1) InspectLines(fn func(proto.LineView)) {
 	l.array.ForEach(func(c *cache.Line) {
+		state := stateName(c.State)
+		if l.mshr.Get(c.Addr) != nil {
+			state += "+miss"
+		}
 		fn(proto.LineView{
 			Addr:      c.Addr,
 			Perm:      permOf(c.State),
 			Owner:     ownerState(c.State),
 			Transient: l.mshr.Get(c.Addr) != nil,
 			Payload:   c.Payload,
+			State:     state,
 		})
+	})
+	// Misses on lines not (yet) resident in the array are still in-flight
+	// transactions; report them so deadlock dumps see every pending request.
+	l.mshr.ForEach(func(addr msg.Addr, _ *l1Miss) {
+		if l.array.Lookup(addr) == nil {
+			fn(proto.LineView{Addr: addr, Transient: true, State: "I+miss"})
+		}
 	})
 	l.wb.ForEach(func(addr msg.Addr, w *l1WB) {
 		fn(proto.LineView{
@@ -486,6 +498,7 @@ func (l *L1) InspectLines(fn func(proto.LineView)) {
 			Owner:     !w.transferred,
 			Transient: true,
 			Payload:   w.payload,
+			State:     "WB",
 		})
 	})
 }

@@ -545,16 +545,22 @@ func (l *L2) send(m *msg.Message) {
 // InspectLines implements proto.Inspectable.
 func (l *L2) InspectLines(fn func(proto.LineView)) {
 	l.array.ForEach(func(c *cache.Line) {
+		state := l2StateName(c.State)
+		if l.trans.Get(c.Addr) != nil {
+			state += "+txn"
+		}
 		fn(proto.LineView{
 			Addr:      c.Addr,
 			Owner:     c.State == L2StateS,
 			Transient: l.trans.Get(c.Addr) != nil,
 			Payload:   c.Payload,
+			State:     state,
 		})
 	})
 	l.trans.ForEach(func(addr msg.Addr, t *l2Trans) {
 		if t.wbValid {
-			fn(proto.LineView{Addr: addr, Owner: true, Transient: true, Payload: t.wbPayload})
+			fn(proto.LineView{Addr: addr, Owner: true, Transient: true, Payload: t.wbPayload,
+				State: "WB"})
 		}
 	})
 }

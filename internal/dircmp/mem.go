@@ -151,11 +151,19 @@ func (c *Mem) InspectLines(fn func(proto.LineView)) {
 			return
 		}
 		seen[addr] = true
+		state := "chip"
+		if !c.owned[addr] {
+			state = "mem"
+		}
+		if c.trans[addr] != nil {
+			state += "+txn"
+		}
 		fn(proto.LineView{
 			Addr:      addr,
 			Owner:     !c.owned[addr],
 			Transient: c.trans[addr] != nil,
 			Payload:   c.store.Read(addr),
+			State:     state,
 		})
 	}
 	for addr := range c.owned {

@@ -18,6 +18,8 @@ type Injector interface {
 	// Drop reports whether this message is lost. Called exactly once per
 	// injected message, in injection order.
 	Drop(m *msg.Message) bool
+	// Dropped returns how many messages this injector has lost so far.
+	Dropped() uint64
 	// Description returns a human-readable summary for reports.
 	Description() string
 }
@@ -27,6 +29,9 @@ type None struct{}
 
 // Drop implements Injector.
 func (None) Drop(*msg.Message) bool { return false }
+
+// Dropped implements Injector.
+func (None) Dropped() uint64 { return 0 }
 
 // Description implements Injector.
 func (None) Description() string { return "no faults" }
@@ -112,32 +117,100 @@ func (b *Burst) Description() string {
 	return fmt.Sprintf("bursty loss, %d bursts per million, length %d", b.perMillion, b.length)
 }
 
-// Targeted drops the Nth occurrence (1-based) of a specific message type.
-// The correctness campaign uses it to prove every message type is
-// recoverable at every point in a transaction.
-type Targeted struct {
-	typ     msg.Type
-	nth     uint64
-	seen    uint64
-	dropped bool
+// NthOfType drops the nth occurrence (1-based) of a specific message type.
+// A fault slot (Type, Nth) names one exact message of a deterministic run,
+// which is what makes exhaustive fault-space enumeration possible: the
+// coverage harness (internal/coverage) first counts every slot in a
+// fault-free run, then re-runs the simulation once per slot with this
+// injector. The correctness campaign also uses it to prove every message
+// type is recoverable at every point in a transaction.
+//
+// Two optional compound-fault modes inject a second loss after the first
+// drop, exercising recovery of the recovery itself:
+//
+//   - SecondDropAfter(k) additionally drops the k-th message injected after
+//     the first drop, whatever its type — a random second loss inside the
+//     recovery window.
+//   - AlsoDropReissue additionally drops the next message with the same
+//     type, source and line address as the first drop — the reissue of the
+//     dropped request, forcing a second timeout on the same transaction.
+type NthOfType struct {
+	typ msg.Type
+	nth uint64
+
+	secondAfter  uint64 // 0 = off
+	chaseReissue bool
+
+	seen        uint64 // messages of typ observed (drops included)
+	index       uint64 // all injected messages observed
+	firedAt     uint64 // index of the first drop (0 = not yet)
+	firedSrc    msg.NodeID
+	firedAddr   msg.Addr
+	secondFired bool
+	secondType  msg.Type
+	dropped     uint64
 }
 
-// NewTargeted drops the nth message of type t (nth counts from 1).
-func NewTargeted(t msg.Type, nth uint64) *Targeted {
+// NewNthOfType drops the nth message of type t (nth counts from 1).
+func NewNthOfType(t msg.Type, nth uint64) *NthOfType {
 	if nth < 1 {
 		nth = 1
 	}
-	return &Targeted{typ: t, nth: nth}
+	return &NthOfType{typ: t, nth: nth}
+}
+
+// Targeted is the historical name of NthOfType.
+type Targeted = NthOfType
+
+// NewTargeted drops the nth message of type t (nth counts from 1). It is
+// the historical name of NewNthOfType.
+func NewTargeted(t msg.Type, nth uint64) *NthOfType {
+	return NewNthOfType(t, nth)
+}
+
+// SecondDropAfter arms a second drop k injected messages after the first
+// drop (k counts from 1; 0 disarms). It returns the injector for chaining.
+func (t *NthOfType) SecondDropAfter(k uint64) *NthOfType {
+	t.secondAfter = k
+	return t
+}
+
+// AlsoDropReissue arms a second drop on the reissue of the first dropped
+// message: the next message with the same type, source and line address.
+// It returns the injector for chaining.
+func (t *NthOfType) AlsoDropReissue() *NthOfType {
+	t.chaseReissue = true
+	return t
 }
 
 // Drop implements Injector.
-func (t *Targeted) Drop(m *msg.Message) bool {
-	if m.Type != t.typ {
+func (t *NthOfType) Drop(m *msg.Message) bool {
+	t.index++
+	if m.Type == t.typ {
+		t.seen++
+	}
+	if t.firedAt == 0 {
+		if m.Type == t.typ && t.seen == t.nth {
+			t.firedAt = t.index
+			t.firedSrc, t.firedAddr = m.Src, m.Addr
+			t.dropped++
+			return true
+		}
 		return false
 	}
-	t.seen++
-	if t.seen == t.nth {
-		t.dropped = true
+	if t.secondFired {
+		return false
+	}
+	if t.chaseReissue && m.Type == t.typ && m.Src == t.firedSrc && m.Addr == t.firedAddr {
+		t.secondFired = true
+		t.secondType = m.Type
+		t.dropped++
+		return true
+	}
+	if t.secondAfter > 0 && t.index == t.firedAt+t.secondAfter {
+		t.secondFired = true
+		t.secondType = m.Type
+		t.dropped++
 		return true
 	}
 	return false
@@ -145,21 +218,40 @@ func (t *Targeted) Drop(m *msg.Message) bool {
 
 // Fired reports whether the targeted drop actually happened (the run may
 // not have produced enough messages of the type).
-func (t *Targeted) Fired() bool { return t.dropped }
+func (t *NthOfType) Fired() bool { return t.firedAt != 0 }
+
+// SecondFired reports whether the armed second drop happened; SecondHit
+// returns the type of the message it removed.
+func (t *NthOfType) SecondFired() bool { return t.secondFired }
+
+// SecondHit returns the type of the message the second drop removed (zero
+// if the second drop never fired).
+func (t *NthOfType) SecondHit() msg.Type { return t.secondType }
 
 // Seen returns how many messages of the targeted type were observed.
-func (t *Targeted) Seen() uint64 { return t.seen }
+func (t *NthOfType) Seen() uint64 { return t.seen }
+
+// Dropped implements Injector.
+func (t *NthOfType) Dropped() uint64 { return t.dropped }
 
 // Description implements Injector.
-func (t *Targeted) Description() string {
-	return fmt.Sprintf("drop %v #%d", t.typ, t.nth)
+func (t *NthOfType) Description() string {
+	d := fmt.Sprintf("drop %v #%d", t.typ, t.nth)
+	if t.chaseReissue {
+		d += " and its reissue"
+	}
+	if t.secondAfter > 0 {
+		d += fmt.Sprintf(" and the %d-th message after it", t.secondAfter)
+	}
+	return d
 }
 
 // Script drops an explicit list of message indices (0-based, counted over
 // all injected messages). Unit tests use it to build exact fault scenarios.
 type Script struct {
-	drops map[uint64]bool
-	index uint64
+	drops   map[uint64]bool
+	index   uint64
+	dropped uint64
 }
 
 // NewScript builds a scripted injector from message indices.
@@ -175,8 +267,15 @@ func NewScript(indices ...uint64) *Script {
 func (s *Script) Drop(*msg.Message) bool {
 	i := s.index
 	s.index++
-	return s.drops[i]
+	if s.drops[i] {
+		s.dropped++
+		return true
+	}
+	return false
 }
+
+// Dropped implements Injector.
+func (s *Script) Dropped() uint64 { return s.dropped }
 
 // Description implements Injector.
 func (s *Script) Description() string {
@@ -202,6 +301,8 @@ type Corrupting struct {
 	// delivered (Drop returned false), modeling silent data corruption
 	// rather than loss.
 	Undetected uint64
+
+	dropped uint64
 }
 
 // NewCorrupting wraps inner; seed drives which bits are flipped.
@@ -218,6 +319,7 @@ func (c *Corrupting) Drop(m *msg.Message) bool {
 	if len(buf) == 0 {
 		// Nothing to corrupt: treat as an outright loss rather than
 		// feeding a zero-length range to the RNG.
+		c.dropped++
 		return true
 	}
 	flips := c.FlipBits
@@ -234,8 +336,13 @@ func (c *Corrupting) Drop(m *msg.Message) bool {
 		c.Undetected++
 		return false
 	}
+	c.dropped++
 	return true
 }
+
+// Dropped implements Injector: corruptions the CRC caught (the messages
+// actually lost), not the inner injector's attempts.
+func (c *Corrupting) Dropped() uint64 { return c.dropped }
 
 // Description implements Injector.
 func (c *Corrupting) Description() string {
@@ -244,23 +351,38 @@ func (c *Corrupting) Description() string {
 
 // Chain combines injectors; a message is lost if any injector drops it.
 // Every injector sees every message, keeping each stream deterministic.
-type Chain []Injector
+type Chain struct {
+	injs    []Injector
+	dropped uint64
+}
+
+// NewChain combines injectors into one.
+func NewChain(injs ...Injector) *Chain {
+	return &Chain{injs: injs}
+}
 
 // Drop implements Injector.
-func (c Chain) Drop(m *msg.Message) bool {
+func (c *Chain) Drop(m *msg.Message) bool {
 	lost := false
-	for _, in := range c {
+	for _, in := range c.injs {
 		if in.Drop(m) {
 			lost = true
 		}
 	}
+	if lost {
+		c.dropped++
+	}
 	return lost
 }
 
+// Dropped implements Injector: the number of distinct messages lost (a
+// message dropped by several chained injectors counts once).
+func (c *Chain) Dropped() uint64 { return c.dropped }
+
 // Description implements Injector.
-func (c Chain) Description() string {
+func (c *Chain) Description() string {
 	out := "chain["
-	for i, in := range c {
+	for i, in := range c.injs {
 		if i > 0 {
 			out += "; "
 		}

@@ -123,7 +123,7 @@ func TestScript(t *testing.T) {
 func TestChainSeesEveryMessage(t *testing.T) {
 	a := NewTargeted(msg.GetS, 2)
 	b := NewTargeted(msg.GetS, 4)
-	chain := Chain{a, b}
+	chain := NewChain(a, b)
 	var dropped []int
 	for i := 0; i < 6; i++ {
 		if chain.Drop(&msg.Message{Type: msg.GetS}) {
@@ -155,7 +155,7 @@ func TestChainDeterminismAfterDrop(t *testing.T) {
 	}
 
 	chained := NewRate(100_000, 11)
-	chain := Chain{NewTargeted(msg.GetS, 1), chained}
+	chain := NewChain(NewTargeted(msg.GetS, 1), chained)
 	var chainedDrops []int
 	for i := 0; i < n; i++ {
 		before := chained.Dropped()
@@ -237,11 +237,94 @@ func TestDescriptions(t *testing.T) {
 		NewTargeted(msg.AckO, 2),
 		NewScript(1),
 		NewCorrupting(None{}, 1),
-		Chain{None{}, NewRate(1, 1)},
+		NewChain(None{}, NewRate(1, 1)),
 	}
 	for _, in := range injs {
 		if strings.TrimSpace(in.Description()) == "" {
 			t.Errorf("%T has empty description", in)
 		}
+	}
+}
+
+func TestNthOfTypeSecondDropAfter(t *testing.T) {
+	inj := NewNthOfType(msg.Data, 2).SecondDropAfter(3)
+	stream := []msg.Type{msg.GetS, msg.Data, msg.Data, msg.GetX, msg.Ack, msg.Data, msg.Data}
+	var dropped []int
+	for i, ty := range stream {
+		if inj.Drop(&msg.Message{Type: ty}) {
+			dropped = append(dropped, i)
+		}
+	}
+	// First drop: the 2nd Data (index 2). Second drop: 3 injected messages
+	// later (index 5), regardless of type.
+	if len(dropped) != 2 || dropped[0] != 2 || dropped[1] != 5 {
+		t.Fatalf("dropped %v, want [2 5]", dropped)
+	}
+	if !inj.SecondFired() || inj.SecondHit() != msg.Data {
+		t.Fatalf("second fired=%t hit=%v", inj.SecondFired(), inj.SecondHit())
+	}
+	if inj.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", inj.Dropped())
+	}
+}
+
+func TestNthOfTypeDropReissue(t *testing.T) {
+	inj := NewNthOfType(msg.GetX, 1).AlsoDropReissue()
+	// The reissue shares type, source and address; a GetX from another node
+	// or for another line must not be taken for it.
+	msgs := []*msg.Message{
+		{Type: msg.GetX, Src: 1, Addr: 0x40}, // first drop
+		{Type: msg.GetX, Src: 2, Addr: 0x40}, // other node
+		{Type: msg.GetX, Src: 1, Addr: 0x80}, // other line
+		{Type: msg.GetX, Src: 1, Addr: 0x40}, // the reissue: second drop
+		{Type: msg.GetX, Src: 1, Addr: 0x40}, // second reissue survives
+	}
+	var dropped []int
+	for i, m := range msgs {
+		if inj.Drop(m) {
+			dropped = append(dropped, i)
+		}
+	}
+	if len(dropped) != 2 || dropped[0] != 0 || dropped[1] != 3 {
+		t.Fatalf("dropped %v, want [0 3]", dropped)
+	}
+	if inj.Dropped() != 2 || !inj.SecondFired() {
+		t.Fatalf("Dropped()=%d secondFired=%t", inj.Dropped(), inj.SecondFired())
+	}
+}
+
+// TestDroppedAccessorUniform pins the Injector contract that every
+// implementation counts its losses: Dropped must equal the number of Drop
+// calls that returned true.
+func TestDroppedAccessorUniform(t *testing.T) {
+	injs := []Injector{
+		None{},
+		NewRate(300_000, 5),
+		NewBurst(100_000, 3, 5),
+		NewNthOfType(msg.GetS, 2),
+		NewScript(1, 3, 9),
+		NewCorrupting(NewRate(300_000, 7), 7),
+		NewChain(NewNthOfType(msg.GetS, 1), NewNthOfType(msg.GetS, 1)),
+	}
+	for _, in := range injs {
+		var want uint64
+		for i := 0; i < 200; i++ {
+			if in.Drop(&msg.Message{Type: msg.GetS, Addr: msg.Addr(i * 64)}) {
+				want++
+			}
+		}
+		if got := in.Dropped(); got != want {
+			t.Errorf("%T: Dropped() = %d, observed %d drops", in, got, want)
+		}
+	}
+}
+
+// TestChainDroppedCountsDistinctMessages: a message removed by two chained
+// injectors is one loss, not two.
+func TestChainDroppedCountsDistinctMessages(t *testing.T) {
+	chain := NewChain(NewNthOfType(msg.GetS, 1), NewNthOfType(msg.GetS, 1))
+	chain.Drop(&msg.Message{Type: msg.GetS})
+	if chain.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", chain.Dropped())
 	}
 }

@@ -253,6 +253,10 @@ type Recorder struct {
 	sink func(Event)
 	met  Metrics
 
+	// probe, when set, runs after every closed recovery window with the
+	// recovered line's address (see SetRecoveryProbe).
+	probe func(addr msg.Addr)
+
 	// pending maps a line address to the cycles of its open recovery
 	// windows (injected faults not yet matched by a completion).
 	pending map[msg.Addr][]uint64
@@ -367,6 +371,38 @@ func (r *Recorder) close(unit string, node msg.NodeID, addr msg.Addr) {
 		r.met.RecoveryLatency.Add(lat)
 		r.emit(Event{Kind: KindRecover, Unit: unit, Node: node, Addr: addr, Latency: lat})
 	}
+	if r.probe != nil {
+		r.probe(addr)
+	}
+}
+
+// SetRecoveryProbe installs a hook that runs once each time the recovery
+// windows of a line close (after the recover events are emitted), with the
+// recovered line's address. The system uses it to re-check protocol
+// invariants on the line the moment a recovery completes, so a corruption
+// introduced by a fault is caught at the recovery point instead of at the
+// end of the run.
+func (r *Recorder) SetRecoveryProbe(fn func(addr msg.Addr)) {
+	if r == nil {
+		return
+	}
+	r.probe = fn
+}
+
+// LastEventFor returns the most recent retained event touching addr, if the
+// ring still holds one. It is a diagnostic helper (deadlock dumps); with a
+// zero-capacity ring it never finds anything.
+func (r *Recorder) LastEventFor(addr msg.Addr) (Event, bool) {
+	if r == nil {
+		return Event{}, false
+	}
+	evs := r.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Addr == addr {
+			return evs[i], true
+		}
+	}
+	return Event{}, false
 }
 
 // StateChange records a cache-line state transition at node.

@@ -246,3 +246,58 @@ func TestWriteChromeTrace(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoveryProbe(t *testing.T) {
+	r := NewRecorder(8)
+	var probed []msg.Addr
+	r.SetRecoveryProbe(func(a msg.Addr) { probed = append(probed, a) })
+
+	// Two windows on the same line close as one probe call; a line with no
+	// open window never probes.
+	r.MessageDropped(&msg.Message{Type: msg.GetX, Src: 1, Dst: 2, Addr: 0x40})
+	r.MessageDropped(&msg.Message{Type: msg.Data, Src: 2, Dst: 1, Addr: 0x40})
+	r.TransactionEnd("l2", 2, 0x80)
+	if len(probed) != 0 {
+		t.Fatalf("probe fired for a line with no open window: %v", probed)
+	}
+	r.TransactionEnd("l2", 2, 0x40)
+	if len(probed) != 1 || probed[0] != 0x40 {
+		t.Fatalf("probed = %v, want [0x40]", probed)
+	}
+	// The window is closed; completing again does not re-probe.
+	r.TransactionEnd("l1", 1, 0x40)
+	if len(probed) != 1 {
+		t.Fatalf("probe re-fired on a closed window: %v", probed)
+	}
+
+	// Nil recorder: SetRecoveryProbe is a no-op, not a panic.
+	var nilRec *Recorder
+	nilRec.SetRecoveryProbe(func(msg.Addr) {})
+}
+
+func TestLastEventFor(t *testing.T) {
+	r := NewRecorder(4)
+	r.StateChange("l1", 1, 0x40, "I", "S")
+	r.StateChange("l1", 2, 0x80, "I", "M")
+	r.StateChange("l1", 1, 0x40, "S", "M")
+
+	e, ok := r.LastEventFor(0x40)
+	if !ok || e.Old != "S" || e.New != "M" {
+		t.Fatalf("LastEventFor(0x40) = %+v, %v; want the S>M transition", e, ok)
+	}
+	if _, ok := r.LastEventFor(0x1c0); ok {
+		t.Fatal("LastEventFor found an event for an untouched line")
+	}
+
+	// Zero-capacity ring retains nothing.
+	r0 := NewRecorder(0)
+	r0.StateChange("l1", 1, 0x40, "I", "S")
+	if _, ok := r0.LastEventFor(0x40); ok {
+		t.Fatal("LastEventFor found an event in a zero-capacity ring")
+	}
+
+	var nilRec *Recorder
+	if _, ok := nilRec.LastEventFor(0x40); ok {
+		t.Fatal("nil recorder returned an event")
+	}
+}

@@ -181,7 +181,7 @@ const (
 )
 
 // LineView is a protocol-independent snapshot of one line at one agent,
-// consumed by the invariant checker.
+// consumed by the invariant checker and the deadlock diagnostics.
 type LineView struct {
 	Addr      msg.Addr
 	Perm      Permission
@@ -190,6 +190,14 @@ type LineView struct {
 	Transient bool // a transaction is in flight for the line at this agent
 	Payload   msg.Payload
 	Tokens    int // token-protocol only: tokens held for the line
+
+	// State is the protocol-specific state name ("M", "S+txn", "WB",
+	// "backup", "mem", ...), for diagnostics only — the checker reasons
+	// over the protocol-independent fields above.
+	State string
+	// SN is the serial number of the agent's in-flight transaction on the
+	// line (MSHR entry, writeback or backup), zero when none or untracked.
+	SN msg.SerialNumber
 }
 
 // Inspectable is implemented by every protocol agent so the checker can

@@ -1,0 +1,129 @@
+package system
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestDeadlockErrorDump: when DirCMP deadlocks on a lost message, the error
+// is a DeadlockError carrying a per-node dump of the stuck transactions.
+func TestDeadlockErrorDump(t *testing.T) {
+	cfg := smallConfig(DirCMP)
+	cfg.Limit = 5_000_000
+	cfg.Injector = fault.NewNthOfType(msg.GetX, 5)
+	cfg.Obs = obs.NewRecorder(4096)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(workload.Uniform(128, 0.5))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("DirCMP did not deadlock: err=%v", err)
+	}
+	var dle *DeadlockError
+	if !errors.As(err, &dle) {
+		t.Fatalf("deadlock error is not a *DeadlockError: %T %v", err, err)
+	}
+	if dle.Stuck == 0 || len(dle.Pending) == 0 {
+		t.Fatalf("deadlock dump is empty: %+v", dle)
+	}
+	if dle.DoneCores >= dle.Cores {
+		t.Errorf("DoneCores=%d Cores=%d: deadlock with every core done", dle.DoneCores, dle.Cores)
+	}
+	for _, p := range dle.Pending {
+		if p.Node == "" || p.State == "" {
+			t.Errorf("pending txn missing node/state: %+v", p)
+		}
+	}
+	// The dropped GetX targeted a line; its last recorded event must be the
+	// injection (DirCMP has no recovery events to supersede it).
+	found := false
+	for _, p := range dle.Pending {
+		if strings.Contains(p.LastEvent, "fault.inject") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no pending txn names the fault injection; dump:\n%v", dle)
+	}
+	if !strings.Contains(dle.Error(), "stuck transaction") {
+		t.Errorf("Error() does not render the dump: %q", dle.Error())
+	}
+}
+
+// TestDeadlockErrorWithoutRecorder: the dump is built (without last events)
+// even when no event recorder is configured.
+func TestDeadlockErrorWithoutRecorder(t *testing.T) {
+	cfg := smallConfig(DirCMP)
+	cfg.Limit = 5_000_000
+	cfg.Injector = fault.NewNthOfType(msg.GetX, 5)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(workload.Uniform(128, 0.5))
+	var dle *DeadlockError
+	if !errors.As(err, &dle) {
+		t.Fatalf("want *DeadlockError, got %T %v", err, err)
+	}
+	if len(dle.Pending) == 0 {
+		t.Fatal("empty dump without a recorder")
+	}
+	for _, p := range dle.Pending {
+		if p.LastEvent != "" {
+			t.Errorf("LastEvent set without a recorder: %+v", p)
+		}
+	}
+}
+
+// TestMemoryImageInvariant: the per-line final version image is identical
+// between a fault-free run and a fault-perturbed run of the same workload —
+// the property the coverage harness verifies for every slot.
+func TestMemoryImageInvariant(t *testing.T) {
+	w := workload.Uniform(128, 0.5)
+
+	base := mustRun(t, smallConfig(FtDirCMP), w)
+	baseImg := base.MemoryImage()
+	baseHash := base.MemoryImageHash()
+	if len(baseImg) == 0 || baseHash == 0 {
+		t.Fatalf("empty baseline image (lines=%d hash=%#x)", len(baseImg), baseHash)
+	}
+
+	cfg := smallConfig(FtDirCMP)
+	cfg.Injector = fault.NewRate(1000, 42)
+	faulty := mustRun(t, cfg, w)
+	if faulty.Stats().Net.TotalDropped() == 0 {
+		t.Fatal("fault run dropped nothing")
+	}
+	if h := faulty.MemoryImageHash(); h != baseHash {
+		img := faulty.MemoryImage()
+		for a, v := range baseImg {
+			if img[a] != v {
+				t.Errorf("line %#x: version %d, baseline %d", a, img[a], v)
+			}
+		}
+		t.Fatalf("memory image diverged: %#x != baseline %#x", h, baseHash)
+	}
+}
+
+// TestMidRunProbe: with integrity checking and an event recorder, the
+// recovery probe re-checks every recovered line; a healthy FtDirCMP run
+// under faults recovers with zero mid-run violations.
+func TestMidRunProbe(t *testing.T) {
+	cfg := smallConfig(FtDirCMP)
+	cfg.Injector = fault.NewRate(1000, 42)
+	cfg.Obs = obs.NewRecorder(0)
+	s := mustRun(t, cfg, workload.Uniform(128, 0.5))
+	if s.Obs().Metrics().FaultsRecovered == 0 {
+		t.Fatal("no recoveries observed — the probe never ran")
+	}
+	if errs := s.MidRunViolations(); len(errs) > 0 {
+		t.Fatalf("mid-run violations on a healthy run: %v", errs)
+	}
+}

@@ -7,6 +7,7 @@ package system
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"repro/internal/core"
@@ -189,7 +190,15 @@ type System struct {
 	agents    []proto.Inspectable
 	integrity *Integrity
 	quiesce   []quiesceEntry
+
+	// midRunErrs collects post-recovery invariant violations caught by the
+	// recovery probe (capped at maxMidRunErrs).
+	midRunErrs []error
 }
+
+// maxMidRunErrs caps the mid-run violation log; a broken protocol can fail
+// the same check on every recovery.
+const maxMidRunErrs = 16
 
 // New builds a system from the configuration.
 func New(cfg Config) (*System, error) {
@@ -340,6 +349,22 @@ func New(cfg Config) (*System, error) {
 				o.SetObserver(cfg.Obs)
 			}
 		}
+		// Mid-run invariant checking: the moment a recovery window closes,
+		// re-verify the recovered line. CheckLine skips transient lines, so
+		// this only fires on lines that have genuinely settled; a fault that
+		// corrupted the line is then caught at the recovery point rather
+		// than at the end of the run.
+		if cfg.CheckIntegrity {
+			cfg.Obs.SetRecoveryProbe(func(addr msg.Addr) {
+				if len(s.midRunErrs) >= maxMidRunErrs {
+					return
+				}
+				if err := s.CheckLine(addr); err != nil {
+					s.midRunErrs = append(s.midRunErrs,
+						fmt.Errorf("cycle %d: post-recovery check: %w", s.engine.Now(), err))
+				}
+			})
+		}
 	}
 	return s, nil
 }
@@ -405,8 +430,7 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 	}
 	if !finished {
 		if s.engine.Pending() == 0 {
-			return s.run, fmt.Errorf("%w (%d/%d cores finished at cycle %d)",
-				ErrDeadlock, s.doneCores(), tiles, s.engine.Now())
+			return s.run, s.deadlockError(tiles)
 		}
 		return s.run, fmt.Errorf("%w (%d cycles, %d/%d cores finished)",
 			ErrCycleLimit, s.cfg.Limit, s.doneCores(), tiles)
@@ -436,6 +460,11 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 		}
 	}
 
+	if len(s.midRunErrs) > 0 {
+		return s.run, fmt.Errorf("system: mid-run invariant violated: %v (and %d more)",
+			s.midRunErrs[0], len(s.midRunErrs)-1)
+	}
+
 	if errs := s.CheckCoherence(); len(errs) > 0 {
 		return s.run, fmt.Errorf("system: coherence check failed: %v (and %d more)",
 			errs[0], len(errs)-1)
@@ -447,6 +476,174 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 		}
 	}
 	return s.run, nil
+}
+
+// PendingTxn describes one in-flight transaction at deadlock time: where it
+// is stuck, on which line, in which protocol state, under which serial
+// number, and the last recorded protocol event for the line (empty without
+// an event recorder).
+type PendingTxn struct {
+	Node      string
+	ID        msg.NodeID
+	Addr      msg.Addr
+	State     string
+	SN        msg.SerialNumber
+	LastEvent string
+}
+
+func (p PendingTxn) String() string {
+	s := fmt.Sprintf("%s addr=%#x state=%s", p.Node, p.Addr, p.State)
+	if p.SN != 0 {
+		s += fmt.Sprintf(" sn=%d", p.SN)
+	}
+	if p.LastEvent != "" {
+		s += " last=" + p.LastEvent
+	}
+	return s
+}
+
+// DeadlockError is the error returned when the event queue drains with
+// cores still blocked. It wraps ErrDeadlock (errors.Is keeps working) and
+// carries a per-node dump of the stuck transactions for diagnosis.
+type DeadlockError struct {
+	// DoneCores of Cores finished before the queue drained at Cycle.
+	DoneCores, Cores int
+	Cycle            uint64
+	// Stuck counts every in-flight transaction found; Pending holds the
+	// first maxPendingDump of them in (node, address) order.
+	Stuck   int
+	Pending []PendingTxn
+}
+
+// maxPendingDump caps the transaction dump attached to a DeadlockError.
+const maxPendingDump = 20
+
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+func (e *DeadlockError) Error() string {
+	s := fmt.Sprintf("%v (%d/%d cores finished at cycle %d)",
+		ErrDeadlock, e.DoneCores, e.Cores, e.Cycle)
+	if e.Stuck > 0 {
+		s += fmt.Sprintf("; %d stuck transaction(s):", e.Stuck)
+		for _, p := range e.Pending {
+			s += "\n  " + p.String()
+		}
+		if e.Stuck > len(e.Pending) {
+			s += fmt.Sprintf("\n  ... and %d more", e.Stuck-len(e.Pending))
+		}
+	}
+	return s
+}
+
+// deadlockError builds the DeadlockError dump from the transient line views
+// of every agent, in deterministic (node, address) order.
+func (s *System) deadlockError(tiles int) *DeadlockError {
+	e := &DeadlockError{
+		DoneCores: s.doneCores(),
+		Cores:     tiles,
+		Cycle:     s.engine.Now(),
+	}
+	var pending []PendingTxn
+	for _, a := range s.agents {
+		id := a.NodeID()
+		a.InspectLines(func(v proto.LineView) {
+			if !v.Transient {
+				return
+			}
+			p := PendingTxn{
+				Node:  s.nodeName(id),
+				ID:    id,
+				Addr:  v.Addr,
+				State: v.State,
+				SN:    v.SN,
+			}
+			if ev, ok := s.cfg.Obs.LastEventFor(v.Addr); ok {
+				p.LastEvent = ev.Name()
+			}
+			pending = append(pending, p)
+		})
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].ID != pending[j].ID {
+			return pending[i].ID < pending[j].ID
+		}
+		return pending[i].Addr < pending[j].Addr
+	})
+	e.Stuck = len(pending)
+	if len(pending) > maxPendingDump {
+		pending = pending[:maxPendingDump]
+	}
+	e.Pending = pending
+	return e
+}
+
+// nodeName renders a node ID the way the quiescence checker names agents.
+func (s *System) nodeName(id msg.NodeID) string {
+	switch {
+	case s.topo.IsL1(id):
+		return fmt.Sprintf("L1 %d", id)
+	case s.topo.IsL2(id):
+		if s.cfg.Protocol.tokenBased() {
+			return fmt.Sprintf("home %d", id)
+		}
+		return fmt.Sprintf("L2 bank %d", id)
+	case s.topo.IsMem(id):
+		return fmt.Sprintf("memory %d", id)
+	default:
+		return fmt.Sprintf("node %d", id)
+	}
+}
+
+// MidRunViolations returns the post-recovery invariant violations caught by
+// the recovery probe (empty unless both CheckIntegrity and an event
+// recorder are configured).
+func (s *System) MidRunViolations() []error { return s.midRunErrs }
+
+// MemoryImage returns the final committed version of every line the system
+// tracks, read from each line's owner view. Call it after a successful Run:
+// at quiescence exactly one agent owns each line (CheckCoherence enforces
+// it), and the owner's version — the count of committed writes — is a
+// deterministic function of the workload alone, independent of message
+// timing. The final *values* are not timing-invariant (the last writer of a
+// racing pair may differ under fault-perturbed timing); value correctness
+// is the data-integrity oracle's job.
+func (s *System) MemoryImage() map[msg.Addr]uint64 {
+	img := make(map[msg.Addr]uint64)
+	for _, a := range s.agents {
+		a.InspectLines(func(v proto.LineView) {
+			if v.Owner {
+				if cur, ok := img[v.Addr]; !ok || v.Payload.Version > cur {
+					img[v.Addr] = v.Payload.Version
+				}
+			}
+		})
+	}
+	return img
+}
+
+// MemoryImageHash condenses MemoryImage into one FNV-1a hash over the
+// sorted (address, version) pairs, for cheap cross-run comparison.
+func (s *System) MemoryImageHash() uint64 {
+	img := s.MemoryImage()
+	addrs := make([]msg.Addr, 0, len(img))
+	for a := range img {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, a := range addrs {
+		put64(buf[:8], uint64(a))
+		put64(buf[8:], img[a])
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
 }
 
 func (s *System) doneCores() int {

@@ -1,6 +1,8 @@
 package token
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/msg"
 	"repro/internal/obs"
@@ -433,12 +435,19 @@ func (h *Home) send(m *msg.Message) {
 // InspectLines implements proto.Inspectable.
 func (h *Home) InspectLines(fn func(proto.LineView)) {
 	for addr, ln := range h.lines {
+		state := fmt.Sprintf("T%d", ln.tokens)
+		if ln.recreating {
+			state += "+recreating"
+		} else if ln.active != 0 || len(ln.queue) > 0 {
+			state += "+txn"
+		}
 		fn(proto.LineView{
 			Addr:      addr,
 			Owner:     ln.owner,
 			Transient: ln.active != 0 || len(ln.queue) > 0 || ln.recreating,
 			Payload:   ln.data,
 			Tokens:    ln.tokens,
+			State:     state,
 		})
 	}
 }

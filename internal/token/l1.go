@@ -1,6 +1,8 @@
 package token
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/msg"
 	"repro/internal/obs"
@@ -713,6 +715,12 @@ func (l *L1) InspectLines(fn func(proto.LineView)) {
 		if c.State == l.totalTokens && hasData(c) {
 			perm = proto.PermWrite
 		}
+		state := fmt.Sprintf("T%d", c.State)
+		if l.mshr.Get(c.Addr) != nil {
+			state += "+miss"
+		} else if l.blocked[c.Addr] != nil {
+			state += "+blocked"
+		}
 		fn(proto.LineView{
 			Addr:      c.Addr,
 			Perm:      perm,
@@ -720,9 +728,11 @@ func (l *L1) InspectLines(fn func(proto.LineView)) {
 			Transient: l.mshr.Get(c.Addr) != nil || l.blocked[c.Addr] != nil,
 			Payload:   c.Payload,
 			Tokens:    c.State,
+			State:     state,
 		})
 	})
 	l.backups.ForEach(func(addr msg.Addr, b *backupEntry) {
-		fn(proto.LineView{Addr: addr, Backup: true, Transient: true, Payload: b.payload})
+		fn(proto.LineView{Addr: addr, Backup: true, Transient: true, Payload: b.payload,
+			State: "backup", SN: b.sn})
 	})
 }

@@ -31,6 +31,7 @@ package repro
 import (
 	"fmt"
 
+	"repro/internal/coverage"
 	"repro/internal/fault"
 	"repro/internal/msg"
 	"repro/internal/noc"
@@ -373,7 +374,9 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	return newResult(run, rec, cfg.topology()), nil
+	res := newResult(run, rec, cfg.topology())
+	res.MemoryImageHash = s.MemoryImageHash()
+	return res, nil
 }
 
 // Compare runs the same workload under both protocols on a reliable
@@ -431,6 +434,7 @@ type RecoveryOutcome struct {
 	Type      string // message type dropped
 	Nth       uint64 // which occurrence was dropped
 	Fired     bool   // whether the drop actually happened in the run
+	Dropped   uint64 // messages the injector lost (0 or 1 for a targeted drop)
 	Recovered bool   // whether the run completed correctly
 	Err       error  // failure detail when Recovered is false
 }
@@ -453,13 +457,102 @@ func CheckRecovery(cfg Config, workloadName, msgType string, nth uint64) (Recove
 	}
 	c := cfg
 	c.Protocol = FtDirCMP
-	inj := fault.NewTargeted(typ, nth)
+	inj := fault.NewNthOfType(typ, nth)
 	_, err := RunWithInjector(c, workloadName, inj)
 	return RecoveryOutcome{
 		Type:      msgType,
 		Nth:       nth,
 		Fired:     inj.Fired(),
+		Dropped:   inj.Dropped(),
 		Recovered: err == nil,
 		Err:       err,
 	}, nil
+}
+
+// CoverageReport is the aggregated matrix of an exhaustive fault-coverage
+// campaign; see Coverage and docs/COVERAGE.md.
+type CoverageReport = coverage.Report
+
+// CoverageOptions tunes a Coverage campaign. The zero value runs the
+// exhaustive single-loss campaign with no double-fault sampling.
+type CoverageOptions struct {
+	// MaxSlotsPerType caps the tested slots per message type (0 =
+	// exhaustive). Sampled types are flagged in the report.
+	MaxSlotsPerType int
+	// DoubleFaultSamples adds that many sampled double-fault runs: a
+	// slot's drop plus a second drop in the recovery window (half chase
+	// the dropped message's reissue, half drop a nearby message).
+	DoubleFaultSamples int
+	// DoubleFaultWindow bounds the second drop's distance in injectable
+	// messages (0 = default 50).
+	DoubleFaultWindow int
+	// Seed drives the double-fault sampling (independent of Config.Seed).
+	Seed uint64
+	// Progress, when set, is called after each slot run with running
+	// counts.
+	Progress func(done, total int)
+}
+
+// Coverage runs the exhaustive fault-coverage campaign on the configured
+// protocol: one fault-free census run enumerating every injectable message
+// as a (type, k-th occurrence) slot, then one run per slot dropping exactly
+// that message, verifying each run terminates, passes the coherence checker
+// and the data-value oracle, and reproduces the fault-free final memory
+// image. Slot runs execute concurrently under cfg.Parallelism; the report
+// is identical at every parallelism level. Integrity checking is forced on
+// (the verification depends on it). A per-slot failure is part of the
+// report, not an error; only a failing baseline (or an invalid
+// configuration) returns one.
+func Coverage(cfg Config, workloadName string, opt CoverageOptions) (*CoverageReport, error) {
+	if _, err := workload.ByName(workloadName); err != nil {
+		return nil, err
+	}
+	c := cfg
+	c.CheckIntegrity = true
+	run := func(inj fault.Injector) coverage.Outcome {
+		w, err := workload.ByName(workloadName)
+		if err != nil {
+			return coverage.Outcome{Err: err.Error()}
+		}
+		sysCfg := c.toInternal()
+		sysCfg.Injector = inj
+		// A small event ring gives deadlock dumps their last-event context
+		// without the cost of full event retention.
+		rec := obs.NewRecorder(4096)
+		sysCfg.Obs = rec
+		s, err := system.New(sysCfg)
+		if err != nil {
+			return coverage.Outcome{Err: err.Error()}
+		}
+		st, rerr := s.Run(w)
+		out := coverage.Outcome{Cycles: st.Cycles}
+		if m := rec.Metrics(); m != nil {
+			out.FaultsInjected = m.FaultsInjected
+			out.FaultsRecovered = m.FaultsRecovered
+			out.RecoveryLatencyMax = m.RecoveryLatency.Max()
+			for _, k := range obs.AllTimeoutKinds() {
+				out.Timeouts[k] = m.TimeoutsByKind[k]
+			}
+		}
+		if rerr != nil {
+			out.Err = rerr.Error()
+			return out
+		}
+		out.MemHash = s.MemoryImageHash()
+		return out
+	}
+	rep, err := coverage.Run(run, coverage.Options{
+		Parallelism:        cfg.Parallelism,
+		MaxSlotsPerType:    opt.MaxSlotsPerType,
+		DoubleFaultSamples: opt.DoubleFaultSamples,
+		DoubleFaultWindow:  opt.DoubleFaultWindow,
+		Seed:               opt.Seed,
+		Progress:           opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Protocol = cfg.Protocol.String()
+	rep.Workload = workloadName
+	return rep, nil
 }

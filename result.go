@@ -30,14 +30,14 @@ type Result struct {
 	// MissLatencyP50/P95/P99 are nearest-rank percentiles (ceiling rank)
 	// reported at the histogram's power-of-two bucket granularity, as
 	// upper bounds.
-	MissLatencyP50 uint64
-	MissLatencyP95 uint64
-	MissLatencyP99 uint64
-	MissLatencyMax uint64
-	CacheToCacheTransfers   uint64
-	MigratoryGrants         uint64
-	Writebacks              uint64
-	L2Misses                uint64
+	MissLatencyP50        uint64
+	MissLatencyP95        uint64
+	MissLatencyP99        uint64
+	MissLatencyMax        uint64
+	CacheToCacheTransfers uint64
+	MigratoryGrants       uint64
+	Writebacks            uint64
+	L2Misses              uint64
 
 	// Network traffic (the Figure 4 quantities).
 	Messages           uint64
@@ -89,6 +89,13 @@ type Result struct {
 	// ("timeout", "reissue", "backup.create", ...), zero kinds omitted.
 	// Collected even when RecordEvents is off.
 	EventsByKind map[string]uint64
+
+	// MemoryImageHash condenses the final memory image — the committed
+	// write-count (version) of every line, which is a deterministic
+	// function of the workload alone — into one hash. Two runs of the same
+	// workload must agree on it no matter what faults were injected; the
+	// coverage harness (see Coverage) verifies exactly that.
+	MemoryImageHash uint64
 
 	// ReportText is a rendered human-readable summary.
 	ReportText string

@@ -32,8 +32,15 @@ docs-check:
 coverage-quick:
 	$(GO) run ./cmd/ftcheck -exhaustive -quick -ops 20
 
+# bench regenerates every benchmark number (ns/op plus the custom paper
+# metrics, including the span-reconstructor cost and the event-emission
+# hot path with instrumentation off/on) and writes them as BENCH_PR4.json
+# via cmd/bench2json.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
+	$(GO) run ./cmd/bench2json < bench.out > BENCH_PR4.json
+	@rm -f bench.out
+	@echo wrote BENCH_PR4.json
 
 # sweep-bench times the parallel campaign runner against the serial loop;
 # on an N-core machine the allcores variant approaches N× faster.

@@ -14,15 +14,22 @@ package repro
 //   - BenchmarkTables12MessageCodec: the CRC-protected message codec that
 //     implements the failure model behind Tables 1/2.
 //   - BenchmarkAblation*: design-choice ablations called out in DESIGN.md.
+//   - BenchmarkSpanReconstruction / BenchmarkEventEmission: the cost of the
+//     observability layer — span rebuilding off the event stream, and the
+//     per-event emission hot path with instrumentation off/on.
 //
-// `go test -bench=. -benchmem` regenerates every number; cmd/ftexp prints
-// the same results as the paper's tables.
+// `make bench` regenerates every number into BENCH_PR4.json; cmd/ftexp
+// prints the same results as the paper's tables.
 
 import (
 	"fmt"
 	"testing"
 
 	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/span"
+	"repro/internal/system"
+	"repro/internal/workload"
 )
 
 // benchConfig is a reduced system so each benchmark iteration stays cheap.
@@ -239,6 +246,103 @@ func BenchmarkSection5TokenComparison(b *testing.B) {
 			b.ReportMetric(float64(tok.TokenSerialPeak), "serial-table-peak")
 			b.ReportMetric(float64(tok.TokenRecreations), "recreations")
 		})
+	}
+}
+
+// captureSpanEvents runs cfg's workload with the message feed on and
+// returns the raw event stream the span reconstructor consumes (the same
+// capture path RunWithInjector uses for Config.RecordSpans).
+func captureSpanEvents(b *testing.B, cfg Config, workloadName string) []obs.Event {
+	b.Helper()
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sysCfg := cfg.toInternal()
+	sysCfg.Injector = cfg.injector()
+	rec := cfg.recorder()
+	rec.EnableMessageFeed()
+	var events []obs.Event
+	rec.SetSink(func(e obs.Event) { events = append(events, e) })
+	sysCfg.Obs = rec
+	s, err := system.New(sysCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(w); err != nil {
+		b.Fatal(err)
+	}
+	return events
+}
+
+// BenchmarkSpanReconstruction measures span.Build plus span.Aggregate over
+// the captured event stream of a faulty run: the post-simulation cost that
+// Config.RecordSpans adds.
+func BenchmarkSpanReconstruction(b *testing.B) {
+	cfg := benchConfig()
+	cfg.FaultRatePerMillion = 2000
+	cfg.FaultSeed = 9
+	events := captureSpanEvents(b, cfg, "uniform")
+	topo := cfg.topology()
+	b.ResetTimer()
+	var spans []*span.Span
+	for i := 0; i < b.N; i++ {
+		spans = span.Build(events, topo)
+		span.Aggregate(spans)
+	}
+	b.ReportMetric(float64(len(events)), "events")
+	b.ReportMetric(float64(len(spans)), "spans")
+}
+
+// BenchmarkEventEmission measures the observability hot path per call:
+// "off" is disabled instrumentation (a nil recorder, the default when
+// neither RecordEvents nor RecordSpans is set — must stay at 0 allocs/op,
+// see TestDisabledInstrumentationZeroAlloc), "metrics" the metrics-only
+// recorder every run carries, "spans" the recorder with the message feed
+// and a streaming sink, as span recording wires it.
+func BenchmarkEventEmission(b *testing.B) {
+	m := &msg.Message{Type: msg.DataEx, Src: 1, Dst: 6, Addr: 0x2a40, TID: msg.MakeTID(1, 1)}
+	hotPath := func(r *obs.Recorder) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.MessageSent(m, 72)
+				r.StateChange("l1", 1, m.Addr, m.TID, "I", "M")
+				r.TransactionEnd("l1", 1, m.Addr, m.TID)
+			}
+		}
+	}
+	b.Run("off", hotPath(nil))
+	b.Run("metrics", hotPath(obs.NewRecorder(0)))
+	feed := obs.NewRecorder(0)
+	feed.EnableMessageFeed()
+	sunk := 0
+	feed.SetSink(func(obs.Event) { sunk++ })
+	b.Run("spans", hotPath(feed))
+}
+
+// TestDisabledInstrumentationZeroAlloc pins the zero-cost guarantee the
+// benchmarks report: with instrumentation disabled (nil recorder) the
+// emission hot path allocates nothing, and a metrics-only recorder without
+// the message feed allocates nothing per message either.
+func TestDisabledInstrumentationZeroAlloc(t *testing.T) {
+	m := &msg.Message{Type: msg.DataEx, Src: 1, Dst: 6, Addr: 0x2a40, TID: msg.MakeTID(1, 1)}
+	var off *obs.Recorder
+	if n := testing.AllocsPerRun(200, func() {
+		off.MessageSent(m, 72)
+		off.StateChange("l1", 1, m.Addr, m.TID, "I", "M")
+		off.TransactionEnd("l1", 1, m.Addr, m.TID)
+	}); n != 0 {
+		t.Errorf("nil recorder: %v allocs per emission round, want 0", n)
+	}
+	rec := obs.NewRecorder(0)
+	rec.MessageSent(m, 72) // warm up
+	if n := testing.AllocsPerRun(200, func() {
+		rec.MessageSent(m, 72)
+		rec.StateChange("l1", 1, m.Addr, m.TID, "I", "M")
+		rec.TransactionEnd("l1", 1, m.Addr, m.TID)
+	}); n != 0 {
+		t.Errorf("metrics-only recorder: %v allocs per emission round, want 0", n)
 	}
 }
 

@@ -1,0 +1,102 @@
+// Command bench2json converts `go test -bench` text output (read from
+// stdin) into a stable JSON report: one record per benchmark with its
+// iteration count, ns/op, and every additional metric the benchmark
+// reported (B/op, allocs/op, and the custom paper metrics like norm-time
+// or cycles). `make bench` uses it to write BENCH_PR4.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"nsPerOp"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one result line: name (with the optional -GOMAXPROCS
+// suffix), iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*report, error) {
+	rep := &report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for field, dst := range map[string]*string{
+			"goos: ": &rep.Goos, "goarch: ": &rep.Goarch,
+			"pkg: ": &rep.Pkg, "cpu: ": &rep.CPU,
+		} {
+			if strings.HasPrefix(line, field) {
+				*dst = strings.TrimPrefix(line, field)
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		b := benchmark{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit list in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %v", line, err)
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = val
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[fields[i+1]] = val
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return rep, nil
+}

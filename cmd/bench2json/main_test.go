@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := "goos: linux\n" +
+		"goarch: amd64\n" +
+		"pkg: repro\n" +
+		"cpu: Intel(R) Xeon(R)\n" +
+		"BenchmarkEventEmission/off-8 \t 1000000\t        12.71 ns/op\t       0 B/op\t       0 allocs/op\n" +
+		"BenchmarkSpanReconstruction \t     100\t  11215315 ns/op\t     33549 events\t      1766 spans\n" +
+		"PASS\n" +
+		"ok  \trepro\t1.2s\n"
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "repro" {
+		t.Fatalf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEventEmission/off" || b.Iterations != 1000000 || b.NsPerOp != 12.71 {
+		t.Fatalf("first benchmark wrong: %+v", b)
+	}
+	if got := b.Metrics["allocs/op"]; got != 0 {
+		t.Fatalf("allocs/op = %v, want 0", got)
+	}
+	s := rep.Benchmarks[1]
+	if s.NsPerOp != 11215315 || s.Metrics["events"] != 33549 || s.Metrics["spans"] != 1766 {
+		t.Fatalf("span benchmark wrong: %+v", s)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}

@@ -14,7 +14,8 @@
 // The runs are independent, deterministic simulations, so the campaign
 // fans out across CPU cores; -j bounds the number of concurrent runs
 // (-j 1 forces the historical serial order). Output is byte-identical at
-// every -j value.
+// every -j value. -progress adds live campaign status (jobs done, elapsed,
+// ETA) on stderr, leaving stdout untouched.
 //
 // Exit status is non-zero if any check fails.
 package main
@@ -37,6 +38,25 @@ func main() {
 	}
 }
 
+// progressFn returns a progress callback (for runner.MapProgress or
+// repro.CoverageOptions.Progress) that prints live campaign status for one
+// phase to stderr, or nil when -progress is off. Both callers invoke the
+// callback serially, and it writes only to stderr, so the checked stdout is
+// untouched.
+func progressFn(enabled bool, label string) func(done, total int) {
+	if !enabled {
+		return nil
+	}
+	var tr *runner.Tracker
+	return func(done, total int) {
+		if tr == nil {
+			tr = runner.NewTracker(total)
+		}
+		tr.Advance(done)
+		fmt.Fprintf(os.Stderr, "ftcheck: %s  %s\n", label, tr.Snapshot())
+	}
+}
+
 func run() error {
 	var (
 		quick      = flag.Bool("quick", true, "scaled-down system (2x2 tiles)")
@@ -49,6 +69,8 @@ func run() error {
 			"sampled double-fault runs in exhaustive mode (0 = none)")
 		jsonOut = flag.String("json", "",
 			"write the exhaustive coverage report as JSON to this file")
+		progress = flag.Bool("progress", false,
+			"print live campaign progress to stderr")
 	)
 	flag.Parse()
 
@@ -76,7 +98,7 @@ func run() error {
 		if !opsSet {
 			cfg.OpsPerCore = 40
 		}
-		return runExhaustive(cfg, *doubles, *jsonOut)
+		return runExhaustive(cfg, *doubles, *jsonOut, *progress)
 	}
 
 	failures := 0
@@ -94,9 +116,9 @@ func run() error {
 			p1jobs = append(p1jobs, p1key{typ, nth})
 		}
 	}
-	p1outs, err := runner.Map(*jobs, len(p1jobs), func(i int) (repro.RecoveryOutcome, error) {
+	p1outs, err := runner.MapProgress(*jobs, len(p1jobs), func(i int) (repro.RecoveryOutcome, error) {
 		return repro.CheckRecovery(cfg, "uniform", p1jobs[i].typ, p1jobs[i].nth)
-	})
+	}, progressFn(*progress, "phase 1  targeted drops"))
 	if err != nil {
 		return err
 	}
@@ -140,7 +162,7 @@ func run() error {
 			}
 		}
 	}
-	p1bOuts, err := runner.Map(*jobs, len(p1bJobs), func(i int) (dropOutcome, error) {
+	p1bOuts, err := runner.MapProgress(*jobs, len(p1bJobs), func(i int) (dropOutcome, error) {
 		j := p1bJobs[i]
 		c := cfg
 		c.Protocol = repro.FtDirCMP
@@ -149,7 +171,7 @@ func run() error {
 		inj := fault.NewChain(fault.NewRate(5000, uint64(j.seed)*101), targeted)
 		_, err := repro.RunWithInjector(c, "uniform", inj)
 		return dropOutcome{fired: targeted.Fired(), dropped: inj.Dropped(), err: err}, nil
-	})
+	}, progressFn(*progress, "phase 1b recovery drops"))
 	if err != nil {
 		return err
 	}
@@ -186,14 +208,14 @@ func run() error {
 			p1cJobs = append(p1cJobs, p1cKey{typ, nth})
 		}
 	}
-	p1cOuts, err := runner.Map(*jobs, len(p1cJobs), func(i int) (dropOutcome, error) {
+	p1cOuts, err := runner.MapProgress(*jobs, len(p1cJobs), func(i int) (dropOutcome, error) {
 		j := p1cJobs[i]
 		c := cfg
 		c.Protocol = repro.FtTokenCMP
 		targeted := fault.NewNthOfType(j.typ, j.nth)
 		_, err := repro.RunWithInjector(c, "uniform", targeted)
 		return dropOutcome{fired: targeted.Fired(), dropped: targeted.Dropped(), err: err}, nil
-	})
+	}, progressFn(*progress, "phase 1c token drops"))
 	if err != nil {
 		return err
 	}
@@ -227,14 +249,14 @@ func run() error {
 			p2jobs = append(p2jobs, p2key{rate, seed})
 		}
 	}
-	p2outs, err := runner.Map(*jobs, len(p2jobs), func(i int) (runOutcome, error) {
+	p2outs, err := runner.MapProgress(*jobs, len(p2jobs), func(i int) (runOutcome, error) {
 		j := p2jobs[i]
 		c := cfg
 		c.Protocol = repro.FtDirCMP
 		c.Seed = uint64(j.seed)
 		res, err := repro.RunWithInjector(c, "uniform", fault.NewRate(j.rate, uint64(j.seed)*31))
 		return runOutcome{res, err}, nil
-	})
+	}, progressFn(*progress, "phase 2  random loss"))
 	if err != nil {
 		return err
 	}
@@ -253,13 +275,13 @@ func run() error {
 		dropped uint64
 		err     error
 	}
-	burstOuts, err := runner.Map(*jobs, *seeds, func(i int) (burstOutcome, error) {
+	burstOuts, err := runner.MapProgress(*jobs, *seeds, func(i int) (burstOutcome, error) {
 		c := cfg
 		c.Protocol = repro.FtDirCMP
 		inj := fault.NewBurst(500, 8, uint64(i+1))
 		res, err := repro.RunWithInjector(c, "uniform", inj)
 		return burstOutcome{res, inj.Dropped(), err}, nil
-	})
+	}, progressFn(*progress, "phase 2  burst loss"))
 	if err != nil {
 		return err
 	}
@@ -296,7 +318,7 @@ func run() error {
 // slot of the workload and prove FtDirCMP recovers from each one, then show
 // DirCMP failing the same campaign. Output is deterministic and identical
 // at every -j level.
-func runExhaustive(cfg repro.Config, doubles int, jsonPath string) error {
+func runExhaustive(cfg repro.Config, doubles int, jsonPath string, progress bool) error {
 	fmt.Println("== Exhaustive fault coverage: FtDirCMP ==")
 	fmt.Printf("system %dx%d, %d mems, %d ops/core, workload uniform\n",
 		cfg.MeshWidth, cfg.MeshHeight, cfg.MemControllers, cfg.OpsPerCore)
@@ -304,6 +326,7 @@ func runExhaustive(cfg repro.Config, doubles int, jsonPath string) error {
 	rep, err := repro.Coverage(cfg, "uniform", repro.CoverageOptions{
 		DoubleFaultSamples: doubles,
 		Seed:               1,
+		Progress:           progressFn(progress, "exhaustive FtDirCMP"),
 	})
 	if err != nil {
 		return err
@@ -348,7 +371,9 @@ func runExhaustive(cfg repro.Config, doubles int, jsonPath string) error {
 	c := cfg
 	c.Protocol = repro.DirCMP
 	c.CycleLimit = 5_000_000
-	drep, err := repro.Coverage(c, "uniform", repro.CoverageOptions{})
+	drep, err := repro.Coverage(c, "uniform", repro.CoverageOptions{
+		Progress: progressFn(progress, "exhaustive DirCMP"),
+	})
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/span"
 )
 
 // jsonReport is the machine-readable form of the experiment sweeps,
@@ -29,6 +30,21 @@ type fig3Row struct {
 	// aligned with Rates. The fault-free point (rate 0) has Count zero
 	// and all latency fields zero.
 	Recovery []recoveryStats `json:"recovery"`
+	// Breakdown holds the per-phase latency attribution per fault rate,
+	// aligned with Rates, with each point's mean per-miss phase cycles and
+	// the delta against the fault-free FtDirCMP point (rate 0, whose
+	// deltas are all zero). See docs/OBSERVABILITY.md for the phases.
+	Breakdown []breakdownStats `json:"breakdown"`
+}
+
+// breakdownStats summarizes one run's span-based latency attribution.
+type breakdownStats struct {
+	Spans      int                `json:"spans"`
+	MeanCycles float64            `json:"meanCycles"`
+	MeanPhase  map[string]float64 `json:"meanPhaseCycles"`
+	// PhaseDelta is the per-phase mean difference against the workload's
+	// fault-free FtDirCMP point.
+	PhaseDelta map[string]float64 `json:"phaseDeltaVsFaultFree"`
 }
 
 // recoveryStats summarizes the injected-fault-to-recovery latency
@@ -63,15 +79,17 @@ func (e *experiments) buildJSONReport() (*jsonReport, error) {
 			"messageOverhead": "FtDirCMP fault-free messages divided by DirCMP messages",
 			"byteOverhead":    "FtDirCMP fault-free bytes divided by DirCMP bytes",
 			"recovery":        "per-rate injected-fault recovery latency in cycles (injection to the faulted line's next completed transaction)",
+			"breakdown":       "per-rate span-based latency attribution: mean per-miss cycles by phase, and the delta vs the fault-free FtDirCMP point",
 		},
 	}
-	sweeps, err := e.sweepAll()
+	sweeps, err := e.sweepAll(true)
 	if err != nil {
 		return nil, err
 	}
 	for _, ws := range sweeps {
 		base := ws.base
 		row := fig3Row{Workload: ws.workload, BaselineCycles: base.Cycles}
+		free := ws.sweep[0].Breakdown() // rate 0 = fault-free FtDirCMP
 		for _, res := range ws.sweep {
 			row.Normalized = append(row.Normalized, res.TimeOverheadVs(base))
 			row.Dropped = append(row.Dropped, res.Dropped)
@@ -86,6 +104,21 @@ func (e *experiments) buildJSONReport() (*jsonReport, error) {
 				P99:          res.RecoveryLatencyP99,
 				Max:          res.RecoveryLatencyMax,
 			})
+			b := res.Breakdown()
+			bs := breakdownStats{
+				Spans:      b.Spans,
+				MeanCycles: b.MeanCycles(),
+				MeanPhase:  make(map[string]float64),
+				PhaseDelta: make(map[string]float64),
+			}
+			for _, ph := range span.AllPhases() {
+				mean := b.MeanPhase(ph)
+				if mean != 0 || free.MeanPhase(ph) != 0 {
+					bs.MeanPhase[ph] = mean
+					bs.PhaseDelta[ph] = mean - free.MeanPhase(ph)
+				}
+			}
+			row.Breakdown = append(row.Breakdown, bs)
 		}
 		rep.Figure3 = append(rep.Figure3, row)
 

@@ -10,7 +10,9 @@
 //	ftexp -fig=4          network overhead of FtDirCMP, by message category
 //	ftexp -fig=5          (extra) miss-latency distribution vs fault rate
 //	ftexp -fig=6          (extra) the §5 FtDirCMP-vs-FtTokenCMP comparison
-//	ftexp -json=out.json  machine-readable figure 3/4 sweeps
+//	ftexp -profile        per-miss latency attribution: FT overhead by phase
+//	ftexp -json=out.json  machine-readable figure 3/4 sweeps (with per-phase
+//	                      breakdown deltas per fault rate)
 //	ftexp -all            everything
 //
 // Use -quick for a scaled-down (2x2 tiles) sweep and -ops to change the
@@ -20,7 +22,9 @@
 // Sweeps fan out across CPU cores; -j bounds the number of concurrent
 // simulations (-j 1 forces the historical serial order). Every run is a
 // pure function of its configuration and seeds, so the output is
-// byte-identical at every -j value.
+// byte-identical at every -j value. -progress adds live campaign progress
+// (jobs done, drops, open recovery windows, ETA) on stderr, leaving stdout
+// untouched.
 package main
 
 import (
@@ -45,13 +49,18 @@ func run() error {
 		ops      = flag.Int("ops", 0, "operations per core (0 = default)")
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = all cores, 1 = serial)")
 		jsonPath = flag.String("json", "", "write the figure 3/4 sweeps as JSON to this file")
+		profile  = flag.Bool("profile", false, "per-miss latency attribution: FT overhead by phase")
+		progress = flag.Bool("progress", false, "print live campaign progress to stderr")
 	)
 	flag.Parse()
 
-	e := &experiments{quick: *quick, ops: *ops, jobs: *jobs}
+	e := &experiments{quick: *quick, ops: *ops, jobs: *jobs, progress: *progress}
 
 	if *jsonPath != "" {
 		return e.writeJSON(*jsonPath)
+	}
+	if *profile {
+		return e.profile()
 	}
 
 	if *all {
@@ -66,6 +75,9 @@ func run() error {
 				return err
 			}
 			fmt.Println()
+		}
+		if err := e.profile(); err != nil {
+			return err
 		}
 		return nil
 	}

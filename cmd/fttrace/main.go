@@ -4,10 +4,13 @@
 //
 // Besides the default text dump of the message flow, -format exports the
 // run's structured protocol event log (see docs/OBSERVABILITY.md):
-// -format=jsonl writes one JSON object per event to stdout, and
-// -format=chrome writes a Chrome trace-event JSON document loadable in
-// Perfetto (https://ui.perfetto.dev) or chrome://tracing. Both exports are
-// deterministic: re-running with the same flags is byte-identical.
+// -format=jsonl writes one JSON object per event to stdout, -format=chrome
+// writes a Chrome trace-event JSON document loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing, and -format=spans writes
+// the reconstructed coherence transaction spans — one JSON object per
+// transaction with its per-phase latency attribution (see internal/span).
+// All exports are deterministic: re-running with the same flags is
+// byte-identical.
 //
 // Examples:
 //
@@ -16,6 +19,7 @@
 //	fttrace -workload=uniform -faults=5000 -addr=0x1000
 //	fttrace -workload=uniform -faults=5000 -format=jsonl > events.jsonl
 //	fttrace -workload=uniform -faults=5000 -format=chrome > trace.json
+//	fttrace -workload=uniform -faults=5000 -format=spans > spans.jsonl
 //
 // Node numbering in the output: L1 caches are 1..T, L2 banks T+1..2T,
 // memory controllers 2T+1.. (T = tile count).
@@ -31,6 +35,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/span"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -53,14 +58,14 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "seed")
 		addr     = flag.Uint64("addr", 0, "record only this line address (0 = all)")
 		last     = flag.Int("last", 80, "how many trailing events to print")
-		format   = flag.String("format", "text", "output: text (message flow), jsonl or chrome (structured event log)")
+		format   = flag.String("format", "text", "output: text (message flow), jsonl or chrome (structured event log), spans (transaction spans)")
 		events   = flag.Int("events", 65536, "how many structured events to retain for jsonl/chrome export")
 	)
 	flag.Parse()
 	switch *format {
-	case "text", "jsonl", "chrome":
+	case "text", "jsonl", "chrome", "spans":
 	default:
-		return fmt.Errorf("unknown format %q (want text, jsonl or chrome)", *format)
+		return fmt.Errorf("unknown format %q (want text, jsonl, chrome or spans)", *format)
 	}
 
 	cfg := system.DefaultConfig()
@@ -91,9 +96,16 @@ func run() error {
 	}
 	cfg.Trace = ring
 	var rec *obs.Recorder
+	var spanEvents []obs.Event
 	if *format != "text" {
 		rec = obs.NewRecorder(*events)
 		cfg.Obs = rec
+	}
+	if *format == "spans" {
+		// Span reconstruction needs the per-message feed and the complete
+		// stream, not just the retained ring.
+		rec.EnableMessageFeed()
+		rec.SetSink(func(e obs.Event) { spanEvents = append(spanEvents, e) })
 	}
 
 	s, err := system.New(cfg)
@@ -105,6 +117,29 @@ func run() error {
 		return err
 	}
 	run, runErr := s.Run(w)
+
+	topo := proto.Topology{Tiles: cfg.MeshWidth * cfg.MeshHeight, Mems: cfg.Mems, LineSize: cfg.Params.LineSize}
+	if *format == "spans" {
+		spans := span.Build(spanEvents, topo)
+		if *addr != 0 {
+			filtered := spans[:0]
+			for _, s := range spans {
+				if s.Addr == msg.Addr(*addr) {
+					filtered = append(filtered, s)
+				}
+			}
+			spans = filtered
+		}
+		if err := span.WriteJSONL(os.Stdout, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%d cycles, %d messages, %d spans exported\n",
+			run.Cycles, run.Net.TotalMessages(), len(spans))
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "run ended with:", runErr)
+		}
+		return nil
+	}
 
 	if *format != "text" {
 		evs := rec.Events()
@@ -122,7 +157,6 @@ func run() error {
 		case "jsonl":
 			werr = obs.WriteJSONL(os.Stdout, evs)
 		case "chrome":
-			topo := proto.Topology{Tiles: cfg.MeshWidth * cfg.MeshHeight, Mems: cfg.Mems, LineSize: cfg.Params.LineSize}
 			werr = obs.WriteChromeTrace(os.Stdout, evs, nodeNamer(topo))
 		}
 		if werr != nil {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runWith invokes run() as the CLI would, with fresh flags and captured
+// stdout.
+func runWith(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet("fttrace", flag.ContinueOnError)
+	oldArgs := os.Args
+	os.Args = append([]string{"fttrace"}, args...)
+	defer func() { os.Args = oldArgs }()
+
+	f, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = f
+	runErr := run()
+	os.Stdout = oldStdout
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return string(out), runErr
+}
+
+// TestUnknownFormatFails: an unknown -format must error out (main exits
+// non-zero) and the message must list the valid formats.
+func TestUnknownFormatFails(t *testing.T) {
+	_, err := runWith(t, "-format=bogus")
+	if err == nil {
+		t.Fatal("unknown format did not fail")
+	}
+	for _, want := range []string{"text", "jsonl", "chrome", "spans"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list format %q", err, want)
+		}
+	}
+}
+
+// TestSpansFormat: -format=spans writes one JSON span per line, each with a
+// phase breakdown.
+func TestSpansFormat(t *testing.T) {
+	out, err := runWith(t, "-format=spans", "-ops=60", "-faults=3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace([]byte(out)), []byte("\n"))
+	if len(lines) < 10 {
+		t.Fatalf("only %d spans exported", len(lines))
+	}
+	for _, line := range lines {
+		var span struct {
+			TID    uint64            `json:"tid"`
+			Class  string            `json:"class"`
+			Cycles uint64            `json:"cycles"`
+			Phases map[string]uint64 `json:"phases"`
+		}
+		if err := json.Unmarshal(line, &span); err != nil {
+			t.Fatalf("invalid span line %s: %v", line, err)
+		}
+		if span.TID == 0 || span.Class == "" {
+			t.Fatalf("span missing tid/class: %s", line)
+		}
+		var attributed uint64
+		for _, v := range span.Phases {
+			attributed += v
+		}
+		if attributed != span.Cycles {
+			t.Fatalf("span %d: phases sum %d != cycles %d", span.TID, attributed, span.Cycles)
+		}
+	}
+}

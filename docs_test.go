@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -135,6 +136,52 @@ func TestDocsObservabilityCoversAllKinds(t *testing.T) {
 	for kind := range res.EventsByKind {
 		if !strings.Contains(doc, "`"+kind+"`") {
 			t.Errorf("run emitted event kind %q that docs/OBSERVABILITY.md does not document", kind)
+		}
+	}
+}
+
+// TestDocsSpanPhaseTable pins docs/OBSERVABILITY.md's phase-taxonomy table
+// against span.AllPhases(): every phase must have a table row, in the
+// canonical order, and the table must not name phases the code does not
+// have.
+func TestDocsSpanPhaseTable(t *testing.T) {
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+
+	prev := -1
+	for _, ph := range span.AllPhases() {
+		row := "| `" + ph + "` |"
+		i := strings.Index(doc, row)
+		if i < 0 {
+			t.Errorf("docs/OBSERVABILITY.md has no phase-table row for %q (want %q)", ph, row)
+			continue
+		}
+		if i < prev {
+			t.Errorf("docs/OBSERVABILITY.md phase row for %q is out of canonical order (want span.AllPhases() order)", ph)
+		}
+		prev = i
+	}
+
+	// No stale rows within the taxonomy section: every table row there
+	// must name a real phase.
+	_, section, ok := strings.Cut(doc, "### Phase taxonomy")
+	if !ok {
+		t.Fatal("docs/OBSERVABILITY.md has no '### Phase taxonomy' section")
+	}
+	if next := strings.Index(section, "\n### "); next >= 0 {
+		section = section[:next]
+	}
+	known := make(map[string]bool)
+	for _, ph := range span.AllPhases() {
+		known[ph] = true
+	}
+	rowRe := regexp.MustCompile("(?m)^\\| `([a-z0-9_]+)` \\|")
+	for _, m := range rowRe.FindAllStringSubmatch(section, -1) {
+		if !known[m[1]] {
+			t.Errorf("docs/OBSERVABILITY.md phase table names %q, which span.AllPhases() does not have", m[1])
 		}
 	}
 }

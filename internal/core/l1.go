@@ -16,7 +16,8 @@ type l1Miss struct {
 	value    uint64
 	issuedAt uint64
 
-	sn msg.SerialNumber
+	tid msg.TID
+	sn  msg.SerialNumber
 	// snHistory lists every serial number this miss has used (initial plus
 	// reissues). Drawing each attempt from the node's wrapping counter
 	// keeps serial numbers unique per node across a full counter period,
@@ -59,6 +60,7 @@ func (e *l1Miss) usedSN(sn msg.SerialNumber) bool {
 type l1WB struct {
 	payload msg.Payload
 	dirty   bool
+	tid     msg.TID
 	sn      msg.SerialNumber
 
 	transferred bool // ownership answered a forwarded request instead
@@ -77,6 +79,7 @@ type backupEntry struct {
 	payload  msg.Payload
 	dirty    bool
 	dest     msg.NodeID
+	tid      msg.TID
 	sn       msg.SerialNumber
 	ackCount int
 	timer    *sim.Timer
@@ -87,6 +90,7 @@ type backupEntry struct {
 // the AckBD arrives. Forwarded requests received meanwhile are deferred.
 type blockedEntry struct {
 	ackOTo   msg.NodeID
+	tid      msg.TID
 	sn       msg.SerialNumber
 	piggy    bool // the AckO rides the UnblockEx to the home L2
 	timer    *sim.Timer
@@ -108,6 +112,7 @@ type L1 struct {
 	backups *cache.Table[backupEntry]
 	blocked map[msg.Addr]*blockedEntry
 	serial  *msg.SerialSpace
+	tids    proto.TIDSource
 	onWrite proto.WriteObserver
 	obs     *obs.Recorder
 }
@@ -135,6 +140,7 @@ func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 		backups: cache.NewTable[backupEntry](0),
 		blocked: make(map[msg.Addr]*blockedEntry),
 		serial:  msg.NewSerialSpace(params.SerialBits),
+		tids:    proto.NewTIDSource(id),
 		onWrite: onWrite,
 	}, nil
 }
@@ -234,6 +240,7 @@ func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.
 	e.value = value
 	e.issuedAt = l.engine.Now()
 	e.done = done
+	e.tid = l.tids.Next()
 	e.sn = l.serial.Next()
 	e.snHistory = append(e.snHistory, e.sn)
 	e.reqType = msg.GetS
@@ -241,7 +248,7 @@ func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.
 		e.reqType = msg.GetX
 	}
 	e.timer = sim.NewTimer(l.engine)
-	l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn})
+	l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
 	l.armLostRequest(addr, e)
 }
 
@@ -254,11 +261,11 @@ func (l *L1) armLostRequest(addr msg.Addr, e *l1Miss) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
+		l.obs.TimeoutFired("l1", l.id, addr, e.tid, obs.TimeoutLostRequest)
 		e.attempts++
 		oldSN := e.sn
 		e.sn = l.serial.Next()
-		l.obs.Reissue("l1", l.id, addr, e.reqType, oldSN, e.sn)
+		l.obs.Reissue("l1", l.id, addr, e.tid, e.reqType, oldSN, e.sn)
 		if len(e.snHistory) < l.serial.Width() {
 			e.snHistory = append(e.snHistory, e.sn)
 		}
@@ -270,7 +277,7 @@ func (l *L1) armLostRequest(addr msg.Addr, e *l1Miss) {
 		e.ackCountKnown = false
 		e.needAcks = 0
 		e.acksSeen = 0
-		l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn})
+		l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
 		l.armLostRequest(addr, e)
 	})
 }
@@ -345,9 +352,9 @@ func (l *L1) handleAck(m *msg.Message) {
 func (l *L1) handleInv(m *msg.Message) {
 	if line := l.array.Lookup(m.Addr); line != nil && !ownerState(line.State) {
 		line.Valid = false
-		l.obs.StateChange("l1", l.id, m.Addr, stateName(line.State), "I")
+		l.obs.StateChange("l1", l.id, m.Addr, m.TID, stateName(line.State), "I")
 	}
-	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, SN: m.SN, TID: m.TID})
 }
 
 // handleFwd serves a request forwarded by the directory. Ownership leaves
@@ -371,16 +378,16 @@ func (l *L1) handleFwd(m *msg.Message) {
 		l.run.Proto.CacheToCacheTransfers++
 		if !transfer {
 			if line.State != StateO {
-				l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(StateO))
+				l.obs.StateChange("l1", l.id, addr, m.TID, stateName(line.State), stateName(StateO))
 			}
 			line.State = StateO
 			l.send(&msg.Message{
-				Type: msg.Data, Dst: m.Requestor, Addr: addr, SN: m.SN,
+				Type: msg.Data, Dst: m.Requestor, Addr: addr, SN: m.SN, TID: m.TID,
 				Payload: line.Payload, Dirty: line.Dirty,
 			})
 			return
 		}
-		l.obs.StateChange("l1", l.id, addr, stateName(line.State), "I")
+		l.obs.StateChange("l1", l.id, addr, m.TID, stateName(line.State), "I")
 		l.sendOwned(addr, m, line.Payload, line.Dirty || line.State == StateM)
 		line.Valid = false
 		return
@@ -393,7 +400,7 @@ func (l *L1) handleFwd(m *msg.Message) {
 			// Serve the read but keep ownership (the eventual WbData will
 			// still carry the data to the L2).
 			l.send(&msg.Message{
-				Type: msg.Data, Dst: m.Requestor, Addr: addr, SN: m.SN,
+				Type: msg.Data, Dst: m.Requestor, Addr: addr, SN: m.SN, TID: m.TID,
 				Payload: w.payload, Dirty: w.dirty,
 			})
 			return
@@ -408,10 +415,11 @@ func (l *L1) handleFwd(m *msg.Message) {
 		// previous data message was lost (§3.2) — resend with the new
 		// serial number.
 		if m.Requestor == b.dest {
+			b.tid = m.TID
 			b.sn = m.SN
 			b.ackCount = m.AckCount
 			l.send(&msg.Message{
-				Type: msg.DataEx, Dst: b.dest, Addr: addr, SN: b.sn,
+				Type: msg.DataEx, Dst: b.dest, Addr: addr, SN: b.sn, TID: b.tid,
 				Payload: b.payload, Dirty: true, AckCount: b.ackCount,
 			})
 			l.armBackup(addr, b)
@@ -433,15 +441,16 @@ func (l *L1) sendOwned(addr msg.Addr, m *msg.Message, payload msg.Payload, dirty
 	if b == nil {
 		b = l.backups.Alloc(addr)
 		b.timer = sim.NewTimer(l.engine)
-		l.obs.BackupCreated("l1", l.id, addr, m.Requestor)
+		l.obs.BackupCreated("l1", l.id, addr, m.TID, m.Requestor)
 	}
 	b.payload = payload
 	b.dirty = dirty
 	b.dest = m.Requestor
+	b.tid = m.TID
 	b.sn = m.SN
 	b.ackCount = m.AckCount
 	l.send(&msg.Message{
-		Type: msg.DataEx, Dst: b.dest, Addr: addr, SN: b.sn,
+		Type: msg.DataEx, Dst: b.dest, Addr: addr, SN: b.sn, TID: b.tid,
 		Payload: payload, Dirty: true, AckCount: b.ackCount,
 	})
 	l.armBackup(addr, b)
@@ -455,8 +464,8 @@ func (l *L1) armBackup(addr msg.Addr, b *backupEntry) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: l.serial.Next()})
+		l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutBackup)
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: l.serial.Next(), TID: b.tid})
 		l.armBackup(addr, b)
 	})
 }
@@ -475,7 +484,7 @@ func (l *L1) handleWbAck(m *msg.Message) {
 		l.sendWbData(m.Addr, w, m.SN)
 		return
 	}
-	l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: w.tid})
 	l.freeWB(m.Addr, w)
 }
 
@@ -484,9 +493,9 @@ func (l *L1) handleWbAck(m *msg.Message) {
 func (l *L1) sendWbData(addr msg.Addr, w *l1WB, sn msg.SerialNumber) {
 	w.sentData = true
 	w.sn = sn
-	l.obs.BackupCreated("l1", l.id, addr, l.topo.HomeL2(addr))
+	l.obs.BackupCreated("l1", l.id, addr, w.tid, l.topo.HomeL2(addr))
 	l.send(&msg.Message{
-		Type: msg.WbData, Dst: l.topo.HomeL2(addr), Addr: addr, SN: sn,
+		Type: msg.WbData, Dst: l.topo.HomeL2(addr), Addr: addr, SN: sn, TID: w.tid,
 		Payload: w.payload, Dirty: w.dirty,
 	})
 	if w.backupTimer == nil {
@@ -502,8 +511,8 @@ func (l *L1) armWbBackup(addr msg.Addr, w *l1WB) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeL2(addr), Addr: addr, SN: l.serial.Next()})
+		l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutBackup)
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeL2(addr), Addr: addr, SN: l.serial.Next(), TID: w.tid})
 		l.armWbBackup(addr, w)
 	})
 }
@@ -515,17 +524,17 @@ func (l *L1) handleAckO(m *msg.Message) {
 	if b := l.backups.Get(m.Addr); b != nil && m.Src == b.dest {
 		b.timer.Stop()
 		l.backups.Free(m.Addr)
-		l.obs.BackupDeleted("l1", l.id, m.Addr)
-		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.obs.BackupDeleted("l1", l.id, m.Addr, b.tid)
+		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 		return
 	}
 	if w := l.wb.Get(m.Addr); w != nil && w.sentData {
-		l.obs.BackupDeleted("l1", l.id, m.Addr)
+		l.obs.BackupDeleted("l1", l.id, m.Addr, w.tid)
 		l.freeWB(m.Addr, w)
-		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 		return
 	}
-	l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 }
 
 // handleAckBD leaves the blocked-ownership state and replays any deferred
@@ -544,7 +553,7 @@ func (l *L1) handleAckBD(m *msg.Message) {
 	}
 	b.timer.Stop()
 	delete(l.blocked, m.Addr)
-	l.obs.TransactionEnd("l1", l.id, m.Addr)
+	l.obs.TransactionEnd("l1", l.id, m.Addr, b.tid)
 	for _, fwd := range b.deferred {
 		fwd := fwd
 		l.engine.Schedule(0, func() { l.Handle(fwd) })
@@ -568,21 +577,21 @@ func (l *L1) handleUnblockPing(m *msg.Message) {
 		// The original UnblockEx carried the AckO; the resend must too.
 		l.run.Proto.AcksOSent++
 		l.run.Proto.PiggybackedAcksO++
-		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: b.sn, PiggybackAckO: true})
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: b.sn, TID: b.tid, PiggybackAckO: true})
 		return
 	}
 	line := l.array.Lookup(addr)
 	switch {
 	case line != nil && ownerState(line.State):
-		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: m.SN, TID: m.TID})
 	case line != nil:
-		l.send(&msg.Message{Type: msg.Unblock, Dst: home, Addr: addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.Unblock, Dst: home, Addr: addr, SN: m.SN, TID: m.TID})
 	case l.wb.Get(addr) != nil:
-		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: m.SN, TID: m.TID})
 	default:
 		// The only way the line can be gone without a trace is a silent
 		// eviction of a shared copy.
-		l.send(&msg.Message{Type: msg.Unblock, Dst: home, Addr: addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.Unblock, Dst: home, Addr: addr, SN: m.SN, TID: m.TID})
 	}
 }
 
@@ -593,14 +602,14 @@ func (l *L1) handleWbPing(m *msg.Message) {
 	w := l.wb.Get(m.Addr)
 	switch {
 	case w == nil:
-		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 	case w.transferred:
-		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 		l.freeWB(m.Addr, w)
 	case w.sentData:
 		w.sn = m.SN
 		l.send(&msg.Message{
-			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: w.tid,
 			Payload: w.payload, Dirty: w.dirty,
 		})
 	default:
@@ -616,15 +625,15 @@ func (l *L1) handleWbPing(m *msg.Message) {
 func (l *L1) handleOwnershipPing(m *msg.Message) {
 	if b := l.blocked[m.Addr]; b != nil && b.ackOTo == m.Src {
 		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: b.sn})
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: b.sn, TID: b.tid})
 		return
 	}
 	if line := l.array.Lookup(m.Addr); line != nil && ownerState(line.State) {
 		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 		return
 	}
-	l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 }
 
 // handleNackO restarts the backup timer: the receiver does not have the
@@ -673,7 +682,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 	}
 
 	dirty := e.dirty || e.write
-	l.place(addr, state, payload, dirty, func(line *cache.Line) {
+	l.place(addr, state, payload, dirty, e.tid, func(line *cache.Line) {
 		if e.write && l.onWrite != nil {
 			l.onWrite(addr, payload.Version, payload.Value)
 		}
@@ -687,6 +696,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 		if transfer {
 			b := &blockedEntry{
 				ackOTo: e.dataFrom,
+				tid:    e.tid,
 				sn:     e.sn,
 				piggy:  e.dataFrom == home && !l.params.DisablePiggyback,
 				timer:  sim.NewTimer(l.engine),
@@ -695,10 +705,10 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 			l.run.Proto.AcksOSent++
 			if b.piggy {
 				l.run.Proto.PiggybackedAcksO++
-				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, PiggybackAckO: true})
+				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, TID: e.tid, PiggybackAckO: true})
 			} else {
-				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn})
-				l.send(&msg.Message{Type: msg.AckO, Dst: e.dataFrom, Addr: addr, SN: e.sn})
+				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, TID: e.tid})
+				l.send(&msg.Message{Type: msg.AckO, Dst: e.dataFrom, Addr: addr, SN: e.sn, TID: e.tid})
 			}
 			l.armLostAckBD(addr, b)
 		} else {
@@ -706,7 +716,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 			if e.exclusive || e.write {
 				unblock = msg.UnblockEx
 			}
-			l.send(&msg.Message{Type: unblock, Dst: home, Addr: addr, SN: e.sn})
+			l.send(&msg.Message{Type: unblock, Dst: home, Addr: addr, SN: e.sn, TID: e.tid})
 		}
 
 		latency := l.engine.Now() - e.issuedAt
@@ -719,7 +729,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 		done := e.done
 		waiters := e.waiters
 		l.mshr.Free(addr)
-		l.obs.TransactionEnd("l1", l.id, addr)
+		l.obs.TransactionEnd("l1", l.id, addr, e.tid)
 		if done != nil {
 			done(res)
 		}
@@ -735,13 +745,13 @@ func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostAckBD)
+		l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutLostAckBD)
 		oldSN := b.sn
 		b.sn = l.serial.Next()
-		l.obs.Reissue("l1", l.id, addr, msg.AckO, oldSN, b.sn)
+		l.obs.Reissue("l1", l.id, addr, b.tid, msg.AckO, oldSN, b.sn)
 		b.piggy = false // resends are standalone AckO messages
 		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn})
+		l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn, TID: b.tid})
 		l.armLostAckBD(addr, b)
 	})
 }
@@ -749,10 +759,10 @@ func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
 // place installs a line, evicting a victim if necessary. Lines in blocked
 // ownership cannot be evicted (that would transfer ownership), nor can
 // lines with in-flight transactions.
-func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, then func(*cache.Line)) {
+func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, tid msg.TID, then func(*cache.Line)) {
 	if line := l.array.Lookup(addr); line != nil {
 		if line.State != state {
-			l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(state))
+			l.obs.StateChange("l1", l.id, addr, tid, stateName(line.State), stateName(state))
 		}
 		line.State = state
 		line.Payload = payload
@@ -765,41 +775,45 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, th
 		return l.mshr.Get(c.Addr) == nil && l.wb.Get(c.Addr) == nil && l.blocked[c.Addr] == nil
 	})
 	if victim == nil {
-		l.engine.Schedule(4, func() { l.place(addr, state, payload, dirty, then) })
+		l.engine.Schedule(4, func() { l.place(addr, state, payload, dirty, tid, then) })
 		return
 	}
 	if victim.Valid {
-		l.evict(victim)
+		l.evict(victim, tid)
 	}
 	victim.Reset(addr)
 	victim.State = state
 	victim.Payload = payload
 	victim.Dirty = dirty
 	l.array.Touch(victim)
-	l.obs.StateChange("l1", l.id, addr, "I", stateName(state))
+	l.obs.StateChange("l1", l.id, addr, tid, "I", stateName(state))
 	then(victim)
 }
 
 // evict starts a three-phase writeback for owned lines (with the Put
-// guarded by the lost-request timeout); shared lines drop silently.
-func (l *L1) evict(line *cache.Line) {
+// guarded by the lost-request timeout); shared lines drop silently. cause is
+// the transaction whose placement forced the eviction: the silent drop is
+// attributed to it, while an owned eviction starts a new writeback
+// transaction with its own TID.
+func (l *L1) evict(line *cache.Line, cause msg.TID) {
 	if !ownerState(line.State) {
 		line.Valid = false
-		l.obs.StateChange("l1", l.id, line.Addr, stateName(line.State), "I")
+		l.obs.StateChange("l1", l.id, line.Addr, cause, stateName(line.State), "I")
 		return
 	}
 	addr := line.Addr
-	l.obs.StateChange("l1", l.id, addr, stateName(line.State), "WB")
 	w := l.wb.Alloc(addr)
 	if w == nil {
 		protocolPanic("L1 %d duplicate writeback for %#x", l.id, addr)
 	}
 	w.payload = line.Payload
 	w.dirty = line.Dirty || line.State == StateM
+	w.tid = l.tids.Next()
 	w.sn = l.serial.Next()
 	w.putTimer = sim.NewTimer(l.engine)
+	l.obs.StateChange("l1", l.id, addr, w.tid, stateName(line.State), "WB")
 	l.run.Proto.Writebacks++
-	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn})
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
 	l.armPutTimer(addr, w)
 	line.Valid = false
 }
@@ -812,12 +826,12 @@ func (l *L1) armPutTimer(addr msg.Addr, w *l1WB) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
+		l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutLostRequest)
 		w.attempts++
 		oldSN := w.sn
 		w.sn = l.serial.Next()
-		l.obs.Reissue("l1", l.id, addr, msg.Put, oldSN, w.sn)
-		l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn})
+		l.obs.Reissue("l1", l.id, addr, w.tid, msg.Put, oldSN, w.sn)
+		l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
 		l.armPutTimer(addr, w)
 	})
 }
@@ -832,7 +846,7 @@ func (l *L1) freeWB(addr msg.Addr, w *l1WB) {
 	}
 	waiters := w.waiters
 	l.wb.Free(addr)
-	l.obs.TransactionEnd("l1", l.id, addr)
+	l.obs.TransactionEnd("l1", l.id, addr, w.tid)
 	l.wake(waiters)
 }
 

@@ -67,6 +67,7 @@ const (
 type pendingReq struct {
 	typ  msg.Type
 	from msg.NodeID
+	tid  msg.TID
 	sn   msg.SerialNumber
 }
 
@@ -74,6 +75,7 @@ type pendingReq struct {
 // went to memory and until memory's AckBD arrives the line must not be
 // written back off-chip. Internal (L1↔L1↔L2) transfers stay allowed.
 type extBlock struct {
+	tid     msg.TID
 	sn      msg.SerialNumber
 	timer   *sim.Timer
 	onClear []func()
@@ -85,6 +87,10 @@ type l2Trans struct {
 	evict bool
 	req   pendingReq
 	queue []pendingReq
+
+	// tid drives the current service: the in-service request's TID, or a
+	// self-minted one for directory-initiated evictions.
+	tid msg.TID
 
 	// Resend record for reissued requests.
 	respKind      int
@@ -167,6 +173,7 @@ type L2 struct {
 	ext    map[msg.Addr]*extBlock
 	mig    map[msg.Addr]*migInfo
 	serial *msg.SerialSpace
+	tids   proto.TIDSource
 	obs    *obs.Recorder
 }
 
@@ -191,6 +198,7 @@ func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 		ext:    make(map[msg.Addr]*extBlock),
 		mig:    make(map[msg.Addr]*migInfo),
 		serial: msg.NewSerialSpace(params.SerialBits),
+		tids:   proto.NewTIDSource(id),
 	}, nil
 }
 
@@ -243,7 +251,7 @@ func (l *L2) Handle(m *msg.Message) {
 // current response is re-sent with the new serial number instead of
 // queueing the request behind itself.
 func (l *L2) handleRequest(m *msg.Message) {
-	req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+	req := pendingReq{typ: m.Type, from: m.Src, tid: m.TID, sn: m.SN}
 	t := l.trans.Get(m.Addr)
 	if t == nil {
 		t = l.trans.Alloc(m.Addr)
@@ -273,6 +281,7 @@ func (l *L2) handleRequest(m *msg.Message) {
 func (l *L2) service(addr msg.Addr, t *l2Trans) {
 	line := l.array.Lookup(addr)
 	r := t.req
+	t.tid = r.tid
 	t.respKind = respNone
 	t.invTargets = nil
 	t.unblockReceived = false
@@ -293,18 +302,18 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 				t.sentDataExTo = r.from
 				t.ackCount = 0
 				l.send(&msg.Message{
-					Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+					Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 					Payload: line.Payload, Dirty: line.Dirty,
 				})
-				l.obs.StateChange("l2", l.id, addr, "S", "M")
-				l.obs.BackupCreated("l2", l.id, addr, r.from)
+				l.obs.StateChange("l2", l.id, addr, r.tid, "S", "M")
+				l.obs.BackupCreated("l2", l.id, addr, r.tid, r.from)
 				line.State = L2StateM
 				line.Owner = r.from
 				l.armBackup(addr, t)
 			} else {
 				t.respKind = respData
 				l.send(&msg.Message{
-					Type: msg.Data, Dst: r.from, Addr: addr, SN: r.sn,
+					Type: msg.Data, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 					Payload: line.Payload,
 				})
 				line.Sharers.Add(l.topo.SharerIndex(r.from))
@@ -328,14 +337,14 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 			l.migOnWrite(addr, r.from)
 			t.respMigratory = true
 			l.send(&msg.Message{
-				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, TID: r.tid, SN: r.sn,
 				Forwarded: true, Migratory: true, Requestor: r.from,
 			})
 			line.Owner = r.from
 		} else {
 			t.respMigratory = false
 			l.send(&msg.Message{
-				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, TID: r.tid, SN: r.sn,
 				Forwarded: true, Requestor: r.from,
 			})
 			line.Sharers.Add(l.topo.SharerIndex(r.from))
@@ -356,18 +365,18 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 			t.respKind = respDataEx
 			t.sentDataExTo = r.from
 			l.send(&msg.Message{
-				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 				Payload: line.Payload, Dirty: line.Dirty, AckCount: t.ackCount,
 			})
-			l.obs.StateChange("l2", l.id, addr, "S", "M")
-			l.obs.BackupCreated("l2", l.id, addr, r.from)
+			l.obs.StateChange("l2", l.id, addr, r.tid, "S", "M")
+			l.obs.BackupCreated("l2", l.id, addr, r.tid, r.from)
 			line.State = L2StateM
 			line.Owner = r.from
 			l.armBackup(addr, t)
 		} else if line.Owner == r.from {
 			t.respKind = respNoPayload
 			l.send(&msg.Message{
-				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 				NoPayload: true, AckCount: t.ackCount,
 			})
 		} else {
@@ -375,7 +384,7 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 			t.respFwdType = msg.GetX
 			t.fwdDest = line.Owner
 			l.send(&msg.Message{
-				Type: msg.GetX, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Type: msg.GetX, Dst: line.Owner, Addr: addr, TID: r.tid, SN: r.sn,
 				Forwarded: true, Requestor: r.from, AckCount: t.ackCount,
 			})
 			line.Owner = r.from
@@ -387,7 +396,7 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 		t.respKind = respWbAck
 		t.wantData = line != nil && line.State == L2StateM && line.Owner == r.from
 		l.send(&msg.Message{
-			Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn, WantData: t.wantData,
+			Type: msg.WbAck, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn, WantData: t.wantData,
 		})
 		l.enterWaitWbData(addr, t)
 
@@ -411,7 +420,7 @@ func (l *L2) invTargets(line *cache.Line, requester msg.NodeID) []msg.NodeID {
 // sendInvs (re)sends the invalidations with the current serial number.
 func (l *L2) sendInvs(addr msg.Addr, t *l2Trans) {
 	for _, dst := range t.invTargets {
-		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: addr, SN: t.req.sn, Requestor: t.req.from})
+		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: addr, TID: t.tid, SN: t.req.sn, Requestor: t.req.from})
 	}
 }
 
@@ -425,30 +434,30 @@ func (l *L2) resendResponse(addr msg.Addr, t *l2Trans) {
 	switch t.respKind {
 	case respData:
 		l.send(&msg.Message{
-			Type: msg.Data, Dst: r.from, Addr: addr, SN: r.sn, Payload: line.Payload,
+			Type: msg.Data, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn, Payload: line.Payload,
 		})
 	case respDataEx:
 		l.sendInvs(addr, t)
 		l.send(&msg.Message{
-			Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+			Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 			Payload: line.Payload, Dirty: line.Dirty, AckCount: t.ackCount,
 		})
 	case respNoPayload:
 		l.sendInvs(addr, t)
 		l.send(&msg.Message{
-			Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+			Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 			NoPayload: true, AckCount: t.ackCount,
 		})
 	case respFwd:
 		l.sendInvs(addr, t)
 		l.send(&msg.Message{
-			Type: t.respFwdType, Dst: t.fwdDest, Addr: addr, SN: r.sn,
+			Type: t.respFwdType, Dst: t.fwdDest, Addr: addr, TID: r.tid, SN: r.sn,
 			Forwarded: true, Migratory: t.respMigratory, Requestor: r.from,
 			AckCount: t.ackCount,
 		})
 	case respWbAck:
 		l.send(&msg.Message{
-			Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn, WantData: t.wantData,
+			Type: msg.WbAck, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn, WantData: t.wantData,
 		})
 	}
 }
@@ -468,8 +477,8 @@ func (l *L2) armUnblockTimer(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.LostUnblockTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostUnblock)
-		l.send(&msg.Message{Type: msg.UnblockPing, Dst: t.req.from, Addr: addr, SN: t.req.sn})
+		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
+		l.send(&msg.Message{Type: msg.UnblockPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
 		l.armUnblockTimer(addr, t)
 	})
 }
@@ -489,8 +498,8 @@ func (l *L2) armWbPingTimer(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.LostUnblockTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostUnblock)
-		l.send(&msg.Message{Type: msg.WbPing, Dst: t.req.from, Addr: addr, SN: t.req.sn})
+		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
+		l.send(&msg.Message{Type: msg.WbPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
 		l.armWbPingTimer(addr, t)
 	})
 }
@@ -505,8 +514,8 @@ func (l *L2) armBackup(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: t.sentDataExTo, Addr: addr, SN: l.serial.Next()})
+		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutBackup)
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: t.sentDataExTo, Addr: addr, TID: t.tid, SN: l.serial.Next()})
 		l.armBackup(addr, t)
 	})
 }
@@ -520,14 +529,14 @@ func (l *L2) handleUnblock(m *msg.Message) {
 		// crossing the original) — but a piggybacked AckO must still be
 		// answered so the L1 can leave its blocked state.
 		if m.PiggybackAckO {
-			l.acceptAckOFromL1(m.Addr, m.Src, m.SN)
+			l.acceptAckOFromL1(m.Addr, m.Src, m.TID, m.SN)
 		}
 		l.run.Proto.StaleSNDiscarded++
 		return
 	}
 	t.unblockReceived = true
 	if m.PiggybackAckO {
-		l.acceptAckOFromL1(m.Addr, m.Src, m.SN)
+		l.acceptAckOFromL1(m.Addr, m.Src, m.TID, m.SN)
 	}
 	l.maybeCloseRequest(m.Addr, t)
 }
@@ -535,15 +544,15 @@ func (l *L2) handleUnblock(m *msg.Message) {
 // acceptAckOFromL1 clears the in-chip backup (if one matches) and always
 // answers with AckBD (§3.4: a node that no longer holds a backup replies
 // anyway, using the new serial number).
-func (l *L2) acceptAckOFromL1(addr msg.Addr, src msg.NodeID, sn msg.SerialNumber) {
+func (l *L2) acceptAckOFromL1(addr msg.Addr, src msg.NodeID, tid msg.TID, sn msg.SerialNumber) {
 	if t := l.trans.Get(addr); t != nil && t.sentDataExTo == src && !t.backupCleared {
 		t.backupCleared = true
 		if t.backupTimer != nil {
 			t.backupTimer.Stop()
 		}
-		l.obs.BackupDeleted("l2", l.id, addr)
+		l.obs.BackupDeleted("l2", l.id, addr, tid)
 	}
-	l.send(&msg.Message{Type: msg.AckBD, Dst: src, Addr: addr, SN: sn})
+	l.send(&msg.Message{Type: msg.AckBD, Dst: src, Addr: addr, TID: tid, SN: sn})
 }
 
 // maybeCloseRequest closes a request transaction once the unblock arrived
@@ -559,26 +568,26 @@ func (l *L2) maybeCloseRequest(addr msg.Addr, t *l2Trans) {
 	}
 	if t.owedMem {
 		t.owedMem = false
-		l.sendMemUnblock(addr, t.memSN)
+		l.sendMemUnblock(addr, t.tid, t.memSN)
 	}
 	l.finish(addr, t)
 }
 
 // sendMemUnblock sends the UnblockEx with the piggybacked AckO to memory
 // and marks the line externally blocked until memory's AckBD.
-func (l *L2) sendMemUnblock(addr msg.Addr, sn msg.SerialNumber) {
+func (l *L2) sendMemUnblock(addr msg.Addr, tid msg.TID, sn msg.SerialNumber) {
 	mem := l.topo.HomeMem(addr)
 	l.run.Proto.AcksOSent++
 	if l.params.DisablePiggyback {
-		l.send(&msg.Message{Type: msg.UnblockEx, Dst: mem, Addr: addr, SN: sn})
-		l.send(&msg.Message{Type: msg.AckO, Dst: mem, Addr: addr, SN: sn})
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: mem, Addr: addr, TID: tid, SN: sn})
+		l.send(&msg.Message{Type: msg.AckO, Dst: mem, Addr: addr, TID: tid, SN: sn})
 	} else {
 		l.run.Proto.PiggybackedAcksO++
 		l.send(&msg.Message{
-			Type: msg.UnblockEx, Dst: mem, Addr: addr, SN: sn, PiggybackAckO: true,
+			Type: msg.UnblockEx, Dst: mem, Addr: addr, TID: tid, SN: sn, PiggybackAckO: true,
 		})
 	}
-	eb := &extBlock{sn: sn, timer: sim.NewTimer(l.engine)}
+	eb := &extBlock{tid: tid, sn: sn, timer: sim.NewTimer(l.engine)}
 	l.ext[addr] = eb
 	l.armExtAckBD(addr, eb)
 }
@@ -590,12 +599,12 @@ func (l *L2) armExtAckBD(addr msg.Addr, eb *extBlock) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostAckBD)
+		l.obs.TimeoutFired("l2", l.id, addr, eb.tid, obs.TimeoutLostAckBD)
 		oldSN := eb.sn
 		eb.sn = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, msg.AckO, oldSN, eb.sn)
+		l.obs.Reissue("l2", l.id, addr, eb.tid, msg.AckO, oldSN, eb.sn)
 		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: l.topo.HomeMem(addr), Addr: addr, SN: eb.sn})
+		l.send(&msg.Message{Type: msg.AckO, Dst: l.topo.HomeMem(addr), Addr: addr, TID: eb.tid, SN: eb.sn})
 		l.armExtAckBD(addr, eb)
 	})
 }
@@ -617,7 +626,7 @@ func (l *L2) handleWbData(m *msg.Message) {
 		// current owner and serial numbers guard the WbAck.
 		protocolPanic("L2 %d unexpected WbData: %v", l.id, m)
 	}
-	l.obs.StateChange("l2", l.id, m.Addr, "M", "S")
+	l.obs.StateChange("l2", l.id, m.Addr, m.TID, "M", "S")
 	line.State = L2StateS
 	line.Owner = 0
 	line.Payload = m.Payload
@@ -633,7 +642,7 @@ func (l *L2) sendAckO(addr msg.Addr, t *l2Trans, to msg.NodeID, sn msg.SerialNum
 	t.afterAckBD = afterAckBD
 	t.phase = phaseWaitAckBD
 	l.run.Proto.AcksOSent++
-	l.send(&msg.Message{Type: msg.AckO, Dst: to, Addr: addr, SN: sn})
+	l.send(&msg.Message{Type: msg.AckO, Dst: to, Addr: addr, TID: t.tid, SN: sn})
 	if t.ackBDTimer == nil {
 		t.ackBDTimer = sim.NewTimer(l.engine)
 	}
@@ -646,12 +655,12 @@ func (l *L2) armAckBDTimer(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostAckBD)
+		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostAckBD)
 		oldSN := t.ackOSN
 		t.ackOSN = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, msg.AckO, oldSN, t.ackOSN)
+		l.obs.Reissue("l2", l.id, addr, t.tid, msg.AckO, oldSN, t.ackOSN)
 		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: t.ackOTo, Addr: addr, SN: t.ackOSN})
+		l.send(&msg.Message{Type: msg.AckO, Dst: t.ackOTo, Addr: addr, TID: t.tid, SN: t.ackOSN})
 		l.armAckBDTimer(addr, t)
 	})
 }
@@ -730,7 +739,7 @@ func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
 	}
 	line.Sharers.Clear()
 	if t.needData {
-		l.obs.StateChange("l2", l.id, addr, "M", "S")
+		l.obs.StateChange("l2", l.id, addr, t.tid, "M", "S")
 		line.State = L2StateS
 		line.Owner = 0
 		line.Payload = t.recalled
@@ -757,11 +766,11 @@ func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
 		t.wbDirty = line.Dirty
 		t.wbValid = true
 		line.Valid = false
-		l.obs.StateChange("l2", l.id, addr, l2StateName(line.State), "I")
+		l.obs.StateChange("l2", l.id, addr, t.tid, l2StateName(line.State), "I")
 	}
 	t.phase = phaseWaitMemWbAck
 	t.memSN = l.serial.Next()
-	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeMem(addr), Addr: addr, SN: t.memSN})
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: t.memSN})
 	l.armMemTimer(addr, t, msg.Put)
 }
 
@@ -784,12 +793,12 @@ func (l *L2) armMemTimer(addr msg.Addr, t *l2Trans, typ msg.Type) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostRequest)
+		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostRequest)
 		t.memAttempts++
 		oldSN := t.memSN
 		t.memSN = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, typ, oldSN, t.memSN)
-		l.send(&msg.Message{Type: typ, Dst: l.topo.HomeMem(addr), Addr: addr, SN: t.memSN})
+		l.obs.Reissue("l2", l.id, addr, t.tid, typ, oldSN, t.memSN)
+		l.send(&msg.Message{Type: typ, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: t.memSN})
 		l.armMemTimer(addr, t, typ)
 	})
 }
@@ -806,15 +815,15 @@ func (l *L2) handleMemWbAck(m *msg.Message) {
 	t.memTimer.Stop()
 	if m.WantData && t.wbDirty {
 		t.phase = phaseWaitMemAckO
-		l.obs.BackupCreated("l2", l.id, m.Addr, m.Src)
+		l.obs.BackupCreated("l2", l.id, m.Addr, t.tid, m.Src)
 		l.send(&msg.Message{
-			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, TID: t.tid, SN: m.SN,
 			Payload: t.wbPayload, Dirty: true,
 		})
 		l.armMemBackup(m.Addr, t)
 		return
 	}
-	l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, TID: t.tid, SN: m.SN})
 	t.wbValid = false
 	l.finish(m.Addr, t)
 }
@@ -829,8 +838,8 @@ func (l *L2) armMemBackup(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeMem(addr), Addr: addr, SN: l.serial.Next()})
+		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutBackup)
+		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: l.serial.Next()})
 		l.armMemBackup(addr, t)
 	})
 }
@@ -844,16 +853,16 @@ func (l *L2) handleAckO(m *msg.Message) {
 		if t != nil && t.phase == phaseWaitMemAckO {
 			t.backupTimer.Stop()
 			t.wbValid = false
-			l.obs.BackupDeleted("l2", l.id, m.Addr)
-			l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+			l.obs.BackupDeleted("l2", l.id, m.Addr, t.tid)
+			l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 			l.finish(m.Addr, t)
 			return
 		}
 		// Duplicate AckO after our AckBD was lost: answer again.
-		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 		return
 	}
-	l.acceptAckOFromL1(m.Addr, m.Src, m.SN)
+	l.acceptAckOFromL1(m.Addr, m.Src, m.TID, m.SN)
 	if t := l.trans.Get(m.Addr); t != nil && t.phase == phaseWaitUnblock {
 		l.maybeCloseRequest(m.Addr, t)
 	}
@@ -876,7 +885,7 @@ func (l *L2) handleAckBD(m *msg.Message) {
 		}
 		eb.timer.Stop()
 		delete(l.ext, m.Addr)
-		l.obs.TransactionEnd("l2", l.id, m.Addr)
+		l.obs.TransactionEnd("l2", l.id, m.Addr, eb.tid)
 		for _, fn := range eb.onClear {
 			l.engine.Schedule(0, fn)
 		}
@@ -911,26 +920,26 @@ func (l *L2) handleUnblockPing(m *msg.Message) {
 		l.run.Proto.AcksOSent++
 		l.run.Proto.PiggybackedAcksO++
 		l.send(&msg.Message{
-			Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr, SN: eb.sn, PiggybackAckO: true,
+			Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr, TID: eb.tid, SN: eb.sn, PiggybackAckO: true,
 		})
 		return
 	}
 	// Stale ping (our unblock already arrived): answer idempotently.
-	l.send(&msg.Message{Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 }
 
 // handleMemWbPing answers memory's query about an eviction writeback.
 func (l *L2) handleMemWbPing(m *msg.Message) {
 	t := l.trans.Get(m.Addr)
 	if t == nil || !t.wbValid {
-		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 		return
 	}
 	switch t.phase {
 	case phaseWaitMemAckO:
 		t.memSN = m.SN
 		l.send(&msg.Message{
-			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, TID: t.tid, SN: m.SN,
 			Payload: t.wbPayload, Dirty: true,
 		})
 	case phaseWaitMemWbAck:
@@ -940,17 +949,17 @@ func (l *L2) handleMemWbPing(m *msg.Message) {
 		if t.wbDirty {
 			t.phase = phaseWaitMemAckO
 			l.send(&msg.Message{
-				Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+				Type: msg.WbData, Dst: m.Src, Addr: m.Addr, TID: t.tid, SN: m.SN,
 				Payload: t.wbPayload, Dirty: true,
 			})
 			l.armMemBackup(m.Addr, t)
 		} else {
-			l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+			l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, TID: t.tid, SN: m.SN})
 			t.wbValid = false
 			l.finish(m.Addr, t)
 		}
 	default:
-		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.WbCancel, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 	}
 }
 
@@ -964,34 +973,34 @@ func (l *L2) handleOwnershipPing(m *msg.Message) {
 			// We have the data; confirming early is safe (our line is the
 			// in-chip backup for the onward transfer).
 			l.run.Proto.AcksOSent++
-			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: m.SN})
+			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, TID: m.TID, SN: m.SN})
 			return
 		}
 		if eb := l.ext[addr]; eb != nil {
 			l.run.Proto.AcksOSent++
-			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: eb.sn})
+			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, TID: eb.tid, SN: eb.sn})
 			return
 		}
 		if l.array.Lookup(addr) != nil {
 			l.run.Proto.AcksOSent++
-			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: m.SN})
+			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, TID: m.TID, SN: m.SN})
 			return
 		}
-		l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: addr, TID: m.TID, SN: m.SN})
 		return
 	}
 	// An L1 asks whether its WbData (or recalled data) reached us.
 	if t := l.trans.Get(addr); t != nil && t.phase == phaseWaitAckBD && t.ackOTo == m.Src {
 		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: t.ackOSN})
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, TID: t.tid, SN: t.ackOSN})
 		return
 	}
 	if line := l.array.Lookup(addr); line != nil && line.State == L2StateS {
 		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, TID: m.TID, SN: m.SN})
 		return
 	}
-	l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: addr, TID: m.TID, SN: m.SN})
 }
 
 // handleNackO restarts the relevant backup timer; recovery is driven by
@@ -1015,7 +1024,7 @@ func (l *L2) handleNackO(m *msg.Message) {
 func (l *L2) startFetch(addr msg.Addr, t *l2Trans) {
 	t.phase = phaseWaitMemData
 	t.memSN = l.serial.Next()
-	l.send(&msg.Message{Type: msg.GetX, Dst: l.topo.HomeMem(addr), Addr: addr, SN: t.memSN})
+	l.send(&msg.Message{Type: msg.GetX, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: t.memSN})
 	l.armMemTimer(addr, t, msg.GetX)
 }
 
@@ -1038,7 +1047,7 @@ func (l *L2) install(addr msg.Addr, t *l2Trans) {
 	victim.Payload = t.fetched
 	victim.Dirty = t.fetchedDirty
 	l.array.Touch(victim)
-	l.obs.StateChange("l2", l.id, addr, "I", "S")
+	l.obs.StateChange("l2", l.id, addr, t.tid, "I", "S")
 	l.service(addr, t)
 }
 
@@ -1054,6 +1063,7 @@ func (l *L2) startEvict(line *cache.Line, onDone func()) {
 	}
 	t = l.trans.Alloc(line.Addr)
 	t.evict = true
+	t.tid = l.tids.Next()
 	t.onDone = append(t.onDone, onDone)
 
 	if line.State == L2StateM || !line.Sharers.Empty() {
@@ -1077,12 +1087,12 @@ func (l *L2) sendRecall(addr msg.Addr, t *l2Trans, line *cache.Line) {
 		dst := l.topo.L1FromSharerIndex(i)
 		t.invTargets = append(t.invTargets, dst)
 		t.pendingAcks++
-		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: addr, SN: t.recallSN, Requestor: l.id})
+		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: addr, TID: t.tid, SN: t.recallSN, Requestor: l.id})
 	})
 	if t.needData {
 		t.fwdDest = line.Owner
 		l.send(&msg.Message{
-			Type: msg.GetX, Dst: line.Owner, Addr: addr, SN: t.recallSN,
+			Type: msg.GetX, Dst: line.Owner, Addr: addr, TID: t.tid, SN: t.recallSN,
 			Forwarded: true, Requestor: l.id,
 		})
 	}
@@ -1100,11 +1110,11 @@ func (l *L2) armRecallTimer(addr msg.Addr, t *l2Trans) {
 		}
 		l.run.Proto.LostRequestTimeouts++
 		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l2", l.id, addr, obs.TimeoutLostRequest)
+		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostRequest)
 		t.recallAttempts++
 		oldSN := t.recallSN
 		t.recallSN = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, msg.GetX, oldSN, t.recallSN)
+		l.obs.Reissue("l2", l.id, addr, t.tid, msg.GetX, oldSN, t.recallSN)
 		line := l.array.Lookup(addr)
 		if line == nil {
 			protocolPanic("L2 %d recall reissue for missing line %#x", l.id, addr)
@@ -1117,7 +1127,7 @@ func (l *L2) armRecallTimer(addr msg.Addr, t *l2Trans) {
 // the next queued request.
 func (l *L2) finish(addr msg.Addr, t *l2Trans) {
 	t.timersOff()
-	l.obs.TransactionEnd("l2", l.id, addr)
+	l.obs.TransactionEnd("l2", l.id, addr, t.tid)
 	t.phase = phaseIdle
 	t.wbValid = false
 	t.owedMem = false

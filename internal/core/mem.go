@@ -134,7 +134,7 @@ func (c *Mem) Handle(m *msg.Message) {
 
 // handleRequest starts, queues or re-answers (reissue) an L2 request.
 func (c *Mem) handleRequest(m *msg.Message) {
-	req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+	req := pendingReq{typ: m.Type, from: m.Src, tid: m.TID, sn: m.SN}
 	t := c.trans[m.Addr]
 	if t == nil {
 		if m.Type == msg.GetX && c.owned[m.Addr] {
@@ -143,7 +143,7 @@ func (c *Mem) handleRequest(m *msg.Message) {
 			// discard, changing nothing.
 			c.run.Proto.StaleSNDiscarded++
 			c.send(&msg.Message{
-				Type: msg.DataEx, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+				Type: msg.DataEx, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN,
 				Payload: c.store.Read(m.Addr),
 			})
 			return
@@ -174,20 +174,20 @@ func (c *Mem) service(addr msg.Addr, t *memTrans) {
 	switch t.req.typ {
 	case msg.GetX:
 		if !c.owned[addr] {
-			c.obs.StateChange("mem", c.id, addr, "mem", "chip")
+			c.obs.StateChange("mem", c.id, addr, t.req.tid, "mem", "chip")
 		}
 		c.owned[addr] = true
 		payload := c.store.Read(addr)
-		from, sn := t.req.from, t.req.sn
+		from, tid, sn := t.req.from, t.req.tid, t.req.sn
 		t.phase = memWaitUnblock
 		c.engine.Schedule(c.params.MemLatency, func() {
-			c.send(&msg.Message{Type: msg.DataEx, Dst: from, Addr: addr, SN: sn, Payload: payload})
+			c.send(&msg.Message{Type: msg.DataEx, Dst: from, Addr: addr, TID: tid, SN: sn, Payload: payload})
 		})
 		c.armPing(addr, t, msg.UnblockPing)
 	case msg.Put:
 		t.phase = memWaitWbData
 		c.send(&msg.Message{
-			Type: msg.WbAck, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			Type: msg.WbAck, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn,
 			WantData: c.owned[addr],
 		})
 		c.armPing(addr, t, msg.WbPing)
@@ -201,12 +201,12 @@ func (c *Mem) resendResponse(addr msg.Addr, t *memTrans) {
 	switch t.phase {
 	case memWaitUnblock:
 		c.send(&msg.Message{
-			Type: msg.DataEx, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			Type: msg.DataEx, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn,
 			Payload: c.store.Read(addr),
 		})
 	case memWaitWbData:
 		c.send(&msg.Message{
-			Type: msg.WbAck, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			Type: msg.WbAck, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn,
 			WantData: c.owned[addr],
 		})
 	}
@@ -227,8 +227,8 @@ func (c *Mem) armPing(addr msg.Addr, t *memTrans, ping msg.Type) {
 			return
 		}
 		c.run.Proto.LostUnblockTimeouts++
-		c.obs.TimeoutFired("mem", c.id, addr, obs.TimeoutLostUnblock)
-		c.send(&msg.Message{Type: ping, Dst: t.req.from, Addr: addr, SN: t.req.sn})
+		c.obs.TimeoutFired("mem", c.id, addr, t.req.tid, obs.TimeoutLostUnblock)
+		c.send(&msg.Message{Type: ping, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn})
 		c.armPing(addr, t, ping)
 	})
 }
@@ -239,13 +239,13 @@ func (c *Mem) handleUnblock(m *msg.Message) {
 	t := c.trans[m.Addr]
 	if t == nil || t.phase != memWaitUnblock || m.Src != t.req.from {
 		if m.PiggybackAckO {
-			c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+			c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 		}
 		c.run.Proto.StaleSNDiscarded++
 		return
 	}
 	if m.PiggybackAckO {
-		c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 	}
 	c.finish(m.Addr, t)
 }
@@ -261,13 +261,13 @@ func (c *Mem) handleWbData(m *msg.Message) {
 	t.pingTimer.Stop()
 	c.store.Write(m.Addr, m.Payload)
 	if c.owned[m.Addr] {
-		c.obs.StateChange("mem", c.id, m.Addr, "chip", "mem")
+		c.obs.StateChange("mem", c.id, m.Addr, m.TID, "chip", "mem")
 	}
 	c.owned[m.Addr] = false
 	t.phase = memWaitAckBD
 	t.ackOSN = m.SN
 	c.run.Proto.AcksOSent++
-	c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 	c.armAckBD(m.Addr, t)
 }
 
@@ -280,12 +280,12 @@ func (c *Mem) armAckBD(addr msg.Addr, t *memTrans) {
 			return
 		}
 		c.run.Proto.LostAckBDTimeouts++
-		c.obs.TimeoutFired("mem", c.id, addr, obs.TimeoutLostAckBD)
+		c.obs.TimeoutFired("mem", c.id, addr, t.req.tid, obs.TimeoutLostAckBD)
 		oldSN := t.ackOSN
 		t.ackOSN = c.serial.Next()
-		c.obs.Reissue("mem", c.id, addr, msg.AckO, oldSN, t.ackOSN)
+		c.obs.Reissue("mem", c.id, addr, t.req.tid, msg.AckO, oldSN, t.ackOSN)
 		c.run.Proto.AcksOSent++
-		c.send(&msg.Message{Type: msg.AckO, Dst: t.req.from, Addr: addr, SN: t.ackOSN})
+		c.send(&msg.Message{Type: msg.AckO, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.ackOSN})
 		c.armAckBD(addr, t)
 	})
 }
@@ -305,7 +305,7 @@ func (c *Mem) handleWbNoData(m *msg.Message) {
 	// have been granted meanwhile — this very transaction blocks the line —
 	// so clearing ownership is safe in both cases.
 	if c.owned[m.Addr] {
-		c.obs.StateChange("mem", c.id, m.Addr, "chip", "mem")
+		c.obs.StateChange("mem", c.id, m.Addr, m.TID, "chip", "mem")
 	}
 	c.owned[m.Addr] = false
 	c.finish(m.Addr, t)
@@ -315,7 +315,7 @@ func (c *Mem) handleWbNoData(m *msg.Message) {
 // lost-AckBD resend): the backup role here is implicit (memory always has
 // the data), so just acknowledge the deletion.
 func (c *Mem) handleAckO(m *msg.Message) {
-	c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 }
 
 // handleAckBD closes the WbData handshake.
@@ -340,21 +340,21 @@ func (c *Mem) handleOwnershipPing(m *msg.Message) {
 	t := c.trans[m.Addr]
 	if t != nil && t.phase == memWaitAckBD && t.req.from == m.Src {
 		c.run.Proto.AcksOSent++
-		c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: t.ackOSN})
+		c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, TID: t.req.tid, SN: t.ackOSN})
 		return
 	}
 	if t != nil && t.phase == memWaitWbData {
 		// Still waiting for the data: the L2's copy is the only one.
-		c.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		c.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 		return
 	}
 	if !c.owned[m.Addr] {
 		// The handshake completed earlier; confirm idempotently.
 		c.run.Proto.AcksOSent++
-		c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 		return
 	}
-	c.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+	c.send(&msg.Message{Type: msg.NackO, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
 }
 
 // handleNackO is ignorable at memory: it never holds an explicit backup
@@ -363,7 +363,7 @@ func (c *Mem) handleNackO(m *msg.Message) {}
 
 func (c *Mem) finish(addr msg.Addr, t *memTrans) {
 	t.timersOff()
-	c.obs.TransactionEnd("mem", c.id, addr)
+	c.obs.TransactionEnd("mem", c.id, addr, t.req.tid)
 	if len(t.queue) == 0 {
 		delete(c.trans, addr)
 		return

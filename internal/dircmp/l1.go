@@ -14,6 +14,7 @@ type l1Miss struct {
 	write    bool
 	value    uint64
 	issuedAt uint64
+	tid      msg.TID
 
 	dataArrived   bool
 	exclusive     bool
@@ -33,6 +34,7 @@ type l1Miss struct {
 type l1WB struct {
 	payload     msg.Payload
 	dirty       bool
+	tid         msg.TID
 	transferred bool // ownership handed to another node while Put pending
 	waiters     []func()
 }
@@ -50,6 +52,7 @@ type L1 struct {
 	mshr    *cache.Table[l1Miss]
 	wb      *cache.Table[l1WB]
 	onWrite proto.WriteObserver
+	tids    proto.TIDSource
 	obs     *obs.Recorder
 }
 
@@ -74,6 +77,7 @@ func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 		mshr:    cache.NewTable[l1Miss](params.MSHRs),
 		wb:      cache.NewTable[l1WB](0),
 		onWrite: onWrite,
+		tids:    proto.NewTIDSource(id),
 	}, nil
 }
 
@@ -171,13 +175,14 @@ func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.
 	e.write = write
 	e.value = value
 	e.issuedAt = l.engine.Now()
+	e.tid = l.tids.Next()
 	e.done = done
 
 	typ := msg.GetS
 	if write {
 		typ = msg.GetX
 	}
-	l.send(&msg.Message{Type: typ, Dst: l.topo.HomeL2(addr), Addr: addr})
+	l.send(&msg.Message{Type: typ, Dst: l.topo.HomeL2(addr), Addr: addr, TID: e.tid})
 }
 
 // Handle processes a delivered network message.
@@ -239,15 +244,15 @@ func (l *L1) handleInv(m *msg.Message) {
 			protocolPanic("L1 %d Inv for owned line %#x in %s", l.id, m.Addr, stateName(line.State))
 		}
 		line.Valid = false
-		l.obs.StateChange("l1", l.id, m.Addr, stateName(line.State), "I")
+		l.obs.StateChange("l1", l.id, m.Addr, m.TID, stateName(line.State), "I")
 	}
-	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, SN: m.SN})
+	l.send(&msg.Message{Type: msg.Ack, Dst: m.Requestor, Addr: m.Addr, TID: m.TID, SN: m.SN})
 }
 
 // handleFwdGetS serves a read request forwarded by the directory: this
 // cache owns the line (or holds it in the writeback buffer).
 func (l *L1) handleFwdGetS(m *msg.Message) {
-	payload, dirty, ok := l.takeOwnedData(m.Addr, m.Migratory)
+	payload, dirty, ok := l.takeOwnedData(m.Addr, m.TID, m.Migratory)
 	if !ok {
 		protocolPanic("L1 %d fwd GetS for line %#x it does not own", l.id, m.Addr)
 	}
@@ -255,13 +260,13 @@ func (l *L1) handleFwdGetS(m *msg.Message) {
 	if m.Migratory {
 		// Migratory optimization: hand the requester exclusive ownership.
 		l.send(&msg.Message{
-			Type: msg.DataEx, Dst: m.Requestor, Addr: m.Addr, SN: m.SN,
+			Type: msg.DataEx, Dst: m.Requestor, Addr: m.Addr, TID: m.TID, SN: m.SN,
 			Payload: payload, Dirty: true, AckCount: m.AckCount,
 		})
 		return
 	}
 	l.send(&msg.Message{
-		Type: msg.Data, Dst: m.Requestor, Addr: m.Addr, SN: m.SN,
+		Type: msg.Data, Dst: m.Requestor, Addr: m.Addr, TID: m.TID, SN: m.SN,
 		Payload: payload, Dirty: dirty,
 	})
 }
@@ -269,13 +274,13 @@ func (l *L1) handleFwdGetS(m *msg.Message) {
 // handleFwdGetX serves a write request forwarded by the directory,
 // transferring ownership and invalidating the local copy.
 func (l *L1) handleFwdGetX(m *msg.Message) {
-	payload, _, ok := l.takeOwnedData(m.Addr, true)
+	payload, _, ok := l.takeOwnedData(m.Addr, m.TID, true)
 	if !ok {
 		protocolPanic("L1 %d fwd GetX for line %#x it does not own", l.id, m.Addr)
 	}
 	l.run.Proto.CacheToCacheTransfers++
 	l.send(&msg.Message{
-		Type: msg.DataEx, Dst: m.Requestor, Addr: m.Addr, SN: m.SN,
+		Type: msg.DataEx, Dst: m.Requestor, Addr: m.Addr, TID: m.TID, SN: m.SN,
 		Payload: payload, Dirty: true, AckCount: m.AckCount,
 	})
 }
@@ -283,15 +288,15 @@ func (l *L1) handleFwdGetX(m *msg.Message) {
 // takeOwnedData fetches the line's data for a forwarded request, from the
 // array or the writeback buffer. When invalidate is true the local copy is
 // relinquished (ownership moves); otherwise M/E owners degrade to O.
-func (l *L1) takeOwnedData(addr msg.Addr, invalidate bool) (msg.Payload, bool, bool) {
+func (l *L1) takeOwnedData(addr msg.Addr, tid msg.TID, invalidate bool) (msg.Payload, bool, bool) {
 	if line := l.array.Lookup(addr); line != nil && ownerState(line.State) {
 		payload, dirty := line.Payload, line.Dirty || line.State == StateM
 		if invalidate {
 			line.Valid = false
-			l.obs.StateChange("l1", l.id, addr, stateName(line.State), "I")
+			l.obs.StateChange("l1", l.id, addr, tid, stateName(line.State), "I")
 		} else {
 			if line.State != StateO {
-				l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(StateO))
+				l.obs.StateChange("l1", l.id, addr, tid, stateName(line.State), stateName(StateO))
 			}
 			line.State = StateO
 		}
@@ -318,15 +323,16 @@ func (l *L1) handleWbAck(m *msg.Message) {
 	}
 	if m.WantData && !w.transferred {
 		l.send(&msg.Message{
-			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, TID: w.tid, SN: m.SN,
 			Payload: w.payload, Dirty: w.dirty,
 		})
 	} else {
-		l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, TID: w.tid, SN: m.SN})
 	}
 	waiters := w.waiters
+	tid := w.tid
 	l.wb.Free(m.Addr)
-	l.obs.TransactionEnd("l1", l.id, m.Addr)
+	l.obs.TransactionEnd("l1", l.id, m.Addr, tid)
 	l.wake(waiters)
 }
 
@@ -373,7 +379,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 	}
 
 	dirty := e.dirty || e.write
-	l.place(addr, state, payload, dirty, func(line *cache.Line) {
+	l.place(addr, state, payload, dirty, e.tid, func(line *cache.Line) {
 		if e.write {
 			if l.onWrite != nil {
 				l.onWrite(addr, payload.Version, payload.Value)
@@ -384,7 +390,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 		if e.exclusive || e.write {
 			unblock = msg.UnblockEx
 		}
-		l.send(&msg.Message{Type: unblock, Dst: l.topo.HomeL2(addr), Addr: addr})
+		l.send(&msg.Message{Type: unblock, Dst: l.topo.HomeL2(addr), Addr: addr, TID: e.tid})
 
 		latency := l.engine.Now() - e.issuedAt
 		l.run.Proto.MissLatency(latency)
@@ -395,8 +401,9 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 		}
 		done := e.done
 		waiters := e.waiters
+		tid := e.tid
 		l.mshr.Free(addr)
-		l.obs.TransactionEnd("l1", l.id, addr)
+		l.obs.TransactionEnd("l1", l.id, addr, tid)
 		if done != nil {
 			done(res)
 		}
@@ -406,11 +413,11 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 
 // place installs a line in the array, evicting a victim if necessary, then
 // runs then. If every way is pinned it retries until one frees up.
-func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, then func(*cache.Line)) {
+func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, tid msg.TID, then func(*cache.Line)) {
 	if line := l.array.Lookup(addr); line != nil {
 		// Upgrade path: the frame already holds the line.
 		if line.State != state {
-			l.obs.StateChange("l1", l.id, addr, stateName(line.State), stateName(state))
+			l.obs.StateChange("l1", l.id, addr, tid, stateName(line.State), stateName(state))
 		}
 		line.State = state
 		line.Payload = payload
@@ -423,38 +430,39 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, th
 		return l.mshr.Get(c.Addr) == nil && l.wb.Get(c.Addr) == nil
 	})
 	if victim == nil {
-		l.engine.Schedule(4, func() { l.place(addr, state, payload, dirty, then) })
+		l.engine.Schedule(4, func() { l.place(addr, state, payload, dirty, tid, then) })
 		return
 	}
 	if victim.Valid {
-		l.evict(victim)
+		l.evict(victim, tid)
 	}
 	victim.Reset(addr)
 	victim.State = state
 	victim.Payload = payload
 	victim.Dirty = dirty
 	l.array.Touch(victim)
-	l.obs.StateChange("l1", l.id, addr, "I", stateName(state))
+	l.obs.StateChange("l1", l.id, addr, tid, "I", stateName(state))
 	then(victim)
 }
 
 // evict starts a three-phase writeback for owned lines; shared lines are
 // dropped silently (the directory tolerates stale sharers).
-func (l *L1) evict(line *cache.Line) {
+func (l *L1) evict(line *cache.Line, cause msg.TID) {
 	if !ownerState(line.State) {
 		line.Valid = false
-		l.obs.StateChange("l1", l.id, line.Addr, stateName(line.State), "I")
+		l.obs.StateChange("l1", l.id, line.Addr, cause, stateName(line.State), "I")
 		return
 	}
-	l.obs.StateChange("l1", l.id, line.Addr, stateName(line.State), "WB")
 	w := l.wb.Alloc(line.Addr)
 	if w == nil {
 		protocolPanic("L1 %d duplicate writeback for %#x", l.id, line.Addr)
 	}
 	w.payload = line.Payload
 	w.dirty = line.Dirty || line.State == StateM
+	w.tid = l.tids.Next()
+	l.obs.StateChange("l1", l.id, line.Addr, w.tid, stateName(line.State), "WB")
 	l.run.Proto.Writebacks++
-	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(line.Addr), Addr: line.Addr})
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(line.Addr), Addr: line.Addr, TID: w.tid})
 	line.Valid = false
 }
 

@@ -31,6 +31,7 @@ const (
 type pendingReq struct {
 	typ  msg.Type
 	from msg.NodeID
+	tid  msg.TID
 	sn   msg.SerialNumber
 }
 
@@ -40,6 +41,10 @@ type l2Trans struct {
 	evict bool // this transaction evicts the line rather than serving a request
 	req   pendingReq
 	queue []pendingReq
+
+	// tid drives the current service: the in-service request's TID, or a
+	// self-minted one for directory-initiated evictions.
+	tid msg.TID
 
 	// Recall bookkeeping (eviction of lines with L1 copies).
 	pendingAcks int
@@ -96,6 +101,7 @@ type L2 struct {
 	array *cache.Array
 	trans *cache.Table[l2Trans]
 	mig   map[msg.Addr]*migInfo
+	tids  proto.TIDSource
 	obs   *obs.Recorder
 }
 
@@ -118,6 +124,7 @@ func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 		array:  arr,
 		trans:  cache.NewTable[l2Trans](0),
 		mig:    make(map[msg.Addr]*migInfo),
+		tids:   proto.NewTIDSource(id),
 	}, nil
 }
 
@@ -152,7 +159,7 @@ func (l *L2) Handle(m *msg.Message) {
 
 // handleRequest starts or queues an L1 request.
 func (l *L2) handleRequest(m *msg.Message) {
-	req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+	req := pendingReq{typ: m.Type, from: m.Src, tid: m.TID, sn: m.SN}
 	if t := l.trans.Get(m.Addr); t != nil {
 		t.queue = append(t.queue, req)
 		return
@@ -167,6 +174,7 @@ func (l *L2) handleRequest(m *msg.Message) {
 func (l *L2) service(addr msg.Addr, t *l2Trans) {
 	line := l.array.Lookup(addr)
 	r := t.req
+	t.tid = r.tid
 	switch r.typ {
 	case msg.GetS:
 		l.migOnRead(addr, r.from)
@@ -179,15 +187,15 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 			if line.Sharers.Empty() {
 				// Exclusive grant: E if clean, M if dirty.
 				l.send(&msg.Message{
-					Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+					Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 					Payload: line.Payload, Dirty: line.Dirty,
 				})
-				l.obs.StateChange("l2", l.id, addr, "S", "M")
+				l.obs.StateChange("l2", l.id, addr, r.tid, "S", "M")
 				line.State = L2StateM
 				line.Owner = r.from
 			} else {
 				l.send(&msg.Message{
-					Type: msg.Data, Dst: r.from, Addr: addr, SN: r.sn,
+					Type: msg.Data, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 					Payload: line.Payload,
 				})
 				line.Sharers.Add(l.topo.SharerIndex(r.from))
@@ -207,13 +215,13 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 			// and demote the line after every migration.
 			l.migOnWrite(addr, r.from)
 			l.send(&msg.Message{
-				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, TID: r.tid, SN: r.sn,
 				Forwarded: true, Migratory: true, Requestor: r.from,
 			})
 			line.Owner = r.from
 		} else {
 			l.send(&msg.Message{
-				Type: msg.GetS, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Type: msg.GetS, Dst: line.Owner, Addr: addr, TID: r.tid, SN: r.sn,
 				Forwarded: true, Requestor: r.from,
 			})
 			line.Sharers.Add(l.topo.SharerIndex(r.from))
@@ -227,25 +235,25 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 			return
 		}
 		l.array.Touch(line)
-		invs := l.sendInvalidations(line, r.from, r.sn)
+		invs := l.sendInvalidations(line, r.from, r.tid, r.sn)
 		if line.State == L2StateS {
 			l.send(&msg.Message{
-				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 				Payload: line.Payload, Dirty: line.Dirty, AckCount: invs,
 			})
-			l.obs.StateChange("l2", l.id, addr, "S", "M")
+			l.obs.StateChange("l2", l.id, addr, r.tid, "S", "M")
 			line.State = L2StateM
 			line.Owner = r.from
 		} else if line.Owner == r.from {
 			// Upgrade by the owner (O state): it already holds the only
 			// valid data, so the grant is dataless.
 			l.send(&msg.Message{
-				Type: msg.DataEx, Dst: r.from, Addr: addr, SN: r.sn,
+				Type: msg.DataEx, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn,
 				NoPayload: true, AckCount: invs,
 			})
 		} else {
 			l.send(&msg.Message{
-				Type: msg.GetX, Dst: line.Owner, Addr: addr, SN: r.sn,
+				Type: msg.GetX, Dst: line.Owner, Addr: addr, TID: r.tid, SN: r.sn,
 				Forwarded: true, Requestor: r.from, AckCount: invs,
 			})
 			line.Owner = r.from
@@ -256,12 +264,12 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 	case msg.Put:
 		if line != nil && line.State == L2StateM && line.Owner == r.from {
 			l.send(&msg.Message{
-				Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn, WantData: true,
+				Type: msg.WbAck, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn, WantData: true,
 			})
 		} else {
 			// Stale writeback: the ownership already moved (or the line
 			// was evicted from L2); let the L1 finish without data.
-			l.send(&msg.Message{Type: msg.WbAck, Dst: r.from, Addr: addr, SN: r.sn})
+			l.send(&msg.Message{Type: msg.WbAck, Dst: r.from, Addr: addr, TID: r.tid, SN: r.sn})
 		}
 		t.phase = phaseWaitWbData
 
@@ -272,7 +280,7 @@ func (l *L2) service(addr msg.Addr, t *l2Trans) {
 
 // sendInvalidations sends Inv to every sharer except the requester and
 // returns how many were sent.
-func (l *L2) sendInvalidations(line *cache.Line, requester msg.NodeID, sn msg.SerialNumber) int {
+func (l *L2) sendInvalidations(line *cache.Line, requester msg.NodeID, tid msg.TID, sn msg.SerialNumber) int {
 	count := 0
 	line.Sharers.ForEach(func(i int) {
 		dst := l.topo.L1FromSharerIndex(i)
@@ -280,7 +288,7 @@ func (l *L2) sendInvalidations(line *cache.Line, requester msg.NodeID, sn msg.Se
 			return
 		}
 		count++
-		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: line.Addr, SN: sn, Requestor: requester})
+		l.send(&msg.Message{Type: msg.Inv, Dst: dst, Addr: line.Addr, TID: tid, SN: sn, Requestor: requester})
 	})
 	return count
 }
@@ -308,7 +316,7 @@ func (l *L2) handleWbData(m *msg.Message) {
 		if line == nil || line.State != L2StateM || line.Owner != t.req.from {
 			protocolPanic("L2 %d WbData for line it did not expect: %v", l.id, m)
 		}
-		l.obs.StateChange("l2", l.id, m.Addr, "M", "S")
+		l.obs.StateChange("l2", l.id, m.Addr, m.TID, "M", "S")
 		line.State = L2StateS
 		line.Owner = 0
 		line.Payload = m.Payload
@@ -327,7 +335,7 @@ func (l *L2) handleData(m *msg.Message) {
 	switch t.phase {
 	case phaseWaitMemData:
 		// Release memory immediately; frame installation may wait.
-		l.send(&msg.Message{Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr})
+		l.send(&msg.Message{Type: msg.UnblockEx, Dst: m.Src, Addr: m.Addr, TID: t.tid})
 		t.fetched = m.Payload
 		t.fetchedDirty = m.Dirty
 		l.install(m.Addr, t)
@@ -362,7 +370,7 @@ func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
 		protocolPanic("L2 %d recall finished for missing line %#x", l.id, addr)
 	}
 	if t.needData {
-		l.obs.StateChange("l2", l.id, addr, "M", "S")
+		l.obs.StateChange("l2", l.id, addr, t.tid, "M", "S")
 		line.State = L2StateS
 		line.Owner = 0
 		line.Payload = t.recalled
@@ -379,9 +387,9 @@ func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
 	t.wbDirty = line.Dirty
 	t.wbValid = true
 	line.Valid = false
-	l.obs.StateChange("l2", l.id, addr, l2StateName(line.State), "I")
+	l.obs.StateChange("l2", l.id, addr, t.tid, l2StateName(line.State), "I")
 	t.phase = phaseWaitMemWbAck
-	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeMem(addr), Addr: addr})
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid})
 }
 
 // handleMemWbAck completes the memory writeback.
@@ -392,11 +400,11 @@ func (l *L2) handleMemWbAck(m *msg.Message) {
 	}
 	if m.WantData && t.wbDirty {
 		l.send(&msg.Message{
-			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, SN: m.SN,
+			Type: msg.WbData, Dst: m.Src, Addr: m.Addr, TID: t.tid, SN: m.SN,
 			Payload: t.wbPayload, Dirty: true,
 		})
 	} else {
-		l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, SN: m.SN})
+		l.send(&msg.Message{Type: msg.WbNoData, Dst: m.Src, Addr: m.Addr, TID: t.tid, SN: m.SN})
 	}
 	l.finish(m.Addr, t)
 }
@@ -405,7 +413,7 @@ func (l *L2) handleMemWbAck(m *msg.Message) {
 func (l *L2) startFetch(addr msg.Addr, t *l2Trans) {
 	l.run.Proto.L2Misses++
 	t.phase = phaseWaitMemData
-	l.send(&msg.Message{Type: msg.GetX, Dst: l.topo.HomeMem(addr), Addr: addr})
+	l.send(&msg.Message{Type: msg.GetX, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid})
 }
 
 // install places fetched data into the array, evicting a victim if needed,
@@ -427,7 +435,7 @@ func (l *L2) install(addr msg.Addr, t *l2Trans) {
 	victim.Payload = t.fetched
 	victim.Dirty = t.fetchedDirty
 	l.array.Touch(victim)
-	l.obs.StateChange("l2", l.id, addr, "I", "S")
+	l.obs.StateChange("l2", l.id, addr, t.tid, "I", "S")
 	l.service(addr, t)
 }
 
@@ -445,6 +453,7 @@ func (l *L2) startEvict(line *cache.Line, onDone func()) {
 	}
 	t = l.trans.Alloc(line.Addr)
 	t.evict = true
+	t.tid = l.tids.Next()
 	t.onDone = append(t.onDone, onDone)
 
 	if line.State == L2StateM {
@@ -455,11 +464,11 @@ func (l *L2) startEvict(line *cache.Line, onDone func()) {
 			t.pendingAcks++
 			l.send(&msg.Message{
 				Type: msg.Inv, Dst: l.topo.L1FromSharerIndex(i),
-				Addr: line.Addr, Requestor: l.id,
+				Addr: line.Addr, TID: t.tid, Requestor: l.id,
 			})
 		})
 		l.send(&msg.Message{
-			Type: msg.GetX, Dst: line.Owner, Addr: line.Addr,
+			Type: msg.GetX, Dst: line.Owner, Addr: line.Addr, TID: t.tid,
 			Forwarded: true, Requestor: l.id,
 		})
 		t.phase = phaseWaitRecall
@@ -472,7 +481,7 @@ func (l *L2) startEvict(line *cache.Line, onDone func()) {
 			t.pendingAcks++
 			l.send(&msg.Message{
 				Type: msg.Inv, Dst: l.topo.L1FromSharerIndex(i),
-				Addr: line.Addr, Requestor: l.id,
+				Addr: line.Addr, TID: t.tid, Requestor: l.id,
 			})
 		})
 		t.phase = phaseWaitRecall
@@ -484,7 +493,7 @@ func (l *L2) startEvict(line *cache.Line, onDone func()) {
 // finish closes the current transaction, runs eviction continuations, and
 // services the next queued request if any.
 func (l *L2) finish(addr msg.Addr, t *l2Trans) {
-	l.obs.TransactionEnd("l2", l.id, addr)
+	l.obs.TransactionEnd("l2", l.id, addr, t.tid)
 	t.phase = phaseIdle
 	t.wbValid = false
 	for _, fn := range t.onDone {

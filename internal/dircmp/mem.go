@@ -64,7 +64,7 @@ func (c *Mem) Quiesced() bool { return len(c.trans) == 0 }
 func (c *Mem) Handle(m *msg.Message) {
 	switch m.Type {
 	case msg.GetX, msg.Put:
-		req := pendingReq{typ: m.Type, from: m.Src, sn: m.SN}
+		req := pendingReq{typ: m.Type, from: m.Src, tid: m.TID, sn: m.SN}
 		if t := c.trans[m.Addr]; t != nil {
 			t.queue = append(t.queue, req)
 			return
@@ -87,7 +87,7 @@ func (c *Mem) Handle(m *msg.Message) {
 			c.store.Write(m.Addr, m.Payload)
 		}
 		if c.owned[m.Addr] {
-			c.obs.StateChange("mem", c.id, m.Addr, "chip", "mem")
+			c.obs.StateChange("mem", c.id, m.Addr, m.TID, "chip", "mem")
 		}
 		c.owned[m.Addr] = false
 		c.finish(m.Addr, t)
@@ -102,21 +102,22 @@ func (c *Mem) service(addr msg.Addr, t *memTrans) {
 		if c.owned[addr] {
 			protocolPanic("mem %d GetX for line %#x already owned by chip", c.id, addr)
 		}
-		c.obs.StateChange("mem", c.id, addr, "mem", "chip")
+		c.obs.StateChange("mem", c.id, addr, t.req.tid, "mem", "chip")
 		c.owned[addr] = true
 		payload := c.store.Read(addr)
 		from := t.req.from
+		tid := t.req.tid
 		sn := t.req.sn
 		t.phase = phaseWaitUnblock
 		c.engine.Schedule(c.params.MemLatency, func() {
 			c.send(&msg.Message{
-				Type: msg.DataEx, Dst: from, Addr: addr, SN: sn, Payload: payload,
+				Type: msg.DataEx, Dst: from, Addr: addr, TID: tid, SN: sn, Payload: payload,
 			})
 		})
 	case msg.Put:
 		t.phase = phaseWaitWbData
 		c.send(&msg.Message{
-			Type: msg.WbAck, Dst: t.req.from, Addr: addr, SN: t.req.sn,
+			Type: msg.WbAck, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn,
 			WantData: c.owned[addr],
 		})
 	default:
@@ -125,7 +126,7 @@ func (c *Mem) service(addr msg.Addr, t *memTrans) {
 }
 
 func (c *Mem) finish(addr msg.Addr, t *memTrans) {
-	c.obs.TransactionEnd("mem", c.id, addr)
+	c.obs.TransactionEnd("mem", c.id, addr, t.req.tid)
 	if len(t.queue) == 0 {
 		delete(c.trans, addr)
 		return

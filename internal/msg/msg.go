@@ -242,6 +242,24 @@ type Payload struct {
 	Version uint64
 }
 
+// TID is a transaction identifier correlating every message (and structured
+// event, see internal/obs) caused by one coherence transaction — usually an
+// L1 miss, or a self-initiated writeback/eviction. TIDs are simulator
+// metadata, not protocol state: they ride on messages for observability but
+// are excluded from the wire encoding (crc.go), so the modeled message sizes
+// and the corruption model are unaffected. Zero means "unattributed".
+type TID uint64
+
+// MakeTID builds a transaction ID from the originating node and that node's
+// per-controller sequence number.
+func MakeTID(node NodeID, seq uint32) TID { return TID(node)<<32 | TID(seq) }
+
+// Node returns the originating node of the transaction.
+func (t TID) Node() NodeID { return NodeID(t >> 32) }
+
+// Seq returns the originator-local sequence number of the transaction.
+func (t TID) Seq() uint32 { return uint32(t) }
+
 // Message is a coherence message in flight. Messages are passed by pointer
 // through the network model but must be treated as immutable once sent;
 // receivers that need to derive a reply build a new Message.
@@ -250,6 +268,12 @@ type Message struct {
 	Src  NodeID
 	Dst  NodeID
 	Addr Addr
+
+	// TID names the coherence transaction this message belongs to.
+	// Responses and forwards echo the TID of the message that caused them.
+	// Pure observability metadata: not on the wire (see TID), not printed by
+	// String, ignored by the protocol state machines.
+	TID TID
 
 	// SN is the request serial number (FtDirCMP §3.5). Responses and
 	// forwarded requests carry the serial number of the request they answer.

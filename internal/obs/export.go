@@ -32,10 +32,13 @@ func writeEventJSON(bw *bufio.Writer, e Event) {
 	}
 	fmt.Fprintf(bw, `,"node":%d`, e.Node)
 	switch e.Kind {
-	case KindPing, KindCancel, KindFaultInject, KindBackupCreate:
+	case KindPing, KindCancel, KindFaultInject, KindBackupCreate, KindMsgSend:
 		fmt.Fprintf(bw, `,"dst":%d`, e.Dst)
 	}
 	fmt.Fprintf(bw, `,"addr":"%#x"`, uint64(e.Addr))
+	if e.TID != 0 {
+		fmt.Fprintf(bw, `,"tid":%d`, uint64(e.TID))
+	}
 	if e.Kind == KindTimeout {
 		fmt.Fprintf(bw, `,"timeout":%q`, e.Timeout.String())
 	}
@@ -51,7 +54,7 @@ func writeEventJSON(bw *bufio.Writer, e Event) {
 	if e.Kind == KindRecreate {
 		fmt.Fprintf(bw, `,"newSN":%d`, e.NewSN)
 	}
-	if e.Kind == KindRecover {
+	if e.Kind == KindRecover || e.Kind == KindMsgRecv {
 		fmt.Fprintf(bw, `,"latency":%d`, e.Latency)
 	}
 	bw.WriteByte('}')
@@ -93,15 +96,18 @@ func WriteChromeTrace(w io.Writer, events []Event, names func(msg.NodeID) string
 		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{`,
 			e.Name(), e.Kind.String(), e.Cycle, e.Node)
 		fmt.Fprintf(bw, `"seq":%d,"addr":"%#x"`, e.Seq, uint64(e.Addr))
+		if e.TID != 0 {
+			fmt.Fprintf(bw, `,"txn":%d`, uint64(e.TID))
+		}
 		if e.Unit != "" {
 			fmt.Fprintf(bw, `,"unit":%q`, e.Unit)
 		}
 		switch e.Kind {
-		case KindPing, KindCancel, KindFaultInject, KindBackupCreate:
+		case KindPing, KindCancel, KindFaultInject, KindBackupCreate, KindMsgSend:
 			fmt.Fprintf(bw, `,"dst":%d`, e.Dst)
 		case KindReissue:
 			fmt.Fprintf(bw, `,"oldSN":%d,"newSN":%d`, e.OldSN, e.NewSN)
-		case KindRecover:
+		case KindRecover, KindMsgRecv:
 			fmt.Fprintf(bw, `,"latency":%d`, e.Latency)
 		}
 		bw.WriteString("}}")

@@ -65,8 +65,15 @@ const (
 	KindRecover
 	// KindRecreate is the FtTokenCMP token recreation process starting.
 	KindRecreate
+	// KindMsgSend is a message handed to the network (message feed; emitted
+	// only when EnableMessageFeed was called, for span reconstruction).
+	KindMsgSend
+	// KindMsgRecv is a message delivered to its destination (message feed;
+	// emitted only when EnableMessageFeed was called). Latency holds the
+	// network transit time in cycles.
+	KindMsgRecv
 
-	numKinds = int(KindRecreate)
+	numKinds = int(KindMsgRecv)
 )
 
 var kindNames = [...]string{
@@ -81,6 +88,8 @@ var kindNames = [...]string{
 	KindFaultInject:  "fault.inject",
 	KindRecover:      "recover",
 	KindRecreate:     "recreate",
+	KindMsgSend:      "msg.send",
+	KindMsgRecv:      "msg.recv",
 }
 
 func (k Kind) String() string {
@@ -93,7 +102,7 @@ func (k Kind) String() string {
 // AllKinds returns every event kind in declaration order.
 func AllKinds() []Kind {
 	out := make([]Kind, 0, numKinds)
-	for k := KindState; k <= KindRecreate; k++ {
+	for k := KindState; k <= KindMsgRecv; k++ {
 		out = append(out, k)
 	}
 	return out
@@ -151,8 +160,12 @@ type Event struct {
 	// protocols), or "net" for events derived from the network feed.
 	Unit string
 	// Node is the emitting agent (message source for network-derived
-	// events).
+	// events, message destination for msg.recv).
 	Node msg.NodeID
+	// TID names the coherence transaction the event belongs to (the L1 miss
+	// or self-initiated writeback/eviction that caused it); zero when
+	// unattributed. See internal/span for the reconstruction built on it.
+	TID msg.TID
 	// Dst is the counterpart node where one exists: ping/cancel/fault
 	// destination, backup receiver.
 	Dst  msg.NodeID
@@ -166,7 +179,8 @@ type Event struct {
 	// Old/New are the state names on KindState events.
 	Old, New string
 	// Latency is, on KindRecover events, the cycles elapsed since the
-	// injection that opened the window.
+	// injection that opened the window; on KindMsgRecv events, the network
+	// transit time.
 	Latency uint64
 }
 
@@ -178,7 +192,7 @@ func (e Event) Name() string {
 		return "state:" + e.Old + ">" + e.New
 	case KindTimeout:
 		return "timeout:" + e.Timeout.String()
-	case KindReissue, KindPing, KindCancel, KindFaultInject:
+	case KindReissue, KindPing, KindCancel, KindFaultInject, KindMsgSend, KindMsgRecv:
 		return e.Kind.String() + ":" + e.Type.String()
 	default:
 		return e.Kind.String()
@@ -193,9 +207,9 @@ func (e Event) String() string {
 	switch e.Kind {
 	case KindReissue:
 		s += fmt.Sprintf(" sn=%d->%d", e.OldSN, e.NewSN)
-	case KindRecover:
+	case KindRecover, KindMsgRecv:
 		s += fmt.Sprintf(" latency=%d", e.Latency)
-	case KindPing, KindCancel, KindFaultInject, KindBackupCreate:
+	case KindPing, KindCancel, KindFaultInject, KindBackupCreate, KindMsgSend:
 		s += fmt.Sprintf(" dst=%d", e.Dst)
 	}
 	return s
@@ -252,6 +266,10 @@ type Recorder struct {
 	seq  uint64
 	sink func(Event)
 	met  Metrics
+
+	// msgFeed turns every network send/delivery into msg.send/msg.recv
+	// events (see EnableMessageFeed).
+	msgFeed bool
 
 	// probe, when set, runs after every closed recovery window with the
 	// recovered line's address (see SetRecoveryProbe).
@@ -406,56 +424,56 @@ func (r *Recorder) LastEventFor(addr msg.Addr) (Event, bool) {
 }
 
 // StateChange records a cache-line state transition at node.
-func (r *Recorder) StateChange(unit string, node msg.NodeID, addr msg.Addr, old, new string) {
+func (r *Recorder) StateChange(unit string, node msg.NodeID, addr msg.Addr, tid msg.TID, old, new string) {
 	if r == nil {
 		return
 	}
-	r.emit(Event{Kind: KindState, Unit: unit, Node: node, Addr: addr, Old: old, New: new})
+	r.emit(Event{Kind: KindState, Unit: unit, Node: node, Addr: addr, TID: tid, Old: old, New: new})
 }
 
 // TimeoutFired records a fault-detection timeout firing at node.
-func (r *Recorder) TimeoutFired(unit string, node msg.NodeID, addr msg.Addr, k TimeoutKind) {
+func (r *Recorder) TimeoutFired(unit string, node msg.NodeID, addr msg.Addr, tid msg.TID, k TimeoutKind) {
 	if r == nil {
 		return
 	}
-	r.emit(Event{Kind: KindTimeout, Unit: unit, Node: node, Addr: addr, Timeout: k})
+	r.emit(Event{Kind: KindTimeout, Unit: unit, Node: node, Addr: addr, TID: tid, Timeout: k})
 }
 
 // Reissue records a request (or AckO) reissued with a fresh serial number.
-func (r *Recorder) Reissue(unit string, node msg.NodeID, addr msg.Addr, t msg.Type, oldSN, newSN msg.SerialNumber) {
+func (r *Recorder) Reissue(unit string, node msg.NodeID, addr msg.Addr, tid msg.TID, t msg.Type, oldSN, newSN msg.SerialNumber) {
 	if r == nil {
 		return
 	}
-	r.emit(Event{Kind: KindReissue, Unit: unit, Node: node, Addr: addr, Type: t, OldSN: oldSN, NewSN: newSN})
+	r.emit(Event{Kind: KindReissue, Unit: unit, Node: node, Addr: addr, TID: tid, Type: t, OldSN: oldSN, NewSN: newSN})
 }
 
 // BackupCreated records a backup copy installed at node for a transfer to
 // dst.
-func (r *Recorder) BackupCreated(unit string, node msg.NodeID, addr msg.Addr, dst msg.NodeID) {
+func (r *Recorder) BackupCreated(unit string, node msg.NodeID, addr msg.Addr, tid msg.TID, dst msg.NodeID) {
 	if r == nil {
 		return
 	}
-	r.emit(Event{Kind: KindBackupCreate, Unit: unit, Node: node, Addr: addr, Dst: dst})
+	r.emit(Event{Kind: KindBackupCreate, Unit: unit, Node: node, Addr: addr, TID: tid, Dst: dst})
 }
 
 // BackupDeleted records a backup released at node. It also closes any open
 // recovery window for the line (an ownership handshake completed).
-func (r *Recorder) BackupDeleted(unit string, node msg.NodeID, addr msg.Addr) {
+func (r *Recorder) BackupDeleted(unit string, node msg.NodeID, addr msg.Addr, tid msg.TID) {
 	if r == nil {
 		return
 	}
-	r.emit(Event{Kind: KindBackupDelete, Unit: unit, Node: node, Addr: addr})
+	r.emit(Event{Kind: KindBackupDelete, Unit: unit, Node: node, Addr: addr, TID: tid})
 	r.close(unit, node, addr)
 }
 
 // TransactionEnd records a completed transaction (miss, directory or memory
 // transaction, ownership handshake) and closes any open recovery window for
 // the line.
-func (r *Recorder) TransactionEnd(unit string, node msg.NodeID, addr msg.Addr) {
+func (r *Recorder) TransactionEnd(unit string, node msg.NodeID, addr msg.Addr, tid msg.TID) {
 	if r == nil {
 		return
 	}
-	r.emit(Event{Kind: KindTxnEnd, Unit: unit, Node: node, Addr: addr})
+	r.emit(Event{Kind: KindTxnEnd, Unit: unit, Node: node, Addr: addr, TID: tid})
 	r.close(unit, node, addr)
 }
 
@@ -471,17 +489,34 @@ func (r *Recorder) Recreate(node msg.NodeID, addr msg.Addr, sn msg.SerialNumber)
 // Network feed: the Recorder implements the noc recorder hook set, so the
 // system wires it next to the statistics collector.
 
+// EnableMessageFeed turns on per-message events: every send becomes a
+// msg.send event and every delivery a msg.recv event (with the network
+// transit latency), in addition to the always-on ping/cancel derivation.
+// The feed is what the span reconstructor (internal/span) consumes; it is
+// off by default because it multiplies the event volume by the message
+// count.
+func (r *Recorder) EnableMessageFeed() {
+	if r == nil {
+		return
+	}
+	r.msgFeed = true
+}
+
 // MessageSent derives ping/cancel events from the recovery traffic on the
-// wire; all other sends are left to the statistics and debug-trace layers.
+// wire, and (with the message feed enabled) a msg.send event for every
+// message; other sends are left to the statistics and debug-trace layers.
 func (r *Recorder) MessageSent(m *msg.Message, bytes int) {
 	if r == nil {
 		return
 	}
 	switch m.Type {
 	case msg.UnblockPing, msg.WbPing, msg.OwnershipPing:
-		r.emit(Event{Kind: KindPing, Unit: "net", Node: m.Src, Dst: m.Dst, Addr: m.Addr, Type: m.Type})
+		r.emit(Event{Kind: KindPing, Unit: "net", Node: m.Src, Dst: m.Dst, Addr: m.Addr, TID: m.TID, Type: m.Type})
 	case msg.WbCancel, msg.NackO:
-		r.emit(Event{Kind: KindCancel, Unit: "net", Node: m.Src, Dst: m.Dst, Addr: m.Addr, Type: m.Type})
+		r.emit(Event{Kind: KindCancel, Unit: "net", Node: m.Src, Dst: m.Dst, Addr: m.Addr, TID: m.TID, Type: m.Type})
+	}
+	if r.msgFeed {
+		r.emit(Event{Kind: KindMsgSend, Unit: "net", Node: m.Src, Dst: m.Dst, Addr: m.Addr, TID: m.TID, Type: m.Type})
 	}
 }
 
@@ -492,10 +527,16 @@ func (r *Recorder) MessageDropped(m *msg.Message) {
 	if r == nil {
 		return
 	}
-	r.emit(Event{Kind: KindFaultInject, Unit: "net", Node: m.Src, Dst: m.Dst, Addr: m.Addr, Type: m.Type})
+	r.emit(Event{Kind: KindFaultInject, Unit: "net", Node: m.Src, Dst: m.Dst, Addr: m.Addr, TID: m.TID, Type: m.Type})
 	r.open(m.Addr)
 }
 
-// MessageDelivered is part of the network recorder hook set; deliveries are
-// not events (the statistics layer counts them).
-func (r *Recorder) MessageDelivered(m *msg.Message, latency uint64) {}
+// MessageDelivered records, with the message feed enabled, a msg.recv event
+// at the destination carrying the network transit latency; otherwise
+// deliveries are not events (the statistics layer counts them).
+func (r *Recorder) MessageDelivered(m *msg.Message, latency uint64) {
+	if r == nil || !r.msgFeed {
+		return
+	}
+	r.emit(Event{Kind: KindMsgRecv, Unit: "net", Node: m.Dst, Dst: m.Src, Addr: m.Addr, TID: m.TID, Type: m.Type, Latency: latency})
+}

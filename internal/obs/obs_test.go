@@ -11,12 +11,12 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
 	r.SetClock(func() uint64 { return 0 })
 	r.SetSink(func(Event) {})
-	r.StateChange("l1", 1, 0x40, "I", "M")
-	r.TimeoutFired("l1", 1, 0x40, TimeoutLostRequest)
-	r.Reissue("l1", 1, 0x40, msg.GetX, 1, 2)
-	r.BackupCreated("l2", 5, 0x40, 1)
-	r.BackupDeleted("l2", 5, 0x40)
-	r.TransactionEnd("l1", 1, 0x40)
+	r.StateChange("l1", 1, 0x40, 0, "I", "M")
+	r.TimeoutFired("l1", 1, 0x40, 0, TimeoutLostRequest)
+	r.Reissue("l1", 1, 0x40, 0, msg.GetX, 1, 2)
+	r.BackupCreated("l2", 5, 0x40, 0, 1)
+	r.BackupDeleted("l2", 5, 0x40, 0)
+	r.TransactionEnd("l1", 1, 0x40, 0)
 	r.Recreate(9, 0x40, 3)
 	r.MessageSent(&msg.Message{Type: msg.UnblockPing}, 8)
 	r.MessageDropped(&msg.Message{Type: msg.Data})
@@ -32,7 +32,7 @@ func TestNilRecorderIsSafe(t *testing.T) {
 func TestRingKeepsMostRecent(t *testing.T) {
 	r := NewRecorder(3)
 	for i := 0; i < 5; i++ {
-		r.TransactionEnd("l1", 1, msg.Addr(i))
+		r.TransactionEnd("l1", 1, msg.Addr(i), 0)
 	}
 	evs := r.Events()
 	if len(evs) != 3 {
@@ -51,7 +51,7 @@ func TestRingKeepsMostRecent(t *testing.T) {
 
 func TestZeroCapacityKeepsMetricsOnly(t *testing.T) {
 	r := NewRecorder(0)
-	r.TimeoutFired("l2", 5, 0x80, TimeoutBackup)
+	r.TimeoutFired("l2", 5, 0x80, 0, TimeoutBackup)
 	if len(r.Events()) != 0 {
 		t.Fatal("capacity-0 recorder retained events")
 	}
@@ -66,7 +66,7 @@ func TestSinkSeesEveryEvent(t *testing.T) {
 	var seen []uint64
 	r.SetSink(func(e Event) { seen = append(seen, e.Seq) })
 	for i := 0; i < 4; i++ {
-		r.StateChange("l1", 1, 0x40, "I", "S")
+		r.StateChange("l1", 1, 0x40, 0, "I", "S")
 	}
 	if len(seen) != 4 {
 		t.Fatalf("sink saw %d events, want 4", len(seen))
@@ -80,10 +80,10 @@ func TestSinkSeesEveryEvent(t *testing.T) {
 
 func TestMetricsCounters(t *testing.T) {
 	r := NewRecorder(16)
-	r.TimeoutFired("l1", 1, 0x40, TimeoutLostRequest)
-	r.TimeoutFired("l1", 1, 0x40, TimeoutLostRequest)
-	r.TimeoutFired("l2", 5, 0x40, TimeoutLostUnblock)
-	r.Reissue("l1", 1, 0x40, msg.GetX, 1, 2)
+	r.TimeoutFired("l1", 1, 0x40, 0, TimeoutLostRequest)
+	r.TimeoutFired("l1", 1, 0x40, 0, TimeoutLostRequest)
+	r.TimeoutFired("l2", 5, 0x40, 0, TimeoutLostUnblock)
+	r.Reissue("l1", 1, 0x40, 0, msg.GetX, 1, 2)
 	r.MessageSent(&msg.Message{Type: msg.UnblockPing, Src: 5, Dst: 1, Addr: 0x40}, 8)
 	r.MessageSent(&msg.Message{Type: msg.Data, Src: 5, Dst: 1, Addr: 0x40}, 72) // not an event
 	r.MessageSent(&msg.Message{Type: msg.NackO, Src: 1, Dst: 5, Addr: 0x40}, 8)
@@ -121,7 +121,7 @@ func TestRecoveryWindows(t *testing.T) {
 	r.MessageDropped(&msg.Message{Type: msg.Data, Src: 5, Dst: 2, Addr: 0x80}) // other line
 
 	now = 400
-	r.TransactionEnd("l2", 5, 0x40) // closes both 0x40 windows
+	r.TransactionEnd("l2", 5, 0x40, 0) // closes both 0x40 windows
 
 	m := r.Metrics()
 	if m.FaultsInjected != 3 || m.FaultsRecovered != 2 || m.Unattributed() != 1 {
@@ -146,7 +146,7 @@ func TestRecoveryWindows(t *testing.T) {
 
 	// A second completion on the same line must not re-recover.
 	now = 500
-	r.TransactionEnd("l2", 5, 0x40)
+	r.TransactionEnd("l2", 5, 0x40, 0)
 	if r.Metrics().FaultsRecovered != 2 {
 		t.Error("closed windows recovered twice")
 	}
@@ -155,7 +155,7 @@ func TestRecoveryWindows(t *testing.T) {
 	now = 600
 	r.MessageDropped(&msg.Message{Type: msg.AckBD, Src: 5, Dst: 1, Addr: 0x80})
 	now = 650
-	r.BackupDeleted("l1", 1, 0x80)
+	r.BackupDeleted("l1", 1, 0x80, 0)
 	m = r.Metrics()
 	// The 0x80 line had two windows open (cycle 150 drop and cycle 600 drop).
 	if m.FaultsRecovered != 4 {
@@ -204,9 +204,9 @@ func TestWriteJSONL(t *testing.T) {
 	r := NewRecorder(8)
 	cycle := uint64(7)
 	r.SetClock(func() uint64 { return cycle })
-	r.StateChange("l1", 2, 0x1c0, "I", "M")
-	r.Reissue("l1", 2, 0x1c0, msg.GetX, 3, 4)
-	r.TimeoutFired("l2", 5, 0x1c0, TimeoutLostUnblock)
+	r.StateChange("l1", 2, 0x1c0, 0, "I", "M")
+	r.Reissue("l1", 2, 0x1c0, 0, msg.GetX, 3, 4)
+	r.TimeoutFired("l2", 5, 0x1c0, 0, TimeoutLostUnblock)
 
 	var b strings.Builder
 	if err := WriteJSONL(&b, r.Events()); err != nil {
@@ -227,7 +227,7 @@ func TestWriteChromeTrace(t *testing.T) {
 	r.SetClock(func() uint64 { return now })
 	r.MessageDropped(&msg.Message{Type: msg.UnblockEx, Src: 2, Dst: 5, Addr: 0x40})
 	now = 25
-	r.TransactionEnd("l2", 5, 0x40)
+	r.TransactionEnd("l2", 5, 0x40, 0)
 
 	var b strings.Builder
 	err := WriteChromeTrace(&b, r.Events(), func(id msg.NodeID) string { return "node" })
@@ -256,16 +256,16 @@ func TestRecoveryProbe(t *testing.T) {
 	// open window never probes.
 	r.MessageDropped(&msg.Message{Type: msg.GetX, Src: 1, Dst: 2, Addr: 0x40})
 	r.MessageDropped(&msg.Message{Type: msg.Data, Src: 2, Dst: 1, Addr: 0x40})
-	r.TransactionEnd("l2", 2, 0x80)
+	r.TransactionEnd("l2", 2, 0x80, 0)
 	if len(probed) != 0 {
 		t.Fatalf("probe fired for a line with no open window: %v", probed)
 	}
-	r.TransactionEnd("l2", 2, 0x40)
+	r.TransactionEnd("l2", 2, 0x40, 0)
 	if len(probed) != 1 || probed[0] != 0x40 {
 		t.Fatalf("probed = %v, want [0x40]", probed)
 	}
 	// The window is closed; completing again does not re-probe.
-	r.TransactionEnd("l1", 1, 0x40)
+	r.TransactionEnd("l1", 1, 0x40, 0)
 	if len(probed) != 1 {
 		t.Fatalf("probe re-fired on a closed window: %v", probed)
 	}
@@ -277,9 +277,9 @@ func TestRecoveryProbe(t *testing.T) {
 
 func TestLastEventFor(t *testing.T) {
 	r := NewRecorder(4)
-	r.StateChange("l1", 1, 0x40, "I", "S")
-	r.StateChange("l1", 2, 0x80, "I", "M")
-	r.StateChange("l1", 1, 0x40, "S", "M")
+	r.StateChange("l1", 1, 0x40, 0, "I", "S")
+	r.StateChange("l1", 2, 0x80, 0, "I", "M")
+	r.StateChange("l1", 1, 0x40, 0, "S", "M")
 
 	e, ok := r.LastEventFor(0x40)
 	if !ok || e.Old != "S" || e.New != "M" {
@@ -291,7 +291,7 @@ func TestLastEventFor(t *testing.T) {
 
 	// Zero-capacity ring retains nothing.
 	r0 := NewRecorder(0)
-	r0.StateChange("l1", 1, 0x40, "I", "S")
+	r0.StateChange("l1", 1, 0x40, 0, "I", "S")
 	if _, ok := r0.LastEventFor(0x40); ok {
 		t.Fatal("LastEventFor found an event in a zero-capacity ring")
 	}

@@ -168,6 +168,26 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// TIDSource allocates transaction IDs for one controller. Each controller
+// that originates coherence transactions (an L1 starting a miss or
+// writeback, an L2 starting a self-initiated eviction) owns one source, so
+// TIDs are globally unique and deterministic: the originating node ID in the
+// high half, a per-controller sequence number in the low half.
+type TIDSource struct {
+	node msg.NodeID
+	seq  uint32
+}
+
+// NewTIDSource returns a source minting TIDs that name node as originator.
+func NewTIDSource(node msg.NodeID) TIDSource { return TIDSource{node: node} }
+
+// Next mints the next transaction ID. The first ID has sequence 1 so a zero
+// TID always means "unattributed".
+func (s *TIDSource) Next() msg.TID {
+	s.seq++
+	return msg.MakeTID(s.node, s.seq)
+}
+
 // Permission describes what an agent may do with a line.
 type Permission int
 

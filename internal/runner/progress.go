@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Snapshot is a point-in-time view of a running campaign, safe to read from
+// any goroutine while jobs complete on others.
+type Snapshot struct {
+	// Done and Total count completed jobs against the batch size.
+	Done, Total int
+	// Dropped sums the messages lost across completed jobs; OpenWindows
+	// sums their recovery windows still open at run end (unattributed
+	// faults).
+	Dropped, OpenWindows uint64
+	// Elapsed is the wall time since the tracker started; ETA estimates
+	// the remaining wall time from the mean per-job rate so far (zero
+	// until the first job completes).
+	Elapsed, ETA time.Duration
+}
+
+// String renders the snapshot as one status line, e.g.
+// "12/40 jobs  drops=3  open=1  elapsed=1.2s  eta=2.8s".
+func (s Snapshot) String() string {
+	line := fmt.Sprintf("%d/%d jobs  drops=%d  open=%d  elapsed=%s",
+		s.Done, s.Total, s.Dropped, s.OpenWindows, s.Elapsed.Round(100*time.Millisecond))
+	if s.ETA > 0 {
+		line += fmt.Sprintf("  eta=%s", s.ETA.Round(100*time.Millisecond))
+	}
+	return line
+}
+
+// Tracker accumulates live campaign progress. Jobs report completions with
+// JobDone from worker goroutines; any goroutine may call Snapshot
+// concurrently. All methods are safe on a nil *Tracker, so campaign code
+// can thread an optional tracker without guards.
+type Tracker struct {
+	mu      sync.Mutex
+	total   int
+	done    int
+	dropped uint64
+	open    uint64
+	start   time.Time
+	now     func() time.Time // test hook; time.Now when nil
+}
+
+// NewTracker starts a tracker for a batch of total jobs.
+func NewTracker(total int) *Tracker {
+	t := &Tracker{total: total}
+	t.start = t.clock()
+	return t
+}
+
+func (t *Tracker) clock() time.Time {
+	if t.now != nil {
+		return t.now()
+	}
+	return time.Now()
+}
+
+// JobDone records one completed job and the drops / still-open recovery
+// windows it observed.
+func (t *Tracker) JobDone(dropped, openWindows uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	t.dropped += dropped
+	t.open += openWindows
+}
+
+// Advance records completed jobs by absolute count (for progress sources
+// that only report counts); it never moves backwards.
+func (t *Tracker) Advance(done int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if done > t.done {
+		t.done = done
+	}
+}
+
+// Snapshot returns the current progress. Nil trackers return the zero
+// snapshot.
+func (t *Tracker) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		Done:        t.done,
+		Total:       t.total,
+		Dropped:     t.dropped,
+		OpenWindows: t.open,
+		Elapsed:     t.clock().Sub(t.start),
+	}
+	if t.done > 0 && t.done < t.total {
+		perJob := s.Elapsed / time.Duration(t.done)
+		s.ETA = perJob * time.Duration(t.total-t.done)
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTrackerCountsAndETA drives the tracker with a fake clock and checks
+// the snapshot arithmetic.
+func TestTrackerCountsAndETA(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := &Tracker{total: 4, now: func() time.Time { return now }}
+	tr.start = tr.clock()
+
+	now = now.Add(2 * time.Second)
+	tr.JobDone(3, 1)
+	tr.JobDone(0, 0)
+
+	s := tr.Snapshot()
+	if s.Done != 2 || s.Total != 4 {
+		t.Fatalf("done/total = %d/%d, want 2/4", s.Done, s.Total)
+	}
+	if s.Dropped != 3 || s.OpenWindows != 1 {
+		t.Fatalf("dropped/open = %d/%d, want 3/1", s.Dropped, s.OpenWindows)
+	}
+	if s.Elapsed != 2*time.Second {
+		t.Fatalf("elapsed = %s, want 2s", s.Elapsed)
+	}
+	if s.ETA != 2*time.Second { // 1s/job * 2 remaining
+		t.Fatalf("eta = %s, want 2s", s.ETA)
+	}
+	if got := s.String(); !strings.Contains(got, "2/4 jobs") || !strings.Contains(got, "drops=3") {
+		t.Fatalf("snapshot string %q missing fields", got)
+	}
+
+	// Advance is monotone and never regresses past JobDone counts.
+	tr.Advance(1)
+	if tr.Snapshot().Done != 2 {
+		t.Fatal("Advance moved the counter backwards")
+	}
+	tr.Advance(4)
+	s = tr.Snapshot()
+	if s.Done != 4 || s.ETA != 0 {
+		t.Fatalf("finished snapshot = %+v, want done=4 eta=0", s)
+	}
+}
+
+// TestTrackerNilSafe: campaign code threads optional trackers unguarded.
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.JobDone(1, 1)
+	tr.Advance(3)
+	if s := tr.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil tracker snapshot = %+v, want zero", s)
+	}
+}
+
+// TestTrackerConcurrent exercises the lock under the race detector.
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker(100)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				tr.JobDone(1, 0)
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Snapshot(); s.Done != 100 || s.Dropped != 100 {
+		t.Fatalf("final snapshot = %+v, want done=100 dropped=100", s)
+	}
+}

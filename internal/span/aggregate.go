@@ -1,0 +1,171 @@
+package span
+
+import "sort"
+
+// ClassStats aggregates the spans of one miss class.
+type ClassStats struct {
+	Class string
+	// Count is the number of spans; Complete how many of them saw their
+	// origin's transaction end.
+	Count, Complete int
+	// TotalCycles sums the span durations; Phases sums the per-phase
+	// attributions (zero phases absent).
+	TotalCycles uint64
+	Phases      map[string]uint64
+	// Recovery activity totals across the class.
+	Timeouts, Reissues, Faults, Pings int
+}
+
+// MeanCycles returns the class's mean span duration (per-miss latency).
+func (c *ClassStats) MeanCycles() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return float64(c.TotalCycles) / float64(c.Count)
+}
+
+// MeanPhase returns the class's mean cycles per span spent in phase p.
+func (c *ClassStats) MeanPhase(p string) float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return float64(c.Phases[p]) / float64(c.Count)
+}
+
+// Breakdown is the aggregate of a span set: totals and per-class stats.
+type Breakdown struct {
+	// Spans and Complete count all spans and the completed ones.
+	Spans, Complete int
+	// TotalCycles and Phases sum over every span.
+	TotalCycles uint64
+	Phases      map[string]uint64
+	// Classes maps class name to its aggregate.
+	Classes map[string]*ClassStats
+}
+
+// Aggregate folds spans into a Breakdown.
+func Aggregate(spans []*Span) *Breakdown {
+	b := &Breakdown{
+		Phases:  make(map[string]uint64),
+		Classes: make(map[string]*ClassStats),
+	}
+	for _, s := range spans {
+		b.Spans++
+		if s.Complete {
+			b.Complete++
+		}
+		b.TotalCycles += s.Duration()
+		c := b.Classes[s.Class]
+		if c == nil {
+			c = &ClassStats{Class: s.Class, Phases: make(map[string]uint64)}
+			b.Classes[s.Class] = c
+		}
+		c.Count++
+		if s.Complete {
+			c.Complete++
+		}
+		c.TotalCycles += s.Duration()
+		for p, v := range s.Phases {
+			b.Phases[p] += v
+			c.Phases[p] += v
+		}
+		c.Timeouts += s.Timeouts
+		c.Reissues += s.Reissues
+		c.Faults += s.Faults
+		c.Pings += s.Pings
+	}
+	return b
+}
+
+// ClassNames returns the class names in sorted order.
+func (b *Breakdown) ClassNames() []string {
+	out := make([]string, 0, len(b.Classes))
+	for name := range b.Classes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanCycles returns the mean span duration across every class.
+func (b *Breakdown) MeanCycles() float64 {
+	if b.Spans == 0 {
+		return 0
+	}
+	return float64(b.TotalCycles) / float64(b.Spans)
+}
+
+// MeanPhase returns the mean cycles per span spent in phase p, across every
+// class.
+func (b *Breakdown) MeanPhase(p string) float64 {
+	if b.Spans == 0 {
+		return 0
+	}
+	return float64(b.Phases[p]) / float64(b.Spans)
+}
+
+// ClassDelta is the per-class comparison of two breakdowns: this run's mean
+// per-miss latency against a baseline's, with the difference split by phase.
+type ClassDelta struct {
+	Class string
+	// Count and BaseCount are the span counts on each side (either may be
+	// zero when the class appears on one side only).
+	Count, BaseCount int
+	// Mean and BaseMean are mean per-span cycles; Delta is Mean - BaseMean.
+	Mean, BaseMean, Delta float64
+	// PhaseDelta is the per-phase mean difference, for every phase present
+	// on either side.
+	PhaseDelta map[string]float64
+}
+
+// DeltaVs compares b against a baseline breakdown class by class — the
+// per-miss fault-tolerance overhead when b is FtDirCMP and base is DirCMP,
+// or the under-fault penalty when base is the fault-free run. Classes are
+// matched by name; the result is sorted by class name.
+func (b *Breakdown) DeltaVs(base *Breakdown) []ClassDelta {
+	names := make(map[string]bool)
+	for name := range b.Classes {
+		names[name] = true
+	}
+	for name := range base.Classes {
+		names[name] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+
+	empty := &ClassStats{Phases: map[string]uint64{}}
+	out := make([]ClassDelta, 0, len(ordered))
+	for _, name := range ordered {
+		mine, theirs := b.Classes[name], base.Classes[name]
+		if mine == nil {
+			mine = empty
+		}
+		if theirs == nil {
+			theirs = empty
+		}
+		d := ClassDelta{
+			Class:      name,
+			Count:      mine.Count,
+			BaseCount:  theirs.Count,
+			Mean:       mine.MeanCycles(),
+			BaseMean:   theirs.MeanCycles(),
+			PhaseDelta: make(map[string]float64),
+		}
+		d.Delta = d.Mean - d.BaseMean
+		phases := make(map[string]bool)
+		for p := range mine.Phases {
+			phases[p] = true
+		}
+		for p := range theirs.Phases {
+			phases[p] = true
+		}
+		for p := range phases {
+			d.PhaseDelta[p] = mine.MeanPhase(p) - theirs.MeanPhase(p)
+		}
+		out = append(out, d)
+	}
+	return out
+}

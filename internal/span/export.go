@@ -1,0 +1,111 @@
+package span
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/msg"
+)
+
+// The exporters hand-build their JSON so the output is deterministic:
+// fields appear in schema order, phases in taxonomy order, and a re-run at
+// the same configuration is byte-identical (golden-tested at the repo root).
+
+// WriteJSONL writes one JSON object per span, newline-terminated, in span
+// order. The schema is documented in docs/OBSERVABILITY.md.
+func WriteJSONL(w io.Writer, spans []*Span) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range spans {
+		writeSpanJSON(bw, s)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeSpanJSON(bw *bufio.Writer, s *Span) {
+	fmt.Fprintf(bw, `{"tid":%d,"origin":%d,"addr":"%#x","class":%q,"start":%d,"end":%d,"cycles":%d,"complete":%t`,
+		uint64(s.TID), s.Origin, uint64(s.Addr), s.Class, s.Start, s.End, s.Duration(), s.Complete)
+	bw.WriteString(`,"phases":{`)
+	first := true
+	for _, p := range AllPhases() {
+		v, ok := s.Phases[p]
+		if !ok {
+			continue
+		}
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, `%q:%d`, p, v)
+	}
+	bw.WriteByte('}')
+	fmt.Fprintf(bw, `,"events":%d`, s.Events)
+	if s.Timeouts > 0 {
+		fmt.Fprintf(bw, `,"timeouts":%d`, s.Timeouts)
+	}
+	if s.Reissues > 0 {
+		fmt.Fprintf(bw, `,"reissues":%d`, s.Reissues)
+	}
+	if s.Faults > 0 {
+		fmt.Fprintf(bw, `,"faults":%d`, s.Faults)
+	}
+	if s.Pings > 0 {
+		fmt.Fprintf(bw, `,"pings":%d`, s.Pings)
+	}
+	if s.OwnershipWindow > 0 {
+		fmt.Fprintf(bw, `,"ownership_window":%d`, s.OwnershipWindow)
+	}
+	if s.BackupHold > 0 {
+		fmt.Fprintf(bw, `,"backup_hold":%d`, s.BackupHold)
+	}
+	bw.WriteString(`,"segments":[`)
+	for i, seg := range s.Segments {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, `{"phase":%q,"start":%d,"end":%d,"at":%q}`,
+			seg.Phase, seg.Start, seg.End, seg.At)
+	}
+	bw.WriteString("]}")
+}
+
+// WriteChromeTrace writes the spans as a Chrome trace-event JSON document
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing. Every
+// transaction gets its own lane (pid 0, one tid per span, named after the
+// transaction), holding the whole-span slice with its phase segments nested
+// inside — the span tree as nested slices. Cycles map to microseconds.
+// names, when non-nil, labels the origin node in the lane name.
+func WriteChromeTrace(w io.Writer, spans []*Span, names func(msg.NodeID) string) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	for lane, s := range spans {
+		origin := fmt.Sprintf("node.%d", s.Origin)
+		if names != nil {
+			origin = names(s.Origin)
+		}
+		comma()
+		fmt.Fprintf(bw,
+			`{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":"txn %d:%d %s %s @%#x"}}`,
+			lane+1, s.TID.Node(), s.TID.Seq(), origin, s.Class, uint64(s.Addr))
+		comma()
+		fmt.Fprintf(bw,
+			`{"name":%q,"cat":"span","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"tid":%d,"addr":"%#x","complete":%t,"events":%d}}`,
+			s.Class, s.Start, s.Duration(), lane+1, uint64(s.TID), uint64(s.Addr), s.Complete, s.Events)
+		for _, seg := range s.Segments {
+			comma()
+			fmt.Fprintf(bw,
+				`{"name":%q,"cat":"phase","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"at":%q}}`,
+				seg.Phase, seg.Start, seg.End-seg.Start, lane+1, seg.At)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

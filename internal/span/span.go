@@ -1,0 +1,277 @@
+// Package span reconstructs causal transaction spans from the structured
+// observability event stream (internal/obs).
+//
+// Every protocol event carries the transaction ID (msg.TID) of the L1 miss,
+// writeback or directory-initiated eviction that caused it, and — with the
+// recorder's message feed enabled — so does every message send and delivery.
+// Build groups the event stream by TID and turns each group into a Span: the
+// transaction's lifetime with every cycle of it attributed to a phase.
+//
+// Attribution works by gap partition: the events of a transaction are taken
+// in emission order, and the gap between each consecutive pair is attributed
+// according to the event that closes it. A gap closed by a message delivery
+// was network transit; a gap closed by a send, a state change or a backup
+// event was service time at the closing node's controller; a gap closed by a
+// timeout firing was detection stall; a gap closed by a fault injection was
+// the transit of a message that got dropped. Because every inter-event gap
+// is assigned to exactly one phase, the phase totals add up to the span's
+// duration by construction — there are no unattributed cycles beyond the
+// explicitly-labeled idle residue (gaps closed by an event at a node the
+// topology cannot classify).
+//
+// Each attributed gap is also retained as a Segment, so a span doubles as a
+// tree: the transaction is the root slice, the segments are its children.
+// The exporters (WriteJSONL, WriteChromeTrace) serialize exactly that shape;
+// the Chrome trace gives every transaction its own Perfetto lane with the
+// phase segments nested inside the transaction slice.
+//
+// Aggregate folds spans into a per-miss-class Breakdown, and
+// Breakdown.DeltaVs compares two breakdowns class by class — the
+// fault-tolerance overhead measurement of the paper's §5 evaluation
+// (FtDirCMP vs DirCMP per-miss latency) and the under-fault penalty
+// (faulty vs fault-free FtDirCMP).
+package span
+
+import (
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// Phase names. Every cycle of a span lands in exactly one of these.
+const (
+	// PhaseNet is network transit: a gap closed by a message delivery.
+	PhaseNet = "net"
+	// PhaseLost is the transit of a message that was dropped: a gap closed
+	// by a fault injection (stamped at the would-have-been delivery cycle).
+	PhaseLost = "lost_transit"
+	// PhaseL1, PhaseL2 and PhaseMem are controller service time: gaps
+	// closed by a send, state change, backup event, ping, cancel or
+	// transaction end at an L1, L2 bank or memory controller.
+	PhaseL1  = "svc_l1"
+	PhaseL2  = "svc_l2"
+	PhaseMem = "svc_mem"
+	// PhaseStall is fault-detection stall: a gap closed by a timeout firing
+	// (the protocol was waiting for a message that never came) or by the
+	// reissue that follows one.
+	PhaseStall = "stall_timeout"
+	// PhaseIdle is the labeled residue: gaps closed by an event the
+	// topology cannot attribute to a controller role.
+	PhaseIdle = "idle"
+)
+
+// AllPhases returns the phase taxonomy in canonical order (pinned against
+// docs/OBSERVABILITY.md by a test).
+func AllPhases() []string {
+	return []string{PhaseNet, PhaseLost, PhaseL1, PhaseL2, PhaseMem, PhaseStall, PhaseIdle}
+}
+
+// Segment is one attributed gap: Start..End cycles of phase Phase, closed by
+// the event named At. Segments are the span's child slices in trace exports.
+type Segment struct {
+	Phase      string
+	Start, End uint64
+	// At is the qualified name of the gap-closing event ("msg.recv:DataEx",
+	// "timeout:lost_request", "reissue:GetX", ...), which is what makes
+	// reissue and ping recovery phases identifiable in golden span trees.
+	At string
+}
+
+// Span is one reconstructed coherence transaction.
+type Span struct {
+	// TID is the transaction ID; Origin is the node that allocated it (the
+	// L1 whose miss or writeback this is, or the L2 bank for
+	// directory-initiated evictions).
+	TID    msg.TID
+	Origin msg.NodeID
+	// Addr is the line address of the transaction's first event. (A span
+	// may brush other lines: a silent eviction performed while placing the
+	// missed line is attributed to the causing transaction.)
+	Addr msg.Addr
+	// Class labels the miss class: the origin's role and its first request
+	// type ("l1.GetS", "l1.GetX", "l1.Put", "l2.Put", ...), or role+".?"
+	// when the message feed was off.
+	Class string
+	// Start and End are the cycles of the first and last event.
+	Start, End uint64
+	// Complete reports whether the origin node recorded a transaction end.
+	Complete bool
+	// Phases maps phase name to attributed cycles; zero phases are absent.
+	// The values sum to End-Start by construction.
+	Phases map[string]uint64
+	// Segments are the attributed gaps in time order (zero-length gaps are
+	// dropped).
+	Segments []Segment
+	// Events is the number of events the span was built from.
+	Events int
+	// Timeouts, Reissues, Faults and Pings count the recovery activity the
+	// transaction went through.
+	Timeouts, Reissues, Faults, Pings int
+	// OwnershipWindow is the total cycles a standalone AckO was outstanding
+	// (sent but not yet answered by AckBD at the same node) — the §3.1
+	// ownership handshake window. Best-effort: piggybacked AcksO have no
+	// dedicated send event and are not counted.
+	OwnershipWindow uint64
+	// BackupHold is the total cycles backup copies for this transaction
+	// were held (backup.create to backup.delete at the same node) — the
+	// reliable-ownership-transference window of §3.2.
+	BackupHold uint64
+}
+
+// Duration returns the span's total lifetime in cycles.
+func (s *Span) Duration() uint64 { return s.End - s.Start }
+
+// Attributed returns the sum of the phase totals. It equals Duration by
+// construction; the invariant is what "100% latency attribution" means.
+func (s *Span) Attributed() uint64 {
+	var n uint64
+	for _, v := range s.Phases {
+		n += v
+	}
+	return n
+}
+
+// Build reconstructs spans from an event stream. Events with a zero TID
+// (unattributed: token-protocol events, recover windows) are ignored. The
+// result is sorted by start cycle, then TID, and is deterministic for a
+// deterministic event stream.
+func Build(events []obs.Event, topo proto.Topology) []*Span {
+	groups := make(map[msg.TID][]obs.Event)
+	var order []msg.TID
+	for _, e := range events {
+		if e.TID == 0 {
+			continue
+		}
+		if _, ok := groups[e.TID]; !ok {
+			order = append(order, e.TID)
+		}
+		groups[e.TID] = append(groups[e.TID], e)
+	}
+	spans := make([]*Span, 0, len(order))
+	for _, tid := range order {
+		spans = append(spans, build(tid, groups[tid], topo))
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].TID < spans[j].TID
+	})
+	return spans
+}
+
+// build assembles one span from its TID's events (in emission order).
+func build(tid msg.TID, evs []obs.Event, topo proto.Topology) *Span {
+	s := &Span{
+		TID:    tid,
+		Origin: tid.Node(),
+		Addr:   evs[0].Addr,
+		Start:  evs[0].Cycle,
+		End:    evs[len(evs)-1].Cycle,
+		Phases: make(map[string]uint64),
+		Events: len(evs),
+	}
+	originRole := roleOf(topo, s.Origin)
+	s.Class = originRole + ".?"
+	for _, e := range evs {
+		if e.Kind == obs.KindMsgSend && e.Node == s.Origin {
+			s.Class = originRole + "." + e.Type.String()
+			break
+		}
+	}
+
+	ackoAt := make(map[msg.NodeID]uint64)
+	backupAt := make(map[msg.NodeID]uint64)
+	for i, e := range evs {
+		switch e.Kind {
+		case obs.KindTimeout:
+			s.Timeouts++
+		case obs.KindReissue:
+			s.Reissues++
+		case obs.KindFaultInject:
+			s.Faults++
+		case obs.KindPing:
+			s.Pings++
+		case obs.KindTxnEnd:
+			if e.Node == s.Origin {
+				s.Complete = true
+			}
+		}
+
+		switch {
+		case e.Kind == obs.KindMsgSend && e.Type == msg.AckO:
+			if _, open := ackoAt[e.Node]; !open {
+				ackoAt[e.Node] = e.Cycle
+			}
+		case e.Kind == obs.KindMsgRecv && e.Type == msg.AckBD:
+			if at, open := ackoAt[e.Node]; open {
+				s.OwnershipWindow += e.Cycle - at
+				delete(ackoAt, e.Node)
+			}
+		case e.Kind == obs.KindBackupCreate:
+			if _, open := backupAt[e.Node]; !open {
+				backupAt[e.Node] = e.Cycle
+			}
+		case e.Kind == obs.KindBackupDelete:
+			if at, open := backupAt[e.Node]; open {
+				s.BackupHold += e.Cycle - at
+				delete(backupAt, e.Node)
+			}
+		}
+
+		if i == 0 {
+			continue
+		}
+		gap := e.Cycle - evs[i-1].Cycle
+		if gap == 0 {
+			continue
+		}
+		phase := classify(e, topo)
+		s.Phases[phase] += gap
+		s.Segments = append(s.Segments, Segment{
+			Phase: phase,
+			Start: evs[i-1].Cycle,
+			End:   e.Cycle,
+			At:    e.Name(),
+		})
+	}
+	return s
+}
+
+// classify attributes a gap to a phase by the event that closes it.
+func classify(e obs.Event, topo proto.Topology) string {
+	switch e.Kind {
+	case obs.KindMsgRecv:
+		return PhaseNet
+	case obs.KindFaultInject:
+		return PhaseLost
+	case obs.KindTimeout, obs.KindReissue:
+		return PhaseStall
+	case obs.KindMsgSend, obs.KindPing, obs.KindCancel, obs.KindState,
+		obs.KindBackupCreate, obs.KindBackupDelete, obs.KindTxnEnd:
+		switch roleOf(topo, e.Node) {
+		case "l1":
+			return PhaseL1
+		case "l2":
+			return PhaseL2
+		case "mem":
+			return PhaseMem
+		}
+	}
+	return PhaseIdle
+}
+
+// roleOf names a node's controller role under the topology.
+func roleOf(topo proto.Topology, n msg.NodeID) string {
+	switch {
+	case topo.IsL1(n):
+		return "l1"
+	case topo.IsL2(n):
+		return "l2"
+	case topo.IsMem(n):
+		return "mem"
+	}
+	return "?"
+}

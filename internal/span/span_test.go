@@ -1,0 +1,227 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// testTopo: 4 tiles, 2 mems — L1s are nodes 1-4, L2 banks 5-8, mems 9-10.
+func testTopo() proto.Topology {
+	return proto.Topology{Tiles: 4, Mems: 2, LineSize: 64}
+}
+
+// ev builds a test event (Seq is irrelevant to Build; order is positional).
+func ev(cycle uint64, kind obs.Kind, node msg.NodeID, tid msg.TID, typ msg.Type) obs.Event {
+	return obs.Event{Cycle: cycle, Kind: kind, Node: node, TID: tid, Addr: 0x40, Type: typ}
+}
+
+// TestBuildCleanMiss reconstructs a fault-free GetX miss and checks the gap
+// partition: every cycle lands in a phase and the totals close.
+func TestBuildCleanMiss(t *testing.T) {
+	tid := msg.MakeTID(1, 1)
+	events := []obs.Event{
+		ev(10, obs.KindMsgSend, 1, tid, msg.GetX),
+		ev(20, obs.KindMsgRecv, 5, tid, msg.GetX),
+		ev(25, obs.KindState, 5, tid, 0),
+		ev(25, obs.KindMsgSend, 5, tid, msg.DataEx),
+		ev(35, obs.KindMsgRecv, 1, tid, msg.DataEx),
+		ev(38, obs.KindState, 1, tid, 0),
+		ev(38, obs.KindMsgSend, 1, tid, msg.UnblockEx),
+		ev(38, obs.KindTxnEnd, 1, tid, 0),
+		ev(48, obs.KindMsgRecv, 5, tid, msg.UnblockEx),
+		ev(48, obs.KindTxnEnd, 5, tid, 0),
+	}
+	spans := Build(events, testTopo())
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Class != "l1.GetX" {
+		t.Errorf("class = %q, want l1.GetX", s.Class)
+	}
+	if !s.Complete {
+		t.Error("span not marked complete despite origin txn.end")
+	}
+	if s.Start != 10 || s.End != 48 {
+		t.Errorf("bounds [%d,%d], want [10,48]", s.Start, s.End)
+	}
+	if got := s.Attributed(); got != s.Duration() {
+		t.Errorf("attributed %d != duration %d", got, s.Duration())
+	}
+	want := map[string]uint64{PhaseNet: 30, PhaseL2: 5, PhaseL1: 3}
+	for p, v := range want {
+		if s.Phases[p] != v {
+			t.Errorf("phase %s = %d, want %d", p, s.Phases[p], v)
+		}
+	}
+	if len(s.Phases) != len(want) {
+		t.Errorf("phases %v, want exactly %v", s.Phases, want)
+	}
+}
+
+// TestBuildFaultedMiss checks a lost response: the dropped message's transit
+// becomes lost_transit, the wait for the timeout becomes stall_timeout, and
+// the recovery counters tick.
+func TestBuildFaultedMiss(t *testing.T) {
+	tid := msg.MakeTID(2, 1)
+	events := []obs.Event{
+		ev(0, obs.KindMsgSend, 2, tid, msg.GetX),
+		ev(10, obs.KindMsgRecv, 5, tid, msg.GetX),
+		ev(12, obs.KindMsgSend, 5, tid, msg.DataEx),
+		ev(22, obs.KindFaultInject, 5, tid, msg.DataEx), // response dropped in transit
+		ev(2000, obs.KindTimeout, 2, tid, 0),
+		ev(2000, obs.KindReissue, 2, tid, msg.GetX),
+		ev(2000, obs.KindMsgSend, 2, tid, msg.GetX),
+		ev(2010, obs.KindMsgRecv, 5, tid, msg.GetX),
+		ev(2012, obs.KindMsgSend, 5, tid, msg.DataEx),
+		ev(2022, obs.KindMsgRecv, 2, tid, msg.DataEx),
+		ev(2022, obs.KindTxnEnd, 2, tid, 0),
+	}
+	spans := Build(events, testTopo())
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Timeouts != 1 || s.Reissues != 1 || s.Faults != 1 {
+		t.Errorf("timeouts/reissues/faults = %d/%d/%d, want 1/1/1",
+			s.Timeouts, s.Reissues, s.Faults)
+	}
+	if s.Phases[PhaseLost] != 10 {
+		t.Errorf("lost_transit = %d, want 10", s.Phases[PhaseLost])
+	}
+	if s.Phases[PhaseStall] != 2000-22 {
+		t.Errorf("stall_timeout = %d, want %d", s.Phases[PhaseStall], 2000-22)
+	}
+	if got := s.Attributed(); got != s.Duration() {
+		t.Errorf("attributed %d != duration %d", got, s.Duration())
+	}
+	// The stall segment must close at the timeout with the right bounds.
+	found := false
+	for _, seg := range s.Segments {
+		if seg.Phase == PhaseStall && seg.Start == 22 && seg.End == 2000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no stall segment [22,2000] in %+v", s.Segments)
+	}
+}
+
+// TestOwnershipAndBackupWindows checks the handshake annotations.
+func TestOwnershipAndBackupWindows(t *testing.T) {
+	tid := msg.MakeTID(3, 7)
+	events := []obs.Event{
+		ev(0, obs.KindMsgSend, 3, tid, msg.GetX),
+		ev(5, obs.KindBackupCreate, 5, tid, 0),
+		ev(30, obs.KindMsgSend, 3, tid, msg.AckO),
+		ev(40, obs.KindBackupDelete, 5, tid, 0),
+		ev(55, obs.KindMsgRecv, 3, tid, msg.AckBD),
+		ev(55, obs.KindTxnEnd, 3, tid, 0),
+	}
+	s := Build(events, testTopo())[0]
+	if s.OwnershipWindow != 25 {
+		t.Errorf("ownership window = %d, want 25", s.OwnershipWindow)
+	}
+	if s.BackupHold != 35 {
+		t.Errorf("backup hold = %d, want 35", s.BackupHold)
+	}
+}
+
+// TestAggregateAndDelta checks the per-class fold and the comparison.
+func TestAggregateAndDelta(t *testing.T) {
+	mk := func(class string, dur uint64, phases map[string]uint64) *Span {
+		return &Span{Class: class, Start: 0, End: dur, Phases: phases, Complete: true}
+	}
+	ft := Aggregate([]*Span{
+		mk("l1.GetX", 100, map[string]uint64{PhaseNet: 60, PhaseL2: 40}),
+		mk("l1.GetX", 140, map[string]uint64{PhaseNet: 80, PhaseL2: 60}),
+		mk("l1.GetS", 50, map[string]uint64{PhaseNet: 50}),
+	})
+	dir := Aggregate([]*Span{
+		mk("l1.GetX", 100, map[string]uint64{PhaseNet: 60, PhaseL2: 40}),
+	})
+	if ft.Spans != 3 || ft.Complete != 3 {
+		t.Fatalf("spans/complete = %d/%d, want 3/3", ft.Spans, ft.Complete)
+	}
+	if got := ft.Classes["l1.GetX"].MeanCycles(); got != 120 {
+		t.Errorf("l1.GetX mean = %v, want 120", got)
+	}
+	deltas := ft.DeltaVs(dir)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (GetS, GetX)", len(deltas))
+	}
+	if deltas[0].Class != "l1.GetS" || deltas[1].Class != "l1.GetX" {
+		t.Fatalf("delta order %q,%q not sorted", deltas[0].Class, deltas[1].Class)
+	}
+	gx := deltas[1]
+	if gx.Delta != 20 {
+		t.Errorf("GetX delta = %v, want 20", gx.Delta)
+	}
+	if gx.PhaseDelta[PhaseNet] != 10 || gx.PhaseDelta[PhaseL2] != 10 {
+		t.Errorf("phase deltas %v, want net=10 svc_l2=10", gx.PhaseDelta)
+	}
+}
+
+// TestExportsValidAndDeterministic checks both exporters produce parseable,
+// byte-stable output.
+func TestExportsValidAndDeterministic(t *testing.T) {
+	tid := msg.MakeTID(1, 1)
+	events := []obs.Event{
+		ev(10, obs.KindMsgSend, 1, tid, msg.GetX),
+		ev(20, obs.KindMsgRecv, 5, tid, msg.GetX),
+		ev(25, obs.KindMsgSend, 5, tid, msg.DataEx),
+		ev(35, obs.KindMsgRecv, 1, tid, msg.DataEx),
+		ev(35, obs.KindTxnEnd, 1, tid, 0),
+	}
+	spans := Build(events, testTopo())
+
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("JSONL export not deterministic")
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(a.Bytes()), []byte("\n")) {
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("invalid JSONL line %s: %v", line, err)
+		}
+		if _, ok := obj["phases"]; !ok {
+			t.Fatalf("span line missing phases: %s", line)
+		}
+	}
+
+	var c bytes.Buffer
+	if err := WriteChromeTrace(&c, spans, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(c.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
+
+// TestZeroTIDIgnored: unattributed events never form spans.
+func TestZeroTIDIgnored(t *testing.T) {
+	events := []obs.Event{
+		ev(10, obs.KindState, 1, 0, 0),
+		ev(20, obs.KindTxnEnd, 1, 0, 0),
+	}
+	if spans := Build(events, testTopo()); len(spans) != 0 {
+		t.Fatalf("got %d spans from zero-TID events, want 0", len(spans))
+	}
+}

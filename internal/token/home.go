@@ -290,7 +290,7 @@ func (h *Home) armActiveTimer(addr msg.Addr, ln *homeLine) {
 			return
 		}
 		h.run.Proto.LostUnblockTimeouts++
-		h.obs.TimeoutFired("home", h.id, addr, obs.TimeoutLostUnblock)
+		h.obs.TimeoutFired("home", h.id, addr, 0, obs.TimeoutLostUnblock)
 		h.send(&msg.Message{Type: msg.UnblockPing, Dst: ln.active, Addr: addr})
 		// Re-broadcast the authoritative activation: lost PersistentAct or
 		// PersistentDeact messages can leave nodes with stale entries that
@@ -375,7 +375,7 @@ func (h *Home) armRecreateTimer(addr msg.Addr, ln *homeLine) {
 			return
 		}
 		h.run.Proto.LostUnblockTimeouts++
-		h.obs.TimeoutFired("home", h.id, addr, obs.TimeoutLostUnblock)
+		h.obs.TimeoutFired("home", h.id, addr, 0, obs.TimeoutLostUnblock)
 		h.broadcastRecreate(addr, ln)
 		h.armRecreateTimer(addr, ln)
 	})

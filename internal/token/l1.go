@@ -281,7 +281,7 @@ func (l *L1) armRetry(addr msg.Addr, e *tokenMiss) {
 		}
 		e.retries++
 		l.run.Proto.TokenRetries++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
+		l.obs.TimeoutFired("l1", l.id, addr, 0, obs.TimeoutLostRequest)
 		if e.retries >= l.params.TokenPersistentThreshold() {
 			if !e.persistentSent {
 				l.run.Proto.PersistentRequests++
@@ -306,7 +306,7 @@ func (l *L1) armLostToken(addr msg.Addr, e *tokenMiss) {
 			return
 		}
 		l.run.Proto.LostRequestTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostRequest)
+		l.obs.TimeoutFired("l1", l.id, addr, 0, obs.TimeoutLostRequest)
 		l.send(&msg.Message{Type: msg.RecreateReq, Dst: l.topo.HomeL2(addr), Addr: addr})
 		l.armLostToken(addr, e)
 	})
@@ -519,7 +519,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *tokenMiss, line *cache.Line) {
 	done := e.done
 	waiters := e.waiters
 	l.mshr.Free(addr)
-	l.obs.TransactionEnd("l1", l.id, addr)
+	l.obs.TransactionEnd("l1", l.id, addr, 0)
 	if done != nil {
 		done(res)
 	}
@@ -611,7 +611,7 @@ func (l *L1) makeBackup(addr msg.Addr, payload msg.Payload, dirty bool, dest msg
 	if b == nil {
 		b = l.backups.Alloc(addr)
 		b.timer = sim.NewTimer(l.engine)
-		l.obs.BackupCreated("l1", l.id, addr, dest)
+		l.obs.BackupCreated("l1", l.id, addr, 0, dest)
 	}
 	b.payload = payload
 	b.dirty = dirty
@@ -626,7 +626,7 @@ func (l *L1) armBackup(addr msg.Addr, b *backupEntry) {
 			return
 		}
 		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutBackup)
+		l.obs.TimeoutFired("l1", l.id, addr, 0, obs.TimeoutBackup)
 		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: b.sn})
 		l.armBackup(addr, b)
 	})
@@ -638,8 +638,8 @@ func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
 			return
 		}
 		l.run.Proto.LostAckBDTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, obs.TimeoutLostAckBD)
-		l.obs.Reissue("l1", l.id, addr, msg.AckO, b.sn, b.sn)
+		l.obs.TimeoutFired("l1", l.id, addr, 0, obs.TimeoutLostAckBD)
+		l.obs.Reissue("l1", l.id, addr, 0, msg.AckO, b.sn, b.sn)
 		l.run.Proto.AcksOSent++
 		l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn})
 		l.armLostAckBD(addr, b)
@@ -650,7 +650,7 @@ func (l *L1) handleAckO(m *msg.Message) {
 	if b := l.backups.Get(m.Addr); b != nil && m.Src == b.dest {
 		b.timer.Stop()
 		l.backups.Free(m.Addr)
-		l.obs.BackupDeleted("l1", l.id, m.Addr)
+		l.obs.BackupDeleted("l1", l.id, m.Addr, 0)
 	}
 	l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN})
 }
@@ -663,7 +663,7 @@ func (l *L1) handleAckBD(m *msg.Message) {
 	}
 	b.timer.Stop()
 	delete(l.blocked, m.Addr)
-	l.obs.TransactionEnd("l1", l.id, m.Addr)
+	l.obs.TransactionEnd("l1", l.id, m.Addr, 0)
 }
 
 func (l *L1) handleOwnershipPing(m *msg.Message) {

@@ -30,6 +30,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/coverage"
 	"repro/internal/fault"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/runner"
+	"repro/internal/span"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -178,6 +180,17 @@ type Config struct {
 	// EventBufferSize bounds the retained event log when RecordEvents is
 	// set: the log keeps the most recent events (0 = default of 65536).
 	EventBufferSize int
+
+	// RecordSpans reconstructs causal transaction spans: the run's event
+	// stream (with the per-message feed enabled) is grouped by transaction
+	// ID and every cycle of every coherence transaction is attributed to a
+	// phase (network transit, controller service, timeout stall, ...). The
+	// results are available as Result.Spans, Result.Breakdown and the span
+	// exporters (WriteSpansJSONL, WriteSpansChromeTrace). Span recording is
+	// pure observation: it never changes simulation results, and when off
+	// the instrumentation costs nothing. See internal/span and
+	// docs/OBSERVABILITY.md.
+	RecordSpans bool
 }
 
 // DefaultConfig returns the paper's Table 4 configuration: a 16-tile CMP on
@@ -366,6 +379,11 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 	sysCfg.Injector = inj
 	rec := cfg.recorder()
 	sysCfg.Obs = rec
+	var spanEvents []obs.Event
+	if cfg.RecordSpans {
+		rec.EnableMessageFeed()
+		rec.SetSink(func(e obs.Event) { spanEvents = append(spanEvents, e) })
+	}
 	s, err := system.New(sysCfg)
 	if err != nil {
 		return nil, err
@@ -376,6 +394,10 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 	}
 	res := newResult(run, rec, cfg.topology())
 	res.MemoryImageHash = s.MemoryImageHash()
+	if cfg.RecordSpans {
+		res.spans = span.Build(spanEvents, cfg.topology())
+		res.breakdown = span.Aggregate(res.spans)
+	}
 	return res, nil
 }
 
@@ -418,6 +440,21 @@ func SweepConfig(cfg Config, rate int) Config {
 // points execute concurrently under cfg.Parallelism; results come back in
 // rate order and are identical at every parallelism level.
 func FaultSweep(cfg Config, workloadName string, rates []int) ([]*Result, error) {
+	return FaultSweepWithProgress(cfg, workloadName, rates, nil)
+}
+
+// ProgressSnapshot is a race-safe live view of a running campaign: jobs
+// done, messages dropped, open recovery windows, elapsed wall time and an
+// ETA. See FaultSweepWithProgress and internal/runner.
+type ProgressSnapshot = runner.Snapshot
+
+// FaultSweepWithProgress is FaultSweep with a live-progress callback,
+// invoked serially after each completed rate point. Progress observation
+// never changes the results: they remain in rate order and identical at
+// every parallelism level (only the callback order is completion order).
+func FaultSweepWithProgress(cfg Config, workloadName string, rates []int, progress func(ProgressSnapshot)) ([]*Result, error) {
+	tracker := runner.NewTracker(len(rates))
+	var mu sync.Mutex
 	return runner.Map(cfg.Parallelism, len(rates), func(i int) (*Result, error) {
 		rate := rates[i]
 		res, err := Run(SweepConfig(cfg, rate), workloadName)
@@ -425,6 +462,12 @@ func FaultSweep(cfg Config, workloadName string, rates []int) ([]*Result, error)
 			return nil, fmt.Errorf("rate %d: %w", rate, err)
 		}
 		res.FaultRatePerMillion = rate
+		tracker.JobDone(res.Dropped, res.FaultsUnattributed)
+		if progress != nil {
+			mu.Lock()
+			progress(tracker.Snapshot())
+			mu.Unlock()
+		}
 		return res, nil
 	})
 }

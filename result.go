@@ -7,6 +7,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/span"
 	"repro/internal/stats"
 )
 
@@ -100,8 +101,10 @@ type Result struct {
 	// ReportText is a rendered human-readable summary.
 	ReportText string
 
-	events []obs.Event
-	topo   proto.Topology
+	events    []obs.Event
+	spans     []*span.Span
+	breakdown *span.Breakdown
+	topo      proto.Topology
 }
 
 // Events returns the retained structured protocol events, oldest first.
@@ -121,6 +124,31 @@ func (r *Result) WriteEventsJSONL(w io.Writer) error {
 // and duration slices spanning each injected fault's recovery window.
 func (r *Result) WriteChromeTrace(w io.Writer) error {
 	return obs.WriteChromeTrace(w, r.events, r.nodeName)
+}
+
+// Spans returns the reconstructed coherence transaction spans, in start
+// order. Empty unless the run's Config set RecordSpans. See internal/span
+// and docs/OBSERVABILITY.md for the phase taxonomy.
+func (r *Result) Spans() []*span.Span { return r.spans }
+
+// Breakdown returns the per-miss-class latency attribution aggregated over
+// the run's spans: counts, total and mean cycles, and per-phase totals per
+// class. Nil unless the run's Config set RecordSpans.
+func (r *Result) Breakdown() *span.Breakdown { return r.breakdown }
+
+// WriteSpansJSONL writes the reconstructed spans as JSON Lines, one span
+// per line in start order, with the phase breakdown and attributed segments
+// inline. Deterministic: a re-run at the same configuration and seeds is
+// byte-identical at every parallelism level.
+func (r *Result) WriteSpansJSONL(w io.Writer) error {
+	return span.WriteJSONL(w, r.spans)
+}
+
+// WriteSpansChromeTrace writes the spans in the Chrome trace-event JSON
+// format: one Perfetto lane per transaction, the span as the root slice and
+// its phase segments nested inside.
+func (r *Result) WriteSpansChromeTrace(w io.Writer) error {
+	return span.WriteChromeTrace(w, r.spans, r.nodeName)
 }
 
 // nodeName labels a node for trace export using the run's topology.

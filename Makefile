@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sweep-bench docs-check coverage-quick
+.PHONY: check vet build test race bench sweep-bench docs-check coverage-quick serve-check
 
-check: vet build race docs-check coverage-quick
+check: vet build race docs-check coverage-quick serve-check
 
 vet:
 	$(GO) vet ./...
@@ -32,15 +32,26 @@ docs-check:
 coverage-quick:
 	$(GO) run ./cmd/ftcheck -exhaustive -quick -ops 20
 
+# serve-check builds the ftserve binary and runs the experiment-serving
+# e2e suite under the race detector: concurrent duplicate submissions
+# coalesce to one run with byte-identical replies, queue-full backpressure
+# returns 429, SSE progress streams during runs, and graceful shutdown
+# drains in-flight campaigns without corrupting results. See
+# docs/SERVICE.md.
+serve-check:
+	$(GO) build -o /dev/null ./cmd/ftserve
+	$(GO) test -race ./internal/serve
+
 # bench regenerates every benchmark number (ns/op plus the custom paper
 # metrics, including the span-reconstructor cost and the event-emission
-# hot path with instrumentation off/on) and writes them as BENCH_PR4.json
-# via cmd/bench2json.
+# hot path with instrumentation off/on, plus the ftserve cache-key and
+# scheduler overheads) and writes them as BENCH_PR5.json via
+# cmd/bench2json.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
-	$(GO) run ./cmd/bench2json < bench.out > BENCH_PR4.json
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/serve | tee bench.out
+	$(GO) run ./cmd/bench2json < bench.out > BENCH_PR5.json
 	@rm -f bench.out
-	@echo wrote BENCH_PR4.json
+	@echo wrote BENCH_PR5.json
 
 # sweep-bench times the parallel campaign runner against the serial loop;
 # on an N-core machine the allcores variant approaches N× faster.

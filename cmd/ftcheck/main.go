@@ -21,9 +21,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/fault"
@@ -32,7 +36,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the campaign: in-flight simulations abort at
+	// the next cancellation poll, whatever was already printed stands as
+	// partial results, and the exit status is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ftcheck: interrupted — results above are partial")
+		}
 		fmt.Fprintln(os.Stderr, "ftcheck:", err)
 		os.Exit(1)
 	}
@@ -57,7 +69,7 @@ func progressFn(enabled bool, label string) func(done, total int) {
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		quick      = flag.Bool("quick", true, "scaled-down system (2x2 tiles)")
 		ops        = flag.Int("ops", 300, "operations per core")
@@ -76,11 +88,7 @@ func run() error {
 
 	cfg := repro.DefaultConfig()
 	if *quick {
-		cfg.MeshWidth = 2
-		cfg.MeshHeight = 2
-		cfg.MemControllers = 2
-		cfg.L1Size = 8 * 1024
-		cfg.L2BankSize = 32 * 1024
+		cfg = repro.QuickConfig()
 	}
 	cfg.OpsPerCore = *ops
 	cfg.Parallelism = *jobs
@@ -98,7 +106,7 @@ func run() error {
 		if !opsSet {
 			cfg.OpsPerCore = 40
 		}
-		return runExhaustive(cfg, *doubles, *jsonOut, *progress)
+		return runExhaustive(ctx, cfg, *doubles, *jsonOut, *progress)
 	}
 
 	failures := 0
@@ -116,8 +124,8 @@ func run() error {
 			p1jobs = append(p1jobs, p1key{typ, nth})
 		}
 	}
-	p1outs, err := runner.MapProgress(*jobs, len(p1jobs), func(i int) (repro.RecoveryOutcome, error) {
-		return repro.CheckRecovery(cfg, "uniform", p1jobs[i].typ, p1jobs[i].nth)
+	p1outs, err := runner.MapProgressContext(ctx, *jobs, len(p1jobs), func(ctx context.Context, i int) (repro.RecoveryOutcome, error) {
+		return repro.CheckRecoveryContext(ctx, cfg, "uniform", p1jobs[i].typ, p1jobs[i].nth)
 	}, progressFn(*progress, "phase 1  targeted drops"))
 	if err != nil {
 		return err
@@ -162,14 +170,17 @@ func run() error {
 			}
 		}
 	}
-	p1bOuts, err := runner.MapProgress(*jobs, len(p1bJobs), func(i int) (dropOutcome, error) {
+	p1bOuts, err := runner.MapProgressContext(ctx, *jobs, len(p1bJobs), func(ctx context.Context, i int) (dropOutcome, error) {
 		j := p1bJobs[i]
 		c := cfg
 		c.Protocol = repro.FtDirCMP
 		c.Seed = uint64(j.seed)
 		targeted := fault.NewNthOfType(j.typ, j.nth)
 		inj := fault.NewChain(fault.NewRate(5000, uint64(j.seed)*101), targeted)
-		_, err := repro.RunWithInjector(c, "uniform", inj)
+		_, err := repro.RunWithInjectorContext(ctx, c, "uniform", inj)
+		if err != nil && ctx.Err() != nil {
+			return dropOutcome{}, err
+		}
 		return dropOutcome{fired: targeted.Fired(), dropped: inj.Dropped(), err: err}, nil
 	}, progressFn(*progress, "phase 1b recovery drops"))
 	if err != nil {
@@ -208,12 +219,15 @@ func run() error {
 			p1cJobs = append(p1cJobs, p1cKey{typ, nth})
 		}
 	}
-	p1cOuts, err := runner.MapProgress(*jobs, len(p1cJobs), func(i int) (dropOutcome, error) {
+	p1cOuts, err := runner.MapProgressContext(ctx, *jobs, len(p1cJobs), func(ctx context.Context, i int) (dropOutcome, error) {
 		j := p1cJobs[i]
 		c := cfg
 		c.Protocol = repro.FtTokenCMP
 		targeted := fault.NewNthOfType(j.typ, j.nth)
-		_, err := repro.RunWithInjector(c, "uniform", targeted)
+		_, err := repro.RunWithInjectorContext(ctx, c, "uniform", targeted)
+		if err != nil && ctx.Err() != nil {
+			return dropOutcome{}, err
+		}
 		return dropOutcome{fired: targeted.Fired(), dropped: targeted.Dropped(), err: err}, nil
 	}, progressFn(*progress, "phase 1c token drops"))
 	if err != nil {
@@ -249,12 +263,15 @@ func run() error {
 			p2jobs = append(p2jobs, p2key{rate, seed})
 		}
 	}
-	p2outs, err := runner.MapProgress(*jobs, len(p2jobs), func(i int) (runOutcome, error) {
+	p2outs, err := runner.MapProgressContext(ctx, *jobs, len(p2jobs), func(ctx context.Context, i int) (runOutcome, error) {
 		j := p2jobs[i]
 		c := cfg
 		c.Protocol = repro.FtDirCMP
 		c.Seed = uint64(j.seed)
-		res, err := repro.RunWithInjector(c, "uniform", fault.NewRate(j.rate, uint64(j.seed)*31))
+		res, err := repro.RunWithInjectorContext(ctx, c, "uniform", fault.NewRate(j.rate, uint64(j.seed)*31))
+		if err != nil && ctx.Err() != nil {
+			return runOutcome{}, err
+		}
 		return runOutcome{res, err}, nil
 	}, progressFn(*progress, "phase 2  random loss"))
 	if err != nil {
@@ -275,11 +292,14 @@ func run() error {
 		dropped uint64
 		err     error
 	}
-	burstOuts, err := runner.MapProgress(*jobs, *seeds, func(i int) (burstOutcome, error) {
+	burstOuts, err := runner.MapProgressContext(ctx, *jobs, *seeds, func(ctx context.Context, i int) (burstOutcome, error) {
 		c := cfg
 		c.Protocol = repro.FtDirCMP
 		inj := fault.NewBurst(500, 8, uint64(i+1))
-		res, err := repro.RunWithInjector(c, "uniform", inj)
+		res, err := repro.RunWithInjectorContext(ctx, c, "uniform", inj)
+		if err != nil && ctx.Err() != nil {
+			return burstOutcome{}, err
+		}
 		return burstOutcome{res, inj.Dropped(), err}, nil
 	}, progressFn(*progress, "phase 2  burst loss"))
 	if err != nil {
@@ -299,7 +319,10 @@ func run() error {
 	c := cfg
 	c.Protocol = repro.DirCMP
 	c.CycleLimit = 5_000_000
-	_, err = repro.RunWithInjector(c, "uniform", fault.NewNthOfType(msg.GetX, 5))
+	_, err = repro.RunWithInjectorContext(ctx, c, "uniform", fault.NewNthOfType(msg.GetX, 5))
+	if err != nil && ctx.Err() != nil {
+		return err
+	}
 	if err == nil {
 		fmt.Println("  UNEXPECTED: DirCMP survived a lost GetX")
 		failures++
@@ -318,12 +341,12 @@ func run() error {
 // slot of the workload and prove FtDirCMP recovers from each one, then show
 // DirCMP failing the same campaign. Output is deterministic and identical
 // at every -j level.
-func runExhaustive(cfg repro.Config, doubles int, jsonPath string, progress bool) error {
+func runExhaustive(ctx context.Context, cfg repro.Config, doubles int, jsonPath string, progress bool) error {
 	fmt.Println("== Exhaustive fault coverage: FtDirCMP ==")
 	fmt.Printf("system %dx%d, %d mems, %d ops/core, workload uniform\n",
 		cfg.MeshWidth, cfg.MeshHeight, cfg.MemControllers, cfg.OpsPerCore)
 
-	rep, err := repro.Coverage(cfg, "uniform", repro.CoverageOptions{
+	rep, err := repro.CoverageContext(ctx, cfg, "uniform", repro.CoverageOptions{
 		DoubleFaultSamples: doubles,
 		Seed:               1,
 		Progress:           progressFn(progress, "exhaustive FtDirCMP"),
@@ -371,7 +394,7 @@ func runExhaustive(cfg repro.Config, doubles int, jsonPath string, progress bool
 	c := cfg
 	c.Protocol = repro.DirCMP
 	c.CycleLimit = 5_000_000
-	drep, err := repro.Coverage(c, "uniform", repro.CoverageOptions{
+	drep, err := repro.CoverageContext(ctx, c, "uniform", repro.CoverageOptions{
 		Progress: progressFn(progress, "exhaustive DirCMP"),
 	})
 	if err != nil {

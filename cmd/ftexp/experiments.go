@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -17,10 +18,20 @@ import (
 var faultRates = []int{0, 125, 250, 500, 1000, 2000}
 
 type experiments struct {
+	ctx      context.Context // cancelled on SIGINT/SIGTERM
 	quick    bool
 	ops      int
 	jobs     int  // concurrent simulations (0 = all cores)
 	progress bool // print live campaign progress to stderr
+}
+
+// context returns the campaign's cancellation context (Background when the
+// struct was built without one, e.g. in tests).
+func (e *experiments) context() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
 }
 
 // tracker starts live progress tracking for a campaign of total jobs; it
@@ -90,7 +101,7 @@ func (e *experiments) sweepAll(recordSpans bool) ([]workloadSweep, error) {
 	}
 	track := e.tracker(len(pts))
 	var mu sync.Mutex
-	results, err := runner.Map(e.jobs, len(pts), func(i int) (*repro.Result, error) {
+	results, err := runner.MapContext(e.context(), e.jobs, len(pts), func(ctx context.Context, i int) (*repro.Result, error) {
 		pt := pts[i]
 		var cfg repro.Config
 		if pt.rate < 0 {
@@ -99,7 +110,7 @@ func (e *experiments) sweepAll(recordSpans bool) ([]workloadSweep, error) {
 			cfg = repro.SweepConfig(e.config(), pt.rate)
 		}
 		cfg.RecordSpans = recordSpans
-		res, err := repro.Run(cfg, pt.workload)
+		res, err := repro.RunContext(ctx, cfg, pt.workload)
 		if err != nil {
 			if pt.rate < 0 {
 				return nil, fmt.Errorf("%s baseline: %w", pt.workload, err)
@@ -216,13 +227,13 @@ func (e *experiments) figure6() error {
 			}
 		}
 	}
-	results, err := runner.Map(e.jobs, len(cells), func(i int) (*repro.Result, error) {
+	results, err := runner.MapContext(e.context(), e.jobs, len(cells), func(ctx context.Context, i int) (*repro.Result, error) {
 		c := cells[i]
 		cfg := e.config()
 		cfg.Protocol = c.protocol
 		cfg.FaultRatePerMillion = c.rate
 		cfg.FaultSeed = uint64(c.rate) + 5
-		res, err := repro.Run(cfg, c.workload)
+		res, err := repro.RunContext(ctx, cfg, c.workload)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s@%d: %w", c.workload, c.protocol, c.rate, err)
 		}
@@ -267,7 +278,7 @@ func (e *experiments) figure5() error {
 	if e.progress {
 		onDone = func(s repro.ProgressSnapshot) { fmt.Fprintln(os.Stderr, "ftexp:", s) }
 	}
-	results, err := repro.FaultSweepWithProgress(e.config(), "uniform", faultRates, onDone)
+	results, err := repro.FaultSweepContext(e.context(), e.config(), "uniform", faultRates, onDone)
 	if err != nil {
 		return err
 	}
@@ -350,7 +361,7 @@ func (e *experiments) figure2() error {
 	cfg.Protocol = repro.FtDirCMP
 	cfg.FaultRatePerMillion = 20000
 	cfg.FaultSeed = 3
-	res, err := repro.Run(cfg, "hotspot")
+	res, err := repro.RunContext(e.context(), cfg, "hotspot")
 	if err != nil {
 		return err
 	}
@@ -413,10 +424,10 @@ func (e *experiments) figure4() error {
 	// batch is the only fan-out level. The serial loop used to repeat every
 	// comparison for the bytes section; the runs are deterministic, so one
 	// batch feeds both sections.
-	pairs, err := runner.Map(e.jobs, len(names), func(i int) (comparison, error) {
+	pairs, err := runner.MapContext(e.context(), e.jobs, len(names), func(ctx context.Context, i int) (comparison, error) {
 		cfg := e.config()
 		cfg.Parallelism = 1
-		dir, ft, err := repro.Compare(cfg, names[i])
+		dir, ft, err := repro.CompareContext(ctx, cfg, names[i])
 		if err != nil {
 			return comparison{}, fmt.Errorf("%s: %w", names[i], err)
 		}
@@ -476,7 +487,7 @@ func (e *experiments) profile() error {
 	fmt.Println("phase taxonomy; deltas are mean cycles per miss, by phase).")
 	fmt.Println()
 	cfg := repro.SweepConfig(e.config(), 1000)
-	rep, err := repro.Profile(cfg, "uniform")
+	rep, err := repro.ProfileContext(e.context(), cfg, "uniform")
 	if err != nil {
 		return err
 	}

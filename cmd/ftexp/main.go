@@ -28,19 +28,31 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the sweeps: running simulations abort at the
+	// next cancellation poll, output produced so far stands as partial
+	// results, and the exit status is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ftexp: interrupted — output above is partial")
+		}
 		fmt.Fprintln(os.Stderr, "ftexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		table    = flag.Int("table", 0, "print paper table 1-4")
 		fig      = flag.Int("fig", 0, "reproduce paper figure 1-4")
@@ -54,7 +66,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	e := &experiments{quick: *quick, ops: *ops, jobs: *jobs, progress: *progress}
+	e := &experiments{ctx: ctx, quick: *quick, ops: *ops, jobs: *jobs, progress: *progress}
 
 	if *jsonPath != "" {
 		return e.writeJSON(*jsonPath)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"io"
 	"os"
@@ -44,7 +45,7 @@ func runWith(t *testing.T, args ...string) (stdout, stderr string, err error) {
 	}
 	_, restoreOut := capture(&os.Stdout)
 	_, restoreErr := capture(&os.Stderr)
-	err = run()
+	err = run(context.Background())
 	stdout = restoreOut()
 	stderr = restoreErr()
 	return stdout, stderr, err

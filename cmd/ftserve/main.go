@@ -1,0 +1,84 @@
+// Command ftserve serves this module's paper experiments over an HTTP
+// JSON API: a bounded worker-pool scheduler with explicit backpressure
+// (429 + Retry-After when the queue is full), a content-addressed result
+// cache keyed by the canonical hash of each fully-resolved experiment
+// configuration, and live progress streaming over SSE.
+//
+//	ftserve -addr :8080 -workers 2 -queue 64
+//
+// Submit an experiment and follow it:
+//
+//	curl -s localhost:8080/v1/experiments -d '{"type":"sweep","quick":true,"rates":[0,250,1000]}'
+//	curl -N localhost:8080/v1/experiments/<id>/events
+//
+// See docs/SERVICE.md for the API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent experiment executions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "scheduler queue depth; beyond it submissions get 429")
+	par := flag.Int("j", 1, "Config.Parallelism per campaign (-1 = all cores); never affects results or cache keys")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 2*time.Minute,
+		"how long a SIGINT/SIGTERM drain may take before in-flight experiments are cancelled")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Parallelism: *par,
+		RetryAfter:  2 * time.Second,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ftserve listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("signal received; draining (timeout %s)", *shutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the scheduler. Shutdown
+	// on the http.Server waits for in-flight handlers (including SSE
+	// streams, which end when their job does).
+	httpSrv.SetKeepAlivesEnabled(false)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete, in-flight experiments cancelled: %v", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		httpSrv.Close()
+	}
+	hits, misses, rejected := srv.CacheStats()
+	log.Printf("done: cache hits=%d misses=%d rejected=%d", hits, misses, rejected)
+}

@@ -1,0 +1,128 @@
+package repro
+
+// Cancellation-plumbing tests: server deadlines, client disconnects and
+// SIGINT all reach the simulator through context.Context (RunContext,
+// FaultSweepContext, CoverageContext, ...), which must abort in-flight
+// campaigns promptly with an error wrapping context.Canceled — never a
+// partial Result.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/canon"
+)
+
+// TestQuickConfigHashGolden pins the canonical content hash of the
+// quick-system configuration. The experiment-serving cache (internal/serve)
+// keys results by hashes like this one, so the hash must be stable across
+// releases: if this test fails, either Config gained/renamed a hashed field
+// or the canonicalization changed — both invalidate every persisted cache
+// key, and the constant here must only be regenerated deliberately.
+func TestQuickConfigHashGolden(t *testing.T) {
+	const want = "sha256:715f0ce1f2044736b3d496235cce944d77b367f66bf526da3f0c01ec601a8262"
+	got, err := canon.Hash(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("canonical hash of QuickConfig changed:\n got %s\nwant %s\n"+
+			"(cache keys are derived from this; update the constant only if the change is intentional)", got, want)
+	}
+}
+
+// Parallelism must not be part of the cache identity: it is an execution
+// knob, not a simulated-system parameter.
+func TestConfigHashIgnoresParallelism(t *testing.T) {
+	a := QuickConfig()
+	b := QuickConfig()
+	b.Parallelism = 7
+	ha, err := canon.Hash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := canon.Hash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("Parallelism leaked into the canonical hash")
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := QuickConfig()
+	cfg.OpsPerCore = 50
+	_, err := RunContext(ctx, cfg, "uniform")
+	if err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := QuickConfig()
+	cfg.OpsPerCore = 500_000 // far longer than the test will wait
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	res, err := RunContext(ctx, cfg, "uniform")
+	if err == nil {
+		t.Fatal("expected cancellation error, got a result")
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a partial result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; the cancel poll is not reaching the event loop", elapsed)
+	}
+}
+
+func TestFaultSweepContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := QuickConfig()
+	cfg.OpsPerCore = 50
+	_, err := FaultSweepContext(ctx, cfg, "uniform", []int{100, 200, 300}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FaultSweepContext error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestCoverageContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := QuickConfig()
+	cfg.OpsPerCore = 10
+	// Cancel as soon as the first slot completes: the campaign must abort
+	// with the context error instead of producing a report.
+	opt := CoverageOptions{Progress: func(done, total int) { cancel() }}
+	rep, err := CoverageContext(ctx, cfg, "uniform", opt)
+	if err == nil {
+		t.Fatalf("expected cancellation error, got report with %d slots tested", rep.SlotsTested)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CoverageContext error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestCompareContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := QuickConfig()
+	cfg.OpsPerCore = 50
+	_, _, err := CompareContext(ctx, cfg, "uniform")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompareContext error %v does not wrap context.Canceled", err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package canon produces canonical JSON and stable content hashes.
+//
+// The experiment-serving subsystem (internal/serve) keys its
+// content-addressed result cache by a hash of the fully-resolved
+// experiment request. For that key to be stable — across processes,
+// releases, and whatever field order a client happened to send — the
+// serialization it hashes must be canonical:
+//
+//   - Object keys are emitted in sorted order, recursively. Go's
+//     encoding/json already sorts map keys but emits struct fields in
+//     declaration order; canon re-canonicalizes the encoded form so a
+//     struct and the equivalent map hash identically, and reordering
+//     struct fields does not silently change every cache key.
+//   - Numbers pass through verbatim as their original JSON text
+//     (json.Number), never through float64, so values like 1e21 or 0.1
+//     cannot drift through a parse/re-encode round trip.
+//   - No insignificant whitespace; strings use encoding/json escaping.
+//
+// Hash returns "sha256:" plus the hex digest of the canonical bytes.
+// The golden test in the repo root pins the hash of the quick-system
+// configuration so accidental canonicalization changes are caught.
+package canon
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Marshal returns the canonical JSON encoding of v: the encoding/json
+// form of v with all object keys sorted recursively and numbers preserved
+// verbatim. Values that encoding/json cannot marshal (channels, cycles,
+// NaN floats) return an error.
+func Marshal(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("canon: re-parse: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := write(&buf, tree); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Hash returns "sha256:<hex>" over the canonical JSON encoding of v.
+func Hash(v any) (string, error) {
+	b, err := Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// write emits one canonicalized JSON value. tree only contains the types
+// json.Decoder produces: nil, bool, string, json.Number, []any and
+// map[string]any.
+func write(buf *bytes.Buffer, tree any) error {
+	switch v := tree.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if v {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case json.Number:
+		buf.WriteString(v.String())
+	case string:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range v {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := write(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := write(buf, v[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("canon: unexpected decoded type %T", tree)
+	}
+	return nil
+}

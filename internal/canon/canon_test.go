@@ -1,0 +1,98 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarshalSortsKeys(t *testing.T) {
+	got, err := Marshal(map[string]any{"b": 1, "a": 2, "c": map[string]int{"z": 1, "y": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":2,"b":1,"c":{"y":2,"z":1}}`
+	if string(got) != want {
+		t.Fatalf("Marshal = %s, want %s", got, want)
+	}
+}
+
+// A struct and the equivalent map must canonicalize identically: the cache
+// key must not depend on whether the value went through a struct or the
+// generic JSON tree, nor on struct field declaration order.
+func TestMarshalStructEqualsMap(t *testing.T) {
+	type s struct {
+		Zeta  int    `json:"zeta"`
+		Alpha string `json:"alpha"`
+	}
+	a, err := Marshal(s{Zeta: 3, Alpha: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(map[string]any{"alpha": "x", "zeta": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("struct %s != map %s", a, b)
+	}
+	if want := `{"alpha":"x","zeta":3}`; string(a) != want {
+		t.Fatalf("Marshal = %s, want %s", a, want)
+	}
+}
+
+// rawJSON lets a test feed pre-encoded JSON through Marshal.
+type rawJSON string
+
+func (r rawJSON) MarshalJSON() ([]byte, error) { return []byte(r), nil }
+
+// Numbers must survive canonicalization verbatim — no float64 round trip.
+func TestMarshalNumberFidelity(t *testing.T) {
+	in := `{"big":123456789012345678901,"exp":1e21,"frac":0.1,"neg":-0.0625}`
+	got, err := Marshal(rawJSON(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != in {
+		t.Fatalf("canonical form %s drifted from %s", got, in)
+	}
+}
+
+func TestMarshalArraysAndScalars(t *testing.T) {
+	got, err := Marshal([]any{nil, true, false, "s", []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `[null,true,false,"s",[1,2]]`; string(got) != want {
+		t.Fatalf("Marshal = %s, want %s", got, want)
+	}
+}
+
+func TestHashStableAndDistinct(t *testing.T) {
+	h1, err := Hash(map[string]int{"a": 1, "b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(map[string]int{"b": 2, "a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("equal values hash differently: %s vs %s", h1, h2)
+	}
+	h3, err := Hash(map[string]int{"a": 1, "b": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h3 {
+		t.Fatal("different values collided")
+	}
+	if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+		t.Fatalf("malformed hash %q", h1)
+	}
+}
+
+func TestMarshalUnsupported(t *testing.T) {
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Fatal("expected error for channel")
+	}
+}

@@ -31,6 +31,7 @@
 package coverage
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -276,6 +277,15 @@ type slotResult struct {
 // run fails (a protocol that cannot run fault-free has no coverage to
 // measure) — per-slot failures are part of the report, not errors.
 func Run(run RunFunc, opt Options) (*Report, error) {
+	return RunContext(context.Background(), run, opt)
+}
+
+// RunContext is Run under a context: once ctx is cancelled no further slot
+// run is dispatched and the campaign returns the cancellation error. The
+// RunFunc is expected to honor the same context itself (the repro front
+// door wires ctx into every simulation's cancel hook), so in-flight runs
+// abort promptly too.
+func RunContext(ctx context.Context, run RunFunc, opt Options) (*Report, error) {
 	census := NewCensus()
 	base := run(census)
 	if base.Err != "" {
@@ -286,12 +296,19 @@ func Run(run RunFunc, opt Options) (*Report, error) {
 	}
 
 	slots := EnumerateSlots(census, opt.MaxSlotsPerType)
-	results, err := runner.MapProgress(opt.Parallelism, len(slots), func(i int) (slotResult, error) {
+	results, err := runner.MapProgressContext(ctx, opt.Parallelism, len(slots), func(ctx context.Context, i int) (slotResult, error) {
 		inj := fault.NewNthOfType(slots[i].Type, slots[i].Nth)
-		return slotResult{out: run(inj), fired: inj.Fired()}, nil
+		out := run(inj)
+		if err := context.Cause(ctx); err != nil && out.Err != "" {
+			// A run aborted by cancellation is an interrupted campaign,
+			// not a coverage failure.
+			return slotResult{}, err
+		}
+		return slotResult{out: out, fired: inj.Fired()}, nil
 	}, opt.Progress)
 	if err != nil {
-		// Only a panicking job can land here; run errors live in Outcome.
+		// Only a panicking job or cancellation can land here; run errors
+		// live in Outcome.
 		return nil, err
 	}
 
@@ -378,14 +395,14 @@ func Run(run RunFunc, opt Options) (*Report, error) {
 	}
 
 	if opt.DoubleFaultSamples > 0 {
-		runDoubleFaults(run, opt, slots, base, rep)
+		runDoubleFaults(ctx, run, opt, slots, base, rep)
 	}
 	return rep, nil
 }
 
 // runDoubleFaults samples slots and re-runs them with a second drop inside
 // the recovery window, appending to the report.
-func runDoubleFaults(run RunFunc, opt Options, slots []Slot, base Outcome, rep *Report) {
+func runDoubleFaults(ctx context.Context, run RunFunc, opt Options, slots []Slot, base Outcome, rep *Report) {
 	window := opt.DoubleFaultWindow
 	if window <= 0 {
 		window = 50
@@ -409,7 +426,7 @@ func runDoubleFaults(run RunFunc, opt Options, slots []Slot, base Outcome, rep *
 		}
 		jobs[i] = j
 	}
-	results, err := runner.Map(opt.Parallelism, len(jobs), func(i int) (slotResult, error) {
+	results, err := runner.MapContext(ctx, opt.Parallelism, len(jobs), func(ctx context.Context, i int) (slotResult, error) {
 		j := jobs[i]
 		inj := fault.NewNthOfType(j.slot.Type, j.slot.Nth)
 		if j.mode == "reissue" {

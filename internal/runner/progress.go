@@ -8,17 +8,29 @@ import (
 
 // Snapshot is a point-in-time view of a running campaign, safe to read from
 // any goroutine while jobs complete on others.
+//
+// The JSON encoding is a stable wire shape — it is exactly what the
+// experiment server's SSE progress stream sends (see docs/SERVICE.md) —
+// with durations in integer nanoseconds:
+//
+//	{"done":2,"total":8,"dropped":3,"open_windows":0,
+//	 "elapsed_ns":1200000000,"eta_ns":3600000000}
 type Snapshot struct {
 	// Done and Total count completed jobs against the batch size.
-	Done, Total int
+	Done  int `json:"done"`
+	Total int `json:"total"`
 	// Dropped sums the messages lost across completed jobs; OpenWindows
 	// sums their recovery windows still open at run end (unattributed
 	// faults).
-	Dropped, OpenWindows uint64
-	// Elapsed is the wall time since the tracker started; ETA estimates
-	// the remaining wall time from the mean per-job rate so far (zero
-	// until the first job completes).
-	Elapsed, ETA time.Duration
+	Dropped     uint64 `json:"dropped"`
+	OpenWindows uint64 `json:"open_windows"`
+	// Elapsed is the wall time since the tracker started, never negative
+	// (a clock stepping backwards under the tracker clamps to zero); ETA
+	// estimates the remaining wall time from the mean per-job rate so far
+	// (zero until the first job completes, and zero again once every job
+	// is done).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	ETA     time.Duration `json:"eta_ns"`
 }
 
 // String renders the snapshot as one status line, e.g.
@@ -101,9 +113,15 @@ func (t *Tracker) Snapshot() Snapshot {
 		OpenWindows: t.open,
 		Elapsed:     t.clock().Sub(t.start),
 	}
-	if t.done > 0 && t.done < t.total {
-		perJob := s.Elapsed / time.Duration(t.done)
-		s.ETA = perJob * time.Duration(t.total-t.done)
+	// NTP steps and suspend/resume can move the wall clock backwards; a
+	// negative elapsed (and the negative ETA it would imply) must never
+	// escape into status lines or the SSE stream.
+	if s.Elapsed < 0 {
+		s.Elapsed = 0
+	}
+	if s.Done > 0 && s.Done < s.Total {
+		perJob := s.Elapsed / time.Duration(s.Done)
+		s.ETA = perJob * time.Duration(s.Total-s.Done)
 	}
 	return s
 }

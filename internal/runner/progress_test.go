@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -44,6 +45,73 @@ func TestTrackerCountsAndETA(t *testing.T) {
 	s = tr.Snapshot()
 	if s.Done != 4 || s.ETA != 0 {
 		t.Fatalf("finished snapshot = %+v, want done=4 eta=0", s)
+	}
+}
+
+// TestTrackerETAZeroJobsDone: with no job complete there is no rate to
+// extrapolate from — ETA must be exactly zero, not a division artifact.
+func TestTrackerETAZeroJobsDone(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := &Tracker{total: 8, now: func() time.Time { return now }}
+	tr.start = tr.clock()
+	now = now.Add(5 * time.Second)
+	s := tr.Snapshot()
+	if s.Done != 0 || s.ETA != 0 {
+		t.Fatalf("snapshot = %+v, want done=0 eta=0", s)
+	}
+	if s.Elapsed != 5*time.Second {
+		t.Fatalf("elapsed = %s, want 5s", s.Elapsed)
+	}
+	if got := s.String(); strings.Contains(got, "eta=") {
+		t.Fatalf("status line %q shows an ETA with zero jobs done", got)
+	}
+}
+
+// TestTrackerClockSkew: a wall clock stepping backwards (NTP, VM resume)
+// must not produce negative elapsed or ETA values.
+func TestTrackerClockSkew(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tr := &Tracker{total: 4, now: func() time.Time { return now }}
+	tr.start = tr.clock()
+	tr.JobDone(0, 0)
+	now = now.Add(-30 * time.Second) // clock stepped backwards past start
+	s := tr.Snapshot()
+	if s.Elapsed != 0 {
+		t.Fatalf("elapsed = %s after backwards clock step, want 0", s.Elapsed)
+	}
+	if s.ETA != 0 {
+		t.Fatalf("eta = %s after backwards clock step, want 0", s.ETA)
+	}
+	if got := s.String(); strings.Contains(got, "-") {
+		t.Fatalf("status line %q renders a negative duration", got)
+	}
+}
+
+// TestTrackerZeroTotal: a tracker over an empty batch must not divide by
+// zero or claim progress.
+func TestTrackerZeroTotal(t *testing.T) {
+	tr := NewTracker(0)
+	if s := tr.Snapshot(); s.Done != 0 || s.Total != 0 || s.ETA != 0 {
+		t.Fatalf("snapshot = %+v, want zeros", s)
+	}
+}
+
+// TestSnapshotJSONShape pins the snapshot's JSON encoding: it is the exact
+// wire shape of the experiment server's SSE progress stream, documented in
+// docs/SERVICE.md, so field renames here are protocol changes.
+func TestSnapshotJSONShape(t *testing.T) {
+	s := Snapshot{
+		Done: 2, Total: 8, Dropped: 3, OpenWindows: 1,
+		Elapsed: 1200 * time.Millisecond, ETA: 3600 * time.Millisecond,
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"done":2,"total":8,"dropped":3,"open_windows":1,` +
+		`"elapsed_ns":1200000000,"eta_ns":3600000000}`
+	if string(b) != want {
+		t.Fatalf("snapshot JSON = %s\nwant            %s", b, want)
 	}
 }
 

@@ -24,6 +24,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -55,6 +56,30 @@ func (e *PanicError) Error() string {
 // a nil slice and the error of the lowest-index failing job.
 func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 	return MapProgress(parallelism, n, job, nil)
+}
+
+// MapContext is Map with cancellation: a job sees the context and is
+// expected to honor it (simulations poll ctx.Done through the system cancel
+// hook), and once ctx is cancelled no further job is dispatched — the batch
+// returns the cancellation error, mirroring a serial loop interrupted
+// between iterations. Jobs already in flight run to completion (or until
+// they observe the context themselves).
+func MapContext[T any](ctx context.Context, parallelism, n int, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapProgressContext(ctx, parallelism, n, job, nil)
+}
+
+// MapProgressContext is MapContext with the MapProgress callback.
+func MapProgressContext[T any](ctx context.Context, parallelism, n int, job func(ctx context.Context, i int) (T, error), progress func(done, total int)) ([]T, error) {
+	return MapProgress(parallelism, n, func(i int) (T, error) {
+		// Checking before dispatch (not only inside the job) makes a
+		// cancelled batch stop scheduling work immediately, and makes the
+		// lowest-index-error rule surface the context error itself.
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return job(ctx, i)
+	}, progress)
 }
 
 // MapProgress is Map with an optional progress callback, invoked serially

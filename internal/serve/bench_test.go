@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkRequestKey measures the submission fast path: parse, resolve
+// and content-address one request body (what every POST pays before the
+// cache lookup).
+func BenchmarkRequestKey(b *testing.B) {
+	body := []byte(`{"type":"sweep","quick":true,"rates":[0,125,250,500,1000],"config":{"OpsPerCore":500}}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req, err := resolveRequest(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := req.key(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerSubmit measures scheduler overhead per job: enqueue,
+// hand off to a worker, execute a no-op.
+func BenchmarkSchedulerSubmit(b *testing.B) {
+	var ran atomic.Int64
+	s := newScheduler(2, 64, func(*job) { ran.Add(1) })
+	j := testJob("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for {
+			if err := s.trySubmit(j); err == nil {
+				break
+			}
+			// Queue full: the workers are behind; yield until a slot frees.
+			runtime.Gosched()
+		}
+	}
+	s.drain()
+	if ran.Load() != int64(b.N) {
+		b.Fatalf("ran %d, want %d", ran.Load(), b.N)
+	}
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/canon"
+	"repro/internal/runner"
+)
+
+// Request is the POST /v1/experiments body: an experiment type plus the
+// parameters that resolve it into concrete simulations. Unknown fields are
+// rejected. See docs/SERVICE.md for the full schema.
+type Request struct {
+	// Type selects the experiment: "run" (one simulation), "sweep" (the
+	// Figure-3 fault-rate sweep), "compare" (fault-free DirCMP vs
+	// FtDirCMP), "coverage" (the exhaustive single-loss census campaign)
+	// or "profile" (per-miss latency attribution by phase).
+	Type string `json:"type"`
+	// Workload names one of repro.Workloads(); default "uniform".
+	Workload string `json:"workload,omitempty"`
+	// Quick starts from repro.QuickConfig (the 2x2 system) instead of
+	// DefaultConfig (the paper's Table-4 4x4 system).
+	Quick bool `json:"quick,omitempty"`
+	// Config holds partial repro.Config overrides, applied on top of the
+	// base selected by Quick. Field names are the Go names ("OpsPerCore",
+	// "FaultRatePerMillion", ...). Unknown fields are rejected.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Rates lists the fault rates (messages lost per million) of a sweep.
+	// Required for type "sweep", rejected otherwise.
+	Rates []int `json:"rates,omitempty"`
+	// Coverage tunes a coverage campaign; only valid for type "coverage".
+	Coverage *CoverageParams `json:"coverage,omitempty"`
+}
+
+// CoverageParams mirrors repro.CoverageOptions for the wire.
+type CoverageParams struct {
+	MaxSlotsPerType    int    `json:"max_slots_per_type,omitempty"`
+	DoubleFaultSamples int    `json:"double_fault_samples,omitempty"`
+	DoubleFaultWindow  int    `json:"double_fault_window,omitempty"`
+	Seed               uint64 `json:"seed,omitempty"`
+}
+
+// experimentTypes is the closed set of Request.Type values.
+var experimentTypes = map[string]bool{
+	"run": true, "sweep": true, "compare": true, "coverage": true, "profile": true,
+}
+
+// resolved is a fully-resolved experiment request: the base configuration
+// has been selected and every override applied, so two requests that mean
+// the same experiment — whatever their field order or defaulting — resolve
+// to identical values and therefore identical cache keys.
+type resolved struct {
+	Type     string          `json:"type"`
+	Workload string          `json:"workload"`
+	Config   repro.Config    `json:"config"`
+	Rates    []int           `json:"rates,omitempty"`
+	Coverage *CoverageParams `json:"coverage,omitempty"`
+}
+
+// key returns the content address of the resolved request: the canonical
+// hash (internal/canon) of its fully-resolved form. Config.Parallelism is
+// execution policy, not experiment identity, and is excluded by its
+// json:"-" tag; the golden test in the repo root pins the quick-config
+// hash this derives from.
+func (r *resolved) key() (string, error) {
+	return canon.Hash(r)
+}
+
+// resolveRequest parses and validates a request body into its resolved
+// form. All errors are client errors (HTTP 400).
+func resolveRequest(body []byte) (*resolved, error) {
+	var req Request
+	if err := strictUnmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("invalid request: %w", err)
+	}
+	if !experimentTypes[req.Type] {
+		return nil, fmt.Errorf("unknown experiment type %q (want run, sweep, compare, coverage or profile)", req.Type)
+	}
+	if req.Workload == "" {
+		req.Workload = "uniform"
+	}
+	known := false
+	for _, w := range repro.Workloads() {
+		if w == req.Workload {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown workload %q (want one of %v)", req.Workload, repro.Workloads())
+	}
+
+	cfg := repro.DefaultConfig()
+	if req.Quick {
+		cfg = repro.QuickConfig()
+	}
+	if len(req.Config) > 0 {
+		if err := strictUnmarshal(req.Config, &cfg); err != nil {
+			return nil, fmt.Errorf("invalid config overrides: %w", err)
+		}
+	}
+	cfg.Parallelism = 0 // execution knob; the server decides at run time
+
+	res := &resolved{Type: req.Type, Workload: req.Workload, Config: cfg}
+	switch req.Type {
+	case "sweep":
+		if len(req.Rates) == 0 {
+			return nil, fmt.Errorf("sweep requires a non-empty rates list")
+		}
+		res.Rates = req.Rates
+	default:
+		if len(req.Rates) > 0 {
+			return nil, fmt.Errorf("rates is only valid for type sweep")
+		}
+	}
+	if req.Coverage != nil {
+		if req.Type != "coverage" {
+			return nil, fmt.Errorf("coverage params are only valid for type coverage")
+		}
+		res.Coverage = req.Coverage
+	}
+	return res, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// Job states. A job is content-addressed: its ID is the cache key of its
+// resolved request, so identical submissions share one job (and one
+// execution — the in-flight coalescing the cache layer relies on).
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// job is one experiment execution and its memoized result.
+type job struct {
+	id  string
+	req *resolved
+
+	mu       sync.Mutex
+	state    string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	tracker  *runner.Tracker
+	snap     runner.Snapshot
+	subs     map[chan runner.Snapshot]struct{}
+	result   json.RawMessage // canonical result bytes, set once on success
+	errMsg   string
+	res      *repro.Result // retained for /trace on single-run experiments
+	cancel   func()        // cancels this job's context (forced shutdown)
+
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+}
+
+func newJob(id string, req *resolved, now time.Time) *job {
+	return &job{
+		id:      id,
+		req:     req,
+		state:   stateQueued,
+		created: now,
+		subs:    make(map[chan runner.Snapshot]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// start transitions queued → running.
+func (j *job) start(now time.Time, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = stateRunning
+	j.started = now
+	j.cancel = cancel
+}
+
+// finish records the terminal state and wakes every waiter. resultJSON and
+// res are only set on success; errMsg only on failure.
+func (j *job) finish(now time.Time, state string, resultJSON json.RawMessage, res *repro.Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.finished = now
+	j.result = resultJSON
+	j.res = res
+	j.errMsg = errMsg
+	j.cancel = nil
+	close(j.done)
+}
+
+// publish stores the latest progress snapshot and fans it out to SSE
+// subscribers without blocking the experiment (slow subscribers miss
+// intermediate snapshots, never delay the run).
+func (j *job) publish(s runner.Snapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.snap = s
+	for ch := range j.subs {
+		select {
+		case ch <- s:
+		default:
+		}
+	}
+}
+
+// publishCounts adapts count-style progress callbacks (coverage campaigns)
+// into snapshots via a lazily-created tracker.
+func (j *job) publishCounts(done, total int) {
+	j.mu.Lock()
+	if j.tracker == nil {
+		j.tracker = runner.NewTracker(total)
+	}
+	j.tracker.Advance(done)
+	s := j.tracker.Snapshot()
+	j.mu.Unlock()
+	j.publish(s)
+}
+
+// subscribe registers an SSE listener and returns the channel plus the
+// snapshot at subscription time (so late subscribers still see progress).
+func (j *job) subscribe() (chan runner.Snapshot, runner.Snapshot) {
+	ch := make(chan runner.Snapshot, 16)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs[ch] = struct{}{}
+	return ch, j.snap
+}
+
+func (j *job) unsubscribe(ch chan runner.Snapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+// statusDoc is the GET /v1/experiments/{id} document (and, with Cached
+// set, the POST response).
+type statusDoc struct {
+	ID       string           `json:"id"`
+	Type     string           `json:"type"`
+	Workload string           `json:"workload"`
+	State    string           `json:"state"`
+	Cached   bool             `json:"cached,omitempty"`
+	Created  time.Time        `json:"created"`
+	Started  *time.Time       `json:"started,omitempty"`
+	Finished *time.Time       `json:"finished,omitempty"`
+	Progress *runner.Snapshot `json:"progress,omitempty"`
+	Result   json.RawMessage  `json:"result,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// status renders the job's current status document.
+func (j *job) status(cached bool) statusDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := statusDoc{
+		ID:       j.id,
+		Type:     j.req.Type,
+		Workload: j.req.Workload,
+		State:    j.state,
+		Cached:   cached,
+		Created:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		doc.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		doc.Finished = &t
+	}
+	if j.state == stateRunning && j.snap.Total > 0 {
+		s := j.snap
+		doc.Progress = &s
+	}
+	doc.Result = j.result
+	doc.Error = j.errMsg
+	return doc
+}
+
+// currentState returns the state under the lock.
+func (j *job) currentState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// cancelRun invokes the job's context cancel, if it is running.
+func (j *job) cancelRun() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// traceResult returns the retained Result for trace export, or an error
+// explaining why none is available.
+func (j *job) traceResult() (*repro.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state != stateDone:
+		return nil, fmt.Errorf("experiment %s is %s; traces are available once it is done", j.id, j.state)
+	case j.res == nil:
+		return nil, fmt.Errorf("traces are only available for type \"run\" experiments (this is %q)", j.req.Type)
+	}
+	return j.res, nil
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metrics aggregates the counters behind GET /metrics. Rendering is
+// Prometheus text exposition format, hand-rolled (the module has no
+// dependencies); the latency histograms reuse internal/stats' power-of-two
+// buckets as cumulative le-labelled counts.
+type metrics struct {
+	mu          sync.Mutex
+	cacheHits   uint64
+	cacheMisses uint64
+	rejected    uint64                      // 429s: queue-full submissions turned away
+	executed    map[string]uint64           // finished executions by terminal state
+	latency     map[string]*stats.Histogram // wall latency (ms) by experiment type
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		executed: make(map[string]uint64),
+		latency:  make(map[string]*stats.Histogram),
+	}
+}
+
+func (m *metrics) hit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) miss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// observe records one finished execution.
+func (m *metrics) observe(expType, state string, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.executed[state]++
+	h := m.latency[expType]
+	if h == nil {
+		h = &stats.Histogram{}
+		m.latency[expType] = h
+	}
+	ms := wall.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	h.Add(uint64(ms))
+}
+
+// snapshot returns the cache counters (used by tests and the server).
+func (m *metrics) snapshot() (hits, misses, rejected uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMisses, m.rejected
+}
+
+// render writes the Prometheus text format. jobsByState counts the jobs
+// the server currently tracks; queueDepth/queueCap/running describe the
+// scheduler.
+func (m *metrics) render(w io.Writer, jobsByState map[string]int, queueDepth, queueCap, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP ftserve_jobs Experiment jobs tracked by the server, by state.")
+	fmt.Fprintln(w, "# TYPE ftserve_jobs gauge")
+	for _, st := range []string{stateQueued, stateRunning, stateDone, stateFailed, stateCanceled} {
+		fmt.Fprintf(w, "ftserve_jobs{state=%q} %d\n", st, jobsByState[st])
+	}
+
+	fmt.Fprintln(w, "# HELP ftserve_queue_depth Jobs waiting in the scheduler queue.")
+	fmt.Fprintln(w, "# TYPE ftserve_queue_depth gauge")
+	fmt.Fprintf(w, "ftserve_queue_depth %d\n", queueDepth)
+	fmt.Fprintln(w, "# HELP ftserve_queue_capacity Scheduler queue capacity.")
+	fmt.Fprintln(w, "# TYPE ftserve_queue_capacity gauge")
+	fmt.Fprintf(w, "ftserve_queue_capacity %d\n", queueCap)
+	fmt.Fprintln(w, "# HELP ftserve_workers_busy Workers currently executing a job.")
+	fmt.Fprintln(w, "# TYPE ftserve_workers_busy gauge")
+	fmt.Fprintf(w, "ftserve_workers_busy %d\n", running)
+
+	fmt.Fprintln(w, "# HELP ftserve_cache_hits_total Submissions served from the content-addressed cache (or coalesced onto an in-flight run).")
+	fmt.Fprintln(w, "# TYPE ftserve_cache_hits_total counter")
+	fmt.Fprintf(w, "ftserve_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintln(w, "# HELP ftserve_cache_misses_total Submissions that scheduled a new execution.")
+	fmt.Fprintln(w, "# TYPE ftserve_cache_misses_total counter")
+	fmt.Fprintf(w, "ftserve_cache_misses_total %d\n", m.cacheMisses)
+	fmt.Fprintln(w, "# HELP ftserve_rejected_total Submissions rejected with 429 because the queue was full.")
+	fmt.Fprintln(w, "# TYPE ftserve_rejected_total counter")
+	fmt.Fprintf(w, "ftserve_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintln(w, "# HELP ftserve_executions_total Finished executions by terminal state.")
+	fmt.Fprintln(w, "# TYPE ftserve_executions_total counter")
+	for _, st := range sortedKeys(m.executed) {
+		fmt.Fprintf(w, "ftserve_executions_total{state=%q} %d\n", st, m.executed[st])
+	}
+
+	fmt.Fprintln(w, "# HELP ftserve_experiment_latency_ms Wall-clock execution latency by experiment type, milliseconds.")
+	fmt.Fprintln(w, "# TYPE ftserve_experiment_latency_ms histogram")
+	for _, typ := range sortedKeys(m.latency) {
+		h := m.latency[typ]
+		var cum uint64
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			fmt.Fprintf(w, "ftserve_experiment_latency_ms_bucket{type=%q,le=%q} %d\n", typ, fmt.Sprint(b.Hi), cum)
+		}
+		fmt.Fprintf(w, "ftserve_experiment_latency_ms_bucket{type=%q,le=\"+Inf\"} %d\n", typ, h.Count())
+		fmt.Fprintf(w, "ftserve_experiment_latency_ms_sum{type=%q} %d\n", typ, h.Sum())
+		fmt.Fprintf(w, "ftserve_experiment_latency_ms_count{type=%q} %d\n", typ, h.Count())
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Scheduler errors, mapped to HTTP statuses by the server (429 with
+// Retry-After, and 503 respectively).
+var (
+	ErrQueueFull    = errors.New("serve: queue full")
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// scheduler is a bounded worker pool with explicit backpressure: a fixed
+// number of workers drain a fixed-capacity queue, and a submission that
+// finds the queue full fails immediately with ErrQueueFull instead of
+// blocking — the server turns that into 429 + Retry-After, pushing load
+// shedding to the edge rather than letting latency build invisibly.
+type scheduler struct {
+	queue chan *job
+	exec  func(*job)
+
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+	running int // workers currently executing a job (for metrics)
+}
+
+// newScheduler starts workers goroutines draining a queue of capacity
+// depth. exec runs one job to completion; it must not panic.
+func newScheduler(workers, depth int, exec func(*job)) *scheduler {
+	s := &scheduler{
+		queue: make(chan *job, depth),
+		exec:  exec,
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+		s.exec(j)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// trySubmit enqueues the job without blocking. It fails with ErrQueueFull
+// when every queue slot is taken, and ErrShuttingDown after drain began.
+func (s *scheduler) trySubmit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth returns the number of queued (not yet running) jobs.
+func (s *scheduler) depth() int { return len(s.queue) }
+
+// capacity returns the queue's capacity.
+func (s *scheduler) capacity() int { return cap(s.queue) }
+
+// runningCount returns how many workers are executing a job right now.
+func (s *scheduler) runningCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// drain stops intake and blocks until every queued and running job has
+// finished. Safe to call more than once.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

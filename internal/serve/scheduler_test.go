@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testJob(id string) *job {
+	return newJob(id, &resolved{Type: "run", Workload: "uniform"}, time.Time{})
+}
+
+func TestSchedulerRunsEverything(t *testing.T) {
+	var ran atomic.Int64
+	s := newScheduler(3, 16, func(*job) { ran.Add(1) })
+	for i := 0; i < 16; i++ {
+		if err := s.trySubmit(testJob("j")); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	s.drain()
+	if ran.Load() != 16 {
+		t.Fatalf("ran %d jobs, want 16", ran.Load())
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s := newScheduler(1, 1, func(*job) {
+		entered <- struct{}{}
+		<-gate
+	})
+	if err := s.trySubmit(testJob("a")); err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	<-entered // worker is busy; the queue is empty again
+	if err := s.trySubmit(testJob("b")); err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	if err := s.trySubmit(testJob("c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("c: %v, want ErrQueueFull", err)
+	}
+	if s.depth() != 1 || s.capacity() != 1 || s.runningCount() != 1 {
+		t.Fatalf("depth=%d cap=%d running=%d", s.depth(), s.capacity(), s.runningCount())
+	}
+	close(gate)
+	s.drain()
+	if s.runningCount() != 0 {
+		t.Fatalf("running = %d after drain", s.runningCount())
+	}
+}
+
+func TestSchedulerDrainIdempotentAndRejectsAfter(t *testing.T) {
+	s := newScheduler(2, 4, func(*job) {})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.drain() }()
+	}
+	wg.Wait()
+	if err := s.trySubmit(testJob("late")); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after drain: %v, want ErrShuttingDown", err)
+	}
+}

@@ -1,0 +1,440 @@
+// Package serve is the experiment-serving subsystem: an HTTP JSON API
+// that runs this module's paper experiments — single simulations, fault
+// sweeps, protocol comparisons, exhaustive coverage campaigns and latency
+// profiles — on a bounded worker-pool scheduler, memoizing every result in
+// a content-addressed cache.
+//
+// The cache key is the canonical hash (internal/canon) of the
+// fully-resolved request: experiment type, workload, and the complete
+// repro.Config after defaulting and overrides. Because every simulation in
+// this module is a pure function of that configuration, a result can be
+// replayed byte-for-byte forever, and identical submissions arriving
+// concurrently coalesce onto one in-flight execution (singleflight) — the
+// job's ID simply is the cache key.
+//
+// Backpressure is explicit: when the scheduler queue is full, POST returns
+// 429 with a Retry-After header instead of queueing unboundedly. Progress
+// streams live over SSE (GET /v1/experiments/{id}/events) as
+// runner.Snapshot JSON. Shutdown is graceful: intake stops (503), queued
+// and running jobs drain to completion, and a shutdown deadline forces
+// cancellation through the same context plumbing that serves client
+// disconnects.
+//
+// See docs/SERVICE.md for the API walkthrough, cache-key semantics and
+// metrics reference; cmd/ftserve is the binary.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// Workers bounds concurrently-executing experiments (default:
+	// GOMAXPROCS). Each worker runs one experiment at a time.
+	Workers int
+	// QueueDepth bounds experiments queued behind the workers (default
+	// 64). A submission beyond that gets 429 + Retry-After.
+	QueueDepth int
+	// Parallelism is the Config.Parallelism applied to every executed
+	// campaign (default 1: each campaign runs serially and concurrency
+	// comes from Workers; negative fans each campaign across all cores).
+	// Results are byte-identical at every setting — it is pure execution
+	// policy, never part of the cache key.
+	Parallelism int
+	// RetryAfter is the hint returned with 429 responses (default 2s).
+	RetryAfter time.Duration
+
+	// now and beforeRun are test hooks: a fake clock, and a gate invoked
+	// by a worker right before it starts executing a job.
+	now       func() time.Time
+	beforeRun func(*job)
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = 1
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 2 * time.Second
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	return opts
+}
+
+// Server is the experiment-serving HTTP handler plus its scheduler and
+// cache. Create with New, serve via Handler, stop with Shutdown.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	sched *scheduler
+	met   *metrics
+
+	// baseCtx parents every job context; cancelJobs aborts all in-flight
+	// work (forced shutdown past the drain deadline).
+	baseCtx    context.Context
+	cancelJobs context.CancelCauseFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job // content address → job (the result cache)
+	order    []string        // insertion order, for listing
+	draining bool
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	s := &Server{
+		opts: opts.withDefaults(),
+		mux:  http.NewServeMux(),
+		met:  newMetrics(),
+		jobs: make(map[string]*job),
+	}
+	s.baseCtx, s.cancelJobs = context.WithCancelCause(context.Background())
+	s.sched = newScheduler(s.opts.Workers, s.opts.QueueDepth, s.execute)
+
+	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops intake immediately (new submissions get 503, /healthz
+// degrades) and drains: queued and running jobs run to completion. If ctx
+// expires first, every in-flight job is cancelled through its context —
+// the same path a client disconnect takes — and Shutdown returns ctx's
+// error once the workers exit. A drained result is never corrupted: jobs
+// either finish and cache normally or fail with a cancellation error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.sched.drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelJobs(fmt.Errorf("ftserve shutdown deadline: %w", context.Cause(ctx)))
+		<-done
+		return ctx.Err()
+	}
+}
+
+// CacheStats returns (hits, misses, rejected) — exposed for tests and the
+// binary's shutdown log; /metrics carries the same numbers.
+func (s *Server) CacheStats() (hits, misses, rejected uint64) {
+	return s.met.snapshot()
+}
+
+// handleSubmit is POST /v1/experiments: resolve, content-address, coalesce
+// or schedule.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	req, err := resolveRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := req.key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("hashing request: %v", err))
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if existing, ok := s.jobs[key]; ok {
+		st := existing.currentState()
+		if st != stateFailed && st != stateCanceled {
+			// Cache hit: done jobs replay their bytes, queued/running jobs
+			// coalesce — either way no new execution.
+			s.mu.Unlock()
+			s.met.hit()
+			code := http.StatusOK
+			if st != stateDone {
+				code = http.StatusAccepted
+			}
+			writeJSON(w, code, existing.status(true))
+			return
+		}
+		// Failed and cancelled runs are not memoized: fall through and
+		// replace the record with a fresh attempt.
+	}
+	j := newJob(key, req, s.opts.now())
+	if _, replaced := s.jobs[key]; !replaced {
+		s.order = append(s.order, key)
+	}
+	s.jobs[key] = j
+	s.mu.Unlock()
+
+	if err := s.sched.trySubmit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, key)
+		s.dropFromOrder(key)
+		s.mu.Unlock()
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.met.reject()
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("scheduler queue full (%d queued); retry later", s.sched.capacity()))
+		default:
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		}
+		return
+	}
+	s.met.miss()
+	w.Header().Set("Location", "/v1/experiments/"+key)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func (s *Server) dropFromOrder(key string) {
+	for i, k := range s.order {
+		if k == key {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// handleGet is GET /v1/experiments/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such experiment")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleList is GET /v1/experiments: every tracked job, oldest first.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	docs := make([]statusDoc, 0, len(s.order))
+	for _, key := range s.order {
+		if j := s.jobs[key]; j != nil {
+			docs = append(docs, j.status(false))
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": docs})
+}
+
+// handleTrace is GET /v1/experiments/{id}/trace?format=jsonl|chrome|spans,
+// reusing the fttrace exporters on the retained Result of a "run"
+// experiment.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such experiment")
+		return
+	}
+	res, err := j.traceResult()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "jsonl":
+		if len(res.Events()) == 0 {
+			writeError(w, http.StatusConflict, `no events retained; submit with "config":{"RecordEvents":true}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		res.WriteEventsJSONL(w)
+	case "chrome":
+		if len(res.Events()) == 0 {
+			writeError(w, http.StatusConflict, `no events retained; submit with "config":{"RecordEvents":true}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		res.WriteChromeTrace(w)
+	case "spans":
+		if len(res.Spans()) == 0 {
+			writeError(w, http.StatusConflict, `no spans recorded; submit with "config":{"RecordSpans":true}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		res.WriteSpansJSONL(w)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown trace format %q (want jsonl, chrome or spans)", format))
+	}
+}
+
+// handleMetrics is GET /metrics (Prometheus text exposition format).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	byState := make(map[string]int)
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[j.currentState()]++
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, byState, s.sched.depth(), s.sched.capacity(), s.sched.runningCount())
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// execute runs one job on a worker goroutine.
+func (s *Server) execute(j *job) {
+	if hook := s.opts.beforeRun; hook != nil {
+		hook(j)
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.start(s.opts.now(), cancel)
+	start := s.opts.now()
+
+	resultJSON, res, err := s.runExperiment(ctx, j)
+	state := stateDone
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+		state = stateFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			state = stateCanceled
+		}
+		resultJSON, res = nil, nil
+	}
+	j.finish(s.opts.now(), state, resultJSON, res, errMsg)
+	s.met.observe(j.req.Type, state, s.opts.now().Sub(start))
+}
+
+// runExperiment dispatches on the experiment type. The returned bytes are
+// the memoized result: deterministic for a deterministic configuration
+// (json.Marshal sorts map keys), so a cached replay is byte-identical to
+// the live run that produced it, at every parallelism level.
+func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *repro.Result, error) {
+	cfg := j.req.Config
+	cfg.Parallelism = s.opts.Parallelism
+	if cfg.Parallelism < 0 {
+		cfg.Parallelism = 0 // 0 = all cores, in runner.Map's convention
+	}
+	switch j.req.Type {
+	case "run":
+		j.publishCounts(0, 1)
+		res, err := repro.RunContext(ctx, cfg, j.req.Workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.publishCounts(1, 1)
+		b, err := json.Marshal(res)
+		return b, res, err
+	case "sweep":
+		j.publishCounts(0, len(j.req.Rates))
+		results, err := repro.FaultSweepContext(ctx, cfg, j.req.Workload, j.req.Rates,
+			func(snap repro.ProgressSnapshot) { j.publish(snap) })
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := json.Marshal(map[string]any{"rates": j.req.Rates, "results": results})
+		return b, nil, err
+	case "compare":
+		j.publishCounts(0, 2)
+		dir, ft, err := repro.CompareContext(ctx, cfg, j.req.Workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.publishCounts(2, 2)
+		b, err := json.Marshal(map[string]any{
+			"dir":              dir,
+			"ft":               ft,
+			"time_overhead":    ft.TimeOverheadVs(dir),
+			"message_overhead": ft.MessageOverheadVs(dir),
+			"byte_overhead":    ft.ByteOverheadVs(dir),
+		})
+		return b, nil, err
+	case "coverage":
+		opt := repro.CoverageOptions{Progress: j.publishCounts}
+		if p := j.req.Coverage; p != nil {
+			opt.MaxSlotsPerType = p.MaxSlotsPerType
+			opt.DoubleFaultSamples = p.DoubleFaultSamples
+			opt.DoubleFaultWindow = p.DoubleFaultWindow
+			opt.Seed = p.Seed
+		}
+		rep, err := repro.CoverageContext(ctx, cfg, j.req.Workload, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := json.Marshal(rep)
+		return b, nil, err
+	case "profile":
+		j.publishCounts(0, 2)
+		rep, err := repro.ProfileContext(ctx, cfg, j.req.Workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := json.Marshal(rep)
+		return b, nil, err
+	}
+	return nil, nil, fmt.Errorf("unreachable experiment type %q", j.req.Type)
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError writes {"error": msg}.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -34,8 +34,40 @@ func (h *Histogram) Add(v uint64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
 // Max returns the largest sample.
 func (h *Histogram) Max() uint64 { return h.max }
+
+// Bucket is one power-of-two histogram bucket: samples in [Lo, Hi].
+type Bucket struct {
+	Lo, Hi uint64
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in ascending order. The final
+// bucket's Hi is clamped to the observed max, mirroring Percentile's
+// overflow handling. Prometheus-style exporters cumulate these into
+// le-labelled counts.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i-1)
+		}
+		hi := uint64(1)<<uint(i) - 1
+		if i == len(h.buckets)-1 || hi > h.max {
+			hi = h.max
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: n})
+	}
+	return out
+}
 
 // Mean returns the average sample.
 func (h *Histogram) Mean() float64 {

@@ -163,3 +163,43 @@ func TestHistogramHugeValues(t *testing.T) {
 		t.Fatalf("overflow bucket percentile = %d", h.Percentile(100))
 	}
 }
+
+// TestHistogramBucketsAndSum covers the exporter accessors: non-empty
+// buckets in order, the overflow bucket clamped to the observed max, and
+// the running sum.
+func TestHistogramBucketsAndSum(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 3, 100} {
+		h.Add(v)
+	}
+	if h.Sum() != 105 {
+		t.Fatalf("Sum = %d, want 105", h.Sum())
+	}
+	got := h.Buckets()
+	want := []Bucket{
+		{Lo: 0, Hi: 0, Count: 1},    // sample 0
+		{Lo: 1, Hi: 1, Count: 2},    // samples 1,1
+		{Lo: 2, Hi: 3, Count: 1},    // sample 3
+		{Lo: 64, Hi: 100, Count: 1}, // sample 100, Hi clamped to max
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var empty Histogram
+	if b := empty.Buckets(); b != nil {
+		t.Fatalf("empty histogram buckets = %+v, want nil", b)
+	}
+	// Cumulative bucket counts must sum to Count for exporters.
+	var total uint64
+	for _, b := range got {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+}

@@ -88,6 +88,9 @@ var (
 	ErrDeadlock = errors.New("system: deadlock — event queue drained with cores still blocked")
 	// ErrCycleLimit: the cycle limit elapsed before completion.
 	ErrCycleLimit = errors.New("system: cycle limit exceeded")
+	// ErrCancelled: Config.Cancel became readable mid-run (a context
+	// deadline, client disconnect or SIGINT aborted the simulation).
+	ErrCancelled = errors.New("system: run cancelled")
 )
 
 // Config describes a simulation.
@@ -123,6 +126,13 @@ type Config struct {
 	// transitions, timeout firings, reissues, backup lifecycle, fault
 	// injections) and derives the recovery metrics; see internal/obs.
 	Obs *obs.Recorder
+
+	// Cancel, when non-nil, aborts the simulation when it becomes
+	// readable: Run polls it every few thousand events and returns
+	// ErrCancelled. This is how context cancellation (server deadlines,
+	// SIGINT) reaches the event loop without a per-event cost. Determinism
+	// is unaffected — a cancelled run returns an error, never a result.
+	Cancel <-chan struct{}
 }
 
 // Tiles returns the tile count.
@@ -423,10 +433,37 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 		return true
 	}
 
-	finished := s.engine.RunUntil(s.cfg.Limit, allDone)
+	// Cancellation is polled every few thousand events rather than per
+	// event: cheap enough to be invisible, frequent enough that a deadline
+	// or SIGINT stops a multi-million-cycle run promptly.
+	cancelled := false
+	pred := allDone
+	if cancel := s.cfg.Cancel; cancel != nil {
+		var steps uint
+		pred = func() bool {
+			steps++
+			// steps == 1 catches a context that was cancelled before the
+			// run started; after that, poll every 4096 events.
+			if steps == 1 || steps%4096 == 0 {
+				select {
+				case <-cancel:
+					cancelled = true
+					return true
+				default:
+				}
+			}
+			return allDone()
+		}
+	}
+
+	finished := s.engine.RunUntil(s.cfg.Limit, pred)
 	s.run.Cycles = s.engine.Now()
 	for _, c := range s.cores {
 		s.run.Ops += c.Completed()
+	}
+	if cancelled {
+		return s.run, fmt.Errorf("%w at cycle %d (%d/%d cores finished)",
+			ErrCancelled, s.engine.Now(), s.doneCores(), tiles)
 	}
 	if !finished {
 		if s.engine.Pending() == 0 {

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,6 +37,12 @@ type ProfileReport struct {
 // concurrently under cfg.Parallelism; the report is identical at every
 // parallelism level.
 func Profile(cfg Config, workloadName string) (*ProfileReport, error) {
+	return ProfileContext(context.Background(), cfg, workloadName)
+}
+
+// ProfileContext is Profile under a context; cancellation aborts the runs
+// and the error wraps ctx's cause.
+func ProfileContext(ctx context.Context, cfg Config, workloadName string) (*ProfileReport, error) {
 	configs := []Config{cfg, cfg}
 	configs[0].Protocol = DirCMP
 	configs[1].Protocol = FtDirCMP
@@ -49,8 +56,8 @@ func Profile(cfg Config, workloadName string) (*ProfileReport, error) {
 		faulty.RecordSpans = true
 		configs = append(configs, faulty)
 	}
-	results, err := runner.Map(cfg.Parallelism, len(configs), func(i int) (*Result, error) {
-		res, err := Run(configs[i], workloadName)
+	results, err := runner.MapContext(ctx, cfg.Parallelism, len(configs), func(ctx context.Context, i int) (*Result, error) {
+		res, err := RunContext(ctx, configs[i], workloadName)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", configs[i].Protocol, err)
 		}

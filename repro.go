@@ -29,6 +29,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -230,6 +232,22 @@ func DefaultConfig() Config {
 	}
 }
 
+// QuickConfig returns the scaled-down 2x2 system the quick campaign modes
+// use (ftcheck's -quick, the exhaustive coverage gate, and ftserve's
+// "quick": true requests): four tiles, two memory controllers, 8KB L1s and
+// 32KB L2 banks, with every other parameter as DefaultConfig. Its
+// canonical content hash is pinned by a golden test (see internal/canon),
+// because the serving cache keys derive from configurations like this one.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MeshWidth = 2
+	cfg.MeshHeight = 2
+	cfg.MemControllers = 2
+	cfg.L1Size = 8 * 1024
+	cfg.L2BankSize = 32 * 1024
+	return cfg
+}
+
 // toInternal converts the public configuration.
 func (c Config) toInternal() system.Config {
 	var p system.Protocol
@@ -368,15 +386,30 @@ func Run(cfg Config, workloadName string) (*Result, error) {
 	return RunWithInjector(cfg, workloadName, cfg.injector())
 }
 
+// RunContext is Run under a context: when ctx is cancelled (a server
+// deadline, client disconnect or SIGINT) the simulation aborts promptly
+// and the error wraps ctx's cancellation cause, so callers can test it
+// with errors.Is(err, context.Canceled). Cancellation never yields a
+// partial Result.
+func RunContext(ctx context.Context, cfg Config, workloadName string) (*Result, error) {
+	return RunWithInjectorContext(ctx, cfg, workloadName, cfg.injector())
+}
+
 // RunWithInjector is Run with an explicit fault injector (overriding the
 // configuration's rate fields). inj may be nil for a reliable network.
 func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Result, error) {
+	return RunWithInjectorContext(context.Background(), cfg, workloadName, inj)
+}
+
+// RunWithInjectorContext is RunContext with an explicit fault injector.
+func RunWithInjectorContext(ctx context.Context, cfg Config, workloadName string, inj fault.Injector) (*Result, error) {
 	w, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
 	}
 	sysCfg := cfg.toInternal()
 	sysCfg.Injector = inj
+	sysCfg.Cancel = ctx.Done()
 	rec := cfg.recorder()
 	sysCfg.Obs = rec
 	var spanEvents []obs.Event
@@ -390,6 +423,11 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 	}
 	run, err := s.Run(w)
 	if err != nil {
+		if errors.Is(err, system.ErrCancelled) {
+			if cause := context.Cause(ctx); cause != nil {
+				return nil, fmt.Errorf("%v: %w", err, cause)
+			}
+		}
 		return nil, err
 	}
 	res := newResult(run, rec, cfg.topology())
@@ -405,12 +443,18 @@ func RunWithInjector(cfg Config, workloadName string, inj fault.Injector) (*Resu
 // network, the fault-free comparison of the paper's evaluation. The two
 // runs execute concurrently under cfg.Parallelism.
 func Compare(cfg Config, workloadName string) (dir, ft *Result, err error) {
+	return CompareContext(context.Background(), cfg, workloadName)
+}
+
+// CompareContext is Compare under a context; cancellation aborts both runs
+// and the error wraps ctx's cause.
+func CompareContext(ctx context.Context, cfg Config, workloadName string) (dir, ft *Result, err error) {
 	protocols := []Protocol{DirCMP, FtDirCMP}
-	results, err := runner.Map(cfg.Parallelism, len(protocols), func(i int) (*Result, error) {
+	results, err := runner.MapContext(ctx, cfg.Parallelism, len(protocols), func(ctx context.Context, i int) (*Result, error) {
 		c := cfg
 		c.Protocol = protocols[i]
 		c.FaultRatePerMillion = 0
-		res, err := Run(c, workloadName)
+		res, err := RunContext(ctx, c, workloadName)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", protocols[i], err)
 		}
@@ -453,11 +497,18 @@ type ProgressSnapshot = runner.Snapshot
 // never changes the results: they remain in rate order and identical at
 // every parallelism level (only the callback order is completion order).
 func FaultSweepWithProgress(cfg Config, workloadName string, rates []int, progress func(ProgressSnapshot)) ([]*Result, error) {
+	return FaultSweepContext(context.Background(), cfg, workloadName, rates, progress)
+}
+
+// FaultSweepContext is FaultSweepWithProgress under a context: once ctx is
+// cancelled no further rate point starts, in-flight simulations abort, and
+// the error wraps ctx's cause. progress may be nil.
+func FaultSweepContext(ctx context.Context, cfg Config, workloadName string, rates []int, progress func(ProgressSnapshot)) ([]*Result, error) {
 	tracker := runner.NewTracker(len(rates))
 	var mu sync.Mutex
-	return runner.Map(cfg.Parallelism, len(rates), func(i int) (*Result, error) {
+	return runner.MapContext(ctx, cfg.Parallelism, len(rates), func(ctx context.Context, i int) (*Result, error) {
 		rate := rates[i]
-		res, err := Run(SweepConfig(cfg, rate), workloadName)
+		res, err := RunContext(ctx, SweepConfig(cfg, rate), workloadName)
 		if err != nil {
 			return nil, fmt.Errorf("rate %d: %w", rate, err)
 		}
@@ -486,6 +537,12 @@ type RecoveryOutcome struct {
 // and reports whether the protocol recovered (the paper's §4 fault
 // injection methodology).
 func CheckRecovery(cfg Config, workloadName, msgType string, nth uint64) (RecoveryOutcome, error) {
+	return CheckRecoveryContext(context.Background(), cfg, workloadName, msgType, nth)
+}
+
+// CheckRecoveryContext is CheckRecovery under a context. A cancelled run is
+// an error (the campaign was interrupted), not a recovery failure.
+func CheckRecoveryContext(ctx context.Context, cfg Config, workloadName, msgType string, nth uint64) (RecoveryOutcome, error) {
 	var typ msg.Type
 	found := false
 	for _, t := range msg.AllTypes() {
@@ -501,7 +558,10 @@ func CheckRecovery(cfg Config, workloadName, msgType string, nth uint64) (Recove
 	c := cfg
 	c.Protocol = FtDirCMP
 	inj := fault.NewNthOfType(typ, nth)
-	_, err := RunWithInjector(c, workloadName, inj)
+	_, err := RunWithInjectorContext(ctx, c, workloadName, inj)
+	if err != nil && ctx.Err() != nil {
+		return RecoveryOutcome{}, err
+	}
 	return RecoveryOutcome{
 		Type:      msgType,
 		Nth:       nth,
@@ -547,6 +607,13 @@ type CoverageOptions struct {
 // report, not an error; only a failing baseline (or an invalid
 // configuration) returns one.
 func Coverage(cfg Config, workloadName string, opt CoverageOptions) (*CoverageReport, error) {
+	return CoverageContext(context.Background(), cfg, workloadName, opt)
+}
+
+// CoverageContext is Coverage under a context: once ctx is cancelled no
+// further slot run starts, in-flight runs abort, and the campaign returns
+// an error wrapping ctx's cause instead of a report.
+func CoverageContext(ctx context.Context, cfg Config, workloadName string, opt CoverageOptions) (*CoverageReport, error) {
 	if _, err := workload.ByName(workloadName); err != nil {
 		return nil, err
 	}
@@ -559,6 +626,7 @@ func Coverage(cfg Config, workloadName string, opt CoverageOptions) (*CoverageRe
 		}
 		sysCfg := c.toInternal()
 		sysCfg.Injector = inj
+		sysCfg.Cancel = ctx.Done()
 		// A small event ring gives deadlock dumps their last-event context
 		// without the cost of full event retention.
 		rec := obs.NewRecorder(4096)
@@ -584,7 +652,7 @@ func Coverage(cfg Config, workloadName string, opt CoverageOptions) (*CoverageRe
 		out.MemHash = s.MemoryImageHash()
 		return out
 	}
-	rep, err := coverage.Run(run, coverage.Options{
+	rep, err := coverage.RunContext(ctx, run, coverage.Options{
 		Parallelism:        cfg.Parallelism,
 		MaxSlotsPerType:    opt.MaxSlotsPerType,
 		DoubleFaultSamples: opt.DoubleFaultSamples,

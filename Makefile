@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sweep-bench docs-check coverage-quick serve-check
+.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick serve-check
 
 check: vet build race docs-check coverage-quick serve-check
 
@@ -45,13 +45,21 @@ serve-check:
 # bench regenerates every benchmark number (ns/op plus the custom paper
 # metrics, including the span-reconstructor cost and the event-emission
 # hot path with instrumentation off/on, plus the ftserve cache-key and
-# scheduler overheads) and writes them as BENCH_PR5.json via
-# cmd/bench2json.
+# scheduler overheads) and writes them as $(BENCH_OUT) via cmd/bench2json.
+# Override BENCH_OUT to snapshot under a different name.
+BENCH_OUT ?= BENCH_PR6.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/serve | tee bench.out
-	$(GO) run ./cmd/bench2json < bench.out > BENCH_PR5.json
+	$(GO) run ./cmd/bench2json < bench.out > $(BENCH_OUT)
 	@rm -f bench.out
-	@echo wrote BENCH_PR5.json
+	@echo wrote $(BENCH_OUT)
+
+# bench-diff compares the current snapshot against the previous PR's
+# baseline, per benchmark (ns/op, B/op, allocs/op, cycles). Informational:
+# it never fails the build.
+BENCH_BASE ?= BENCH_PR5.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_OUT)
 
 # sweep-bench times the parallel campaign runner against the serial loop;
 # on an N-core machine the allcores variant approaches N× faster.

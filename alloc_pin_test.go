@@ -1,0 +1,37 @@
+//go:build !race
+
+// The allocation pin is meaningless under the race detector: sync.Pool
+// deliberately drops a random fraction of recycled items when -race is on,
+// so allocs/op inflates nondeterministically. The pooling *correctness*
+// tests (TestPoolingOffGoldenIdentity) still run under -race.
+
+package repro
+
+import "testing"
+
+// TestFig3QuickAllocsPin pins the steady-state allocation count of the
+// quick Figure-3 configuration with instrumentation off — the regression
+// guard for the pooled hot path (messages, events, MSHR entries, timer
+// callbacks, deferred completions). The baseline before pooling was
+// ~130k allocs per run; the pooled path measures ~3k, dominated by
+// per-run setup (workload streams, stats tables, map growth). The pin at
+// 12000 leaves headroom for toolchain drift while still catching any
+// reintroduced per-message or per-event allocation, which costs tens of
+// thousands per run.
+func TestFig3QuickAllocsPin(t *testing.T) {
+	run := func() {
+		cfg := benchConfig()
+		cfg.Protocol = FtDirCMP
+		if _, err := Run(cfg, "uniform"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pools: first runs pay one-time allocations for pool
+	// populations sized to the working set.
+	run()
+	run()
+	const maxAllocs = 12000
+	if n := testing.AllocsPerRun(3, run); n > maxAllocs {
+		t.Errorf("quick Fig-3 run: %.0f allocs, want <= %d (pre-pooling baseline was ~130000)", n, maxAllocs)
+	}
+}

@@ -1,8 +1,13 @@
 // Command bench2json converts `go test -bench` text output (read from
 // stdin) into a stable JSON report: one record per benchmark with its
-// iteration count, ns/op, and every additional metric the benchmark
-// reported (B/op, allocs/op, and the custom paper metrics like norm-time
-// or cycles). `make bench` uses it to write BENCH_PR4.json.
+// package, iteration count, ns/op, and every additional metric the
+// benchmark reported (B/op, allocs/op, and the custom paper metrics like
+// norm-time or cycles). `make bench` uses it to write the BENCH_*.json
+// snapshots.
+//
+// Multi-package runs (`go test -bench . ./pkg1 ./pkg2`) print one `pkg:`
+// header per package; each benchmark records the header in force when it
+// was printed, so records stay attributed to the right package.
 package main
 
 import (
@@ -18,11 +23,14 @@ import (
 
 type benchmark struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"nsPerOp"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// report.Pkg is only set when every benchmark came from the same package;
+// with multiple packages on stdin the per-benchmark Pkg is authoritative.
 type report struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
@@ -51,17 +59,28 @@ func main() {
 
 func parse(r io.Reader) (*report, error) {
 	rep := &report{}
+	// pkg is the package header currently in force; each benchmark line is
+	// attributed to it. A single top-level pkg would be overwritten by every
+	// package in a multi-package run, mislabeling all but the last one.
+	var pkg string
+	multiPkg := false
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		for field, dst := range map[string]*string{
-			"goos: ": &rep.Goos, "goarch: ": &rep.Goarch,
-			"pkg: ": &rep.Pkg, "cpu: ": &rep.CPU,
+			"goos: ": &rep.Goos, "goarch: ": &rep.Goarch, "cpu: ": &rep.CPU,
 		} {
 			if strings.HasPrefix(line, field) {
 				*dst = strings.TrimPrefix(line, field)
 			}
+		}
+		if strings.HasPrefix(line, "pkg: ") {
+			next := strings.TrimPrefix(line, "pkg: ")
+			if pkg != "" && next != pkg {
+				multiPkg = true
+			}
+			pkg = next
 		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -71,7 +90,7 @@ func parse(r io.Reader) (*report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
 		}
-		b := benchmark{Name: m[1], Iterations: iters}
+		b := benchmark{Name: m[1], Pkg: pkg, Iterations: iters}
 		fields := strings.Fields(m[3])
 		if len(fields)%2 != 0 {
 			return nil, fmt.Errorf("odd value/unit list in %q", line)
@@ -97,6 +116,9 @@ func parse(r io.Reader) (*report, error) {
 	}
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	if !multiPkg {
+		rep.Pkg = pkg
 	}
 	return rep, nil
 }

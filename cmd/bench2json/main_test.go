@@ -37,6 +37,41 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseMultiPackage(t *testing.T) {
+	in := "goos: linux\n" +
+		"goarch: amd64\n" +
+		"pkg: repro\n" +
+		"cpu: Intel(R) Xeon(R)\n" +
+		"BenchmarkFig3ExecutionTime/FtDirCMP/uniform \t 20\t 13470861 ns/op\t 29952 cycles\n" +
+		"PASS\n" +
+		"ok  \trepro\t1.2s\n" +
+		"goos: linux\n" +
+		"goarch: amd64\n" +
+		"pkg: repro/internal/serve\n" +
+		"cpu: Intel(R) Xeon(R)\n" +
+		"BenchmarkCacheKey \t 100000\t 1042 ns/op\n" +
+		"PASS\n" +
+		"ok  \trepro/internal/serve\t0.4s\n"
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	// Each benchmark keeps the pkg header in force when it was printed —
+	// the second package's header must not relabel the first's benchmarks.
+	if got := rep.Benchmarks[0].Pkg; got != "repro" {
+		t.Fatalf("first benchmark pkg = %q, want %q", got, "repro")
+	}
+	if got := rep.Benchmarks[1].Pkg; got != "repro/internal/serve" {
+		t.Fatalf("second benchmark pkg = %q, want %q", got, "repro/internal/serve")
+	}
+	if rep.Pkg != "" {
+		t.Fatalf("top-level pkg = %q, want empty on multi-package input", rep.Pkg)
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("want error for input with no benchmark lines")

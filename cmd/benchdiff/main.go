@@ -1,0 +1,138 @@
+// Command benchdiff compares two BENCH_*.json snapshots written by
+// cmd/bench2json and prints a per-benchmark table of ns/op and metric
+// deltas (allocs/op, B/op, cycles, ...). `make bench-diff` uses it to
+// compare the current PR's numbers against the previous PR's baseline.
+//
+// Benchmarks are matched by package plus name. Older snapshots carry only a
+// single top-level pkg (and, before the multi-package fix, a wrong one), so
+// when a qualified key has no counterpart the comparison falls back to the
+// bare benchmark name as long as it is unambiguous in both files.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"nsPerOp"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// index maps both qualified (pkg name) and bare names to benchmarks. Bare
+// names that occur more than once map to nil, so the fallback never matches
+// the wrong package's benchmark.
+type index struct {
+	byKey  map[string]*benchmark
+	byName map[string]*benchmark
+}
+
+func buildIndex(rep *report) index {
+	ix := index{byKey: map[string]*benchmark{}, byName: map[string]*benchmark{}}
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		pkg := b.Pkg
+		if pkg == "" {
+			pkg = rep.Pkg
+		}
+		ix.byKey[pkg+" "+b.Name] = b
+		if _, dup := ix.byName[b.Name]; dup {
+			ix.byName[b.Name] = nil
+		} else {
+			ix.byName[b.Name] = b
+		}
+	}
+	return ix
+}
+
+func (ix index) lookup(pkg, name string) *benchmark {
+	if b := ix.byKey[pkg+" "+name]; b != nil {
+		return b
+	}
+	return ix.byName[name]
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "same"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldRep, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newRep, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	os.Stdout.WriteString(diff(oldRep, newRep))
+}
+
+func diff(oldRep, newRep *report) string {
+	oldIx := buildIndex(oldRep)
+	out := ""
+	var missing []string
+	for i := range newRep.Benchmarks {
+		nb := &newRep.Benchmarks[i]
+		pkg := nb.Pkg
+		if pkg == "" {
+			pkg = newRep.Pkg
+		}
+		ob := oldIx.lookup(pkg, nb.Name)
+		if ob == nil {
+			missing = append(missing, nb.Name)
+			continue
+		}
+		out += fmt.Sprintf("%s\n  ns/op    %14.0f -> %14.0f  (%s)\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pct(ob.NsPerOp, nb.NsPerOp))
+		keys := make([]string, 0, len(nb.Metrics))
+		for k := range nb.Metrics {
+			if _, ok := ob.Metrics[k]; ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out += fmt.Sprintf("  %-8s %14.0f -> %14.0f  (%s)\n",
+				k, ob.Metrics[k], nb.Metrics[k], pct(ob.Metrics[k], nb.Metrics[k]))
+		}
+	}
+	for _, name := range missing {
+		out += fmt.Sprintf("%s: no baseline (new benchmark)\n", name)
+	}
+	return out
+}

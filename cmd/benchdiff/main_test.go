@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffMatchesByPkgAndName(t *testing.T) {
+	old := &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkX", Pkg: "repro", NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 50}},
+		{Name: "BenchmarkX", Pkg: "repro/internal/serve", NsPerOp: 7, Metrics: map[string]float64{"allocs/op": 3}},
+	}}
+	new := &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkX", Pkg: "repro", NsPerOp: 80, Metrics: map[string]float64{"allocs/op": 10}},
+	}}
+	out := diff(old, new)
+	if !strings.Contains(out, "100 ->             80  (-20.0%)") {
+		t.Fatalf("ns/op delta missing or matched wrong package:\n%s", out)
+	}
+	if !strings.Contains(out, "50 ->             10  (-80.0%)") {
+		t.Fatalf("allocs/op delta missing:\n%s", out)
+	}
+}
+
+func TestDiffFallsBackToBareName(t *testing.T) {
+	// Old snapshots from before the multi-package bench2json fix carry one
+	// (possibly wrong) top-level pkg; the match must still succeed when the
+	// bare name is unambiguous.
+	old := &report{Pkg: "repro/internal/serve", Benchmarks: []benchmark{
+		{Name: "BenchmarkFig3ExecutionTime/FtDirCMP/uniform", NsPerOp: 200},
+	}}
+	new := &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkFig3ExecutionTime/FtDirCMP/uniform", Pkg: "repro", NsPerOp: 100},
+	}}
+	out := diff(old, new)
+	if !strings.Contains(out, "(-50.0%)") {
+		t.Fatalf("bare-name fallback failed:\n%s", out)
+	}
+}
+
+func TestDiffAmbiguousBareNameDoesNotMatch(t *testing.T) {
+	old := &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkX", Pkg: "a", NsPerOp: 1},
+		{Name: "BenchmarkX", Pkg: "b", NsPerOp: 2},
+	}}
+	new := &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkX", Pkg: "c", NsPerOp: 3},
+	}}
+	out := diff(old, new)
+	if !strings.Contains(out, "no baseline") {
+		t.Fatalf("ambiguous bare name must not match either candidate:\n%s", out)
+	}
+}
+
+func TestDiffReportsNewBenchmarks(t *testing.T) {
+	old := &report{Benchmarks: []benchmark{{Name: "BenchmarkA", NsPerOp: 1}}}
+	new := &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1},
+		{Name: "BenchmarkB", NsPerOp: 2},
+	}}
+	out := diff(old, new)
+	if !strings.Contains(out, "BenchmarkB: no baseline (new benchmark)") {
+		t.Fatalf("new benchmark not reported:\n%s", out)
+	}
+}

@@ -140,6 +140,27 @@ func TestDocsObservabilityCoversAllKinds(t *testing.T) {
 	}
 }
 
+// TestDocsPerformanceMatchesCode keeps docs/PERFORMANCE.md tied to the
+// mechanisms it documents: the bypass knobs and the pinning tests it names
+// must exist under those names.
+func TestDocsPerformanceMatchesCode(t *testing.T) {
+	data, err := os.ReadFile("docs/PERFORMANCE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"REPRO_NOPOOL", "msg.SetPooling", "msg.NewMessage", "msg.Recycle",
+		"StartCall", "proto.DeferResult", "msg.EncodeAppend",
+		"TestPoolingOffGoldenIdentity", "TestFig3QuickAllocsPin",
+		"TestDisabledInstrumentationZeroAlloc",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/PERFORMANCE.md does not mention %q", want)
+		}
+	}
+}
+
 // TestDocsSpanPhaseTable pins docs/OBSERVABILITY.md's phase-taxonomy table
 // against span.AllPhases(): every phase must have a table row, in the
 // canonical order, and the table must not name phases the code does not

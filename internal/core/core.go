@@ -90,6 +90,40 @@ func stateName(s int) string {
 	}
 }
 
+// stateNameMiss and stateNameBlocked return the interned "<state>+suffix"
+// diagnostic names used by InspectLines. The checker inspects every line of
+// every agent per run, so building these by concatenation would allocate
+// per line.
+func stateNameMiss(s int) string {
+	switch s {
+	case StateS:
+		return "S+miss"
+	case StateE:
+		return "E+miss"
+	case StateM:
+		return "M+miss"
+	case StateO:
+		return "O+miss"
+	default:
+		return stateName(s) + "+miss"
+	}
+}
+
+func stateNameBlocked(s int) string {
+	switch s {
+	case StateS:
+		return "S+blocked"
+	case StateE:
+		return "E+blocked"
+	case StateM:
+		return "M+blocked"
+	case StateO:
+		return "O+blocked"
+	default:
+		return stateName(s) + "+blocked"
+	}
+}
+
 func ownerState(s int) bool { return s == StateE || s == StateM || s == StateO }
 
 func writableState(s int) bool { return s == StateE || s == StateM }

@@ -11,7 +11,14 @@ import (
 
 // l1Miss is an FtDirCMP L1 MSHR entry. Besides the baseline bookkeeping it
 // carries the request serial number and the lost-request timer.
+//
+// owner/addr are back-references set at Alloc so the entry itself can be the
+// argument of a package-level timer callback (Timer.StartCall); arming a
+// timeout then allocates nothing.
 type l1Miss struct {
+	owner *L1
+	addr  msg.Addr
+
 	write    bool
 	value    uint64
 	issuedAt uint64
@@ -26,7 +33,7 @@ type l1Miss struct {
 	// an earlier, already-satisfied transaction on the same line.
 	snHistory []msg.SerialNumber
 	reqType   msg.Type
-	timer     *sim.Timer
+	timer     sim.Timer
 	attempts  int
 
 	dataArrived   bool
@@ -58,6 +65,9 @@ func (e *l1Miss) usedSN(sn msg.SerialNumber) bool {
 // WbData it becomes a backup copy guarded by the backup timer until the
 // L2's AckO arrives.
 type l1WB struct {
+	owner *L1
+	addr  msg.Addr
+
 	payload msg.Payload
 	dirty   bool
 	tid     msg.TID
@@ -67,8 +77,8 @@ type l1WB struct {
 	sentData    bool // WbData sent; this entry is now a backup
 	attempts    int
 
-	putTimer    *sim.Timer
-	backupTimer *sim.Timer
+	putTimer    sim.Timer
+	backupTimer sim.Timer
 	waiters     []func()
 }
 
@@ -76,25 +86,34 @@ type l1WB struct {
 // (§3.1): retained until the new owner's AckO arrives, able to resend the
 // data if the receiver reissues its request.
 type backupEntry struct {
+	owner *L1
+	addr  msg.Addr
+
 	payload  msg.Payload
 	dirty    bool
 	dest     msg.NodeID
 	tid      msg.TID
 	sn       msg.SerialNumber
 	ackCount int
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // blockedEntry marks a line in a blocked-ownership state (Mb/Eb/Ob): we
 // received owned data, sent the AckO, and may not transfer ownership until
 // the AckBD arrives. Forwarded requests received meanwhile are deferred.
 type blockedEntry struct {
-	ackOTo   msg.NodeID
-	tid      msg.TID
-	sn       msg.SerialNumber
-	piggy    bool // the AckO rides the UnblockEx to the home L2
-	timer    *sim.Timer
-	deferred map[msg.NodeID]*msg.Message
+	owner *L1
+	addr  msg.Addr
+
+	ackOTo msg.NodeID
+	tid    msg.TID
+	sn     msg.SerialNumber
+	piggy  bool // the AckO rides the UnblockEx to the home L2
+	timer  sim.Timer
+	// deferred holds the newest forwarded request per requester, by value:
+	// the network recycles delivered messages when the handler returns, so
+	// anything kept for later replay must be copied out.
+	deferred map[msg.NodeID]msg.Message
 }
 
 // L1 is an FtDirCMP level-1 cache controller.
@@ -110,11 +129,15 @@ type L1 struct {
 	mshr    *cache.Table[l1Miss]
 	wb      *cache.Table[l1WB]
 	backups *cache.Table[backupEntry]
-	blocked map[msg.Addr]*blockedEntry
+	blocked *cache.Table[blockedEntry]
 	serial  *msg.SerialSpace
 	tids    proto.TIDSource
 	onWrite proto.WriteObserver
 	obs     *obs.Recorder
+
+	// victimFilter is the eviction predicate passed to cache.Array.Victim,
+	// built once so the miss path does not allocate a closure per install.
+	victimFilter func(*cache.Line) bool
 }
 
 var _ proto.L1Port = (*L1)(nil)
@@ -127,7 +150,7 @@ func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 	if err != nil {
 		return nil, err
 	}
-	return &L1{
+	l := &L1{
 		id:      id,
 		topo:    topo,
 		params:  params,
@@ -135,14 +158,47 @@ func NewL1(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 		net:     net,
 		run:     run,
 		array:   arr,
-		mshr:    cache.NewTable[l1Miss](params.MSHRs),
-		wb:      cache.NewTable[l1WB](0),
-		backups: cache.NewTable[backupEntry](0),
-		blocked: make(map[msg.Addr]*blockedEntry),
+		mshr:    cache.NewTableReset[l1Miss](params.MSHRs, resetL1Miss),
+		wb:      cache.NewTableReset[l1WB](0, resetL1WB),
+		backups: cache.NewTableReset[backupEntry](0, resetBackup),
+		blocked: cache.NewTableReset[blockedEntry](0, resetBlocked),
 		serial:  msg.NewSerialSpace(params.SerialBits),
 		tids:    proto.NewTIDSource(id),
 		onWrite: onWrite,
-	}, nil
+	}
+	l.victimFilter = func(c *cache.Line) bool {
+		return l.mshr.Get(c.Addr) == nil && l.wb.Get(c.Addr) == nil && l.blocked.Get(c.Addr) == nil
+	}
+	return l, nil
+}
+
+// Reset hooks for the recycled entry tables. Each one stops the entry's
+// timers (stale firings from the previous life are then discarded by epoch)
+// and carries the timers over, along with any other capacity-bearing field
+// whose contents cannot outlive the entry. The waiters slices are NOT
+// reused: completion paths capture the slice before Free and drain it after,
+// so a recycled backing array could be appended to before the drain runs.
+
+func resetL1Miss(e *l1Miss) {
+	e.timer.Stop()
+	*e = l1Miss{timer: e.timer, snHistory: e.snHistory[:0]}
+}
+
+func resetL1WB(w *l1WB) {
+	w.putTimer.Stop()
+	w.backupTimer.Stop()
+	*w = l1WB{putTimer: w.putTimer, backupTimer: w.backupTimer}
+}
+
+func resetBackup(b *backupEntry) {
+	b.timer.Stop()
+	*b = backupEntry{timer: b.timer}
+}
+
+func resetBlocked(b *blockedEntry) {
+	b.timer.Stop()
+	clear(b.deferred)
+	*b = blockedEntry{timer: b.timer, deferred: b.deferred}
 }
 
 // NodeID implements proto.Inspectable.
@@ -154,7 +210,7 @@ func (l *L1) SetObserver(o *obs.Recorder) { l.obs = o }
 // Quiesced implements proto.L1Port: no misses, writebacks, backups or
 // ownership handshakes in flight.
 func (l *L1) Quiesced() bool {
-	return l.mshr.Len() == 0 && l.wb.Len() == 0 && l.backups.Len() == 0 && len(l.blocked) == 0
+	return l.mshr.Len() == 0 && l.wb.Len() == 0 && l.backups.Len() == 0 && l.blocked.Len() == 0
 }
 
 // Read implements proto.L1Port.
@@ -169,7 +225,7 @@ func (l *L1) Read(addr msg.Addr, done func(proto.AccessResult)) {
 			Version: line.Payload.Version,
 			Latency: l.params.L1HitLatency,
 		}
-		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		proto.DeferResult(l.engine, l.params.L1HitLatency, done, res)
 		return
 	}
 	if l.defer_(addr, func() { l.Read(addr, done) }) {
@@ -200,7 +256,7 @@ func (l *L1) Write(addr msg.Addr, value uint64, done func(proto.AccessResult)) {
 			Version: line.Payload.Version,
 			Latency: l.params.L1HitLatency,
 		}
-		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		proto.DeferResult(l.engine, l.params.L1HitLatency, done, res)
 		return
 	}
 	if l.defer_(addr, func() { l.Write(addr, value, done) }) {
@@ -236,6 +292,8 @@ func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.
 		})
 		return
 	}
+	e.owner = l
+	e.addr = addr
 	e.write = write
 	e.value = value
 	e.issuedAt = l.engine.Now()
@@ -247,7 +305,7 @@ func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.
 	if write {
 		e.reqType = msg.GetX
 	}
-	e.timer = sim.NewTimer(l.engine)
+	e.timer.Bind(l.engine)
 	l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
 	l.armLostRequest(addr, e)
 }
@@ -255,31 +313,35 @@ func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.
 // armLostRequest starts (or restarts) the lost-request timeout: when it
 // fires, the request is reissued with a new serial number (§3.2).
 func (l *L1) armLostRequest(addr msg.Addr, e *l1Miss) {
-	e.timer.Start(sim.Backoff(l.params.LostRequestTimeout, e.attempts), func() {
-		if l.mshr.Get(addr) != e {
-			return
-		}
-		l.run.Proto.LostRequestTimeouts++
-		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l1", l.id, addr, e.tid, obs.TimeoutLostRequest)
-		e.attempts++
-		oldSN := e.sn
-		e.sn = l.serial.Next()
-		l.obs.Reissue("l1", l.id, addr, e.tid, e.reqType, oldSN, e.sn)
-		if len(e.snHistory) < l.serial.Width() {
-			e.snHistory = append(e.snHistory, e.sn)
-		}
-		// Responses to the old attempt will be discarded by serial number;
-		// restart this attempt's bookkeeping from scratch.
-		e.dataArrived = false
-		e.exclusive = false
-		e.noPayload = false
-		e.ackCountKnown = false
-		e.needAcks = 0
-		e.acksSeen = 0
-		l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
-		l.armLostRequest(addr, e)
-	})
+	e.timer.StartCall(sim.Backoff(l.params.LostRequestTimeout, e.attempts), lostRequestFired, e)
+}
+
+func lostRequestFired(arg any) {
+	e := arg.(*l1Miss)
+	l, addr := e.owner, e.addr
+	if l.mshr.Get(addr) != e {
+		return
+	}
+	l.run.Proto.LostRequestTimeouts++
+	l.run.Proto.RequestsReissued++
+	l.obs.TimeoutFired("l1", l.id, addr, e.tid, obs.TimeoutLostRequest)
+	e.attempts++
+	oldSN := e.sn
+	e.sn = l.serial.Next()
+	l.obs.Reissue("l1", l.id, addr, e.tid, e.reqType, oldSN, e.sn)
+	if len(e.snHistory) < l.serial.Width() {
+		e.snHistory = append(e.snHistory, e.sn)
+	}
+	// Responses to the old attempt will be discarded by serial number;
+	// restart this attempt's bookkeeping from scratch.
+	e.dataArrived = false
+	e.exclusive = false
+	e.noPayload = false
+	e.ackCountKnown = false
+	e.needAcks = 0
+	e.acksSeen = 0
+	l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
+	l.armLostRequest(addr, e)
 }
 
 // Handle processes a delivered network message.
@@ -362,13 +424,13 @@ func (l *L1) handleInv(m *msg.Message) {
 // degrades M/E to O and keeps ownership here.
 func (l *L1) handleFwd(m *msg.Message) {
 	addr := m.Addr
-	if b := l.blocked[addr]; b != nil {
+	if b := l.blocked.Get(addr); b != nil {
 		// Blocked ownership: we may not transfer the line until the AckBD
 		// arrives; remember the newest forward per requester.
 		if b.deferred == nil {
-			b.deferred = make(map[msg.NodeID]*msg.Message, 1)
+			b.deferred = make(map[msg.NodeID]msg.Message, 1)
 		}
-		b.deferred[m.Requestor] = m
+		b.deferred[m.Requestor] = *m
 		return
 	}
 
@@ -440,7 +502,9 @@ func (l *L1) sendOwned(addr msg.Addr, m *msg.Message, payload msg.Payload, dirty
 	b := l.backups.Get(addr)
 	if b == nil {
 		b = l.backups.Alloc(addr)
-		b.timer = sim.NewTimer(l.engine)
+		b.owner = l
+		b.addr = addr
+		b.timer.Bind(l.engine)
 		l.obs.BackupCreated("l1", l.id, addr, m.TID, m.Requestor)
 	}
 	b.payload = payload
@@ -459,15 +523,19 @@ func (l *L1) sendOwned(addr msg.Addr, m *msg.Message, payload msg.Payload, dirty
 // armBackup starts the backup timeout: a node stuck holding a backup pings
 // the receiver to learn whether the ownership transfer completed.
 func (l *L1) armBackup(addr msg.Addr, b *backupEntry) {
-	b.timer.Start(l.params.BackupTimeout, func() {
-		if l.backups.Get(addr) != b {
-			return
-		}
-		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: l.serial.Next(), TID: b.tid})
-		l.armBackup(addr, b)
-	})
+	b.timer.StartCall(l.params.BackupTimeout, backupFired, b)
+}
+
+func backupFired(arg any) {
+	b := arg.(*backupEntry)
+	l, addr := b.owner, b.addr
+	if l.backups.Get(addr) != b {
+		return
+	}
+	l.run.Proto.BackupTimeouts++
+	l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutBackup)
+	l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: l.serial.Next(), TID: b.tid})
+	l.armBackup(addr, b)
 }
 
 // handleWbAck performs the second writeback phase. Sending WbData starts an
@@ -498,23 +566,25 @@ func (l *L1) sendWbData(addr msg.Addr, w *l1WB, sn msg.SerialNumber) {
 		Type: msg.WbData, Dst: l.topo.HomeL2(addr), Addr: addr, SN: sn, TID: w.tid,
 		Payload: w.payload, Dirty: w.dirty,
 	})
-	if w.backupTimer == nil {
-		w.backupTimer = sim.NewTimer(l.engine)
-	}
+	w.backupTimer.Bind(l.engine)
 	l.armWbBackup(addr, w)
 }
 
 // armWbBackup pings the L2 if the AckO for our WbData never arrives.
 func (l *L1) armWbBackup(addr msg.Addr, w *l1WB) {
-	w.backupTimer.Start(l.params.BackupTimeout, func() {
-		if l.wb.Get(addr) != w {
-			return
-		}
-		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeL2(addr), Addr: addr, SN: l.serial.Next(), TID: w.tid})
-		l.armWbBackup(addr, w)
-	})
+	w.backupTimer.StartCall(l.params.BackupTimeout, wbBackupFired, w)
+}
+
+func wbBackupFired(arg any) {
+	w := arg.(*l1WB)
+	l, addr := w.owner, w.addr
+	if l.wb.Get(addr) != w {
+		return
+	}
+	l.run.Proto.BackupTimeouts++
+	l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutBackup)
+	l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeL2(addr), Addr: addr, SN: l.serial.Next(), TID: w.tid})
+	l.armWbBackup(addr, w)
 }
 
 // handleAckO deletes our backup (the transfer completed) and returns the
@@ -523,8 +593,9 @@ func (l *L1) armWbBackup(addr msg.Addr, w *l1WB) {
 func (l *L1) handleAckO(m *msg.Message) {
 	if b := l.backups.Get(m.Addr); b != nil && m.Src == b.dest {
 		b.timer.Stop()
+		tid := b.tid // Free recycles the entry; read before, use after
 		l.backups.Free(m.Addr)
-		l.obs.BackupDeleted("l1", l.id, m.Addr, b.tid)
+		l.obs.BackupDeleted("l1", l.id, m.Addr, tid)
 		l.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, SN: m.SN, TID: m.TID})
 		return
 	}
@@ -540,7 +611,7 @@ func (l *L1) handleAckO(m *msg.Message) {
 // handleAckBD leaves the blocked-ownership state and replays any deferred
 // forwarded requests.
 func (l *L1) handleAckBD(m *msg.Message) {
-	b := l.blocked[m.Addr]
+	b := l.blocked.Get(m.Addr)
 	if b == nil {
 		l.stale(false)
 		return
@@ -552,12 +623,13 @@ func (l *L1) handleAckBD(m *msg.Message) {
 		return
 	}
 	b.timer.Stop()
-	delete(l.blocked, m.Addr)
-	l.obs.TransactionEnd("l1", l.id, m.Addr, b.tid)
+	tid := b.tid
 	for _, fwd := range b.deferred {
 		fwd := fwd
-		l.engine.Schedule(0, func() { l.Handle(fwd) })
+		l.engine.Schedule(0, func() { l.Handle(&fwd) })
 	}
+	l.blocked.Free(m.Addr)
+	l.obs.TransactionEnd("l1", l.id, m.Addr, tid)
 }
 
 // handleUnblockPing re-sends the unblock for an already-satisfied miss; if
@@ -573,7 +645,7 @@ func (l *L1) handleUnblockPing(m *msg.Message) {
 		return
 	}
 	home := l.topo.HomeL2(addr)
-	if b := l.blocked[addr]; b != nil && b.piggy {
+	if b := l.blocked.Get(addr); b != nil && b.piggy {
 		// The original UnblockEx carried the AckO; the resend must too.
 		l.run.Proto.AcksOSent++
 		l.run.Proto.PiggybackedAcksO++
@@ -623,7 +695,7 @@ func (l *L1) handleWbPing(m *msg.Message) {
 // handleOwnershipPing confirms (AckO) or denies (NackO) that we received
 // ownership of the line, letting a stuck backup node make progress.
 func (l *L1) handleOwnershipPing(m *msg.Message) {
-	if b := l.blocked[m.Addr]; b != nil && b.ackOTo == m.Src {
+	if b := l.blocked.Get(m.Addr); b != nil && b.ackOTo == m.Src {
 		l.run.Proto.AcksOSent++
 		l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, SN: b.sn, TID: b.tid})
 		return
@@ -682,84 +754,106 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 	}
 
 	dirty := e.dirty || e.write
-	l.place(addr, state, payload, dirty, e.tid, func(line *cache.Line) {
-		if e.write && l.onWrite != nil {
-			l.onWrite(addr, payload.Version, payload.Value)
-		}
-		e.timer.Stop()
+	if l.install(addr, state, payload, dirty, e.tid) == nil {
+		// Every way in the set is pinned by an in-flight transaction; retry
+		// until a victim frees up.
+		l.engine.ScheduleCall(4, tryCompleteRetry, e, 0)
+		return
+	}
+	if e.write && l.onWrite != nil {
+		l.onWrite(addr, payload.Version, payload.Value)
+	}
+	e.timer.Stop()
 
-		// Ownership moved to us on any DataEx that carried the data (a
-		// dataless grant means we already owned the line): enter the
-		// blocked-ownership state and acknowledge (§3.1).
-		home := l.topo.HomeL2(addr)
-		transfer := e.exclusive && !e.noPayload
-		if transfer {
-			b := &blockedEntry{
-				ackOTo: e.dataFrom,
-				tid:    e.tid,
-				sn:     e.sn,
-				piggy:  e.dataFrom == home && !l.params.DisablePiggyback,
-				timer:  sim.NewTimer(l.engine),
-			}
-			l.blocked[addr] = b
-			l.run.Proto.AcksOSent++
-			if b.piggy {
-				l.run.Proto.PiggybackedAcksO++
-				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, TID: e.tid, PiggybackAckO: true})
-			} else {
-				l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, TID: e.tid})
-				l.send(&msg.Message{Type: msg.AckO, Dst: e.dataFrom, Addr: addr, SN: e.sn, TID: e.tid})
-			}
-			l.armLostAckBD(addr, b)
+	// Ownership moved to us on any DataEx that carried the data (a
+	// dataless grant means we already owned the line): enter the
+	// blocked-ownership state and acknowledge (§3.1).
+	home := l.topo.HomeL2(addr)
+	transfer := e.exclusive && !e.noPayload
+	if transfer {
+		b := l.blocked.Alloc(addr)
+		b.owner = l
+		b.addr = addr
+		b.ackOTo = e.dataFrom
+		b.tid = e.tid
+		b.sn = e.sn
+		b.piggy = e.dataFrom == home && !l.params.DisablePiggyback
+		b.timer.Bind(l.engine)
+		l.run.Proto.AcksOSent++
+		if b.piggy {
+			l.run.Proto.PiggybackedAcksO++
+			l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, TID: e.tid, PiggybackAckO: true})
 		} else {
-			unblock := msg.Unblock
-			if e.exclusive || e.write {
-				unblock = msg.UnblockEx
-			}
-			l.send(&msg.Message{Type: unblock, Dst: home, Addr: addr, SN: e.sn, TID: e.tid})
+			l.send(&msg.Message{Type: msg.UnblockEx, Dst: home, Addr: addr, SN: e.sn, TID: e.tid})
+			l.send(&msg.Message{Type: msg.AckO, Dst: e.dataFrom, Addr: addr, SN: e.sn, TID: e.tid})
 		}
+		l.armLostAckBD(addr, b)
+	} else {
+		unblock := msg.Unblock
+		if e.exclusive || e.write {
+			unblock = msg.UnblockEx
+		}
+		l.send(&msg.Message{Type: unblock, Dst: home, Addr: addr, SN: e.sn, TID: e.tid})
+	}
 
-		latency := l.engine.Now() - e.issuedAt
-		l.run.Proto.MissLatency(latency)
-		res := proto.AccessResult{
-			Value:   payload.Value,
-			Version: payload.Version,
-			Latency: latency,
-		}
-		done := e.done
-		waiters := e.waiters
-		l.mshr.Free(addr)
-		l.obs.TransactionEnd("l1", l.id, addr, e.tid)
-		if done != nil {
-			done(res)
-		}
-		l.wake(waiters)
-	})
+	latency := l.engine.Now() - e.issuedAt
+	l.run.Proto.MissLatency(latency)
+	res := proto.AccessResult{
+		Value:   payload.Value,
+		Version: payload.Version,
+		Latency: latency,
+	}
+	done := e.done
+	waiters := e.waiters
+	tid := e.tid // Free recycles the entry; read before, use after
+	l.mshr.Free(addr)
+	l.obs.TransactionEnd("l1", l.id, addr, tid)
+	if done != nil {
+		done(res)
+	}
+	l.wake(waiters)
+}
+
+// tryCompleteRetry re-runs tryComplete after a failed install. The MSHR
+// check guards against the entry having completed (and possibly been
+// recycled for a new miss on the same line) in the meantime.
+func tryCompleteRetry(arg any, _ uint64) {
+	e := arg.(*l1Miss)
+	l := e.owner
+	if l.mshr.Get(e.addr) != e {
+		return
+	}
+	l.tryComplete(e.addr, e)
 }
 
 // armLostAckBD starts the lost backup deletion acknowledgment timeout: on
 // firing, the AckO is reissued with a new serial number (§3.4).
 func (l *L1) armLostAckBD(addr msg.Addr, b *blockedEntry) {
-	b.timer.Start(l.params.LostAckBDTimeout, func() {
-		if l.blocked[addr] != b {
-			return
-		}
-		l.run.Proto.LostAckBDTimeouts++
-		l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutLostAckBD)
-		oldSN := b.sn
-		b.sn = l.serial.Next()
-		l.obs.Reissue("l1", l.id, addr, b.tid, msg.AckO, oldSN, b.sn)
-		b.piggy = false // resends are standalone AckO messages
-		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn, TID: b.tid})
-		l.armLostAckBD(addr, b)
-	})
+	b.timer.StartCall(l.params.LostAckBDTimeout, lostAckBDFired, b)
 }
 
-// place installs a line, evicting a victim if necessary. Lines in blocked
-// ownership cannot be evicted (that would transfer ownership), nor can
-// lines with in-flight transactions.
-func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, tid msg.TID, then func(*cache.Line)) {
+func lostAckBDFired(arg any) {
+	b := arg.(*blockedEntry)
+	l, addr := b.owner, b.addr
+	if l.blocked.Get(addr) != b {
+		return
+	}
+	l.run.Proto.LostAckBDTimeouts++
+	l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutLostAckBD)
+	oldSN := b.sn
+	b.sn = l.serial.Next()
+	l.obs.Reissue("l1", l.id, addr, b.tid, msg.AckO, oldSN, b.sn)
+	b.piggy = false // resends are standalone AckO messages
+	l.run.Proto.AcksOSent++
+	l.send(&msg.Message{Type: msg.AckO, Dst: b.ackOTo, Addr: addr, SN: b.sn, TID: b.tid})
+	l.armLostAckBD(addr, b)
+}
+
+// install puts a line in the array, evicting a victim if necessary, and
+// returns it; it returns nil when every way in the set is pinned (the caller
+// must retry). Lines in blocked ownership cannot be evicted (that would
+// transfer ownership), nor can lines with in-flight transactions.
+func (l *L1) install(addr msg.Addr, state int, payload msg.Payload, dirty bool, tid msg.TID) *cache.Line {
 	if line := l.array.Lookup(addr); line != nil {
 		if line.State != state {
 			l.obs.StateChange("l1", l.id, addr, tid, stateName(line.State), stateName(state))
@@ -768,15 +862,11 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, ti
 		line.Payload = payload
 		line.Dirty = dirty
 		l.array.Touch(line)
-		then(line)
-		return
+		return line
 	}
-	victim := l.array.Victim(addr, func(c *cache.Line) bool {
-		return l.mshr.Get(c.Addr) == nil && l.wb.Get(c.Addr) == nil && l.blocked[c.Addr] == nil
-	})
+	victim := l.array.Victim(addr, l.victimFilter)
 	if victim == nil {
-		l.engine.Schedule(4, func() { l.place(addr, state, payload, dirty, tid, then) })
-		return
+		return nil
 	}
 	if victim.Valid {
 		l.evict(victim, tid)
@@ -787,7 +877,7 @@ func (l *L1) place(addr msg.Addr, state int, payload msg.Payload, dirty bool, ti
 	victim.Dirty = dirty
 	l.array.Touch(victim)
 	l.obs.StateChange("l1", l.id, addr, tid, "I", stateName(state))
-	then(victim)
+	return victim
 }
 
 // evict starts a three-phase writeback for owned lines (with the Put
@@ -806,11 +896,13 @@ func (l *L1) evict(line *cache.Line, cause msg.TID) {
 	if w == nil {
 		protocolPanic("L1 %d duplicate writeback for %#x", l.id, addr)
 	}
+	w.owner = l
+	w.addr = addr
 	w.payload = line.Payload
 	w.dirty = line.Dirty || line.State == StateM
 	w.tid = l.tids.Next()
 	w.sn = l.serial.Next()
-	w.putTimer = sim.NewTimer(l.engine)
+	w.putTimer.Bind(l.engine)
 	l.obs.StateChange("l1", l.id, addr, w.tid, stateName(line.State), "WB")
 	l.run.Proto.Writebacks++
 	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
@@ -820,33 +912,34 @@ func (l *L1) evict(line *cache.Line, cause msg.TID) {
 
 // armPutTimer reissues a Put whose WbAck never arrived.
 func (l *L1) armPutTimer(addr msg.Addr, w *l1WB) {
-	w.putTimer.Start(sim.Backoff(l.params.LostRequestTimeout, w.attempts), func() {
-		if l.wb.Get(addr) != w || w.sentData {
-			return
-		}
-		l.run.Proto.LostRequestTimeouts++
-		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutLostRequest)
-		w.attempts++
-		oldSN := w.sn
-		w.sn = l.serial.Next()
-		l.obs.Reissue("l1", l.id, addr, w.tid, msg.Put, oldSN, w.sn)
-		l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
-		l.armPutTimer(addr, w)
-	})
+	w.putTimer.StartCall(sim.Backoff(l.params.LostRequestTimeout, w.attempts), putTimerFired, w)
+}
+
+func putTimerFired(arg any) {
+	w := arg.(*l1WB)
+	l, addr := w.owner, w.addr
+	if l.wb.Get(addr) != w || w.sentData {
+		return
+	}
+	l.run.Proto.LostRequestTimeouts++
+	l.run.Proto.RequestsReissued++
+	l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutLostRequest)
+	w.attempts++
+	oldSN := w.sn
+	w.sn = l.serial.Next()
+	l.obs.Reissue("l1", l.id, addr, w.tid, msg.Put, oldSN, w.sn)
+	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
+	l.armPutTimer(addr, w)
 }
 
 // freeWB releases a writeback entry and wakes deferred operations.
 func (l *L1) freeWB(addr msg.Addr, w *l1WB) {
-	if w.putTimer != nil {
-		w.putTimer.Stop()
-	}
-	if w.backupTimer != nil {
-		w.backupTimer.Stop()
-	}
+	w.putTimer.Stop()
+	w.backupTimer.Stop()
 	waiters := w.waiters
+	tid := w.tid // Free recycles the entry; read before, use after
 	l.wb.Free(addr)
-	l.obs.TransactionEnd("l1", l.id, addr, w.tid)
+	l.obs.TransactionEnd("l1", l.id, addr, tid)
 	l.wake(waiters)
 }
 
@@ -866,8 +959,10 @@ func (l *L1) wake(waiters []func()) {
 }
 
 func (l *L1) send(m *msg.Message) {
-	m.Src = l.id
-	l.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = l.id
+	l.net.Send(pm)
 }
 
 // InspectLines implements proto.Inspectable.
@@ -876,17 +971,17 @@ func (l *L1) InspectLines(fn func(proto.LineView)) {
 		state := stateName(c.State)
 		var sn msg.SerialNumber
 		if e := l.mshr.Get(c.Addr); e != nil {
-			state += "+miss"
+			state = stateNameMiss(c.State)
 			sn = e.sn
-		} else if b := l.blocked[c.Addr]; b != nil {
-			state += "+blocked"
+		} else if b := l.blocked.Get(c.Addr); b != nil {
+			state = stateNameBlocked(c.State)
 			sn = b.sn
 		}
 		fn(proto.LineView{
 			Addr:      c.Addr,
 			Perm:      permOf(c.State),
 			Owner:     ownerState(c.State),
-			Transient: l.mshr.Get(c.Addr) != nil || l.blocked[c.Addr] != nil,
+			Transient: l.mshr.Get(c.Addr) != nil || l.blocked.Get(c.Addr) != nil,
 			Payload:   c.Payload,
 			State:     state,
 			SN:        sn,
@@ -900,11 +995,11 @@ func (l *L1) InspectLines(fn func(proto.LineView)) {
 			fn(proto.LineView{Addr: addr, Transient: true, State: "I+miss", SN: e.sn})
 		}
 	})
-	for addr, b := range l.blocked {
+	l.blocked.ForEach(func(addr msg.Addr, b *blockedEntry) {
 		if l.array.Lookup(addr) == nil && l.mshr.Get(addr) == nil {
 			fn(proto.LineView{Addr: addr, Transient: true, State: "I+blocked", SN: b.sn})
 		}
-	}
+	})
 	l.backups.ForEach(func(addr msg.Addr, b *backupEntry) {
 		fn(proto.LineView{Addr: addr, Backup: true, Transient: true, Payload: b.payload,
 			State: "backup", SN: b.sn})

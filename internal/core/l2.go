@@ -75,14 +75,29 @@ type pendingReq struct {
 // went to memory and until memory's AckBD arrives the line must not be
 // written back off-chip. Internal (L1↔L1↔L2) transfers stay allowed.
 type extBlock struct {
+	owner *L2
+	addr  msg.Addr
+
 	tid     msg.TID
 	sn      msg.SerialNumber
-	timer   *sim.Timer
+	timer   sim.Timer
 	onClear []func()
 }
 
+func resetExtBlock(eb *extBlock) {
+	eb.timer.Stop()
+	*eb = extBlock{timer: eb.timer, onClear: eb.onClear[:0]}
+}
+
 // l2Trans is the per-line transaction record.
+//
+// owner/addr are back-references set at Alloc so the record itself can be
+// the argument of a package-level timer callback (Timer.StartCall); arming a
+// timeout then allocates nothing.
 type l2Trans struct {
+	owner *L2
+	addr  msg.Addr
+
 	phase int
 	evict bool
 	req   pendingReq
@@ -111,8 +126,10 @@ type l2Trans struct {
 	ackOTo msg.NodeID
 	ackOSN msg.SerialNumber
 
-	// Memory-facing request state.
+	// Memory-facing request state. memTyp is the request the memTimer
+	// reissues on firing (GetX fetch or Put).
 	memSN       msg.SerialNumber
+	memTyp      msg.Type
 	memAttempts int
 
 	// Recall bookkeeping.
@@ -136,19 +153,32 @@ type l2Trans struct {
 
 	onDone []func()
 
-	unblockTimer *sim.Timer
-	memTimer     *sim.Timer
-	ackBDTimer   *sim.Timer
-	backupTimer  *sim.Timer
-	recallTimer  *sim.Timer
+	unblockTimer sim.Timer
+	memTimer     sim.Timer
+	ackBDTimer   sim.Timer
+	backupTimer  sim.Timer
+	recallTimer  sim.Timer
 }
 
 // timersOff stops every armed timer on the transaction.
 func (t *l2Trans) timersOff() {
-	for _, tm := range []*sim.Timer{t.unblockTimer, t.memTimer, t.ackBDTimer, t.backupTimer, t.recallTimer} {
-		if tm != nil {
-			tm.Stop()
-		}
+	t.unblockTimer.Stop()
+	t.memTimer.Stop()
+	t.ackBDTimer.Stop()
+	t.backupTimer.Stop()
+	t.recallTimer.Stop()
+}
+
+func resetL2Trans(t *l2Trans) {
+	t.timersOff()
+	*t = l2Trans{
+		queue:        t.queue[:0],
+		invTargets:   t.invTargets[:0],
+		unblockTimer: t.unblockTimer,
+		memTimer:     t.memTimer,
+		ackBDTimer:   t.ackBDTimer,
+		backupTimer:  t.backupTimer,
+		recallTimer:  t.recallTimer,
 	}
 }
 
@@ -170,11 +200,15 @@ type L2 struct {
 
 	array  *cache.Array
 	trans  *cache.Table[l2Trans]
-	ext    map[msg.Addr]*extBlock
-	mig    map[msg.Addr]*migInfo
+	ext    *cache.Table[extBlock]
+	mig    map[msg.Addr]migInfo
 	serial *msg.SerialSpace
 	tids   proto.TIDSource
 	obs    *obs.Recorder
+
+	// victimFilter is the eviction predicate passed to cache.Array.Victim,
+	// built once so installing a fetched line does not allocate a closure.
+	victimFilter func(*cache.Line) bool
 }
 
 var _ proto.Inspectable = (*L2)(nil)
@@ -186,7 +220,7 @@ func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 	if err != nil {
 		return nil, err
 	}
-	return &L2{
+	l := &L2{
 		id:     id,
 		topo:   topo,
 		params: params,
@@ -194,12 +228,16 @@ func NewL2(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.
 		net:    net,
 		run:    run,
 		array:  arr,
-		trans:  cache.NewTable[l2Trans](0),
-		ext:    make(map[msg.Addr]*extBlock),
-		mig:    make(map[msg.Addr]*migInfo),
+		trans:  cache.NewTableReset[l2Trans](0, resetL2Trans),
+		ext:    cache.NewTableReset[extBlock](0, resetExtBlock),
+		mig:    make(map[msg.Addr]migInfo),
 		serial: msg.NewSerialSpace(params.SerialBits),
 		tids:   proto.NewTIDSource(id),
-	}, nil
+	}
+	l.victimFilter = func(c *cache.Line) bool {
+		return l.trans.Get(c.Addr) == nil && l.ext.Get(c.Addr) == nil
+	}
+	return l, nil
 }
 
 // NodeID implements proto.Inspectable.
@@ -209,7 +247,7 @@ func (l *L2) NodeID() msg.NodeID { return l.id }
 func (l *L2) SetObserver(o *obs.Recorder) { l.obs = o }
 
 // Quiesced reports whether no transaction or external block is live.
-func (l *L2) Quiesced() bool { return l.trans.Len() == 0 && len(l.ext) == 0 }
+func (l *L2) Quiesced() bool { return l.trans.Len() == 0 && l.ext.Len() == 0 }
 
 // Handle processes a delivered network message.
 func (l *L2) Handle(m *msg.Message) {
@@ -255,6 +293,8 @@ func (l *L2) handleRequest(m *msg.Message) {
 	t := l.trans.Get(m.Addr)
 	if t == nil {
 		t = l.trans.Alloc(m.Addr)
+		t.owner = l
+		t.addr = m.Addr
 		t.req = req
 		l.service(m.Addr, t)
 		return
@@ -465,59 +505,65 @@ func (l *L2) resendResponse(addr msg.Addr, t *l2Trans) {
 // enterWaitUnblock arms the lost-unblock timeout (§3.3).
 func (l *L2) enterWaitUnblock(addr msg.Addr, t *l2Trans) {
 	t.phase = phaseWaitUnblock
-	if t.unblockTimer == nil {
-		t.unblockTimer = sim.NewTimer(l.engine)
-	}
+	t.unblockTimer.Bind(l.engine)
 	l.armUnblockTimer(addr, t)
 }
 
 func (l *L2) armUnblockTimer(addr msg.Addr, t *l2Trans) {
-	t.unblockTimer.Start(l.params.LostUnblockTimeout, func() {
-		if l.trans.Get(addr) != t || t.phase != phaseWaitUnblock {
-			return
-		}
-		l.run.Proto.LostUnblockTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
-		l.send(&msg.Message{Type: msg.UnblockPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
-		l.armUnblockTimer(addr, t)
-	})
+	t.unblockTimer.StartCall(l.params.LostUnblockTimeout, l2UnblockFired, t)
+}
+
+func l2UnblockFired(arg any) {
+	t := arg.(*l2Trans)
+	l, addr := t.owner, t.addr
+	if l.trans.Get(addr) != t || t.phase != phaseWaitUnblock {
+		return
+	}
+	l.run.Proto.LostUnblockTimeouts++
+	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
+	l.send(&msg.Message{Type: msg.UnblockPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
+	l.armUnblockTimer(addr, t)
 }
 
 // enterWaitWbData arms the writeback flavour of the lost-unblock timeout.
 func (l *L2) enterWaitWbData(addr msg.Addr, t *l2Trans) {
 	t.phase = phaseWaitWbData
-	if t.unblockTimer == nil {
-		t.unblockTimer = sim.NewTimer(l.engine)
-	}
+	t.unblockTimer.Bind(l.engine)
 	l.armWbPingTimer(addr, t)
 }
 
 func (l *L2) armWbPingTimer(addr msg.Addr, t *l2Trans) {
-	t.unblockTimer.Start(l.params.LostUnblockTimeout, func() {
-		if l.trans.Get(addr) != t || t.phase != phaseWaitWbData {
-			return
-		}
-		l.run.Proto.LostUnblockTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
-		l.send(&msg.Message{Type: msg.WbPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
-		l.armWbPingTimer(addr, t)
-	})
+	t.unblockTimer.StartCall(l.params.LostUnblockTimeout, l2WbPingFired, t)
+}
+
+func l2WbPingFired(arg any) {
+	t := arg.(*l2Trans)
+	l, addr := t.owner, t.addr
+	if l.trans.Get(addr) != t || t.phase != phaseWaitWbData {
+		return
+	}
+	l.run.Proto.LostUnblockTimeouts++
+	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
+	l.send(&msg.Message{Type: msg.WbPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
+	l.armWbPingTimer(addr, t)
 }
 
 // armBackup guards the in-chip backup held after sending DataEx to an L1.
 func (l *L2) armBackup(addr msg.Addr, t *l2Trans) {
-	if t.backupTimer == nil {
-		t.backupTimer = sim.NewTimer(l.engine)
+	t.backupTimer.Bind(l.engine)
+	t.backupTimer.StartCall(l.params.BackupTimeout, l2BackupFired, t)
+}
+
+func l2BackupFired(arg any) {
+	t := arg.(*l2Trans)
+	l, addr := t.owner, t.addr
+	if l.trans.Get(addr) != t || t.sentDataExTo == 0 || t.backupCleared {
+		return
 	}
-	t.backupTimer.Start(l.params.BackupTimeout, func() {
-		if l.trans.Get(addr) != t || t.sentDataExTo == 0 || t.backupCleared {
-			return
-		}
-		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: t.sentDataExTo, Addr: addr, TID: t.tid, SN: l.serial.Next()})
-		l.armBackup(addr, t)
-	})
+	l.run.Proto.BackupTimeouts++
+	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutBackup)
+	l.send(&msg.Message{Type: msg.OwnershipPing, Dst: t.sentDataExTo, Addr: addr, TID: t.tid, SN: l.serial.Next()})
+	l.armBackup(addr, t)
 }
 
 // handleUnblock processes Unblock/UnblockEx from the blocker, including a
@@ -547,9 +593,7 @@ func (l *L2) handleUnblock(m *msg.Message) {
 func (l *L2) acceptAckOFromL1(addr msg.Addr, src msg.NodeID, tid msg.TID, sn msg.SerialNumber) {
 	if t := l.trans.Get(addr); t != nil && t.sentDataExTo == src && !t.backupCleared {
 		t.backupCleared = true
-		if t.backupTimer != nil {
-			t.backupTimer.Stop()
-		}
+		t.backupTimer.Stop()
 		l.obs.BackupDeleted("l2", l.id, addr, tid)
 	}
 	l.send(&msg.Message{Type: msg.AckBD, Dst: src, Addr: addr, TID: tid, SN: sn})
@@ -587,26 +631,34 @@ func (l *L2) sendMemUnblock(addr msg.Addr, tid msg.TID, sn msg.SerialNumber) {
 			Type: msg.UnblockEx, Dst: mem, Addr: addr, TID: tid, SN: sn, PiggybackAckO: true,
 		})
 	}
-	eb := &extBlock{tid: tid, sn: sn, timer: sim.NewTimer(l.engine)}
-	l.ext[addr] = eb
+	eb := l.ext.Alloc(addr)
+	eb.owner = l
+	eb.addr = addr
+	eb.tid = tid
+	eb.sn = sn
+	eb.timer.Bind(l.engine)
 	l.armExtAckBD(addr, eb)
 }
 
 // armExtAckBD resends the AckO to memory if its AckBD never arrives.
 func (l *L2) armExtAckBD(addr msg.Addr, eb *extBlock) {
-	eb.timer.Start(l.params.LostAckBDTimeout, func() {
-		if l.ext[addr] != eb {
-			return
-		}
-		l.run.Proto.LostAckBDTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, eb.tid, obs.TimeoutLostAckBD)
-		oldSN := eb.sn
-		eb.sn = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, eb.tid, msg.AckO, oldSN, eb.sn)
-		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: l.topo.HomeMem(addr), Addr: addr, TID: eb.tid, SN: eb.sn})
-		l.armExtAckBD(addr, eb)
-	})
+	eb.timer.StartCall(l.params.LostAckBDTimeout, extAckBDFired, eb)
+}
+
+func extAckBDFired(arg any) {
+	eb := arg.(*extBlock)
+	l, addr := eb.owner, eb.addr
+	if l.ext.Get(addr) != eb {
+		return
+	}
+	l.run.Proto.LostAckBDTimeouts++
+	l.obs.TimeoutFired("l2", l.id, addr, eb.tid, obs.TimeoutLostAckBD)
+	oldSN := eb.sn
+	eb.sn = l.serial.Next()
+	l.obs.Reissue("l2", l.id, addr, eb.tid, msg.AckO, oldSN, eb.sn)
+	l.run.Proto.AcksOSent++
+	l.send(&msg.Message{Type: msg.AckO, Dst: l.topo.HomeMem(addr), Addr: addr, TID: eb.tid, SN: eb.sn})
+	l.armExtAckBD(addr, eb)
 }
 
 // handleWbData absorbs a writeback's data: ownership moved from the L1 to
@@ -643,26 +695,28 @@ func (l *L2) sendAckO(addr msg.Addr, t *l2Trans, to msg.NodeID, sn msg.SerialNum
 	t.phase = phaseWaitAckBD
 	l.run.Proto.AcksOSent++
 	l.send(&msg.Message{Type: msg.AckO, Dst: to, Addr: addr, TID: t.tid, SN: sn})
-	if t.ackBDTimer == nil {
-		t.ackBDTimer = sim.NewTimer(l.engine)
-	}
+	t.ackBDTimer.Bind(l.engine)
 	l.armAckBDTimer(addr, t)
 }
 
 func (l *L2) armAckBDTimer(addr msg.Addr, t *l2Trans) {
-	t.ackBDTimer.Start(l.params.LostAckBDTimeout, func() {
-		if l.trans.Get(addr) != t || t.phase != phaseWaitAckBD {
-			return
-		}
-		l.run.Proto.LostAckBDTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostAckBD)
-		oldSN := t.ackOSN
-		t.ackOSN = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, t.tid, msg.AckO, oldSN, t.ackOSN)
-		l.run.Proto.AcksOSent++
-		l.send(&msg.Message{Type: msg.AckO, Dst: t.ackOTo, Addr: addr, TID: t.tid, SN: t.ackOSN})
-		l.armAckBDTimer(addr, t)
-	})
+	t.ackBDTimer.StartCall(l.params.LostAckBDTimeout, l2AckBDFired, t)
+}
+
+func l2AckBDFired(arg any) {
+	t := arg.(*l2Trans)
+	l, addr := t.owner, t.addr
+	if l.trans.Get(addr) != t || t.phase != phaseWaitAckBD {
+		return
+	}
+	l.run.Proto.LostAckBDTimeouts++
+	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostAckBD)
+	oldSN := t.ackOSN
+	t.ackOSN = l.serial.Next()
+	l.obs.Reissue("l2", l.id, addr, t.tid, msg.AckO, oldSN, t.ackOSN)
+	l.run.Proto.AcksOSent++
+	l.send(&msg.Message{Type: msg.AckO, Dst: t.ackOTo, Addr: addr, TID: t.tid, SN: t.ackOSN})
+	l.armAckBDTimer(addr, t)
 }
 
 // handleWbNoData closes a writeback transaction without data (stale Put or
@@ -730,9 +784,7 @@ func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
 	if t.pendingAcks > 0 || (t.needData && !t.gotData) {
 		return
 	}
-	if t.recallTimer != nil {
-		t.recallTimer.Stop()
-	}
+	t.recallTimer.Stop()
 	line := l.array.Lookup(addr)
 	if line == nil {
 		protocolPanic("L2 %d recall finished for missing line %#x", l.id, addr)
@@ -757,7 +809,7 @@ func (l *L2) tryFinishRecall(addr msg.Addr, t *l2Trans) {
 // evictToMem frees the frame and starts the three-phase writeback to
 // memory, deferring while the line is externally blocked.
 func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
-	if eb := l.ext[addr]; eb != nil {
+	if eb := l.ext.Get(addr); eb != nil {
 		eb.onClear = append(eb.onClear, func() { l.evictToMem(addr, t, l.array.Lookup(addr)) })
 		return
 	}
@@ -778,29 +830,32 @@ func (l *L2) evictToMem(addr msg.Addr, t *l2Trans, line *cache.Line) {
 // response never arrived — the L2 plays the requester role toward memory,
 // so it runs its own lost-request timeout (§3.5).
 func (l *L2) armMemTimer(addr msg.Addr, t *l2Trans, typ msg.Type) {
-	if t.memTimer == nil {
-		t.memTimer = sim.NewTimer(l.engine)
+	t.memTyp = typ
+	t.memTimer.Bind(l.engine)
+	t.memTimer.StartCall(sim.Backoff(l.params.LostRequestTimeout, t.memAttempts), l2MemTimerFired, t)
+}
+
+func l2MemTimerFired(arg any) {
+	t := arg.(*l2Trans)
+	l, addr, typ := t.owner, t.addr, t.memTyp
+	if l.trans.Get(addr) != t {
+		return
 	}
-	t.memTimer.Start(sim.Backoff(l.params.LostRequestTimeout, t.memAttempts), func() {
-		if l.trans.Get(addr) != t {
-			return
-		}
-		if typ == msg.GetX && t.phase != phaseWaitMemData {
-			return
-		}
-		if typ == msg.Put && t.phase != phaseWaitMemWbAck {
-			return
-		}
-		l.run.Proto.LostRequestTimeouts++
-		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostRequest)
-		t.memAttempts++
-		oldSN := t.memSN
-		t.memSN = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, t.tid, typ, oldSN, t.memSN)
-		l.send(&msg.Message{Type: typ, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: t.memSN})
-		l.armMemTimer(addr, t, typ)
-	})
+	if typ == msg.GetX && t.phase != phaseWaitMemData {
+		return
+	}
+	if typ == msg.Put && t.phase != phaseWaitMemWbAck {
+		return
+	}
+	l.run.Proto.LostRequestTimeouts++
+	l.run.Proto.RequestsReissued++
+	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostRequest)
+	t.memAttempts++
+	oldSN := t.memSN
+	t.memSN = l.serial.Next()
+	l.obs.Reissue("l2", l.id, addr, t.tid, typ, oldSN, t.memSN)
+	l.send(&msg.Message{Type: typ, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: t.memSN})
+	l.armMemTimer(addr, t, typ)
 }
 
 // handleMemWbAck sends the eviction's data to memory (or WbNoData when the
@@ -830,18 +885,20 @@ func (l *L2) handleMemWbAck(m *msg.Message) {
 
 // armMemBackup pings memory if the AckO for our WbData never arrives.
 func (l *L2) armMemBackup(addr msg.Addr, t *l2Trans) {
-	if t.backupTimer == nil {
-		t.backupTimer = sim.NewTimer(l.engine)
+	t.backupTimer.Bind(l.engine)
+	t.backupTimer.StartCall(l.params.BackupTimeout, l2MemBackupFired, t)
+}
+
+func l2MemBackupFired(arg any) {
+	t := arg.(*l2Trans)
+	l, addr := t.owner, t.addr
+	if l.trans.Get(addr) != t || t.phase != phaseWaitMemAckO {
+		return
 	}
-	t.backupTimer.Start(l.params.BackupTimeout, func() {
-		if l.trans.Get(addr) != t || t.phase != phaseWaitMemAckO {
-			return
-		}
-		l.run.Proto.BackupTimeouts++
-		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutBackup)
-		l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: l.serial.Next()})
-		l.armMemBackup(addr, t)
-	})
+	l.run.Proto.BackupTimeouts++
+	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutBackup)
+	l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeMem(addr), Addr: addr, TID: t.tid, SN: l.serial.Next()})
+	l.armMemBackup(addr, t)
 }
 
 // handleAckO routes an ownership acknowledgment: from memory it completes
@@ -873,7 +930,7 @@ func (l *L2) handleAckO(m *msg.Message) {
 // in phaseWaitAckBD.
 func (l *L2) handleAckBD(m *msg.Message) {
 	if l.topo.IsMem(m.Src) {
-		eb := l.ext[m.Addr]
+		eb := l.ext.Get(m.Addr)
 		if eb == nil {
 			l.run.Proto.StaleSNDiscarded++
 			return
@@ -884,11 +941,12 @@ func (l *L2) handleAckBD(m *msg.Message) {
 			return
 		}
 		eb.timer.Stop()
-		delete(l.ext, m.Addr)
-		l.obs.TransactionEnd("l2", l.id, m.Addr, eb.tid)
+		tid := eb.tid
 		for _, fn := range eb.onClear {
 			l.engine.Schedule(0, fn)
 		}
+		l.ext.Free(m.Addr)
+		l.obs.TransactionEnd("l2", l.id, m.Addr, tid)
 		return
 	}
 	t := l.trans.Get(m.Addr)
@@ -916,7 +974,7 @@ func (l *L2) handleUnblockPing(m *msg.Message) {
 	if t := l.trans.Get(m.Addr); t != nil && t.owedMem {
 		return // still waiting for the L1's AckO; memory must keep waiting
 	}
-	if eb := l.ext[m.Addr]; eb != nil {
+	if eb := l.ext.Get(m.Addr); eb != nil {
 		l.run.Proto.AcksOSent++
 		l.run.Proto.PiggybackedAcksO++
 		l.send(&msg.Message{
@@ -976,7 +1034,7 @@ func (l *L2) handleOwnershipPing(m *msg.Message) {
 			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, TID: m.TID, SN: m.SN})
 			return
 		}
-		if eb := l.ext[addr]; eb != nil {
+		if eb := l.ext.Get(addr); eb != nil {
 			l.run.Proto.AcksOSent++
 			l.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: addr, TID: eb.tid, SN: eb.sn})
 			return
@@ -1031,9 +1089,7 @@ func (l *L2) startFetch(addr msg.Addr, t *l2Trans) {
 // install places fetched data into the array, evicting a victim if needed,
 // then re-services the waiting request.
 func (l *L2) install(addr msg.Addr, t *l2Trans) {
-	victim := l.array.Victim(addr, func(c *cache.Line) bool {
-		return l.trans.Get(c.Addr) == nil && l.ext[c.Addr] == nil
-	})
+	victim := l.array.Victim(addr, l.victimFilter)
 	if victim == nil {
 		l.engine.Schedule(4, func() { l.install(addr, t) })
 		return
@@ -1062,6 +1118,8 @@ func (l *L2) startEvict(line *cache.Line, onDone func()) {
 		protocolPanic("L2 %d evicting busy line %#x", l.id, line.Addr)
 	}
 	t = l.trans.Alloc(line.Addr)
+	t.owner = l
+	t.addr = line.Addr
 	t.evict = true
 	t.tid = l.tids.Next()
 	t.onDone = append(t.onDone, onDone)
@@ -1096,31 +1154,33 @@ func (l *L2) sendRecall(addr msg.Addr, t *l2Trans, line *cache.Line) {
 			Forwarded: true, Requestor: l.id,
 		})
 	}
-	if t.recallTimer == nil {
-		t.recallTimer = sim.NewTimer(l.engine)
-	}
+	t.recallTimer.Bind(l.engine)
 	l.armRecallTimer(addr, t)
 }
 
 // armRecallTimer reissues the recall when responses are lost.
 func (l *L2) armRecallTimer(addr msg.Addr, t *l2Trans) {
-	t.recallTimer.Start(sim.Backoff(l.params.LostRequestTimeout, t.recallAttempts), func() {
-		if l.trans.Get(addr) != t || t.phase != phaseWaitRecall {
-			return
-		}
-		l.run.Proto.LostRequestTimeouts++
-		l.run.Proto.RequestsReissued++
-		l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostRequest)
-		t.recallAttempts++
-		oldSN := t.recallSN
-		t.recallSN = l.serial.Next()
-		l.obs.Reissue("l2", l.id, addr, t.tid, msg.GetX, oldSN, t.recallSN)
-		line := l.array.Lookup(addr)
-		if line == nil {
-			protocolPanic("L2 %d recall reissue for missing line %#x", l.id, addr)
-		}
-		l.sendRecall(addr, t, line)
-	})
+	t.recallTimer.StartCall(sim.Backoff(l.params.LostRequestTimeout, t.recallAttempts), l2RecallFired, t)
+}
+
+func l2RecallFired(arg any) {
+	t := arg.(*l2Trans)
+	l, addr := t.owner, t.addr
+	if l.trans.Get(addr) != t || t.phase != phaseWaitRecall {
+		return
+	}
+	l.run.Proto.LostRequestTimeouts++
+	l.run.Proto.RequestsReissued++
+	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostRequest)
+	t.recallAttempts++
+	oldSN := t.recallSN
+	t.recallSN = l.serial.Next()
+	l.obs.Reissue("l2", l.id, addr, t.tid, msg.GetX, oldSN, t.recallSN)
+	line := l.array.Lookup(addr)
+	if line == nil {
+		protocolPanic("L2 %d recall reissue for missing line %#x", l.id, addr)
+	}
+	l.sendRecall(addr, t, line)
 }
 
 // finish closes the current transaction, runs continuations and services
@@ -1152,42 +1212,38 @@ func (l *L2) finish(addr msg.Addr, t *l2Trans) {
 	l.service(addr, t)
 }
 
-// Migratory detector (identical to DirCMP's).
-
-func (l *L2) migEntry(addr msg.Addr) *migInfo {
-	mi := l.mig[addr]
-	if mi == nil {
-		mi = &migInfo{}
-		l.mig[addr] = mi
-	}
-	return mi
-}
+// Migratory detector (identical to DirCMP's). The map holds migInfo by
+// value — the records are three words and never referenced across calls, so
+// a pointer map would only add an allocation per tracked address.
 
 func (l *L2) migratory(addr msg.Addr) bool {
-	mi := l.mig[addr]
-	return mi != nil && mi.migratory
+	return l.mig[addr].migratory
 }
 
 func (l *L2) migOnRead(addr msg.Addr, from msg.NodeID) {
-	mi := l.migEntry(addr)
+	mi := l.mig[addr]
 	if mi.lastWasRead && mi.lastReader != 0 && mi.lastReader != from {
 		mi.migratory = false
 	}
 	mi.lastReader = from
 	mi.lastWasRead = true
+	l.mig[addr] = mi
 }
 
 func (l *L2) migOnWrite(addr msg.Addr, from msg.NodeID) {
-	mi := l.migEntry(addr)
+	mi := l.mig[addr]
 	if mi.lastWasRead && mi.lastReader == from {
 		mi.migratory = true
 	}
 	mi.lastWasRead = false
+	l.mig[addr] = mi
 }
 
 func (l *L2) send(m *msg.Message) {
-	m.Src = l.id
-	l.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = l.id
+	l.net.Send(pm)
 }
 
 // phaseName names an L2 transaction phase for diagnostics.
@@ -1214,6 +1270,48 @@ func phaseName(p int) string {
 	}
 }
 
+// Interned "<state>+<phase>" names for InspectLines: the checker inspects
+// every line of every agent per run, so building these by concatenation
+// would allocate per line.
+var (
+	l2StatePhase [3][8]string
+	l2StateExt   [3]string
+	l2WbPhase    [8]string
+)
+
+func init() {
+	for s := range l2StatePhase {
+		l2StateExt[s] = l2StateName(s) + "+extblock"
+		for p := range l2StatePhase[s] {
+			l2StatePhase[s][p] = l2StateName(s) + "+" + phaseName(p)
+		}
+	}
+	for p := range l2WbPhase {
+		l2WbPhase[p] = "WB+" + phaseName(p)
+	}
+}
+
+func l2StatePhaseName(s, p int) string {
+	if s >= 0 && s < len(l2StatePhase) && p >= 0 && p < len(l2StatePhase[s]) {
+		return l2StatePhase[s][p]
+	}
+	return l2StateName(s) + "+" + phaseName(p)
+}
+
+func l2StateExtName(s int) string {
+	if s >= 0 && s < len(l2StateExt) {
+		return l2StateExt[s]
+	}
+	return l2StateName(s) + "+extblock"
+}
+
+func l2WbPhaseName(p int) string {
+	if p >= 0 && p < len(l2WbPhase) {
+		return l2WbPhase[p]
+	}
+	return "WB+" + phaseName(p)
+}
+
 // viewSN picks the serial number that best identifies the transaction for
 // diagnostics: the serviced request's, else the memory-facing one, else
 // the recall's.
@@ -1235,17 +1333,17 @@ func (l *L2) InspectLines(fn func(proto.LineView)) {
 		state := l2StateName(c.State)
 		var sn msg.SerialNumber
 		if t != nil {
-			state += "+" + phaseName(t.phase)
+			state = l2StatePhaseName(c.State, t.phase)
 			sn = t.viewSN()
-		} else if e := l.ext[c.Addr]; e != nil {
-			state += "+extblock"
+		} else if e := l.ext.Get(c.Addr); e != nil {
+			state = l2StateExtName(c.State)
 			sn = e.sn
 		}
 		fn(proto.LineView{
 			Addr:      c.Addr,
 			Owner:     c.State == L2StateS && !backup,
 			Backup:    backup,
-			Transient: t != nil || l.ext[c.Addr] != nil,
+			Transient: t != nil || l.ext.Get(c.Addr) != nil,
 			Payload:   c.Payload,
 			State:     state,
 			SN:        sn,
@@ -1259,7 +1357,7 @@ func (l *L2) InspectLines(fn func(proto.LineView)) {
 				Backup:    t.phase == phaseWaitMemAckO,
 				Transient: true,
 				Payload:   t.wbPayload,
-				State:     "WB+" + phaseName(t.phase),
+				State:     l2WbPhaseName(t.phase),
 				SN:        t.viewSN(),
 			})
 		}

@@ -71,7 +71,7 @@ func fetchLine(t *testing.T, l *L2, net *fakeNet, topo proto.Topology, l1 msg.No
 	net.take()
 	// Memory's AckBD clears the external block.
 	l.Handle(&msg.Message{Type: msg.AckBD, Src: topo.Mem(0), Dst: l.id, Addr: addr, SN: memUn.SN})
-	if len(l.ext) != 0 {
+	if l.ext.Len() != 0 {
 		t.Fatal("external block not cleared")
 	}
 	net.take()

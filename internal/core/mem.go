@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/memctrl"
 	"repro/internal/msg"
 	"repro/internal/obs"
@@ -40,25 +41,59 @@ func memPhaseName(p int) string {
 	}
 }
 
+// Interned "chip|mem+<phase>" names for InspectLines: the checker inspects
+// every line per run, so building these by concatenation would allocate.
+var memChipPhase, memMemPhase [4]string
+
+func init() {
+	for p := range memChipPhase {
+		memChipPhase[p] = "chip+" + memPhaseName(p)
+		memMemPhase[p] = "mem+" + memPhaseName(p)
+	}
+}
+
+func memStatePhaseName(owned bool, p int) string {
+	if p < 0 || p >= len(memChipPhase) {
+		if owned {
+			return "chip+" + memPhaseName(p)
+		}
+		return "mem+" + memPhaseName(p)
+	}
+	if owned {
+		return memChipPhase[p]
+	}
+	return memMemPhase[p]
+}
+
 // memTrans is a per-line memory transaction.
+//
+// owner/addr are back-references set at Alloc so the record itself can be
+// the argument of a package-level timer callback (Timer.StartCall); arming a
+// timeout then allocates nothing. pingType is the ping the pingTimer sends
+// on firing (UnblockPing or WbPing).
 type memTrans struct {
+	owner *Mem
+	addr  msg.Addr
+
 	phase int
 	req   pendingReq
 	queue []pendingReq
 
-	ackOSN msg.SerialNumber
+	ackOSN   msg.SerialNumber
+	pingType msg.Type
 
-	pingTimer  *sim.Timer
-	ackBDTimer *sim.Timer
+	pingTimer  sim.Timer
+	ackBDTimer sim.Timer
 }
 
 func (t *memTrans) timersOff() {
-	if t.pingTimer != nil {
-		t.pingTimer.Stop()
-	}
-	if t.ackBDTimer != nil {
-		t.ackBDTimer.Stop()
-	}
+	t.pingTimer.Stop()
+	t.ackBDTimer.Stop()
+}
+
+func resetMemTrans(t *memTrans) {
+	t.timersOff()
+	*t = memTrans{queue: t.queue[:0], pingTimer: t.pingTimer, ackBDTimer: t.ackBDTimer}
 }
 
 // Mem is an FtDirCMP memory controller: the same directory role as the
@@ -75,9 +110,13 @@ type Mem struct {
 
 	store  *memctrl.Store
 	owned  map[msg.Addr]bool
-	trans  map[msg.Addr]*memTrans
+	trans  *cache.Table[memTrans]
 	serial *msg.SerialSpace
 	obs    *obs.Recorder
+
+	// sendDelayed is the prepared ScheduleCall callback for latency-delayed
+	// responses; built once so scheduling one allocates nothing.
+	sendDelayed func(arg any, tick uint64)
 }
 
 var _ proto.Inspectable = (*Mem)(nil)
@@ -85,7 +124,7 @@ var _ proto.Inspectable = (*Mem)(nil)
 // NewMem builds an FtDirCMP memory controller over the given store.
 func NewMem(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim.Engine,
 	net proto.Sender, run *stats.Run, store *memctrl.Store) *Mem {
-	return &Mem{
+	c := &Mem{
 		id:     id,
 		topo:   topo,
 		params: params,
@@ -94,9 +133,11 @@ func NewMem(id msg.NodeID, topo proto.Topology, params proto.Params, engine *sim
 		run:    run,
 		store:  store,
 		owned:  make(map[msg.Addr]bool),
-		trans:  make(map[msg.Addr]*memTrans),
+		trans:  cache.NewTableReset[memTrans](0, resetMemTrans),
 		serial: msg.NewSerialSpace(params.SerialBits),
 	}
+	c.sendDelayed = func(arg any, _ uint64) { c.net.Send(arg.(*msg.Message)) }
+	return c
 }
 
 // NodeID implements proto.Inspectable.
@@ -106,7 +147,7 @@ func (c *Mem) NodeID() msg.NodeID { return c.id }
 func (c *Mem) SetObserver(o *obs.Recorder) { c.obs = o }
 
 // Quiesced reports whether no transaction is in flight.
-func (c *Mem) Quiesced() bool { return len(c.trans) == 0 }
+func (c *Mem) Quiesced() bool { return c.trans.Len() == 0 }
 
 // Handle processes a delivered network message.
 func (c *Mem) Handle(m *msg.Message) {
@@ -135,7 +176,7 @@ func (c *Mem) Handle(m *msg.Message) {
 // handleRequest starts, queues or re-answers (reissue) an L2 request.
 func (c *Mem) handleRequest(m *msg.Message) {
 	req := pendingReq{typ: m.Type, from: m.Src, tid: m.TID, sn: m.SN}
-	t := c.trans[m.Addr]
+	t := c.trans.Get(m.Addr)
 	if t == nil {
 		if m.Type == msg.GetX && c.owned[m.Addr] {
 			// A superseded fetch attempt arriving after the whole exchange
@@ -148,8 +189,10 @@ func (c *Mem) handleRequest(m *msg.Message) {
 			})
 			return
 		}
-		t = &memTrans{req: req}
-		c.trans[m.Addr] = t
+		t = c.trans.Alloc(m.Addr)
+		t.owner = c
+		t.addr = m.Addr
+		t.req = req
 		c.service(m.Addr, t)
 		return
 	}
@@ -177,12 +220,13 @@ func (c *Mem) service(addr msg.Addr, t *memTrans) {
 			c.obs.StateChange("mem", c.id, addr, t.req.tid, "mem", "chip")
 		}
 		c.owned[addr] = true
-		payload := c.store.Read(addr)
-		from, tid, sn := t.req.from, t.req.tid, t.req.sn
 		t.phase = memWaitUnblock
-		c.engine.Schedule(c.params.MemLatency, func() {
-			c.send(&msg.Message{Type: msg.DataEx, Dst: from, Addr: addr, TID: tid, SN: sn, Payload: payload})
-		})
+		pm := msg.NewMessage()
+		pm.Type, pm.Dst, pm.Addr = msg.DataEx, t.req.from, addr
+		pm.TID, pm.SN = t.req.tid, t.req.sn
+		pm.Payload = c.store.Read(addr)
+		pm.Src = c.id
+		c.engine.ScheduleCall(c.params.MemLatency, c.sendDelayed, pm, 0)
 		c.armPing(addr, t, msg.UnblockPing)
 	case msg.Put:
 		t.phase = memWaitWbData
@@ -215,28 +259,31 @@ func (c *Mem) resendResponse(addr msg.Addr, t *memTrans) {
 // armPing runs memory's lost-unblock timeout (§3.3: "FtDirCMP uses an
 // unblock timeout and UnblockPing in the memory controller too").
 func (c *Mem) armPing(addr msg.Addr, t *memTrans, ping msg.Type) {
-	if t.pingTimer == nil {
-		t.pingTimer = sim.NewTimer(c.engine)
-	}
+	t.pingType = ping
+	t.pingTimer.Bind(c.engine)
+	t.pingTimer.StartCall(c.params.LostUnblockTimeout, memPingFired, t)
+}
+
+func memPingFired(arg any) {
+	t := arg.(*memTrans)
+	c, addr, ping := t.owner, t.addr, t.pingType
 	wantPhase := memWaitUnblock
 	if ping == msg.WbPing {
 		wantPhase = memWaitWbData
 	}
-	t.pingTimer.Start(c.params.LostUnblockTimeout, func() {
-		if c.trans[addr] != t || t.phase != wantPhase {
-			return
-		}
-		c.run.Proto.LostUnblockTimeouts++
-		c.obs.TimeoutFired("mem", c.id, addr, t.req.tid, obs.TimeoutLostUnblock)
-		c.send(&msg.Message{Type: ping, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn})
-		c.armPing(addr, t, ping)
-	})
+	if c.trans.Get(addr) != t || t.phase != wantPhase {
+		return
+	}
+	c.run.Proto.LostUnblockTimeouts++
+	c.obs.TimeoutFired("mem", c.id, addr, t.req.tid, obs.TimeoutLostUnblock)
+	c.send(&msg.Message{Type: ping, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn})
+	c.armPing(addr, t, ping)
 }
 
 // handleUnblock closes a fetch transaction; the piggybacked AckO deletes
 // memory's backup role and is answered with AckBD.
 func (c *Mem) handleUnblock(m *msg.Message) {
-	t := c.trans[m.Addr]
+	t := c.trans.Get(m.Addr)
 	if t == nil || t.phase != memWaitUnblock || m.Src != t.req.from {
 		if m.PiggybackAckO {
 			c.send(&msg.Message{Type: msg.AckBD, Dst: m.Src, Addr: m.Addr, TID: m.TID, SN: m.SN})
@@ -253,7 +300,7 @@ func (c *Mem) handleUnblock(m *msg.Message) {
 // handleWbData stores the written-back data; ownership moved to memory, so
 // acknowledge and wait for the L2's backup deletion.
 func (c *Mem) handleWbData(m *msg.Message) {
-	t := c.trans[m.Addr]
+	t := c.trans.Get(m.Addr)
 	if t == nil || t.phase != memWaitWbData || m.Src != t.req.from {
 		c.run.Proto.StaleSNDiscarded++
 		return
@@ -272,27 +319,29 @@ func (c *Mem) handleWbData(m *msg.Message) {
 }
 
 func (c *Mem) armAckBD(addr msg.Addr, t *memTrans) {
-	if t.ackBDTimer == nil {
-		t.ackBDTimer = sim.NewTimer(c.engine)
+	t.ackBDTimer.Bind(c.engine)
+	t.ackBDTimer.StartCall(c.params.LostAckBDTimeout, memAckBDFired, t)
+}
+
+func memAckBDFired(arg any) {
+	t := arg.(*memTrans)
+	c, addr := t.owner, t.addr
+	if c.trans.Get(addr) != t || t.phase != memWaitAckBD {
+		return
 	}
-	t.ackBDTimer.Start(c.params.LostAckBDTimeout, func() {
-		if c.trans[addr] != t || t.phase != memWaitAckBD {
-			return
-		}
-		c.run.Proto.LostAckBDTimeouts++
-		c.obs.TimeoutFired("mem", c.id, addr, t.req.tid, obs.TimeoutLostAckBD)
-		oldSN := t.ackOSN
-		t.ackOSN = c.serial.Next()
-		c.obs.Reissue("mem", c.id, addr, t.req.tid, msg.AckO, oldSN, t.ackOSN)
-		c.run.Proto.AcksOSent++
-		c.send(&msg.Message{Type: msg.AckO, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.ackOSN})
-		c.armAckBD(addr, t)
-	})
+	c.run.Proto.LostAckBDTimeouts++
+	c.obs.TimeoutFired("mem", c.id, addr, t.req.tid, obs.TimeoutLostAckBD)
+	oldSN := t.ackOSN
+	t.ackOSN = c.serial.Next()
+	c.obs.Reissue("mem", c.id, addr, t.req.tid, msg.AckO, oldSN, t.ackOSN)
+	c.run.Proto.AcksOSent++
+	c.send(&msg.Message{Type: msg.AckO, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.ackOSN})
+	c.armAckBD(addr, t)
 }
 
 // handleWbNoData closes a writeback without data (clean line or WbCancel).
 func (c *Mem) handleWbNoData(m *msg.Message) {
-	t := c.trans[m.Addr]
+	t := c.trans.Get(m.Addr)
 	if t == nil || t.phase != memWaitWbData || m.Src != t.req.from {
 		c.run.Proto.StaleSNDiscarded++
 		return
@@ -320,7 +369,7 @@ func (c *Mem) handleAckO(m *msg.Message) {
 
 // handleAckBD closes the WbData handshake.
 func (c *Mem) handleAckBD(m *msg.Message) {
-	t := c.trans[m.Addr]
+	t := c.trans.Get(m.Addr)
 	if t == nil || t.phase != memWaitAckBD || m.Src != t.req.from {
 		c.run.Proto.StaleSNDiscarded++
 		return
@@ -337,7 +386,7 @@ func (c *Mem) handleAckBD(m *msg.Message) {
 // handleOwnershipPing confirms whether memory received the WbData the
 // pinging L2 holds a backup for.
 func (c *Mem) handleOwnershipPing(m *msg.Message) {
-	t := c.trans[m.Addr]
+	t := c.trans.Get(m.Addr)
 	if t != nil && t.phase == memWaitAckBD && t.req.from == m.Src {
 		c.run.Proto.AcksOSent++
 		c.send(&msg.Message{Type: msg.AckO, Dst: m.Src, Addr: m.Addr, TID: t.req.tid, SN: t.ackOSN})
@@ -365,7 +414,7 @@ func (c *Mem) finish(addr msg.Addr, t *memTrans) {
 	t.timersOff()
 	c.obs.TransactionEnd("mem", c.id, addr, t.req.tid)
 	if len(t.queue) == 0 {
-		delete(c.trans, addr)
+		c.trans.Free(addr)
 		return
 	}
 	t.req = t.queue[0]
@@ -375,8 +424,10 @@ func (c *Mem) finish(addr msg.Addr, t *memTrans) {
 }
 
 func (c *Mem) send(m *msg.Message) {
-	m.Src = c.id
-	c.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = c.id
+	c.net.Send(pm)
 }
 
 // InspectLines implements proto.Inspectable. Memory owns every line the
@@ -389,7 +440,7 @@ func (c *Mem) InspectLines(fn func(proto.LineView)) {
 			return
 		}
 		seen[addr] = true
-		t := c.trans[addr]
+		t := c.trans.Get(addr)
 		backup := t != nil && t.phase == memWaitUnblock
 		state := "chip"
 		if !c.owned[addr] {
@@ -397,7 +448,7 @@ func (c *Mem) InspectLines(fn func(proto.LineView)) {
 		}
 		var sn msg.SerialNumber
 		if t != nil {
-			state += "+" + memPhaseName(t.phase)
+			state = memStatePhaseName(c.owned[addr], t.phase)
 			sn = t.req.sn
 			if sn == 0 {
 				sn = t.ackOSN

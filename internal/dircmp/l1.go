@@ -102,7 +102,7 @@ func (l *L1) Read(addr msg.Addr, done func(proto.AccessResult)) {
 			Version: line.Payload.Version,
 			Latency: l.params.L1HitLatency,
 		}
-		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		proto.DeferResult(l.engine, l.params.L1HitLatency, done, res)
 		return
 	}
 	if l.defer_(addr, func() { l.Read(addr, done) }) {
@@ -133,7 +133,7 @@ func (l *L1) Write(addr msg.Addr, value uint64, done func(proto.AccessResult)) {
 			Version: line.Payload.Version,
 			Latency: l.params.L1HitLatency,
 		}
-		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		proto.DeferResult(l.engine, l.params.L1HitLatency, done, res)
 		return
 	}
 	if l.defer_(addr, func() { l.Write(addr, value, done) }) {
@@ -473,8 +473,10 @@ func (l *L1) wake(waiters []func()) {
 }
 
 func (l *L1) send(m *msg.Message) {
-	m.Src = l.id
-	l.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = l.id
+	l.net.Send(pm)
 }
 
 // InspectLines implements proto.Inspectable.

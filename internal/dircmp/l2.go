@@ -547,8 +547,10 @@ func (l *L2) migOnWrite(addr msg.Addr, from msg.NodeID) {
 }
 
 func (l *L2) send(m *msg.Message) {
-	m.Src = l.id
-	l.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = l.id
+	l.net.Send(pm)
 }
 
 // InspectLines implements proto.Inspectable.

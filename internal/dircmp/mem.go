@@ -138,8 +138,10 @@ func (c *Mem) finish(addr msg.Addr, t *memTrans) {
 }
 
 func (c *Mem) send(m *msg.Message) {
-	m.Src = c.id
-	c.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = c.id
+	c.net.Send(pm)
 }
 
 // InspectLines implements proto.Inspectable. Memory reports a view for

@@ -303,6 +303,7 @@ type Corrupting struct {
 	Undetected uint64
 
 	dropped uint64
+	buf     []byte // scratch encoding, reused across corrupted messages
 }
 
 // NewCorrupting wraps inner; seed drives which bits are flipped.
@@ -315,7 +316,8 @@ func (c *Corrupting) Drop(m *msg.Message) bool {
 	if !c.inner.Drop(m) {
 		return false
 	}
-	buf := msg.Encode(m)
+	c.buf = msg.EncodeAppend(c.buf[:0], m)
+	buf := c.buf
 	if len(buf) == 0 {
 		// Nothing to corrupt: treat as an outright loss rather than
 		// feeding a zero-length range to the RNG.

@@ -43,8 +43,17 @@ const wireSize = 1 + 2 + 2 + 8 + 2 + 2 + 2 + 1 + 8 + 8
 
 // Encode serializes the message and appends a CRC16 trailer. The encoding
 // exists to model corruption faithfully; it is not a network protocol.
-func Encode(m *Message) []byte {
-	buf := make([]byte, wireSize+2)
+func Encode(m *Message) []byte { return EncodeAppend(nil, m) }
+
+// EncodeAppend appends the serialized message (with its CRC16 trailer) to
+// dst and returns the extended slice, analogous to strconv's Append
+// functions. Callers on the fault-injection hot path reuse one scratch
+// buffer across messages (EncodeAppend(buf[:0], m)) instead of allocating
+// a fresh encoding per injection.
+func EncodeAppend(dst []byte, m *Message) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, wireSize+2)...)
+	buf := dst[start:]
 	buf[0] = byte(m.Type)
 	binary.LittleEndian.PutUint16(buf[1:], uint16(m.Src))
 	binary.LittleEndian.PutUint16(buf[3:], uint16(m.Dst))
@@ -79,7 +88,7 @@ func Encode(m *Message) []byte {
 	binary.LittleEndian.PutUint64(buf[28:], m.Payload.Version)
 	crc := CRC16(buf[:wireSize])
 	binary.LittleEndian.PutUint16(buf[wireSize:], crc)
-	return buf
+	return dst
 }
 
 // Decode parses a serialized message, verifying the CRC. It returns the

@@ -1,0 +1,68 @@
+package msg
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Message pooling. The simulation sends hundreds of messages per memory
+// operation; allocating each one individually dominated the steady-state
+// allocation profile. NewMessage/Recycle recycle Message values through a
+// sync.Pool shared by all concurrently running simulations (the parallel
+// campaign runner executes one system per goroutine; sync.Pool gives each
+// P its own cache, so there is no cross-run contention).
+//
+// Ownership contract (see docs/PERFORMANCE.md):
+//
+//   - The builder of a message owns it until it hands it to the network
+//     (noc.Network.Send); from then on the network owns it.
+//   - On delivery the destination handler *borrows* the message for the
+//     duration of the call; when the handler returns, the network recycles
+//     it. A handler that needs any part of a message afterwards must copy
+//     it out (by value) before returning.
+//   - Dropped messages are recycled by the network after the drop has been
+//     reported to the recorders.
+//
+// Pooling is behavioural plumbing only: recycled messages are zeroed on
+// reuse, and the REPRO_NOPOOL=1 environment variable (or SetPooling(false))
+// swaps in plain allocation so any suspected reuse bug can be bisected —
+// simulation output must be byte-identical either way, which the
+// pool-correctness tests pin.
+var poolingDisabled atomic.Bool
+
+func init() {
+	if os.Getenv("REPRO_NOPOOL") == "1" {
+		poolingDisabled.Store(true)
+	}
+}
+
+// SetPooling enables or disables message pooling at runtime (tests use it
+// to prove pooled and unpooled runs are byte-identical). Safe to call
+// concurrently with running simulations: disabling only diverts NewMessage
+// to plain allocation and turns Recycle into a no-op.
+func SetPooling(enabled bool) { poolingDisabled.Store(!enabled) }
+
+// PoolingEnabled reports whether NewMessage draws from the pool.
+func PoolingEnabled() bool { return !poolingDisabled.Load() }
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a zeroed Message, recycled if pooling is enabled.
+func NewMessage() *Message {
+	if poolingDisabled.Load() {
+		return new(Message)
+	}
+	m := msgPool.Get().(*Message)
+	*m = Message{}
+	return m
+}
+
+// Recycle returns a message to the pool. The caller must own it (see the
+// ownership contract above) and must not touch it afterwards.
+func Recycle(m *Message) {
+	if poolingDisabled.Load() {
+		return
+	}
+	msgPool.Put(m)
+}

@@ -18,8 +18,11 @@ import (
 	"repro/internal/msg"
 )
 
-// flight is a message traversing the detailed network.
+// flight is a message traversing the detailed network, recycled through the
+// Network's freelist once delivered (or dropped) — like the simple model's
+// transit, advancing a flight allocates nothing in steady state.
 type flight struct {
+	net     *Network
 	m       *msg.Message
 	vc      int
 	flits   int
@@ -30,14 +33,43 @@ type flight struct {
 	router int    // current router
 	buf    *vcBuf // input buffer currently holding the message (nil at injection)
 	ready  uint64 // when the message is ready to leave the current router
+
+	// nextRouter/nextBuf stage the state the flight assumes when its
+	// scheduled arrival event fires (set by departTo).
+	nextRouter int
+	nextBuf    *vcBuf
+}
+
+func (n *Network) getFlight() *flight {
+	if len(n.flights) == 0 {
+		return &flight{net: n}
+	}
+	f := n.flights[len(n.flights)-1]
+	n.flights = n.flights[:len(n.flights)-1]
+	return f
+}
+
+func (n *Network) putFlight(f *flight) {
+	f.m = nil
+	f.buf = nil
+	f.nextBuf = nil
+	n.flights = append(n.flights, f)
 }
 
 // vcBuf is the flit buffer on the receiving side of one directed link for
 // one virtual-channel class.
 type vcBuf struct {
+	net      *Network
 	capacity int
 	used     int
 	waiters  []*flight
+}
+
+// vcBufFree is the scheduled tail-flit departure: it releases the flits the
+// message occupied in its upstream buffer (carried in the event's tick).
+func vcBufFree(arg any, flits uint64) {
+	b := arg.(*vcBuf)
+	b.net.bufFree(b, int(flits))
 }
 
 // free releases n flits and lets waiting upstream messages retry, in FIFO
@@ -68,16 +100,15 @@ type detailedBufKey struct {
 
 // detailedSend injects a message into the router-pipeline model.
 func (n *Network) detailedSend(m *msg.Message, srcRouter, dstRouter int, serFlits int, dropped bool) {
-	f := &flight{
-		m:       m,
-		vc:      int(m.Class()) - 1,
-		flits:   serFlits,
-		dst:     dstRouter,
-		sentAt:  n.engine.Now(),
-		dropped: dropped,
-		router:  srcRouter,
-		ready:   n.engine.Now(),
-	}
+	f := n.getFlight()
+	f.m = m
+	f.vc = int(m.Class()) - 1
+	f.flits = serFlits
+	f.dst = dstRouter
+	f.sentAt = n.engine.Now()
+	f.dropped = dropped
+	f.router = srcRouter
+	f.ready = n.engine.Now()
 	n.tryAdvance(f)
 }
 
@@ -98,6 +129,16 @@ func (n *Network) tryAdvance(f *flight) {
 	n.departTo(f, b)
 }
 
+// flightArrive is the scheduled head-flit arrival at the next router: the
+// flight assumes its staged position and tries to advance further.
+func flightArrive(arg any, _ uint64) {
+	f := arg.(*flight)
+	f.router = f.nextRouter
+	f.buf = f.nextBuf
+	f.ready = f.net.engine.Now()
+	f.net.tryAdvance(f)
+}
+
 // departTo sends the flight over the link into downstream buffer b: it
 // serializes on the output link, frees the current buffer when the tail
 // flit has left, and arrives downstream after the hop latency.
@@ -116,20 +157,30 @@ func (n *Network) departTo(f *flight, b *vcBuf) {
 
 	// The tail flit leaves the current buffer at depart+serLat.
 	if cur := f.buf; cur != nil {
-		flits := f.flits
-		n.engine.ScheduleAt(depart+serLat, func() {
-			n.bufFree(cur, flits)
-		})
+		n.engine.ScheduleCallAt(depart+serLat, vcBufFree, cur, uint64(f.flits))
 	}
 
-	next := n.neighbor(f.router, dir)
-	arrive := depart + n.cfg.HopLatency
-	n.engine.ScheduleAt(arrive, func() {
-		f.router = next
-		f.buf = b
-		f.ready = n.engine.Now()
-		n.tryAdvance(f)
-	})
+	f.nextRouter = n.neighbor(f.router, dir)
+	f.nextBuf = b
+	n.engine.ScheduleCallAt(depart+n.cfg.HopLatency, flightArrive, f, 0)
+}
+
+// flightDeliver is the scheduled ejection: it hands the message to the
+// destination handler (or records the drop), then recycles the flight and
+// the message.
+func flightDeliver(arg any, _ uint64) {
+	f := arg.(*flight)
+	n, m, dropped, sentAt := f.net, f.m, f.dropped, f.sentAt
+	n.putFlight(f)
+	if dropped {
+		n.rec.MessageDropped(m)
+		msg.Recycle(m)
+		return
+	}
+	nd := n.nodes[m.Dst]
+	n.rec.MessageDelivered(m, n.engine.Now()-sentAt)
+	nd.handler(m)
+	msg.Recycle(m)
 }
 
 // eject delivers (or drops) the flight at its destination router.
@@ -142,28 +193,16 @@ func (n *Network) eject(f *flight) {
 	serLat := uint64(f.flits)
 	lnk.freeAt[f.vc] = depart + serLat
 	if cur := f.buf; cur != nil {
-		flits := f.flits
-		n.engine.ScheduleAt(depart+serLat, func() {
-			n.bufFree(cur, flits)
-		})
+		n.engine.ScheduleCallAt(depart+serLat, vcBufFree, cur, uint64(f.flits))
 	}
-	deliverAt := depart + serLat + n.cfg.LocalLatency
-	n.engine.ScheduleAt(deliverAt, func() {
-		if f.dropped {
-			n.rec.MessageDropped(f.m)
-			return
-		}
-		nd := n.nodes[f.m.Dst]
-		n.rec.MessageDelivered(f.m, n.engine.Now()-f.sentAt)
-		nd.handler(f.m)
-	})
+	n.engine.ScheduleCallAt(depart+serLat+n.cfg.LocalLatency, flightDeliver, f, 0)
 }
 
 // detailedBuf returns (allocating on first use) the buffer for key.
 func (n *Network) detailedBuf(key detailedBufKey) *vcBuf {
 	b := n.bufs[key]
 	if b == nil {
-		b = &vcBuf{capacity: n.cfg.BufferFlits}
+		b = &vcBuf{net: n, capacity: n.cfg.BufferFlits}
 		n.bufs[key] = b
 	}
 	return b

@@ -148,6 +148,11 @@ type node struct {
 
 // Network is the mesh interconnect. Create with New, register endpoints
 // with Attach, then Send messages.
+//
+// The network owns every message passed to Send: after the destination
+// handler returns (or the drop has been recorded), the message is recycled
+// into the msg pool. Handlers must copy out anything they need past their
+// own return (see docs/PERFORMANCE.md for the ownership rules).
 type Network struct {
 	engine *sim.Engine
 	cfg    Config
@@ -159,6 +164,40 @@ type Network struct {
 	nodes map[msg.NodeID]node
 	rng   *sim.RNG
 	bufs  map[detailedBufKey]*vcBuf
+
+	// transits and flights are freelists of per-message traversal state;
+	// the simulation is single-goroutine per engine, so a plain slice
+	// suffices. In steady state every hop is allocation-free.
+	transits []*transit
+	flights  []*flight
+}
+
+// transit is the traversal state of one in-flight message in the simple
+// link model, recycled through the Network's freelist between messages.
+type transit struct {
+	net       *Network
+	m         *msg.Message
+	router    int
+	dstRouter int
+	vc        int
+	serLat    uint64
+	sentAt    uint64
+	dropped   bool
+	yFirst    bool
+}
+
+func (n *Network) getTransit() *transit {
+	if len(n.transits) == 0 {
+		return &transit{net: n}
+	}
+	t := n.transits[len(n.transits)-1]
+	n.transits = n.transits[:len(n.transits)-1]
+	return t
+}
+
+func (n *Network) putTransit(t *transit) {
+	t.m = nil
+	n.transits = append(n.transits, t)
 }
 
 // New builds the network. rec may be nil.
@@ -243,50 +282,69 @@ func (n *Network) Send(m *msg.Message) {
 		return
 	}
 
-	vc := int(m.Class()) - 1
-	start := n.engine.Now()
-
 	yFirst := n.cfg.Routing == RoutingYX
 	if n.cfg.Routing == RoutingAdaptive {
 		yFirst = n.rng.Bool(0.5)
 	}
 
+	t := n.getTransit()
+	t.m = m
+	t.router = src.router
+	t.dstRouter = dst.router
+	t.vc = int(m.Class()) - 1
+	t.serLat = serLat
+	t.sentAt = n.engine.Now()
+	t.dropped = dropped
+	t.yFirst = yFirst
+
 	// Injection through the local port of the source router.
-	n.traverse(m, src.router, dst.router, vc, serLat, start, start, dropped, yFirst)
+	n.traverse(t)
 }
 
-// traverse advances the message one link at a time. arrive is when the head
-// flit reaches the current router; the message departs on the next link when
-// both the router pipeline delay has elapsed and the link is free.
-func (n *Network) traverse(m *msg.Message, router, dstRouter, vc int, serLat, arrive, sentAt uint64, dropped, yFirst bool) {
-	dir := n.route(router, dstRouter, yFirst)
-	lnk := &n.links[router][dir]
-	depart := arrive
-	if lnk.freeAt[vc] > depart {
-		depart = lnk.freeAt[vc]
+// transitHop resumes a transit at its next router; transitDeliver ejects it
+// at the destination. Both are scheduled through ScheduleCall with the
+// pooled transit as the argument, so advancing a message allocates nothing.
+func transitHop(arg any, _ uint64) {
+	t := arg.(*transit)
+	t.net.traverse(t)
+}
+
+func transitDeliver(arg any, _ uint64) {
+	t := arg.(*transit)
+	n, m, dropped, sentAt := t.net, t.m, t.dropped, t.sentAt
+	n.putTransit(t)
+	if dropped {
+		n.rec.MessageDropped(m)
+		msg.Recycle(m)
+		return
 	}
-	lnk.freeAt[vc] = depart + serLat
+	nd := n.nodes[m.Dst]
+	n.rec.MessageDelivered(m, n.engine.Now()-sentAt)
+	nd.handler(m)
+	msg.Recycle(m)
+}
+
+// traverse advances the message one link at a time from its current router
+// (where the head flit arrives at the current cycle); the message departs
+// on the next link when both the router pipeline delay has elapsed and the
+// link is free.
+func (n *Network) traverse(t *transit) {
+	dir := n.route(t.router, t.dstRouter, t.yFirst)
+	lnk := &n.links[t.router][dir]
+	depart := n.engine.Now()
+	if lnk.freeAt[t.vc] > depart {
+		depart = lnk.freeAt[t.vc]
+	}
+	lnk.freeAt[t.vc] = depart + t.serLat
 
 	if dir == dirLocal {
 		// Ejection at the destination router.
-		deliverAt := depart + serLat + n.cfg.LocalLatency
-		n.engine.ScheduleAt(deliverAt, func() {
-			if dropped {
-				n.rec.MessageDropped(m)
-				return
-			}
-			nd := n.nodes[m.Dst]
-			n.rec.MessageDelivered(m, n.engine.Now()-sentAt)
-			nd.handler(m)
-		})
+		n.engine.ScheduleCallAt(depart+t.serLat+n.cfg.LocalLatency, transitDeliver, t, 0)
 		return
 	}
 
-	next := n.neighbor(router, dir)
-	nextArrive := depart + n.cfg.HopLatency
-	n.engine.ScheduleAt(nextArrive, func() {
-		n.traverse(m, next, dstRouter, vc, serLat, n.engine.Now(), sentAt, dropped, yFirst)
-	})
+	t.router = n.neighbor(t.router, dir)
+	n.engine.ScheduleCallAt(depart+n.cfg.HopLatency, transitHop, t, 0)
 }
 
 // route returns the next output direction at router toward dstRouter,

@@ -1,0 +1,36 @@
+package proto
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// deferredResult carries a completion callback and its result through the
+// event queue without a per-call closure. Records are pooled: the fire
+// function returns the record to the pool before invoking the callback, so
+// each record lives exactly from schedule to fire.
+type deferredResult struct {
+	done func(AccessResult)
+	res  AccessResult
+}
+
+var deferredResultPool = sync.Pool{New: func() any { return new(deferredResult) }}
+
+func deferredResultFire(arg any, _ uint64) {
+	d := arg.(*deferredResult)
+	done, res := d.done, d.res
+	d.done = nil
+	deferredResultPool.Put(d)
+	done(res)
+}
+
+// DeferResult schedules done(res) after delay cycles without allocating a
+// closure. Cache hit paths use it: they complete after a fixed latency, and
+// running done through a pooled record keeps the hot path allocation-free.
+func DeferResult(e *sim.Engine, delay uint64, done func(AccessResult), res AccessResult) {
+	d := deferredResultPool.Get().(*deferredResult)
+	d.done = done
+	d.res = res
+	e.ScheduleCall(delay, deferredResultFire, d, 0)
+}

@@ -8,6 +8,14 @@
 // the network model and the fault injector are driven by a single Engine;
 // Engine.Now also timestamps the structured event log (package obs).
 //
+// The event queue is a concrete binary min-heap over a slice of event
+// values. Scheduling is allocation-free in steady state: events are stored
+// by value (no container/heap interface boxing), popped slots are recycled
+// in place, and the backing array stops growing once it reaches the
+// simulation's peak queue depth. Callers that would otherwise allocate a
+// closure per event can use ScheduleCall, which carries a pointer-shaped
+// argument and a tick through the event instead of capturing them.
+//
 // Besides the raw event queue the package provides the two utilities the
 // protocols build their behaviour from: Timer, a restartable one-shot
 // alarm used for every fault-detection timeout, and RNG, a small seeded
@@ -16,7 +24,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -26,43 +33,76 @@ import (
 // over-long simulation, depending on context.
 var ErrLimitReached = errors.New("sim: cycle limit reached")
 
-// event is a scheduled callback.
+// event is a scheduled callback. fn is always set; arg and tick are the
+// ScheduleCall payload (nil/zero for plain closures, which travel in arg).
 type event struct {
-	at  uint64
-	seq uint64
-	fn  func()
+	at   uint64
+	seq  uint64
+	fn   func(arg any, tick uint64)
+	arg  any
+	tick uint64
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// runFunc adapts a plain func() stored in arg to the event callback shape.
+// Boxing a func value into an interface stores its (pointer-shaped) value
+// directly, so Schedule stays allocation-free beyond the caller's closure.
+func runFunc(arg any, _ uint64) { arg.(func())() }
+
+// eventHeap is a binary min-heap ordered by (at, seq), implemented with
+// concrete sift-up/sift-down so events never round-trip through interface
+// values. The backing array is retained across pops and reused.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(event)
-	if !ok {
-		// heap.Push is only called by this package with event values;
-		// reaching this branch indicates a programming error.
-		panic(fmt.Sprintf("sim: pushed non-event %T", x))
-	}
+// push appends ev and restores the heap property.
+func (h *eventHeap) push(ev event) {
 	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
+// pop removes and returns the minimum event. The vacated slot is cleared so
+// the backing array does not retain the callback or its argument, but the
+// array itself is kept for reuse.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	ev := q[0]
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	// Sift the moved element down to its place.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
 	return ev
 }
 
@@ -93,7 +133,7 @@ func (e *Engine) Pending() int { return len(e.pq) }
 // the current cycle (after all events already scheduled for this cycle).
 func (e *Engine) Schedule(delay uint64, fn func()) {
 	e.seq++
-	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.pq.push(event{at: e.now + delay, seq: e.seq, fn: runFunc, arg: fn})
 }
 
 // ScheduleAt runs fn at absolute cycle at. Scheduling in the past is a
@@ -103,7 +143,28 @@ func (e *Engine) ScheduleAt(at uint64, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d in the past (now %d)", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+	e.pq.push(event{at: at, seq: e.seq, fn: runFunc, arg: fn})
+}
+
+// ScheduleCall runs fn(arg, tick) delay cycles from now. Unlike Schedule it
+// needs no closure: fn is typically a package-level function and arg a
+// long-lived (often pooled) object, so scheduling allocates nothing —
+// pointer-shaped args box into the event's interface field without a heap
+// allocation. tick rides along untouched; timers use it to detect stale
+// firings.
+func (e *Engine) ScheduleCall(delay uint64, fn func(arg any, tick uint64), arg any, tick uint64) {
+	e.seq++
+	e.pq.push(event{at: e.now + delay, seq: e.seq, fn: fn, arg: arg, tick: tick})
+}
+
+// ScheduleCallAt is ScheduleCall at an absolute cycle. Scheduling in the
+// past is a programming error and panics.
+func (e *Engine) ScheduleCallAt(at uint64, fn func(arg any, tick uint64), arg any, tick uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d in the past (now %d)", at, e.now))
+	}
+	e.seq++
+	e.pq.push(event{at: at, seq: e.seq, fn: fn, arg: arg, tick: tick})
 }
 
 // Step executes the next event, advancing the clock to its timestamp.
@@ -112,13 +173,10 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&e.pq).(event)
-	if !ok {
-		panic("sim: heap contained non-event")
-	}
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.events++
-	ev.fn()
+	ev.fn(ev.arg, ev.tick)
 	return true
 }
 

@@ -5,15 +5,50 @@ package sim
 // explicit queue removal is needed. This is the mechanism used for the
 // protocol's fault-detection timeouts (lost request, lost unblock, lost
 // backup deletion acknowledgment).
+//
+// Timers are designed to be embedded by value in pooled MSHR/transaction
+// entries: the zero value is ready to use after Bind, and arming schedules a
+// package-level callback through Engine.ScheduleCall carrying the *Timer
+// and the arming epoch, so neither Start nor a re-arm allocates beyond the
+// caller's fire closure. When an entry is recycled, its timer must be
+// carried over as-is (never zeroed): the epoch counter is what invalidates
+// firings still sitting in the event queue from the entry's previous life.
 type Timer struct {
 	engine *Engine
 	epoch  uint64
 	armed  bool
+	fire   func()
+	// fn/arg are the StartCall form of the callback: a package-level
+	// function plus its argument. Both are pointer-shaped, so re-arming a
+	// timer this way allocates nothing, unlike a capturing fire closure.
+	fn  func(arg any)
+	arg any
 }
 
 // NewTimer returns a stopped timer bound to engine.
 func NewTimer(engine *Engine) *Timer {
 	return &Timer{engine: engine}
+}
+
+// Bind attaches an embedded (zero-value) timer to engine. Binding an
+// already-bound timer to the same engine is a no-op, so callers may Bind
+// unconditionally before Start.
+func (t *Timer) Bind(engine *Engine) { t.engine = engine }
+
+// timerFire is the scheduled callback for every timer: it runs the stored
+// fire function only if the timer is still armed for the epoch the event
+// was scheduled under.
+func timerFire(arg any, epoch uint64) {
+	t := arg.(*Timer)
+	if t.epoch != epoch || !t.armed {
+		return
+	}
+	t.armed = false
+	if t.fn != nil {
+		t.fn(t.arg)
+		return
+	}
+	t.fire()
 }
 
 // Start arms the timer to call fire after delay cycles. Any previously armed
@@ -22,14 +57,32 @@ func NewTimer(engine *Engine) *Timer {
 func (t *Timer) Start(delay uint64, fire func()) {
 	t.epoch++
 	t.armed = true
-	epoch := t.epoch
-	t.engine.Schedule(delay, func() {
-		if t.epoch != epoch || !t.armed {
-			return
-		}
-		t.armed = false
-		fire()
-	})
+	t.fire = fire
+	t.fn, t.arg = nil, nil
+	t.engine.ScheduleCall(delay, timerFire, t, t.epoch)
+}
+
+// StartCall arms the timer to call fn(arg) after delay cycles. It is the
+// allocation-free alternative to Start for hot timers: fn is a package-level
+// function and arg is typically the pooled entry owning the timer, so no
+// closure is built per arm.
+func (t *Timer) StartCall(delay uint64, fn func(arg any), arg any) {
+	t.epoch++
+	t.armed = true
+	t.fire = nil
+	t.fn, t.arg = fn, arg
+	t.engine.ScheduleCall(delay, timerFire, t, t.epoch)
+}
+
+// Restart re-arms the timer with the fire function of the previous Start.
+// It must not be called before the first Start.
+func (t *Timer) Restart(delay uint64) {
+	if t.fire == nil && t.fn == nil {
+		panic("sim: Timer.Restart before Start")
+	}
+	t.epoch++
+	t.armed = true
+	t.engine.ScheduleCall(delay, timerFire, t, t.epoch)
 }
 
 // Stop cancels any armed firing.

@@ -23,31 +23,38 @@ import (
 //
 // It returns one error per violated line.
 func (s *System) CheckCoherence() []error {
-	views := make(map[msg.Addr][]agentView)
+	// All views go into one flat slice sorted by address (grouping runs
+	// afterwards), not a map of per-address slices: the flat slice grows
+	// geometrically, while the map costs an allocation per address. The
+	// stable sort preserves agent order within each line, which keeps error
+	// messages deterministic.
+	var views []agentView
 	for _, a := range s.agents {
 		id := a.NodeID()
 		a.InspectLines(func(v proto.LineView) {
-			views[v.Addr] = append(views[v.Addr], agentView{node: id, v: v})
+			views = append(views, agentView{node: id, v: v})
 		})
 	}
-
-	addrs := make([]msg.Addr, 0, len(views))
-	for a := range views {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	sort.SliceStable(views, func(i, j int) bool { return views[i].v.Addr < views[j].v.Addr })
 
 	expectTokens := 0
 	if s.cfg.Protocol.tokenBased() {
 		expectTokens = s.topo.Tiles
 	}
 	var errs []error
-	for _, addr := range addrs {
-		if err := checkLine(s.topo, addr, views[addr], true); err != nil {
+	for start := 0; start < len(views); {
+		addr := views[start].v.Addr
+		end := start
+		for end < len(views) && views[end].v.Addr == addr {
+			end++
+		}
+		vs := views[start:end]
+		start = end
+		if err := checkLine(s.topo, addr, vs, true); err != nil {
 			errs = append(errs, err)
 			continue
 		}
-		if err := checkTokens(addr, views[addr], expectTokens); err != nil {
+		if err := checkTokens(addr, vs, expectTokens); err != nil {
 			errs = append(errs, err)
 		}
 	}

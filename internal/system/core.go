@@ -22,13 +22,22 @@ type Core struct {
 	seq       uint64
 	completed uint64
 	done      bool
+
+	// The issue loop and completion callbacks are built once here: the core
+	// is in-order (one operation in flight), so a single prepared closure
+	// per path keeps the steady-state loop allocation-free. curAddr is the
+	// in-flight operation's line address, read by the completion callbacks.
+	curAddr msg.Addr
+	nextFn  func()
+	onRead  func(proto.AccessResult)
+	onWrite func(proto.AccessResult)
 }
 
 // NewCore builds a core bound to an L1 port and an operation stream.
 // integrity may be nil.
 func NewCore(id int, topo proto.Topology, port proto.L1Port, engine *sim.Engine,
 	thinkTime uint64, stream workload.Stream, integrity *Integrity) *Core {
-	return &Core{
+	c := &Core{
 		id:        id,
 		topo:      topo,
 		port:      port,
@@ -37,11 +46,25 @@ func NewCore(id int, topo proto.Topology, port proto.L1Port, engine *sim.Engine,
 		stream:    stream,
 		integrity: integrity,
 	}
+	c.nextFn = c.next
+	c.onRead = func(res proto.AccessResult) {
+		if c.integrity != nil {
+			c.integrity.OnCoreRead(c.id, c.curAddr, res.Version, res.Value)
+		}
+		c.completeOp()
+	}
+	c.onWrite = func(res proto.AccessResult) {
+		if c.integrity != nil {
+			c.integrity.OnCoreWrite(c.id, c.curAddr, res.Version, res.Value)
+		}
+		c.completeOp()
+	}
+	return c
 }
 
 // Start schedules the first operation.
 func (c *Core) Start() {
-	c.engine.Schedule(0, c.next)
+	c.engine.Schedule(0, c.nextFn)
 }
 
 // Done reports whether the stream is exhausted.
@@ -57,26 +80,17 @@ func (c *Core) next() {
 		return
 	}
 	addr := msg.Addr(op.Line) * msg.Addr(c.topo.LineSize)
+	c.curAddr = addr
 	if op.Write {
 		c.seq++
 		value := uint64(c.id+1)<<40 | c.seq
-		c.port.Write(addr, value, func(res proto.AccessResult) {
-			if c.integrity != nil {
-				c.integrity.OnCoreWrite(c.id, addr, res.Version, res.Value)
-			}
-			c.completeOp()
-		})
+		c.port.Write(addr, value, c.onWrite)
 		return
 	}
-	c.port.Read(addr, func(res proto.AccessResult) {
-		if c.integrity != nil {
-			c.integrity.OnCoreRead(c.id, addr, res.Version, res.Value)
-		}
-		c.completeOp()
-	})
+	c.port.Read(addr, c.onRead)
 }
 
 func (c *Core) completeOp() {
 	c.completed++
-	c.engine.Schedule(c.thinkTime, c.next)
+	c.engine.Schedule(c.thinkTime, c.nextFn)
 }

@@ -428,8 +428,10 @@ func (h *Home) handleOwnershipPing(m *msg.Message) {
 }
 
 func (h *Home) send(m *msg.Message) {
-	m.Src = h.id
-	h.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = h.id
+	h.net.Send(pm)
 }
 
 // InspectLines implements proto.Inspectable.

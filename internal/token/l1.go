@@ -134,7 +134,7 @@ func (l *L1) Read(addr msg.Addr, done func(proto.AccessResult)) {
 			Hit: true, Value: line.Payload.Value, Version: line.Payload.Version,
 			Latency: l.params.L1HitLatency,
 		}
-		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		proto.DeferResult(l.engine, l.params.L1HitLatency, done, res)
 		return
 	}
 	if e := l.mshr.Get(addr); e != nil {
@@ -162,7 +162,7 @@ func (l *L1) Write(addr msg.Addr, value uint64, done func(proto.AccessResult)) {
 			Hit: true, Value: value, Version: line.Payload.Version,
 			Latency: l.params.L1HitLatency,
 		}
-		l.engine.Schedule(l.params.L1HitLatency, func() { done(res) })
+		proto.DeferResult(l.engine, l.params.L1HitLatency, done, res)
 		return
 	}
 	if e := l.mshr.Get(addr); e != nil {
@@ -701,8 +701,10 @@ func (l *L1) setSerial(addr msg.Addr, sn msg.SerialNumber) {
 }
 
 func (l *L1) send(m *msg.Message) {
-	m.Src = l.id
-	l.net.Send(m)
+	pm := msg.NewMessage()
+	*pm = *m
+	pm.Src = l.id
+	l.net.Send(pm)
 }
 
 // InspectLines implements proto.Inspectable.

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+// TestPoolingOffGoldenIdentity proves message pooling is semantically
+// invisible: the golden faulty run must produce byte-identical event
+// exports and identical results with pooling on and with the
+// SetPooling(false) bypass (every pool Get falls through to a fresh
+// allocation, so any use-after-recycle bug changes behavior between the
+// two modes). The bypass output is also checked against the committed
+// golden file, pinning both modes to the same bytes. Runs under -race as
+// part of `make check`.
+func TestPoolingOffGoldenIdentity(t *testing.T) {
+	if !msg.PoolingEnabled() {
+		t.Skip("pooling already disabled via REPRO_NOPOOL")
+	}
+	run := func() (*Result, []byte) {
+		res, err := Run(goldenConfig(), "uniform")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jsonl bytes.Buffer
+		if err := res.WriteEventsJSONL(&jsonl); err != nil {
+			t.Fatal(err)
+		}
+		return res, jsonl.Bytes()
+	}
+
+	pooledRes, pooledOut := run()
+
+	msg.SetPooling(false)
+	defer msg.SetPooling(true)
+	bypassRes, bypassOut := run()
+
+	if !bytes.Equal(pooledOut, bypassOut) {
+		t.Fatalf("event export differs between pooling on (%d bytes) and off (%d bytes): pooled messages are leaking state across lives",
+			len(pooledOut), len(bypassOut))
+	}
+	if pooledRes.Cycles != bypassRes.Cycles || pooledRes.Messages != bypassRes.Messages ||
+		pooledRes.Dropped != bypassRes.Dropped {
+		t.Fatalf("results differ between pooling on and off: cycles %d vs %d, messages %d vs %d, dropped %d vs %d",
+			pooledRes.Cycles, bypassRes.Cycles, pooledRes.Messages, bypassRes.Messages,
+			pooledRes.Dropped, bypassRes.Dropped)
+	}
+
+	golden, err := os.ReadFile(filepath.Join("testdata", "events.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if !bytes.Equal(bypassOut, golden) {
+		t.Fatal("pooling-off export differs from testdata/events.jsonl golden")
+	}
+}

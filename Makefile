@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick serve-check
+.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick serve-check load-check
 
-check: vet build race docs-check coverage-quick serve-check
+check: vet build race docs-check coverage-quick serve-check load-check
 
 vet:
 	$(GO) vet ./...
@@ -42,14 +42,24 @@ serve-check:
 	$(GO) build -o /dev/null ./cmd/ftserve
 	$(GO) test -race ./internal/serve
 
+# load-check runs the cmd/ftload suite under the race detector (the JSON
+# report shape and the bench-line grammar are pinned there) plus one real
+# invocation of the harness against a self-served 2-shard topology.
+load-check:
+	$(GO) test -race ./cmd/ftload
+	$(GO) run ./cmd/ftload -serve 2 -clients 64 -requests 128 -workers 1 -json > /dev/null
+
 # bench regenerates every benchmark number (ns/op plus the custom paper
 # metrics, including the span-reconstructor cost and the event-emission
 # hot path with instrumentation off/on, plus the ftserve cache-key and
 # scheduler overheads) and writes them as $(BENCH_OUT) via cmd/bench2json.
+# The ftload capacity run (1000 concurrent clients against a self-served
+# 2-shard topology) appends its record to the same snapshot.
 # Override BENCH_OUT to snapshot under a different name.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/serve | tee bench.out
+	$(GO) run ./cmd/ftload -serve 2 -clients 1000 -requests 2000 -dup-ratio 0.5 -queue 1024 -bench | tee -a bench.out
 	$(GO) run ./cmd/bench2json < bench.out > $(BENCH_OUT)
 	@rm -f bench.out
 	@echo wrote $(BENCH_OUT)
@@ -57,7 +67,7 @@ bench:
 # bench-diff compares the current snapshot against the previous PR's
 # baseline, per benchmark (ns/op, B/op, allocs/op, cycles). Informational:
 # it never fails the build.
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR6.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_OUT)
 

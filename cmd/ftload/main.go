@@ -1,0 +1,401 @@
+// Command ftload drives load against an ftserve deployment and reports
+// the latency distribution, throughput, and backpressure rate — the
+// measured story behind docs/OPERATIONS.md capacity planning.
+//
+// It spawns -clients concurrent clients that together submit -requests
+// experiments. A -dup-ratio fraction of submissions is drawn from a small
+// hot pool of identical requests (exercising singleflight coalescing and
+// the content-addressed cache); the rest are unique (each varies the
+// config seed, so each is a genuine execution). Clients retry politely on
+// 429 and, with -wait (the default), follow each job to completion, so
+// reported latency is end-to-end: submit → result.
+//
+// Point it at a running deployment:
+//
+//	ftload -url http://localhost:8080 -clients 1000 -requests 2000 -dup-ratio 0.9
+//
+// or let it serve its own topology in-process (n backends sharing one
+// durable cache dir behind a router when n > 1):
+//
+//	ftload -serve 2 -clients 1000 -requests 2000 -json
+//
+// Output is a human summary by default, a JSON report with -json, or
+// `go test -bench`-shaped lines with -bench so `make bench` can feed the
+// numbers through cmd/bench2json into the BENCH_*.json snapshots.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+type options struct {
+	target   string  // base URL; empty means self-serve
+	shards   int     // self-serve topology size
+	clients  int     // concurrent clients
+	requests int     // total submissions
+	dupRatio float64 // fraction of submissions drawn from the hot pool
+	hotPool  int     // size of the duplicate pool
+	seed     int64   // schedule seed (deterministic request mix)
+	ops      int     // OpsPerCore per experiment (work per unique job)
+	wait     bool    // follow jobs to completion
+	workers  int     // self-serve: workers per backend
+	queue    int     // self-serve: queue depth per backend
+}
+
+// outcomes counts every terminal response class. Retried 429s are counted
+// once per attempt (that is the backpressure rate a client experiences),
+// but each request lands in exactly one of the other classes.
+type outcomes struct {
+	Accepted uint64 `json:"accepted"` // 202: this client triggered or joined an execution
+	Cached   uint64 `json:"cached"`   // 200: replay served from memory or disk
+	Rejected uint64 `json:"rejected"` // 429 attempts (later retried)
+	Errors   uint64 `json:"errors"`   // transport failures or unexpected statuses
+	Failed   uint64 `json:"failed"`   // jobs that finished in a non-done state
+}
+
+// quantiles is the serialized latency distribution, in microseconds.
+type quantiles struct {
+	P50  uint64  `json:"p50_us"`
+	P95  uint64  `json:"p95_us"`
+	P99  uint64  `json:"p99_us"`
+	Max  uint64  `json:"max_us"`
+	Mean float64 `json:"mean_us"`
+}
+
+// report is the JSON document ftload emits; cmd/ftload's tests pin this
+// shape and docs/OPERATIONS.md walks through reading one.
+type report struct {
+	Target     string    `json:"target"`
+	Shards     int       `json:"shards"`
+	Clients    int       `json:"clients"`
+	Requests   int       `json:"requests"`
+	DupRatio   float64   `json:"dup_ratio"`
+	UniqueJobs int       `json:"unique_jobs"`
+	Waited     bool      `json:"waited"`
+	Outcomes   outcomes  `json:"outcomes"`
+	Rate429    float64   `json:"rate_429"`
+	Latency    quantiles `json:"latency"`
+	WallMs     float64   `json:"wall_ms"`
+	Throughput float64   `json:"throughput_rps"`
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.target, "url", "", "target base URL (an ftserve backend or router); empty = self-serve")
+	flag.IntVar(&opts.shards, "serve", 1, "self-serve mode: shard count for the in-process topology (ignored with -url)")
+	flag.IntVar(&opts.clients, "clients", 100, "concurrent clients")
+	flag.IntVar(&opts.requests, "requests", 1000, "total submissions across all clients")
+	flag.Float64Var(&opts.dupRatio, "dup-ratio", 0.5, "fraction of submissions duplicated from a hot pool of -hot requests")
+	flag.IntVar(&opts.hotPool, "hot", 8, "size of the hot duplicate pool")
+	flag.Int64Var(&opts.seed, "seed", 1, "schedule seed: the request mix is a pure function of the flags and this")
+	flag.IntVar(&opts.ops, "ops", 200, "OpsPerCore per experiment (work each unique job performs)")
+	flag.BoolVar(&opts.wait, "wait", true, "follow each job to completion (end-to-end latency); false measures submission only")
+	flag.IntVar(&opts.workers, "workers", 0, "self-serve: workers per backend (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.queue, "queue", 64, "self-serve: scheduler queue depth per backend")
+	jsonOut := flag.Bool("json", false, "emit the JSON report on stdout")
+	benchOut := flag.Bool("bench", false, "emit go-bench-shaped lines (with a pkg: header) for cmd/bench2json")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	rep, err := run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftload:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *benchOut:
+		fmt.Print(benchLines(rep))
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	default:
+		fmt.Print(summary(rep))
+	}
+}
+
+// run executes one load run and returns the report. It is the whole
+// harness behind the flag parsing, so tests drive it directly.
+func run(opts options) (*report, error) {
+	if opts.clients < 1 || opts.requests < 1 || opts.hotPool < 1 {
+		return nil, fmt.Errorf("need -clients, -requests, -hot >= 1")
+	}
+	if opts.dupRatio < 0 || opts.dupRatio > 1 {
+		return nil, fmt.Errorf("-dup-ratio must be in [0,1]")
+	}
+	shards := 0 // unknown for an external target
+	if opts.target == "" {
+		target, shutdown, err := selfServe(opts)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		opts.target = target
+		shards = opts.shards
+	}
+	opts.target = strings.TrimSuffix(opts.target, "/")
+
+	bodies, unique := schedule(opts)
+
+	// One shared transport sized for the client count, so concurrency is
+	// limited by -clients, not by idle-connection churn.
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.clients,
+		MaxIdleConnsPerHost: opts.clients,
+	}}
+
+	var (
+		wg    sync.WaitGroup
+		next  = make(chan string)
+		outs  = make([]outcomes, opts.clients)
+		hists = make([]stats.Histogram, opts.clients)
+	)
+	start := time.Now()
+	for c := 0; c < opts.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for body := range next {
+				oneRequest(httpc, opts, body, &outs[c], &hists[c])
+			}
+		}(c)
+	}
+	for _, b := range bodies {
+		next <- b
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &report{
+		Target:     opts.target,
+		Shards:     shards,
+		Clients:    opts.clients,
+		Requests:   opts.requests,
+		DupRatio:   opts.dupRatio,
+		UniqueJobs: unique,
+		Waited:     opts.wait,
+		WallMs:     float64(wall.Nanoseconds()) / 1e6,
+	}
+	var hist stats.Histogram
+	for c := range outs {
+		rep.Outcomes.Accepted += outs[c].Accepted
+		rep.Outcomes.Cached += outs[c].Cached
+		rep.Outcomes.Rejected += outs[c].Rejected
+		rep.Outcomes.Errors += outs[c].Errors
+		rep.Outcomes.Failed += outs[c].Failed
+		hist.Merge(&hists[c])
+	}
+	attempts := rep.Outcomes.Accepted + rep.Outcomes.Cached + rep.Outcomes.Errors + rep.Outcomes.Rejected
+	if attempts > 0 {
+		rep.Rate429 = float64(rep.Outcomes.Rejected) / float64(attempts)
+	}
+	rep.Latency = quantiles{
+		P50:  hist.Percentile(50),
+		P95:  hist.Percentile(95),
+		P99:  hist.Percentile(99),
+		Max:  hist.Max(),
+		Mean: hist.Mean(),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		rep.Throughput = float64(opts.requests) / secs
+	}
+	return rep, nil
+}
+
+// schedule precomputes the request body for every submission: a seeded
+// mix of hot-pool duplicates and unique jobs. Same flags + same seed =
+// same schedule, so runs are comparable; unique jobs vary the experiment
+// seed, so each one is real work with its own cache key.
+func schedule(opts options) (bodies []string, unique int) {
+	body := func(seed int) string {
+		return fmt.Sprintf(`{"type":"run","quick":true,"config":{"OpsPerCore":%d,"Seed":%d}}`, opts.ops, seed)
+	}
+	rng := rand.New(rand.NewSource(opts.seed))
+	bodies = make([]string, opts.requests)
+	hotUsed := map[int]bool{}
+	nextUnique := opts.hotPool
+	for i := range bodies {
+		if rng.Float64() < opts.dupRatio {
+			s := 1 + rng.Intn(opts.hotPool)
+			hotUsed[s] = true
+			bodies[i] = body(s)
+			continue
+		}
+		nextUnique++
+		unique++
+		bodies[i] = body(nextUnique)
+	}
+	return bodies, unique + len(hotUsed)
+}
+
+// oneRequest performs a single submission end-to-end: retry through 429
+// backpressure, then (with -wait) poll the job to a terminal state. The
+// recorded latency covers the whole journey, in microseconds.
+func oneRequest(httpc *http.Client, opts options, body string, out *outcomes, hist *stats.Histogram) {
+	start := time.Now()
+	defer func() { hist.Add(uint64(time.Since(start).Microseconds())) }()
+
+	var doc struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	backoff := 2 * time.Millisecond
+	for {
+		resp, err := httpc.Post(opts.target+"/v1/experiments", "application/json", strings.NewReader(body))
+		if err != nil {
+			out.Errors++
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			out.Rejected++
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Back off and resubmit; the cap keeps the retry storm gentle
+			// without stalling the run for the server's full Retry-After.
+			time.Sleep(backoff)
+			if backoff < 64*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		switch {
+		case err != nil || doc.ID == "":
+			out.Errors++
+			return
+		case resp.StatusCode == http.StatusOK:
+			out.Cached++
+		case resp.StatusCode == http.StatusAccepted:
+			out.Accepted++
+		default:
+			out.Errors++
+			return
+		}
+		break
+	}
+	if !opts.wait || doc.State == "done" {
+		return
+	}
+	poll := 2 * time.Millisecond
+	for doc.State == "queued" || doc.State == "running" || doc.State == "" {
+		time.Sleep(poll)
+		if poll < 50*time.Millisecond {
+			poll *= 2
+		}
+		resp, err := httpc.Get(opts.target + "/v1/experiments/" + doc.ID)
+		if err != nil {
+			out.Errors++
+			return
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			out.Errors++
+			return
+		}
+	}
+	if doc.State != "done" {
+		out.Failed++
+	}
+}
+
+// selfServe stands up the documented scale-out topology in-process: n
+// backends sharing one durable cache directory, fronted by the
+// consistent-hash router when n > 1. Returns the base URL to load.
+func selfServe(opts options) (target string, shutdown func(), err error) {
+	dir, err := os.MkdirTemp("", "ftload-cache-*")
+	if err != nil {
+		return "", nil, err
+	}
+	var closers []func()
+	shutdown = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		os.RemoveAll(dir)
+	}
+	listen := func(h http.Handler) (string, error) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		srv := &http.Server{Handler: h}
+		go srv.Serve(l)
+		closers = append(closers, func() { srv.Close() })
+		return "http://" + l.Addr().String(), nil
+	}
+
+	urls := make([]string, opts.shards)
+	for i := 0; i < opts.shards; i++ {
+		o := serve.Options{Workers: opts.workers, QueueDepth: opts.queue, CacheDir: dir}
+		if opts.shards > 1 {
+			o.Shard, o.ShardCount = i, opts.shards
+		}
+		backend, err := serve.New(o)
+		if err != nil {
+			shutdown()
+			return "", nil, err
+		}
+		if urls[i], err = listen(backend.Handler()); err != nil {
+			shutdown()
+			return "", nil, err
+		}
+	}
+	if opts.shards == 1 {
+		return urls[0], shutdown, nil
+	}
+	rt, err := serve.NewRouter(urls)
+	if err != nil {
+		shutdown()
+		return "", nil, err
+	}
+	if target, err = listen(rt.Handler()); err != nil {
+		shutdown()
+		return "", nil, err
+	}
+	return target, shutdown, nil
+}
+
+// summary renders the human-readable report.
+func summary(r *report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ftload: %d requests via %d clients against %s", r.Requests, r.Clients, r.Target)
+	if r.Shards > 0 {
+		fmt.Fprintf(&b, " (self-served, %d shard(s))", r.Shards)
+	}
+	fmt.Fprintf(&b, "\n  mix: %.0f%% duplicates, %d unique jobs\n", r.DupRatio*100, r.UniqueJobs)
+	fmt.Fprintf(&b, "  outcomes: %d accepted, %d cached, %d failed, %d errors; 429 rate %.1f%%\n",
+		r.Outcomes.Accepted, r.Outcomes.Cached, r.Outcomes.Failed, r.Outcomes.Errors, r.Rate429*100)
+	fmt.Fprintf(&b, "  latency: p50<=%dus p95<=%dus p99<=%dus max=%dus\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	fmt.Fprintf(&b, "  wall: %.0fms  throughput: %.1f req/s\n", r.WallMs, r.Throughput)
+	return b.String()
+}
+
+// benchLines renders the report as `go test -bench` output so the
+// existing bench pipeline (tee bench.out | cmd/bench2json) ingests it
+// next to the real benchmarks. The pkg: header attributes the record.
+func benchLines(r *report) string {
+	name := fmt.Sprintf("BenchmarkFtload/clients=%d/shards=%d", r.Clients, r.Shards)
+	meanNs := r.Latency.Mean * 1e3 // report microsecond mean as ns/op
+	return fmt.Sprintf("pkg: repro/cmd/ftload\n%s \t%8d\t%.0f ns/op\t%8d p50-us\t%8d p99-us\t%8.1f req/s\t%8.4f 429-rate\t%8d clients\t%8d shards\n",
+		name, r.Requests, meanNs, r.Latency.P50, r.Latency.P99, r.Throughput, r.Rate429, r.Clients, r.Shards)
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// smokeOpts is the load-check configuration: small enough to finish in
+// seconds, sharded enough to cross the router.
+func smokeOpts() options {
+	return options{
+		shards:   2,
+		clients:  16,
+		requests: 48,
+		dupRatio: 0.5,
+		hotPool:  4,
+		seed:     1,
+		ops:      100,
+		wait:     true,
+		workers:  1,
+		queue:    64,
+	}
+}
+
+// TestRunSelfServeReportShape is the JSON shape pin behind `make
+// load-check`: every field docs/OPERATIONS.md teaches operators to read
+// must be present and internally consistent.
+func TestRunSelfServeReportShape(t *testing.T) {
+	rep, err := run(smokeOpts())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Shards != 2 || rep.Clients != 16 || rep.Requests != 48 {
+		t.Fatalf("report echoes wrong config: %+v", rep)
+	}
+	done := rep.Outcomes.Accepted + rep.Outcomes.Cached
+	if done+rep.Outcomes.Errors != 48 {
+		t.Fatalf("outcomes don't account for every request: %+v", rep.Outcomes)
+	}
+	if rep.Outcomes.Errors != 0 || rep.Outcomes.Failed != 0 {
+		t.Fatalf("self-serve smoke hit errors: %+v", rep.Outcomes)
+	}
+	if rep.Outcomes.Cached == 0 {
+		t.Fatal("a 50% duplicate mix produced zero cache hits")
+	}
+	if rep.UniqueJobs == 0 || rep.UniqueJobs > 48 {
+		t.Fatalf("unique_jobs = %d", rep.UniqueJobs)
+	}
+	l := rep.Latency
+	if l.P50 == 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+		t.Fatalf("latency quantiles out of order: %+v", l)
+	}
+	if rep.WallMs <= 0 || rep.Throughput <= 0 {
+		t.Fatalf("wall/throughput not positive: %+v", rep)
+	}
+
+	// The serialized shape is the contract: pin the exact key set.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	json.Unmarshal(raw, &m)
+	for _, key := range []string{
+		"target", "shards", "clients", "requests", "dup_ratio", "unique_jobs",
+		"waited", "outcomes", "rate_429", "latency", "wall_ms", "throughput_rps",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON report missing key %q", key)
+		}
+		delete(m, key)
+	}
+	for key := range m {
+		t.Errorf("JSON report has unpinned key %q — update the shape pin and docs", key)
+	}
+	for _, key := range []string{"p50_us", "p95_us", "p99_us", "max_us", "mean_us"} {
+		if !strings.Contains(string(raw), `"`+key+`"`) {
+			t.Errorf("latency object missing %q", key)
+		}
+	}
+}
+
+// TestScheduleIsDeterministicAndMixesDuplicates: same flags + seed =
+// same request schedule; the dup-ratio extremes behave as documented.
+func TestScheduleIsDeterministicAndMixesDuplicates(t *testing.T) {
+	opts := smokeOpts()
+	a, uniqueA := schedule(opts)
+	b, uniqueB := schedule(opts)
+	if len(a) != opts.requests || uniqueA != uniqueB {
+		t.Fatalf("schedule not stable: %d vs %d unique", uniqueA, uniqueB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at %d", i)
+		}
+	}
+
+	opts.dupRatio = 0
+	if _, unique := schedule(opts); unique != opts.requests {
+		t.Fatalf("dup-ratio 0: unique = %d, want %d", unique, opts.requests)
+	}
+	opts.dupRatio = 1
+	if _, unique := schedule(opts); unique > opts.hotPool {
+		t.Fatalf("dup-ratio 1: unique = %d, want <= hot pool %d", unique, opts.hotPool)
+	}
+}
+
+// TestBenchLinesMatchBench2jsonFormat pins the -bench output against the
+// exact line grammar cmd/bench2json parses (same regexp), so `make
+// bench` keeps ingesting ftload records.
+func TestBenchLinesMatchBench2jsonFormat(t *testing.T) {
+	rep := &report{
+		Clients: 1000, Shards: 2, Requests: 2000,
+		Latency:    quantiles{P50: 1200, P99: 9800, Mean: 2100.5},
+		Throughput: 845.2, Rate429: 0.012,
+	}
+	out := benchLines(rep)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || lines[0] != "pkg: repro/cmd/ftload" {
+		t.Fatalf("want pkg header + one bench line, got %q", out)
+	}
+	benchLine := regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+	m := benchLine.FindStringSubmatch(lines[1])
+	if m == nil {
+		t.Fatalf("bench line does not match the bench2json grammar: %q", lines[1])
+	}
+	fields := strings.Fields(m[3])
+	if len(fields)%2 != 0 {
+		t.Fatalf("odd value/unit list: %q", m[3])
+	}
+	units := map[string]bool{}
+	for i := 1; i < len(fields); i += 2 {
+		units[fields[i]] = true
+	}
+	for _, want := range []string{"ns/op", "p50-us", "p99-us", "req/s", "429-rate", "clients", "shards"} {
+		if !units[want] {
+			t.Errorf("bench line missing unit %q: %q", want, lines[1])
+		}
+	}
+}
+
+// TestRunRejectsBadFlags: validation happens before any server spins up.
+func TestRunRejectsBadFlags(t *testing.T) {
+	bad := smokeOpts()
+	bad.dupRatio = 1.5
+	if _, err := run(bad); err == nil {
+		t.Fatal("dup-ratio > 1 accepted")
+	}
+	bad = smokeOpts()
+	bad.clients = 0
+	if _, err := run(bad); err == nil {
+		t.Fatal("0 clients accepted")
+	}
+}

@@ -2,16 +2,24 @@
 // JSON API: a bounded worker-pool scheduler with explicit backpressure
 // (429 + Retry-After when the queue is full), a content-addressed result
 // cache keyed by the canonical hash of each fully-resolved experiment
-// configuration, and live progress streaming over SSE.
+// configuration — optionally durable on disk and shared between shards —
+// and live progress streaming over SSE.
 //
-//	ftserve -addr :8080 -workers 2 -queue 64
+//	ftserve -addr :8080 -workers 2 -queue 64 -cache-dir /var/ftserve/cache
 //
 // Submit an experiment and follow it:
 //
 //	curl -s localhost:8080/v1/experiments -d '{"type":"sweep","quick":true,"rates":[0,250,1000]}'
 //	curl -N localhost:8080/v1/experiments/<id>/events
 //
-// See docs/SERVICE.md for the API reference.
+// Scale out by running one process per shard plus a router:
+//
+//	ftserve -addr :8081 -shard 0/2 -cache-dir /var/ftserve/cache
+//	ftserve -addr :8082 -shard 1/2 -cache-dir /var/ftserve/cache
+//	ftserve -addr :8080 -router http://localhost:8081,http://localhost:8082
+//
+// See docs/SERVICE.md for the API reference and docs/OPERATIONS.md for
+// deployment topologies.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,6 +43,10 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent experiment executions (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "scheduler queue depth; beyond it submissions get 429")
 	par := flag.Int("j", 1, "Config.Parallelism per campaign (-1 = all cores); never affects results or cache keys")
+	cacheDir := flag.String("cache-dir", "", "durable result-cache directory (shared between shards); empty = in-memory only")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "durable-cache size cap in bytes; past it the LRU eviction pass runs (0 = unbounded)")
+	shard := flag.String("shard", "", "shard identity as i/n (e.g. 0/2): execute only owned job IDs, 421 otherwise")
+	router := flag.String("router", "", "comma-separated backend URLs; serve the consistent-hash router instead of a backend")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 2*time.Minute,
 		"how long a SIGINT/SIGTERM drain may take before in-flight experiments are cancelled")
 	flag.Parse()
@@ -42,12 +55,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := serve.New(serve.Options{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		Parallelism: *par,
-		RetryAfter:  2 * time.Second,
+	if *router != "" {
+		runRouter(*addr, strings.Split(*router, ","))
+		return
+	}
+
+	shardIdx, shardCount, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	srv, err := serve.New(serve.Options{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Parallelism:   *par,
+		RetryAfter:    2 * time.Second,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Shard:         shardIdx,
+		ShardCount:    shardCount,
 	})
+	if err != nil {
+		log.Fatalf("ftserve: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -55,7 +85,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("ftserve listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+	id := ""
+	if shardCount > 1 {
+		id = fmt.Sprintf(" shard=%d/%d", shardIdx, shardCount)
+	}
+	log.Printf("ftserve listening on %s (workers=%d queue=%d cache-dir=%q%s)", *addr, *workers, *queue, *cacheDir, id)
 
 	select {
 	case err := <-errc:
@@ -81,4 +115,47 @@ func main() {
 	}
 	hits, misses, rejected := srv.CacheStats()
 	log.Printf("done: cache hits=%d misses=%d rejected=%d", hits, misses, rejected)
+}
+
+// runRouter serves the consistent-hash router over the given backends
+// (in shard order: backends[i] must be the -shard i/n process).
+func runRouter(addr string, backends []string) {
+	rt, err := serve.NewRouter(backends)
+	if err != nil {
+		log.Fatalf("ftserve -router: %v", err)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ftserve router listening on %s (%d shards)", addr, len(backends))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	// The router is stateless; just let in-flight proxied requests finish.
+	httpCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		httpSrv.Close()
+	}
+}
+
+// parseShard parses "" (unsharded) or "i/n" with 0 ≤ i < n.
+func parseShard(s string) (shard, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &shard, &count); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n, e.g. 0/2", s)
+	}
+	if count < 1 || shard < 0 || shard >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < n", s)
+	}
+	return shard, count, nil
 }

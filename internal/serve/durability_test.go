@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// The durable-cache e2e suite: results computed before a server dies are
+// served after a restart on the same -cache-dir — byte-identical, with
+// zero re-executions (the cache-miss counter, not wall-clock, is the
+// oracle) — corrupt entries are quarantined, and shard ownership gates
+// executions but never cached replays.
+
+const tracedRun = `{"type":"run","quick":true,"config":{"OpsPerCore":200,"RecordEvents":true,"RecordSpans":true}}`
+
+// getBody fetches a URL and returns status and body bytes.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+func TestRestartServesFromDiskByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// First server: compute the result, then die.
+	_, ts1 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, doc, _ := postJSON(t, ts1, tracedRun)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	final := waitState(t, ts1, doc.ID, stateDone)
+	traces := map[string][]byte{}
+	for _, format := range []string{"jsonl", "chrome", "spans"} {
+		code, body := getBody(t, ts1.URL+"/v1/experiments/"+doc.ID+"/trace?format="+format)
+		if code != http.StatusOK {
+			t.Fatalf("trace %s on live server: status %d", format, code)
+		}
+		traces[format] = body
+	}
+	ts1.Close() // "kill" the first server (its jobs map dies with it)
+
+	// Second server, same cache directory, cold memory. The worker gate
+	// turns any accidental execution into a test failure: the replay must
+	// come from disk alone.
+	opts := Options{Workers: 1, CacheDir: dir}
+	opts.beforeRun = func(j *job) { t.Errorf("restart replay executed job %s", j.id) }
+	s2, ts2 := newTestServer(t, opts)
+
+	code, doc2, _ := postJSON(t, ts2, tracedRun)
+	if code != http.StatusOK {
+		t.Fatalf("replay POST: status %d, want 200", code)
+	}
+	if !doc2.Cached || doc2.State != stateDone {
+		t.Fatalf("replay: cached=%v state=%s", doc2.Cached, doc2.State)
+	}
+	if doc2.ID != doc.ID {
+		t.Fatalf("cache key changed across restart: %s vs %s", doc2.ID, doc.ID)
+	}
+	if !bytes.Equal(doc2.Result, final.Result) {
+		t.Fatal("replayed result bytes differ from the pre-restart result")
+	}
+	hits, misses, _ := s2.CacheStats()
+	if misses != 0 || hits != 1 {
+		t.Fatalf("restart replay: hits=%d misses=%d, want 1/0 (zero executions)", hits, misses)
+	}
+	if diskHits, quarantined, _ := s2.met.diskSnapshot(); diskHits != 1 || quarantined != 0 {
+		t.Fatalf("diskHits=%d quarantined=%d, want 1/0", diskHits, quarantined)
+	}
+
+	// Trace exports survive the restart byte-identically too.
+	for format, want := range traces {
+		code, body := getBody(t, ts2.URL+"/v1/experiments/"+doc.ID+"/trace?format="+format)
+		if code != http.StatusOK {
+			t.Fatalf("trace %s after restart: status %d", format, code)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("trace %s differs after restart", format)
+		}
+	}
+
+	// A plain GET (not just POST) also faults the entry in on a third
+	// cold server.
+	_, ts3 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, doc3 := getStatus(t, ts3, doc.ID)
+	if code != http.StatusOK || doc3.State != stateDone || !bytes.Equal(doc3.Result, final.Result) {
+		t.Fatalf("GET after restart: code=%d state=%s identical=%v", code, doc3.State, bytes.Equal(doc3.Result, final.Result))
+	}
+}
+
+func TestRestartAfterShutdownDrain(t *testing.T) {
+	// Same story through the graceful path: Shutdown (as the binary's
+	// signal handler runs it) must leave a complete entry behind.
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, doc, _ := postJSON(t, ts1, `{"type":"sweep","quick":true,"rates":[0,100],"config":{"OpsPerCore":200}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	final := waitState(t, ts1, doc.ID, stateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, doc2, _ := postJSON(t, ts2, `{"type":"sweep","quick":true,"rates":[0,100],"config":{"OpsPerCore":200}}`)
+	if code != http.StatusOK || !bytes.Equal(doc2.Result, final.Result) {
+		t.Fatalf("sweep replay after drain: code=%d identical=%v", code, bytes.Equal(doc2.Result, final.Result))
+	}
+	if _, misses, _ := s2.CacheStats(); misses != 0 {
+		t.Fatalf("misses=%d after restart, want 0", misses)
+	}
+}
+
+func TestCorruptEntryQuarantinedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, doc, _ := postJSON(t, ts1, quickRun)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	final := waitState(t, ts1, doc.ID, stateDone)
+	ts1.Close()
+
+	// Truncate the entry to simulate a torn disk.
+	store, err := newDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := store.entryPath(doc.ID)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, doc2, _ := postJSON(t, ts2, quickRun)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST over corrupt entry: status %d, want 202 (fresh execution)", code)
+	}
+	if _, quarantined, _ := s2.met.diskSnapshot(); quarantined != 1 {
+		t.Fatalf("quarantined=%d, want 1", quarantined)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt entry not preserved for postmortem: %v", err)
+	}
+	refreshed := waitState(t, ts2, doc2.ID, stateDone)
+	if !bytes.Equal(refreshed.Result, final.Result) {
+		t.Fatal("recomputed result differs from the original (determinism broken)")
+	}
+	// The recomputation healed the store: a third server replays from disk.
+	ts2.Close()
+	s3, ts3 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	if code, _, _ := postJSON(t, ts3, quickRun); code != http.StatusOK {
+		t.Fatalf("replay after heal: status %d, want 200", code)
+	}
+	if _, misses, _ := s3.CacheStats(); misses != 0 {
+		t.Fatalf("misses=%d after heal, want 0", misses)
+	}
+}
+
+// shardedBodies returns two request bodies whose job IDs land on shard 0
+// and shard 1 of a 2-shard topology, found by varying the seed.
+func shardedBodies(t *testing.T) (own0, own1 string) {
+	t.Helper()
+	bodies := [2]string{}
+	for seed := 1; seed < 64 && (bodies[0] == "" || bodies[1] == ""); seed++ {
+		body := `{"type":"run","quick":true,"config":{"OpsPerCore":200,"Seed":` + itoa(seed) + `}}`
+		shard := ShardOf(mustKey(t, body), 2)
+		if bodies[shard] == "" {
+			bodies[shard] = body
+		}
+	}
+	if bodies[0] == "" || bodies[1] == "" {
+		t.Fatal("could not find bodies for both shards")
+	}
+	return bodies[0], bodies[1]
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestShardOwnershipGatesExecutionNotReplay(t *testing.T) {
+	own0, own1 := shardedBodies(t)
+	dir := t.TempDir()
+
+	s0, ts0 := newTestServer(t, Options{Workers: 1, CacheDir: dir, Shard: 0, ShardCount: 2})
+
+	// Owned job: executes normally.
+	code, doc, _ := postJSON(t, ts0, own0)
+	if code != http.StatusAccepted {
+		t.Fatalf("owned POST: status %d", code)
+	}
+	waitState(t, ts0, doc.ID, stateDone)
+
+	// Misdirected job: refused with 421 naming the owner, nothing cached.
+	resp, err := http.Post(ts0.URL+"/v1/experiments", "application/json", bytes.NewReader([]byte(own1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var misdirect struct {
+		Error      string `json:"error"`
+		Shard      int    `json:"shard"`
+		ShardCount int    `json:"shard_count"`
+	}
+	if decodeErr := decodeJSONBody(resp.Body, &misdirect); decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misdirected POST: status %d, want 421", resp.StatusCode)
+	}
+	if misdirect.Shard != 1 || misdirect.ShardCount != 2 {
+		t.Fatalf("421 doc names shard %d/%d, want 1/2", misdirect.Shard, misdirect.ShardCount)
+	}
+
+	// Let the owning shard compute it into the shared store...
+	s1srv, ts1 := newTestServer(t, Options{Workers: 1, CacheDir: dir, Shard: 1, ShardCount: 2})
+	code, doc1, _ := postJSON(t, ts1, own1)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST on owner: status %d", code)
+	}
+	final := waitState(t, ts1, doc1.ID, stateDone)
+	_ = s1srv
+
+	// ...and now the non-owner replays it from disk: cached results are
+	// served from any shard.
+	code, replay, _ := postJSON(t, ts0, own1)
+	if code != http.StatusOK || !bytes.Equal(replay.Result, final.Result) {
+		t.Fatalf("cross-shard replay: code=%d identical=%v", code, bytes.Equal(replay.Result, final.Result))
+	}
+	if _, misses, _ := s0.CacheStats(); misses != 1 {
+		t.Fatalf("shard 0 misses=%d, want 1 (only its own job)", misses)
+	}
+}
+
+// TestShardedHealthAndMetricsIdentity: /healthz and /metrics carry the
+// shard identity.
+func TestShardedHealthAndMetricsIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Shard: 1, ShardCount: 3})
+	code, body := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK || string(body) != "ok shard=1/3\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{"ftserve_shard_index 1", "ftserve_shard_count 3"} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -167,6 +167,7 @@ type job struct {
 	result   json.RawMessage // canonical result bytes, set once on success
 	errMsg   string
 	res      *repro.Result // retained for /trace on single-run experiments
+	exports  *traceExports // /trace bytes for jobs loaded from the disk store
 	cancel   func()        // cancels this job's context (forced shutdown)
 
 	// done is closed when the job reaches a terminal state.
@@ -184,6 +185,88 @@ func newJob(id string, req *resolved, now time.Time) *job {
 	}
 }
 
+// traceExports holds the rendered /trace payloads of a finished run:
+// written into the disk-store envelope at completion, and carried by jobs
+// reconstructed from one (whose live *repro.Result no longer exists).
+type traceExports struct {
+	eventsJSONL []byte
+	chromeTrace []byte
+	spansJSONL  []byte
+}
+
+// jobFromEnvelope reconstructs a terminal job from a durable-store entry:
+// already done, result bytes attached, trace exports (if any) servable.
+// The resolved request is not persisted — only the fields the status
+// document needs are — so req carries just type and workload.
+func jobFromEnvelope(env *envelope) *job {
+	j := &job{
+		id:       env.ID,
+		req:      &resolved{Type: env.Type, Workload: env.Workload},
+		state:    stateDone,
+		created:  env.Created,
+		started:  env.Started,
+		finished: env.Finished,
+		result:   env.Result,
+		subs:     make(map[chan runner.Snapshot]struct{}),
+		done:     make(chan struct{}),
+	}
+	if len(env.EventsJSONL) > 0 || len(env.ChromeTrace) > 0 || len(env.SpansJSONL) > 0 {
+		j.exports = &traceExports{
+			eventsJSONL: env.EventsJSONL,
+			chromeTrace: env.ChromeTrace,
+			spansJSONL:  env.SpansJSONL,
+		}
+	}
+	close(j.done)
+	return j
+}
+
+// envelope renders a done job into its durable-store form.
+func (j *job) envelope() *envelope {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	env := &envelope{
+		ID:       j.id,
+		Type:     j.req.Type,
+		Workload: j.req.Workload,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Result:   j.result,
+	}
+	if j.exports != nil {
+		env.EventsJSONL = j.exports.eventsJSONL
+		env.ChromeTrace = j.exports.chromeTrace
+		env.SpansJSONL = j.exports.spansJSONL
+	}
+	return env
+}
+
+// renderExports pre-renders the trace exports of a completed run result,
+// so they survive in the durable store. Returns nil when the run retained
+// neither events nor spans (the common case).
+func renderExports(res *repro.Result) *traceExports {
+	if res == nil {
+		return nil
+	}
+	var exp traceExports
+	if len(res.Events()) > 0 {
+		var ev, ch bytes.Buffer
+		res.WriteEventsJSONL(&ev)
+		res.WriteChromeTrace(&ch)
+		exp.eventsJSONL, exp.chromeTrace = ev.Bytes(), ch.Bytes()
+	}
+	if len(res.Spans()) > 0 {
+		var sp bytes.Buffer
+		res.WriteSpansJSONL(&sp)
+		exp.spansJSONL = sp.Bytes()
+	}
+	if exp.eventsJSONL == nil && exp.spansJSONL == nil {
+		return nil
+	}
+	return &exp
+}
+
 // start transitions queued → running.
 func (j *job) start(now time.Time, cancel func()) {
 	j.mu.Lock()
@@ -193,15 +276,16 @@ func (j *job) start(now time.Time, cancel func()) {
 	j.cancel = cancel
 }
 
-// finish records the terminal state and wakes every waiter. resultJSON and
-// res are only set on success; errMsg only on failure.
-func (j *job) finish(now time.Time, state string, resultJSON json.RawMessage, res *repro.Result, errMsg string) {
+// finish records the terminal state and wakes every waiter. resultJSON,
+// res and exports are only set on success; errMsg only on failure.
+func (j *job) finish(now time.Time, state string, resultJSON json.RawMessage, res *repro.Result, exports *traceExports, errMsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = state
 	j.finished = now
 	j.result = resultJSON
 	j.res = res
+	j.exports = exports
 	j.errMsg = errMsg
 	j.cancel = nil
 	close(j.done)
@@ -259,6 +343,7 @@ type statusDoc struct {
 	Workload string           `json:"workload"`
 	State    string           `json:"state"`
 	Cached   bool             `json:"cached,omitempty"`
+	Shard    *int             `json:"shard,omitempty"` // set by the router's merged list
 	Created  time.Time        `json:"created"`
 	Started  *time.Time       `json:"started,omitempty"`
 	Finished *time.Time       `json:"finished,omitempty"`
@@ -313,16 +398,25 @@ func (j *job) cancelRun() {
 	}
 }
 
-// traceResult returns the retained Result for trace export, or an error
-// explaining why none is available.
-func (j *job) traceResult() (*repro.Result, error) {
+// traceData returns the retained Result (live jobs) or the pre-rendered
+// exports (jobs loaded from the disk store) for trace export, or an error
+// explaining why neither is available. At most one of the returns is
+// non-nil on success.
+func (j *job) traceData() (*repro.Result, *traceExports, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch {
 	case j.state != stateDone:
-		return nil, fmt.Errorf("experiment %s is %s; traces are available once it is done", j.id, j.state)
-	case j.res == nil:
-		return nil, fmt.Errorf("traces are only available for type \"run\" experiments (this is %q)", j.req.Type)
+		return nil, nil, fmt.Errorf("experiment %s is %s; traces are available once it is done", j.id, j.state)
+	case j.res != nil:
+		return j.res, nil, nil
+	case j.exports != nil:
+		return nil, j.exports, nil
+	case j.req.Type == "run":
+		// A run that retained nothing, or one reloaded from a store entry
+		// written without exports: the handler reports the per-format
+		// "nothing retained" conflict.
+		return nil, &traceExports{}, nil
 	}
-	return j.res, nil
+	return nil, nil, fmt.Errorf("traces are only available for type \"run\" experiments (this is %q)", j.req.Type)
 }

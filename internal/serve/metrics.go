@@ -18,9 +18,17 @@ type metrics struct {
 	mu          sync.Mutex
 	cacheHits   uint64
 	cacheMisses uint64
-	rejected    uint64                      // 429s: queue-full submissions turned away
-	executed    map[string]uint64           // finished executions by terminal state
-	latency     map[string]*stats.Histogram // wall latency (ms) by experiment type
+	rejected    uint64 // 429s: queue-full submissions turned away
+	misdirected uint64 // 421s: submissions owned by another shard
+
+	// Durable-store counters (all zero when no -cache-dir is set).
+	diskHits    uint64 // lookups served by loading an entry from disk
+	quarantined uint64 // corrupt entries renamed to *.corrupt
+	evictions   uint64 // entries removed by the size-cap LRU pass
+	storeErrors uint64 // failed spills/loads (the job still serves from memory)
+
+	executed map[string]uint64           // finished executions by terminal state
+	latency  map[string]*stats.Histogram // wall latency (ms) by experiment type
 }
 
 func newMetrics() *metrics {
@@ -48,6 +56,36 @@ func (m *metrics) reject() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) misdirect() {
+	m.mu.Lock()
+	m.misdirected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) diskHit() {
+	m.mu.Lock()
+	m.diskHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) quarantine() {
+	m.mu.Lock()
+	m.quarantined++
+	m.mu.Unlock()
+}
+
+func (m *metrics) evict(n int) {
+	m.mu.Lock()
+	m.evictions += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) storeError() {
+	m.mu.Lock()
+	m.storeErrors++
+	m.mu.Unlock()
+}
+
 // observe records one finished execution.
 func (m *metrics) observe(expType, state string, wall time.Duration) {
 	m.mu.Lock()
@@ -72,12 +110,28 @@ func (m *metrics) snapshot() (hits, misses, rejected uint64) {
 	return m.cacheHits, m.cacheMisses, m.rejected
 }
 
-// render writes the Prometheus text format. jobsByState counts the jobs
-// the server currently tracks; queueDepth/queueCap/running describe the
-// scheduler.
-func (m *metrics) render(w io.Writer, jobsByState map[string]int, queueDepth, queueCap, running int) {
+// diskSnapshot returns the durable-store counters.
+func (m *metrics) diskSnapshot() (diskHits, quarantined, evictions uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.diskHits, m.quarantined, m.evictions
+}
+
+// renderInfo carries the point-in-time gauges render needs alongside the
+// metrics' own counters.
+type renderInfo struct {
+	jobsByState          map[string]int // jobs the server currently tracks
+	queueDepth, queueCap int
+	running              int   // workers executing right now
+	shard, shardCount    int   // shard identity (0/1 when unsharded)
+	diskBytes            int64 // live bytes in the durable store; -1 = no store
+}
+
+// render writes the Prometheus text format.
+func (m *metrics) render(w io.Writer, info renderInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jobsByState := info.jobsByState
 
 	fmt.Fprintln(w, "# HELP ftserve_jobs Experiment jobs tracked by the server, by state.")
 	fmt.Fprintln(w, "# TYPE ftserve_jobs gauge")
@@ -87,13 +141,24 @@ func (m *metrics) render(w io.Writer, jobsByState map[string]int, queueDepth, qu
 
 	fmt.Fprintln(w, "# HELP ftserve_queue_depth Jobs waiting in the scheduler queue.")
 	fmt.Fprintln(w, "# TYPE ftserve_queue_depth gauge")
-	fmt.Fprintf(w, "ftserve_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "ftserve_queue_depth %d\n", info.queueDepth)
 	fmt.Fprintln(w, "# HELP ftserve_queue_capacity Scheduler queue capacity.")
 	fmt.Fprintln(w, "# TYPE ftserve_queue_capacity gauge")
-	fmt.Fprintf(w, "ftserve_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(w, "ftserve_queue_capacity %d\n", info.queueCap)
 	fmt.Fprintln(w, "# HELP ftserve_workers_busy Workers currently executing a job.")
 	fmt.Fprintln(w, "# TYPE ftserve_workers_busy gauge")
-	fmt.Fprintf(w, "ftserve_workers_busy %d\n", running)
+	fmt.Fprintf(w, "ftserve_workers_busy %d\n", info.running)
+
+	fmt.Fprintln(w, "# HELP ftserve_shard_index This server's shard index (0 when unsharded).")
+	fmt.Fprintln(w, "# TYPE ftserve_shard_index gauge")
+	fmt.Fprintf(w, "ftserve_shard_index %d\n", info.shard)
+	fmt.Fprintln(w, "# HELP ftserve_shard_count Total shards in the topology (1 when unsharded).")
+	fmt.Fprintln(w, "# TYPE ftserve_shard_count gauge")
+	count := info.shardCount
+	if count < 1 {
+		count = 1
+	}
+	fmt.Fprintf(w, "ftserve_shard_count %d\n", count)
 
 	fmt.Fprintln(w, "# HELP ftserve_cache_hits_total Submissions served from the content-addressed cache (or coalesced onto an in-flight run).")
 	fmt.Fprintln(w, "# TYPE ftserve_cache_hits_total counter")
@@ -104,6 +169,27 @@ func (m *metrics) render(w io.Writer, jobsByState map[string]int, queueDepth, qu
 	fmt.Fprintln(w, "# HELP ftserve_rejected_total Submissions rejected with 429 because the queue was full.")
 	fmt.Fprintln(w, "# TYPE ftserve_rejected_total counter")
 	fmt.Fprintf(w, "ftserve_rejected_total %d\n", m.rejected)
+	fmt.Fprintln(w, "# HELP ftserve_misdirected_total Submissions answered 421 because another shard owns the job ID.")
+	fmt.Fprintln(w, "# TYPE ftserve_misdirected_total counter")
+	fmt.Fprintf(w, "ftserve_misdirected_total %d\n", m.misdirected)
+
+	fmt.Fprintln(w, "# HELP ftserve_cache_disk_hits_total Lookups served by loading a durable-store entry from disk.")
+	fmt.Fprintln(w, "# TYPE ftserve_cache_disk_hits_total counter")
+	fmt.Fprintf(w, "ftserve_cache_disk_hits_total %d\n", m.diskHits)
+	fmt.Fprintln(w, "# HELP ftserve_cache_disk_quarantined_total Corrupt durable-store entries quarantined (renamed to *.corrupt).")
+	fmt.Fprintln(w, "# TYPE ftserve_cache_disk_quarantined_total counter")
+	fmt.Fprintf(w, "ftserve_cache_disk_quarantined_total %d\n", m.quarantined)
+	fmt.Fprintln(w, "# HELP ftserve_cache_disk_evictions_total Durable-store entries removed by the size-cap LRU pass.")
+	fmt.Fprintln(w, "# TYPE ftserve_cache_disk_evictions_total counter")
+	fmt.Fprintf(w, "ftserve_cache_disk_evictions_total %d\n", m.evictions)
+	fmt.Fprintln(w, "# HELP ftserve_cache_disk_errors_total Durable-store spill/load failures (served from memory instead).")
+	fmt.Fprintln(w, "# TYPE ftserve_cache_disk_errors_total counter")
+	fmt.Fprintf(w, "ftserve_cache_disk_errors_total %d\n", m.storeErrors)
+	if info.diskBytes >= 0 {
+		fmt.Fprintln(w, "# HELP ftserve_cache_disk_bytes Live bytes in the durable store.")
+		fmt.Fprintln(w, "# TYPE ftserve_cache_disk_bytes gauge")
+		fmt.Fprintf(w, "ftserve_cache_disk_bytes %d\n", info.diskBytes)
+	}
 
 	fmt.Fprintln(w, "# HELP ftserve_executions_total Finished executions by terminal state.")
 	fmt.Fprintln(w, "# TYPE ftserve_executions_total counter")

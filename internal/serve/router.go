@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Router is the thin front of a sharded ftserve deployment: it resolves
+// each submission exactly like a backend would, hashes the resulting job
+// ID with ShardOf, and proxies the request to the owning shard — so
+// duplicate submissions arriving anywhere in the topology still coalesce
+// onto one executor, while reads (status, SSE, traces) follow the same
+// mapping. The router holds no job state of its own; killing and
+// restarting it loses nothing.
+//
+// Requests the router cannot attribute to a shard from the URL alone
+// (the experiment list) fan out to every backend and merge. /metrics and
+// /healthz are the router's own, aggregating backend health.
+type Router struct {
+	backends []*url.URL
+	mux      *http.ServeMux
+	// proxy streams indefinitely (SSE); probe enforces a short deadline
+	// for health checks.
+	proxy *http.Client
+	probe *http.Client
+
+	mu       sync.Mutex
+	routed   []uint64 // proxied requests per backend
+	fanouts  uint64   // list requests fanned out to all backends
+	proxyErr uint64   // upstream failures answered 502
+}
+
+// NewRouter builds a Router over the given backend base URLs, in shard
+// order: backends[i] must be the ftserve process started with -shard i/n.
+func NewRouter(backends []string) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("router needs at least one backend")
+	}
+	rt := &Router{
+		mux:    http.NewServeMux(),
+		proxy:  &http.Client{},
+		probe:  &http.Client{Timeout: 5 * time.Second},
+		routed: make([]uint64, len(backends)),
+	}
+	for _, b := range backends {
+		u, err := url.Parse(strings.TrimSuffix(b, "/"))
+		if err != nil {
+			return nil, fmt.Errorf("backend %q: %w", b, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("backend %q: need an absolute http(s) URL", b)
+		}
+		rt.backends = append(rt.backends, u)
+	}
+	rt.mux.HandleFunc("POST /v1/experiments", rt.handleSubmit)
+	rt.mux.HandleFunc("GET /v1/experiments", rt.handleList)
+	rt.mux.HandleFunc("GET /v1/experiments/{id}", rt.handleByID)
+	rt.mux.HandleFunc("GET /v1/experiments/{id}/events", rt.handleByID)
+	rt.mux.HandleFunc("GET /v1/experiments/{id}/trace", rt.handleByID)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// handleSubmit resolves the body to its job ID — the router shares the
+// backends' resolver, so it computes the same canonical hash — and proxies
+// to the owning shard.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	req, err := resolveRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := req.key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("hashing request: %v", err))
+		return
+	}
+	rt.forward(w, r, ShardOf(key, len(rt.backends)), strings.NewReader(string(body)))
+}
+
+// handleByID proxies status, SSE and trace reads to the shard owning the
+// job ID in the path.
+func (rt *Router) handleByID(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, ShardOf(r.PathValue("id"), len(rt.backends)), nil)
+}
+
+// forward proxies the request to backends[shard], streaming the response
+// through with per-chunk flushes so SSE progress events arrive live.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard int, body io.Reader) {
+	rt.mu.Lock()
+	rt.routed[shard]++
+	rt.mu.Unlock()
+
+	target := *rt.backends[shard]
+	target.Path = r.URL.Path
+	target.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), body)
+	if err != nil {
+		rt.upstreamError(w, shard, err)
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.proxy.Do(req)
+	if err != nil {
+		rt.upstreamError(w, shard, err)
+		return
+	}
+	defer resp.Body.Close()
+
+	for _, h := range []string{"Content-Type", "Location", "Retry-After", "Cache-Control"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (rt *Router) upstreamError(w http.ResponseWriter, shard int, err error) {
+	rt.mu.Lock()
+	rt.proxyErr++
+	rt.mu.Unlock()
+	writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d unreachable: %v", shard, err))
+}
+
+// handleList fans the experiment list out to every backend and merges the
+// arrays in shard order. A dead backend degrades the list rather than
+// failing it; its absence is visible in /healthz.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	rt.fanouts++
+	rt.mu.Unlock()
+
+	type listDoc struct {
+		Experiments []statusDoc `json:"experiments"`
+	}
+	merged := listDoc{Experiments: []statusDoc{}}
+	for i, b := range rt.backends {
+		func() {
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.String()+"/v1/experiments", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.probe.Do(req)
+			if err != nil {
+				rt.mu.Lock()
+				rt.proxyErr++
+				rt.mu.Unlock()
+				return
+			}
+			defer resp.Body.Close()
+			var doc listDoc
+			if decodeJSONBody(resp.Body, &doc) == nil {
+				for j := range doc.Experiments {
+					doc.Experiments[j].Shard = intPtr(i)
+				}
+				merged.Experiments = append(merged.Experiments, doc.Experiments...)
+			}
+		}()
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleHealthz probes every backend; the router is healthy only when all
+// shards are.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var down []string
+	for i, b := range rt.backends {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.String()+"/healthz", nil)
+		if err != nil {
+			down = append(down, fmt.Sprintf("shard %d: %v", i, err))
+			continue
+		}
+		resp, err := rt.probe.Do(req)
+		if err != nil {
+			down = append(down, fmt.Sprintf("shard %d: %v", i, err))
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			down = append(down, fmt.Sprintf("shard %d: status %d", i, resp.StatusCode))
+		}
+	}
+	if len(down) > 0 {
+		http.Error(w, "degraded: "+strings.Join(down, "; "), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintf(w, "ok router shards=%d\n", len(rt.backends))
+}
+
+// handleMetrics serves the router's own counters (backends export their
+// own /metrics each).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	routed := append([]uint64(nil), rt.routed...)
+	fanouts, proxyErr := rt.fanouts, rt.proxyErr
+	rt.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintln(w, "# HELP ftrouter_backends Backends (shards) this router fronts.")
+	fmt.Fprintln(w, "# TYPE ftrouter_backends gauge")
+	fmt.Fprintf(w, "ftrouter_backends %d\n", len(rt.backends))
+	fmt.Fprintln(w, "# HELP ftrouter_requests_total Requests proxied, by owning shard.")
+	fmt.Fprintln(w, "# TYPE ftrouter_requests_total counter")
+	for i, n := range routed {
+		fmt.Fprintf(w, "ftrouter_requests_total{shard=\"%d\"} %d\n", i, n)
+	}
+	fmt.Fprintln(w, "# HELP ftrouter_fanouts_total List requests fanned out to every backend.")
+	fmt.Fprintln(w, "# TYPE ftrouter_fanouts_total counter")
+	fmt.Fprintf(w, "ftrouter_fanouts_total %d\n", fanouts)
+	fmt.Fprintln(w, "# HELP ftrouter_proxy_errors_total Upstream failures answered 502.")
+	fmt.Fprintln(w, "# TYPE ftrouter_proxy_errors_total counter")
+	fmt.Fprintf(w, "ftrouter_proxy_errors_total %d\n", proxyErr)
+}
+
+func intPtr(v int) *int { return &v }
+
+// decodeJSONBody decodes a JSON response body.
+func decodeJSONBody(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

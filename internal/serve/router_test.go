@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// newTestTopology builds the 2-shard deployment the docs describe: two
+// backend servers sharing one durable cache directory, fronted by a
+// router. Returns the router frontend plus the backends (for their
+// counters).
+func newTestTopology(t *testing.T, shards int) (*httptest.Server, []*Server) {
+	t.Helper()
+	dir := t.TempDir()
+	backends := make([]*Server, shards)
+	urls := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		s, ts := newTestServer(t, Options{Workers: 1, CacheDir: dir, Shard: i, ShardCount: shards})
+		backends[i] = s
+		urls[i] = ts.URL
+	}
+	rt, err := NewRouter(urls)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return front, backends
+}
+
+// TestRouterCrossShardCoalescing is the sharded version of the headline
+// cache test: duplicates submitted concurrently through the router all
+// land on the one owning shard and execute exactly once across the whole
+// topology.
+func TestRouterCrossShardCoalescing(t *testing.T) {
+	front, backends := newTestTopology(t, 2)
+	body := `{"type":"sweep","quick":true,"rates":[0,100],"config":{"OpsPerCore":200}}`
+
+	const callers = 8
+	ids := make([]string, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(front.URL+"/v1/experiments", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			var doc statusDoc
+			json.NewDecoder(resp.Body).Decode(&doc)
+			ids[i] = doc.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("caller %d routed to a different job: %s vs %s", i, ids[i], ids[0])
+		}
+	}
+
+	// Exactly one execution across every shard.
+	var totalMisses uint64
+	for _, b := range backends {
+		_, misses, _ := b.CacheStats()
+		totalMisses += misses
+	}
+	if totalMisses != 1 {
+		t.Fatalf("topology-wide misses = %d, want exactly 1", totalMisses)
+	}
+	owner := ShardOf(ids[0], 2)
+	if _, ownerMisses, _ := backends[owner].CacheStats(); ownerMisses != 1 {
+		t.Fatalf("owning shard %d misses = %d, want 1", owner, ownerMisses)
+	}
+
+	// Reads through the router reach the job wherever it lives.
+	waitState(t, front, ids[0], stateDone)
+	_, first := getStatus(t, front, ids[0])
+	if len(first.Result) == 0 {
+		t.Fatal("router GET returned no result")
+	}
+	// Replay through the router: 200 + identical bytes.
+	code, replay, _ := postJSON(t, front, body)
+	if code != http.StatusOK || !bytes.Equal(replay.Result, first.Result) {
+		t.Fatalf("replay via router: code=%d identical=%v", code, bytes.Equal(replay.Result, first.Result))
+	}
+}
+
+// TestRouterSpreadsJobsToOwningShards: jobs with different keys execute
+// on their respective owners.
+func TestRouterSpreadsJobsToOwningShards(t *testing.T) {
+	front, backends := newTestTopology(t, 2)
+	own0, own1 := shardedBodies(t)
+
+	for _, body := range []string{own0, own1} {
+		code, doc, _ := postJSON(t, front, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST: status %d", code)
+		}
+		waitState(t, front, doc.ID, stateDone)
+	}
+	for i, b := range backends {
+		if _, misses, _ := b.CacheStats(); misses != 1 {
+			t.Fatalf("shard %d misses = %d, want 1 (one owned job each)", i, misses)
+		}
+	}
+
+	// The merged list sees both jobs, each labelled with its shard.
+	resp, err := http.Get(front.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Experiments []statusDoc `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Experiments) != 2 {
+		t.Fatalf("merged list has %d entries, want 2", len(list.Experiments))
+	}
+	for _, doc := range list.Experiments {
+		if doc.Shard == nil || *doc.Shard != ShardOf(doc.ID, 2) {
+			t.Fatalf("list entry %s shard label %v, want %d", doc.ID, doc.Shard, ShardOf(doc.ID, 2))
+		}
+	}
+}
+
+// TestRouterStreamsSSE: the events stream passes through the router with
+// live flushing and ends with the done event.
+func TestRouterStreamsSSE(t *testing.T) {
+	front, _ := newTestTopology(t, 2)
+	code, doc, _ := postJSON(t, front, `{"type":"sweep","quick":true,"rates":[0,50,100],"config":{"OpsPerCore":200}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	resp, err := http.Get(front.URL + "/v1/experiments/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	events := readSSE(resp.Body)
+	if len(events) == 0 || events[len(events)-1].name != "done" {
+		t.Fatalf("stream via router ended without done: %v", events)
+	}
+	var final statusDoc
+	if err := json.Unmarshal([]byte(events[len(events)-1].data), &final); err != nil || final.State != stateDone {
+		t.Fatalf("done payload state=%s err=%v", final.State, err)
+	}
+}
+
+func TestRouterHealthAndMetrics(t *testing.T) {
+	front, _ := newTestTopology(t, 2)
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(raw) != "ok router shards=2\n" {
+		t.Fatalf("router healthz = %d %q", resp.StatusCode, raw)
+	}
+
+	postJSON(t, front, quickRun)
+	resp, err = http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{"ftrouter_backends 2", "ftrouter_requests_total{shard="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("router metrics missing %q", want)
+		}
+	}
+}
+
+// TestRouterReportsDeadBackend: health degrades to 503 naming the dead
+// shard; submissions owned by it answer 502.
+func TestRouterReportsDeadBackend(t *testing.T) {
+	dir := t.TempDir()
+	s0, ts0 := newTestServer(t, Options{Workers: 1, CacheDir: dir, Shard: 0, ShardCount: 2})
+	_ = s0
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // shard 1 is down
+	rt, err := NewRouter([]string{ts0.URL, dead.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(raw), "shard 1") {
+		t.Fatalf("healthz with dead shard = %d %q", resp.StatusCode, raw)
+	}
+
+	_, own1 := shardedBodies(t)
+	resp, err = http.Post(front.URL+"/v1/experiments", "application/json", strings.NewReader(own1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("POST to dead shard via router: status %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestRouterRejectsBadConfigs mirrors backend validation at the edge.
+func TestRouterRejectsBadConfigs(t *testing.T) {
+	if _, err := NewRouter(nil); err == nil {
+		t.Fatal("NewRouter(nil) should fail")
+	}
+	if _, err := NewRouter([]string{"not a url"}); err == nil {
+		t.Fatal("relative backend URL should fail")
+	}
+	front, _ := newTestTopology(t, 2)
+	resp, err := http.Post(front.URL+"/v1/experiments", "application/json", strings.NewReader(`{"type":"explode"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad submission via router: status %d, want 400", resp.StatusCode)
+	}
+}

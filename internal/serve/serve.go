@@ -56,6 +56,24 @@ type Options struct {
 	// RetryAfter is the hint returned with 429 responses (default 2s).
 	RetryAfter time.Duration
 
+	// CacheDir, when non-empty, makes the content-addressed cache durable:
+	// completed results spill to one file per job ID under this directory
+	// and are loaded lazily on lookup, so a warm cache survives restarts.
+	// The directory may be shared by several servers (the shards of a
+	// multi-worker deployment): entries are written atomically and are
+	// immutable-by-content, so concurrent writers are harmless.
+	CacheDir string
+	// CacheMaxBytes caps the durable store; past it, a write triggers an
+	// oldest-access-first eviction pass. ≤0 means unbounded.
+	CacheMaxBytes int64
+
+	// Shard/ShardCount place this server in a sharded topology: the server
+	// executes only job IDs with ShardOf(id, ShardCount) == Shard and
+	// answers 421 (plus the owner's index) for misdirected submissions —
+	// unless the shared durable cache already holds the result, which any
+	// shard replays. ShardCount ≤ 1 disables sharding.
+	Shard, ShardCount int
+
 	// now and beforeRun are test hooks: a fake clock, and a gate invoked
 	// by a worker right before it starts executing a job.
 	now       func() time.Time
@@ -89,6 +107,7 @@ type Server struct {
 	mux   *http.ServeMux
 	sched *scheduler
 	met   *metrics
+	store *diskStore // nil when Options.CacheDir is empty
 
 	// baseCtx parents every job context; cancelJobs aborts all in-flight
 	// work (forced shutdown past the drain deadline).
@@ -101,13 +120,24 @@ type Server struct {
 	draining bool
 }
 
-// New builds a Server.
-func New(opts Options) *Server {
+// New builds a Server. It fails only when Options.CacheDir is set and the
+// durable store cannot be created there.
+func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts: opts.withDefaults(),
 		mux:  http.NewServeMux(),
 		met:  newMetrics(),
 		jobs: make(map[string]*job),
+	}
+	if s.opts.ShardCount > 1 && (s.opts.Shard < 0 || s.opts.Shard >= s.opts.ShardCount) {
+		return nil, fmt.Errorf("shard %d out of range for %d shards", s.opts.Shard, s.opts.ShardCount)
+	}
+	if s.opts.CacheDir != "" {
+		store, err := newDiskStore(s.opts.CacheDir, s.opts.CacheMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
 	}
 	s.baseCtx, s.cancelJobs = context.WithCancelCause(context.Background())
 	s.sched = newScheduler(s.opts.Workers, s.opts.QueueDepth, s.execute)
@@ -119,7 +149,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler.
@@ -199,6 +229,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Failed and cancelled runs are not memoized: fall through and
 		// replace the record with a fresh attempt.
 	}
+	s.mu.Unlock()
+
+	// Not in memory: a durable-store entry (possibly written by another
+	// shard, or by this server before a restart) replays without any
+	// execution, from any shard.
+	if loaded := s.loadFromDisk(key); loaded != nil {
+		s.met.hit()
+		s.met.diskHit()
+		writeJSON(w, http.StatusOK, loaded.status(true))
+		return
+	}
+
+	// A genuinely new execution must land on the owning shard; the router
+	// sends it there, a directly-addressed backend refuses with 421 naming
+	// the owner.
+	if n := s.opts.ShardCount; n > 1 {
+		if owner := ShardOf(key, n); owner != s.opts.Shard {
+			s.met.misdirect()
+			writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+				"error":       fmt.Sprintf("job %s is owned by shard %d/%d (this is shard %d)", key, owner, n, s.opts.Shard),
+				"shard":       owner,
+				"shard_count": n,
+			})
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	// Re-check membership: the lock was dropped for the disk probe, and a
+	// concurrent duplicate may have scheduled meanwhile.
+	if existing, ok := s.jobs[key]; ok {
+		if st := existing.currentState(); st != stateFailed && st != stateCanceled {
+			s.mu.Unlock()
+			s.met.hit()
+			code := http.StatusOK
+			if st != stateDone {
+				code = http.StatusAccepted
+			}
+			writeJSON(w, code, existing.status(true))
+			return
+		}
+	}
 	j := newJob(key, req, s.opts.now())
 	if _, replaced := s.jobs[key]; !replaced {
 		s.order = append(s.order, key)
@@ -238,7 +315,7 @@ func (s *Server) dropFromOrder(key string) {
 
 // handleGet is GET /v1/experiments/{id}.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.lookupOrLoad(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such experiment")
 		return
@@ -263,38 +340,65 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // reusing the fttrace exporters on the retained Result of a "run"
 // experiment.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.lookupOrLoad(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such experiment")
 		return
 	}
-	res, err := j.traceResult()
+	res, exports, err := j.traceData()
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}
+	// Live jobs export from the retained Result; jobs reloaded from the
+	// durable store serve the byte-identical exports rendered when the run
+	// finished.
+	writeOrReplay := func(contentType string, live func(io.Writer), stored []byte, missing string) {
+		if res != nil && live != nil {
+			w.Header().Set("Content-Type", contentType)
+			live(w)
+			return
+		}
+		if len(stored) > 0 {
+			w.Header().Set("Content-Type", contentType)
+			w.Write(stored)
+			return
+		}
+		writeError(w, http.StatusConflict, missing)
+	}
+	const noEvents = `no events retained; submit with "config":{"RecordEvents":true}`
+	const noSpans = `no spans recorded; submit with "config":{"RecordSpans":true}`
 	switch format := r.URL.Query().Get("format"); format {
 	case "jsonl":
-		if len(res.Events()) == 0 {
-			writeError(w, http.StatusConflict, `no events retained; submit with "config":{"RecordEvents":true}`)
-			return
+		var live func(io.Writer)
+		if res != nil && len(res.Events()) > 0 {
+			live = func(w io.Writer) { res.WriteEventsJSONL(w) }
 		}
-		w.Header().Set("Content-Type", "application/jsonl")
-		res.WriteEventsJSONL(w)
+		var stored []byte
+		if exports != nil {
+			stored = exports.eventsJSONL
+		}
+		writeOrReplay("application/jsonl", live, stored, noEvents)
 	case "chrome":
-		if len(res.Events()) == 0 {
-			writeError(w, http.StatusConflict, `no events retained; submit with "config":{"RecordEvents":true}`)
-			return
+		var live func(io.Writer)
+		if res != nil && len(res.Events()) > 0 {
+			live = func(w io.Writer) { res.WriteChromeTrace(w) }
 		}
-		w.Header().Set("Content-Type", "application/json")
-		res.WriteChromeTrace(w)
+		var stored []byte
+		if exports != nil {
+			stored = exports.chromeTrace
+		}
+		writeOrReplay("application/json", live, stored, noEvents)
 	case "spans":
-		if len(res.Spans()) == 0 {
-			writeError(w, http.StatusConflict, `no spans recorded; submit with "config":{"RecordSpans":true}`)
-			return
+		var live func(io.Writer)
+		if res != nil && len(res.Spans()) > 0 {
+			live = func(w io.Writer) { res.WriteSpansJSONL(w) }
 		}
-		w.Header().Set("Content-Type", "application/jsonl")
-		res.WriteSpansJSONL(w)
+		var stored []byte
+		if exports != nil {
+			stored = exports.spansJSONL
+		}
+		writeOrReplay("application/jsonl", live, stored, noSpans)
 	default:
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("unknown trace format %q (want jsonl, chrome or spans)", format))
@@ -309,17 +413,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		byState[j.currentState()]++
 	}
 	s.mu.Unlock()
+	info := renderInfo{
+		jobsByState: byState,
+		queueDepth:  s.sched.depth(),
+		queueCap:    s.sched.capacity(),
+		running:     s.sched.runningCount(),
+		shard:       s.opts.Shard,
+		shardCount:  s.opts.ShardCount,
+		diskBytes:   -1,
+	}
+	if s.store != nil {
+		info.diskBytes = s.store.sizeBytes()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, byState, s.sched.depth(), s.sched.capacity(), s.sched.runningCount())
+	s.met.render(w, info)
 }
 
 // handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+// Sharded servers report their identity so an operator (or the router)
+// can tell which member of the topology answered.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if n := s.opts.ShardCount; n > 1 {
+		fmt.Fprintf(w, "ok shard=%d/%d\n", s.opts.Shard, n)
 		return
 	}
 	fmt.Fprintln(w, "ok")
@@ -329,6 +451,51 @@ func (s *Server) lookup(id string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.jobs[id]
+}
+
+// lookupOrLoad checks memory first, then faults the job in from the
+// durable store — the lazy-load path that makes a warm cache directory
+// equivalent to a warm process.
+func (s *Server) lookupOrLoad(id string) *job {
+	if j := s.lookup(id); j != nil {
+		return j
+	}
+	if j := s.loadFromDisk(id); j != nil {
+		s.met.diskHit()
+		return j
+	}
+	return nil
+}
+
+// loadFromDisk reads a durable-store entry and registers it as a done job.
+// Corrupt entries are quarantined and read as a miss. If a concurrent
+// submission registered the key while the disk was being read, the
+// in-memory job wins (it is the same content or fresher).
+func (s *Server) loadFromDisk(id string) *job {
+	if s.store == nil {
+		return nil
+	}
+	env, quarantined, err := s.store.get(id)
+	if quarantined {
+		s.met.quarantine()
+		return nil
+	}
+	if err != nil {
+		s.met.storeError()
+		return nil
+	}
+	if env == nil {
+		return nil
+	}
+	j := jobFromEnvelope(env)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.jobs[id]; ok {
+		return existing
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
 }
 
 // execute runs one job on a worker goroutine.
@@ -352,8 +519,23 @@ func (s *Server) execute(j *job) {
 		}
 		resultJSON, res = nil, nil
 	}
-	j.finish(s.opts.now(), state, resultJSON, res, errMsg)
+	var exports *traceExports
+	if state == stateDone && s.store != nil {
+		exports = renderExports(res)
+	}
+	j.finish(s.opts.now(), state, resultJSON, res, exports, errMsg)
 	s.met.observe(j.req.Type, state, s.opts.now().Sub(start))
+
+	// Spill the finished result to the durable store (best-effort: a
+	// failed spill serves from memory and is retried by whichever future
+	// execution recomputes the identical bytes).
+	if state == stateDone && s.store != nil {
+		if evicted, err := s.store.put(j.envelope()); err != nil {
+			s.met.storeError()
+		} else if evicted > 0 {
+			s.met.evict(evicted)
+		}
+	}
 }
 
 // runExperiment dispatches on the experiment type. The returned bytes are

@@ -22,7 +22,10 @@ import (
 // the test.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -137,7 +140,12 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestRunExperimentAndTrace(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
+	// Gate the worker so the job is observably pending for the 409 check
+	// below; a quick run can otherwise finish before the GET arrives.
+	gate := make(chan struct{})
+	opts := Options{Workers: 1}
+	opts.beforeRun = func(*job) { <-gate }
+	_, ts := newTestServer(t, opts)
 	body := `{"type":"run","quick":true,"config":{"OpsPerCore":200,"RecordEvents":true,"RecordSpans":true}}`
 	code, doc, hdr := postJSON(t, ts, body)
 	if code != http.StatusAccepted {
@@ -154,6 +162,7 @@ func TestRunExperimentAndTrace(t *testing.T) {
 	if code := getCode(t, ts.URL+"/v1/experiments/"+doc.ID+"/trace?format=jsonl"); code != http.StatusConflict {
 		t.Fatalf("trace while pending: status %d, want 409", code)
 	}
+	close(gate)
 
 	final := waitState(t, ts, doc.ID, stateDone)
 	var res repro.Result

@@ -13,7 +13,7 @@ import (
 // carrying the final status document and closes. Subscribing to a job that
 // already finished yields the done event immediately.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.lookupOrLoad(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such experiment")
 		return

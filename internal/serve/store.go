@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The durable half of the content-addressed cache: completed results are
+// spilled to disk, one file per job ID, and loaded lazily on lookup. The
+// byte-identical replay guarantee (the job ID is the canonical SHA-256 of
+// the fully-resolved request, and every experiment is a pure function of
+// that request) makes entries valid forever: there is no invalidation, no
+// TTL, and a warm directory can be shared between any number of server
+// processes — including the shards of a multi-worker deployment, which is
+// how a replay cached by one shard is served by every other.
+//
+// File format (see docs/SERVICE.md "Durable cache"): each entry is a JSON
+// envelope holding the status-document metadata, the memoized result
+// bytes, and — for "run" experiments that retained events or spans — the
+// rendered trace exports, so /trace keeps working across restarts.
+// Entries are written atomically (temp file + rename in the same
+// directory); a file that fails to load is quarantined (renamed to
+// *.corrupt) rather than deleted, and an optional byte cap triggers an
+// oldest-access-first eviction pass after each write.
+
+// envelopeVersion is bumped on any incompatible change to the on-disk
+// format; loading a different version quarantines the entry.
+const envelopeVersion = 1
+
+// envelope is the on-disk form of one finished job.
+type envelope struct {
+	V        int             `json:"v"`
+	ID       string          `json:"id"`
+	Type     string          `json:"type"`
+	Workload string          `json:"workload"`
+	Created  time.Time       `json:"created"`
+	Started  time.Time       `json:"started"`
+	Finished time.Time       `json:"finished"`
+	Result   json.RawMessage `json:"result"`
+	// Trace exports rendered at completion time (base64 in the JSON),
+	// present only for "run" experiments that recorded events/spans.
+	EventsJSONL []byte `json:"events_jsonl,omitempty"`
+	ChromeTrace []byte `json:"chrome_trace,omitempty"`
+	SpansJSONL  []byte `json:"spans_jsonl,omitempty"`
+}
+
+// diskStore is the durable store rooted at one directory. Methods are
+// safe for concurrent use within a process; cross-process safety comes
+// from atomic rename (two servers writing the same key write identical
+// bytes, so last-rename-wins is harmless).
+type diskStore struct {
+	dir      string
+	maxBytes int64 // ≤0: unbounded
+}
+
+// newDiskStore creates the directory if needed.
+func newDiskStore(dir string, maxBytes int64) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache dir: %w", err)
+	}
+	return &diskStore{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// entryPath maps a job ID (e.g. "sha256:ab12…") to its file. The
+// algorithm prefix becomes part of the name so future hash algorithms
+// cannot collide.
+func (d *diskStore) entryPath(id string) string {
+	name := strings.ReplaceAll(id, ":", "-")
+	return filepath.Join(d.dir, name+".json")
+}
+
+// put spills one finished job atomically: the envelope is written to a
+// temp file in the cache directory and renamed into place, so a reader
+// (or a crash) never observes a partial entry. It returns how many
+// entries the post-write eviction pass removed.
+func (d *diskStore) put(env *envelope) (evicted int, err error) {
+	env.V = envelopeVersion
+	data, err := json.Marshal(env)
+	if err != nil {
+		return 0, err
+	}
+	path := d.entryPath(env.ID)
+	tmp, err := os.CreateTemp(d.dir, ".put-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return d.evict(path)
+}
+
+// get loads one entry. A missing entry returns (nil, false, nil). A
+// present-but-unloadable entry — truncated JSON, wrong version, ID
+// mismatch — is quarantined by renaming it to <name>.corrupt and
+// reported via the quarantined flag; the caller treats it as a miss and
+// the re-executed result overwrites the slot. A successful load touches
+// the file's mtime, which is the LRU clock the eviction pass reads.
+func (d *diskStore) get(id string) (env *envelope, quarantined bool, err error) {
+	path := d.entryPath(id)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	env = &envelope{}
+	if err := json.Unmarshal(data, env); err != nil {
+		return nil, true, d.quarantine(path, fmt.Errorf("undecodable entry: %w", err))
+	}
+	if env.V != envelopeVersion {
+		return nil, true, d.quarantine(path, fmt.Errorf("envelope version %d, want %d", env.V, envelopeVersion))
+	}
+	if env.ID != id {
+		return nil, true, d.quarantine(path, fmt.Errorf("entry claims ID %s", env.ID))
+	}
+	if len(env.Result) == 0 || string(env.Result) == "null" {
+		return nil, true, d.quarantine(path, fmt.Errorf("entry has no result bytes"))
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort LRU touch
+	return env, false, nil
+}
+
+// quarantine moves a corrupt entry aside so it stops matching lookups
+// but stays on disk for postmortem inspection.
+func (d *diskStore) quarantine(path string, cause error) error {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		return fmt.Errorf("quarantining %s (%v): %w", filepath.Base(path), cause, err)
+	}
+	return fmt.Errorf("quarantined %s: %w", filepath.Base(path), cause)
+}
+
+// evict enforces the byte cap: while the live entries (quarantined files
+// excluded) total more than maxBytes, the least-recently-accessed entry
+// is deleted — except keep, the entry just written, so a single oversized
+// result does not evict itself into a write loop. Returns the number of
+// entries removed.
+func (d *diskStore) evict(keep string) (int, error) {
+	if d.maxBytes <= 0 {
+		return 0, nil
+	}
+	type entry struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	names, err := filepath.Glob(filepath.Join(d.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	var entries []entry
+	var total int64
+	for _, p := range names {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue // raced with another evictor
+		}
+		entries = append(entries, entry{p, fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].atime.Before(entries[j].atime) })
+	evicted := 0
+	for _, e := range entries {
+		if total <= d.maxBytes {
+			break
+		}
+		if e.path == keep {
+			continue
+		}
+		if err := os.Remove(e.path); err == nil || os.IsNotExist(err) {
+			total -= e.size
+			evicted++
+		}
+	}
+	return evicted, nil
+}
+
+// sizeBytes reports the total size of live entries, for /metrics.
+func (d *diskStore) sizeBytes() int64 {
+	names, _ := filepath.Glob(filepath.Join(d.dir, "*.json"))
+	var total int64
+	for _, p := range names {
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// ShardOf maps a job ID onto one of n shards. Every party — router,
+// backends, clients — computes the same mapping from the ID alone, which
+// is what lets duplicate submissions coalesce onto exactly one executor
+// shard with no coordination. The ID is already a uniformly-distributed
+// canonical SHA-256 ("sha256:<hex>"), so the first 16 hex digits are used
+// directly; anything unparsable falls back to FNV-1a.
+func ShardOf(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	hexPart, ok := strings.CutPrefix(id, "sha256:")
+	var v uint64
+	if ok && len(hexPart) >= 16 {
+		if b, err := hex.DecodeString(hexPart[:16]); err == nil {
+			for _, c := range b {
+				v = v<<8 | uint64(c)
+			}
+			return int(v % uint64(n))
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64() % uint64(n))
+}

@@ -31,6 +31,24 @@ func (h *Histogram) Add(v uint64) {
 	}
 }
 
+// Merge folds other's samples into h. Bucket counts add exactly, so a
+// merged histogram answers Percentile identically to one that saw every
+// sample itself — which is what lets per-client histograms (recorded
+// without locking) be combined into one report after a load run.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 

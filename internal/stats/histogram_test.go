@@ -203,3 +203,36 @@ func TestHistogramBucketsAndSum(t *testing.T) {
 		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
 	}
 }
+
+// TestHistogramMergeEquivalence: merging shards is indistinguishable from
+// one histogram that saw every sample — the property ftload's per-client
+// recording relies on.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	prop := func(a, b []uint16) bool {
+		var whole, ha, hb Histogram
+		for _, v := range a {
+			whole.Add(uint64(v))
+			ha.Add(uint64(v))
+		}
+		for _, v := range b {
+			whole.Add(uint64(v))
+			hb.Add(uint64(v))
+		}
+		var merged Histogram
+		merged.Merge(&ha)
+		merged.Merge(&hb)
+		merged.Merge(nil) // must be a no-op
+		if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() || merged.Max() != whole.Max() {
+			return false
+		}
+		for _, p := range []float64{1, 50, 95, 99, 100} {
+			if merged.Percentile(p) != whole.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

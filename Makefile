@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick serve-check load-check
+.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick tile-check serve-check load-check
 
-check: vet build race docs-check coverage-quick serve-check load-check
+check: vet build race docs-check coverage-quick tile-check serve-check load-check
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,14 @@ docs-check:
 coverage-quick:
 	$(GO) run ./cmd/ftcheck -exhaustive -quick -ops 20
 
+# tile-check proves recovery from every structural fault of the quick
+# workload: each tile and each mesh link is killed at every enumerated
+# injection slot (victim × slot), with the extended verdict of
+# docs/COVERAGE.md § Structural faults; DirCMP deadlocks on every tile
+# death, naming the dead nodes.
+tile-check:
+	$(GO) run ./cmd/ftcheck -tile-death
+
 # serve-check builds the ftserve binary and runs the experiment-serving
 # e2e suite under the race detector: concurrent duplicate submissions
 # coalesce to one run with byte-identical replies, queue-full backpressure
@@ -54,12 +62,15 @@ load-check:
 # hot path with instrumentation off/on, plus the ftserve cache-key and
 # scheduler overheads) and writes them as $(BENCH_OUT) via cmd/bench2json.
 # The ftload capacity run (1000 concurrent clients against a self-served
-# 2-shard topology) appends its record to the same snapshot.
+# 2-shard topology) appends its record to the same snapshot, as does the
+# tile-death class run (each unique job is a sampled structural campaign,
+# so per-job service time dominates: fewer, heavier requests).
 # Override BENCH_OUT to snapshot under a different name.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/serve | tee bench.out
 	$(GO) run ./cmd/ftload -serve 2 -clients 1000 -requests 2000 -dup-ratio 0.5 -queue 1024 -bench | tee -a bench.out
+	$(GO) run ./cmd/ftload -serve 2 -clients 16 -requests 32 -dup-ratio 0.5 -hot 4 -ops 20 -class tile-death -bench | tee -a bench.out
 	$(GO) run ./cmd/bench2json < bench.out > $(BENCH_OUT)
 	@rm -f bench.out
 	@echo wrote $(BENCH_OUT)
@@ -67,7 +78,7 @@ bench:
 # bench-diff compares the current snapshot against the previous PR's
 # baseline, per benchmark (ns/op, B/op, allocs/op, cycles). Informational:
 # it never fails the build.
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR7.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_OUT)
 

@@ -11,6 +11,15 @@
 //  3. Baseline sanity: DirCMP must deadlock (or never finish) when a
 //     message is lost — demonstrating why the protocol is needed.
 //
+// -tile-death switches to the structural-fault campaign instead: every tile
+// (and every mesh link) is killed permanently at every enumerated injection
+// slot, and each run must satisfy the extended recovery verdict — quiescent
+// termination, coherence on the survivors, and a final memory image matching
+// the fault-free baseline on every line except those the reconstruction
+// explicitly reported unrecoverable (counted, never silent) and those only
+// the dead tile's own stream wrote. The DirCMP baseline is shown failing the
+// same campaign.
+//
 // The runs are independent, deterministic simulations, so the campaign
 // fans out across CPU cores; -j bounds the number of concurrent runs
 // (-j 1 forces the historical serial order). Output is byte-identical at
@@ -77,6 +86,8 @@ func run(ctx context.Context) error {
 		jobs       = flag.Int("j", 0, "concurrent runs (0 = all cores, 1 = serial)")
 		exhaustive = flag.Bool("exhaustive", false,
 			"enumerate every single-loss fault slot and verify recovery from each")
+		tileDeath = flag.Bool("tile-death", false,
+			"kill every tile and mesh link at every enumerated slot and verify the extended recovery verdict")
 		doubles = flag.Int("doubles", 24,
 			"sampled double-fault runs in exhaustive mode (0 = none)")
 		jsonOut = flag.String("json", "",
@@ -93,16 +104,26 @@ func run(ctx context.Context) error {
 	cfg.OpsPerCore = *ops
 	cfg.Parallelism = *jobs
 
+	opsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ops" {
+			opsSet = true
+		}
+	})
+
+	if *tileDeath {
+		// The structural campaign runs once per (victim, slot) pair, so the
+		// default workload is the shortest: the quick coverage shape.
+		if !opsSet {
+			cfg.OpsPerCore = 20
+		}
+		return runTileDeath(ctx, cfg, *jsonOut, *progress)
+	}
+
 	if *exhaustive {
 		// The exhaustive campaign runs once per injectable message, so the
 		// default workload length is shorter (the fault space grows
 		// linearly with it); an explicit -ops wins.
-		opsSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "ops" {
-				opsSet = true
-			}
-		})
 		if !opsSet {
 			cfg.OpsPerCore = 40
 		}
@@ -334,6 +355,90 @@ func run(ctx context.Context) error {
 		return fmt.Errorf("%d checks failed", failures)
 	}
 	fmt.Println("\nAll checks passed.")
+	return nil
+}
+
+// runTileDeath is the -tile-death mode: the structural-fault campaign.
+// Every tile and every mesh link is killed at every enumerated injection
+// slot under FtDirCMP, each run checked against the extended recovery
+// verdict; then the DirCMP baseline is shown failing the tile-death sweep.
+// Output is deterministic and identical at every -j level.
+func runTileDeath(ctx context.Context, cfg repro.Config, jsonPath string, progress bool) error {
+	fmt.Println("== Structural fault coverage: tile and link deaths, FtDirCMP ==")
+	fmt.Printf("system %dx%d, %d mems, %d ops/core, workload uniform\n",
+		cfg.MeshWidth, cfg.MeshHeight, cfg.MemControllers, cfg.OpsPerCore)
+
+	rep, err := repro.TileDeathCoverageContext(ctx, cfg, "uniform", repro.TileDeathOptions{
+		IncludeLinks: true,
+		Progress:     progressFn(progress, "tile-death FtDirCMP"),
+	})
+	if err != nil {
+		return err
+	}
+	slotsPerVictim := uint64(0)
+	if len(rep.Rows) > 0 {
+		slotsPerVictim = rep.Rows[0].Slots
+	}
+	fmt.Printf("baseline: %d cycles, %d injection slots per victim, memory image %#x\n\n",
+		rep.BaselineCycles, slotsPerVictim, rep.BaselineMemHash)
+	fmt.Print(rep.Table())
+
+	failures := 0
+	if rep.FullCoverage() {
+		unrec := 0
+		for _, row := range rep.Rows {
+			unrec += row.Unrecoverable
+		}
+		fmt.Printf("\nfull structural coverage: all %d deaths recovered (survivors quiescent and coherent, memory image verified)\n",
+			rep.SlotsTested)
+		fmt.Printf("unrecoverable lines (freshest copy died with the tile, rolled back and counted): %d\n", unrec)
+	} else {
+		failures++
+		fmt.Printf("\nSTRUCTURAL COVERAGE INCOMPLETE: %d of %d deaths recovered (%d failures)\n",
+			rep.Recovered, rep.SlotsTested, rep.TotalFailures)
+		for _, f := range rep.Failures {
+			fmt.Printf("  %s, %s #%d: %s\n", f.Victim, f.Type, f.Nth, f.Err)
+		}
+	}
+
+	fmt.Println("\n== Same tile-death sweep on the DirCMP baseline (must not recover) ==")
+	c := cfg
+	c.Protocol = repro.DirCMP
+	c.CycleLimit = 5_000_000
+	drep, err := repro.TileDeathCoverageContext(ctx, c, "uniform", repro.TileDeathOptions{
+		Progress: progressFn(progress, "tile-death DirCMP"),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DirCMP recovered %d of %d tile deaths (expected 0)\n", drep.Recovered, drep.SlotsTested)
+	if drep.Recovered != 0 {
+		failures++
+		fmt.Println("  UNEXPECTED: the unprotected baseline survived a tile death")
+	} else if len(drep.Failures) > 0 {
+		f := drep.Failures[0]
+		fmt.Printf("  e.g. %s, %s #%d: %s\n", f.Victim, f.Type, f.Nth, f.Err)
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nstructural coverage report written to %s\n", jsonPath)
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("%d structural coverage checks failed", failures)
+	}
+	fmt.Println("\nAll structural coverage checks passed.")
 	return nil
 }
 

@@ -3,7 +3,9 @@
 // measured story behind docs/OPERATIONS.md capacity planning.
 //
 // It spawns -clients concurrent clients that together submit -requests
-// experiments. A -dup-ratio fraction of submissions is drawn from a small
+// experiments (-class picks what each submission runs: a quick simulation,
+// or a sampled tile-death campaign for a heavier per-job profile). A
+// -dup-ratio fraction of submissions is drawn from a small
 // hot pool of identical requests (exercising singleflight coalescing and
 // the content-addressed cache); the rest are unique (each varies the
 // config seed, so each is a genuine execution). Clients retry politely on
@@ -50,6 +52,7 @@ type options struct {
 	hotPool  int     // size of the duplicate pool
 	seed     int64   // schedule seed (deterministic request mix)
 	ops      int     // OpsPerCore per experiment (work per unique job)
+	class    string  // experiment class each submission carries
 	wait     bool    // follow jobs to completion
 	workers  int     // self-serve: workers per backend
 	queue    int     // self-serve: queue depth per backend
@@ -79,6 +82,7 @@ type quantiles struct {
 // shape and docs/OPERATIONS.md walks through reading one.
 type report struct {
 	Target     string    `json:"target"`
+	Class      string    `json:"class"`
 	Shards     int       `json:"shards"`
 	Clients    int       `json:"clients"`
 	Requests   int       `json:"requests"`
@@ -102,6 +106,7 @@ func main() {
 	flag.IntVar(&opts.hotPool, "hot", 8, "size of the hot duplicate pool")
 	flag.Int64Var(&opts.seed, "seed", 1, "schedule seed: the request mix is a pure function of the flags and this")
 	flag.IntVar(&opts.ops, "ops", 200, "OpsPerCore per experiment (work each unique job performs)")
+	flag.StringVar(&opts.class, "class", "run", "experiment class each submission carries: run (one simulation) or tile-death (structural campaign; heavier per job)")
 	flag.BoolVar(&opts.wait, "wait", true, "follow each job to completion (end-to-end latency); false measures submission only")
 	flag.IntVar(&opts.workers, "workers", 0, "self-serve: workers per backend (0 = GOMAXPROCS)")
 	flag.IntVar(&opts.queue, "queue", 64, "self-serve: scheduler queue depth per backend")
@@ -138,6 +143,12 @@ func run(opts options) (*report, error) {
 	}
 	if opts.dupRatio < 0 || opts.dupRatio > 1 {
 		return nil, fmt.Errorf("-dup-ratio must be in [0,1]")
+	}
+	if opts.class == "" {
+		opts.class = "run"
+	}
+	if opts.class != "run" && opts.class != "tile-death" {
+		return nil, fmt.Errorf("-class must be run or tile-death (got %q)", opts.class)
 	}
 	shards := 0 // unknown for an external target
 	if opts.target == "" {
@@ -185,6 +196,7 @@ func run(opts options) (*report, error) {
 
 	rep := &report{
 		Target:     opts.target,
+		Class:      opts.class,
 		Shards:     shards,
 		Clients:    opts.clients,
 		Requests:   opts.requests,
@@ -225,6 +237,11 @@ func run(opts options) (*report, error) {
 // seed, so each one is real work with its own cache key.
 func schedule(opts options) (bodies []string, unique int) {
 	body := func(seed int) string {
+		if opts.class == "tile-death" {
+			// A sampled structural campaign per job: heavier than a run but
+			// bounded, so the load mix stays a latency test, not a soak.
+			return fmt.Sprintf(`{"type":"tile-death","quick":true,"config":{"OpsPerCore":%d,"Seed":%d},"tile_death":{"max_slots_per_type":1}}`, opts.ops, seed)
+		}
 		return fmt.Sprintf(`{"type":"run","quick":true,"config":{"OpsPerCore":%d,"Seed":%d}}`, opts.ops, seed)
 	}
 	rng := rand.New(rand.NewSource(opts.seed))
@@ -381,7 +398,7 @@ func summary(r *report) string {
 	if r.Shards > 0 {
 		fmt.Fprintf(&b, " (self-served, %d shard(s))", r.Shards)
 	}
-	fmt.Fprintf(&b, "\n  mix: %.0f%% duplicates, %d unique jobs\n", r.DupRatio*100, r.UniqueJobs)
+	fmt.Fprintf(&b, "\n  mix: class %s, %.0f%% duplicates, %d unique jobs\n", r.Class, r.DupRatio*100, r.UniqueJobs)
 	fmt.Fprintf(&b, "  outcomes: %d accepted, %d cached, %d failed, %d errors; 429 rate %.1f%%\n",
 		r.Outcomes.Accepted, r.Outcomes.Cached, r.Outcomes.Failed, r.Outcomes.Errors, r.Rate429*100)
 	fmt.Fprintf(&b, "  latency: p50<=%dus p95<=%dus p99<=%dus max=%dus\n",
@@ -395,6 +412,11 @@ func summary(r *report) string {
 // next to the real benchmarks. The pkg: header attributes the record.
 func benchLines(r *report) string {
 	name := fmt.Sprintf("BenchmarkFtload/clients=%d/shards=%d", r.Clients, r.Shards)
+	if r.Class != "" && r.Class != "run" {
+		// The default class keeps its historical name so BENCH_* series
+		// stay comparable across snapshots.
+		name = fmt.Sprintf("BenchmarkFtload/class=%s/clients=%d/shards=%d", r.Class, r.Clients, r.Shards)
+	}
 	meanNs := r.Latency.Mean * 1e3 // report microsecond mean as ns/op
 	return fmt.Sprintf("pkg: repro/cmd/ftload\n%s \t%8d\t%.0f ns/op\t%8d p50-us\t%8d p99-us\t%8.1f req/s\t%8.4f 429-rate\t%8d clients\t%8d shards\n",
 		name, r.Requests, meanNs, r.Latency.P50, r.Latency.P99, r.Throughput, r.Rate429, r.Clients, r.Shards)

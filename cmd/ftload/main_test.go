@@ -64,7 +64,7 @@ func TestRunSelfServeReportShape(t *testing.T) {
 	var m map[string]any
 	json.Unmarshal(raw, &m)
 	for _, key := range []string{
-		"target", "shards", "clients", "requests", "dup_ratio", "unique_jobs",
+		"target", "class", "shards", "clients", "requests", "dup_ratio", "unique_jobs",
 		"waited", "outcomes", "rate_429", "latency", "wall_ms", "throughput_rps",
 	} {
 		if _, ok := m[key]; !ok {
@@ -152,5 +152,44 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	bad.clients = 0
 	if _, err := run(bad); err == nil {
 		t.Fatal("0 clients accepted")
+	}
+	bad = smokeOpts()
+	bad.class = "explode"
+	if _, err := run(bad); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// TestTileDeathClassLoad drives the structural experiment class through the
+// whole stack: -class tile-death submissions resolve, execute (a sampled
+// tile-death campaign each), coalesce in the cache, and finish clean.
+func TestTileDeathClassLoad(t *testing.T) {
+	opts := smokeOpts()
+	opts.shards = 1
+	opts.clients = 4
+	opts.requests = 8
+	opts.hotPool = 2
+	opts.ops = 20
+	opts.class = "tile-death"
+
+	bodies, _ := schedule(opts)
+	for _, b := range bodies {
+		if !strings.Contains(b, `"type":"tile-death"`) {
+			t.Fatalf("schedule emitted a non-tile-death body: %s", b)
+		}
+	}
+
+	rep, err := run(opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Class != "tile-death" {
+		t.Fatalf("report class %q", rep.Class)
+	}
+	if rep.Outcomes.Errors != 0 || rep.Outcomes.Failed != 0 {
+		t.Fatalf("tile-death load hit errors: %+v", rep.Outcomes)
+	}
+	if rep.Outcomes.Accepted+rep.Outcomes.Cached != uint64(opts.requests) {
+		t.Fatalf("outcomes don't account for every request: %+v", rep.Outcomes)
 	}
 }

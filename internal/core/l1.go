@@ -135,6 +135,11 @@ type L1 struct {
 	onWrite proto.WriteObserver
 	obs     *obs.Recorder
 
+	// domains is the structural-fault failure detector (nil without
+	// structural faults); halted is set when this tile dies.
+	domains *proto.Domains
+	halted  bool
+
 	// victimFilter is the eviction predicate passed to cache.Array.Victim,
 	// built once so the miss path does not allocate a closure per install.
 	victimFilter func(*cache.Line) bool
@@ -207,6 +212,33 @@ func (l *L1) NodeID() msg.NodeID { return l.id }
 // SetObserver attaches the structured event recorder (see internal/obs).
 func (l *L1) SetObserver(o *obs.Recorder) { l.obs = o }
 
+// SetDomains attaches the structural-fault domain tracker.
+func (l *L1) SetDomains(d *proto.Domains) { l.domains = d }
+
+// homeL2 is the directory home for addr, re-homed around declared-dead
+// banks when structural faults are active.
+func (l *L1) homeL2(addr msg.Addr) msg.NodeID {
+	if l.domains != nil {
+		return l.domains.HomeL2(addr)
+	}
+	return l.topo.HomeL2(addr)
+}
+
+// Halt permanently silences this controller (its tile died): all timers
+// stop and every future access, message or callback is ignored. The fault
+// injector separately guarantees nothing this node sent after the death
+// instant is delivered.
+func (l *L1) Halt() {
+	l.halted = true
+	l.mshr.ForEach(func(_ msg.Addr, e *l1Miss) { e.timer.Stop() })
+	l.wb.ForEach(func(_ msg.Addr, w *l1WB) { w.putTimer.Stop(); w.backupTimer.Stop() })
+	l.backups.ForEach(func(_ msg.Addr, b *backupEntry) { b.timer.Stop() })
+	l.blocked.ForEach(func(_ msg.Addr, b *blockedEntry) { b.timer.Stop() })
+}
+
+// Halted reports whether the tile died.
+func (l *L1) Halted() bool { return l.halted }
+
 // Quiesced implements proto.L1Port: no misses, writebacks, backups or
 // ownership handshakes in flight.
 func (l *L1) Quiesced() bool {
@@ -215,6 +247,9 @@ func (l *L1) Quiesced() bool {
 
 // Read implements proto.L1Port.
 func (l *L1) Read(addr msg.Addr, done func(proto.AccessResult)) {
+	if l.halted {
+		return
+	}
 	addr = l.topo.LineAddr(addr)
 	if line := l.array.Lookup(addr); line != nil && l.mshr.Get(addr) == nil {
 		l.array.Touch(line)
@@ -237,6 +272,9 @@ func (l *L1) Read(addr msg.Addr, done func(proto.AccessResult)) {
 
 // Write implements proto.L1Port.
 func (l *L1) Write(addr msg.Addr, value uint64, done func(proto.AccessResult)) {
+	if l.halted {
+		return
+	}
 	addr = l.topo.LineAddr(addr)
 	if line := l.array.Lookup(addr); line != nil && l.mshr.Get(addr) == nil && writableState(line.State) {
 		l.array.Touch(line)
@@ -306,7 +344,7 @@ func (l *L1) startMiss(addr msg.Addr, write bool, value uint64, done func(proto.
 		e.reqType = msg.GetX
 	}
 	e.timer.Bind(l.engine)
-	l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
+	l.send(&msg.Message{Type: e.reqType, Dst: l.homeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
 	l.armLostRequest(addr, e)
 }
 
@@ -320,6 +358,12 @@ func lostRequestFired(arg any) {
 	e := arg.(*l1Miss)
 	l, addr := e.owner, e.addr
 	if l.mshr.Get(addr) != e {
+		return
+	}
+	if l.domains.MaybeDeclareDead(l.homeL2(addr)) {
+		// The home died: park the miss (keep the timer armed) and let the
+		// directory reconstruction reissue it toward the new home.
+		l.armLostRequest(addr, e)
 		return
 	}
 	l.run.Proto.LostRequestTimeouts++
@@ -340,12 +384,17 @@ func lostRequestFired(arg any) {
 	e.ackCountKnown = false
 	e.needAcks = 0
 	e.acksSeen = 0
-	l.send(&msg.Message{Type: e.reqType, Dst: l.topo.HomeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
+	l.send(&msg.Message{Type: e.reqType, Dst: l.homeL2(addr), Addr: addr, SN: e.sn, TID: e.tid})
 	l.armLostRequest(addr, e)
 }
 
 // Handle processes a delivered network message.
 func (l *L1) Handle(m *msg.Message) {
+	if l.halted || l.domains.Declared(m.Src) {
+		// Dead tiles process nothing; survivors discard stragglers from
+		// declared-dead nodes so post-reconstruction state stays clean.
+		return
+	}
 	switch m.Type {
 	case msg.Data:
 		l.handleData(m, false)
@@ -532,6 +581,12 @@ func backupFired(arg any) {
 	if l.backups.Get(addr) != b {
 		return
 	}
+	if l.domains.MaybeDeclareDead(b.dest) {
+		// The transfer target died holding the only up-to-date copy path;
+		// park — reconstruction decides from the surviving backup.
+		l.armBackup(addr, b)
+		return
+	}
 	l.run.Proto.BackupTimeouts++
 	l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutBackup)
 	l.send(&msg.Message{Type: msg.OwnershipPing, Dst: b.dest, Addr: addr, SN: l.serial.Next(), TID: b.tid})
@@ -561,9 +616,9 @@ func (l *L1) handleWbAck(m *msg.Message) {
 func (l *L1) sendWbData(addr msg.Addr, w *l1WB, sn msg.SerialNumber) {
 	w.sentData = true
 	w.sn = sn
-	l.obs.BackupCreated("l1", l.id, addr, w.tid, l.topo.HomeL2(addr))
+	l.obs.BackupCreated("l1", l.id, addr, w.tid, l.homeL2(addr))
 	l.send(&msg.Message{
-		Type: msg.WbData, Dst: l.topo.HomeL2(addr), Addr: addr, SN: sn, TID: w.tid,
+		Type: msg.WbData, Dst: l.homeL2(addr), Addr: addr, SN: sn, TID: w.tid,
 		Payload: w.payload, Dirty: w.dirty,
 	})
 	w.backupTimer.Bind(l.engine)
@@ -581,9 +636,13 @@ func wbBackupFired(arg any) {
 	if l.wb.Get(addr) != w {
 		return
 	}
+	if l.domains.MaybeDeclareDead(l.homeL2(addr)) {
+		l.armWbBackup(addr, w)
+		return
+	}
 	l.run.Proto.BackupTimeouts++
 	l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutBackup)
-	l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.topo.HomeL2(addr), Addr: addr, SN: l.serial.Next(), TID: w.tid})
+	l.send(&msg.Message{Type: msg.OwnershipPing, Dst: l.homeL2(addr), Addr: addr, SN: l.serial.Next(), TID: w.tid})
 	l.armWbBackup(addr, w)
 }
 
@@ -644,7 +703,7 @@ func (l *L1) handleUnblockPing(m *msg.Message) {
 	if e := l.mshr.Get(addr); e != nil && e.usedSN(m.SN) {
 		return
 	}
-	home := l.topo.HomeL2(addr)
+	home := l.homeL2(addr)
 	if b := l.blocked.Get(addr); b != nil && b.piggy {
 		// The original UnblockEx carried the AckO; the resend must too.
 		l.run.Proto.AcksOSent++
@@ -718,6 +777,9 @@ func (l *L1) handleNackO(m *msg.Message) {
 
 // tryComplete finishes the miss once data and acks are in.
 func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
+	if l.halted {
+		return
+	}
 	if !e.dataArrived {
 		return
 	}
@@ -768,7 +830,7 @@ func (l *L1) tryComplete(addr msg.Addr, e *l1Miss) {
 	// Ownership moved to us on any DataEx that carried the data (a
 	// dataless grant means we already owned the line): enter the
 	// blocked-ownership state and acknowledge (§3.1).
-	home := l.topo.HomeL2(addr)
+	home := l.homeL2(addr)
 	transfer := e.exclusive && !e.noPayload
 	if transfer {
 		b := l.blocked.Alloc(addr)
@@ -838,6 +900,11 @@ func lostAckBDFired(arg any) {
 	if l.blocked.Get(addr) != b {
 		return
 	}
+	if l.domains.MaybeDeclareDead(b.ackOTo) {
+		// The backup holder died; reconstruction clears the blocked state.
+		l.armLostAckBD(addr, b)
+		return
+	}
 	l.run.Proto.LostAckBDTimeouts++
 	l.obs.TimeoutFired("l1", l.id, addr, b.tid, obs.TimeoutLostAckBD)
 	oldSN := b.sn
@@ -905,7 +972,7 @@ func (l *L1) evict(line *cache.Line, cause msg.TID) {
 	w.putTimer.Bind(l.engine)
 	l.obs.StateChange("l1", l.id, addr, w.tid, stateName(line.State), "WB")
 	l.run.Proto.Writebacks++
-	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
+	l.send(&msg.Message{Type: msg.Put, Dst: l.homeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
 	l.armPutTimer(addr, w)
 	line.Valid = false
 }
@@ -921,6 +988,10 @@ func putTimerFired(arg any) {
 	if l.wb.Get(addr) != w || w.sentData {
 		return
 	}
+	if l.domains.MaybeDeclareDead(l.homeL2(addr)) {
+		l.armPutTimer(addr, w)
+		return
+	}
 	l.run.Proto.LostRequestTimeouts++
 	l.run.Proto.RequestsReissued++
 	l.obs.TimeoutFired("l1", l.id, addr, w.tid, obs.TimeoutLostRequest)
@@ -928,7 +999,7 @@ func putTimerFired(arg any) {
 	oldSN := w.sn
 	w.sn = l.serial.Next()
 	l.obs.Reissue("l1", l.id, addr, w.tid, msg.Put, oldSN, w.sn)
-	l.send(&msg.Message{Type: msg.Put, Dst: l.topo.HomeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
+	l.send(&msg.Message{Type: msg.Put, Dst: l.homeL2(addr), Addr: addr, SN: w.sn, TID: w.tid})
 	l.armPutTimer(addr, w)
 }
 

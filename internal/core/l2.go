@@ -206,6 +206,11 @@ type L2 struct {
 	tids   proto.TIDSource
 	obs    *obs.Recorder
 
+	// domains is the structural-fault failure detector (nil without
+	// structural faults); halted is set when this tile dies.
+	domains *proto.Domains
+	halted  bool
+
 	// victimFilter is the eviction predicate passed to cache.Array.Victim,
 	// built once so installing a fetched line does not allocate a closure.
 	victimFilter func(*cache.Line) bool
@@ -246,11 +251,52 @@ func (l *L2) NodeID() msg.NodeID { return l.id }
 // SetObserver attaches the structured event recorder (see internal/obs).
 func (l *L2) SetObserver(o *obs.Recorder) { l.obs = o }
 
+// SetDomains attaches the structural-fault domain tracker.
+func (l *L2) SetDomains(d *proto.Domains) { l.domains = d }
+
+// Halt permanently silences this bank (its tile died): all timers stop and
+// every future message or callback is ignored.
+func (l *L2) Halt() {
+	l.halted = true
+	l.trans.ForEach(func(_ msg.Addr, t *l2Trans) { t.timersOff() })
+	l.ext.ForEach(func(_ msg.Addr, eb *extBlock) { eb.timer.Stop() })
+}
+
+// Halted reports whether the tile died.
+func (l *L2) Halted() bool { return l.halted }
+
+// deadParty checks the transaction's counterparts against the failure
+// detector: the in-service requester, the forward destination, and every
+// invalidation target. Declaring any of them dead parks the transaction
+// for the reconstruction flush.
+func (l *L2) deadParty(t *l2Trans) bool {
+	if l.domains == nil {
+		return false
+	}
+	if l.domains.MaybeDeclareDead(t.req.from) {
+		return true
+	}
+	if t.fwdDest != 0 && l.domains.MaybeDeclareDead(t.fwdDest) {
+		return true
+	}
+	for _, dst := range t.invTargets {
+		if l.domains.MaybeDeclareDead(dst) {
+			return true
+		}
+	}
+	return false
+}
+
 // Quiesced reports whether no transaction or external block is live.
 func (l *L2) Quiesced() bool { return l.trans.Len() == 0 && l.ext.Len() == 0 }
 
 // Handle processes a delivered network message.
 func (l *L2) Handle(m *msg.Message) {
+	if l.halted || l.domains.Declared(m.Src) {
+		// Dead tiles process nothing; survivors discard stragglers from
+		// declared-dead nodes so post-reconstruction state stays clean.
+		return
+	}
 	switch m.Type {
 	case msg.GetS, msg.GetX, msg.Put:
 		l.handleRequest(m)
@@ -519,6 +565,12 @@ func l2UnblockFired(arg any) {
 	if l.trans.Get(addr) != t || t.phase != phaseWaitUnblock {
 		return
 	}
+	if l.deadParty(t) {
+		// The requester, forward target or an invalidation target died: no
+		// unblock (or ack) will ever come. Park for reconstruction.
+		l.armUnblockTimer(addr, t)
+		return
+	}
 	l.run.Proto.LostUnblockTimeouts++
 	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
 	l.send(&msg.Message{Type: msg.UnblockPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
@@ -542,6 +594,10 @@ func l2WbPingFired(arg any) {
 	if l.trans.Get(addr) != t || t.phase != phaseWaitWbData {
 		return
 	}
+	if l.domains.MaybeDeclareDead(t.req.from) {
+		l.armWbPingTimer(addr, t)
+		return
+	}
 	l.run.Proto.LostUnblockTimeouts++
 	l.obs.TimeoutFired("l2", l.id, addr, t.tid, obs.TimeoutLostUnblock)
 	l.send(&msg.Message{Type: msg.WbPing, Dst: t.req.from, Addr: addr, TID: t.tid, SN: t.req.sn})
@@ -558,6 +614,10 @@ func l2BackupFired(arg any) {
 	t := arg.(*l2Trans)
 	l, addr := t.owner, t.addr
 	if l.trans.Get(addr) != t || t.sentDataExTo == 0 || t.backupCleared {
+		return
+	}
+	if l.domains.MaybeDeclareDead(t.sentDataExTo) {
+		l.armBackup(addr, t)
 		return
 	}
 	l.run.Proto.BackupTimeouts++
@@ -707,6 +767,10 @@ func l2AckBDFired(arg any) {
 	t := arg.(*l2Trans)
 	l, addr := t.owner, t.addr
 	if l.trans.Get(addr) != t || t.phase != phaseWaitAckBD {
+		return
+	}
+	if l.domains.MaybeDeclareDead(t.ackOTo) {
+		l.armAckBDTimer(addr, t)
 		return
 	}
 	l.run.Proto.LostAckBDTimeouts++
@@ -1089,6 +1153,9 @@ func (l *L2) startFetch(addr msg.Addr, t *l2Trans) {
 // install places fetched data into the array, evicting a victim if needed,
 // then re-services the waiting request.
 func (l *L2) install(addr msg.Addr, t *l2Trans) {
+	if l.halted || l.trans.Get(addr) != t {
+		return
+	}
 	victim := l.array.Victim(addr, l.victimFilter)
 	if victim == nil {
 		l.engine.Schedule(4, func() { l.install(addr, t) })
@@ -1167,6 +1234,10 @@ func l2RecallFired(arg any) {
 	t := arg.(*l2Trans)
 	l, addr := t.owner, t.addr
 	if l.trans.Get(addr) != t || t.phase != phaseWaitRecall {
+		return
+	}
+	if l.deadParty(t) {
+		l.armRecallTimer(addr, t)
 		return
 	}
 	l.run.Proto.LostRequestTimeouts++

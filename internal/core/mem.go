@@ -114,6 +114,11 @@ type Mem struct {
 	serial *msg.SerialSpace
 	obs    *obs.Recorder
 
+	// domains is the structural-fault failure detector (nil without
+	// structural faults). Memory controllers never die in this fault model;
+	// they are detectors and reconstruction anchors only.
+	domains *proto.Domains
+
 	// sendDelayed is the prepared ScheduleCall callback for latency-delayed
 	// responses; built once so scheduling one allocates nothing.
 	sendDelayed func(arg any, tick uint64)
@@ -146,11 +151,19 @@ func (c *Mem) NodeID() msg.NodeID { return c.id }
 // SetObserver attaches the structured event recorder (see internal/obs).
 func (c *Mem) SetObserver(o *obs.Recorder) { c.obs = o }
 
+// SetDomains attaches the structural-fault domain tracker.
+func (c *Mem) SetDomains(d *proto.Domains) { c.domains = d }
+
 // Quiesced reports whether no transaction is in flight.
 func (c *Mem) Quiesced() bool { return c.trans.Len() == 0 }
 
 // Handle processes a delivered network message.
 func (c *Mem) Handle(m *msg.Message) {
+	if c.domains.Declared(m.Src) {
+		// Stragglers from declared-dead nodes are discarded so
+		// post-reconstruction state stays clean.
+		return
+	}
 	switch m.Type {
 	case msg.GetX, msg.Put:
 		c.handleRequest(m)
@@ -274,6 +287,11 @@ func memPingFired(arg any) {
 	if c.trans.Get(addr) != t || t.phase != wantPhase {
 		return
 	}
+	if c.domains.MaybeDeclareDead(t.req.from) {
+		// The L2 bank this exchange was with died: park for reconstruction.
+		c.armPing(addr, t, ping)
+		return
+	}
 	c.run.Proto.LostUnblockTimeouts++
 	c.obs.TimeoutFired("mem", c.id, addr, t.req.tid, obs.TimeoutLostUnblock)
 	c.send(&msg.Message{Type: ping, Dst: t.req.from, Addr: addr, TID: t.req.tid, SN: t.req.sn})
@@ -327,6 +345,10 @@ func memAckBDFired(arg any) {
 	t := arg.(*memTrans)
 	c, addr := t.owner, t.addr
 	if c.trans.Get(addr) != t || t.phase != memWaitAckBD {
+		return
+	}
+	if c.domains.MaybeDeclareDead(t.req.from) {
+		c.armAckBD(addr, t)
 		return
 	}
 	c.run.Proto.LostAckBDTimeouts++

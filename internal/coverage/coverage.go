@@ -138,6 +138,18 @@ type Outcome struct {
 	// MemHash is the final memory-image hash (per-line committed-write
 	// versions); zero on failed runs.
 	MemHash uint64
+
+	// Structural-fault fields, populated by the tile-death run function
+	// (zero for message-loss campaigns): the full final memory image
+	// (per-line committed versions — the restricted verdict needs more than
+	// a hash), whether the tile death was declared by the survivors, the
+	// reconstruction accounting, and the death-to-reconstructed latency.
+	Image              map[msg.Addr]uint64
+	DeathDeclared      bool
+	LinesReconstructed int
+	LinesUnrecoverable int
+	UnrecoverableAddrs []msg.Addr
+	ReconstructLatency uint64
 }
 
 // RunFunc runs the workload under the given injector and reports the
@@ -171,10 +183,27 @@ type Options struct {
 	Progress func(done, total int)
 }
 
+// Fault modes a campaign row can carry (TypeRow.Mode).
+const (
+	// ModeMessageLoss: the row's runs each lose one message (the classic
+	// single-loss campaign).
+	ModeMessageLoss = "message-loss"
+	// ModeTileDeath: the row's runs each kill one tile (L1 + L2 bank +
+	// directory slice) at an injection slot; the row is per victim tile.
+	ModeTileDeath = "tile-death"
+	// ModeLinkDeath: the row's runs each kill one NoC link at an injection
+	// slot; the row is per link.
+	ModeLinkDeath = "link-death"
+)
+
 // TypeRow is one line of the coverage matrix: every slot of one message
-// type, with verification results and timeout/latency aggregates.
+// type (message-loss mode) or of one victim tile/link (structural modes),
+// with verification results and timeout/latency aggregates.
 type TypeRow struct {
-	Type  string `json:"type"`
+	Type string `json:"type"`
+	// Mode labels the row's fault mode (message-loss, tile-death,
+	// link-death) so mixed campaigns render unambiguously.
+	Mode  string `json:"mode"`
 	Slots uint64 `json:"slots"`
 	// Tested <= Slots when MaxSlotsPerType sampled this type (Sampled set).
 	Tested    int  `json:"tested"`
@@ -189,8 +218,14 @@ type TypeRow struct {
 	LostUnblock int `json:"lostUnblock"`
 	LostAckBD   int `json:"lostAckBD"`
 	Backup      int `json:"backup"`
+	// Unrecoverable totals, across this row's runs, the lines whose
+	// freshest copy died with the tile and were rolled back to the best
+	// surviving version (tile-death mode only; such lines are counted and
+	// excluded from the image comparison, never silently passed).
+	Unrecoverable int `json:"unrecoverable,omitempty"`
 	// Recovery latency (max per run, in cycles) across this type's
-	// recovered runs that attributed the fault; zero when none did.
+	// recovered runs that attributed the fault — reconstruction latency in
+	// tile-death mode; zero when none did.
 	LatencyMin  uint64  `json:"latencyMin"`
 	LatencyMean float64 `json:"latencyMean"`
 	LatencyMax  uint64  `json:"latencyMax"`
@@ -200,7 +235,9 @@ type TypeRow struct {
 type Failure struct {
 	Type string `json:"type"`
 	Nth  uint64 `json:"nth"`
-	Err  string `json:"err"`
+	// Victim names the dead tile or link for structural-mode failures.
+	Victim string `json:"victim,omitempty"`
+	Err    string `json:"err"`
 }
 
 // DoubleFault reports one sampled double-fault run.
@@ -330,7 +367,7 @@ func RunContext(ctx context.Context, run RunFunc, opt Options) (*Report, error) 
 		row := rows[s.Type]
 		if row == nil {
 			n := census.Count(s.Type)
-			row = &TypeRow{Type: s.Type.String(), Slots: n,
+			row = &TypeRow{Type: s.Type.String(), Mode: ModeMessageLoss, Slots: n,
 				Sampled: opt.MaxSlotsPerType > 0 && n > uint64(opt.MaxSlotsPerType)}
 			rows[s.Type] = row
 			lats[s.Type] = &latAgg{}
@@ -480,9 +517,9 @@ func shortErr(s string) string {
 // message type plus a totals line. The output is deterministic.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %7s %7s %7s %8s %8s %8s %7s  %s\n",
-		"type", "slots", "tested", "recov", "lost_req", "lost_unb", "lost_abd", "backup", "latency min/mean/max")
-	var tested, recov, lr, lu, la, bk int
+	fmt.Fprintf(&b, "%-14s %-12s %7s %7s %7s %8s %8s %8s %7s %7s  %s\n",
+		"type", "mode", "slots", "tested", "recov", "lost_req", "lost_unb", "lost_abd", "backup", "unrec", "latency min/mean/max")
+	var tested, recov, lr, lu, la, bk, un int
 	for _, row := range r.Rows {
 		name := row.Type
 		if row.Sampled {
@@ -492,18 +529,19 @@ func (r *Report) Table() string {
 		if row.LatencyMean > 0 {
 			lat = fmt.Sprintf("%d/%.0f/%d", row.LatencyMin, row.LatencyMean, row.LatencyMax)
 		}
-		fmt.Fprintf(&b, "%-14s %7d %7d %7d %8d %8d %8d %7d  %s\n",
-			name, row.Slots, row.Tested, row.Recovered,
-			row.LostRequest, row.LostUnblock, row.LostAckBD, row.Backup, lat)
+		fmt.Fprintf(&b, "%-14s %-12s %7d %7d %7d %8d %8d %8d %7d %7d  %s\n",
+			name, row.Mode, row.Slots, row.Tested, row.Recovered,
+			row.LostRequest, row.LostUnblock, row.LostAckBD, row.Backup, row.Unrecoverable, lat)
 		tested += row.Tested
 		recov += row.Recovered
 		lr += row.LostRequest
 		lu += row.LostUnblock
 		la += row.LostAckBD
 		bk += row.Backup
+		un += row.Unrecoverable
 	}
-	fmt.Fprintf(&b, "%-14s %7d %7d %7d %8d %8d %8d %7d\n",
-		"total", r.TotalSlots, tested, recov, lr, lu, la, bk)
+	fmt.Fprintf(&b, "%-14s %-12s %7d %7d %7d %8d %8d %8d %7d %7d\n",
+		"total", "", r.TotalSlots, tested, recov, lr, lu, la, bk, un)
 	if r.Unfired > 0 {
 		fmt.Fprintf(&b, "WARNING: %d slot(s) never fired their drop\n", r.Unfired)
 	}

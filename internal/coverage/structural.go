@@ -1,0 +1,268 @@
+package coverage
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Structural-fault campaign: instead of losing single messages, each run
+// permanently kills one tile (its L1, L2 bank and directory slice) or one
+// NoC link at an enumerated injection slot. The fault space is the cross
+// product (victim × injection slot): the same census/slot enumeration the
+// message-loss campaign uses decides *when* the fault strikes, and every
+// victim is killed at every enumerated instant.
+//
+// The verdict is necessarily weaker than the message-loss campaign's
+// bit-identical memory hash: a dead tile legitimately takes its core's
+// uncommitted write tail and any dirty-exclusive data with it. The extended
+// verdict (tileDeathVerdict) therefore compares the final memory image
+// line by line against the fault-free baseline: no line may ever be AHEAD
+// of the baseline, lines the victim's workload stream writes may lag it,
+// lines reported unrecoverable by the reconstruction are skipped but
+// counted, and every other line must match exactly — so a lost survivor
+// write can never hide behind the dead tile.
+
+// StructuralOptions configures a tile-death / link-death campaign.
+type StructuralOptions struct {
+	// Parallelism is the worker count (<=0 selects all cores). Reports are
+	// byte-identical for any value.
+	Parallelism int
+	// MaxSlotsPerType caps the injection slots tested per message type for
+	// each victim (0 = exhaustive; sampling is deterministic).
+	MaxSlotsPerType int
+	// Tiles is the tile count; every tile in [0,Tiles) is killed in turn,
+	// one report row per victim.
+	Tiles int
+	// Links lists mesh links (adjacent router pairs) to kill, one report
+	// row per link; empty skips the link-death sweep.
+	Links [][2]int
+	// VictimWrites returns the set of line addresses the victim tile's
+	// workload stream writes; required when Tiles > 0 (the restricted
+	// verdict allows exactly those lines to lag the baseline).
+	VictimWrites func(tile int) map[msg.Addr]bool
+	// Progress, when set, is called after each run with running counts.
+	Progress func(done, total int)
+}
+
+// RunStructural runs the structural-fault campaign: the fault-free baseline,
+// then one run per (victim, slot) pair.
+func RunStructural(run RunFunc, opt StructuralOptions) (*Report, error) {
+	return RunStructuralContext(context.Background(), run, opt)
+}
+
+// RunStructuralContext is RunStructural under a context (see RunContext for
+// the cancellation contract).
+func RunStructuralContext(ctx context.Context, run RunFunc, opt StructuralOptions) (*Report, error) {
+	if opt.Tiles <= 0 && len(opt.Links) == 0 {
+		return nil, fmt.Errorf("coverage: structural campaign needs tiles or links to kill")
+	}
+	if opt.Tiles > 0 && opt.VictimWrites == nil {
+		return nil, fmt.Errorf("coverage: tile-death campaign needs VictimWrites")
+	}
+	census := NewCensus()
+	base := run(census)
+	if base.Err != "" {
+		return nil, fmt.Errorf("coverage: fault-free baseline failed: %s", base.Err)
+	}
+	if census.Total() == 0 {
+		return nil, fmt.Errorf("coverage: baseline run sent no injectable messages")
+	}
+
+	slots := EnumerateSlots(census, opt.MaxSlotsPerType)
+	sampled := uint64(len(slots)) < census.Total()
+
+	type job struct {
+		victim string
+		mode   string
+		tile   int
+		link   [2]int
+		slot   Slot
+	}
+	var jobs []job
+	var victims []string
+	writes := make([]map[msg.Addr]bool, opt.Tiles)
+	for t := 0; t < opt.Tiles; t++ {
+		writes[t] = opt.VictimWrites(t)
+		name := fmt.Sprintf("tile %d", t)
+		victims = append(victims, name)
+		for _, s := range slots {
+			jobs = append(jobs, job{victim: name, mode: ModeTileDeath, tile: t, slot: s})
+		}
+	}
+	for _, l := range opt.Links {
+		name := fmt.Sprintf("link %d-%d", l[0], l[1])
+		victims = append(victims, name)
+		for _, s := range slots {
+			jobs = append(jobs, job{victim: name, mode: ModeLinkDeath, link: l, slot: s})
+		}
+	}
+
+	results, err := runner.MapProgressContext(ctx, opt.Parallelism, len(jobs), func(ctx context.Context, i int) (slotResult, error) {
+		j := jobs[i]
+		var inj fault.Injector
+		var fired func() bool
+		if j.mode == ModeTileDeath {
+			td := fault.NewTileDeath(j.tile, j.slot.Type, j.slot.Nth)
+			inj, fired = td, td.Fired
+		} else {
+			ld := fault.NewLinkDeath(j.link[0], j.link[1], j.slot.Type, j.slot.Nth)
+			inj, fired = ld, ld.Fired
+		}
+		out := run(inj)
+		if err := context.Cause(ctx); err != nil && out.Err != "" {
+			return slotResult{}, err
+		}
+		return slotResult{out: out, fired: fired()}, nil
+	}, opt.Progress)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		BaselineCycles:  base.Cycles,
+		BaselineMemHash: base.MemHash,
+		TotalSlots:      census.Total() * uint64(len(victims)),
+		SlotsTested:     len(jobs),
+	}
+	type latAgg struct {
+		n        int
+		sum, min uint64
+		max      uint64
+	}
+	rows := make(map[string]*TypeRow)
+	lats := make(map[string]*latAgg)
+	for i, r := range results {
+		j := jobs[i]
+		row := rows[j.victim]
+		if row == nil {
+			row = &TypeRow{Type: j.victim, Mode: j.mode, Slots: census.Total(), Sampled: sampled}
+			rows[j.victim] = row
+			lats[j.victim] = &latAgg{}
+		}
+		row.Tested++
+		if !r.fired {
+			row.Unfired++
+			rep.Unfired++
+			continue
+		}
+		var verdict string
+		if j.mode == ModeTileDeath {
+			verdict = tileDeathVerdict(base, r.out, writes[j.tile])
+		} else if r.out.Err != "" {
+			verdict = r.out.Err
+		} else if r.out.MemHash != base.MemHash {
+			// No node died, so link death must preserve the full image.
+			verdict = fmt.Sprintf("final memory image diverged: %#x != baseline %#x",
+				r.out.MemHash, base.MemHash)
+		}
+		if verdict == "" {
+			row.Recovered++
+			rep.Recovered++
+		} else {
+			rep.TotalFailures++
+			if len(rep.Failures) < maxFailures {
+				rep.Failures = append(rep.Failures, Failure{
+					Type: j.slot.Type.String(), Nth: j.slot.Nth,
+					Victim: j.victim, Err: shortErr(verdict)})
+			}
+		}
+		row.Unrecoverable += r.out.LinesUnrecoverable
+		if r.out.Timeouts[obs.TimeoutLostRequest] > 0 {
+			row.LostRequest++
+		}
+		if r.out.Timeouts[obs.TimeoutLostUnblock] > 0 {
+			row.LostUnblock++
+		}
+		if r.out.Timeouts[obs.TimeoutLostAckBD] > 0 {
+			row.LostAckBD++
+		}
+		if r.out.Timeouts[obs.TimeoutBackup] > 0 {
+			row.Backup++
+		}
+		// Latency: reconstruction latency for tile deaths, timeout-recovery
+		// latency for link deaths (whose one on-the-wire message is re-sent
+		// by the usual machinery).
+		var l uint64
+		switch {
+		case j.mode == ModeTileDeath && verdict == "" && r.out.DeathDeclared:
+			l = r.out.ReconstructLatency
+		case j.mode == ModeLinkDeath && verdict == "" && r.out.FaultsRecovered > 0:
+			l = r.out.RecoveryLatencyMax
+		default:
+			continue
+		}
+		a := lats[j.victim]
+		if a.n == 0 || l < a.min {
+			a.min = l
+		}
+		if l > a.max {
+			a.max = l
+		}
+		a.sum += l
+		a.n++
+	}
+	for v, row := range rows {
+		if a := lats[v]; a.n > 0 {
+			row.LatencyMin = a.min
+			row.LatencyMax = a.max
+			row.LatencyMean = float64(a.sum) / float64(a.n)
+		}
+	}
+	for _, v := range victims {
+		if row := rows[v]; row != nil {
+			rep.Rows = append(rep.Rows, *row)
+		}
+	}
+	return rep, nil
+}
+
+// tileDeathVerdict applies the extended recovery verdict to one tile-death
+// run; it returns "" when the run passes and a description of the first
+// violated line otherwise. The comparison walks the union of the baseline's
+// and the run's memory-image domains in address order (a line absent from
+// an image is at version 0).
+func tileDeathVerdict(base, out Outcome, victimWrites map[msg.Addr]bool) string {
+	if out.Err != "" {
+		return out.Err
+	}
+	if !out.DeathDeclared {
+		return "tile death was never declared by the survivors"
+	}
+	unrec := make(map[msg.Addr]bool, len(out.UnrecoverableAddrs))
+	for _, a := range out.UnrecoverableAddrs {
+		unrec[a] = true
+	}
+	seen := make(map[msg.Addr]bool, len(base.Image))
+	addrs := make([]msg.Addr, 0, len(base.Image))
+	for a := range base.Image {
+		addrs = append(addrs, a)
+		seen[a] = true
+	}
+	for a := range out.Image {
+		if !seen[a] {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		want, got := base.Image[a], out.Image[a]
+		if unrec[a] {
+			// Explicitly unrecoverable: rolled back and counted, not
+			// compared. Never silent — the row totals carry the count.
+			continue
+		}
+		if got > want {
+			return fmt.Sprintf("line %#x ahead of the fault-free baseline: v%d > v%d", a, got, want)
+		}
+		if got < want && !victimWrites[a] {
+			return fmt.Sprintf("line %#x lost committed survivor writes: v%d < baseline v%d", a, got, want)
+		}
+	}
+	return ""
+}

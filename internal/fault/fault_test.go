@@ -328,3 +328,56 @@ func TestChainDroppedCountsDistinctMessages(t *testing.T) {
 		t.Fatalf("Dropped() = %d, want 1", chain.Dropped())
 	}
 }
+
+// TestChainThreeInjectorAggregation pins Chain's aggregation semantics with
+// three heterogeneous injectors, including a structural one: every injector
+// sees every message (streams stay deterministic), Chain.Dropped() counts
+// distinct messages lost while each member keeps its own attempt count, and
+// the composite Description is deterministic and lists the members in order.
+func TestChainThreeInjectorAggregation(t *testing.T) {
+	first := NewNthOfType(msg.GetS, 1)
+	third := NewNthOfType(msg.GetS, 3)
+	td := NewTileDeath(2, msg.GetS, 3)
+	td.Arm([]msg.NodeID{3, 7}, nil)
+	chain := NewChain(first, third, td)
+
+	// GetS #1: dropped by first only. GetS #2: nobody. GetS #3: dropped by
+	// third, and it also fires the tile death — but involves no dead node,
+	// so the TileDeath member does not drop it itself. GetS #4 from a dead
+	// node: dropped by TileDeath only.
+	msgs := []*msg.Message{
+		{Type: msg.GetS, Src: 1, Dst: 5},
+		{Type: msg.GetS, Src: 1, Dst: 5},
+		{Type: msg.GetS, Src: 1, Dst: 5},
+		{Type: msg.GetS, Src: 3, Dst: 5},
+	}
+	wantLost := []bool{true, false, true, true}
+	for i, m := range msgs {
+		if got := chain.Drop(m); got != wantLost[i] {
+			t.Errorf("message %d: lost=%t, want %t", i+1, got, wantLost[i])
+		}
+	}
+	if got := chain.Dropped(); got != 3 {
+		t.Errorf("chain.Dropped() = %d, want 3 distinct messages", got)
+	}
+	if got := first.Dropped(); got != 1 {
+		t.Errorf("first.Dropped() = %d, want 1", got)
+	}
+	if got := third.Dropped(); got != 1 {
+		t.Errorf("third.Dropped() = %d, want 1", got)
+	}
+	if got := td.Dropped(); got != 1 {
+		t.Errorf("tile death Dropped() = %d, want 1", got)
+	}
+	if !td.Fired() {
+		t.Error("tile death never fired despite GetS #3 passing through")
+	}
+
+	want := "chain[drop GetS #1; drop GetS #3; tile-death tile 2 at GetS #3]"
+	if got := chain.Description(); got != want {
+		t.Errorf("Description() = %q, want %q", got, want)
+	}
+	if got := chain.Description(); got != want {
+		t.Errorf("Description() not stable across calls: %q", got)
+	}
+}

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+)
+
+// TileDeath is a structural (permanent) fault: at a chosen injection slot —
+// the nth injected message of a given type, the same (Type, Nth) coordinate
+// system the coverage census enumerates — an entire tile dies. From that
+// moment on, every message sent by or addressed to any node of the dead
+// tile is lost: its L1, its L2 bank, and the directory slice the bank
+// hosts all go permanently silent.
+//
+// The injector itself is protocol-agnostic: it only knows the victim tile
+// index and, once armed by the system layer, the set of node IDs that live
+// on that tile. The system layer also registers an OnDeath callback so it
+// can halt the dead controllers, stop the dead core, and start the
+// survivors' recovery machinery at the exact injection cycle.
+type TileDeath struct {
+	tile int
+	typ  msg.Type
+	nth  uint64
+
+	dead    []msg.NodeID
+	onDeath func()
+
+	seen    uint64
+	fired   bool
+	dropped uint64
+}
+
+// NewTileDeath kills tile (0-based) when the nth message of type t (1-based)
+// is injected. The triggering message itself is lost only if it involves
+// the dying tile.
+func NewTileDeath(tile int, t msg.Type, nth uint64) *TileDeath {
+	if nth < 1 {
+		nth = 1
+	}
+	return &TileDeath{tile: tile, typ: t, nth: nth}
+}
+
+// Tile returns the victim tile index.
+func (t *TileDeath) Tile() int { return t.tile }
+
+// Slot returns the injection slot (message type and 1-based occurrence)
+// that triggers the death.
+func (t *TileDeath) Slot() (msg.Type, uint64) { return t.typ, t.nth }
+
+// Arm is called by the system layer before the run starts: dead lists the
+// node IDs living on the victim tile, and onDeath (may be nil) runs
+// synchronously when the trigger slot is reached.
+func (t *TileDeath) Arm(dead []msg.NodeID, onDeath func()) {
+	t.dead = dead
+	t.onDeath = onDeath
+}
+
+// Fired reports whether the trigger slot was reached.
+func (t *TileDeath) Fired() bool { return t.fired }
+
+func (t *TileDeath) isDead(id msg.NodeID) bool {
+	for _, d := range t.dead {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Drop implements Injector.
+func (t *TileDeath) Drop(m *msg.Message) bool {
+	if !t.fired {
+		if m.Type != t.typ {
+			return false
+		}
+		t.seen++
+		if t.seen != t.nth {
+			return false
+		}
+		t.fired = true
+		if t.onDeath != nil {
+			t.onDeath()
+		}
+	}
+	if t.isDead(m.Src) || t.isDead(m.Dst) {
+		t.dropped++
+		return true
+	}
+	return false
+}
+
+// Dropped implements Injector.
+func (t *TileDeath) Dropped() uint64 { return t.dropped }
+
+// Description implements Injector.
+func (t *TileDeath) Description() string {
+	return fmt.Sprintf("tile-death tile %d at %v #%d", t.tile, t.typ, t.nth)
+}
+
+// LinkDeath is a structural fault that permanently kills one NoC link
+// (both directions) at a chosen injection slot. The triggering message is
+// lost — it was on the link when the link died — and the OnDeath callback
+// (registered by the system layer) tells the network to stop routing over
+// the link, so everything still in flight detours around it. No node dies:
+// the protocols see exactly one lost message plus longer paths, which the
+// ordinary Table-3 timeout machinery already recovers from.
+type LinkDeath struct {
+	a, b int // router indices of the link's endpoints
+	typ  msg.Type
+	nth  uint64
+
+	onDeath func()
+
+	seen    uint64
+	fired   bool
+	dropped uint64
+}
+
+// NewLinkDeath kills the link between routers a and b when the nth message
+// of type t is injected.
+func NewLinkDeath(a, b int, t msg.Type, nth uint64) *LinkDeath {
+	if nth < 1 {
+		nth = 1
+	}
+	return &LinkDeath{a: a, b: b, typ: t, nth: nth}
+}
+
+// Link returns the router indices of the link's endpoints.
+func (l *LinkDeath) Link() (a, b int) { return l.a, l.b }
+
+// Slot returns the injection slot that triggers the death.
+func (l *LinkDeath) Slot() (msg.Type, uint64) { return l.typ, l.nth }
+
+// Arm registers the callback run synchronously when the link dies
+// (typically noc.Network.KillLink).
+func (l *LinkDeath) Arm(onDeath func()) { l.onDeath = onDeath }
+
+// Fired reports whether the trigger slot was reached.
+func (l *LinkDeath) Fired() bool { return l.fired }
+
+// Drop implements Injector.
+func (l *LinkDeath) Drop(m *msg.Message) bool {
+	if l.fired || m.Type != l.typ {
+		return false
+	}
+	l.seen++
+	if l.seen != l.nth {
+		return false
+	}
+	l.fired = true
+	if l.onDeath != nil {
+		l.onDeath()
+	}
+	l.dropped++
+	return true
+}
+
+// Dropped implements Injector.
+func (l *LinkDeath) Dropped() uint64 { return l.dropped }
+
+// Description implements Injector.
+func (l *LinkDeath) Description() string {
+	return fmt.Sprintf("link-death %d-%d at %v #%d", l.a, l.b, l.typ, l.nth)
+}
+
+// Injectors returns the chained injectors, in order. The system layer uses
+// it to find structural faults (TileDeath, LinkDeath) that need arming even
+// when they are wrapped in a Chain.
+func (c *Chain) Injectors() []Injector { return c.injs }

@@ -85,6 +85,12 @@ func (n *Network) bufFree(b *vcBuf, flits int) {
 			return
 		}
 		b.waiters = b.waiters[1:]
+		if n.anyDead {
+			// A link death may have re-routed this flight away from b;
+			// recompute its path instead of departing into a stale buffer.
+			n.tryAdvance(f)
+			continue
+		}
 		b.used += f.flits
 		n.departTo(f, b)
 	}
@@ -117,6 +123,10 @@ func (n *Network) detailedSend(m *msg.Message, srcRouter, dstRouter int, serFlit
 func (n *Network) tryAdvance(f *flight) {
 	dir := n.route(f.router, f.dst, n.cfg.Routing == RoutingYX)
 	if dir == dirLocal {
+		if n.anyDead && f.router != f.dst {
+			// Cut off from the destination by a link death: lost in place.
+			f.dropped = true
+		}
 		n.eject(f)
 		return
 	}

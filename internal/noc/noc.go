@@ -170,6 +170,13 @@ type Network struct {
 	// suffices. In steady state every hop is allocation-free.
 	transits []*transit
 	flights  []*flight
+
+	// Dead-link state (see deadlink.go). deadOut[router][dir] marks a dead
+	// output link; nextHop is the BFS detour table consulted by route()
+	// only while anyDead is set, so the fault-free path is untouched.
+	deadOut [][numDirections]bool
+	anyDead bool
+	nextHop []int8
 }
 
 // transit is the traversal state of one in-flight message in the simple
@@ -273,6 +280,14 @@ func (n *Network) Send(m *msg.Message) {
 	n.rec.MessageSent(m, size)
 	dropped := n.drop != nil && n.drop(m)
 
+	if n.anyDead && !n.reachable(src.router, dst.router) {
+		// A dead link partitioned source from destination: the message is
+		// lost on the spot. The protocols see a permanently lossy path.
+		n.rec.MessageDropped(m)
+		msg.Recycle(m)
+		return
+	}
+
 	serLat := uint64((size + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes)
 	if serLat == 0 {
 		serLat = 1
@@ -330,6 +345,11 @@ func transitDeliver(arg any, _ uint64) {
 // link is free.
 func (n *Network) traverse(t *transit) {
 	dir := n.route(t.router, t.dstRouter, t.yFirst)
+	if n.anyDead && dir == dirLocal && t.router != t.dstRouter {
+		// A link died mid-flight and cut this message off from its
+		// destination: it is lost where it stands.
+		t.dropped = true
+	}
 	lnk := &n.links[t.router][dir]
 	depart := n.engine.Now()
 	if lnk.freeAt[t.vc] > depart {
@@ -349,7 +369,11 @@ func (n *Network) traverse(t *transit) {
 
 // route returns the next output direction at router toward dstRouter,
 // resolving the X dimension first (XY) or the Y dimension first (YX).
+// While any link is dead it instead follows the BFS detour table.
 func (n *Network) route(router, dstRouter int, yFirst bool) direction {
+	if n.anyDead {
+		return n.detourDir(router, dstRouter)
+	}
 	w := n.cfg.Width
 	x, y := router%w, router/w
 	dx, dy := dstRouter%w, dstRouter/w

@@ -72,8 +72,17 @@ const (
 	// emitted only when EnableMessageFeed was called). Latency holds the
 	// network transit time in cycles.
 	KindMsgRecv
+	// KindTileDeath is a structural fault taking effect: an entire tile
+	// (core, L1, L2 bank and its directory slice) went permanently silent.
+	// Node is the dead tile's L2 bank.
+	KindTileDeath
+	// KindReconstruct is the system-level directory reconstruction
+	// completing after a tile death was declared: Node is the dead bank,
+	// Latency the cycles from the death to the completed flush, and the
+	// reconstructed/unrecoverable line counts land in the metrics.
+	KindReconstruct
 
-	numKinds = int(KindMsgRecv)
+	numKinds = int(KindReconstruct)
 )
 
 var kindNames = [...]string{
@@ -90,6 +99,8 @@ var kindNames = [...]string{
 	KindRecreate:     "recreate",
 	KindMsgSend:      "msg.send",
 	KindMsgRecv:      "msg.recv",
+	KindTileDeath:    "fault.tile_death",
+	KindReconstruct:  "fault.reconstruct",
 }
 
 func (k Kind) String() string {
@@ -102,7 +113,7 @@ func (k Kind) String() string {
 // AllKinds returns every event kind in declaration order.
 func AllKinds() []Kind {
 	out := make([]Kind, 0, numKinds)
-	for k := KindState; k <= KindMsgRecv; k++ {
+	for k := KindState; k <= KindReconstruct; k++ {
 		out = append(out, k)
 	}
 	return out
@@ -207,7 +218,7 @@ func (e Event) String() string {
 	switch e.Kind {
 	case KindReissue:
 		s += fmt.Sprintf(" sn=%d->%d", e.OldSN, e.NewSN)
-	case KindRecover, KindMsgRecv:
+	case KindRecover, KindMsgRecv, KindReconstruct:
 		s += fmt.Sprintf(" latency=%d", e.Latency)
 	case KindPing, KindCancel, KindFaultInject, KindBackupCreate, KindMsgSend:
 		s += fmt.Sprintf(" dst=%d", e.Dst)
@@ -236,6 +247,15 @@ type Metrics struct {
 	FaultsRecovered uint64
 	// RecoveryLatency distributes injection-to-recovery times in cycles.
 	RecoveryLatency stats.Histogram
+
+	// TileDeaths counts structural tile deaths; LinesReconstructed and
+	// LinesUnrecoverable total the per-reconstruction line accounting; and
+	// ReconstructionLatency distributes death-to-reconstructed times in
+	// cycles (one sample per fault.reconstruct event).
+	TileDeaths            uint64
+	LinesReconstructed    uint64
+	LinesUnrecoverable    uint64
+	ReconstructionLatency stats.Histogram
 }
 
 // Unattributed returns the number of injected faults whose line never
@@ -475,6 +495,29 @@ func (r *Recorder) TransactionEnd(unit string, node msg.NodeID, addr msg.Addr, t
 	}
 	r.emit(Event{Kind: KindTxnEnd, Unit: unit, Node: node, Addr: addr, TID: tid})
 	r.close(unit, node, addr)
+}
+
+// TileDeath records a structural tile death taking effect: node is the dead
+// tile's L2 bank (the directory slice that just vanished).
+func (r *Recorder) TileDeath(node msg.NodeID) {
+	if r == nil {
+		return
+	}
+	r.met.TileDeaths++
+	r.emit(Event{Kind: KindTileDeath, Unit: "sys", Node: node})
+}
+
+// Reconstructed records the directory reconstruction flush completing after
+// a tile death: node is the dead bank, reconstructed/unrecoverable the line
+// accounting, and latency the cycles elapsed since the death.
+func (r *Recorder) Reconstructed(node msg.NodeID, reconstructed, unrecoverable int, latency uint64) {
+	if r == nil {
+		return
+	}
+	r.met.LinesReconstructed += uint64(reconstructed)
+	r.met.LinesUnrecoverable += uint64(unrecoverable)
+	r.met.ReconstructionLatency.Add(latency)
+	r.emit(Event{Kind: KindReconstruct, Unit: "sys", Node: node, Latency: latency})
 }
 
 // Recreate records the FtTokenCMP token recreation process starting at the

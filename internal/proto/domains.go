@@ -1,0 +1,133 @@
+package proto
+
+import "repro/internal/msg"
+
+// Domains tracks structural fault domains: which nodes are physically dead
+// (ground truth, set by the system layer at the injection instant) and which
+// of them the survivors have *declared* dead. Controllers consult it only at
+// Table-3 timeout firing points — a timeout against a counterpart that turns
+// out to be dead converts the reissue loop into a declaration, which in turn
+// triggers the system-level directory reconstruction. This models a perfect
+// failure detector layered on the existing timeout machinery: a timeout
+// against a live node still behaves exactly as before (message loss), so
+// detection accuracy costs nothing on the fault-free path.
+//
+// A nil *Domains is valid everywhere and reports nothing dead, so protocols
+// built without structural faults pay a single nil check.
+type Domains struct {
+	topo     Topology
+	killed   map[msg.NodeID]bool
+	declared map[msg.NodeID]bool
+
+	// deadBank[i] is true when tile i's L2 bank has been declared dead;
+	// HomeL2 consults it to re-home directory slices. anyDeclared gates the
+	// remap so the fast path stays a flag test.
+	deadBank    []bool
+	anyDeclared bool
+
+	// onDeclare runs once per declared tile, synchronously from the first
+	// MaybeDeclareDead that names one of its nodes. The system layer uses it
+	// to schedule the reconstruction flush.
+	onDeclare func(tile int)
+}
+
+// NewDomains builds a Domains for the given topology. onDeclare (may be nil)
+// is invoked once per tile when survivors first declare it dead.
+func NewDomains(topo Topology, onDeclare func(tile int)) *Domains {
+	return &Domains{
+		topo:      topo,
+		killed:    make(map[msg.NodeID]bool),
+		declared:  make(map[msg.NodeID]bool),
+		deadBank:  make([]bool, topo.Tiles),
+		onDeclare: onDeclare,
+	}
+}
+
+// Kill records ground truth: every node of tile is physically dead. It does
+// not declare anything — survivors learn of the death through timeouts.
+func (d *Domains) Kill(tile int) {
+	d.killed[d.topo.L1(tile)] = true
+	d.killed[d.topo.L2(tile)] = true
+}
+
+// AnyKilled reports whether any node is physically dead.
+func (d *Domains) AnyKilled() bool { return d != nil && len(d.killed) > 0 }
+
+// Killed reports ground truth for one node.
+func (d *Domains) Killed(id msg.NodeID) bool { return d != nil && d.killed[id] }
+
+// KilledNodes returns the physically dead nodes in ascending order.
+func (d *Domains) KilledNodes() []msg.NodeID {
+	if d == nil || len(d.killed) == 0 {
+		return nil
+	}
+	var out []msg.NodeID
+	for id := msg.NodeID(1); len(out) < len(d.killed); id++ {
+		if d.killed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Declared reports whether survivors have declared id dead. In-flight
+// messages from declared-dead sources are discarded at the Handle entry of
+// every surviving controller.
+func (d *Domains) Declared(id msg.NodeID) bool {
+	return d != nil && d.anyDeclared && d.declared[id]
+}
+
+// AnyDeclared reports whether any tile has been declared dead.
+func (d *Domains) AnyDeclared() bool { return d != nil && d.anyDeclared }
+
+// MaybeDeclareDead is the failure-detector query, called from timeout
+// handlers about the timeout's counterpart. It returns false for live nodes
+// (the timeout keeps its ordinary message-loss meaning). For a dead node it
+// declares the whole tile on first call — firing onDeclare so the system
+// can reconstruct the lost directory slice — and returns true; the caller
+// should then park the transaction (keep its timer armed) and let the
+// reconstruction resolve it.
+func (d *Domains) MaybeDeclareDead(id msg.NodeID) bool {
+	if d == nil || !d.killed[id] {
+		return false
+	}
+	if d.declared[id] {
+		return true
+	}
+	tile := d.topo.TileOf(id)
+	d.declared[d.topo.L1(tile)] = true
+	d.declared[d.topo.L2(tile)] = true
+	d.deadBank[tile] = true
+	d.anyDeclared = true
+	if d.onDeclare != nil {
+		d.onDeclare(tile)
+	}
+	return true
+}
+
+// ForceDeclare declares tile dead without a detecting timeout (the system
+// uses it when the run quiesces before any survivor tripped over the dead
+// tile — a heartbeat/OS-level declaration). It fires onDeclare like
+// MaybeDeclareDead does.
+func (d *Domains) ForceDeclare(tile int) {
+	if d == nil || d.declared[d.topo.L2(tile)] {
+		return
+	}
+	d.MaybeDeclareDead(d.topo.L2(tile))
+}
+
+// HomeL2 returns the directory home for addr, skipping declared-dead banks:
+// lines homed at a dead bank are re-homed by linear probing to the next
+// surviving tile's bank. Before any declaration it is exactly
+// Topology.HomeL2.
+func (d *Domains) HomeL2(addr msg.Addr) msg.NodeID {
+	h := d.topo.HomeL2(addr)
+	if !d.anyDeclared {
+		return h
+	}
+	tile := int(d.topo.LineIndex(addr) % uint64(d.topo.Tiles))
+	for d.deadBank[tile] {
+		tile = (tile + 1) % d.topo.Tiles
+	}
+	return d.topo.L2(tile)
+}

@@ -18,8 +18,10 @@ import (
 type Request struct {
 	// Type selects the experiment: "run" (one simulation), "sweep" (the
 	// Figure-3 fault-rate sweep), "compare" (fault-free DirCMP vs
-	// FtDirCMP), "coverage" (the exhaustive single-loss census campaign)
-	// or "profile" (per-miss latency attribution by phase).
+	// FtDirCMP), "coverage" (the exhaustive single-loss census campaign),
+	// "tile-death" (the structural-fault campaign: every tile killed at
+	// every enumerated slot) or "profile" (per-miss latency attribution by
+	// phase).
 	Type string `json:"type"`
 	// Workload names one of repro.Workloads(); default "uniform".
 	Workload string `json:"workload,omitempty"`
@@ -35,6 +37,9 @@ type Request struct {
 	Rates []int `json:"rates,omitempty"`
 	// Coverage tunes a coverage campaign; only valid for type "coverage".
 	Coverage *CoverageParams `json:"coverage,omitempty"`
+	// TileDeath tunes a structural campaign; only valid for type
+	// "tile-death".
+	TileDeath *TileDeathParams `json:"tile_death,omitempty"`
 }
 
 // CoverageParams mirrors repro.CoverageOptions for the wire.
@@ -45,9 +50,16 @@ type CoverageParams struct {
 	Seed               uint64 `json:"seed,omitempty"`
 }
 
+// TileDeathParams mirrors repro.TileDeathOptions for the wire.
+type TileDeathParams struct {
+	MaxSlotsPerType int  `json:"max_slots_per_type,omitempty"`
+	IncludeLinks    bool `json:"include_links,omitempty"`
+}
+
 // experimentTypes is the closed set of Request.Type values.
 var experimentTypes = map[string]bool{
-	"run": true, "sweep": true, "compare": true, "coverage": true, "profile": true,
+	"run": true, "sweep": true, "compare": true, "coverage": true,
+	"tile-death": true, "profile": true,
 }
 
 // resolved is a fully-resolved experiment request: the base configuration
@@ -55,11 +67,12 @@ var experimentTypes = map[string]bool{
 // the same experiment — whatever their field order or defaulting — resolve
 // to identical values and therefore identical cache keys.
 type resolved struct {
-	Type     string          `json:"type"`
-	Workload string          `json:"workload"`
-	Config   repro.Config    `json:"config"`
-	Rates    []int           `json:"rates,omitempty"`
-	Coverage *CoverageParams `json:"coverage,omitempty"`
+	Type      string           `json:"type"`
+	Workload  string           `json:"workload"`
+	Config    repro.Config     `json:"config"`
+	Rates     []int            `json:"rates,omitempty"`
+	Coverage  *CoverageParams  `json:"coverage,omitempty"`
+	TileDeath *TileDeathParams `json:"tileDeath,omitempty"`
 }
 
 // key returns the content address of the resolved request: the canonical
@@ -79,7 +92,7 @@ func resolveRequest(body []byte) (*resolved, error) {
 		return nil, fmt.Errorf("invalid request: %w", err)
 	}
 	if !experimentTypes[req.Type] {
-		return nil, fmt.Errorf("unknown experiment type %q (want run, sweep, compare, coverage or profile)", req.Type)
+		return nil, fmt.Errorf("unknown experiment type %q (want run, sweep, compare, coverage, tile-death or profile)", req.Type)
 	}
 	if req.Workload == "" {
 		req.Workload = "uniform"
@@ -123,6 +136,12 @@ func resolveRequest(body []byte) (*resolved, error) {
 			return nil, fmt.Errorf("coverage params are only valid for type coverage")
 		}
 		res.Coverage = req.Coverage
+	}
+	if req.TileDeath != nil {
+		if req.Type != "tile-death" {
+			return nil, fmt.Errorf("tile_death params are only valid for type tile-death")
+		}
+		res.TileDeath = req.TileDeath
 	}
 	return res, nil
 }

@@ -596,6 +596,18 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *r
 		}
 		b, err := json.Marshal(rep)
 		return b, nil, err
+	case "tile-death":
+		opt := repro.TileDeathOptions{Progress: j.publishCounts}
+		if p := j.req.TileDeath; p != nil {
+			opt.MaxSlotsPerType = p.MaxSlotsPerType
+			opt.IncludeLinks = p.IncludeLinks
+		}
+		rep, err := repro.TileDeathCoverageContext(ctx, cfg, j.req.Workload, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := json.Marshal(rep)
+		return b, nil, err
 	case "profile":
 		j.publishCounts(0, 2)
 		rep, err := repro.ProfileContext(ctx, cfg, j.req.Workload)

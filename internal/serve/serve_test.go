@@ -118,6 +118,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"sweep without rates", `{"type":"sweep"}`},
 		{"rates on non-sweep", `{"type":"run","rates":[1,2]}`},
 		{"coverage params on run", `{"type":"run","coverage":{"seed":1}}`},
+		{"tile_death params on run", `{"type":"run","tile_death":{"include_links":true}}`},
 		{"trailing data", `{"type":"run"} {"x":1}`},
 	}
 	for _, tc := range cases {
@@ -585,4 +586,44 @@ func TestFailedJobIsRetriedNotCached(t *testing.T) {
 		t.Fatalf("misses = %d, want 2 (cancelled run not memoized)", misses)
 	}
 	waitState(t, ts, doc.ID, stateCanceled)
+}
+
+// TestTileDeathExperiment runs the structural-fault experiment class end to
+// end: submit, wait for completion, and check the memoized report carries
+// one tile-death row per tile with every tested slot recovered.
+func TestTileDeathExperiment(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	body := `{"type":"tile-death","quick":true,"config":{"OpsPerCore":20},"tile_death":{"max_slots_per_type":1}}`
+	code, doc, _ := postJSON(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	final := waitState(t, ts, doc.ID, stateDone)
+	var rep struct {
+		SlotsTested int `json:"slotsTested"`
+		Recovered   int `json:"recovered"`
+		Rows        []struct {
+			Type string `json:"type"`
+			Mode string `json:"mode"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(final.Result, &rep); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if rep.SlotsTested == 0 || rep.Recovered != rep.SlotsTested {
+		t.Fatalf("campaign recovered %d/%d", rep.Recovered, rep.SlotsTested)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 (one per tile)", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Mode != "tile-death" {
+			t.Errorf("row %q mode %q, want tile-death", row.Type, row.Mode)
+		}
+	}
+	// Identical resubmission must replay from cache.
+	code, doc2, _ := postJSON(t, ts, body)
+	if code != http.StatusOK || doc2.ID != doc.ID {
+		t.Errorf("resubmit: status %d id %s, want 200 with id %s", code, doc2.ID, doc.ID)
+	}
 }

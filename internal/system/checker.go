@@ -28,9 +28,15 @@ func (s *System) CheckCoherence() []error {
 	// geometrically, while the map costs an allocation per address. The
 	// stable sort preserves agent order within each line, which keeps error
 	// messages deterministic.
+	// Dead agents are excluded: their state froze mid-transaction at the
+	// death instant, and the reconstruction flush re-established the
+	// invariants over the survivors alone.
 	var views []agentView
 	for _, a := range s.agents {
 		id := a.NodeID()
+		if s.deadNodes[id] {
+			continue
+		}
 		a.InspectLines(func(v proto.LineView) {
 			views = append(views, agentView{node: id, v: v})
 		})
@@ -90,6 +96,9 @@ func (s *System) CheckLine(addr msg.Addr) error {
 	var vs []agentView
 	for _, a := range s.agents {
 		id := a.NodeID()
+		if s.deadNodes[id] {
+			continue
+		}
 		a.InspectLines(func(v proto.LineView) {
 			if v.Addr == addr {
 				vs = append(vs, agentView{node: id, v: v})

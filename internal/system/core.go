@@ -22,6 +22,7 @@ type Core struct {
 	seq       uint64
 	completed uint64
 	done      bool
+	killed    bool
 
 	// The issue loop and completion callbacks are built once here: the core
 	// is in-order (one operation in flight), so a single prepared closure
@@ -67,13 +68,28 @@ func (c *Core) Start() {
 	c.engine.Schedule(0, c.nextFn)
 }
 
-// Done reports whether the stream is exhausted.
+// Done reports whether the stream is exhausted (or the core was killed).
 func (c *Core) Done() bool { return c.done }
+
+// Kill permanently stops the core at a tile death: the in-flight operation
+// (if any) is abandoned — its completion callback never fires against the
+// halted L1 — and no further operations issue. A killed core counts as done
+// so the run can terminate on the survivors alone.
+func (c *Core) Kill() {
+	c.killed = true
+	c.done = true
+}
+
+// Killed reports whether the core was stopped by a tile death.
+func (c *Core) Killed() bool { return c.killed }
 
 // Completed returns how many operations have committed.
 func (c *Core) Completed() uint64 { return c.completed }
 
 func (c *Core) next() {
+	if c.killed {
+		return
+	}
 	op, ok := c.stream.Next()
 	if !ok {
 		c.done = true
@@ -91,6 +107,9 @@ func (c *Core) next() {
 }
 
 func (c *Core) completeOp() {
+	if c.killed {
+		return
+	}
 	c.completed++
 	c.engine.Schedule(c.thinkTime, c.nextFn)
 }

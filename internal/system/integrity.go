@@ -104,6 +104,31 @@ func (g *Integrity) observe(coreID int, addr msg.Addr, version uint64) {
 	}
 }
 
+// AllowRegression informs the oracle that directory reconstruction rolled
+// line addr back to version v: writes newer than v died with their tile
+// before any surviving copy captured them, so the committed history is
+// truncated at v and the per-core monotonicity floors are clamped down.
+// Without this the first post-reconstruction access to an unrecoverable
+// line would (correctly, but unhelpfully) trip the oracle — the rollback is
+// deliberate and is accounted separately by the recovery verdict.
+func (g *Integrity) AllowRegression(addr msg.Addr, v uint64) {
+	if g.lastVersion[addr] > v {
+		g.lastVersion[addr] = v
+	}
+	if m := g.valueAt[addr]; m != nil {
+		for ver := range m {
+			if ver > v {
+				delete(m, ver)
+			}
+		}
+	}
+	for _, seen := range g.coreSeen {
+		if seen[addr] > v {
+			seen[addr] = v
+		}
+	}
+}
+
 // LastVersion returns the newest committed version of a line.
 func (g *Integrity) LastVersion(addr msg.Addr) uint64 { return g.lastVersion[addr] }
 

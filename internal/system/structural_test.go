@@ -1,0 +1,132 @@
+package system
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestTileDeathEveryTileRecovers kills each tile in turn mid-run and
+// requires the survivors to detect the death, reconstruct the lost
+// directory slice and finish coherent.
+func TestTileDeathEveryTileRecovers(t *testing.T) {
+	for tile := 0; tile < 4; tile++ {
+		cfg := smallConfig(FtDirCMP)
+		cfg.Obs = obs.NewRecorder(256)
+		cfg.Injector = fault.NewTileDeath(tile, msg.GetX, 5)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("tile %d: New: %v", tile, err)
+		}
+		if _, err := s.Run(workload.Uniform(64, 0.5)); err != nil {
+			t.Fatalf("tile %d: Run: %v", tile, err)
+		}
+		rec := s.Recovery()
+		if !rec.TileDeath || rec.DeadTile != tile {
+			t.Fatalf("tile %d: recovery report %+v", tile, rec)
+		}
+		if !rec.Declared {
+			t.Errorf("tile %d: death never declared", tile)
+		}
+		if rec.LinesReconstructed == 0 {
+			t.Errorf("tile %d: nothing reconstructed", tile)
+		}
+		if got := cfg.Obs.Metrics().TileDeaths; got != 1 {
+			t.Errorf("tile %d: TileDeaths metric = %d, want 1", tile, got)
+		}
+		if cfg.Obs.Metrics().ReconstructionLatency.Count() != 1 {
+			t.Errorf("tile %d: no reconstruction latency sample", tile)
+		}
+	}
+}
+
+// TestTileDeathDeterministic runs the same tile death twice and requires
+// bit-identical final memory images.
+func TestTileDeathDeterministic(t *testing.T) {
+	run := func() uint64 {
+		cfg := smallConfig(FtDirCMP)
+		cfg.Injector = fault.NewTileDeath(2, msg.Data, 9)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := s.Run(workload.Hotspot(8, 56)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s.MemoryImageHash()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic tile-death run: %#x vs %#x", a, b)
+	}
+}
+
+// TestTileDeathDirCMPDeadlocks pins the contrast: the baseline protocol has
+// no detection or reconstruction machinery, so a tile death strands the
+// survivors, and the deadlock dump names the dead nodes.
+func TestTileDeathDirCMPDeadlocks(t *testing.T) {
+	cfg := smallConfig(DirCMP)
+	cfg.Injector = fault.NewTileDeath(1, msg.GetX, 5)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, err = s.Run(workload.Uniform(64, 0.5))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("DirCMP survived a tile death: %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is not a *DeadlockError: %v", err)
+	}
+	want := []msg.NodeID{s.topo.L1(1), s.topo.L2(1)}
+	if len(de.DeadNodes) != 2 || de.DeadNodes[0] != want[0] || de.DeadNodes[1] != want[1] {
+		t.Errorf("DeadNodes = %v, want %v", de.DeadNodes, want)
+	}
+	if de.Stuck == 0 {
+		t.Error("no stuck transactions in the dump")
+	}
+}
+
+// TestLinkDeathRecovers kills a mesh link mid-run under both protocols'
+// network backends; traffic detours and the run finishes coherent (the one
+// message on the wire is recovered by the timeout machinery).
+func TestLinkDeathRecovers(t *testing.T) {
+	for _, detailed := range []bool{false, true} {
+		cfg := smallConfig(FtDirCMP)
+		cfg.Net.DetailedRouters = detailed
+		if detailed {
+			cfg.Net.BufferFlits = 8
+		}
+		cfg.Injector = fault.NewLinkDeath(0, 1, msg.Data, 3)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("detailed=%v: New: %v", detailed, err)
+		}
+		if _, err := s.Run(workload.Uniform(64, 0.5)); err != nil {
+			t.Fatalf("detailed=%v: Run: %v", detailed, err)
+		}
+	}
+}
+
+// TestLinkDeathValidation rejects non-adjacent routers at construction.
+func TestLinkDeathValidation(t *testing.T) {
+	cfg := smallConfig(FtDirCMP)
+	cfg.Injector = fault.NewLinkDeath(0, 3, msg.Data, 1)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("non-adjacent link death accepted")
+	}
+}
+
+// TestTileDeathRejectsTokenProtocols pins the arming validation: token
+// protocols have no directory slice to reconstruct.
+func TestTileDeathRejectsTokenProtocols(t *testing.T) {
+	cfg := smallConfig(TokenCMP)
+	cfg.Injector = fault.NewTileDeath(0, msg.GetX, 1)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("tile death accepted for TokenCMP")
+	}
+}

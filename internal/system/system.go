@@ -184,6 +184,7 @@ func DefaultConfig() Config {
 // post-drain sanity check and the deadlock dump.
 type quiesceEntry struct {
 	name string
+	id   msg.NodeID
 	fn   func() bool
 }
 
@@ -204,6 +205,22 @@ type System struct {
 	// midRunErrs collects post-recovery invariant violations caught by the
 	// recovery probe (capped at maxMidRunErrs).
 	midRunErrs []error
+
+	// Structural-fault state (tile death / link death); see recovery.go.
+	// domains is non-nil only for FtDirCMP runs with an armed TileDeath;
+	// deadNodes is the ground-truth dead set for any protocol.
+	domains       *proto.Domains
+	tileDeath     *fault.TileDeath
+	deadTile      int
+	deadNodes     map[msg.NodeID]bool
+	probeOff      bool
+	reconstructed bool
+	recovery      RecoveryReport
+
+	// Typed controller handles for the FtDirCMP reconstruction flush.
+	ftL1s   []*core.L1
+	ftL2s   []*core.L2
+	memByID map[msg.NodeID]*core.Mem
 }
 
 // maxMidRunErrs caps the mid-run violation log; a broken protocol can fail
@@ -289,8 +306,8 @@ func New(cfg Config) (*System, error) {
 			}
 			s.ports = append(s.ports, l1)
 			s.agents = append(s.agents, l1, l2)
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.Quiesced})
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L2 bank %d", l2.NodeID()), l2.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.NodeID(), l1.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L2 bank %d", l2.NodeID()), l2.NodeID(), l2.Quiesced})
 		}
 		for i := 0; i < cfg.Mems; i++ {
 			mc := dircmp.NewMem(topo.Mem(i), topo, cfg.Params, engine, net, run, store)
@@ -298,7 +315,7 @@ func New(cfg Config) (*System, error) {
 				return nil, err
 			}
 			s.agents = append(s.agents, mc)
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("memory %d", mc.NodeID()), mc.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("memory %d", mc.NodeID()), mc.NodeID(), mc.Quiesced})
 		}
 	case FtDirCMP:
 		for i := 0; i < cfg.Tiles(); i++ {
@@ -318,16 +335,20 @@ func New(cfg Config) (*System, error) {
 			}
 			s.ports = append(s.ports, l1)
 			s.agents = append(s.agents, l1, l2)
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.Quiesced})
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L2 bank %d", l2.NodeID()), l2.Quiesced})
+			s.ftL1s = append(s.ftL1s, l1)
+			s.ftL2s = append(s.ftL2s, l2)
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.NodeID(), l1.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L2 bank %d", l2.NodeID()), l2.NodeID(), l2.Quiesced})
 		}
+		s.memByID = make(map[msg.NodeID]*core.Mem, cfg.Mems)
 		for i := 0; i < cfg.Mems; i++ {
 			mc := core.NewMem(topo.Mem(i), topo, cfg.Params, engine, net, run, store)
 			if err := attach(net, mc.NodeID(), memRouter(cfg, i), mc.Handle); err != nil {
 				return nil, err
 			}
 			s.agents = append(s.agents, mc)
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("memory %d", mc.NodeID()), mc.Quiesced})
+			s.memByID[mc.NodeID()] = mc
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("memory %d", mc.NodeID()), mc.NodeID(), mc.Quiesced})
 		}
 	case TokenCMP, FtTokenCMP:
 		ft := cfg.Protocol == FtTokenCMP
@@ -345,13 +366,16 @@ func New(cfg Config) (*System, error) {
 			}
 			s.ports = append(s.ports, l1)
 			s.agents = append(s.agents, l1, home)
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.Quiesced})
-			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("home %d", home.NodeID()), home.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("L1 %d", l1.NodeID()), l1.NodeID(), l1.Quiesced})
+			s.quiesce = append(s.quiesce, quiesceEntry{fmt.Sprintf("home %d", home.NodeID()), home.NodeID(), home.Quiesced})
 		}
 		// Token protocols have no separate memory controllers: the home
 		// nodes are the memory-side token holders (see internal/token).
 	default:
 		return nil, fmt.Errorf("system: unknown protocol %v", cfg.Protocol)
+	}
+	if err := s.armStructural(); err != nil {
+		return nil, err
 	}
 	if cfg.Obs != nil {
 		for _, a := range s.agents {
@@ -366,7 +390,10 @@ func New(cfg Config) (*System, error) {
 		// than at the end of the run.
 		if cfg.CheckIntegrity {
 			cfg.Obs.SetRecoveryProbe(func(addr msg.Addr) {
-				if len(s.midRunErrs) >= maxMidRunErrs {
+				// Once a tile has died, mid-run line checks would see the
+				// dead tile's frozen state; the structural verdict instead
+				// rests on the end-of-run survivor checks.
+				if s.probeOff || len(s.midRunErrs) >= maxMidRunErrs {
 					return
 				}
 				if err := s.CheckLine(addr); err != nil {
@@ -479,6 +506,17 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 		return s.run, fmt.Errorf("system: drain: %w", err)
 	}
 
+	// Silent tile death: the tile died but no survivor ever tripped over it
+	// (no timeout fired against a dead node), so the directory slice it
+	// hosted is still unreconstructed. Declare it by fiat — modeling an
+	// OS/heartbeat-level detection — and drain the resulting flush.
+	if s.domains.AnyKilled() && !s.reconstructed {
+		s.domains.ForceDeclare(s.deadTile)
+		if err := s.engine.Run(s.cfg.Limit); err != nil {
+			return s.run, fmt.Errorf("system: post-reconstruction drain: %w", err)
+		}
+	}
+
 	// Token protocols recover lost tokens lazily: a loss that starves
 	// nobody stays lost until the next request for the line triggers the
 	// recreation process. Before enforcing token conservation, prove that
@@ -490,8 +528,13 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 	}
 
 	// Every agent must be idle after the drain; a live transaction here
-	// means a recovery loop is spinning without progress.
+	// means a recovery loop is spinning without progress. Dead agents are
+	// exempt — their state froze at the death instant and the flush already
+	// absorbed every line they held.
 	for _, q := range s.quiesce {
+		if s.deadNodes[q.id] {
+			continue
+		}
 		if !q.fn() {
 			return s.run, fmt.Errorf("system: %s not quiescent after drain", q.name)
 		}
@@ -546,6 +589,9 @@ type DeadlockError struct {
 	// DoneCores of Cores finished before the queue drained at Cycle.
 	DoneCores, Cores int
 	Cycle            uint64
+	// DeadNodes lists the structurally dead nodes (tile-death victims), in
+	// ascending order — the usual culprits for the stuck survivors below.
+	DeadNodes []msg.NodeID
 	// Stuck counts every in-flight transaction found; Pending holds the
 	// first maxPendingDump of them in (node, address) order.
 	Stuck   int
@@ -560,6 +606,9 @@ func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
 func (e *DeadlockError) Error() string {
 	s := fmt.Sprintf("%v (%d/%d cores finished at cycle %d)",
 		ErrDeadlock, e.DoneCores, e.Cores, e.Cycle)
+	if len(e.DeadNodes) > 0 {
+		s += fmt.Sprintf("; dead nodes: %v", e.DeadNodes)
+	}
 	if e.Stuck > 0 {
 		s += fmt.Sprintf("; %d stuck transaction(s):", e.Stuck)
 		for _, p := range e.Pending {
@@ -580,6 +629,10 @@ func (s *System) deadlockError(tiles int) *DeadlockError {
 		Cores:     tiles,
 		Cycle:     s.engine.Now(),
 	}
+	for id := range s.deadNodes {
+		e.DeadNodes = append(e.DeadNodes, id)
+	}
+	sort.Slice(e.DeadNodes, func(i, j int) bool { return e.DeadNodes[i] < e.DeadNodes[j] })
 	var pending []PendingTxn
 	for _, a := range s.agents {
 		id := a.NodeID()
@@ -647,6 +700,11 @@ func (s *System) MidRunViolations() []error { return s.midRunErrs }
 func (s *System) MemoryImage() map[msg.Addr]uint64 {
 	img := make(map[msg.Addr]uint64)
 	for _, a := range s.agents {
+		if s.deadNodes[a.NodeID()] {
+			// A dead agent's ownership was re-established elsewhere by the
+			// reconstruction flush; its frozen views no longer count.
+			continue
+		}
 		a.InspectLines(func(v proto.LineView) {
 			if v.Owner {
 				if cur, ok := img[v.Addr]; !ok || v.Payload.Version > cur {

@@ -41,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/span"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -666,4 +667,144 @@ func CoverageContext(ctx context.Context, cfg Config, workloadName string, opt C
 	rep.Protocol = cfg.Protocol.String()
 	rep.Workload = workloadName
 	return rep, nil
+}
+
+// TileDeathOptions tunes a TileDeathCoverage campaign. The zero value kills
+// every tile at every enumerated injection slot, with no link sweep.
+type TileDeathOptions struct {
+	// MaxSlotsPerType caps the injection slots tested per message type for
+	// each victim (0 = exhaustive). Sampled rows are flagged in the report.
+	MaxSlotsPerType int
+	// IncludeLinks adds a link-death sweep: every mesh link is killed at
+	// every enumerated slot, one report row per link. A link death must
+	// preserve the full fault-free memory image (no node dies with it).
+	IncludeLinks bool
+	// Progress, when set, is called after each run with running counts.
+	Progress func(done, total int)
+}
+
+// TileDeathCoverage runs the structural-fault campaign: one fault-free
+// census run, then — for every tile and every enumerated injection slot —
+// one run in which that tile (core, L1, L2 bank and directory slice) dies
+// permanently at that instant. Each run must terminate quiescent, pass the
+// coherence checker and the data-value oracle on the survivors, and satisfy
+// the extended memory-image verdict: no line ahead of the fault-free
+// baseline, only lines written by the victim's own stream may lag it, lines
+// the reconstruction reported unrecoverable are excluded but counted, and
+// every other line must match exactly. See docs/COVERAGE.md ("Structural
+// faults"). Runs execute concurrently under cfg.Parallelism; the report is
+// byte-identical at every parallelism level. Under DirCMP the campaign
+// documents the contrast: every run deadlocks.
+func TileDeathCoverage(cfg Config, workloadName string, opt TileDeathOptions) (*CoverageReport, error) {
+	return TileDeathCoverageContext(context.Background(), cfg, workloadName, opt)
+}
+
+// TileDeathCoverageContext is TileDeathCoverage under a context (see
+// CoverageContext for the cancellation contract).
+func TileDeathCoverageContext(ctx context.Context, cfg Config, workloadName string, opt TileDeathOptions) (*CoverageReport, error) {
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	c := cfg
+	c.CheckIntegrity = true
+	run := func(inj fault.Injector) coverage.Outcome {
+		sysCfg := c.toInternal()
+		sysCfg.Injector = inj
+		sysCfg.Cancel = ctx.Done()
+		rec := obs.NewRecorder(4096)
+		sysCfg.Obs = rec
+		s, err := system.New(sysCfg)
+		if err != nil {
+			return coverage.Outcome{Err: err.Error()}
+		}
+		st, rerr := s.Run(w)
+		out := coverage.Outcome{Cycles: st.Cycles}
+		if m := rec.Metrics(); m != nil {
+			out.FaultsInjected = m.FaultsInjected
+			out.FaultsRecovered = m.FaultsRecovered
+			out.RecoveryLatencyMax = m.RecoveryLatency.Max()
+			for _, k := range obs.AllTimeoutKinds() {
+				out.Timeouts[k] = m.TimeoutsByKind[k]
+			}
+		}
+		rcv := s.Recovery()
+		out.DeathDeclared = rcv.Declared
+		out.LinesReconstructed = rcv.LinesReconstructed
+		out.LinesUnrecoverable = rcv.LinesUnrecoverable
+		out.UnrecoverableAddrs = rcv.UnrecoverableAddrs
+		if rcv.Declared && rcv.ReconstructedCycle >= rcv.DeathCycle {
+			out.ReconstructLatency = rcv.ReconstructedCycle - rcv.DeathCycle
+		}
+		if rerr != nil {
+			out.Err = rerr.Error()
+			return out
+		}
+		out.MemHash = s.MemoryImageHash()
+		out.Image = s.MemoryImage()
+		return out
+	}
+	var links [][2]int
+	if opt.IncludeLinks {
+		links = meshLinks(cfg.MeshWidth, cfg.MeshHeight)
+	}
+	rep, err := coverage.RunStructuralContext(ctx, run, coverage.StructuralOptions{
+		Parallelism:     cfg.Parallelism,
+		MaxSlotsPerType: opt.MaxSlotsPerType,
+		Tiles:           cfg.MeshWidth * cfg.MeshHeight,
+		Links:           links,
+		VictimWrites:    victimWriteSets(cfg, w),
+		Progress:        opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Protocol = cfg.Protocol.String()
+	rep.Workload = workloadName
+	return rep, nil
+}
+
+// victimWriteSets precomputes, per tile, the line addresses the tile's
+// workload stream writes, by replaying the exact stream construction the
+// system performs (same master RNG, same fork order). The restricted
+// tile-death verdict allows exactly those lines to lag the baseline.
+func victimWriteSets(cfg Config, w workload.Workload) func(tile int) map[msg.Addr]bool {
+	tiles := cfg.MeshWidth * cfg.MeshHeight
+	master := sim.NewRNG(cfg.Seed)
+	sets := make([]map[msg.Addr]bool, tiles)
+	for i := 0; i < tiles; i++ {
+		// Fork advances the master RNG, so forks must happen in core order
+		// even though only one stream per set is consumed here.
+		st := w.Stream(i, tiles, cfg.OpsPerCore, master.Fork(uint64(i)+1))
+		set := make(map[msg.Addr]bool)
+		for {
+			op, ok := st.Next()
+			if !ok {
+				break
+			}
+			if op.Write {
+				set[msg.Addr(op.Line)*msg.Addr(cfg.LineSize)] = true
+			}
+		}
+		sets[i] = set
+	}
+	return func(tile int) map[msg.Addr]bool { return sets[tile] }
+}
+
+// meshLinks enumerates every link of a w×h mesh as adjacent router pairs,
+// in router-major order.
+func meshLinks(w, h int) [][2]int {
+	var links [][2]int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := y*w + x
+			if x+1 < w {
+				links = append(links, [2]int{r, r + 1})
+			}
+			if y+1 < h {
+				links = append(links, [2]int{r, r + w})
+			}
+		}
+	}
+	return links
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick tile-check serve-check load-check
+.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick tile-check serve-check trace-check load-check
 
 check: vet build race docs-check coverage-quick tile-check serve-check load-check
 
@@ -50,6 +50,14 @@ serve-check:
 	$(GO) build -o /dev/null ./cmd/ftserve
 	$(GO) test -race ./internal/serve
 
+# trace-check runs just the fleet-tracing e2e slice of the serve suite:
+# the golden-pinned Perfetto service export, cached-disk replay purity,
+# trace-header propagation through the router, and the router error paths
+# (dead shard, 421 retry, mid-body failure). A subset of serve-check,
+# split out so CI names the tracing gate explicitly.
+trace-check:
+	$(GO) test -race -run 'TestServiceTrace|TestSubmitTraceHeaders|TestStatusEndpoint|TestMetricsExposition|TestPprofEndpoints|TestRouterStatus|TestRouterRetriesMisdirected421|TestRouterRelaysUnretryable421|TestRouterSurvivesMidBodyShardFailure|TestRouterPropagatesTraceContext' ./internal/serve
+
 # load-check runs the cmd/ftload suite under the race detector (the JSON
 # report shape and the bench-line grammar are pinned there) plus one real
 # invocation of the harness against a self-served 2-shard topology.
@@ -66,7 +74,7 @@ load-check:
 # tile-death class run (each unique job is a sampled structural campaign,
 # so per-job service time dominates: fewer, heavier requests).
 # Override BENCH_OUT to snapshot under a different name.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/serve | tee bench.out
 	$(GO) run ./cmd/ftload -serve 2 -clients 1000 -requests 2000 -dup-ratio 0.5 -queue 1024 -bench | tee -a bench.out
@@ -78,7 +86,7 @@ bench:
 # bench-diff compares the current snapshot against the previous PR's
 # baseline, per benchmark (ns/op, B/op, allocs/op, cycles). Informational:
 # it never fails the build.
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR8.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_OUT)
 

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
@@ -80,20 +82,28 @@ type quantiles struct {
 
 // report is the JSON document ftload emits; cmd/ftload's tests pin this
 // shape and docs/OPERATIONS.md walks through reading one.
+//
+// Latency and BackoffWait are disjoint: the latency histogram records each
+// request's journey minus the time the client itself chose to sleep
+// between 429 retries, and that sleep is reported separately — so the
+// latency quantiles measure the service, not the client's politeness.
 type report struct {
-	Target     string    `json:"target"`
-	Class      string    `json:"class"`
-	Shards     int       `json:"shards"`
-	Clients    int       `json:"clients"`
-	Requests   int       `json:"requests"`
-	DupRatio   float64   `json:"dup_ratio"`
-	UniqueJobs int       `json:"unique_jobs"`
-	Waited     bool      `json:"waited"`
-	Outcomes   outcomes  `json:"outcomes"`
-	Rate429    float64   `json:"rate_429"`
-	Latency    quantiles `json:"latency"`
-	WallMs     float64   `json:"wall_ms"`
-	Throughput float64   `json:"throughput_rps"`
+	Target          string          `json:"target"`
+	Class           string          `json:"class"`
+	Shards          int             `json:"shards"`
+	Clients         int             `json:"clients"`
+	Requests        int             `json:"requests"`
+	DupRatio        float64         `json:"dup_ratio"`
+	UniqueJobs      int             `json:"unique_jobs"`
+	Waited          bool            `json:"waited"`
+	Outcomes        outcomes        `json:"outcomes"`
+	Rate429         float64         `json:"rate_429"`
+	Latency         quantiles       `json:"latency"`
+	BackoffRequests uint64          `json:"backoff_requests"` // submissions that hit at least one 429
+	BackoffWait     quantiles       `json:"backoff_wait"`     // client-side 429 backoff sleep, over those submissions
+	WallMs          float64         `json:"wall_ms"`
+	Throughput      float64         `json:"throughput_rps"`
+	Fleet           json.RawMessage `json:"fleet,omitempty"` // the target's /v1/status document, captured after the run
 }
 
 func main() {
@@ -172,10 +182,12 @@ func run(opts options) (*report, error) {
 	}}
 
 	var (
-		wg    sync.WaitGroup
-		next  = make(chan string)
-		outs  = make([]outcomes, opts.clients)
-		hists = make([]stats.Histogram, opts.clients)
+		wg       sync.WaitGroup
+		next     = make(chan string)
+		outs     = make([]outcomes, opts.clients)
+		hists    = make([]stats.Histogram, opts.clients)
+		backoffs = make([]stats.Histogram, opts.clients)
+		backed   = make([]uint64, opts.clients)
 	)
 	start := time.Now()
 	for c := 0; c < opts.clients; c++ {
@@ -183,7 +195,10 @@ func run(opts options) (*report, error) {
 		go func(c int) {
 			defer wg.Done()
 			for body := range next {
-				oneRequest(httpc, opts, body, &outs[c], &hists[c])
+				if waited := oneRequest(httpc, opts, body, &outs[c], &hists[c]); waited > 0 {
+					backed[c]++
+					backoffs[c].Add(uint64(waited.Microseconds()))
+				}
 			}
 		}(c)
 	}
@@ -205,14 +220,16 @@ func run(opts options) (*report, error) {
 		Waited:     opts.wait,
 		WallMs:     float64(wall.Nanoseconds()) / 1e6,
 	}
-	var hist stats.Histogram
+	var hist, backoff stats.Histogram
 	for c := range outs {
 		rep.Outcomes.Accepted += outs[c].Accepted
 		rep.Outcomes.Cached += outs[c].Cached
 		rep.Outcomes.Rejected += outs[c].Rejected
 		rep.Outcomes.Errors += outs[c].Errors
 		rep.Outcomes.Failed += outs[c].Failed
+		rep.BackoffRequests += backed[c]
 		hist.Merge(&hists[c])
+		backoff.Merge(&backoffs[c])
 	}
 	attempts := rep.Outcomes.Accepted + rep.Outcomes.Cached + rep.Outcomes.Errors + rep.Outcomes.Rejected
 	if attempts > 0 {
@@ -225,10 +242,43 @@ func run(opts options) (*report, error) {
 		Max:  hist.Max(),
 		Mean: hist.Mean(),
 	}
+	if rep.BackoffRequests > 0 {
+		rep.BackoffWait = quantiles{
+			P50:  backoff.Percentile(50),
+			P95:  backoff.Percentile(95),
+			P99:  backoff.Percentile(99),
+			Max:  backoff.Max(),
+			Mean: backoff.Mean(),
+		}
+	}
 	if secs := wall.Seconds(); secs > 0 {
 		rep.Throughput = float64(opts.requests) / secs
 	}
+	rep.Fleet = fetchStatus(httpc, opts.target)
 	return rep, nil
+}
+
+// fetchStatus captures the target's /v1/status document — the per-shard
+// snapshot of a backend, or the router's fleet aggregation — so the report
+// shows what the deployment looked like right after the run.
+func fetchStatus(httpc *http.Client, target string) json.RawMessage {
+	resp, err := httpc.Get(target + "/v1/status")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || !json.Valid(raw) {
+		return nil
+	}
+	var compact bytes.Buffer
+	if json.Compact(&compact, raw) != nil {
+		return nil
+	}
+	return json.RawMessage(compact.Bytes())
 }
 
 // schedule precomputes the request body for every submission: a seeded
@@ -262,20 +312,35 @@ func schedule(opts options) (bodies []string, unique int) {
 	return bodies, unique + len(hotUsed)
 }
 
+// reqCounter numbers ftload's submissions: each one carries a propagated
+// request ID ("l<n>") so its spans and log lines are attributable to this
+// client across router and shard.
+var reqCounter atomic.Uint64
+
 // oneRequest performs a single submission end-to-end: retry through 429
 // backpressure, then (with -wait) poll the job to a terminal state. The
-// recorded latency covers the whole journey, in microseconds.
-func oneRequest(httpc *http.Client, opts options, body string, out *outcomes, hist *stats.Histogram) {
+// recorded latency covers the whole journey minus the returned backoff
+// wait — the time this client chose to sleep between 429 retries — so the
+// histogram measures the service, not client politeness.
+func oneRequest(httpc *http.Client, opts options, body string, out *outcomes, hist *stats.Histogram) (backoffWait time.Duration) {
 	start := time.Now()
-	defer func() { hist.Add(uint64(time.Since(start).Microseconds())) }()
+	defer func() { hist.Add(uint64((time.Since(start) - backoffWait).Microseconds())) }()
 
+	reqID := fmt.Sprintf("l%d", reqCounter.Add(1))
 	var doc struct {
 		ID    string `json:"id"`
 		State string `json:"state"`
 	}
 	backoff := 2 * time.Millisecond
 	for {
-		resp, err := httpc.Post(opts.target+"/v1/experiments", "application/json", strings.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, opts.target+"/v1/experiments", strings.NewReader(body))
+		if err != nil {
+			out.Errors++
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(serve.HeaderRequestID, reqID)
+		resp, err := httpc.Do(req)
 		if err != nil {
 			out.Errors++
 			return
@@ -286,7 +351,10 @@ func oneRequest(httpc *http.Client, opts options, body string, out *outcomes, hi
 			resp.Body.Close()
 			// Back off and resubmit; the cap keeps the retry storm gentle
 			// without stalling the run for the server's full Retry-After.
+			// The sleep is the client's choice, so it is accounted as
+			// backoff wait, not service latency.
 			time.Sleep(backoff)
+			backoffWait += backoff
 			if backoff < 64*time.Millisecond {
 				backoff *= 2
 			}
@@ -332,6 +400,7 @@ func oneRequest(httpc *http.Client, opts options, body string, out *outcomes, hi
 	if doc.State != "done" {
 		out.Failed++
 	}
+	return
 }
 
 // selfServe stands up the documented scale-out topology in-process: n
@@ -401,10 +470,46 @@ func summary(r *report) string {
 	fmt.Fprintf(&b, "\n  mix: class %s, %.0f%% duplicates, %d unique jobs\n", r.Class, r.DupRatio*100, r.UniqueJobs)
 	fmt.Fprintf(&b, "  outcomes: %d accepted, %d cached, %d failed, %d errors; 429 rate %.1f%%\n",
 		r.Outcomes.Accepted, r.Outcomes.Cached, r.Outcomes.Failed, r.Outcomes.Errors, r.Rate429*100)
-	fmt.Fprintf(&b, "  latency: p50<=%dus p95<=%dus p99<=%dus max=%dus\n",
+	fmt.Fprintf(&b, "  latency: p50<=%dus p95<=%dus p99<=%dus max=%dus (429 backoff excluded)\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	if r.BackoffRequests > 0 {
+		fmt.Fprintf(&b, "  backoff: %d requests waited, p50<=%dus p99<=%dus max=%dus\n",
+			r.BackoffRequests, r.BackoffWait.P50, r.BackoffWait.P99, r.BackoffWait.Max)
+	}
 	fmt.Fprintf(&b, "  wall: %.0fms  throughput: %.1f req/s\n", r.WallMs, r.Throughput)
+	if line := fleetLine(r.Fleet); line != "" {
+		fmt.Fprintf(&b, "  fleet: %s\n", line)
+	}
 	return b.String()
+}
+
+// fleetLine summarizes the captured /v1/status document: the router's
+// aggregated totals, or a single backend's identity.
+func fleetLine(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	var doc struct {
+		Router     bool `json:"router"`
+		ShardCount int  `json:"shard_count"`
+		Totals     struct {
+			WorkersBusy int `json:"workers_busy"`
+			QueueDepth  int `json:"queue_depth"`
+			JobsDone    int `json:"jobs_done"`
+			Unreachable int `json:"unreachable"`
+		} `json:"totals"`
+		Shard    int            `json:"shard"`
+		Jobs     map[string]int `json:"jobs"`
+		UptimeMs int64          `json:"uptime_ms"`
+	}
+	if json.Unmarshal(raw, &doc) != nil {
+		return ""
+	}
+	if doc.Router {
+		return fmt.Sprintf("%d shard(s), %d done jobs, %d busy workers, %d queued, %d unreachable",
+			doc.ShardCount, doc.Totals.JobsDone, doc.Totals.WorkersBusy, doc.Totals.QueueDepth, doc.Totals.Unreachable)
+	}
+	return fmt.Sprintf("shard %d/%d, %d done jobs, up %dms", doc.Shard, doc.ShardCount, doc.Jobs["done"], doc.UptimeMs)
 }
 
 // benchLines renders the report as `go test -bench` output so the
@@ -418,6 +523,6 @@ func benchLines(r *report) string {
 		name = fmt.Sprintf("BenchmarkFtload/class=%s/clients=%d/shards=%d", r.Class, r.Clients, r.Shards)
 	}
 	meanNs := r.Latency.Mean * 1e3 // report microsecond mean as ns/op
-	return fmt.Sprintf("pkg: repro/cmd/ftload\n%s \t%8d\t%.0f ns/op\t%8d p50-us\t%8d p99-us\t%8.1f req/s\t%8.4f 429-rate\t%8d clients\t%8d shards\n",
-		name, r.Requests, meanNs, r.Latency.P50, r.Latency.P99, r.Throughput, r.Rate429, r.Clients, r.Shards)
+	return fmt.Sprintf("pkg: repro/cmd/ftload\n%s \t%8d\t%.0f ns/op\t%8d p50-us\t%8d p99-us\t%8.1f req/s\t%8.4f 429-rate\t%8.0f backoff-us\t%8d clients\t%8d shards\n",
+		name, r.Requests, meanNs, r.Latency.P50, r.Latency.P99, r.Throughput, r.Rate429, r.BackoffWait.Mean, r.Clients, r.Shards)
 }

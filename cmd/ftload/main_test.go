@@ -65,13 +65,15 @@ func TestRunSelfServeReportShape(t *testing.T) {
 	json.Unmarshal(raw, &m)
 	for _, key := range []string{
 		"target", "class", "shards", "clients", "requests", "dup_ratio", "unique_jobs",
-		"waited", "outcomes", "rate_429", "latency", "wall_ms", "throughput_rps",
+		"waited", "outcomes", "rate_429", "latency", "backoff_requests", "backoff_wait",
+		"wall_ms", "throughput_rps",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("JSON report missing key %q", key)
 		}
 		delete(m, key)
 	}
+	delete(m, "fleet") // optional: present when the target answered /v1/status
 	for key := range m {
 		t.Errorf("JSON report has unpinned key %q — update the shape pin and docs", key)
 	}
@@ -79,6 +81,51 @@ func TestRunSelfServeReportShape(t *testing.T) {
 		if !strings.Contains(string(raw), `"`+key+`"`) {
 			t.Errorf("latency object missing %q", key)
 		}
+	}
+
+	// Self-serve targets always answer /v1/status, so the fleet capture
+	// must be present and name the topology the run stood up.
+	if len(rep.Fleet) == 0 {
+		t.Fatal("report did not capture the target's /v1/status document")
+	}
+	var fleet struct {
+		Router     bool `json:"router"`
+		ShardCount int  `json:"shard_count"`
+	}
+	if err := json.Unmarshal(rep.Fleet, &fleet); err != nil {
+		t.Fatalf("fleet capture is not a status document: %v", err)
+	}
+	if !fleet.Router || fleet.ShardCount != 2 {
+		t.Fatalf("fleet capture should be the router's 2-shard aggregation: %s", rep.Fleet)
+	}
+	if fleetLine(rep.Fleet) == "" {
+		t.Fatal("fleetLine could not summarize the captured status")
+	}
+}
+
+// TestBackoffSeparatedFromLatency drives a topology starved enough to 429
+// and checks the report accounts the client's retry sleep separately from
+// service latency.
+func TestBackoffSeparatedFromLatency(t *testing.T) {
+	opts := smokeOpts()
+	opts.shards = 1
+	opts.clients = 32
+	opts.requests = 64
+	opts.dupRatio = 0 // every submission is real work
+	opts.workers = 1
+	opts.queue = 1 // almost no queue: most submissions bounce at least once
+	rep, err := run(opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Outcomes.Rejected == 0 {
+		t.Skip("topology did not produce any 429s; nothing to assert")
+	}
+	if rep.BackoffRequests == 0 {
+		t.Fatalf("%d rejected attempts but backoff_requests = 0", rep.Outcomes.Rejected)
+	}
+	if rep.BackoffWait.Max == 0 || rep.BackoffWait.P50 > rep.BackoffWait.Max {
+		t.Fatalf("backoff quantiles inconsistent: %+v", rep.BackoffWait)
 	}
 }
 
@@ -113,8 +160,9 @@ func TestScheduleIsDeterministicAndMixesDuplicates(t *testing.T) {
 func TestBenchLinesMatchBench2jsonFormat(t *testing.T) {
 	rep := &report{
 		Clients: 1000, Shards: 2, Requests: 2000,
-		Latency:    quantiles{P50: 1200, P99: 9800, Mean: 2100.5},
-		Throughput: 845.2, Rate429: 0.012,
+		Latency:     quantiles{P50: 1200, P99: 9800, Mean: 2100.5},
+		BackoffWait: quantiles{P50: 900, Max: 4000, Mean: 1100.2},
+		Throughput:  845.2, Rate429: 0.012,
 	}
 	out := benchLines(rep)
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
@@ -134,7 +182,7 @@ func TestBenchLinesMatchBench2jsonFormat(t *testing.T) {
 	for i := 1; i < len(fields); i += 2 {
 		units[fields[i]] = true
 	}
-	for _, want := range []string{"ns/op", "p50-us", "p99-us", "req/s", "429-rate", "clients", "shards"} {
+	for _, want := range []string{"ns/op", "p50-us", "p99-us", "req/s", "429-rate", "backoff-us", "clients", "shards"} {
 		if !units[want] {
 			t.Errorf("bench line missing unit %q: %q", want, lines[1])
 		}

@@ -28,15 +28,54 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/serve"
 )
+
+// newLogger builds the process's structured logger: JSON records on stderr
+// at the requested level. Every serve-layer record carries trace/request/
+// shard IDs, so ftserve logs are greppable by the same IDs the trace
+// endpoints use.
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "bad -log-level %q: want debug, info, warn or error\n", level)
+		os.Exit(2)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
+// setVersionFromBuildInfo labels /metrics' build_info and /v1/status with
+// the VCS revision when the binary was built from a checkout.
+func setVersionFromBuildInfo() {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			serve.SetVersion(s.Value[:12])
+			return
+		}
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -49,14 +88,17 @@ func main() {
 	router := flag.String("router", "", "comma-separated backend URLs; serve the consistent-hash router instead of a backend")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 2*time.Minute,
 		"how long a SIGINT/SIGTERM drain may take before in-flight experiments are cancelled")
+	logLevel := flag.String("log-level", "info", "structured-log level: debug, info, warn or error (JSON records on stderr)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
+	logger := newLogger(*logLevel)
+	setVersionFromBuildInfo()
 
 	if *router != "" {
-		runRouter(*addr, strings.Split(*router, ","))
+		runRouter(*addr, strings.Split(*router, ","), logger)
 		return
 	}
 
@@ -74,6 +116,7 @@ func main() {
 		CacheMaxBytes: *cacheMax,
 		Shard:         shardIdx,
 		ShardCount:    shardCount,
+		Logger:        logger,
 	})
 	if err != nil {
 		log.Fatalf("ftserve: %v", err)
@@ -119,11 +162,12 @@ func main() {
 
 // runRouter serves the consistent-hash router over the given backends
 // (in shard order: backends[i] must be the -shard i/n process).
-func runRouter(addr string, backends []string) {
+func runRouter(addr string, backends []string, logger *slog.Logger) {
 	rt, err := serve.NewRouter(backends)
 	if err != nil {
 		log.Fatalf("ftserve -router: %v", err)
 	}
+	rt.SetLogger(logger)
 	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

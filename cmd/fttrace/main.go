@@ -12,6 +12,12 @@
 // All exports are deterministic: re-running with the same flags is
 // byte-identical.
 //
+// With -url and -id, fttrace fetches a trace from a running ftserve fleet
+// instead of simulating locally: GET {url}/v1/experiments/{id}/trace with
+// the chosen -format. In this mode -format=service is also valid — it
+// downloads the fleet-wide request trace (HTTP request to coherence
+// transaction; see docs/OBSERVABILITY.md, "Service tracing").
+//
 // Examples:
 //
 //	fttrace -workload=migratory -addr=0x40 -last=60
@@ -20,6 +26,7 @@
 //	fttrace -workload=uniform -faults=5000 -format=jsonl > events.jsonl
 //	fttrace -workload=uniform -faults=5000 -format=chrome > trace.json
 //	fttrace -workload=uniform -faults=5000 -format=spans > spans.jsonl
+//	fttrace -url=http://localhost:8080 -id=<job id> -format=service > trace.json
 //
 // Node numbering in the output: L1 caches are 1..T, L2 banks T+1..2T,
 // memory controllers 2T+1.. (T = tile count).
@@ -28,6 +35,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -58,12 +67,19 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "seed")
 		addr     = flag.Uint64("addr", 0, "record only this line address (0 = all)")
 		last     = flag.Int("last", 80, "how many trailing events to print")
-		format   = flag.String("format", "text", "output: text (message flow), jsonl or chrome (structured event log), spans (transaction spans)")
+		format   = flag.String("format", "text", "output: text (message flow), jsonl or chrome (structured event log), spans (transaction spans), service (remote only: fleet request trace)")
 		events   = flag.Int("events", 65536, "how many structured events to retain for jsonl/chrome export")
+		url      = flag.String("url", "", "ftserve base URL: fetch the trace from a running fleet instead of simulating")
+		id       = flag.String("id", "", "experiment ID to fetch (requires -url)")
 	)
 	flag.Parse()
+	if *url != "" || *id != "" {
+		return fetchRemote(*url, *id, *format)
+	}
 	switch *format {
 	case "text", "jsonl", "chrome", "spans":
+	case "service":
+		return fmt.Errorf("format %q needs a running fleet: pass -url and -id", *format)
 	default:
 		return fmt.Errorf("unknown format %q (want text, jsonl, chrome or spans)", *format)
 	}
@@ -179,6 +195,37 @@ func run() error {
 	if runErr != nil {
 		fmt.Println("run ended with:", runErr)
 		fmt.Print(s.DumpStuck())
+	}
+	return nil
+}
+
+// fetchRemote downloads an experiment's trace export from a running
+// ftserve fleet and copies it to stdout. The server renders the document,
+// so every server-side format works — including "service", which only
+// exists fleet-side ("text" stays local-only).
+func fetchRemote(url, id, format string) error {
+	if url == "" || id == "" {
+		return fmt.Errorf("remote fetch needs both -url and -id")
+	}
+	switch format {
+	case "jsonl", "chrome", "spans", "service":
+	case "text":
+		return fmt.Errorf("format %q is local-only; remote fetch wants jsonl, chrome, spans or service", format)
+	default:
+		return fmt.Errorf("unknown format %q (want jsonl, chrome, spans or service)", format)
+	}
+	target := strings.TrimRight(url, "/") + "/v1/experiments/" + id + "/trace?format=" + format
+	resp, err := http.Get(target)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s: %s", target, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"flag"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
@@ -49,6 +51,70 @@ func TestUnknownFormatFails(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not list format %q", err, want)
 		}
+	}
+}
+
+// TestServiceFormatNeedsFleet: -format=service has no local producer, so
+// without -url/-id it must fail with a message pointing at the remote
+// fetch flags.
+func TestServiceFormatNeedsFleet(t *testing.T) {
+	_, err := runWith(t, "-format=service")
+	if err == nil {
+		t.Fatal("-format=service without -url/-id did not fail")
+	}
+	for _, want := range []string{"-url", "-id"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRemoteFetchFlagValidation: remote fetch needs both -url and -id,
+// and rejects the local-only text format before touching the network.
+func TestRemoteFetchFlagValidation(t *testing.T) {
+	if _, err := runWith(t, "-url=http://localhost:0"); err == nil {
+		t.Error("-url without -id did not fail")
+	}
+	if _, err := runWith(t, "-id=sha256:abc"); err == nil {
+		t.Error("-id without -url did not fail")
+	}
+	_, err := runWith(t, "-url=http://localhost:0", "-id=sha256:abc", "-format=text")
+	if err == nil {
+		t.Fatal("remote fetch with -format=text did not fail")
+	}
+	if !strings.Contains(err.Error(), "local-only") {
+		t.Errorf("error %q does not say text is local-only", err)
+	}
+}
+
+// TestRemoteFetchStreams: with a live endpoint, fttrace relays the
+// trace bytes verbatim and turns non-200 answers into errors.
+func TestRemoteFetchStreams(t *testing.T) {
+	const body = `{"traceEvents":[]}` + "\n"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/experiments/sha256:abc/trace" && r.URL.Query().Get("format") == "service" {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, body)
+			return
+		}
+		http.Error(w, "no such experiment", http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	out, err := runWith(t, "-url="+ts.URL, "-id=sha256:abc", "-format=service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != body {
+		t.Errorf("remote fetch relayed %q, want %q", out, body)
+	}
+
+	_, err = runWith(t, "-url="+ts.URL, "-id=sha256:missing", "-format=service")
+	if err == nil {
+		t.Fatal("404 from the fleet did not become an error")
+	}
+	if !strings.Contains(err.Error(), "no such experiment") {
+		t.Errorf("error %q does not carry the server's body", err)
 	}
 }
 

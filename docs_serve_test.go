@@ -44,7 +44,10 @@ func TestDocsServiceMatchesCode(t *testing.T) {
 	for _, want := range []string{
 		"-cache-dir", "-cache-max-bytes", "-shard", "-router",
 		"421", ".corrupt", "ShardOf", "Retry-After",
-		"ftload", "load-check", "BENCH_PR7.json",
+		"ftload", "load-check", "BENCH_PR9.json",
+		"-log-level", "Ftserve-Trace-Id", "Ftserve-Request-Id", "Ftserve-Proxy-Start",
+		"format=service", "/v1/status", "/debug/pprof",
+		"text/plain; version=0.0.4", "backoff_wait",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("docs/SERVICE.md does not mention %q", want)
@@ -106,22 +109,49 @@ func TestDocsOperationsMatchesCode(t *testing.T) {
 		"ftserve_cache_disk_hits_total", "ftserve_cache_disk_quarantined_total",
 		"durability_test.go", ".json.corrupt",
 		"cmd/ftload", "throughput_rps", "rate_429", "p99_us", "unique_jobs",
-		"BENCH_PR7.json", "make load-check", "make bench",
+		"BENCH_PR9.json", "make load-check", "make bench",
+		"/v1/status", "/debug/pprof", "backoff_wait",
+		"Ftserve-Request-Id", "-log-level", "fttrace",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("docs/OPERATIONS.md does not mention %q", want)
 		}
 	}
 	// The bench record the runbook points at must exist in the snapshot.
-	bench, err := os.ReadFile("BENCH_PR7.json")
+	bench, err := os.ReadFile("BENCH_PR9.json")
 	if err != nil {
-		t.Fatalf("BENCH_PR7.json missing: %v", err)
+		t.Fatalf("BENCH_PR9.json missing: %v", err)
 	}
 	record := "BenchmarkFtload/clients=1000/shards=2"
 	if !strings.Contains(doc, record) {
 		t.Errorf("docs/OPERATIONS.md does not name the checked-in capacity record %q", record)
 	}
 	if !strings.Contains(string(bench), record) {
-		t.Errorf("BENCH_PR7.json does not contain %q", record)
+		t.Errorf("BENCH_PR9.json does not contain %q", record)
+	}
+}
+
+// TestDocsObservabilityServicePhases pins the service-span taxonomy in
+// docs/OBSERVABILITY.md to serve.ServicePhases(): every phase the code
+// can emit must appear in the doc's taxonomy table, and the doc must not
+// invent phases the code never records.
+func TestDocsObservabilityServicePhases(t *testing.T) {
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	phases := serve.ServicePhases()
+	if len(phases) == 0 {
+		t.Fatal("serve.ServicePhases() returned no phases")
+	}
+	for _, phase := range phases {
+		if !strings.Contains(doc, "`"+phase+"`") {
+			t.Errorf("docs/OBSERVABILITY.md taxonomy does not mention phase %q", phase)
+		}
+	}
+	// The doc's own claim about where the pin lives must stay true.
+	if !strings.Contains(doc, "ServicePhases()") {
+		t.Error("docs/OBSERVABILITY.md does not reference serve.ServicePhases()")
 	}
 }

@@ -46,11 +46,31 @@ func SetPooling(enabled bool) { poolingDisabled.Store(!enabled) }
 // PoolingEnabled reports whether NewMessage draws from the pool.
 func PoolingEnabled() bool { return !poolingDisabled.Load() }
 
-var msgPool = sync.Pool{New: func() any { return new(Message) }}
+var msgPool = sync.Pool{New: func() any {
+	poolNews.Add(1)
+	return new(Message)
+}}
+
+// Pool-health counters, process-wide across every concurrently running
+// simulation: poolGets counts NewMessage calls, poolNews counts the ones
+// the pool could not satisfy from a recycled Message (a fresh heap
+// allocation). gets-news is the freelist hit count; ftserve exports both
+// as /metrics gauges so operators can watch steady-state allocation health
+// under load.
+var poolGets, poolNews atomic.Uint64
+
+// PoolStats reports how many messages were requested and how many of those
+// requests missed the pool (allocated fresh) since process start. With
+// pooling disabled every get is a miss.
+func PoolStats() (gets, news uint64) {
+	return poolGets.Load(), poolNews.Load()
+}
 
 // NewMessage returns a zeroed Message, recycled if pooling is enabled.
 func NewMessage() *Message {
+	poolGets.Add(1)
 	if poolingDisabled.Load() {
+		poolNews.Add(1)
 		return new(Message)
 	}
 	m := msgPool.Get().(*Message)

@@ -189,6 +189,13 @@ type job struct {
 	exports  *traceExports // /trace bytes for jobs loaded from the disk store
 	cancel   func()        // cancels this job's context (forced shutdown)
 
+	// Service tracing (svctrace.go): one reqTrace per submission that
+	// touched this job (bounded; overflow counted in reqsDropped), plus the
+	// execution-side spans recorded by the worker.
+	reqs        []reqTrace
+	reqsDropped int
+	execSpans   []svcSpan
+
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
 }
@@ -240,8 +247,10 @@ func jobFromEnvelope(env *envelope) *job {
 	return j
 }
 
-// envelope renders a done job into its durable-store form.
-func (j *job) envelope() *envelope {
+// envelopeFor renders the job into its durable-store form from the
+// just-computed result, before finish publishes it — the worker spills to
+// disk first so the store span is recorded by the time waiters wake.
+func (j *job) envelopeFor(result json.RawMessage, exports *traceExports, finished time.Time) *envelope {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	env := &envelope{
@@ -250,15 +259,22 @@ func (j *job) envelope() *envelope {
 		Workload: j.req.Workload,
 		Created:  j.created,
 		Started:  j.started,
-		Finished: j.finished,
-		Result:   j.result,
+		Finished: finished,
+		Result:   result,
 	}
-	if j.exports != nil {
-		env.EventsJSONL = j.exports.eventsJSONL
-		env.ChromeTrace = j.exports.chromeTrace
-		env.SpansJSONL = j.exports.spansJSONL
+	if exports != nil {
+		env.EventsJSONL = exports.eventsJSONL
+		env.ChromeTrace = exports.chromeTrace
+		env.SpansJSONL = exports.spansJSONL
 	}
 	return env
+}
+
+// createdAt returns the creation time under the lock.
+func (j *job) createdAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created
 }
 
 // renderExports pre-renders the trace exports of a completed run result,

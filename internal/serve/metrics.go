@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -125,6 +126,27 @@ type renderInfo struct {
 	running              int   // workers executing right now
 	shard, shardCount    int   // shard identity (0/1 when unsharded)
 	diskBytes            int64 // live bytes in the durable store; -1 = no store
+
+	// Go runtime health (handleMetrics samples these at scrape time).
+	goroutines int
+	heapAlloc  uint64
+	gcPauseNs  uint64
+	gcCycles   uint32
+	goVersion  string
+	version    string
+	msgGets    uint64 // msg.PoolStats: messages requested
+	msgMisses  uint64 // msg.PoolStats: requests the freelist could not satisfy
+	simPushes  uint64 // sim.HeapStats: events scheduled
+	simGrows   uint64 // sim.HeapStats: pushes that grew a heap's backing array
+}
+
+// hitRatio renders the freelist hit rate (gets-misses)/gets as a decimal;
+// 0 before any traffic.
+func hitRatio(gets, misses uint64) string {
+	if gets == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(float64(gets-misses)/float64(gets), 'g', 6, 64)
 }
 
 // render writes the Prometheus text format.
@@ -132,6 +154,11 @@ func (m *metrics) render(w io.Writer, info renderInfo) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	jobsByState := info.jobsByState
+
+	fmt.Fprintln(w, "# HELP ftserve_build_info Build/runtime identity of this server (value is always 1).")
+	fmt.Fprintln(w, "# TYPE ftserve_build_info gauge")
+	fmt.Fprintf(w, "ftserve_build_info{version=%q,goversion=%q,shard=\"%d\"} 1\n",
+		info.version, info.goVersion, info.shard)
 
 	fmt.Fprintln(w, "# HELP ftserve_jobs Experiment jobs tracked by the server, by state.")
 	fmt.Fprintln(w, "# TYPE ftserve_jobs gauge")
@@ -196,6 +223,38 @@ func (m *metrics) render(w io.Writer, info renderInfo) {
 	for _, st := range sortedKeys(m.executed) {
 		fmt.Fprintf(w, "ftserve_executions_total{state=%q} %d\n", st, m.executed[st])
 	}
+
+	fmt.Fprintln(w, "# HELP ftserve_go_goroutines Goroutines at scrape time.")
+	fmt.Fprintln(w, "# TYPE ftserve_go_goroutines gauge")
+	fmt.Fprintf(w, "ftserve_go_goroutines %d\n", info.goroutines)
+	fmt.Fprintln(w, "# HELP ftserve_go_heap_alloc_bytes Live heap bytes at scrape time.")
+	fmt.Fprintln(w, "# TYPE ftserve_go_heap_alloc_bytes gauge")
+	fmt.Fprintf(w, "ftserve_go_heap_alloc_bytes %d\n", info.heapAlloc)
+	fmt.Fprintln(w, "# HELP ftserve_go_gc_pause_ns_total Cumulative GC stop-the-world pause, nanoseconds.")
+	fmt.Fprintln(w, "# TYPE ftserve_go_gc_pause_ns_total counter")
+	fmt.Fprintf(w, "ftserve_go_gc_pause_ns_total %d\n", info.gcPauseNs)
+	fmt.Fprintln(w, "# HELP ftserve_go_gc_cycles_total Completed GC cycles.")
+	fmt.Fprintln(w, "# TYPE ftserve_go_gc_cycles_total counter")
+	fmt.Fprintf(w, "ftserve_go_gc_cycles_total %d\n", info.gcCycles)
+
+	fmt.Fprintln(w, "# HELP ftserve_pool_msg_gets_total Simulator messages requested from the freelist (msg.NewMessage calls).")
+	fmt.Fprintln(w, "# TYPE ftserve_pool_msg_gets_total counter")
+	fmt.Fprintf(w, "ftserve_pool_msg_gets_total %d\n", info.msgGets)
+	fmt.Fprintln(w, "# HELP ftserve_pool_msg_misses_total Message requests the freelist could not satisfy (fresh allocations).")
+	fmt.Fprintln(w, "# TYPE ftserve_pool_msg_misses_total counter")
+	fmt.Fprintf(w, "ftserve_pool_msg_misses_total %d\n", info.msgMisses)
+	fmt.Fprintln(w, "# HELP ftserve_pool_msg_hit_ratio Freelist hit rate for simulator messages (1 = fully recycled).")
+	fmt.Fprintln(w, "# TYPE ftserve_pool_msg_hit_ratio gauge")
+	fmt.Fprintf(w, "ftserve_pool_msg_hit_ratio %s\n", hitRatio(info.msgGets, info.msgMisses))
+	fmt.Fprintln(w, "# HELP ftserve_pool_sim_event_pushes_total Simulation events scheduled (event-heap pushes).")
+	fmt.Fprintln(w, "# TYPE ftserve_pool_sim_event_pushes_total counter")
+	fmt.Fprintf(w, "ftserve_pool_sim_event_pushes_total %d\n", info.simPushes)
+	fmt.Fprintln(w, "# HELP ftserve_pool_sim_event_grows_total Event-heap pushes that grew a backing array instead of reusing a slot.")
+	fmt.Fprintln(w, "# TYPE ftserve_pool_sim_event_grows_total counter")
+	fmt.Fprintf(w, "ftserve_pool_sim_event_grows_total %d\n", info.simGrows)
+	fmt.Fprintln(w, "# HELP ftserve_pool_sim_event_hit_ratio Slot-reuse rate for the event heap (1 = allocation-free steady state).")
+	fmt.Fprintln(w, "# TYPE ftserve_pool_sim_event_hit_ratio gauge")
+	fmt.Fprintf(w, "ftserve_pool_sim_event_hit_ratio %s\n", hitRatio(info.simPushes, info.simGrows))
 
 	fmt.Fprintln(w, "# HELP ftserve_experiment_latency_ms Wall-clock execution latency by experiment type, milliseconds.")
 	fmt.Fprintln(w, "# TYPE ftserve_experiment_latency_ms histogram")

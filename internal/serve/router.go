@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,10 +35,14 @@ type Router struct {
 	proxy *http.Client
 	probe *http.Client
 
-	mu       sync.Mutex
-	routed   []uint64 // proxied requests per backend
-	fanouts  uint64   // list requests fanned out to all backends
-	proxyErr uint64   // upstream failures answered 502
+	log    *slog.Logger
+	reqSeq atomic.Uint64 // generated request-ID sequence ("p<n>")
+
+	mu         sync.Mutex
+	routed     []uint64 // proxied requests per backend
+	fanouts    uint64   // list requests fanned out to all backends
+	proxyErr   uint64   // upstream failures answered 502
+	retried421 uint64   // misdirected submissions re-proxied to the named owner
 }
 
 // NewRouter builds a Router over the given backend base URLs, in shard
@@ -46,6 +55,7 @@ func NewRouter(backends []string) (*Router, error) {
 		mux:    http.NewServeMux(),
 		proxy:  &http.Client{},
 		probe:  &http.Client{Timeout: 5 * time.Second},
+		log:    discardLogger(),
 		routed: make([]uint64, len(backends)),
 	}
 	for _, b := range backends {
@@ -63,13 +73,33 @@ func NewRouter(backends []string) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/experiments/{id}", rt.handleByID)
 	rt.mux.HandleFunc("GET /v1/experiments/{id}/events", rt.handleByID)
 	rt.mux.HandleFunc("GET /v1/experiments/{id}/trace", rt.handleByID)
+	rt.mux.HandleFunc("GET /v1/status", rt.handleStatus)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	registerPprof(rt.mux)
 	return rt, nil
 }
 
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// SetLogger installs a structured logger for proxy events (nil discards).
+func (rt *Router) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = discardLogger()
+	}
+	rt.log = l
+}
+
+// requestID returns the sanitized caller-supplied request ID or generates
+// a router-scoped one ("p<n>"), so every proxied request is correlatable
+// across router and shard logs even when the client sent nothing.
+func (rt *Router) requestID(r *http.Request) string {
+	if id := cleanRequestID(r.Header.Get(HeaderRequestID)); id != "" {
+		return id
+	}
+	return "p" + strconv.FormatUint(rt.reqSeq.Add(1), 10)
+}
 
 // handleSubmit resolves the body to its job ID — the router shares the
 // backends' resolver, so it computes the same canonical hash — and proxies
@@ -90,7 +120,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("hashing request: %v", err))
 		return
 	}
-	rt.forward(w, r, ShardOf(key, len(rt.backends)), strings.NewReader(string(body)))
+	rt.forward(w, r, ShardOf(key, len(rt.backends)), body)
 }
 
 // handleByID proxies status, SSE and trace reads to the shard owning the
@@ -100,34 +130,51 @@ func (rt *Router) handleByID(w http.ResponseWriter, r *http.Request) {
 }
 
 // forward proxies the request to backends[shard], streaming the response
-// through with per-chunk flushes so SSE progress events arrive live.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard int, body io.Reader) {
-	rt.mu.Lock()
-	rt.routed[shard]++
-	rt.mu.Unlock()
+// through with per-chunk flushes so SSE progress events arrive live. body
+// is non-nil for submissions (buffered so a misdirected 421 can be retried
+// against the owner shard the backend named — the one repair possible when
+// the router's shard map disagrees with a backend's -shard flag).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard int, body []byte) {
+	reqID := rt.requestID(r)
+	start := time.Now()
+	resp, err := rt.send(r, shard, body, reqID, start)
+	if err != nil {
+		rt.log.Warn("proxy failed", "request_id", reqID, "shard", shard, "path", r.URL.Path, "error", err.Error())
+		rt.upstreamError(w, shard, err)
+		return
+	}
 
-	target := *rt.backends[shard]
-	target.Path = r.URL.Path
-	target.RawQuery = r.URL.RawQuery
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), body)
-	if err != nil {
-		rt.upstreamError(w, shard, err)
-		return
-	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
-	}
-	resp, err := rt.proxy.Do(req)
-	if err != nil {
-		rt.upstreamError(w, shard, err)
-		return
+	if resp.StatusCode == http.StatusMisdirectedRequest && body != nil {
+		// The backend named the owner; re-proxy there once.
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		if owner, ok := misdirectOwner(payload, len(rt.backends)); ok && owner != shard {
+			rt.mu.Lock()
+			rt.retried421++
+			rt.mu.Unlock()
+			rt.log.Info("misdirect retry", "request_id", reqID, "from_shard", shard, "to_shard", owner)
+			shard = owner
+			resp, err = rt.send(r, shard, body, reqID, start)
+			if err != nil {
+				rt.log.Warn("proxy failed", "request_id", reqID, "shard", shard, "path", r.URL.Path, "error", err.Error())
+				rt.upstreamError(w, shard, err)
+				return
+			}
+		} else {
+			// Unparseable or self-referential: relay the buffered 421 as-is.
+			copyProxyHeaders(w, resp)
+			w.WriteHeader(resp.StatusCode)
+			w.Write(payload)
+			rt.log.Warn("misdirect not retryable", "request_id", reqID, "shard", shard)
+			return
+		}
 	}
 	defer resp.Body.Close()
+	rt.log.Info("proxy", "request_id", reqID, "shard", shard, "path", r.URL.Path, "status", resp.StatusCode)
 
-	for _, h := range []string{"Content-Type", "Location", "Retry-After", "Cache-Control"} {
-		if v := resp.Header.Get(h); v != "" {
-			w.Header().Set(h, v)
-		}
+	copyProxyHeaders(w, resp)
+	if w.Header().Get(HeaderRequestID) == "" {
+		w.Header().Set(HeaderRequestID, reqID)
 	}
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
@@ -146,6 +193,60 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard int, bod
 			return
 		}
 	}
+}
+
+// send issues one proxied request to backends[shard]. Submissions carry the
+// trace headers: the request ID and the router's receive time, from which
+// the backend synthesizes the proxy span.
+func (rt *Router) send(r *http.Request, shard int, body []byte, reqID string, start time.Time) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.routed[shard]++
+	rt.mu.Unlock()
+
+	target := *rt.backends[shard]
+	target.Path = r.URL.Path
+	target.RawQuery = r.URL.RawQuery
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(HeaderRequestID, reqID)
+	if body != nil {
+		req.Header.Set(HeaderProxyStart, strconv.FormatInt(start.UnixNano(), 10))
+	}
+	return rt.proxy.Do(req)
+}
+
+// copyProxyHeaders relays the response headers the API contract defines,
+// including the trace-context pair.
+func copyProxyHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "Location", "Retry-After", "Cache-Control", HeaderTraceID, HeaderRequestID} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+// misdirectOwner parses the owner shard out of a 421 body
+// ({"shard": n, ...}) and validates it against the backend count.
+func misdirectOwner(payload []byte, n int) (int, bool) {
+	var doc struct {
+		Shard *int `json:"shard"`
+	}
+	if err := json.Unmarshal(payload, &doc); err != nil || doc.Shard == nil {
+		return 0, false
+	}
+	if *doc.Shard < 0 || *doc.Shard >= n {
+		return 0, false
+	}
+	return *doc.Shard, true
 }
 
 func (rt *Router) upstreamError(w http.ResponseWriter, shard int, err error) {
@@ -226,9 +327,12 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	routed := append([]uint64(nil), rt.routed...)
-	fanouts, proxyErr := rt.fanouts, rt.proxyErr
+	fanouts, proxyErr, retried := rt.fanouts, rt.proxyErr, rt.retried421
 	rt.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintln(w, "# HELP ftrouter_build_info Build/runtime identity of this router (value is always 1).")
+	fmt.Fprintln(w, "# TYPE ftrouter_build_info gauge")
+	fmt.Fprintf(w, "ftrouter_build_info{version=%q,goversion=%q} 1\n", Version(), runtime.Version())
 	fmt.Fprintln(w, "# HELP ftrouter_backends Backends (shards) this router fronts.")
 	fmt.Fprintln(w, "# TYPE ftrouter_backends gauge")
 	fmt.Fprintf(w, "ftrouter_backends %d\n", len(rt.backends))
@@ -243,6 +347,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP ftrouter_proxy_errors_total Upstream failures answered 502.")
 	fmt.Fprintln(w, "# TYPE ftrouter_proxy_errors_total counter")
 	fmt.Fprintf(w, "ftrouter_proxy_errors_total %d\n", proxyErr)
+	fmt.Fprintln(w, "# HELP ftrouter_retried_421_total Misdirected submissions re-proxied to the owner shard a backend named.")
+	fmt.Fprintln(w, "# TYPE ftrouter_retried_421_total counter")
+	fmt.Fprintf(w, "ftrouter_retried_421_total %d\n", retried)
 }
 
 func intPtr(v int) *int { return &v }

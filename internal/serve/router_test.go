@@ -225,6 +225,237 @@ func TestRouterReportsDeadBackend(t *testing.T) {
 	}
 }
 
+// TestRouterStatusAggregatesFleet: the router's /v1/status fans out to
+// every shard and sums the totals, so one request shows the topology.
+func TestRouterStatusAggregatesFleet(t *testing.T) {
+	front, _ := newTestTopology(t, 2)
+	_, doc, _ := postJSON(t, front, quickRun)
+	waitState(t, front, doc.ID, stateDone)
+
+	resp, err := http.Get(front.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet fleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !fleet.Router || fleet.ShardCount != 2 || len(fleet.Shards) != 2 {
+		t.Fatalf("fleet identity: %+v", fleet)
+	}
+	for i, sh := range fleet.Shards {
+		if sh.Error != "" || sh.Shard != i || sh.ShardCount != 2 {
+			t.Errorf("shard %d entry: %+v", i, sh)
+		}
+	}
+	if fleet.Totals.JobsDone != 1 || fleet.Totals.CacheMisses != 1 || fleet.Totals.Unreachable != 0 {
+		t.Errorf("totals after one executed run: %+v", fleet.Totals)
+	}
+}
+
+// TestRouterStatusSurvivesDeadShard: a dead backend appears as an
+// error-bearing entry and is counted unreachable; the rest of the fleet
+// still reports.
+func TestRouterStatusSurvivesDeadShard(t *testing.T) {
+	_, ts0 := newTestServer(t, Options{Workers: 1, Shard: 0, ShardCount: 2})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt, err := NewRouter([]string{ts0.URL, dead.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet fleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fleet.Totals.Unreachable != 1 {
+		t.Fatalf("unreachable = %d, want 1", fleet.Totals.Unreachable)
+	}
+	if fleet.Shards[0].Error != "" || fleet.Shards[1].Error == "" {
+		t.Fatalf("error attribution wrong: %+v", fleet.Shards)
+	}
+}
+
+// TestRouterRetriesMisdirected421: when a backend refuses a submission
+// naming a different owner (its -shard flag disagrees with the router's
+// map), the router re-proxies the buffered body to the named owner once
+// and counts the repair.
+func TestRouterRetriesMisdirected421(t *testing.T) {
+	own0, _ := shardedBodies(t)
+
+	// Shard 0 of the router's map is misconfigured: it bounces every
+	// submission to shard 1. Shard 1 is a real (unsharded) backend that
+	// accepts anything.
+	bouncer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+				"error": "misconfigured shard", "shard": 1, "shard_count": 2,
+			})
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer bouncer.Close()
+	s1, ts1 := newTestServer(t, Options{Workers: 1})
+
+	rt, err := NewRouter([]string{bouncer.URL, ts1.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	code, doc, _ := postJSON(t, front, own0)
+	if code != http.StatusAccepted {
+		t.Fatalf("misdirected submission through router: status %d, want 202 after retry", code)
+	}
+	waitState(t, ts1, doc.ID, stateDone)
+	if _, misses, _ := s1.CacheStats(); misses != 1 {
+		t.Fatalf("named owner misses = %d, want 1", misses)
+	}
+
+	_, metrics := getBody(t, front.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("ftrouter_retried_421_total 1")) {
+		t.Error("router did not count the 421 retry")
+	}
+}
+
+// TestRouterRelaysUnretryable421: a 421 naming the very shard the router
+// already used (or nothing parseable) is relayed to the client untouched —
+// retrying the same backend would loop.
+func TestRouterRelaysUnretryable421(t *testing.T) {
+	own0, _ := shardedBodies(t)
+	bouncer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+			"error": "self-referential bounce", "shard": 0, "shard_count": 2,
+		})
+	}))
+	defer bouncer.Close()
+	_, ts1 := newTestServer(t, Options{Workers: 1})
+	rt, err := NewRouter([]string{bouncer.URL, ts1.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/experiments", "application/json", strings.NewReader(own0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("status %d, want the 421 relayed", resp.StatusCode)
+	}
+	if !bytes.Contains(raw, []byte("self-referential bounce")) {
+		t.Fatalf("421 body not relayed verbatim: %s", raw)
+	}
+	_, metrics := getBody(t, front.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("ftrouter_retried_421_total 0")) {
+		t.Error("self-referential 421 must not count as a retry")
+	}
+}
+
+// TestRouterSurvivesMidBodyShardFailure: a backend dying mid-response
+// truncates that one proxied stream (the client sees the error) without
+// wedging the router for subsequent requests.
+func TestRouterSurvivesMidBodyShardFailure(t *testing.T) {
+	const partial = `{"id":"sha256:truncat`
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			io.WriteString(w, "ok\n")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, partial)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler) // kill the connection mid-body
+	}))
+	defer backend.Close()
+	rt, err := NewRouter([]string{backend.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/experiments/sha256:whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (headers were sent before the backend died)", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(raw), partial) {
+		t.Fatalf("streamed prefix lost: %q", raw)
+	}
+	if readErr == nil && string(raw) != partial {
+		t.Fatalf("client saw neither the truncation error nor the exact partial body: %q", raw)
+	}
+
+	// The router is still alive and routing.
+	if code := getCode(t, front.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("router healthz after mid-body failure: status %d", code)
+	}
+}
+
+// TestRouterPropagatesTraceContext is the cross-shard tracing e2e: a
+// submission through the 2-shard router keeps the caller's request ID,
+// returns the trace ID, and the job's service trace records the router
+// hop as a proxy span.
+func TestRouterPropagatesTraceContext(t *testing.T) {
+	front, _ := newTestTopology(t, 2)
+
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/experiments", strings.NewReader(quickRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderRequestID, "cli-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc statusDoc
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST via router: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderRequestID); got != "cli-1" {
+		t.Errorf("request ID through router = %q, want cli-1", got)
+	}
+	if got := resp.Header.Get(HeaderTraceID); got != doc.ID {
+		t.Errorf("trace ID through router = %q, want %q", got, doc.ID)
+	}
+
+	waitState(t, front, doc.ID, stateDone)
+	code, trace := getBody(t, front.URL+"/v1/experiments/"+doc.ID+"/trace?format=service")
+	if code != http.StatusOK {
+		t.Fatalf("service trace via router: status %d", code)
+	}
+	for _, want := range []string{`"name":"proxy"`, `"via":"router"`, `"request_id":"cli-1"`, `"trace_id":"` + doc.ID + `"`} {
+		if !bytes.Contains(trace, []byte(want)) {
+			t.Errorf("service trace via router missing %q", want)
+		}
+	}
+}
+
 // TestRouterRejectsBadConfigs mirrors backend validation at the edge.
 func TestRouterRejectsBadConfigs(t *testing.T) {
 	if _, err := NewRouter(nil); err == nil {

@@ -30,13 +30,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/msg"
+	"repro/internal/sim"
 )
 
 // Options configures a Server. The zero value is usable.
@@ -74,6 +79,10 @@ type Options struct {
 	// shard replays. ShardCount ≤ 1 disables sharding.
 	Shard, ShardCount int
 
+	// Logger receives structured request/job logs (trace, request and
+	// shard IDs on every record). nil discards them.
+	Logger *slog.Logger
+
 	// now and beforeRun are test hooks: a fake clock, and a gate invoked
 	// by a worker right before it starts executing a job.
 	now       func() time.Time
@@ -97,7 +106,15 @@ func (o *Options) withDefaults() Options {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	if opts.Logger == nil {
+		opts.Logger = discardLogger()
+	}
 	return opts
+}
+
+// discardLogger returns a logger that drops every record.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 // Server is the experiment-serving HTTP handler plus its scheduler and
@@ -113,6 +130,10 @@ type Server struct {
 	// work (forced shutdown past the drain deadline).
 	baseCtx    context.Context
 	cancelJobs context.CancelCauseFunc
+
+	log     *slog.Logger
+	started time.Time     // process start, for /v1/status uptime
+	reqSeq  atomic.Uint64 // generated request-ID sequence
 
 	mu       sync.Mutex
 	jobs     map[string]*job // content address → job (the result cache)
@@ -141,15 +162,29 @@ func New(opts Options) (*Server, error) {
 	}
 	s.baseCtx, s.cancelJobs = context.WithCancelCause(context.Background())
 	s.sched = newScheduler(s.opts.Workers, s.opts.QueueDepth, s.execute)
+	s.log = s.opts.Logger.With("shard", s.opts.Shard)
+	s.started = s.opts.now()
 
 	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/experiments/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	registerPprof(s.mux)
 	return s, nil
+}
+
+// registerPprof exposes the net/http/pprof profiling endpoints on a custom
+// mux (the package's init only registers on http.DefaultServeMux).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // Handler returns the HTTP handler.
@@ -165,6 +200,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("shutdown: draining")
 
 	done := make(chan struct{})
 	go func() {
@@ -173,8 +209,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("shutdown: drained")
 		return nil
 	case <-ctx.Done():
+		s.log.Warn("shutdown: deadline passed, cancelling in-flight jobs")
 		s.cancelJobs(fmt.Errorf("ftserve shutdown deadline: %w", context.Cause(ctx)))
 		<-done
 		return ctx.Err()
@@ -188,22 +226,38 @@ func (s *Server) CacheStats() (hits, misses, rejected uint64) {
 }
 
 // handleSubmit is POST /v1/experiments: resolve, content-address, coalesce
-// or schedule.
+// or schedule. Every submission carries a trace context (svctrace.go): the
+// response names the trace (= job) ID and request ID, and the spans the
+// submission recorded become part of the job's service trace.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t0 := s.opts.now()
+	tc := s.newTraceCtx(r.Header.Get, t0)
+	w.Header().Set(HeaderRequestID, tc.reqID)
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
+		s.log.Warn("submit rejected", "request_id", tc.reqID, "status", http.StatusBadRequest, "error", err.Error())
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
 	req, err := resolveRequest(body)
 	if err != nil {
+		s.log.Warn("submit rejected", "request_id", tc.reqID, "status", http.StatusBadRequest, "error", err.Error())
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	key, err := req.key()
 	if err != nil {
+		s.log.Warn("submit rejected", "request_id", tc.reqID, "status", http.StatusBadRequest, "error", err.Error())
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("hashing request: %v", err))
 		return
+	}
+	w.Header().Set(HeaderTraceID, key)
+	admitted := s.opts.now()
+	tc.addSpan(SpanAdmission, t0, admitted, svcAttr{"type", req.Type})
+	logSubmit := func(outcome string, code int) {
+		s.log.Info("submit", "request_id", tc.reqID, "trace_id", key,
+			"type", req.Type, "outcome", outcome, "status", code)
 	}
 
 	s.mu.Lock()
@@ -219,10 +273,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// coalesce — either way no new execution.
 			s.mu.Unlock()
 			s.met.hit()
-			code := http.StatusOK
+			code, outcome := http.StatusOK, "cached"
 			if st != stateDone {
-				code = http.StatusAccepted
+				code, outcome = http.StatusAccepted, "coalesced"
 			}
+			tc.addSpan(SpanCacheLookup, admitted, s.opts.now(), svcAttr{"outcome", "hit"})
+			existing.addReqTrace(tc.trace(outcome, false))
+			logSubmit(outcome, code)
 			writeJSON(w, code, existing.status(true))
 			return
 		}
@@ -237,6 +294,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if loaded := s.loadFromDisk(key); loaded != nil {
 		s.met.hit()
 		s.met.diskHit()
+		tc.addSpan(SpanCacheLookup, admitted, s.opts.now(), svcAttr{"outcome", "hit-disk"})
+		loaded.addReqTrace(tc.trace("cached-disk", false))
+		logSubmit("cached-disk", http.StatusOK)
 		writeJSON(w, http.StatusOK, loaded.status(true))
 		return
 	}
@@ -247,6 +307,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if n := s.opts.ShardCount; n > 1 {
 		if owner := ShardOf(key, n); owner != s.opts.Shard {
 			s.met.misdirect()
+			logSubmit("misdirected", http.StatusMisdirectedRequest)
 			writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
 				"error":       fmt.Sprintf("job %s is owned by shard %d/%d (this is shard %d)", key, owner, n, s.opts.Shard),
 				"shard":       owner,
@@ -268,15 +329,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if st := existing.currentState(); st != stateFailed && st != stateCanceled {
 			s.mu.Unlock()
 			s.met.hit()
-			code := http.StatusOK
+			code, outcome := http.StatusOK, "cached"
 			if st != stateDone {
-				code = http.StatusAccepted
+				code, outcome = http.StatusAccepted, "coalesced"
 			}
+			tc.addSpan(SpanCacheLookup, admitted, s.opts.now(), svcAttr{"outcome", "hit"})
+			existing.addReqTrace(tc.trace(outcome, false))
+			logSubmit(outcome, code)
 			writeJSON(w, code, existing.status(true))
 			return
 		}
 	}
 	j := newJob(key, req, s.opts.now())
+	tc.addSpan(SpanCacheLookup, admitted, s.opts.now(), svcAttr{"outcome", "miss"})
+	j.addReqTrace(tc.trace("executed", true))
 	if _, replaced := s.jobs[key]; !replaced {
 		s.order = append(s.order, key)
 	}
@@ -291,6 +357,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.met.reject()
+			logSubmit("rejected-queue-full", http.StatusTooManyRequests)
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
 			writeError(w, http.StatusTooManyRequests,
 				fmt.Sprintf("scheduler queue full (%d queued); retry later", s.sched.capacity()))
@@ -300,6 +367,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.miss()
+	logSubmit("executed", http.StatusAccepted)
 	w.Header().Set("Location", "/v1/experiments/"+key)
 	writeJSON(w, http.StatusAccepted, j.status(false))
 }
@@ -343,6 +411,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j := s.lookupOrLoad(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such experiment")
+		return
+	}
+	// format=service is the wall-clock service span tree (svctrace.go):
+	// available for every experiment type, in every state — it describes
+	// the request's journey, not the simulation's.
+	if r.URL.Query().Get("format") == "service" {
+		w.Header().Set("Content-Type", "application/json")
+		writeServiceTrace(w, j, s.opts.Shard, s.opts.ShardCount)
 		return
 	}
 	res, exports, err := j.traceData()
@@ -401,7 +477,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeOrReplay("application/jsonl", live, stored, noSpans)
 	default:
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown trace format %q (want jsonl, chrome or spans)", format))
+			fmt.Sprintf("unknown trace format %q (want jsonl, chrome, spans or service)", format))
 	}
 }
 
@@ -413,6 +489,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		byState[j.currentState()]++
 	}
 	s.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	msgGets, msgMisses := msg.PoolStats()
+	simPushes, simGrows := sim.HeapStats()
 	info := renderInfo{
 		jobsByState: byState,
 		queueDepth:  s.sched.depth(),
@@ -421,6 +501,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		shard:       s.opts.Shard,
 		shardCount:  s.opts.ShardCount,
 		diskBytes:   -1,
+		goroutines:  runtime.NumGoroutine(),
+		heapAlloc:   ms.HeapAlloc,
+		gcPauseNs:   ms.PauseTotalNs,
+		gcCycles:    ms.NumGC,
+		goVersion:   runtime.Version(),
+		version:     Version(),
+		msgGets:     msgGets,
+		msgMisses:   msgMisses,
+		simPushes:   simPushes,
+		simGrows:    simGrows,
 	}
 	if s.store != nil {
 		info.diskBytes = s.store.sizeBytes()
@@ -498,17 +588,36 @@ func (s *Server) loadFromDisk(id string) *job {
 	return j
 }
 
-// execute runs one job on a worker goroutine.
+// execute runs one job on a worker goroutine, recording the execution-side
+// service spans (queue_wait, execute, encode, store) as it goes. The
+// durable-store spill happens before finish wakes the waiters, so a
+// finished job's service trace is complete.
 func (s *Server) execute(j *job) {
 	if hook := s.opts.beforeRun; hook != nil {
 		hook(j)
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
-	j.start(s.opts.now(), cancel)
 	start := s.opts.now()
+	j.start(start, cancel)
+	j.addExecSpan(svcSpan{name: SpanQueueWait, start: j.createdAt(), end: start})
+	s.log.Info("job start", "trace_id", j.id, "type", j.req.Type, "workload", j.req.Workload)
 
-	resultJSON, res, err := s.runExperiment(ctx, j)
+	payload, res, err := s.runExperiment(ctx, j)
+	execEnd := s.opts.now()
+	j.addExecSpan(svcSpan{name: SpanExecute, start: start, end: execEnd,
+		attrs: []svcAttr{{"type", j.req.Type}, {"workload", j.req.Workload}}})
+
+	var resultJSON json.RawMessage
+	if err == nil {
+		// The central encode: json.Marshal of the per-type payload is
+		// byte-identical to what each experiment case used to produce.
+		resultJSON, err = json.Marshal(payload)
+		if err == nil {
+			j.addExecSpan(svcSpan{name: SpanEncode, start: execEnd, end: s.opts.now(),
+				attrs: []svcAttr{{"bytes", strconv.Itoa(len(resultJSON))}}})
+		}
+	}
 	state := stateDone
 	errMsg := ""
 	if err != nil {
@@ -523,26 +632,45 @@ func (s *Server) execute(j *job) {
 	if state == stateDone && s.store != nil {
 		exports = renderExports(res)
 	}
-	j.finish(s.opts.now(), state, resultJSON, res, exports, errMsg)
-	s.met.observe(j.req.Type, state, s.opts.now().Sub(start))
 
 	// Spill the finished result to the durable store (best-effort: a
 	// failed spill serves from memory and is retried by whichever future
-	// execution recomputes the identical bytes).
+	// execution recomputes the identical bytes). The spill runs before
+	// finish wakes the waiters so the store span is part of the trace by
+	// the time anyone can observe the job as done; the envelope carries
+	// the same finished timestamp the in-memory job will.
+	finished := s.opts.now()
 	if state == stateDone && s.store != nil {
-		if evicted, err := s.store.put(j.envelope()); err != nil {
+		env := j.envelopeFor(resultJSON, exports, finished)
+		storeStart := s.opts.now()
+		evicted, perr := s.store.put(env)
+		j.addExecSpan(svcSpan{name: SpanStore, start: storeStart, end: s.opts.now()})
+		if perr != nil {
 			s.met.storeError()
+			s.log.Warn("durable spill failed", "trace_id", j.id, "error", perr.Error())
 		} else if evicted > 0 {
 			s.met.evict(evicted)
+			s.log.Info("durable store evicted", "trace_id", j.id, "entries", evicted)
 		}
+	}
+
+	j.finish(finished, state, resultJSON, res, exports, errMsg)
+	s.met.observe(j.req.Type, state, finished.Sub(start))
+	if errMsg != "" {
+		s.log.Warn("job finished", "trace_id", j.id, "type", j.req.Type, "state", state,
+			"wall_ms", finished.Sub(start).Milliseconds(), "error", errMsg)
+	} else {
+		s.log.Info("job finished", "trace_id", j.id, "type", j.req.Type, "state", state,
+			"wall_ms", finished.Sub(start).Milliseconds())
 	}
 }
 
-// runExperiment dispatches on the experiment type. The returned bytes are
-// the memoized result: deterministic for a deterministic configuration
-// (json.Marshal sorts map keys), so a cached replay is byte-identical to
-// the live run that produced it, at every parallelism level.
-func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *repro.Result, error) {
+// runExperiment dispatches on the experiment type and returns the result
+// payload the worker marshals into the memoized bytes: deterministic for a
+// deterministic configuration (json.Marshal sorts map keys), so a cached
+// replay is byte-identical to the live run that produced it, at every
+// parallelism level.
+func (s *Server) runExperiment(ctx context.Context, j *job) (payload any, res *repro.Result, err error) {
 	cfg := j.req.Config
 	cfg.Parallelism = s.opts.Parallelism
 	if cfg.Parallelism < 0 {
@@ -556,8 +684,7 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *r
 			return nil, nil, err
 		}
 		j.publishCounts(1, 1)
-		b, err := json.Marshal(res)
-		return b, res, err
+		return res, res, nil
 	case "sweep":
 		j.publishCounts(0, len(j.req.Rates))
 		results, err := repro.FaultSweepContext(ctx, cfg, j.req.Workload, j.req.Rates,
@@ -565,8 +692,7 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *r
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := json.Marshal(map[string]any{"rates": j.req.Rates, "results": results})
-		return b, nil, err
+		return map[string]any{"rates": j.req.Rates, "results": results}, nil, nil
 	case "compare":
 		j.publishCounts(0, 2)
 		dir, ft, err := repro.CompareContext(ctx, cfg, j.req.Workload)
@@ -574,14 +700,13 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *r
 			return nil, nil, err
 		}
 		j.publishCounts(2, 2)
-		b, err := json.Marshal(map[string]any{
+		return map[string]any{
 			"dir":              dir,
 			"ft":               ft,
 			"time_overhead":    ft.TimeOverheadVs(dir),
 			"message_overhead": ft.MessageOverheadVs(dir),
 			"byte_overhead":    ft.ByteOverheadVs(dir),
-		})
-		return b, nil, err
+		}, nil, nil
 	case "coverage":
 		opt := repro.CoverageOptions{Progress: j.publishCounts}
 		if p := j.req.Coverage; p != nil {
@@ -594,8 +719,7 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *r
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := json.Marshal(rep)
-		return b, nil, err
+		return rep, nil, nil
 	case "tile-death":
 		opt := repro.TileDeathOptions{Progress: j.publishCounts}
 		if p := j.req.TileDeath; p != nil {
@@ -606,16 +730,14 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (json.RawMessage, *r
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := json.Marshal(rep)
-		return b, nil, err
+		return rep, nil, nil
 	case "profile":
 		j.publishCounts(0, 2)
 		rep, err := repro.ProfileContext(ctx, cfg, j.req.Workload)
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := json.Marshal(rep)
-		return b, nil, err
+		return rep, nil, nil
 	}
 	return nil, nil, fmt.Errorf("unreachable experiment type %q", j.req.Type)
 }

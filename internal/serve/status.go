@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+)
+
+// shardStatus is the GET /v1/status document of one backend: a point-in-
+// time operational snapshot (identity, queue, cache, runtime). The router
+// aggregates one per shard into a fleetStatus.
+type shardStatus struct {
+	Shard      int    `json:"shard"`
+	ShardCount int    `json:"shard_count"`
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	UptimeMs   int64  `json:"uptime_ms"`
+	Draining   bool   `json:"draining"`
+
+	Workers       int `json:"workers"`
+	WorkersBusy   int `json:"workers_busy"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	Jobs map[string]int `json:"jobs"` // tracked jobs by state
+
+	Cache struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Rejected  uint64 `json:"rejected"`
+		DiskHits  uint64 `json:"disk_hits"`
+		DiskBytes int64  `json:"disk_bytes"` // -1 when the cache is memory-only
+	} `json:"cache"`
+
+	Goroutines int `json:"goroutines"`
+
+	// Error is set by the router in place of a document when the shard
+	// could not be reached.
+	Error string `json:"error,omitempty"`
+}
+
+// statusNow assembles this server's shard status.
+func (s *Server) statusNow() shardStatus {
+	byState := make(map[string]int)
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[j.currentState()]++
+	}
+	draining := s.draining
+	s.mu.Unlock()
+
+	count := s.opts.ShardCount
+	if count < 1 {
+		count = 1
+	}
+	doc := shardStatus{
+		Shard:         s.opts.Shard,
+		ShardCount:    count,
+		Version:       Version(),
+		GoVersion:     runtime.Version(),
+		UptimeMs:      s.opts.now().Sub(s.started).Milliseconds(),
+		Draining:      draining,
+		Workers:       s.opts.Workers,
+		WorkersBusy:   s.sched.runningCount(),
+		QueueDepth:    s.sched.depth(),
+		QueueCapacity: s.sched.capacity(),
+		Jobs:          byState,
+		Goroutines:    runtime.NumGoroutine(),
+	}
+	hits, misses, rejected := s.met.snapshot()
+	diskHits, _, _ := s.met.diskSnapshot()
+	doc.Cache.Hits = hits
+	doc.Cache.Misses = misses
+	doc.Cache.Rejected = rejected
+	doc.Cache.DiskHits = diskHits
+	doc.Cache.DiskBytes = -1
+	if s.store != nil {
+		doc.Cache.DiskBytes = s.store.sizeBytes()
+	}
+	return doc
+}
+
+// handleStatus is GET /v1/status on a backend.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statusNow())
+}
+
+// fleetStatus is the router's GET /v1/status: every shard's status plus
+// fleet-wide totals, so one request shows the whole topology at a glance.
+type fleetStatus struct {
+	Router     bool          `json:"router"`
+	ShardCount int           `json:"shard_count"`
+	Shards     []shardStatus `json:"shards"`
+	Totals     fleetTotals   `json:"totals"`
+}
+
+type fleetTotals struct {
+	WorkersBusy    int   `json:"workers_busy"`
+	QueueDepth     int   `json:"queue_depth"`
+	JobsDone       int   `json:"jobs_done"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheDiskBytes int64 `json:"cache_disk_bytes"` // max across shards: they share one directory
+	Unreachable    int   `json:"unreachable"`
+}
+
+// handleStatus is GET /v1/status on the router: fan out to every backend
+// and aggregate.
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	fleet := fleetStatus{Router: true, ShardCount: len(rt.backends)}
+	fleet.Totals.CacheDiskBytes = -1
+	for i, b := range rt.backends {
+		doc := rt.probeStatus(i, b.String())
+		fleet.Shards = append(fleet.Shards, doc)
+		if doc.Error != "" {
+			fleet.Totals.Unreachable++
+			continue
+		}
+		fleet.Totals.WorkersBusy += doc.WorkersBusy
+		fleet.Totals.QueueDepth += doc.QueueDepth
+		fleet.Totals.JobsDone += doc.Jobs[stateDone]
+		fleet.Totals.CacheHits += int64(doc.Cache.Hits)
+		fleet.Totals.CacheMisses += int64(doc.Cache.Misses)
+		if doc.Cache.DiskBytes > fleet.Totals.CacheDiskBytes {
+			fleet.Totals.CacheDiskBytes = doc.Cache.DiskBytes
+		}
+	}
+	writeJSON(w, http.StatusOK, fleet)
+}
+
+// probeStatus fetches one backend's status document; unreachable or
+// malformed backends come back as an Error-only entry so one dead shard
+// never hides the rest of the fleet.
+func (rt *Router) probeStatus(shard int, base string) shardStatus {
+	doc := shardStatus{Shard: shard}
+	resp, err := rt.probe.Get(base + "/v1/status")
+	if err != nil {
+		doc.Error = err.Error()
+		return doc
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		doc.Error = "status " + resp.Status
+		return doc
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		doc.Error = "decoding status: " + err.Error()
+		return doc
+	}
+	return doc
+}

@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/span"
+)
+
+// Service tracing: the request-scoped span layer that unifies the serving
+// fleet's wall-clock with the simulator's cycle-clock. Every submission
+// carries a trace context — trace ID = the job's content address, request
+// ID = a per-submission token — and records a small span tree covering its
+// journey: router hop (proxy), request parsing (admission), cache probe
+// (cache_lookup), and, for the one submission that actually schedules an
+// execution, the job's execution spans (queue_wait, execute, encode,
+// store). GET /v1/experiments/{id}/trace?format=service renders the whole
+// tree as one Perfetto document, with the PR 4 per-transaction simulation
+// lanes nested under the execute span when the run recorded spans.
+//
+// The layer is provably non-perturbing: spans are recorded outside the
+// simulator, result bytes are marshaled exactly as before, and cached
+// replays stay byte-identical (pinned by tests).
+
+// Service span names, in causal order. ServicePhases is the exported
+// taxonomy (docs and doc-pin tests reference it).
+const (
+	SpanProxy       = "proxy"        // router receive → backend response (synthesized from Ftserve-Proxy-Start)
+	SpanAdmission   = "admission"    // read body, resolve request, compute the content address
+	SpanCacheLookup = "cache_lookup" // memory + durable-store probe; outcome attr: miss|hit|hit-disk
+	SpanQueueWait   = "queue_wait"   // job creation → a worker picks it up
+	SpanExecute     = "execute"      // the experiment itself (simulation lanes nest here)
+	SpanEncode      = "encode"       // result → canonical JSON bytes
+	SpanStore       = "store"        // durable-store spill
+)
+
+// ServicePhases returns the service span taxonomy in causal order.
+func ServicePhases() []string {
+	return []string{SpanProxy, SpanAdmission, SpanCacheLookup, SpanQueueWait, SpanExecute, SpanEncode, SpanStore}
+}
+
+// Trace-context headers. The router stamps Ftserve-Proxy-Start (its receive
+// time, unix nanoseconds) on forwarded submissions so the backend can
+// synthesize the proxy span; Ftserve-Request-Id propagates a caller-chosen
+// request ID (one is generated when absent); Ftserve-Trace-Id returns the
+// trace ID — the job's content address — on every submission response.
+const (
+	HeaderRequestID  = "Ftserve-Request-Id"
+	HeaderTraceID    = "Ftserve-Trace-Id"
+	HeaderProxyStart = "Ftserve-Proxy-Start"
+)
+
+// maxReqTraces bounds the per-request traces retained on one job, so a
+// hammered cache entry cannot grow without bound. The executor's trace is
+// always the first and is never dropped.
+const maxReqTraces = 32
+
+// svcAttr is one key/value annotation on a service span; attrs render in
+// recording order, keeping the export deterministic.
+type svcAttr struct{ key, val string }
+
+// svcSpan is one service-layer span: a named wall-clock interval.
+type svcSpan struct {
+	name       string
+	start, end time.Time
+	attrs      []svcAttr
+}
+
+// reqTrace is the span tree of one submission against a job.
+type reqTrace struct {
+	reqID    string
+	outcome  string // executed | coalesced | cached | cached-disk
+	executor bool   // this submission scheduled the job's execution
+	spans    []svcSpan
+}
+
+// traceCtx accumulates a submission's spans while the request is handled.
+type traceCtx struct {
+	reqID      string
+	proxyStart time.Time // zero when the request did not come through the router
+	spans      []svcSpan
+}
+
+// newTraceCtx builds a submission's trace context: request ID from the
+// propagated header (or generated), and a synthesized proxy span when the
+// router stamped its receive time.
+func (s *Server) newTraceCtx(hdr func(string) string, t0 time.Time) *traceCtx {
+	tc := &traceCtx{reqID: cleanRequestID(hdr(HeaderRequestID))}
+	if tc.reqID == "" {
+		tc.reqID = "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	}
+	if v := hdr(HeaderProxyStart); v != "" {
+		if ns, err := strconv.ParseInt(v, 10, 64); err == nil {
+			if at := time.Unix(0, ns); at.Before(t0) {
+				tc.proxyStart = at
+				tc.spans = append(tc.spans, svcSpan{name: SpanProxy, start: at, end: t0,
+					attrs: []svcAttr{{"via", "router"}}})
+			}
+		}
+	}
+	return tc
+}
+
+// addSpan appends a finished span to the context.
+func (tc *traceCtx) addSpan(name string, start, end time.Time, attrs ...svcAttr) {
+	tc.spans = append(tc.spans, svcSpan{name: name, start: start, end: end, attrs: attrs})
+}
+
+// trace seals the context into the per-request trace attached to a job.
+func (tc *traceCtx) trace(outcome string, executor bool) reqTrace {
+	return reqTrace{reqID: tc.reqID, outcome: outcome, executor: executor, spans: tc.spans}
+}
+
+// cleanRequestID sanitizes a caller-supplied request ID: letters, digits,
+// dot, underscore and dash only, at most 64 bytes; anything else reads as
+// absent (a fresh ID is generated).
+func cleanRequestID(s string) string {
+	if s == "" || len(s) > 64 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// addReqTrace attaches one submission's trace to the job, bounded at
+// maxReqTraces (later submissions are counted, not retained).
+func (j *job) addReqTrace(rt reqTrace) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.reqs) >= maxReqTraces {
+		j.reqsDropped++
+		return
+	}
+	j.reqs = append(j.reqs, rt)
+}
+
+// addExecSpan appends one execution-side span (queue_wait, execute, encode,
+// store) to the job. Execution spans belong to the job, not a request: they
+// happen once however many submissions coalesced onto it.
+func (j *job) addExecSpan(sp svcSpan) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.execSpans = append(j.execSpans, sp)
+}
+
+// serviceSnapshot copies everything the service-trace exporter needs out
+// from under the job's lock.
+func (j *job) serviceSnapshot() (reqs []reqTrace, execSpans []svcSpan, simSpans []*span.Span, names func(msg.NodeID) string, state string, dropped int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	reqs = append([]reqTrace(nil), j.reqs...)
+	execSpans = append([]svcSpan(nil), j.execSpans...)
+	if j.res != nil {
+		simSpans = j.res.Spans()
+		names = j.res.NodeNamer()
+	}
+	return reqs, execSpans, simSpans, names, j.state, j.reqsDropped
+}
+
+// writeServiceTrace renders the job's service span tree as a Chrome
+// trace-event JSON document: pid 1 holds one lane per submission (root
+// "request" slice, service spans nested inside; the executing submission's
+// lane also carries the job's execution spans), pid 2 holds the simulation
+// transaction lanes shifted to start at the execute span. Timestamps are
+// microseconds from the earliest recorded instant; the structure is
+// deterministic, the timing fields are wall-clock (the golden test
+// normalizes them).
+func writeServiceTrace(w io.Writer, j *job, shard, shardCount int) error {
+	reqs, execSpans, simSpans, names, state, dropped := j.serviceSnapshot()
+
+	// Origin: the earliest instant any span recorded.
+	var origin time.Time
+	seen := func(t time.Time) {
+		if !t.IsZero() && (origin.IsZero() || t.Before(origin)) {
+			origin = t
+		}
+	}
+	for _, rt := range reqs {
+		for _, sp := range rt.spans {
+			seen(sp.start)
+		}
+	}
+	for _, sp := range execSpans {
+		seen(sp.start)
+	}
+	us := func(t time.Time) int64 {
+		if t.Before(origin) {
+			return 0
+		}
+		return t.Sub(origin).Microseconds()
+	}
+	durUs := func(sp svcSpan) int64 {
+		d := sp.end.Sub(sp.start).Microseconds()
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	comma()
+	fmt.Fprintf(bw, `{"ph":"M","name":"process_name","pid":1,"args":{"name":"ftserve service (shard %d/%d)"}}`, shard, shardCount)
+	if dropped > 0 {
+		comma()
+		fmt.Fprintf(bw, `{"ph":"M","name":"process_labels","pid":1,"args":{"labels":"%d later requests not shown"}}`, dropped)
+	}
+	if len(simSpans) > 0 {
+		comma()
+		bw.WriteString(`{"ph":"M","name":"process_name","pid":2,"args":{"name":"simulation transactions"}}`)
+	}
+
+	emit := func(sp svcSpan, tid int) {
+		comma()
+		fmt.Fprintf(bw, `{"name":%q,"cat":"service","ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d`,
+			sp.name, us(sp.start), durUs(sp), tid)
+		if len(sp.attrs) > 0 {
+			bw.WriteString(`,"args":{`)
+			for i, a := range sp.attrs {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, `%q:%q`, a.key, a.val)
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte('}')
+	}
+
+	var execStartUs int64 = -1
+	for k, rt := range reqs {
+		tid := k + 1
+		track := rt.spans
+		if rt.executor {
+			track = append(append([]svcSpan(nil), rt.spans...), execSpans...)
+		}
+		var lo, hi time.Time
+		for _, sp := range track {
+			if lo.IsZero() || sp.start.Before(lo) {
+				lo = sp.start
+			}
+			if sp.end.After(hi) {
+				hi = sp.end
+			}
+		}
+		comma()
+		fmt.Fprintf(bw, `{"ph":"M","name":"thread_name","pid":1,"tid":%d,"args":{"name":"req %s (%s)"}}`,
+			tid, rt.reqID, rt.outcome)
+		comma()
+		fmt.Fprintf(bw, `{"name":"request","cat":"service","ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":{"trace_id":%q,"request_id":%q,"outcome":%q,"state":%q}}`,
+			us(lo), max64(hi.Sub(lo).Microseconds(), 0), tid, j.id, rt.reqID, rt.outcome, state)
+		for _, sp := range track {
+			emit(sp, tid)
+			if rt.executor && sp.name == SpanExecute {
+				execStartUs = us(sp.start)
+			}
+		}
+	}
+
+	if len(simSpans) > 0 {
+		if execStartUs < 0 {
+			execStartUs = 0
+		}
+		span.AppendChromeLanes(bw, simSpans, names, 2, 1, uint64(execStartUs), &first)
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildVersion is the version label exported by the ftserve_build_info
+// gauge and /v1/status; cmd/ftserve overwrites it from VCS build info when
+// available.
+var buildVersion = "dev"
+
+// SetVersion overrides the reported build version (cmd/ftserve sets it from
+// debug.ReadBuildInfo's vcs.revision).
+func SetVersion(v string) {
+	if v = strings.TrimSpace(v); v != "" {
+		buildVersion = v
+	}
+}
+
+// Version reports the build version label.
+func Version() string { return buildVersion }

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// postTraced submits a body with trace headers attached and returns the
+// response.
+func postTraced(t *testing.T, ts *httptest.Server, body string, hdr map[string]string) (int, statusDoc, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/experiments", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var doc statusDoc
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("decoding response %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, doc, resp.Header
+}
+
+// getServiceTrace fetches format=service for a job and returns the body.
+func getServiceTrace(t *testing.T, ts *httptest.Server, id string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/experiments/" + id + "/trace?format=service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace format=service: status %d: %s", resp.StatusCode, raw)
+	}
+	return string(raw), resp.Header.Get("Content-Type")
+}
+
+// normalizeTiming zeroes the wall-clock fields of a trace document. The
+// span *structure* is deterministic; only ts/dur vary run to run.
+var timingRe = regexp.MustCompile(`"(ts|dur)":\d+`)
+
+func normalizeTiming(doc string) string {
+	return timingRe.ReplaceAllString(doc, `"$1":0`)
+}
+
+// TestServiceTraceGolden pins the whole fleet-trace export: one executed
+// submission (with recorded simulation spans) plus one cached replay,
+// rendered as a Perfetto document whose structure — lanes, span names,
+// attrs, nesting of the simulation transactions under the execute span —
+// must not drift. Timing fields are normalized; everything else is exact.
+func TestServiceTraceGolden(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	body := `{"type":"run","quick":true,"config":{"OpsPerCore":20,"RecordEvents":true,"RecordSpans":true}}`
+
+	code, doc, _ := postTraced(t, ts, body, map[string]string{HeaderRequestID: "exec-1"})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	waitState(t, ts, doc.ID, stateDone)
+	if code, _, _ := postTraced(t, ts, body, map[string]string{HeaderRequestID: "replay-1"}); code != http.StatusOK {
+		t.Fatalf("replay POST: status %d", code)
+	}
+
+	raw, ct := getServiceTrace(t, ts, doc.ID)
+	if ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(raw), &parsed); err != nil {
+		t.Fatalf("service trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("service trace has no events")
+	}
+
+	// Structural invariants the golden also captures, asserted explicitly
+	// so a failure names what broke.
+	for _, want := range []string{
+		`"name":"admission"`, `"outcome":"miss"`, `"outcome":"hit"`,
+		`"name":"queue_wait"`, `"name":"execute"`, `"name":"encode"`,
+		`req exec-1 (executed)`, `req replay-1 (cached)`,
+		`"name":"simulation transactions"`, `"cat":"span"`,
+		`"trace_id":"` + doc.ID + `"`,
+	} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("service trace missing %q", want)
+		}
+	}
+	// No durable store on this server: no store span.
+	if strings.Contains(raw, `"name":"store"`) {
+		t.Error("memory-only server emitted a store span")
+	}
+
+	got := normalizeTiming(raw)
+	golden := filepath.Join("testdata", "service_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("service trace drifted from golden (run with -update-golden if intended)\ngot:\n%.2000s", got)
+	}
+}
+
+// TestServiceTraceCachedDiskReplay drives the cached-vs-executed story
+// docs/OBSERVABILITY.md walks through: after a restart, the replayed
+// submission's trace shows a hit-disk cache lookup and no execution
+// subtree at all — and the replayed result bytes are identical to the
+// original run's.
+func TestServiceTraceCachedDiskReplay(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"type":"run","quick":true,"config":{"OpsPerCore":20,"RecordSpans":true}}`
+
+	_, ts1 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, doc, _ := postTraced(t, ts1, body, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	final := waitState(t, ts1, doc.ID, stateDone)
+	executed, _ := getServiceTrace(t, ts1, doc.ID)
+	for _, want := range []string{`"name":"execute"`, `"name":"store"`} {
+		if !strings.Contains(executed, want) {
+			t.Errorf("executed trace missing %q", want)
+		}
+	}
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, replay, _ := postTraced(t, ts2, body, map[string]string{HeaderRequestID: "after-restart"})
+	if code != http.StatusOK {
+		t.Fatalf("replay POST: status %d, want 200", code)
+	}
+	if !bytes.Equal(replay.Result, final.Result) {
+		t.Fatal("replayed result bytes differ from the original run")
+	}
+
+	raw, _ := getServiceTrace(t, ts2, doc.ID)
+	for _, want := range []string{`"outcome":"hit-disk"`, `req after-restart (cached-disk)`, `"name":"cache_lookup"`} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("replay trace missing %q", want)
+		}
+	}
+	for _, reject := range []string{`"name":"execute"`, `"name":"queue_wait"`, `simulation transactions`} {
+		if strings.Contains(raw, reject) {
+			t.Errorf("replay trace contains %q; the restarted server never executed", reject)
+		}
+	}
+}
+
+// TestSubmitTraceHeaders: every submission response carries the request ID
+// (propagated when the caller sent a well-formed one, generated otherwise)
+// and the trace ID, which is the job's content address.
+func TestSubmitTraceHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	_, doc, hdr := postTraced(t, ts, quickRun, map[string]string{HeaderRequestID: "my-req.1"})
+	if got := hdr.Get(HeaderRequestID); got != "my-req.1" {
+		t.Errorf("request ID not propagated: %q", got)
+	}
+	if got := hdr.Get(HeaderTraceID); got != doc.ID {
+		t.Errorf("trace ID %q, want the job ID %q", got, doc.ID)
+	}
+
+	// Malformed caller IDs are replaced, not trusted.
+	_, _, hdr = postTraced(t, ts, quickRun, map[string]string{HeaderRequestID: "bad id\twith junk"})
+	if got := hdr.Get(HeaderRequestID); got != "r1" {
+		t.Errorf("malformed request ID: got %q, want generated \"r1\"", got)
+	}
+}
+
+// TestStatusEndpoint pins the backend's /v1/status operational snapshot.
+func TestStatusEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, CacheDir: t.TempDir()})
+	code, doc, _ := postJSON(t, ts, quickRun)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	waitState(t, ts, doc.ID, stateDone)
+
+	code, raw := getBody(t, ts.URL+"/v1/status")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var st shardStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decoding /v1/status: %v", err)
+	}
+	if st.Shard != 0 || st.ShardCount != 1 {
+		t.Errorf("identity %d/%d, want 0/1", st.Shard, st.ShardCount)
+	}
+	if st.Version != Version() || st.GoVersion != runtime.Version() {
+		t.Errorf("version %q/%q", st.Version, st.GoVersion)
+	}
+	if st.Workers != 1 || st.QueueCapacity != 64 {
+		t.Errorf("pool shape %d workers / %d queue", st.Workers, st.QueueCapacity)
+	}
+	if st.Jobs[stateDone] != 1 || st.Cache.Misses != 1 {
+		t.Errorf("jobs=%v cache=%+v after one executed run", st.Jobs, st.Cache)
+	}
+	if st.Cache.DiskBytes < 0 {
+		t.Errorf("durable cache reports DiskBytes=%d, want >= 0", st.Cache.DiskBytes)
+	}
+	if st.Goroutines <= 0 || st.UptimeMs < 0 || st.Draining {
+		t.Errorf("runtime snapshot implausible: %+v", st)
+	}
+
+	// Sharded servers report their topology coordinates.
+	_, ts3 := newTestServer(t, Options{Workers: 1, Shard: 1, ShardCount: 3})
+	_, raw = getBody(t, ts3.URL+"/v1/status")
+	var st3 shardStatus
+	if err := json.Unmarshal(raw, &st3); err != nil {
+		t.Fatal(err)
+	}
+	if st3.Shard != 1 || st3.ShardCount != 3 {
+		t.Errorf("sharded identity %d/%d, want 1/3", st3.Shard, st3.ShardCount)
+	}
+	if st3.Cache.DiskBytes != -1 {
+		t.Errorf("memory-only cache reports DiskBytes=%d, want -1", st3.Cache.DiskBytes)
+	}
+}
+
+// TestMetricsExposition pins the Prometheus text-format contract: the
+// versioned content type, the build_info identity gauge, and the Go
+// runtime / freelist-health gauge families.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	text := string(raw)
+	wants := []string{
+		`ftserve_build_info{version="` + Version() + `",goversion="` + runtime.Version() + `",shard="0"} 1`,
+		"ftserve_go_goroutines ",
+		"ftserve_go_heap_alloc_bytes ",
+		"ftserve_go_gc_pause_ns_total ",
+		"ftserve_go_gc_cycles_total ",
+		"ftserve_pool_msg_gets_total ",
+		"ftserve_pool_msg_misses_total ",
+		"ftserve_pool_msg_hit_ratio ",
+		"ftserve_pool_sim_event_pushes_total ",
+		"ftserve_pool_sim_event_grows_total ",
+		"ftserve_pool_sim_event_hit_ratio ",
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The router's exposition carries the same contract.
+	rt, err := NewRouter([]string{ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err = http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("router Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		`ftrouter_build_info{version="` + Version() + `",goversion="` + runtime.Version() + `"} 1`,
+		"ftrouter_retried_421_total 0",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("router metrics missing %q", want)
+		}
+	}
+}
+
+// TestPprofEndpoints: the profiling surface is mounted on both the backend
+// and the router mux (neither uses http.DefaultServeMux).
+func TestPprofEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	rt, err := NewRouter([]string{ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	for _, base := range []string{ts.URL, front.URL} {
+		for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+			if code := getCode(t, base+path); code != http.StatusOK {
+				t.Errorf("GET %s%s: status %d", base, path, code)
+			}
+		}
+	}
+}

@@ -26,7 +26,22 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
+
+// Event-queue health counters, process-wide across every engine: heapPushes
+// counts scheduled events, heapGrows the pushes that had to grow a heap's
+// backing array instead of reusing a recycled slot. pushes-grows is the
+// freelist hit count — in steady state it should dominate, which is what
+// "allocation-free hot path" means for the event queue. ftserve exports
+// both as /metrics gauges.
+var heapPushes, heapGrows atomic.Uint64
+
+// HeapStats reports how many events were scheduled and how many of those
+// pushes grew a heap's backing array since process start.
+func HeapStats() (pushes, grows uint64) {
+	return heapPushes.Load(), heapGrows.Load()
+}
 
 // ErrLimitReached is returned by Run when the cycle limit is hit before the
 // event queue drains. Callers typically treat this as a deadlock or as an
@@ -62,6 +77,10 @@ func (h eventHeap) less(i, j int) bool {
 
 // push appends ev and restores the heap property.
 func (h *eventHeap) push(ev event) {
+	heapPushes.Add(1)
+	if len(*h) == cap(*h) {
+		heapGrows.Add(1)
+	}
 	*h = append(*h, ev)
 	q := *h
 	i := len(q) - 1

@@ -80,32 +80,44 @@ func WriteChromeTrace(w io.Writer, spans []*Span, names func(msg.NodeID) string)
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
 	first := true
+	AppendChromeLanes(bw, spans, names, 0, 1, 0, &first)
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// AppendChromeLanes writes the per-transaction lane events (one tid per
+// span, named after the transaction, whole-span slice with phase segments
+// nested inside) into an already-open trace-event array. pid and tidBase
+// place the lanes; tsOffset shifts every timestamp, which lets the serving
+// layer (internal/serve) embed the simulation lanes under the wall-clock
+// execute span of its unified service trace. *first tracks whether a comma
+// is needed before the next event and is updated in place.
+func AppendChromeLanes(bw *bufio.Writer, spans []*Span, names func(msg.NodeID) string, pid, tidBase int, tsOffset uint64, first *bool) {
 	comma := func() {
-		if !first {
+		if !*first {
 			bw.WriteString(",\n")
 		}
-		first = false
+		*first = false
 	}
 	for lane, s := range spans {
 		origin := fmt.Sprintf("node.%d", s.Origin)
 		if names != nil {
 			origin = names(s.Origin)
 		}
+		tid := tidBase + lane
 		comma()
 		fmt.Fprintf(bw,
-			`{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":"txn %d:%d %s %s @%#x"}}`,
-			lane+1, s.TID.Node(), s.TID.Seq(), origin, s.Class, uint64(s.Addr))
+			`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"txn %d:%d %s %s @%#x"}}`,
+			pid, tid, s.TID.Node(), s.TID.Seq(), origin, s.Class, uint64(s.Addr))
 		comma()
 		fmt.Fprintf(bw,
-			`{"name":%q,"cat":"span","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"tid":%d,"addr":"%#x","complete":%t,"events":%d}}`,
-			s.Class, s.Start, s.Duration(), lane+1, uint64(s.TID), uint64(s.Addr), s.Complete, s.Events)
+			`{"name":%q,"cat":"span","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"tid":%d,"addr":"%#x","complete":%t,"events":%d}}`,
+			s.Class, tsOffset+s.Start, s.Duration(), pid, tid, uint64(s.TID), uint64(s.Addr), s.Complete, s.Events)
 		for _, seg := range s.Segments {
 			comma()
 			fmt.Fprintf(bw,
-				`{"name":%q,"cat":"phase","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"at":%q}}`,
-				seg.Phase, seg.Start, seg.End-seg.Start, lane+1, seg.At)
+				`{"name":%q,"cat":"phase","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"at":%q}}`,
+				seg.Phase, tsOffset+seg.Start, seg.End-seg.Start, pid, tid, seg.At)
 		}
 	}
-	bw.WriteString("\n]}\n")
-	return bw.Flush()
 }

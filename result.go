@@ -151,6 +151,11 @@ func (r *Result) WriteSpansChromeTrace(w io.Writer) error {
 	return span.WriteChromeTrace(w, r.spans, r.nodeName)
 }
 
+// NodeNamer returns the run's topology-aware node labeller, for trace
+// exporters outside this package (the serving layer's unified service
+// trace embeds the span lanes and needs the same lane names).
+func (r *Result) NodeNamer() func(msg.NodeID) string { return r.nodeName }
+
 // nodeName labels a node for trace export using the run's topology.
 func (r *Result) nodeName(id msg.NodeID) string {
 	t := r.topo

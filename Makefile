@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick tile-check serve-check trace-check load-check
+.PHONY: check vet build test race bench bench-diff sweep-bench docs-check coverage-quick tile-check mc-check serve-check trace-check load-check
 
-check: vet build race docs-check coverage-quick tile-check serve-check load-check
+check: vet build race docs-check coverage-quick tile-check mc-check serve-check load-check
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,16 @@ coverage-quick:
 # death, naming the dead nodes.
 tile-check:
 	$(GO) run ./cmd/ftcheck -tile-death
+
+# mc-check runs the model-checking gate under the race detector: the
+# internal/mc soundness suite (state-hash stability, replay determinism,
+# parallelism-independence), then the quick exhaustive exploration itself
+# — FtDirCMP must exhaust every delivery interleaving with a one-loss
+# budget violation-free while DirCMP yields a replayable deadlock
+# counterexample. See docs/MODELCHECK.md.
+mc-check:
+	$(GO) test -race ./internal/mc
+	$(GO) run ./cmd/ftcheck -interleave
 
 # serve-check builds the ftserve binary and runs the experiment-serving
 # e2e suite under the race detector: concurrent duplicate submissions
@@ -74,7 +84,7 @@ load-check:
 # tile-death class run (each unique job is a sampled structural campaign,
 # so per-job service time dominates: fewer, heavier requests).
 # Override BENCH_OUT to snapshot under a different name.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/serve | tee bench.out
 	$(GO) run ./cmd/ftload -serve 2 -clients 1000 -requests 2000 -dup-ratio 0.5 -queue 1024 -bench | tee -a bench.out
@@ -86,7 +96,7 @@ bench:
 # bench-diff compares the current snapshot against the previous PR's
 # baseline, per benchmark (ns/op, B/op, allocs/op, cycles). Informational:
 # it never fails the build.
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR9.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_OUT)
 

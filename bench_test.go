@@ -351,6 +351,31 @@ func TestDisabledInstrumentationZeroAlloc(t *testing.T) {
 // all cores. On a multi-core machine the speedup approaches the core count
 // because each rate point is an independent simulation; the results are
 // byte-identical either way (TestFaultSweepParallelMatchesSerial).
+// BenchmarkInterleaveExploration measures the model checker's throughput
+// on the quick gate shape (docs/MODELCHECK.md): the full FtDirCMP one-loss
+// exploration per iteration, with distinct states per second as the custom
+// metric — each state is one complete re-executed simulation prefix, so
+// this tracks the whole evaluate-hash-dedup pipeline.
+func BenchmarkInterleaveExploration(b *testing.B) {
+	cfg := quickInterleaveConfig()
+	states := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Interleave(cfg, InterleaveWorkload, InterleaveOptions{FaultBudget: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Exhausted || len(rep.Violations) != 0 {
+			b.Fatalf("exploration regressed: exhausted=%t violations=%d", rep.Exhausted, len(rep.Violations))
+		}
+		states = rep.StatesExplored
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(states)*float64(b.N)/secs, "states/sec")
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
 func BenchmarkFaultSweepParallelism(b *testing.B) {
 	rates := []int{0, 125, 250, 500, 1000, 2000, 5000, 10000}
 	for _, j := range []int{1, 0} {

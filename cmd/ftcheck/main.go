@@ -20,6 +20,14 @@
 // the dead tile's own stream wrote. The DirCMP baseline is shown failing the
 // same campaign.
 //
+// -interleave switches to the model-checking gate instead: on a tiny
+// configuration and a two-core handoff workload, every message delivery
+// interleaving (composed with up to -budget losses) is explored
+// exhaustively, pruning revisited states by fingerprint. FtDirCMP must
+// exhaust its bounded state space with zero violations; DirCMP must yield a
+// concrete counterexample schedule, which is replayed twice to prove it
+// reproduces deterministically. See docs/MODELCHECK.md.
+//
 // The runs are independent, deterministic simulations, so the campaign
 // fans out across CPU cores; -j bounds the number of concurrent runs
 // (-j 1 forces the historical serial order). Output is byte-identical at
@@ -88,6 +96,10 @@ func run(ctx context.Context) error {
 			"enumerate every single-loss fault slot and verify recovery from each")
 		tileDeath = flag.Bool("tile-death", false,
 			"kill every tile and mesh link at every enumerated slot and verify the extended recovery verdict")
+		interleave = flag.Bool("interleave", false,
+			"model-check mode: exhaustively explore message delivery interleavings (with a small loss budget) on a tiny configuration")
+		budget = flag.Int("budget", 1,
+			"fault budget for -interleave: maximum losses composed into any explored path")
 		doubles = flag.Int("doubles", 24,
 			"sampled double-fault runs in exhaustive mode (0 = none)")
 		jsonOut = flag.String("json", "",
@@ -110,6 +122,15 @@ func run(ctx context.Context) error {
 			opsSet = true
 		}
 	})
+
+	if *interleave {
+		// The checker enumerates every interleaving, so the workload must be
+		// tiny: two handoff writes per contending core is the quick shape.
+		if !opsSet {
+			cfg.OpsPerCore = 2
+		}
+		return runInterleave(ctx, cfg, *budget, *jsonOut, *progress)
+	}
 
 	if *tileDeath {
 		// The structural campaign runs once per (victim, slot) pair, so the
@@ -439,6 +460,44 @@ func runTileDeath(ctx context.Context, cfg repro.Config, jsonPath string, progre
 		return fmt.Errorf("%d structural coverage checks failed", failures)
 	}
 	fmt.Println("\nAll structural coverage checks passed.")
+	return nil
+}
+
+// runInterleave is the -interleave mode: the model-checking gate. The
+// exploration itself fans out per frontier layer under -j; output is
+// byte-identical at every -j level.
+func runInterleave(ctx context.Context, cfg repro.Config, budget int, jsonPath string, progress bool) error {
+	opt := repro.InterleaveOptions{FaultBudget: budget}
+	if progress {
+		opt.Progress = func(explored, frontier int) {
+			fmt.Fprintf(os.Stderr, "ftcheck: interleave  %d states explored, frontier %d\n", explored, frontier)
+		}
+	}
+	doc, err := repro.InterleaveGate(ctx, cfg, repro.InterleaveWorkload, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(doc.Text())
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := doc.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ninterleaving report written to %s (replay it with fttrace -replay)\n", jsonPath)
+	}
+
+	if err := doc.Err(); err != nil {
+		return err
+	}
+	fmt.Println("\nAll interleaving checks passed.")
 	return nil
 }
 

@@ -4,7 +4,8 @@
 //
 // It spawns -clients concurrent clients that together submit -requests
 // experiments (-class picks what each submission runs: a quick simulation,
-// or a sampled tile-death campaign for a heavier per-job profile). A
+// a sampled tile-death campaign for a heavier per-job profile, or the
+// interleave model-checking gate). A
 // -dup-ratio fraction of submissions is drawn from a small
 // hot pool of identical requests (exercising singleflight coalescing and
 // the content-addressed cache); the rest are unique (each varies the
@@ -116,7 +117,7 @@ func main() {
 	flag.IntVar(&opts.hotPool, "hot", 8, "size of the hot duplicate pool")
 	flag.Int64Var(&opts.seed, "seed", 1, "schedule seed: the request mix is a pure function of the flags and this")
 	flag.IntVar(&opts.ops, "ops", 200, "OpsPerCore per experiment (work each unique job performs)")
-	flag.StringVar(&opts.class, "class", "run", "experiment class each submission carries: run (one simulation) or tile-death (structural campaign; heavier per job)")
+	flag.StringVar(&opts.class, "class", "run", "experiment class each submission carries: run (one simulation), tile-death (structural campaign; heavier per job) or interleave (model-checking gate)")
 	flag.BoolVar(&opts.wait, "wait", true, "follow each job to completion (end-to-end latency); false measures submission only")
 	flag.IntVar(&opts.workers, "workers", 0, "self-serve: workers per backend (0 = GOMAXPROCS)")
 	flag.IntVar(&opts.queue, "queue", 64, "self-serve: scheduler queue depth per backend")
@@ -157,8 +158,10 @@ func run(opts options) (*report, error) {
 	if opts.class == "" {
 		opts.class = "run"
 	}
-	if opts.class != "run" && opts.class != "tile-death" {
-		return nil, fmt.Errorf("-class must be run or tile-death (got %q)", opts.class)
+	switch opts.class {
+	case "run", "tile-death", "interleave":
+	default:
+		return nil, fmt.Errorf("-class must be run, tile-death or interleave (got %q)", opts.class)
 	}
 	shards := 0 // unknown for an external target
 	if opts.target == "" {
@@ -287,10 +290,17 @@ func fetchStatus(httpc *http.Client, target string) json.RawMessage {
 // seed, so each one is real work with its own cache key.
 func schedule(opts options) (bodies []string, unique int) {
 	body := func(seed int) string {
-		if opts.class == "tile-death" {
+		switch opts.class {
+		case "tile-death":
 			// A sampled structural campaign per job: heavier than a run but
 			// bounded, so the load mix stays a latency test, not a soak.
 			return fmt.Sprintf(`{"type":"tile-death","quick":true,"config":{"OpsPerCore":%d,"Seed":%d},"tile_death":{"max_slots_per_type":1}}`, opts.ops, seed)
+		case "interleave":
+			// The model-checking gate on the canonical tiny shape; the seed
+			// keeps each unique job a distinct cache key, and the checker's
+			// own two-op default overrides -ops (which would blow the state
+			// space up exponentially).
+			return fmt.Sprintf(`{"type":"interleave","quick":true,"config":{"Seed":%d}}`, seed)
 		}
 		return fmt.Sprintf(`{"type":"run","quick":true,"config":{"OpsPerCore":%d,"Seed":%d}}`, opts.ops, seed)
 	}

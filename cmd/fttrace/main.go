@@ -12,6 +12,14 @@
 // All exports are deterministic: re-running with the same flags is
 // byte-identical.
 //
+// With -replay, fttrace re-executes a model-checking counterexample instead
+// of simulating: the argument is the JSON document `ftcheck -interleave
+// -json` wrote, the recorded violating schedule is replayed
+// deterministically with event recording, and the result is exported in the
+// chosen -format (text prints the schedule and the reached violation;
+// jsonl/chrome export the replay's event log — the counterexample as a
+// Perfetto timeline). See docs/MODELCHECK.md.
+//
 // With -url and -id, fttrace fetches a trace from a running ftserve fleet
 // instead of simulating locally: GET {url}/v1/experiments/{id}/trace with
 // the chosen -format. In this mode -format=service is also valid — it
@@ -27,6 +35,7 @@
 //	fttrace -workload=uniform -faults=5000 -format=chrome > trace.json
 //	fttrace -workload=uniform -faults=5000 -format=spans > spans.jsonl
 //	fttrace -url=http://localhost:8080 -id=<job id> -format=service > trace.json
+//	ftcheck -interleave -json=mc.json && fttrace -replay=mc.json -format=chrome > cex.json
 //
 // Node numbering in the output: L1 caches are 1..T, L2 banks T+1..2T,
 // memory controllers 2T+1.. (T = tile count).
@@ -40,6 +49,7 @@ import (
 	"os"
 	"strings"
 
+	"repro"
 	"repro/internal/fault"
 	"repro/internal/msg"
 	"repro/internal/obs"
@@ -71,10 +81,14 @@ func run() error {
 		events   = flag.Int("events", 65536, "how many structured events to retain for jsonl/chrome export")
 		url      = flag.String("url", "", "ftserve base URL: fetch the trace from a running fleet instead of simulating")
 		id       = flag.String("id", "", "experiment ID to fetch (requires -url)")
+		replay   = flag.String("replay", "", "replay the counterexample from this `ftcheck -interleave -json` document instead of simulating")
 	)
 	flag.Parse()
 	if *url != "" || *id != "" {
 		return fetchRemote(*url, *id, *format)
+	}
+	if *replay != "" {
+		return replayCounterexample(*replay, *format)
 	}
 	switch *format {
 	case "text", "jsonl", "chrome", "spans":
@@ -196,6 +210,53 @@ func run() error {
 		fmt.Println("run ended with:", runErr)
 		fmt.Print(s.DumpStuck())
 	}
+	return nil
+}
+
+// replayCounterexample re-executes the DirCMP counterexample recorded in an
+// `ftcheck -interleave -json` document and exports the replay.
+func replayCounterexample(path, format string) error {
+	switch format {
+	case "text", "jsonl", "chrome":
+	default:
+		return fmt.Errorf("format %q cannot render a counterexample replay (want text, jsonl or chrome)", format)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	doc, err := repro.ReadInterleaveDoc(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	tr, err := doc.ReplayCounterexampleTrace()
+	if err != nil {
+		return err
+	}
+
+	switch format {
+	case "jsonl":
+		if err := tr.WriteEventsJSONL(os.Stdout); err != nil {
+			return err
+		}
+	case "chrome":
+		if err := tr.WriteChromeTrace(os.Stdout); err != nil {
+			return err
+		}
+	case "text":
+		fmt.Printf("counterexample schedule (%s, workload %s, DirCMP):\n", path, doc.Workload)
+		for i, a := range tr.Replay.Schedule {
+			verb := "deliver"
+			if a.Drop {
+				verb = "drop   "
+			}
+			fmt.Printf("  %2d. %s %s\n", i+1, verb, a.Desc)
+		}
+		fmt.Printf("reached: %s at cycle %d, state %#x\n%s\n", tr.Replay.Kind, tr.Replay.Cycles, tr.Replay.StateHash, tr.Replay.Err)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d-action counterexample: %s at cycle %d (%d events)\n",
+		len(tr.Replay.Schedule), tr.Replay.Kind, tr.Replay.Cycles, len(tr.Events()))
 	return nil
 }
 

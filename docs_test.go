@@ -161,6 +161,41 @@ func TestDocsPerformanceMatchesCode(t *testing.T) {
 	}
 }
 
+// TestDocsModelcheckMatchesCode keeps docs/MODELCHECK.md tied to the
+// mechanisms and entry points it documents: the API names, CLI modes,
+// violation kinds, pinned artifacts, and make target it cites must exist
+// under those names.
+func TestDocsModelcheckMatchesCode(t *testing.T) {
+	data, err := os.ReadFile("docs/MODELCHECK.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"mc.Explore", "mc.Replay", "sim.ScheduleChoiceAt", "sim.Chooser",
+		"system.StateFingerprint()", "msg.Fingerprint", "coverage.Recovered",
+		"repro.InterleaveGate", "repro.InterleaveWorkload", "repro.WorkloadExtras()",
+		"ftcheck -interleave", "fttrace -replay", "ftload -class interleave",
+		"make mc-check", "testdata/interleave.{txt,json}",
+		"TestGoldenInterleaveReport", "BenchmarkInterleaveExploration",
+		"`deadlock`", "`verdict`", "`cycle-limit`", "`handoff`",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/MODELCHECK.md does not mention %q", want)
+		}
+	}
+
+	// The violation kinds the doc names are the ones the checker emits:
+	// keep the list in lockstep with a real counterexample.
+	rep, err := Interleave(quickInterleaveConfig(), InterleaveWorkload, InterleaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhausted {
+		t.Fatalf("quick FtDirCMP reordering exploration no longer exhausts: %+v", rep)
+	}
+}
+
 // TestDocsSpanPhaseTable pins docs/OBSERVABILITY.md's phase-taxonomy table
 // against span.AllPhases(): every phase must have a table row, in the
 // canonical order, and the table must not name phases the code does not

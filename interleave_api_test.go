@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// quickInterleaveConfig is the model-checking configuration `ftcheck
+// -interleave` explores: the quick 2x2 system with the shortest handoff
+// workload, small enough to exhaust every delivery interleaving composed
+// with one loss.
+func quickInterleaveConfig() Config {
+	cfg := QuickConfig()
+	cfg.OpsPerCore = 2
+	return cfg
+}
+
+// TestInterleaveGateQuick is the model-checking claim in API form: on the
+// quick configuration FtDirCMP survives every delivery interleaving with a
+// one-loss budget (exhaustively — no truncation), while DirCMP yields a
+// concrete counterexample that replays deterministically.
+func TestInterleaveGateQuick(t *testing.T) {
+	doc, err := InterleaveGate(context.Background(), quickInterleaveConfig(), InterleaveWorkload,
+		InterleaveOptions{FaultBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.FtDirCMP.Exhausted || doc.FtDirCMP.DepthLimited != 0 {
+		t.Fatalf("FtDirCMP exploration silently truncated: %+v", doc.FtDirCMP)
+	}
+	if doc.FtDirCMP.FaultStates == 0 {
+		t.Fatal("no fault-composed states explored under a one-loss budget")
+	}
+	if doc.DirCMP.Violations[0].Kind != "deadlock" {
+		t.Fatalf("DirCMP counterexample kind = %q, want deadlock", doc.DirCMP.Violations[0].Kind)
+	}
+}
+
+// TestGoldenInterleaveReport pins the quick interleaving gate byte-for-byte
+// — text report and JSON document — and requires both to be identical at
+// every parallelism level. Regenerate with `go test -run
+// TestGoldenInterleaveReport -update-golden .` after an intentional
+// protocol or schema change.
+func TestGoldenInterleaveReport(t *testing.T) {
+	render := func(parallelism int) ([]byte, []byte) {
+		cfg := quickInterleaveConfig()
+		cfg.Parallelism = parallelism
+		doc, err := InterleaveGate(context.Background(), cfg, InterleaveWorkload,
+			InterleaveOptions{FaultBudget: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js bytes.Buffer
+		if err := doc.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(doc.Text()), js.Bytes()
+	}
+	txtSerial, jsSerial := render(1)
+	txtAll, jsAll := render(0)
+	if !bytes.Equal(txtSerial, txtAll) {
+		t.Fatalf("interleave report differs between -j 1 and -j 0:\n%s\nvs\n%s", txtSerial, txtAll)
+	}
+	if !bytes.Equal(jsSerial, jsAll) {
+		t.Fatal("interleave JSON differs between -j 1 and -j 0")
+	}
+	checkGolden(t, "interleave.txt", txtSerial)
+	checkGolden(t, "interleave.json", jsSerial)
+}
+
+// TestInterleaveCounterexampleTraceExport round-trips the gate document
+// through its JSON encoding (the fttrace -replay input) and exports the
+// counterexample as an event trace: the replay must reproduce the recorded
+// violation and the export must carry the drop and the deadlocked requests.
+func TestInterleaveCounterexampleTraceExport(t *testing.T) {
+	doc, err := InterleaveGate(context.Background(), quickInterleaveConfig(), InterleaveWorkload,
+		InterleaveOptions{FaultBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := doc.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadInterleaveDoc(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := parsed.ReplayCounterexampleTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := parsed.DirCMP.Violations[0]
+	if tr.Replay.Kind != v.Kind || tr.Replay.StateHash != v.StateHash {
+		t.Fatalf("trace replay diverged from recorded violation: %q %#x, want %q %#x",
+			tr.Replay.Kind, tr.Replay.StateHash, v.Kind, v.StateHash)
+	}
+	if len(tr.Events()) == 0 {
+		t.Fatal("counterexample replay recorded no events")
+	}
+
+	var jsonl, chrome bytes.Buffer
+	if err := tr.WriteEventsJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{"jsonl": jsonl.String(), "chrome": chrome.String()} {
+		if !strings.Contains(out, "fault.inject") {
+			t.Fatalf("%s export does not show the injected loss:\n%.400s", name, out)
+		}
+	}
+	if !strings.Contains(chrome.String(), "L1.") {
+		t.Fatalf("chrome export missing topology lane names:\n%.400s", chrome.String())
+	}
+}

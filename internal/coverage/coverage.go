@@ -124,6 +124,30 @@ func EnumerateSlots(c *Census, maxPerType int) []Slot {
 // Outcome reports one simulation back to the harness. Err is empty when the
 // run terminated and passed every end-of-run check; the remaining fields
 // are best-effort on failed runs (MemHash only on success).
+// Recovered is the recovery verdict for one perturbed run against the
+// fault-free baseline: the run must finish with no error AND converge to
+// the baseline's final memory image (per-line committed-write versions —
+// interleaving- and timing-invariant, see System.MemoryImage). The
+// coverage campaigns apply it to every injected fault; the model checker
+// (internal/mc) applies the same verdict to every terminal state of its
+// interleaving exploration.
+func Recovered(out, base Outcome) bool {
+	return out.Err == "" && out.MemHash == base.MemHash
+}
+
+// VerdictErr explains a run that failed the Recovered verdict: its own
+// error if it had one, otherwise the memory-image divergence. It returns
+// "" for a run that passed.
+func VerdictErr(out, base Outcome) string {
+	if Recovered(out, base) {
+		return ""
+	}
+	if out.Err != "" {
+		return out.Err
+	}
+	return fmt.Sprintf("final memory image diverged: %#x != baseline %#x", out.MemHash, base.MemHash)
+}
+
 type Outcome struct {
 	Err    string
 	Cycles uint64
@@ -378,16 +402,11 @@ func RunContext(ctx context.Context, run RunFunc, opt Options) (*Report, error) 
 			rep.Unfired++
 			continue
 		}
-		recovered := r.out.Err == "" && r.out.MemHash == base.MemHash
-		if recovered {
+		if Recovered(r.out, base) {
 			row.Recovered++
 			rep.Recovered++
 		} else {
-			errStr := r.out.Err
-			if errStr == "" {
-				errStr = fmt.Sprintf("final memory image diverged: %#x != baseline %#x",
-					r.out.MemHash, base.MemHash)
-			}
+			errStr := VerdictErr(r.out, base)
 			rep.TotalFailures++
 			if len(rep.Failures) < maxFailures {
 				rep.Failures = append(rep.Failures, Failure{Type: s.Type.String(), Nth: s.Nth, Err: shortErr(errStr)})
@@ -405,7 +424,7 @@ func RunContext(ctx context.Context, run RunFunc, opt Options) (*Report, error) 
 		if r.out.Timeouts[obs.TimeoutBackup] > 0 {
 			row.Backup++
 		}
-		if recovered && r.out.FaultsRecovered > 0 {
+		if Recovered(r.out, base) && r.out.FaultsRecovered > 0 {
 			a := lats[s.Type]
 			l := r.out.RecoveryLatencyMax
 			if a.n == 0 || l < a.min {
@@ -486,7 +505,7 @@ func runDoubleFaults(ctx context.Context, run RunFunc, opt Options, slots []Slot
 			Mode:        j.mode,
 			After:       j.after,
 			SecondFired: r.secondFired,
-			Recovered:   r.out.Err == "" && r.out.MemHash == base.MemHash,
+			Recovered:   Recovered(r.out, base),
 		}
 		if r.secondFired {
 			df.SecondType = r.secondType.String()

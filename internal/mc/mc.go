@@ -1,0 +1,458 @@
+// Package mc is an explicit-state model checker for the coherence
+// protocols, layered on the deterministic simulation engine.
+//
+// The coverage harness (internal/coverage) proves recovery from every
+// enumerable fault under the simulator's one fixed delivery order; mc
+// explores the *other* delivery orders. It drives the engine through the
+// choice-point hook (sim.Chooser + noc.Config.ChoiceDelivery): whenever
+// one or more messages sit at their ejection ports, the next delivery —
+// and, within a fault budget, whether it is delivered at all or lost —
+// becomes a decision, and the checker enumerates every reachable decision
+// sequence on a small configuration. Choices are restricted to the head
+// message of each (source, destination, class) channel, preserving the
+// point-to-point ordering guarantee the protocols assume.
+//
+// States are explored breadth-first by re-execution: the engine's event
+// queue holds live closures and pooled objects, so instead of
+// snapshotting, the checker replays each decision prefix from the initial
+// state (every run is deterministic, so a prefix always reaches the same
+// state). Revisited states are pruned via a canonical fingerprint:
+// System.StateFingerprint (every agent's interned per-line protocol
+// state + core progress + the memory image) combined with the in-flight
+// message multiset, tracked incrementally through a network recorder
+// summing msg.Fingerprint values. The remaining fault budget is part of
+// the state identity — a state reached with budget left has successors
+// one with no budget lacks.
+//
+// A terminal state (event queue drained) is checked with the same verdict
+// the coverage campaigns use (coverage.Recovered): the run must have
+// completed every core, pass quiescence/coherence/integrity checks, and
+// converge to the fault-free baseline's memory image — which is
+// interleaving-invariant, because it is built from per-line committed-
+// write *counts*, not values. A drained queue with blocked cores is a
+// deadlock. Either way the offending decision sequence is the
+// counterexample: replaying it (Replay) deterministically reproduces the
+// violation, and with an event recorder attached the replay exports
+// through internal/obs and fttrace like any other run.
+package mc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/msg"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultMaxDepth bounds the decision-sequence length per path.
+	DefaultMaxDepth = 256
+	// DefaultMaxViolations stops the exploration after the first
+	// counterexample.
+	DefaultMaxViolations = 1
+)
+
+// Options tune an exploration.
+type Options struct {
+	// MaxDepth bounds the number of decisions per path (0 =
+	// DefaultMaxDepth). Paths truncated at the bound are counted in
+	// Report.DepthLimited — a non-zero count means the state space was NOT
+	// exhausted.
+	MaxDepth int
+	// FaultBudget is the maximum number of message losses composed into
+	// one path (0 = delivery reordering only).
+	FaultBudget int
+	// MaxViolations stops the exploration once this many distinct
+	// violating states were found (0 = DefaultMaxViolations).
+	MaxViolations int
+	// Parallelism is the worker count for frontier fan-out (0 = all
+	// cores). The result is byte-identical at any value.
+	Parallelism int
+	// Progress, when non-nil, is called once per frontier layer with the
+	// states explored so far and the size of the next frontier.
+	Progress func(explored, frontier int)
+}
+
+// Action is one decision of a schedule: deliver (or, with Drop, lose) the
+// Choice-th eligible channel-head message at one choice point. Desc names
+// the affected message on schedules attached to violations.
+type Action struct {
+	Choice int    `json:"choice"`
+	Drop   bool   `json:"drop,omitempty"`
+	Desc   string `json:"desc,omitempty"`
+}
+
+// Violation is one counterexample: a decision sequence reaching a state
+// that fails the checker.
+type Violation struct {
+	// Kind is "deadlock" (queue drained with blocked cores), "verdict"
+	// (terminal state failed the recovery verdict: quiescence, coherence,
+	// integrity or memory-image match), or "cycle-limit".
+	Kind string `json:"kind"`
+	// Err is the failing checker's message.
+	Err string `json:"err"`
+	// Depth and Drops describe the schedule: its length and how many of
+	// its actions were injected losses.
+	Depth int `json:"depth"`
+	Drops int `json:"drops"`
+	// StateHash fingerprints the violating state; a replay must reproduce
+	// it exactly.
+	StateHash uint64 `json:"stateHash"`
+	// Schedule is the decision sequence from the initial state.
+	Schedule []Action `json:"schedule"`
+}
+
+// Report is the result of one exploration.
+type Report struct {
+	Protocol   string `json:"protocol"`
+	Workload   string `json:"workload"`
+	OpsPerCore int    `json:"opsPerCore"`
+
+	MaxDepth    int `json:"maxDepth"`
+	FaultBudget int `json:"faultBudget"`
+
+	// StatesExplored counts distinct states (fingerprint × remaining
+	// fault budget); StatesDeduped counts evaluated paths pruned because
+	// they reached an already-explored state; Transitions counts every
+	// evaluated path (root + generated successors).
+	StatesExplored int `json:"statesExplored"`
+	StatesDeduped  int `json:"statesDeduped"`
+	Transitions    int `json:"transitions"`
+	// TerminalStates counts distinct drained-queue states (including
+	// violating ones); FaultStates counts distinct states reached with at
+	// least one composed loss.
+	TerminalStates int `json:"terminalStates"`
+	FaultStates    int `json:"faultStates"`
+	// DeepestPath is the longest decision sequence that reached a new
+	// state. DepthLimited counts paths truncated at MaxDepth; any non-zero
+	// value means the space was not exhausted.
+	DeepestPath  int `json:"deepestPath"`
+	DepthLimited int `json:"depthLimited"`
+
+	// BaselineMemHash is the fault-free baseline's final memory image —
+	// the verdict oracle for every terminal state.
+	BaselineMemHash uint64 `json:"baselineMemHash"`
+	// InitialStateHash fingerprints the root state (before any decision).
+	InitialStateHash uint64 `json:"initialStateHash"`
+
+	Violations []Violation `json:"violations,omitempty"`
+	// Exhausted reports a complete exploration: the frontier drained with
+	// no path truncated by MaxDepth and no early stop at MaxViolations.
+	Exhausted bool `json:"exhausted"`
+}
+
+// flightTracker is the in-flight half of the state fingerprint: a network
+// recorder summing the canonical fingerprint of every message currently in
+// the network. Addition (not XOR) makes it a multiset hash — two copies of
+// an identical message count twice. descs, when non-nil, additionally
+// captures a rendering of each message for counterexample schedules.
+type flightTracker struct {
+	sum   uint64
+	count int
+	descs map[uint64]string
+}
+
+func (f *flightTracker) MessageSent(m *msg.Message, _ int) {
+	fp := msg.Fingerprint(m)
+	f.sum += fp
+	f.count++
+	if f.descs != nil {
+		if _, ok := f.descs[fp]; !ok {
+			f.descs[fp] = m.String()
+		}
+	}
+}
+
+func (f *flightTracker) MessageDropped(m *msg.Message) {
+	f.sum -= msg.Fingerprint(m)
+	f.count--
+}
+
+func (f *flightTracker) MessageDelivered(m *msg.Message, _ uint64) {
+	f.sum -= msg.Fingerprint(m)
+	f.count--
+}
+
+// instance is one freshly constructed system ready for (re-)execution.
+type instance struct {
+	sys    *system.System
+	eng    *sim.Engine
+	flight *flightTracker
+}
+
+// newInstance builds a system for checker-driven execution: choice-point
+// delivery on, integrity oracle on, in-flight tracking wired in. cfg.Obs
+// may carry a recorder (replay export); exploration leaves it nil.
+func newInstance(cfg system.Config, w workload.Workload, descs map[uint64]string) (*instance, error) {
+	cfg.Net.ChoiceDelivery = true
+	cfg.CheckIntegrity = true
+	cfg.Injector = nil // losses are decisions here, not random events
+	ft := &flightTracker{descs: descs}
+	cfg.ExtraRecorder = ft
+	sys, err := system.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.Begin(w)
+	return &instance{sys: sys, eng: sys.Engine(), flight: ft}, nil
+}
+
+// stateHash combines the system fingerprint with the in-flight multiset.
+func (in *instance) stateHash() uint64 {
+	h := in.sys.StateFingerprint()
+	h = h*0x100000001b3 ^ in.flight.sum
+	h = h*0x100000001b3 ^ uint64(in.flight.count)
+	return h
+}
+
+// scriptChooser replays a fixed decision prefix, then captures the next
+// choice point and halts. It is both the checker's re-execution vehicle
+// (prefix + capture) and the counterexample replayer (full schedule).
+type scriptChooser struct {
+	script   []Action
+	pos      int
+	infos    []uint64 // Info (message fingerprint) of each decision taken
+	captured []sim.Choice
+	atPoint  bool
+	diverged error
+}
+
+func (c *scriptChooser) Choose(now uint64, choices []sim.Choice) sim.Decision {
+	if c.pos >= len(c.script) {
+		c.captured = append(c.captured[:0], choices...)
+		c.atPoint = true
+		return sim.Decision{Halt: true}
+	}
+	a := c.script[c.pos]
+	if a.Choice < 0 || a.Choice >= len(choices) {
+		c.diverged = fmt.Errorf("mc: schedule step %d chooses %d of %d choices — replay diverged",
+			c.pos, a.Choice, len(choices))
+		return sim.Decision{Halt: true}
+	}
+	if a.Drop && !choices[a.Choice].CanDrop {
+		c.diverged = fmt.Errorf("mc: schedule step %d drops an undroppable choice — replay diverged", c.pos)
+		return sim.Decision{Halt: true}
+	}
+	c.infos = append(c.infos, choices[a.Choice].Info)
+	c.pos++
+	return sim.Decision{Index: a.Choice, Drop: a.Drop}
+}
+
+// evalResult is the outcome of executing one decision prefix.
+type evalResult struct {
+	terminal  bool
+	hash      uint64 // state fingerprint (at the choice point or terminal)
+	choices   []sim.Choice
+	violation *Violation // schedule/desc filled in by the aggregator
+	cycles    uint64
+}
+
+// evaluate re-executes one decision prefix from the initial state and
+// reports what it reached: a choice point (with the eligible choices), a
+// clean terminal state, or a violation.
+func evaluate(cfg system.Config, w workload.Workload, base coverage.Outcome, actions []Action) (evalResult, error) {
+	in, err := newInstance(cfg, w, nil)
+	if err != nil {
+		return evalResult{}, err
+	}
+	ch := &scriptChooser{script: actions}
+	in.eng.SetChooser(ch)
+	runErr := in.eng.Run(cfg.Limit)
+	if ch.diverged != nil {
+		return evalResult{}, ch.diverged
+	}
+	res := evalResult{cycles: in.eng.Now()}
+	if runErr != nil {
+		// Cycle limit with events still pending: a livelock under this
+		// schedule (or a config limit far too small). Either way the
+		// exploration must not silently truncate — surface it.
+		res.hash = in.stateHash()
+		res.violation = &Violation{Kind: "cycle-limit", Err: runErr.Error(), StateHash: res.hash}
+		return res, nil
+	}
+	if ch.atPoint {
+		// Halted at the first choice point past the prefix.
+		res.hash = in.stateHash()
+		res.choices = append([]sim.Choice(nil), ch.captured...)
+		return res, nil
+	}
+	// Queue drained: terminal state.
+	res.terminal = true
+	res.hash = in.stateHash()
+	if !in.sys.AllDone() {
+		res.violation = &Violation{Kind: "deadlock", Err: in.sys.DeadlockDump().Error(), StateHash: res.hash}
+		return res, nil
+	}
+	out := coverage.Outcome{Cycles: in.eng.Now()}
+	if verr := in.sys.VerifyQuiescent(); verr != nil {
+		out.Err = verr.Error()
+	} else {
+		out.MemHash = in.sys.MemoryImageHash()
+	}
+	if !coverage.Recovered(out, base) {
+		res.violation = &Violation{Kind: "verdict", Err: coverage.VerdictErr(out, base), StateHash: res.hash}
+	}
+	return res, nil
+}
+
+// baseline runs the configuration once conventionally (no chooser, no
+// faults) and returns the verdict oracle: its final memory image hash.
+func baseline(cfg system.Config, w workload.Workload) (coverage.Outcome, error) {
+	cfg.CheckIntegrity = true
+	cfg.Injector = nil
+	// The baseline is an oracle, not an observed run: detach any recorder
+	// the caller wired for replay export so it only sees the replay.
+	cfg.Obs = nil
+	sys, err := system.New(cfg)
+	if err != nil {
+		return coverage.Outcome{}, err
+	}
+	run, err := sys.Run(w)
+	if err != nil {
+		return coverage.Outcome{}, fmt.Errorf("mc: baseline run failed: %w", err)
+	}
+	return coverage.Outcome{Cycles: run.Cycles, MemHash: sys.MemoryImageHash()}, nil
+}
+
+// Explore enumerates every reachable delivery-order interleaving (composed
+// with up to Options.FaultBudget injected losses) of the workload on the
+// given configuration. See ExploreContext.
+func Explore(cfg system.Config, w workload.Workload, opt Options) (*Report, error) {
+	return ExploreContext(context.Background(), cfg, w, opt)
+}
+
+// pathNode is one frontier entry: a decision prefix reaching a state not
+// yet evaluated.
+type pathNode struct {
+	actions []Action
+	drops   int
+}
+
+// ExploreContext is Explore under a context: cancelling ctx aborts the
+// exploration between frontier layers with ctx's error.
+func ExploreContext(ctx context.Context, cfg system.Config, w workload.Workload, opt Options) (*Report, error) {
+	maxDepth := opt.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	maxViolations := opt.MaxViolations
+	if maxViolations == 0 {
+		maxViolations = DefaultMaxViolations
+	}
+
+	base, err := baseline(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Protocol:        cfg.Protocol.String(),
+		Workload:        w.Name(),
+		OpsPerCore:      cfg.OpsPerCore,
+		MaxDepth:        maxDepth,
+		FaultBudget:     opt.FaultBudget,
+		BaselineMemHash: base.MemHash,
+	}
+
+	// Breadth-first frontier over decision prefixes: each layer's prefixes
+	// re-execute in parallel (runner returns results in submission order),
+	// then a serial pass dedups against the seen-state set and builds the
+	// next layer — so the result is byte-identical at any parallelism.
+	seen := make(map[uint64]bool)
+	frontier := []pathNode{{}}
+	stopped := false
+	for len(frontier) > 0 && !stopped {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
+		results, err := runner.MapContext(ctx, opt.Parallelism, len(frontier), func(ctx context.Context, i int) (evalResult, error) {
+			return evaluate(cfg, w, base, frontier[i].actions)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var next []pathNode
+		for i, r := range results {
+			node := frontier[i]
+			rep.Transitions++
+			// The remaining fault budget is part of the state identity:
+			// the same protocol state with budget left has successors the
+			// exhausted-budget copy lacks.
+			key := r.hash*0x100000001b3 ^ uint64(node.drops)
+			if seen[key] {
+				rep.StatesDeduped++
+				continue
+			}
+			seen[key] = true
+			rep.StatesExplored++
+			if len(node.actions) == 0 {
+				rep.InitialStateHash = r.hash
+			}
+			if len(node.actions) > rep.DeepestPath {
+				rep.DeepestPath = len(node.actions)
+			}
+			if node.drops > 0 {
+				rep.FaultStates++
+			}
+			if r.violation != nil {
+				v := *r.violation
+				v.Depth = len(node.actions)
+				v.Drops = node.drops
+				v.Schedule = node.actions
+				if r.terminal {
+					rep.TerminalStates++
+				}
+				rep.Violations = append(rep.Violations, v)
+				if len(rep.Violations) >= maxViolations {
+					stopped = true
+					break
+				}
+				continue
+			}
+			if r.terminal {
+				rep.TerminalStates++
+				continue
+			}
+			if len(node.actions) >= maxDepth {
+				rep.DepthLimited++
+				continue
+			}
+			for ci, c := range r.choices {
+				next = append(next, pathNode{actions: appendAction(node.actions, Action{Choice: ci}), drops: node.drops})
+				if c.CanDrop && node.drops < opt.FaultBudget {
+					next = append(next, pathNode{actions: appendAction(node.actions, Action{Choice: ci, Drop: true}), drops: node.drops + 1})
+				}
+			}
+		}
+		frontier = next
+		if opt.Progress != nil {
+			opt.Progress(rep.StatesExplored, len(frontier))
+		}
+	}
+	rep.Exhausted = !stopped && rep.DepthLimited == 0
+
+	// Render the counterexample schedules: one replay per violation fills
+	// in the human-readable message descriptions.
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		described, _, err := describeSchedule(cfg, w, v.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		v.Schedule = described
+	}
+	return rep, nil
+}
+
+// appendAction copies prefix and appends a — frontier nodes share prefix
+// backing arrays, so append in place would alias sibling schedules.
+func appendAction(prefix []Action, a Action) []Action {
+	out := make([]Action, len(prefix)+1)
+	copy(out, prefix)
+	out[len(prefix)] = a
+	return out
+}

@@ -79,6 +79,15 @@ type Config struct {
 	// BufferFlits is the input buffer capacity per link per virtual
 	// channel in detailed mode; it must hold at least one data message.
 	BufferFlits int
+	// ChoiceDelivery schedules every final message ejection as a sim
+	// choice event keyed by its (src, dst, class) channel, so that with a
+	// sim.Chooser installed the delivery order becomes a model-checking
+	// decision and any delivery may be turned into a loss (see
+	// internal/mc). Per-channel FIFO order — the ordering guarantee above
+	// — is preserved: only channel-head events are offered as choices.
+	// Without a chooser the network behaves exactly as with the flag off.
+	// Requires the simple link model and deterministic routing.
+	ChoiceDelivery bool
 }
 
 // Validate checks the configuration.
@@ -91,6 +100,14 @@ func (c Config) Validate() error {
 	}
 	if c.ControlSize < 1 || c.DataSize < c.ControlSize {
 		return fmt.Errorf("noc: invalid message sizes control=%d data=%d", c.ControlSize, c.DataSize)
+	}
+	if c.ChoiceDelivery {
+		if c.DetailedRouters {
+			return fmt.Errorf("noc: choice delivery requires the simple link model (DetailedRouters off)")
+		}
+		if c.Routing == RoutingAdaptive {
+			return fmt.Errorf("noc: choice delivery requires deterministic routing (got %v)", c.Routing)
+		}
 	}
 	return c.validateDetailed()
 }
@@ -339,6 +356,25 @@ func transitDeliver(arg any, _ uint64) {
 	msg.Recycle(m)
 }
 
+// transitDropChoice loses a message at its ejection port: the model checker
+// chose to consume this delivery as one of its budgeted faults. Accounting
+// matches an injector drop — MessageDropped fires and the message and
+// transit return to their pools.
+func transitDropChoice(arg any, _ uint64) {
+	t := arg.(*transit)
+	n, m := t.net, t.m
+	n.putTransit(t)
+	n.rec.MessageDropped(m)
+	msg.Recycle(m)
+}
+
+// channelKey packs a message's point-to-point ordered channel identity —
+// (src, dst, virtual-channel class) — for the engine's per-channel
+// choice-head filtering.
+func channelKey(m *msg.Message) uint64 {
+	return uint64(uint16(m.Src))<<32 | uint64(uint16(m.Dst))<<16 | uint64(m.Class())
+}
+
 // traverse advances the message one link at a time from its current router
 // (where the head flit arrives at the current cycle); the message departs
 // on the next link when both the router pipeline delay has elapsed and the
@@ -359,7 +395,14 @@ func (n *Network) traverse(t *transit) {
 
 	if dir == dirLocal {
 		// Ejection at the destination router.
-		n.engine.ScheduleCallAt(depart+t.serLat+n.cfg.LocalLatency, transitDeliver, t, 0)
+		at := depart + t.serLat + n.cfg.LocalLatency
+		if n.cfg.ChoiceDelivery && !t.dropped {
+			// Injector-dropped messages are already lost; only real
+			// deliveries become model-checking choices.
+			n.engine.ScheduleChoiceAt(at, transitDeliver, transitDropChoice, t, 0, channelKey(t.m), msg.Fingerprint(t.m))
+			return
+		}
+		n.engine.ScheduleCallAt(at, transitDeliver, t, 0)
 		return
 	}
 

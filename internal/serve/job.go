@@ -20,10 +20,12 @@ type Request struct {
 	// Figure-3 fault-rate sweep), "compare" (fault-free DirCMP vs
 	// FtDirCMP), "coverage" (the exhaustive single-loss census campaign),
 	// "tile-death" (the structural-fault campaign: every tile killed at
-	// every enumerated slot) or "profile" (per-miss latency attribution by
-	// phase).
+	// every enumerated slot), "interleave" (the model-checking gate:
+	// exhaustive delivery-order exploration on a tiny configuration) or
+	// "profile" (per-miss latency attribution by phase).
 	Type string `json:"type"`
-	// Workload names one of repro.Workloads(); default "uniform".
+	// Workload names one of repro.Workloads() or repro.WorkloadExtras();
+	// default "uniform" ("handoff" for type "interleave").
 	Workload string `json:"workload,omitempty"`
 	// Quick starts from repro.QuickConfig (the 2x2 system) instead of
 	// DefaultConfig (the paper's Table-4 4x4 system).
@@ -40,6 +42,9 @@ type Request struct {
 	// TileDeath tunes a structural campaign; only valid for type
 	// "tile-death".
 	TileDeath *TileDeathParams `json:"tile_death,omitempty"`
+	// Interleave tunes the model-checking gate; only valid for type
+	// "interleave". Absent, the gate runs with a one-loss fault budget.
+	Interleave *InterleaveParams `json:"interleave,omitempty"`
 }
 
 // CoverageParams mirrors repro.CoverageOptions for the wire.
@@ -56,10 +61,16 @@ type TileDeathParams struct {
 	IncludeLinks    bool `json:"include_links,omitempty"`
 }
 
+// InterleaveParams mirrors repro.InterleaveOptions for the wire.
+type InterleaveParams struct {
+	MaxDepth    int `json:"max_depth,omitempty"`
+	FaultBudget int `json:"fault_budget,omitempty"`
+}
+
 // experimentTypes is the closed set of Request.Type values.
 var experimentTypes = map[string]bool{
 	"run": true, "sweep": true, "compare": true, "coverage": true,
-	"tile-death": true, "profile": true,
+	"tile-death": true, "interleave": true, "profile": true,
 }
 
 // resolved is a fully-resolved experiment request: the base configuration
@@ -67,12 +78,13 @@ var experimentTypes = map[string]bool{
 // the same experiment — whatever their field order or defaulting — resolve
 // to identical values and therefore identical cache keys.
 type resolved struct {
-	Type      string           `json:"type"`
-	Workload  string           `json:"workload"`
-	Config    repro.Config     `json:"config"`
-	Rates     []int            `json:"rates,omitempty"`
-	Coverage  *CoverageParams  `json:"coverage,omitempty"`
-	TileDeath *TileDeathParams `json:"tileDeath,omitempty"`
+	Type       string            `json:"type"`
+	Workload   string            `json:"workload"`
+	Config     repro.Config      `json:"config"`
+	Rates      []int             `json:"rates,omitempty"`
+	Coverage   *CoverageParams   `json:"coverage,omitempty"`
+	TileDeath  *TileDeathParams  `json:"tileDeath,omitempty"`
+	Interleave *InterleaveParams `json:"interleave,omitempty"`
 }
 
 // key returns the content address of the resolved request: the canonical
@@ -92,20 +104,24 @@ func resolveRequest(body []byte) (*resolved, error) {
 		return nil, fmt.Errorf("invalid request: %w", err)
 	}
 	if !experimentTypes[req.Type] {
-		return nil, fmt.Errorf("unknown experiment type %q (want run, sweep, compare, coverage, tile-death or profile)", req.Type)
+		return nil, fmt.Errorf("unknown experiment type %q (want run, sweep, compare, coverage, tile-death, interleave or profile)", req.Type)
 	}
 	if req.Workload == "" {
 		req.Workload = "uniform"
+		if req.Type == "interleave" {
+			req.Workload = "handoff"
+		}
 	}
+	names := append(repro.Workloads(), repro.WorkloadExtras()...)
 	known := false
-	for _, w := range repro.Workloads() {
+	for _, w := range names {
 		if w == req.Workload {
 			known = true
 			break
 		}
 	}
 	if !known {
-		return nil, fmt.Errorf("unknown workload %q (want one of %v)", req.Workload, repro.Workloads())
+		return nil, fmt.Errorf("unknown workload %q (want one of %v)", req.Workload, names)
 	}
 
 	cfg := repro.DefaultConfig()
@@ -142,6 +158,33 @@ func resolveRequest(body []byte) (*resolved, error) {
 			return nil, fmt.Errorf("tile_death params are only valid for type tile-death")
 		}
 		res.TileDeath = req.TileDeath
+	}
+	if req.Interleave != nil && req.Type != "interleave" {
+		return nil, fmt.Errorf("interleave params are only valid for type interleave")
+	}
+	if req.Type == "interleave" {
+		// The gate enumerates every interleaving: keep the model small, or
+		// the exploration would never terminate. Normalizing the default
+		// budget here keeps "absent" and "fault_budget: 1" on one cache key.
+		if req.Interleave == nil {
+			req.Interleave = &InterleaveParams{FaultBudget: 1}
+		}
+		res.Interleave = req.Interleave
+		// An unset operation count means the checker's canonical two-op
+		// handoff, not the simulation default (which would never exhaust).
+		var probe struct {
+			OpsPerCore *int
+		}
+		if len(req.Config) > 0 {
+			json.Unmarshal(req.Config, &probe)
+		}
+		if probe.OpsPerCore == nil {
+			res.Config.OpsPerCore = 2
+		}
+		c := res.Config
+		if tiles := c.MeshWidth * c.MeshHeight; tiles > 4 || c.OpsPerCore > 8 {
+			return nil, fmt.Errorf("interleave explores exhaustively: need a quick config with at most 4 tiles and 8 ops/core (got %d tiles, %d ops/core)", tiles, c.OpsPerCore)
+		}
 	}
 	return res, nil
 }

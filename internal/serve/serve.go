@@ -731,6 +731,25 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (payload any, res *r
 			return nil, nil, err
 		}
 		return rep, nil, nil
+	case "interleave":
+		j.publishCounts(0, 1)
+		opt := repro.InterleaveOptions{}
+		if p := j.req.Interleave; p != nil {
+			opt.MaxDepth = p.MaxDepth
+			opt.FaultBudget = p.FaultBudget
+		}
+		doc, err := repro.InterleaveGate(ctx, cfg, j.req.Workload, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		verdict := "pass"
+		var gateErr string
+		if err := doc.Err(); err != nil {
+			verdict = "fail"
+			gateErr = err.Error()
+		}
+		j.publishCounts(1, 1)
+		return map[string]any{"verdict": verdict, "gate_error": gateErr, "doc": doc}, nil, nil
 	case "profile":
 		j.publishCounts(0, 2)
 		rep, err := repro.ProfileContext(ctx, cfg, j.req.Workload)

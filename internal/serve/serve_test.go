@@ -559,6 +559,65 @@ func TestMetricsAndList(t *testing.T) {
 	}
 }
 
+// TestInterleaveExperiment runs the model-checking experiment class end to
+// end: submit, wait for completion, and check the memoized document carries
+// a passing gate (FtDirCMP exhausted, DirCMP counterexample replayed).
+// Identical resubmissions — including ones relying on the normalized
+// defaults — must coalesce onto the cached job.
+func TestInterleaveExperiment(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	body := `{"type":"interleave","quick":true}`
+	code, doc, _ := postJSON(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	final := waitState(t, ts, doc.ID, stateDone)
+	var rep struct {
+		Verdict string `json:"verdict"`
+		GateErr string `json:"gate_error"`
+		Doc     struct {
+			Workload string `json:"workload"`
+			FtDirCMP struct {
+				Exhausted      bool `json:"exhausted"`
+				StatesExplored int  `json:"statesExplored"`
+			} `json:"ftdircmp"`
+			DirCMP struct {
+				Violations []struct {
+					Kind string `json:"kind"`
+				} `json:"violations"`
+			} `json:"dircmp"`
+		} `json:"doc"`
+	}
+	if err := json.Unmarshal(final.Result, &rep); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if rep.Verdict != "pass" {
+		t.Fatalf("gate verdict %q: %s", rep.Verdict, rep.GateErr)
+	}
+	if rep.Doc.Workload != "handoff" {
+		t.Fatalf("defaulted workload %q, want handoff", rep.Doc.Workload)
+	}
+	if !rep.Doc.FtDirCMP.Exhausted || rep.Doc.FtDirCMP.StatesExplored == 0 {
+		t.Fatalf("FtDirCMP exploration: %+v", rep.Doc.FtDirCMP)
+	}
+	if len(rep.Doc.DirCMP.Violations) == 0 || rep.Doc.DirCMP.Violations[0].Kind != "deadlock" {
+		t.Fatalf("DirCMP counterexample: %+v", rep.Doc.DirCMP.Violations)
+	}
+
+	// The normalized form of the same request must hit the same cache key.
+	explicit := `{"type":"interleave","quick":true,"workload":"handoff","config":{"OpsPerCore":2},"interleave":{"fault_budget":1}}`
+	code, doc2, _ := postJSON(t, ts, explicit)
+	if code != http.StatusOK || doc2.ID != doc.ID {
+		t.Errorf("normalized resubmit: status %d id %s, want 200 with id %s", code, doc2.ID, doc.ID)
+	}
+
+	// A full-size configuration is rejected up front, not explored forever.
+	code, _, _ = postJSON(t, ts, `{"type":"interleave"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("full-size interleave: status %d, want 400", code)
+	}
+}
+
 func TestFailedJobIsRetriedNotCached(t *testing.T) {
 	gate := make(chan struct{})
 	opts := Options{Workers: 1}

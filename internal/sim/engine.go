@@ -50,12 +50,20 @@ var ErrLimitReached = errors.New("sim: cycle limit reached")
 
 // event is a scheduled callback. fn is always set; arg and tick are the
 // ScheduleCall payload (nil/zero for plain closures, which travel in arg).
+// choice marks the event as a model-checking decision point (see choice.go):
+// key identifies its ordered channel, info carries an opaque payload for the
+// chooser, and dropFn is the alternative callback fired when the chooser
+// decides to lose the event instead of delivering it.
 type event struct {
-	at   uint64
-	seq  uint64
-	fn   func(arg any, tick uint64)
-	arg  any
-	tick uint64
+	at     uint64
+	seq    uint64
+	fn     func(arg any, tick uint64)
+	arg    any
+	tick   uint64
+	choice bool
+	key    uint64
+	info   uint64
+	dropFn func(arg any, tick uint64)
 }
 
 // runFunc adapts a plain func() stored in arg to the event callback shape.
@@ -132,6 +140,15 @@ type Engine struct {
 	now    uint64
 	seq    uint64
 	events uint64
+
+	// Model-checking hooks (see choice.go). chooser is nil in normal runs;
+	// halted latches once a chooser returns Halt. The scratch fields are
+	// reused across choice points so gathering choices stays cheap.
+	chooser       Chooser
+	halted        bool
+	headScratch   map[uint64]int
+	idxScratch    []int
+	choiceScratch []Choice
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -159,7 +176,7 @@ func (e *Engine) Schedule(delay uint64, fn func()) {
 // programming error and panics.
 func (e *Engine) ScheduleAt(at uint64, fn func()) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d in the past (now %d)", at, e.now))
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) is %d cycles in the past (current cycle %d)", at, e.now-at, e.now))
 	}
 	e.seq++
 	e.pq.push(event{at: at, seq: e.seq, fn: runFunc, arg: fn})
@@ -180,17 +197,23 @@ func (e *Engine) ScheduleCall(delay uint64, fn func(arg any, tick uint64), arg a
 // past is a programming error and panics.
 func (e *Engine) ScheduleCallAt(at uint64, fn func(arg any, tick uint64), arg any, tick uint64) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d in the past (now %d)", at, e.now))
+		panic(fmt.Sprintf("sim: ScheduleCallAt(%d) is %d cycles in the past (current cycle %d, event tick %d)", at, e.now-at, e.now, tick))
 	}
 	e.seq++
 	e.pq.push(event{at: at, seq: e.seq, fn: fn, arg: arg, tick: tick})
 }
 
 // Step executes the next event, advancing the clock to its timestamp.
-// It returns false when the queue is empty.
+// It returns false when the queue is empty or the engine has been halted by
+// a chooser. When a chooser is installed and the earliest pending event is
+// a choice event, the step becomes a decision point: the chooser picks
+// which deliverable event fires (see choice.go).
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	if e.halted || len(e.pq) == 0 {
 		return false
+	}
+	if e.chooser != nil && e.pq[0].choice {
+		return e.stepChoice()
 	}
 	ev := e.pq.pop()
 	e.now = ev.at
@@ -199,22 +222,25 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or the clock would pass limit.
-// It returns nil when the queue drained, or ErrLimitReached if events
-// remained past the limit. A limit of 0 means no limit.
+// Run executes events until the queue drains, the engine halts, or the
+// clock would pass limit. It returns nil when the queue drained or the
+// engine halted, or ErrLimitReached if events remained past the limit. A
+// limit of 0 means no limit.
 func (e *Engine) Run(limit uint64) error {
 	for len(e.pq) > 0 {
 		if limit != 0 && e.pq[0].at > limit {
 			return fmt.Errorf("%w: %d events pending at cycle %d", ErrLimitReached, len(e.pq), limit)
 		}
-		e.Step()
+		if !e.Step() {
+			return nil
+		}
 	}
 	return nil
 }
 
 // RunUntil executes events while pred returns false, stopping when the
-// predicate becomes true, the queue drains, or the limit passes. It returns
-// true when pred was satisfied.
+// predicate becomes true, the queue drains, the engine halts, or the limit
+// passes. It returns true when pred was satisfied.
 func (e *Engine) RunUntil(limit uint64, pred func() bool) bool {
 	for !pred() {
 		if len(e.pq) == 0 {
@@ -223,7 +249,9 @@ func (e *Engine) RunUntil(limit uint64, pred func() bool) bool {
 		if limit != 0 && e.pq[0].at > limit {
 			return pred()
 		}
-		e.Step()
+		if !e.Step() {
+			return pred()
+		}
 	}
 	return true
 }

@@ -127,6 +127,11 @@ type Config struct {
 	// injections) and derives the recovery metrics; see internal/obs.
 	Obs *obs.Recorder
 
+	// ExtraRecorder, when non-nil, is fanned network events alongside the
+	// statistics/trace/obs recorders. The model checker uses it to track
+	// the in-flight message multiset incrementally (see internal/mc).
+	ExtraRecorder noc.Recorder
+
 	// Cancel, when non-nil, aborts the simulation when it becomes
 	// readable: Run polls it every few thousand events and returns
 	// ErrCancelled. This is how context cancellation (server deadlines,
@@ -251,13 +256,16 @@ func New(cfg Config) (*System, error) {
 		drop = cfg.Injector.Drop
 	}
 	var recorder noc.Recorder = run.Net
-	if cfg.Trace != nil || cfg.Obs != nil {
+	if cfg.Trace != nil || cfg.Obs != nil || cfg.ExtraRecorder != nil {
 		mr := multiRecorder{run.Net}
 		if cfg.Trace != nil {
 			mr = append(mr, cfg.Trace)
 		}
 		if cfg.Obs != nil {
 			mr = append(mr, cfg.Obs)
+		}
+		if cfg.ExtraRecorder != nil {
+			mr = append(mr, cfg.ExtraRecorder)
 		}
 		recorder = mr
 	}
@@ -441,24 +449,9 @@ func (s *System) Integrity() *Integrity { return s.integrity }
 // limit elapsed. Coherence and data-integrity violations are returned as
 // errors as well.
 func (s *System) Run(w workload.Workload) (*stats.Run, error) {
-	s.run.Workload = w.Name()
-	master := sim.NewRNG(s.cfg.Seed)
+	s.Begin(w)
 	tiles := s.cfg.Tiles()
-	for i := 0; i < tiles; i++ {
-		c := NewCore(i, s.topo, s.ports[i], s.engine, s.cfg.ThinkTime,
-			w.Stream(i, tiles, s.cfg.OpsPerCore, master.Fork(uint64(i)+1)), s.integrity)
-		s.cores = append(s.cores, c)
-		c.Start()
-	}
-
-	allDone := func() bool {
-		for _, c := range s.cores {
-			if !c.Done() {
-				return false
-			}
-		}
-		return true
-	}
+	allDone := s.AllDone
 
 	// Cancellation is polled every few thousand events rather than per
 	// event: cheap enough to be invisible, frequent enough that a deadline
@@ -527,6 +520,45 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 		}
 	}
 
+	if err := s.VerifyQuiescent(); err != nil {
+		return s.run, err
+	}
+	return s.run, nil
+}
+
+// Begin creates and starts the workload's cores without running the
+// engine. Normal callers use Run, which does both; the model checker
+// (internal/mc) drives event execution itself, one delivery decision at a
+// time, and uses Begin to set the system in motion.
+func (s *System) Begin(w workload.Workload) {
+	s.run.Workload = w.Name()
+	master := sim.NewRNG(s.cfg.Seed)
+	tiles := s.cfg.Tiles()
+	for i := 0; i < tiles; i++ {
+		c := NewCore(i, s.topo, s.ports[i], s.engine, s.cfg.ThinkTime,
+			w.Stream(i, tiles, s.cfg.OpsPerCore, master.Fork(uint64(i)+1)), s.integrity)
+		s.cores = append(s.cores, c)
+		c.Start()
+	}
+}
+
+// AllDone reports whether every core has finished its operation stream.
+// Before Begin there are no cores and AllDone is vacuously true.
+func (s *System) AllDone() bool {
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyQuiescent runs the end-of-run verification suite on a drained
+// system: every live agent must be idle, no mid-run invariant may have
+// fired, and the coherence and data-integrity checkers must pass. Run
+// calls it after the drain; the model checker calls it on every terminal
+// state it reaches.
+func (s *System) VerifyQuiescent() error {
 	// Every agent must be idle after the drain; a live transaction here
 	// means a recovery loop is spinning without progress. Dead agents are
 	// exempt — their state froze at the death instant and the flush already
@@ -536,26 +568,26 @@ func (s *System) Run(w workload.Workload) (*stats.Run, error) {
 			continue
 		}
 		if !q.fn() {
-			return s.run, fmt.Errorf("system: %s not quiescent after drain", q.name)
+			return fmt.Errorf("system: %s not quiescent after drain", q.name)
 		}
 	}
 
 	if len(s.midRunErrs) > 0 {
-		return s.run, fmt.Errorf("system: mid-run invariant violated: %v (and %d more)",
+		return fmt.Errorf("system: mid-run invariant violated: %v (and %d more)",
 			s.midRunErrs[0], len(s.midRunErrs)-1)
 	}
 
 	if errs := s.CheckCoherence(); len(errs) > 0 {
-		return s.run, fmt.Errorf("system: coherence check failed: %v (and %d more)",
+		return fmt.Errorf("system: coherence check failed: %v (and %d more)",
 			errs[0], len(errs)-1)
 	}
 	if s.integrity != nil {
 		if errs := s.integrity.Errors(); len(errs) > 0 {
-			return s.run, fmt.Errorf("system: data integrity violated: %v (and %d more)",
+			return fmt.Errorf("system: data integrity violated: %v (and %d more)",
 				errs[0], len(errs)-1)
 		}
 	}
-	return s.run, nil
+	return nil
 }
 
 // PendingTxn describes one in-flight transaction at deadlock time: where it
@@ -620,6 +652,11 @@ func (e *DeadlockError) Error() string {
 	}
 	return s
 }
+
+// DeadlockDump builds the deadlock diagnosis for the current state: Run
+// produces it when the event queue drains with cores still blocked, and
+// the model checker when an explored schedule starves a core the same way.
+func (s *System) DeadlockDump() *DeadlockError { return s.deadlockError(s.cfg.Tiles()) }
 
 // deadlockError builds the DeadlockError dump from the transient line views
 // of every agent, in deterministic (node, address) order.

@@ -220,6 +220,29 @@ func Scan(lines int) Workload {
 	}
 }
 
+// Handoff is the model checker's kernel: cores 0 and 1 alternate writes to
+// one shared line while every other core stays idle. Two concurrent writers
+// force the full ownership-transfer handshake (GetX, invalidation, AckO,
+// backup deletion) with the smallest possible reachable state space — two
+// active cores keep the interleaving count tractable for exhaustive
+// exploration (internal/mc), where independent core pairs would multiply
+// state spaces the checker cannot factor.
+func Handoff() Workload {
+	return &funcWorkload{
+		name: "handoff",
+		gen: func(core, cores, ops int, rng *sim.RNG) []Op {
+			if core > 1 {
+				return nil
+			}
+			out := make([]Op, ops)
+			for i := range out {
+				out[i] = Op{Line: 0, Write: true}
+			}
+			return out
+		},
+	}
+}
+
 // Suite returns the workload set used by the experiment harness, the
 // stand-in for the paper's benchmark suite.
 func Suite() []Workload {
@@ -235,9 +258,24 @@ func Suite() []Workload {
 	}
 }
 
-// ByName returns the suite workload with the given name.
+// Extras returns workloads that are runnable by name but excluded from the
+// experiment suite: specialized kernels whose shape only makes sense for a
+// particular harness (Handoff exists to keep model-checking state spaces
+// small, not to stand in for a benchmark).
+func Extras() []Workload {
+	return []Workload{
+		Handoff(),
+	}
+}
+
+// ByName returns the suite or extra workload with the given name.
 func ByName(name string) (Workload, error) {
 	for _, w := range Suite() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	for _, w := range Extras() {
 		if w.Name() == name {
 			return w, nil
 		}

@@ -370,6 +370,18 @@ func Workloads() []string {
 	return out
 }
 
+// WorkloadExtras returns the names of the special-purpose workloads that
+// resolve by name but are not part of the benchmark suite (currently the
+// model checker's handoff shape; see docs/MODELCHECK.md).
+func WorkloadExtras() []string {
+	extras := workload.Extras()
+	out := make([]string, len(extras))
+	for i, w := range extras {
+		out[i] = w.Name()
+	}
+	return out
+}
+
 // MessageTypes returns all coherence message type names (Tables 1 and 2).
 func MessageTypes() []string {
 	types := msg.AllTypes()
